@@ -1,0 +1,25 @@
+//! Ablation — GEMM kernels: BAT column axpy vs dense blocked (threaded).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rma_linalg::dense::Matrix;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_gemm");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        let cols: Vec<Vec<f64>> = (0..n)
+            .map(|j| (0..n).map(|i| ((i * 7 + j) % 13) as f64).collect())
+            .collect();
+        let m = Matrix::from_columns(&cols).unwrap();
+        g.bench_with_input(BenchmarkId::new("dense_blocked", n), &n, |b, _| {
+            b.iter(|| rma_linalg::dense::matmul(&m, &m).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("bat_columnwise", n), &n, |b, _| {
+            b.iter(|| rma_linalg::bat::mmu(&cols, &cols).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation — SQL optimizer on/off for a pushdown-sensitive mixed query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rma_sql::Engine;
+
+fn setup() -> Engine {
+    let mut e = Engine::new();
+    let trips = rma_data::trips(20_000, 40, 19);
+    let stations = rma_data::stations(40, 19 ^ 0x5a5a);
+    e.register("trips", trips).unwrap();
+    e.register("stations", stations).unwrap();
+    e
+}
+
+const QUERY: &str = "SELECT name, duration FROM trips JOIN stations ON start_station = code \
+                     WHERE duration > 500 AND lat > 45.5";
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_optimizer");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("pushdown", "on"), |b| {
+        let mut e = setup();
+        e.optimize = true;
+        b.iter(|| e.query(QUERY).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("pushdown", "off"), |b| {
+        let mut e = setup();
+        e.optimize = false;
+        b.iter(|| e.query(QUERY).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig. 13 — cost of maintaining contextual information: add/qqr with a
+//! growing order schema, full sorting vs the optimised policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rma_core::{Backend, RmaContext, RmaOptions, SortPolicy};
+
+fn ctx(sort: SortPolicy) -> RmaContext {
+    RmaContext::new(RmaOptions {
+        backend: Backend::Auto,
+        sort_policy: sort,
+        ..RmaOptions::default()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let rows = 20_000;
+    let mut g = c.benchmark_group("fig13_context");
+    g.sample_size(10);
+    for attrs in [10usize, 40, 80] {
+        let r = rma_data::uniform_relation(rows, attrs, 1, 13);
+        let order: Vec<String> = (0..attrs).map(|k| format!("k{k}")).collect();
+        let order_refs: Vec<&str> = order.iter().map(String::as_str).collect();
+        g.bench_with_input(BenchmarkId::new("qqr_full_sort", attrs), &attrs, |b, _| {
+            b.iter(|| ctx(SortPolicy::Always).qqr(&r, &order_refs).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("qqr_no_sort", attrs), &attrs, |b, _| {
+            b.iter(|| ctx(SortPolicy::Optimized).qqr(&r, &order_refs).unwrap())
+        });
+        let renames: Vec<(String, String)> = std::iter::once(("a0".to_string(), "b0".to_string()))
+            .chain((0..attrs).map(|k| (format!("k{k}"), format!("j{k}"))))
+            .collect();
+        let refs: Vec<(&str, &str)> = renames.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let s = rma_relation::rename(&r, &refs).unwrap();
+        let s_order: Vec<String> = (0..attrs).map(|k| format!("j{k}")).collect();
+        let s_refs: Vec<&str> = s_order.iter().map(String::as_str).collect();
+        g.bench_with_input(BenchmarkId::new("add_full_sort", attrs), &attrs, |b, _| {
+            b.iter(|| ctx(SortPolicy::Always).add(&r, &order_refs, &s, &s_refs).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("add_relative_sort", attrs), &attrs, |b, _| {
+            b.iter(|| ctx(SortPolicy::Optimized).add(&r, &order_refs, &s, &s_refs).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 14 — data transformation share of the dense (MKL) path per
+//! operation; reported as time so Criterion can track both components.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rma_core::{Backend, RmaContext, RmaOp};
+
+fn bench(c: &mut Criterion) {
+    let rows = 50_000;
+    let r = rma_data::uniform_relation(rows, 1, 50, 14);
+    let renames: Vec<(String, String)> = std::iter::once(("k0".to_string(), "k".to_string()))
+        .chain((0..50).map(|c| (format!("a{c}"), format!("b{c}"))))
+        .collect();
+    let refs: Vec<(&str, &str)> = renames.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let s = rma_relation::rename(&r, &refs).unwrap();
+    let mut g = c.benchmark_group("fig14_transform");
+    g.sample_size(10);
+    for op in [RmaOp::Add, RmaOp::Emu, RmaOp::Qqr, RmaOp::Dsv, RmaOp::Vsv] {
+        g.bench_with_input(
+            BenchmarkId::new("dense_path", op.name()),
+            &op,
+            |bch, &op| {
+                bch.iter(|| {
+                    let ctx = RmaContext::with_backend(Backend::Dense);
+                    if op.is_binary() {
+                        ctx.binary(op, &r, &["k0"], &s, &["k"]).unwrap()
+                    } else {
+                        ctx.unary(op, &r, &["k0"]).unwrap()
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

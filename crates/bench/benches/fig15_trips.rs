@@ -1,0 +1,27 @@
+//! Fig. 15 — Trips OLS across systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rma_bench::{run_trips_ols, SystemKind};
+
+fn bench(c: &mut Criterion) {
+    let trips = rma_data::trips(40_000, 80, 15);
+    let stations = rma_data::stations(80, 15 ^ 0x5a5a);
+    let mut g = c.benchmark_group("fig15_trips");
+    g.sample_size(10);
+    for sys in [
+        SystemKind::RmaAuto,
+        SystemKind::RmaBat,
+        SystemKind::RmaMkl,
+        SystemKind::Aida,
+        SystemKind::R,
+        SystemKind::Madlib,
+    ] {
+        g.bench_with_input(BenchmarkId::new("ols", sys.name()), &sys, |b, &sys| {
+            b.iter(|| run_trips_ols(sys, &trips, &stations, 20))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 16 — Journeys multiple regression across systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rma_bench::{run_journeys_regression, SystemKind};
+
+fn bench(c: &mut Criterion) {
+    let journeys = rma_data::journeys(60_000, 40, 16);
+    let stations = rma_data::stations(40, 16 ^ 0xa5a5);
+    let mut g = c.benchmark_group("fig16_journeys");
+    g.sample_size(10);
+    for hops in [1usize, 3] {
+        for sys in [SystemKind::RmaAuto, SystemKind::Aida, SystemKind::R, SystemKind::Madlib] {
+            let id = format!("{}_{hops}hops", sys.name());
+            g.bench_with_input(BenchmarkId::new("regression", id), &sys, |b, &sys| {
+                b.iter(|| run_journeys_regression(sys, &journeys, &stations, hops))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 17 — Conference covariance across systems and RMA backends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rma_bench::{run_conferences_covariance, SystemKind};
+
+fn bench(c: &mut Criterion) {
+    let pubs = rma_data::publications(4_000, 120, 17);
+    let rankings = rma_data::rankings(120, 17);
+    let mut g = c.benchmark_group("fig17_conferences");
+    g.sample_size(10);
+    for sys in [
+        SystemKind::RmaAuto,
+        SystemKind::RmaBat,
+        SystemKind::RmaMkl,
+        SystemKind::Aida,
+        SystemKind::R,
+    ] {
+        g.bench_with_input(BenchmarkId::new("covariance", sys.name()), &sys, |b, &sys| {
+            b.iter(|| run_conferences_covariance(sys, &pubs, &rankings))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 18 — Trip count addition across systems and RMA backends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rma_bench::{run_trip_count, trip_count_tables, SystemKind};
+
+fn bench(c: &mut Criterion) {
+    let (y1, y2) = trip_count_tables(200_000, 10, 18);
+    let mut g = c.benchmark_group("fig18_tripcount");
+    g.sample_size(10);
+    for sys in [
+        SystemKind::RmaBat,
+        SystemKind::RmaMkl,
+        SystemKind::Aida,
+        SystemKind::R,
+        SystemKind::Madlib,
+    ] {
+        g.bench_with_input(BenchmarkId::new("add", sys.name()), &sys, |b, &sys| {
+            b.iter(|| run_trip_count(sys, &y1, &y2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Table 4 — add over wide relations (scaled attribute sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rma_core::RmaContext;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab4_wide");
+    g.sample_size(10);
+    for attrs in [100usize, 400, 1000] {
+        let a = rma_data::wide_relation(1000, attrs, 4);
+        let b = rma_relation::rename(&rma_data::wide_relation(1000, attrs, 5), &[("k0", "k")]).unwrap();
+        g.bench_with_input(BenchmarkId::new("add", attrs), &attrs, |bch, _| {
+            bch.iter(|| RmaContext::default().add(&a, &["k0"], &b, &["k"]).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 5 — add over sparse relations: dense vs zero-run compressed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rma_storage::CompressedFloats;
+
+fn bench(c: &mut Criterion) {
+    let rows = 200_000;
+    let mut g = c.benchmark_group("tab5_sparse");
+    g.sample_size(10);
+    for pct in [0u32, 50, 90] {
+        let (a, b) = rma_data::sparse_pair(rows, 4, pct as f64 / 100.0, 100 + pct as u64);
+        g.bench_with_input(BenchmarkId::new("rma_add", pct), &pct, |bch, _| {
+            bch.iter(|| rma_core::add(&a, &["lk"], &b, &["rk"]).unwrap())
+        });
+        let ca: Vec<CompressedFloats> = (0..4)
+            .map(|i| CompressedFloats::compress(&a.column(&format!("l{i}")).unwrap().to_f64_vec().unwrap()))
+            .collect();
+        let cb: Vec<CompressedFloats> = (0..4)
+            .map(|i| CompressedFloats::compress(&b.column(&format!("r{i}")).unwrap().to_f64_vec().unwrap()))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("compressed_add", pct), &pct, |bch, _| {
+            bch.iter(|| {
+                for (x, y) in ca.iter().zip(&cb) {
+                    std::hint::black_box(x.add(y));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

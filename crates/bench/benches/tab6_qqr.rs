@@ -1,0 +1,35 @@
+//! Table 6 — qqr: R simulator vs RMA+ (dense and BAT kernels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rma_bench::{MatEngine, MatFlavor, SimTimes};
+use rma_core::{Backend, RmaContext};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab6_qqr");
+    g.sample_size(10);
+    for (tuples, attrs) in [(50_000usize, 10usize), (50_000, 40)] {
+        let r = rma_data::uniform_relation(tuples, 1, attrs, 6);
+        let cols: Vec<String> = (0..attrs).map(|c| format!("a{c}")).collect();
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let id = format!("{tuples}x{attrs}");
+        g.bench_with_input(BenchmarkId::new("r_sim", &id), &id, |b, _| {
+            b.iter(|| {
+                let eng = MatEngine::new(MatFlavor::RMatrix);
+                let mut t = SimTimes::default();
+                let m = eng.enter(&r, &col_refs, &mut t);
+                let q = rma_linalg::dense::qr(&m).unwrap().q;
+                eng.exit(q, &mut t)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rma_dense", &id), &id, |b, _| {
+            b.iter(|| RmaContext::with_backend(Backend::Dense).qqr(&r, &["k0"]).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("rma_bat", &id), &id, |b, _| {
+            b.iter(|| RmaContext::with_backend(Backend::Bat).qqr(&r, &["k0"]).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

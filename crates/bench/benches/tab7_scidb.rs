@@ -1,0 +1,19 @@
+//! Table 7 — add followed by a selection: RMA+ vs the SciDB simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rma_bench::{run_scidb_comparison, trip_count_tables};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab7_scidb");
+    g.sample_size(10);
+    for tuples in [20_000usize, 100_000] {
+        let (a, b) = trip_count_tables(tuples, 10, 7);
+        g.bench_with_input(BenchmarkId::new("both", tuples), &tuples, |bch, _| {
+            bch.iter(|| run_scidb_comparison(&a, &b, 10_000.0))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

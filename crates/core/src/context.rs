@@ -1,0 +1,229 @@
+//! Execution options, kernel delegation policy, and instrumentation.
+//!
+//! The paper's query optimizer "decides about external library calls based
+//! on the complexity of the operation, the amount of data to be copied, and
+//! the relative performance" (§7.3). [`Backend::Auto`] encodes that policy;
+//! [`ExecStats`] measures the data-transformation share reported in Fig. 14.
+
+use crate::shape::RmaOp;
+use std::cell::RefCell;
+use std::time::Duration;
+
+/// Which kernel family computes base results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The paper's policy: element-wise operations stay on BATs, complex
+    /// operations are delegated to the dense (MKL-role) kernel unless the
+    /// matrix would exceed the memory budget, in which case the no-copy BAT
+    /// kernel is used where available.
+    #[default]
+    Auto,
+    /// Force the no-copy column-at-a-time kernels (RMA+BAT). Operations
+    /// without a BAT implementation (SVD/eigen) still fall back to dense.
+    Bat,
+    /// Force the dense contiguous kernels (RMA+MKL), copying in and out.
+    Dense,
+}
+
+/// Sorting policy for order-schema handling (§8.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortPolicy {
+    /// Skip sorting for operations whose result does not depend on the row
+    /// order, and use relative alignment for element-wise operations.
+    #[default]
+    Optimized,
+    /// Always materialise the full sort of every argument (the unoptimised
+    /// baseline of Fig. 13).
+    Always,
+}
+
+/// Options controlling RMA execution.
+#[derive(Debug, Clone)]
+pub struct RmaOptions {
+    pub backend: Backend,
+    pub sort_policy: SortPolicy,
+    /// Verify that order schemas form keys (the paper requires it; turning
+    /// it off removes the O(n) hash check from micro-benchmarks).
+    pub validate_keys: bool,
+    /// Auto-policy memory budget for the dense copy, in bytes. When the
+    /// estimated dense working set exceeds it, the BAT kernel is used
+    /// (mirroring the paper's switch to BATs when MKL would not fit).
+    pub dense_memory_budget: usize,
+}
+
+impl Default for RmaOptions {
+    fn default() -> Self {
+        RmaOptions {
+            backend: Backend::Auto,
+            sort_policy: SortPolicy::Optimized,
+            validate_keys: true,
+            dense_memory_budget: 8 << 30, // 8 GiB
+        }
+    }
+}
+
+/// Which kernel actually ran (recorded per operation for tests/benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelUsed {
+    Bat,
+    Dense,
+    /// A BAT-forced operation had no BAT implementation.
+    DenseFallback,
+}
+
+/// Timing breakdown of the last operations run through a context.
+///
+/// `copy_in`/`copy_out` cover the BAT↔dense transformations only — the
+/// quantity Fig. 14b reports as the transformation share; `compute` is the
+/// kernel time; `sort` is order-schema handling (split/sort/morph).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    pub copy_in: Duration,
+    pub copy_out: Duration,
+    pub compute: Duration,
+    pub sort: Duration,
+    pub ops_run: u32,
+    pub last_kernel: Option<KernelUsed>,
+}
+
+impl ExecStats {
+    /// Fraction of (copy + compute) time spent copying — the Fig. 14 metric.
+    pub fn transform_share(&self) -> f64 {
+        let copy = self.copy_in + self.copy_out;
+        let total = copy + self.compute;
+        if total.is_zero() {
+            return 0.0;
+        }
+        copy.as_secs_f64() / total.as_secs_f64()
+    }
+
+    fn accumulate(&mut self, other: &ExecStats) {
+        self.copy_in += other.copy_in;
+        self.copy_out += other.copy_out;
+        self.compute += other.compute;
+        self.sort += other.sort;
+        self.ops_run += other.ops_run;
+        if other.last_kernel.is_some() {
+            self.last_kernel = other.last_kernel;
+        }
+    }
+}
+
+/// An execution context: options plus accumulated statistics. Create one
+/// per query (cheap) or keep one around per session.
+#[derive(Debug, Default)]
+pub struct RmaContext {
+    pub options: RmaOptions,
+    stats: RefCell<ExecStats>,
+}
+
+impl RmaContext {
+    pub fn new(options: RmaOptions) -> Self {
+        RmaContext {
+            options,
+            stats: RefCell::new(ExecStats::default()),
+        }
+    }
+
+    /// Context forcing a specific backend, other options default.
+    pub fn with_backend(backend: Backend) -> Self {
+        RmaContext::new(RmaOptions {
+            backend,
+            ..RmaOptions::default()
+        })
+    }
+
+    /// Accumulated statistics since construction or the last reset.
+    pub fn stats(&self) -> ExecStats {
+        *self.stats.borrow()
+    }
+
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = ExecStats::default();
+    }
+
+    pub(crate) fn record(&self, s: &ExecStats) {
+        self.stats.borrow_mut().accumulate(s);
+    }
+
+    /// Decide the kernel for an operation on an `m × n` application part
+    /// (plus an optional second operand) under the configured policy.
+    pub(crate) fn choose_kernel(&self, op: RmaOp, m: usize, n: usize) -> Backend {
+        match self.options.backend {
+            Backend::Bat => Backend::Bat,
+            Backend::Dense => Backend::Dense,
+            Backend::Auto => {
+                if matches!(op, RmaOp::Add | RmaOp::Sub | RmaOp::Emu) {
+                    // linear ops: transformation cost can never be amortised
+                    Backend::Bat
+                } else {
+                    // complex op: use dense unless the copy would not fit
+                    let est = 2 * m * n * std::mem::size_of::<f64>();
+                    if est <= self.options.dense_memory_budget {
+                        Backend::Dense
+                    } else {
+                        Backend::Bat
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_policy_matches_paper() {
+        let ctx = RmaContext::default();
+        assert_eq!(ctx.choose_kernel(RmaOp::Add, 1_000_000, 10), Backend::Bat);
+        assert_eq!(ctx.choose_kernel(RmaOp::Qqr, 1_000_000, 10), Backend::Dense);
+        assert_eq!(ctx.choose_kernel(RmaOp::Inv, 100, 100), Backend::Dense);
+    }
+
+    #[test]
+    fn auto_policy_respects_memory_budget() {
+        let ctx = RmaContext::new(RmaOptions {
+            dense_memory_budget: 1 << 20, // 1 MiB
+            ..RmaOptions::default()
+        });
+        // 1M × 10 doubles ≈ 80 MB > 1 MiB → BAT
+        assert_eq!(ctx.choose_kernel(RmaOp::Qqr, 1_000_000, 10), Backend::Bat);
+        assert_eq!(ctx.choose_kernel(RmaOp::Qqr, 100, 10), Backend::Dense);
+    }
+
+    #[test]
+    fn forced_backends() {
+        assert_eq!(
+            RmaContext::with_backend(Backend::Bat).choose_kernel(RmaOp::Qqr, 10, 10),
+            Backend::Bat
+        );
+        assert_eq!(
+            RmaContext::with_backend(Backend::Dense).choose_kernel(RmaOp::Add, 10, 10),
+            Backend::Dense
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_and_share() {
+        let ctx = RmaContext::default();
+        let s = ExecStats {
+            copy_in: Duration::from_millis(30),
+            copy_out: Duration::from_millis(10),
+            compute: Duration::from_millis(60),
+            sort: Duration::from_millis(5),
+            ops_run: 1,
+            last_kernel: Some(KernelUsed::Dense),
+        };
+        ctx.record(&s);
+        ctx.record(&s);
+        let acc = ctx.stats();
+        assert_eq!(acc.ops_run, 2);
+        assert_eq!(acc.compute, Duration::from_millis(120));
+        assert!((acc.transform_share() - 0.4).abs() < 1e-9);
+        ctx.reset_stats();
+        assert_eq!(ctx.stats().ops_run, 0);
+        assert_eq!(ExecStats::default().transform_share(), 0.0);
+    }
+}

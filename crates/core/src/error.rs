@@ -1,0 +1,109 @@
+//! Error type for the relational matrix algebra.
+
+use rma_linalg::LinalgError;
+use rma_relation::RelationError;
+use rma_storage::StorageError;
+use std::fmt;
+
+/// Errors produced by relational matrix operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RmaError {
+    /// The order schema must form a key of the argument relation.
+    OrderSchemaNotKey(Vec<String>),
+    /// An application-schema attribute is not numeric.
+    NonNumericApplication { attribute: String },
+    /// `tra`/`usv` (and `opd`'s second argument) require an order schema of
+    /// cardinality one, because its values become attribute names.
+    OrderSchemaCardinality { op: &'static str, found: usize },
+    /// The application schema is empty — there is no matrix to operate on.
+    EmptyApplication,
+    /// `add`/`sub`/`emu` need union-compatible application schemas.
+    ApplicationNotUnionCompatible,
+    /// `add`/`sub`/`emu` need equally many tuples in both relations.
+    TupleCountMismatch { left: usize, right: usize },
+    /// Binary element-wise operations require non-overlapping order schemas
+    /// (the result schema is `U ◦ V ◦ U̅`).
+    OverlappingOrderSchemas(String),
+    /// `det`/`rnk` row origin needs a named relation.
+    UnnamedRelation { op: &'static str },
+    /// A column-cast value would produce a duplicate or empty attribute name.
+    BadOriginName(String),
+    /// Underlying relational error.
+    Relation(RelationError),
+    /// Underlying matrix-kernel error.
+    Linalg(LinalgError),
+    /// Underlying storage error.
+    Storage(StorageError),
+}
+
+impl fmt::Display for RmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmaError::OrderSchemaNotKey(attrs) => {
+                write!(f, "order schema {attrs:?} does not form a key")
+            }
+            RmaError::NonNumericApplication { attribute } => write!(
+                f,
+                "application attribute `{attribute}` is not numeric; project it away or add it to the order schema"
+            ),
+            RmaError::OrderSchemaCardinality { op, found } => write!(
+                f,
+                "{op} requires an order schema with exactly one attribute (found {found})"
+            ),
+            RmaError::EmptyApplication => {
+                f.write_str("empty application schema: no matrix values to operate on")
+            }
+            RmaError::ApplicationNotUnionCompatible => {
+                f.write_str("application schemas are not union compatible")
+            }
+            RmaError::TupleCountMismatch { left, right } => {
+                write!(f, "tuple count mismatch: {left} vs {right}")
+            }
+            RmaError::OverlappingOrderSchemas(name) => {
+                write!(f, "order schemas overlap on attribute `{name}`")
+            }
+            RmaError::UnnamedRelation { op } => write!(
+                f,
+                "{op} requires a named relation (the name is the row origin)"
+            ),
+            RmaError::BadOriginName(n) => {
+                write!(f, "origin value `{n}` cannot be used as an attribute name")
+            }
+            RmaError::Relation(e) => write!(f, "{e}"),
+            RmaError::Linalg(e) => write!(f, "{e}"),
+            RmaError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RmaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RmaError::Relation(e) => Some(e),
+            RmaError::Linalg(e) => Some(e),
+            RmaError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for RmaError {
+    fn from(e: RelationError) -> Self {
+        match e {
+            RelationError::NotAKey(attrs) => RmaError::OrderSchemaNotKey(attrs),
+            other => RmaError::Relation(other),
+        }
+    }
+}
+
+impl From<LinalgError> for RmaError {
+    fn from(e: LinalgError) -> Self {
+        RmaError::Linalg(e)
+    }
+}
+
+impl From<StorageError> for RmaError {
+    fn from(e: StorageError) -> Self {
+        RmaError::Storage(e)
+    }
+}

@@ -1,0 +1,261 @@
+//! Shape types of the matrix operations (the paper's Table 1).
+//!
+//! Every matrix operation is *shape restricted*: each result dimension
+//! equals the row count of an input, the column count of an input, or one.
+//! The shape type `(x, y)` drives the inheritance of contextual information
+//! (Table 3): e.g. `x = r1` means the row origin is the order part of the
+//! first argument.
+
+use std::fmt;
+
+/// One dimension of a shape type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dim {
+    /// Rows of the first argument.
+    R1,
+    /// Rows of the second argument.
+    R2,
+    /// Rows of both arguments (they must agree).
+    RStar,
+    /// Columns (application attributes) of the first argument.
+    C1,
+    /// Columns of the second argument.
+    C2,
+    /// Columns of both arguments.
+    CStar,
+    /// Constant one.
+    One,
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dim::R1 => "r1",
+            Dim::R2 => "r2",
+            Dim::RStar => "r*",
+            Dim::C1 => "c1",
+            Dim::C2 => "c2",
+            Dim::CStar => "c*",
+            Dim::One => "1",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The shape type `(rows, cols)` of an operation's result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeType {
+    pub rows: Dim,
+    pub cols: Dim,
+}
+
+/// The 19 relational matrix operations of RMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmaOp {
+    Emu,
+    Mmu,
+    Opd,
+    Cpd,
+    Add,
+    Sub,
+    Tra,
+    Sol,
+    Inv,
+    Evc,
+    Evl,
+    Qqr,
+    Rqr,
+    Dsv,
+    Usv,
+    Vsv,
+    Det,
+    Rnk,
+    Chf,
+}
+
+impl RmaOp {
+    /// Lower-case operation name (used for SQL syntax and the constant
+    /// column origins of shape-`1` dimensions).
+    pub fn name(self) -> &'static str {
+        match self {
+            RmaOp::Emu => "emu",
+            RmaOp::Mmu => "mmu",
+            RmaOp::Opd => "opd",
+            RmaOp::Cpd => "cpd",
+            RmaOp::Add => "add",
+            RmaOp::Sub => "sub",
+            RmaOp::Tra => "tra",
+            RmaOp::Sol => "sol",
+            RmaOp::Inv => "inv",
+            RmaOp::Evc => "evc",
+            RmaOp::Evl => "evl",
+            RmaOp::Qqr => "qqr",
+            RmaOp::Rqr => "rqr",
+            RmaOp::Dsv => "dsv",
+            RmaOp::Usv => "usv",
+            RmaOp::Vsv => "vsv",
+            RmaOp::Det => "det",
+            RmaOp::Rnk => "rnk",
+            RmaOp::Chf => "chf",
+        }
+    }
+
+    /// Parse an operation name (case-insensitive); used by the SQL frontend.
+    pub fn parse(name: &str) -> Option<RmaOp> {
+        let lower = name.to_ascii_lowercase();
+        ALL_OPS.iter().copied().find(|op| op.name() == lower)
+    }
+
+    /// Is this a binary operation (two argument relations)?
+    pub fn is_binary(self) -> bool {
+        matches!(
+            self,
+            RmaOp::Emu | RmaOp::Mmu | RmaOp::Opd | RmaOp::Cpd | RmaOp::Add | RmaOp::Sub | RmaOp::Sol
+        )
+    }
+
+    /// The shape type per Table 1.
+    pub fn shape(self) -> ShapeType {
+        use Dim::*;
+        let (rows, cols) = match self {
+            RmaOp::Usv => (R1, R1),
+            RmaOp::Opd => (R1, R2),
+            RmaOp::Inv | RmaOp::Evc | RmaOp::Chf | RmaOp::Qqr => (R1, C1),
+            RmaOp::Mmu => (R1, C2),
+            RmaOp::Evl | RmaOp::Vsv => (R1, One),
+            RmaOp::Tra => (C1, R1),
+            RmaOp::Rqr | RmaOp::Dsv => (C1, C1),
+            RmaOp::Cpd | RmaOp::Sol => (C1, C2),
+            RmaOp::Emu | RmaOp::Add | RmaOp::Sub => (RStar, CStar),
+            RmaOp::Det | RmaOp::Rnk => (One, One),
+        };
+        ShapeType { rows, cols }
+    }
+
+    /// Does the operation require a square application part?
+    pub fn requires_square(self) -> bool {
+        matches!(
+            self,
+            RmaOp::Inv | RmaOp::Evc | RmaOp::Evl | RmaOp::Chf | RmaOp::Det
+        )
+    }
+
+    /// Does the result row order follow the (sorted) rows of the first
+    /// argument? When false, permuting input rows permutes or leaves the
+    /// result unchanged, so the engine may skip sorting (§8.1).
+    pub fn result_depends_on_row_order(self) -> bool {
+        match self {
+            // Q rows (thin QR with positive diagonal is unique, and
+            // Q(P·A) = P·Q(A)), outer-product rows and mmu rows permute
+            // exactly with the input; cpd/rqr/dsv/rnk/sol are row-permutation
+            // invariant.
+            RmaOp::Qqr | RmaOp::Opd | RmaOp::Mmu => false,
+            RmaOp::Cpd | RmaOp::Rqr | RmaOp::Dsv | RmaOp::Rnk | RmaOp::Sol => false,
+            // inversion/eigen/cholesky couple row and column order; det's
+            // sign flips under odd permutations; tra's columns must align
+            // with the sorted column cast; evl/vsv pair the k-th sorted row
+            // with the k-th eigen/singular value; usv's column names ▽U are
+            // the sorted key values, and SVD's non-uniqueness makes the
+            // permuted factor a different (if equally valid) base result;
+            // element-wise ops align two relations (handled by relative
+            // sorting instead).
+            RmaOp::Inv
+            | RmaOp::Evc
+            | RmaOp::Evl
+            | RmaOp::Vsv
+            | RmaOp::Usv
+            | RmaOp::Chf
+            | RmaOp::Det
+            | RmaOp::Tra
+            | RmaOp::Emu
+            | RmaOp::Add
+            | RmaOp::Sub => true,
+        }
+    }
+}
+
+/// All operations, in the paper's listing order.
+pub const ALL_OPS: [RmaOp; 19] = [
+    RmaOp::Emu,
+    RmaOp::Mmu,
+    RmaOp::Opd,
+    RmaOp::Cpd,
+    RmaOp::Add,
+    RmaOp::Sub,
+    RmaOp::Tra,
+    RmaOp::Sol,
+    RmaOp::Inv,
+    RmaOp::Evc,
+    RmaOp::Evl,
+    RmaOp::Qqr,
+    RmaOp::Rqr,
+    RmaOp::Dsv,
+    RmaOp::Usv,
+    RmaOp::Vsv,
+    RmaOp::Det,
+    RmaOp::Rnk,
+    RmaOp::Chf,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shapes() {
+        use Dim::*;
+        assert_eq!(RmaOp::Usv.shape(), ShapeType { rows: R1, cols: R1 });
+        assert_eq!(RmaOp::Opd.shape(), ShapeType { rows: R1, cols: R2 });
+        assert_eq!(RmaOp::Inv.shape(), ShapeType { rows: R1, cols: C1 });
+        assert_eq!(RmaOp::Mmu.shape(), ShapeType { rows: R1, cols: C2 });
+        assert_eq!(RmaOp::Evl.shape(), ShapeType { rows: R1, cols: One });
+        assert_eq!(RmaOp::Tra.shape(), ShapeType { rows: C1, cols: R1 });
+        assert_eq!(RmaOp::Rqr.shape(), ShapeType { rows: C1, cols: C1 });
+        assert_eq!(RmaOp::Cpd.shape(), ShapeType { rows: C1, cols: C2 });
+        assert_eq!(RmaOp::Add.shape(), ShapeType { rows: RStar, cols: CStar });
+        assert_eq!(RmaOp::Det.shape(), ShapeType { rows: One, cols: One });
+    }
+
+    #[test]
+    fn binary_classification() {
+        assert!(RmaOp::Mmu.is_binary());
+        assert!(RmaOp::Sol.is_binary());
+        assert!(!RmaOp::Inv.is_binary());
+        assert!(!RmaOp::Tra.is_binary());
+        assert_eq!(ALL_OPS.iter().filter(|o| o.is_binary()).count(), 7);
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(RmaOp::parse("INV"), Some(RmaOp::Inv));
+        assert_eq!(RmaOp::parse("qqr"), Some(RmaOp::Qqr));
+        assert_eq!(RmaOp::parse("Mmu"), Some(RmaOp::Mmu));
+        assert_eq!(RmaOp::parse("nope"), None);
+        // every op round-trips
+        for op in ALL_OPS {
+            assert_eq!(RmaOp::parse(op.name()), Some(op));
+        }
+    }
+
+    #[test]
+    fn square_requirements() {
+        assert!(RmaOp::Inv.requires_square());
+        assert!(RmaOp::Det.requires_square());
+        assert!(!RmaOp::Qqr.requires_square());
+        assert!(!RmaOp::Rnk.requires_square());
+    }
+
+    #[test]
+    fn sort_avoidance_classification() {
+        assert!(!RmaOp::Qqr.result_depends_on_row_order());
+        assert!(RmaOp::Inv.result_depends_on_row_order());
+        assert!(RmaOp::Det.result_depends_on_row_order());
+        assert!(!RmaOp::Cpd.result_depends_on_row_order());
+    }
+
+    #[test]
+    fn display_dims() {
+        assert_eq!(Dim::RStar.to_string(), "r*");
+        assert_eq!(Dim::One.to_string(), "1");
+    }
+}

@@ -1,0 +1,381 @@
+//! End-to-end checks against the worked examples in the paper: Figures 3,
+//! 4, 7, 8, 9, and 10.
+
+use rma_core::{RmaContext, RmaError};
+use rma_relation::{select, Expr, Relation, RelationBuilder};
+use rma_storage::Value;
+
+/// The weather relation of Figure 2.
+fn weather() -> Relation {
+    RelationBuilder::new()
+        .name("r")
+        .column("T", vec!["5am", "8am", "7am", "6am"])
+        .column("H", vec![1.0f64, 8.0, 6.0, 1.0])
+        .column("W", vec![3.0f64, 5.0, 7.0, 4.0])
+        .build()
+        .unwrap()
+}
+
+fn f(v: Value) -> f64 {
+    v.as_f64().expect("numeric cell")
+}
+
+/// Figure 3: v = inv_T(σ_{T>6am}(r)).
+#[test]
+fn figure3_inversion_pipeline() {
+    let ctx = RmaContext::default();
+    let r_prime = select(&weather(), &Expr::col("T").gt(Expr::lit("6am"))).unwrap();
+    assert_eq!(r_prime.len(), 2);
+    let v = ctx.inv(&r_prime, &["T"]).unwrap();
+    // schema preserved: (T, H, W)
+    let names: Vec<_> = v.schema().names().collect();
+    assert_eq!(names, vec!["T", "H", "W"]);
+    // rows sorted by T: 7am then 8am
+    assert_eq!(v.cell(0, "T").unwrap(), Value::from("7am"));
+    assert_eq!(v.cell(1, "T").unwrap(), Value::from("8am"));
+    // values from the paper (rounded): [[-0.19, 0.27], [0.31, -0.23]]
+    assert!((f(v.cell(0, "H").unwrap()) - -0.1923).abs() < 1e-3);
+    assert!((f(v.cell(0, "W").unwrap()) - 0.2692).abs() < 1e-3);
+    assert!((f(v.cell(1, "H").unwrap()) - 0.3077).abs() < 1e-3);
+    assert!((f(v.cell(1, "W").unwrap()) - -0.2308).abs() < 1e-3);
+}
+
+/// Figure 4a: qqr_T(r) keeps schema (T, H, W) and the T values order rows.
+#[test]
+fn figure4a_qqr() {
+    let ctx = RmaContext::default();
+    let q = ctx.qqr(&weather(), &["T"]).unwrap();
+    let names: Vec<_> = q.schema().names().collect();
+    assert_eq!(names, vec!["T", "H", "W"]);
+    assert_eq!(q.len(), 4);
+    // Q has orthonormal columns
+    let h: Vec<f64> = q.column("H").unwrap().to_f64_vec().unwrap();
+    let w: Vec<f64> = q.column("W").unwrap().to_f64_vec().unwrap();
+    let dot: f64 = h.iter().zip(&w).map(|(a, b)| a * b).sum();
+    assert!(dot.abs() < 1e-10);
+    let norm_h: f64 = h.iter().map(|x| x * x).sum::<f64>().sqrt();
+    assert!((norm_h - 1.0).abs() < 1e-10);
+}
+
+/// Figure 4b: tra_T(r) — transpose with attribute C and ▽T column names.
+#[test]
+fn figure4b_transpose() {
+    let ctx = RmaContext::default();
+    let t = ctx.tra(&weather(), &["T"]).unwrap();
+    let names: Vec<_> = t.schema().names().collect();
+    assert_eq!(names, vec!["C", "5am", "6am", "7am", "8am"]);
+    assert_eq!(t.len(), 2);
+    // row for H: 1 1 6 8 ; row for W: 3 4 7 5
+    assert_eq!(t.cell(0, "C").unwrap(), Value::from("H"));
+    assert_eq!(f(t.cell(0, "5am").unwrap()), 1.0);
+    assert_eq!(f(t.cell(0, "6am").unwrap()), 1.0);
+    assert_eq!(f(t.cell(0, "7am").unwrap()), 6.0);
+    assert_eq!(f(t.cell(0, "8am").unwrap()), 8.0);
+    assert_eq!(t.cell(1, "C").unwrap(), Value::from("W"));
+    assert_eq!(f(t.cell(1, "8am").unwrap()), 5.0);
+}
+
+/// Figure 8: rqr_T(r) is reducible to RQR(g) — |R| values match the paper.
+#[test]
+fn figure8_rqr_matrix_consistency() {
+    let ctx = RmaContext::default();
+    let r = ctx.rqr(&weather(), &["T"]).unwrap();
+    let names: Vec<_> = r.schema().names().collect();
+    assert_eq!(names, vec!["C", "H", "W"]);
+    // paper: [[-10.1, -8.8], [0.0, -4.6]] (signs are convention)
+    assert!((f(r.cell(0, "H").unwrap()).abs() - 10.1).abs() < 0.05);
+    assert!((f(r.cell(0, "W").unwrap()).abs() - 8.8).abs() < 0.08);
+    assert!(f(r.cell(1, "H").unwrap()).abs() < 1e-10);
+    assert!((f(r.cell(1, "W").unwrap()).abs() - 4.6).abs() < 0.05);
+    assert_eq!(r.cell(0, "C").unwrap(), Value::from("H"));
+    assert_eq!(r.cell(1, "C").unwrap(), Value::from("W"));
+}
+
+/// Figure 9 p1: rnk_H(π_{H,W}(r)) has shape (1,1) with origins.
+#[test]
+fn figure9_rank_origins() {
+    let ctx = RmaContext::default();
+    let projected = rma_relation::project(&weather(), &["H", "W"]).unwrap();
+    // H is not a key of the projection (duplicate 1.0) — take distinct rows
+    // per the paper's instance where H happens to be a key after projection?
+    // In Figure 9 the order schema is H over (H, W): H = {1, 8, 6, 1} has a
+    // duplicate, but the application part is only W. The paper's example
+    // relation has H values 1,8,6,1 — H alone is NOT a key, so we mirror
+    // the paper's p1 with the first three rows where H is unique.
+    let sub = projected.take(&[0, 1, 2]);
+    let p1 = ctx.rnk(&sub, &["H"]).unwrap();
+    assert_eq!(p1.len(), 1);
+    let names: Vec<_> = p1.schema().names().collect();
+    assert_eq!(names, vec!["C", "rnk"]);
+    assert_eq!(p1.cell(0, "C").unwrap(), Value::from("r"));
+    assert_eq!(p1.cell(0, "rnk").unwrap(), Value::Int(1));
+}
+
+/// Figure 9 p2: usv_T(r) is 4×4 with ▽T column names.
+#[test]
+fn figure9_usv_origins() {
+    let ctx = RmaContext::default();
+    let p2 = ctx.usv(&weather(), &["T"]).unwrap();
+    let names: Vec<_> = p2.schema().names().collect();
+    assert_eq!(names, vec!["T", "5am", "6am", "7am", "8am"]);
+    assert_eq!(p2.len(), 4);
+    // columns orthonormal (full U)
+    for a in &["5am", "6am", "7am", "8am"] {
+        let col = p2.column(a).unwrap().to_f64_vec().unwrap();
+        let norm: f64 = col.iter().map(|x| x * x).sum::<f64>();
+        assert!((norm - 1.0).abs() < 1e-8);
+    }
+}
+
+/// Figure 9 p3: qqr over a composite order schema (W, T).
+#[test]
+fn figure9_composite_order_schema() {
+    let ctx = RmaContext::default();
+    let p3 = ctx.qqr(&weather(), &["W", "T"]).unwrap();
+    let names: Vec<_> = p3.schema().names().collect();
+    assert_eq!(names, vec!["W", "T", "H"]);
+    assert_eq!(p3.len(), 4);
+    // sorted by (W, T): 3,4,5,7 — but qqr skips sorting by default, so only
+    // the *pairing* of (W,T) with H values matters; check via a sorted copy
+    let sorted = p3.sorted_by(&["W"]).unwrap();
+    let w: Vec<f64> = sorted.column("W").unwrap().to_f64_vec().unwrap();
+    assert_eq!(w, vec![3.0, 4.0, 5.0, 7.0]);
+}
+
+/// Figure 10: tra ∘ tra round-trips both values and context.
+#[test]
+fn figure10_double_transpose() {
+    let ctx = RmaContext::default();
+    let r1 = ctx.tra(&weather(), &["T"]).unwrap();
+    let r2 = ctx.tra(&r1, &["C"]).unwrap();
+    // r2 has schema (C, H, W) with C = T values sorted
+    let names: Vec<_> = r2.schema().names().collect();
+    assert_eq!(names, vec!["C", "H", "W"]);
+    assert_eq!(r2.len(), 4);
+    assert_eq!(r2.cell(0, "C").unwrap(), Value::from("5am"));
+    assert_eq!(f(r2.cell(0, "H").unwrap()), 1.0);
+    assert_eq!(f(r2.cell(0, "W").unwrap()), 3.0);
+    assert_eq!(r2.cell(3, "C").unwrap(), Value::from("8am"));
+    assert_eq!(f(r2.cell(3, "H").unwrap()), 8.0);
+    assert_eq!(f(r2.cell(3, "W").unwrap()), 5.0);
+}
+
+/// det over the 2×2 sub-relation used in Figure 3.
+#[test]
+fn det_of_figure3_matrix() {
+    let ctx = RmaContext::default();
+    let r_prime = select(&weather(), &Expr::col("T").gt(Expr::lit("6am"))).unwrap();
+    let d = ctx.det(&r_prime, &["T"]).unwrap();
+    let names: Vec<_> = d.schema().names().collect();
+    assert_eq!(names, vec!["C", "det"]);
+    assert!((f(d.cell(0, "det").unwrap()) - -26.0).abs() < 1e-9);
+}
+
+/// Order schema that is not a key must be rejected.
+#[test]
+fn non_key_order_schema_rejected() {
+    let ctx = RmaContext::default();
+    // H has duplicate value 1.0 → (H) is no key of π_{H,W}(r)
+    let hw = rma_relation::project(&weather(), &["H", "W"]).unwrap();
+    let err = ctx.qqr(&hw, &["H"]).unwrap_err();
+    assert!(matches!(err, RmaError::OrderSchemaNotKey(_)));
+    // and a non-numeric application attribute is its own error
+    let err = ctx.qqr(&weather(), &["H"]).unwrap_err();
+    assert!(matches!(err, RmaError::NonNumericApplication { .. }));
+}
+
+/// tra and usv require |U| = 1.
+#[test]
+fn cardinality_restrictions() {
+    let ctx = RmaContext::default();
+    assert!(matches!(
+        ctx.tra(&weather(), &["T", "W"]),
+        Err(RmaError::OrderSchemaCardinality { op: "tra", .. })
+    ));
+    assert!(matches!(
+        ctx.usv(&weather(), &["T", "W"]),
+        Err(RmaError::OrderSchemaCardinality { op: "usv", .. })
+    ));
+}
+
+/// evl/vsv produce a single column named after the operation.
+#[test]
+fn op_named_columns() {
+    let ctx = RmaContext::default();
+    let sq = select(&weather(), &Expr::col("T").gt(Expr::lit("6am"))).unwrap();
+    let e = ctx.evl(&sq, &["T"]).unwrap();
+    let names: Vec<_> = e.schema().names().collect();
+    assert_eq!(names, vec!["T", "evl"]);
+    let v = ctx.vsv(&weather(), &["T"]).unwrap();
+    let names: Vec<_> = v.schema().names().collect();
+    assert_eq!(names, vec!["T", "vsv"]);
+    assert_eq!(v.len(), 4);
+    // singular values descending, padded with zeros beyond min(m, n)
+    let s: Vec<f64> = v.column("vsv").unwrap().to_f64_vec().unwrap();
+    assert!(s[0] >= s[1] && s[1] >= s[2]);
+    assert_eq!(s[2], 0.0);
+    assert_eq!(s[3], 0.0);
+}
+
+/// Binary ops: the paper's w3/w4/w5 covariance steps (Figure 7).
+#[test]
+fn figure7_covariance_steps() {
+    let ctx = RmaContext::default();
+    // w3: centred ratings for CA users
+    let w3 = RelationBuilder::new()
+        .column("U", vec!["Ann", "Jan"])
+        .column("B", vec![-1.25f64, 1.25])
+        .column("H", vec![0.5f64, -0.5])
+        .column("N", vec![0.25f64, 0.25])
+        .build()
+        .unwrap();
+    // w4 = tra_U(w3)
+    let w4 = ctx.tra(&w3, &["U"]).unwrap();
+    let names: Vec<_> = w4.schema().names().collect();
+    assert_eq!(names, vec!["C", "Ann", "Jan"]);
+    assert_eq!(f(w4.cell(0, "Ann").unwrap()), -1.25);
+    // w5 = mmu_{C;U}(w4, w3): 3×3 covariance numerator
+    let w5 = ctx.mmu(&w4, &["C"], &w3, &["U"]).unwrap();
+    let names: Vec<_> = w5.schema().names().collect();
+    assert_eq!(names, vec!["C", "B", "H", "N"]);
+    assert_eq!(w5.len(), 3);
+    // first row: B·B = 3.125, B·H = -1.25, B·N = 0
+    let row_b = w5.sorted_by(&["C"]).unwrap();
+    assert_eq!(row_b.cell(0, "C").unwrap(), Value::from("B"));
+    assert!((f(row_b.cell(0, "B").unwrap()) - 3.125).abs() < 1e-12);
+    assert!((f(row_b.cell(0, "H").unwrap()) - -1.25).abs() < 1e-12);
+    assert!(f(row_b.cell(0, "N").unwrap()).abs() < 1e-12);
+}
+
+/// add with non-overlapping order schemas keeps both order parts (r∗,c∗).
+#[test]
+fn add_keeps_both_order_parts() {
+    let ctx = RmaContext::default();
+    let a = RelationBuilder::new()
+        .column("k1", vec![1i64, 2])
+        .column("x", vec![10.0f64, 20.0])
+        .build()
+        .unwrap();
+    let b = RelationBuilder::new()
+        .column("k2", vec![2i64, 1])
+        .column("x2", vec![1.0f64, 2.0])
+        .build()
+        .unwrap();
+    let sum = ctx.add(&a, &["k1"], &b, &["k2"]).unwrap();
+    let names: Vec<_> = sum.schema().names().collect();
+    assert_eq!(names, vec!["k1", "k2", "x"]);
+    // alignment by rank: k1=1 ↔ k2=1, k1=2 ↔ k2=2
+    let sorted = sum.sorted_by(&["k1"]).unwrap();
+    assert_eq!(sorted.cell(0, "k2").unwrap(), Value::Int(1));
+    assert_eq!(f(sorted.cell(0, "x").unwrap()), 12.0); // 10 + 2
+    assert_eq!(f(sorted.cell(1, "x").unwrap()), 21.0); // 20 + 1
+}
+
+/// add rejects overlapping order schemas and mismatched tuple counts.
+#[test]
+fn add_validation() {
+    let ctx = RmaContext::default();
+    let a = RelationBuilder::new()
+        .column("k", vec![1i64, 2])
+        .column("x", vec![1.0f64, 2.0])
+        .build()
+        .unwrap();
+    assert!(matches!(
+        ctx.add(&a, &["k"], &a, &["k"]),
+        Err(RmaError::OverlappingOrderSchemas(_))
+    ));
+    let b = RelationBuilder::new()
+        .column("k2", vec![1i64])
+        .column("x2", vec![1.0f64])
+        .build()
+        .unwrap();
+    assert!(matches!(
+        ctx.add(&a, &["k"], &b, &["k2"]),
+        Err(RmaError::TupleCountMismatch { .. })
+    ));
+}
+
+/// opd: result columns named by the second relation's order values.
+#[test]
+fn opd_column_origins() {
+    let ctx = RmaContext::default();
+    let a = RelationBuilder::new()
+        .column("i", vec!["r1", "r2"])
+        .column("x", vec![1.0f64, 2.0])
+        .build()
+        .unwrap();
+    let b = RelationBuilder::new()
+        .column("j", vec!["c2", "c1"])
+        .column("y", vec![10.0f64, 100.0])
+        .build()
+        .unwrap();
+    let o = ctx.opd(&a, &["i"], &b, &["j"]).unwrap();
+    let names: Vec<_> = o.schema().names().collect();
+    assert_eq!(names, vec!["i", "c1", "c2"]);
+    // sorted s: c1→100, c2→10 ; row r1 (x=1): c1=100, c2=10
+    let sorted = o.sorted_by(&["i"]).unwrap();
+    assert_eq!(f(sorted.cell(0, "c1").unwrap()), 100.0);
+    assert_eq!(f(sorted.cell(0, "c2").unwrap()), 10.0);
+    assert_eq!(f(sorted.cell(1, "c1").unwrap()), 200.0);
+}
+
+/// sol: least-squares regression through the RMA interface.
+#[test]
+fn sol_linear_regression() {
+    let ctx = RmaContext::default();
+    // design matrix (intercept, x) with key t; y = 1 + 2x exactly
+    let a = RelationBuilder::new()
+        .column("t", vec![1i64, 2, 3])
+        .column("one", vec![1.0f64, 1.0, 1.0])
+        .column("x", vec![1.0f64, 2.0, 3.0])
+        .build()
+        .unwrap();
+    let y = RelationBuilder::new()
+        .column("t2", vec![1i64, 2, 3])
+        .column("y", vec![3.0f64, 5.0, 7.0])
+        .build()
+        .unwrap();
+    let x = ctx.sol(&a, &["t"], &y, &["t2"]).unwrap();
+    let names: Vec<_> = x.schema().names().collect();
+    assert_eq!(names, vec!["C", "y"]);
+    assert_eq!(x.len(), 2);
+    let sorted = x.sorted_by(&["C"]).unwrap();
+    // C = 'one' → 1.0 (intercept), C = 'x' → 2.0 (slope)
+    assert_eq!(sorted.cell(0, "C").unwrap(), Value::from("one"));
+    assert!((f(sorted.cell(0, "y").unwrap()) - 1.0).abs() < 1e-9);
+    assert!((f(sorted.cell(1, "y").unwrap()) - 2.0).abs() < 1e-9);
+}
+
+/// cpd through RMA: covariance-style AᵀA with C column context.
+#[test]
+fn cpd_context() {
+    let ctx = RmaContext::default();
+    let a = RelationBuilder::new()
+        .column("k", vec![1i64, 2, 3])
+        .column("p", vec![1.0f64, 2.0, 3.0])
+        .column("q", vec![1.0f64, 0.0, -1.0])
+        .build()
+        .unwrap();
+    let b = rma_relation::rename(&a, &[("k", "k2"), ("p", "p2"), ("q", "q2")]).unwrap();
+    let c = ctx.cpd(&a, &["k"], &b, &["k2"]).unwrap();
+    let names: Vec<_> = c.schema().names().collect();
+    assert_eq!(names, vec!["C", "p2", "q2"]);
+    let sorted = c.sorted_by(&["C"]).unwrap();
+    // row p: p·p = 14, p·q = -2
+    assert!((f(sorted.cell(0, "p2").unwrap()) - 14.0).abs() < 1e-12);
+    assert!((f(sorted.cell(0, "q2").unwrap()) - -2.0).abs() < 1e-12);
+}
+
+/// Results of RMA ops are plain relations: they compose with σ/π/⋈.
+#[test]
+fn closure_composability() {
+    let ctx = RmaContext::default();
+    let t = ctx.tra(&weather(), &["T"]).unwrap();
+    let filtered = select(&t, &Expr::col("C").eq(Expr::lit("H"))).unwrap();
+    assert_eq!(filtered.len(), 1);
+    let projected = rma_relation::project(&filtered, &["C", "5am"]).unwrap();
+    assert_eq!(projected.schema().len(), 2);
+    // and feed an RMA result into another RMA op (nesting)
+    let nested = ctx.rnk(&t, &["C"]).unwrap();
+    assert_eq!(nested.cell(0, "rnk").unwrap(), Value::Int(2));
+}

@@ -1,0 +1,201 @@
+//! BIXI-like bike-share data: stations, trips, and journeys (§8.6).
+//!
+//! The real BIXI dataset [17] records Montreal bike-share trips 2014–2017.
+//! We generate a structurally identical stand-in:
+//!
+//! * `stations`: code (key), name, latitude, longitude around Montreal;
+//! * `trips`: start/end station codes, a start date *string* (the mixed
+//!   non-numeric attribute that makes the AIDA/R data-transfer penalty
+//!   bite), a membership flag, and a duration that is genuinely linear in
+//!   the start–end distance (`duration ≈ β·distance + ε`), so the paper's
+//!   OLS workload recovers a meaningful fit;
+//! * `journeys`: purely numeric one-trip journeys (start, end, duration)
+//!   for the multiple-regression workload, where AIDA's numeric fast path
+//!   applies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rma_relation::{Relation, RelationBuilder};
+
+/// Station relation: (code, name, lat, lon), `code` is the key.
+pub fn stations(n: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let codes: Vec<i64> = (0..n as i64).map(|i| 6000 + i).collect();
+    let names: Vec<String> = (0..n).map(|i| format!("Station {i:04}")).collect();
+    // Montreal-ish bounding box
+    let lats: Vec<f64> = (0..n).map(|_| rng.gen_range(45.40..45.70)).collect();
+    let lons: Vec<f64> = (0..n).map(|_| rng.gen_range(-73.75..-73.45)).collect();
+    RelationBuilder::new()
+        .name("stations")
+        .column("code", codes)
+        .column("name", names)
+        .column("lat", lats)
+        .column("lon", lons)
+        .build()
+        .expect("station schema")
+}
+
+/// Planar distance proxy between two stations (degrees scaled to ~km).
+pub fn station_distance(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    let dy = (lat1 - lat2) * 111.0;
+    let dx = (lon1 - lon2) * 78.0; // cos(45.5°)·111
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Trip relation: (id, start_station, end_station, start_date, member,
+/// duration). `id` is the key; `duration = 180·distance + noise` seconds.
+///
+/// Popular station pairs are Zipf-like so that the paper's "trips performed
+/// at least 50 times" filter keeps a meaningful subset.
+pub fn trips(n: usize, station_count: usize, seed: u64) -> Relation {
+    let st = stations(station_count, seed ^ 0x5a5a);
+    let lats = st.column("lat").unwrap().to_f64_vec().unwrap();
+    let lons = st.column("lon").unwrap().to_f64_vec().unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids = Vec::with_capacity(n);
+    let mut starts = Vec::with_capacity(n);
+    let mut ends = Vec::with_capacity(n);
+    let mut dates = Vec::with_capacity(n);
+    let mut members = Vec::with_capacity(n);
+    let mut durations = Vec::with_capacity(n);
+    for i in 0..n {
+        ids.push(i as i64);
+        // Zipf-ish popularity: square the uniform to skew towards low codes
+        let pick = |rng: &mut StdRng| {
+            let u: f64 = rng.gen();
+            ((u * u * station_count as f64) as usize).min(station_count - 1)
+        };
+        let s = pick(&mut rng);
+        let e = pick(&mut rng);
+        starts.push(6000 + s as i64);
+        ends.push(6000 + e as i64);
+        let year = 2014 + (i * 4 / n.max(1)) as i64;
+        let month = rng.gen_range(4..=10);
+        let day = rng.gen_range(1..=28);
+        dates.push(format!("{year}-{month:02}-{day:02}"));
+        members.push(rng.gen_bool(0.8));
+        let dist = station_distance(lats[s], lons[s], lats[e], lons[e]);
+        let noise: f64 = rng.gen_range(-60.0..60.0);
+        durations.push((180.0 * dist + 240.0 + noise).max(30.0));
+    }
+    RelationBuilder::new()
+        .name("trips")
+        .column("id", ids)
+        .column("start_station", starts)
+        .column("end_station", ends)
+        .column("start_date", dates)
+        .column("member", members)
+        .column("duration", durations)
+        .build()
+        .expect("trip schema")
+}
+
+/// Purely numeric one-trip journeys: (jid, start, end, duration) — the §8.6
+/// journeys workload starts from these and composes longer journeys by
+/// joining on meeting stations.
+pub fn journeys(n: usize, station_count: usize, seed: u64) -> Relation {
+    let st = stations(station_count, seed ^ 0xa5a5);
+    let lats = st.column("lat").unwrap().to_f64_vec().unwrap();
+    let lons = st.column("lon").unwrap().to_f64_vec().unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut jids = Vec::with_capacity(n);
+    let mut starts = Vec::with_capacity(n);
+    let mut ends = Vec::with_capacity(n);
+    let mut durations = Vec::with_capacity(n);
+    let mut prev_end: Option<usize> = None;
+    for i in 0..n {
+        jids.push(i as i64);
+        // riders frequently continue from where the previous journey ended,
+        // so consecutive journeys chain into longer ones (the §8.6(2)
+        // composition finds a healthy number of 2–5-trip journeys)
+        let s = match prev_end {
+            Some(e) if rng.gen_bool(0.6) => e,
+            _ => rng.gen_range(0..station_count),
+        };
+        let e = rng.gen_range(0..station_count);
+        prev_end = Some(e);
+        starts.push(6000 + s as i64);
+        ends.push(6000 + e as i64);
+        let dist = station_distance(lats[s], lons[s], lats[e], lons[e]);
+        durations.push(170.0 * dist + 200.0 + rng.gen_range(-40.0..40.0));
+    }
+    RelationBuilder::new()
+        .name("journeys")
+        .column("jid", jids)
+        .column("start", starts)
+        .column("end", ends)
+        .column("duration", durations)
+        .build()
+        .expect("journey schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stations_keyed_by_code() {
+        let s = stations(20, 1);
+        assert_eq!(s.len(), 20);
+        assert!(s.attrs_form_key(&["code"]).unwrap());
+    }
+
+    #[test]
+    fn trips_reference_valid_stations() {
+        let t = trips(500, 30, 2);
+        assert_eq!(t.len(), 500);
+        let starts = t.column("start_station").unwrap();
+        for v in starts.iter_values() {
+            let rma_storage::Value::Int(code) = v else { panic!() };
+            assert!((6000..6030).contains(&code));
+        }
+        assert!(t.attrs_form_key(&["id"]).unwrap());
+    }
+
+    #[test]
+    fn duration_is_roughly_linear_in_distance() {
+        let t = trips(2000, 25, 3);
+        let s = stations(25, 3 ^ 0x5a5a);
+        let lats = s.column("lat").unwrap().to_f64_vec().unwrap();
+        let lons = s.column("lon").unwrap().to_f64_vec().unwrap();
+        // correlation between distance and duration must be strong
+        let starts = t.column("start_station").unwrap().to_f64_vec().unwrap();
+        let ends = t.column("end_station").unwrap().to_f64_vec().unwrap();
+        let dur = t.column("duration").unwrap().to_f64_vec().unwrap();
+        let dist: Vec<f64> = starts
+            .iter()
+            .zip(&ends)
+            .map(|(&a, &b)| {
+                let (i, j) = ((a as usize) - 6000, (b as usize) - 6000);
+                station_distance(lats[i], lons[i], lats[j], lons[j])
+            })
+            .collect();
+        let corr = correlation(&dist, &dur);
+        assert!(corr > 0.9, "correlation = {corr}");
+    }
+
+    #[test]
+    fn journeys_numeric_only() {
+        let j = journeys(100, 10, 4);
+        assert!(j
+            .schema()
+            .attributes()
+            .iter()
+            .all(|a| a.dtype().is_numeric()));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert!(trips(50, 5, 9).bag_equals(&trips(50, 5, 9)));
+    }
+
+    fn correlation(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let cov: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+        let vx: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+        let vy: f64 = y.iter().map(|b| (b - my) * (b - my)).sum();
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}

@@ -1,0 +1,136 @@
+//! DBLP-like publication counts and conference rankings (§8.6(3)).
+//!
+//! The paper pivots DBLP into a wide relation: one row per author, one
+//! column per conference holding the author's publication count there, plus
+//! a ranking table (conference → rating). Publication counts are sparse
+//! (most authors publish at few venues) — we match that with a per-author
+//! venue set of geometric size.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rma_relation::{Attribute, Relation, Schema};
+use rma_storage::{Column, ColumnData, DataType};
+
+/// Conference name for column `i`.
+pub fn conference_name(i: usize) -> String {
+    format!("conf{i:04}")
+}
+
+/// The pivoted publication relation: (author, conf0000, conf0001, …) with
+/// integer publication counts; `author` is the key.
+pub fn publications(authors: usize, conferences: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts: Vec<Vec<i64>> = vec![vec![0; authors]; conferences];
+    #[allow(clippy::needless_range_loop)]
+    for a in 0..authors {
+        // geometric-ish number of venues, capped
+        let mut venues = 1 + (rng.gen_range(0.0f64..1.0).powi(3) * 9.0) as usize;
+        venues = venues.min(conferences);
+        for _ in 0..venues {
+            // favour low-index (big) conferences
+            let u: f64 = rng.gen();
+            let c = ((u * u * conferences as f64) as usize).min(conferences - 1);
+            counts[c][a] += rng.gen_range(1..6);
+        }
+    }
+    let mut attrs = vec![Attribute::new("author", DataType::Str)];
+    let mut columns = vec![Column::new(ColumnData::Str(
+        (0..authors).map(|i| format!("author{i:06}")).collect(),
+    ))];
+    for (c, col) in counts.into_iter().enumerate() {
+        attrs.push(Attribute::new(conference_name(c), DataType::Int));
+        columns.push(Column::new(ColumnData::Int(col)));
+    }
+    Relation::new(Schema::new(attrs).expect("distinct"), columns)
+        .expect("rect")
+        .with_name("publication")
+}
+
+/// The ranking relation: (conf, rating) with ratings from {A++, A+, A, B, C};
+/// roughly 5% of conferences are A++ (the paper joins on those).
+pub fn rankings(conferences: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..conferences).map(conference_name).collect();
+    let ratings: Vec<String> = (0..conferences)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            match u {
+                x if x < 0.05 => "A++",
+                x if x < 0.20 => "A+",
+                x if x < 0.45 => "A",
+                x if x < 0.75 => "B",
+                _ => "C",
+            }
+            .to_string()
+        })
+        .collect();
+    let mut attrs = vec![
+        Attribute::new("conf", DataType::Str),
+        Attribute::new("rating", DataType::Str),
+    ];
+    let columns = vec![
+        Column::new(ColumnData::Str(names)),
+        Column::new(ColumnData::Str(ratings)),
+    ];
+    attrs.shrink_to_fit();
+    Relation::new(Schema::new(attrs).expect("distinct"), columns)
+        .expect("rect")
+        .with_name("ranking")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publications_shape() {
+        let p = publications(200, 30, 1);
+        assert_eq!(p.len(), 200);
+        assert_eq!(p.schema().len(), 31);
+        assert!(p.attrs_form_key(&["author"]).unwrap());
+    }
+
+    #[test]
+    fn counts_are_sparse_and_nonnegative() {
+        let p = publications(300, 40, 2);
+        let mut zeros = 0usize;
+        let mut total = 0usize;
+        for c in 0..40 {
+            let col = p.column(&conference_name(c)).unwrap();
+            let rma_storage::ColumnData::Int(v) = col.data() else {
+                panic!()
+            };
+            zeros += v.iter().filter(|&&x| x == 0).count();
+            total += v.len();
+            assert!(v.iter().all(|&x| x >= 0));
+        }
+        let share = zeros as f64 / total as f64;
+        assert!(share > 0.7, "pivot should be sparse, zero share = {share}");
+    }
+
+    #[test]
+    fn rankings_join_publications() {
+        let r = rankings(30, 3);
+        assert_eq!(r.len(), 30);
+        assert!(r.attrs_form_key(&["conf"]).unwrap());
+        // every rating is one of the five classes
+        for v in r.column("rating").unwrap().iter_values() {
+            let rma_storage::Value::Str(s) = v else { panic!() };
+            assert!(["A++", "A+", "A", "B", "C"].contains(&s.as_str()));
+        }
+        // some A++ conferences exist at this size with high probability
+        let app = r
+            .column("rating")
+            .unwrap()
+            .iter_values()
+            .filter(|v| *v == rma_storage::Value::from("A++"))
+            .count();
+        assert!(app <= 30);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert!(publications(50, 10, 9).bag_equals(&publications(50, 10, 9)));
+        assert!(rankings(50, 9).bag_equals(&rankings(50, 9)));
+    }
+}

@@ -1,0 +1,20 @@
+//! # rma-data — synthetic dataset generators
+//!
+//! The paper evaluates on BIXI (Montreal bike-share trips) and a DBLP
+//! publication-count pivot, plus synthetic uniform/wide/sparse relations.
+//! Neither real dataset ships with this reproduction, so this crate
+//! generates structurally identical synthetic stand-ins: same schemas, same
+//! key properties, and value distributions chosen so the workloads exercise
+//! the same operator mix (joins on station codes, aggregation + filtering,
+//! OLS regression with a genuinely linear relationship, covariance over a
+//! sparse count pivot).
+//!
+//! All generators are deterministic given a seed.
+
+pub mod bixi;
+pub mod dblp;
+pub mod synthetic;
+
+pub use bixi::{journeys, stations, trips};
+pub use dblp::{publications, rankings};
+pub use synthetic::{sparse_pair, uniform_relation, wide_relation};

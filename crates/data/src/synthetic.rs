@@ -1,0 +1,140 @@
+//! Uniform, wide, and sparse synthetic relations (§8.1, §8.2, Tables 4–6).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rma_relation::{Attribute, Relation, Schema};
+use rma_storage::{Column, ColumnData, DataType};
+
+/// A relation with `order_cols` integer key attributes `k0..` (jointly
+/// unique, shuffled physical order) and `app_cols` float application
+/// attributes `a0..` with uniform values in `[0, 10000)` — the paper's
+/// standard synthetic table.
+pub fn uniform_relation(rows: usize, order_cols: usize, app_cols: usize, seed: u64) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ids: Vec<i64> = (0..rows as i64).collect();
+    ids.shuffle(&mut rng);
+    let mut attrs = Vec::with_capacity(order_cols + app_cols);
+    let mut columns = Vec::with_capacity(order_cols + app_cols);
+    for k in 0..order_cols {
+        attrs.push(Attribute::new(format!("k{k}"), DataType::Int));
+        if k == 0 {
+            columns.push(Column::new(ColumnData::Int(ids.clone())));
+        } else {
+            // secondary order attributes: arbitrary values; k0 alone keys
+            let vals: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..10_000)).collect();
+            columns.push(Column::new(ColumnData::Int(vals)));
+        }
+    }
+    for a in 0..app_cols {
+        attrs.push(Attribute::new(format!("a{a}"), DataType::Float));
+        let vals: Vec<f64> = (0..rows).map(|_| rng.gen_range(0.0..10_000.0)).collect();
+        columns.push(Column::new(ColumnData::Float(vals)));
+    }
+    Relation::new(Schema::new(attrs).expect("distinct names"), columns)
+        .expect("rectangular")
+        .with_name("synthetic")
+}
+
+/// A wide relation: one key attribute and `attrs` application attributes
+/// (Table 4's 1K–10K attribute sweep).
+pub fn wide_relation(rows: usize, attrs: usize, seed: u64) -> Relation {
+    uniform_relation(rows, 1, attrs, seed)
+}
+
+/// Two relations of identical shape whose float values are zero with
+/// probability `zero_share` and uniform in `[1, 5_000_000)` otherwise
+/// (Table 5's sparsity sweep). Returned with disjoint attribute names so
+/// they can be `add`ed directly.
+pub fn sparse_pair(
+    rows: usize,
+    app_cols: usize,
+    zero_share: f64,
+    seed: u64,
+) -> (Relation, Relation) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let make = |prefix: &str, rng: &mut StdRng, shuffled: bool| {
+        let mut ids: Vec<i64> = (0..rows as i64).collect();
+        if shuffled {
+            ids.shuffle(rng);
+        }
+        let mut attrs = vec![Attribute::new(format!("{prefix}k"), DataType::Int)];
+        let mut columns = vec![Column::new(ColumnData::Int(ids))];
+        for a in 0..app_cols {
+            attrs.push(Attribute::new(format!("{prefix}{a}"), DataType::Float));
+            let vals: Vec<f64> = (0..rows)
+                .map(|_| {
+                    if rng.gen_bool(zero_share.clamp(0.0, 1.0)) {
+                        0.0
+                    } else {
+                        rng.gen_range(1.0..5_000_000.0)
+                    }
+                })
+                .collect();
+            columns.push(Column::new(ColumnData::Float(vals)));
+        }
+        Relation::new(Schema::new(attrs).expect("distinct"), columns).expect("rect")
+    };
+    let left = make("l", &mut rng, false);
+    let right = make("r", &mut rng, false);
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_shape_and_key() {
+        let r = uniform_relation(100, 2, 3, 7);
+        assert_eq!(r.len(), 100);
+        assert_eq!(r.schema().len(), 5);
+        assert!(r.attrs_form_key(&["k0"]).unwrap());
+        // values in range
+        let a0 = r.column("a0").unwrap().to_f64_vec().unwrap();
+        assert!(a0.iter().all(|&x| (0.0..10_000.0).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = uniform_relation(50, 1, 2, 42);
+        let b = uniform_relation(50, 1, 2, 42);
+        assert!(a.bag_equals(&b));
+        let c = uniform_relation(50, 1, 2, 43);
+        assert!(!a.bag_equals(&c));
+    }
+
+    #[test]
+    fn wide_relation_attrs() {
+        let r = wide_relation(10, 50, 1);
+        assert_eq!(r.schema().len(), 51);
+    }
+
+    #[test]
+    fn sparse_share_approximate() {
+        let (l, r) = sparse_pair(4000, 2, 0.5, 3);
+        assert_eq!(l.len(), r.len());
+        let zeros = l
+            .column("l0")
+            .unwrap()
+            .to_f64_vec()
+            .unwrap()
+            .iter()
+            .filter(|&&x| x == 0.0)
+            .count();
+        let share = zeros as f64 / 4000.0;
+        assert!((share - 0.5).abs() < 0.05, "share = {share}");
+        // extremes
+        let (l, _) = sparse_pair(500, 1, 0.0, 4);
+        assert!(l.column("l0").unwrap().to_f64_vec().unwrap().iter().all(|&x| x != 0.0));
+        let (l, _) = sparse_pair(500, 1, 1.0, 5);
+        assert!(l.column("l0").unwrap().to_f64_vec().unwrap().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn sparse_pair_addable() {
+        let (l, r) = sparse_pair(50, 2, 0.3, 9);
+        let sum = rma_core::add(&l, &["lk"], &r, &["rk"]).unwrap();
+        assert_eq!(sum.len(), 50);
+    }
+}

@@ -1,0 +1,74 @@
+//! Element-wise BAT kernels: ADD, SUB, EMU.
+//!
+//! These are single-pass column operations — the case where the paper's
+//! RMA+BAT configuration beats RMA+MKL, because the copy into the dense
+//! format can never be amortised (Fig. 18b).
+
+use super::{shape, Cols};
+use crate::error::LinalgError;
+
+fn binary(
+    a: &Cols,
+    b: &Cols,
+    f: impl Fn(f64, f64) -> f64,
+) -> Result<Vec<Vec<f64>>, LinalgError> {
+    let (ra, ca) = shape(a)?;
+    let (rb, cb) = shape(b)?;
+    if ra != rb || ca != cb {
+        return Err(LinalgError::DimensionMismatch {
+            context: "element-wise BAT operation shapes",
+        });
+    }
+    Ok(a.iter()
+        .zip(b)
+        .map(|(ac, bc)| ac.iter().zip(bc).map(|(&x, &y)| f(x, y)).collect())
+        .collect())
+}
+
+/// Matrix addition, column at a time.
+pub fn add(a: &Cols, b: &Cols) -> Result<Vec<Vec<f64>>, LinalgError> {
+    binary(a, b, |x, y| x + y)
+}
+
+/// Matrix subtraction, column at a time.
+pub fn sub(a: &Cols, b: &Cols) -> Result<Vec<Vec<f64>>, LinalgError> {
+    binary(a, b, |x, y| x - y)
+}
+
+/// Element-wise (Hadamard) multiplication, column at a time.
+pub fn emu(a: &Cols, b: &Cols) -> Result<Vec<Vec<f64>>, LinalgError> {
+    binary(a, b, |x, y| x * y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Vec<Vec<f64>> {
+        vec![vec![1.0, 2.0], vec![3.0, 4.0]]
+    }
+    fn b() -> Vec<Vec<f64>> {
+        vec![vec![10.0, 20.0], vec![30.0, 40.0]]
+    }
+
+    #[test]
+    fn add_sub_emu() {
+        assert_eq!(add(&a(), &b()).unwrap(), vec![vec![11.0, 22.0], vec![33.0, 44.0]]);
+        assert_eq!(sub(&b(), &a()).unwrap(), vec![vec![9.0, 18.0], vec![27.0, 36.0]]);
+        assert_eq!(emu(&a(), &b()).unwrap(), vec![vec![10.0, 40.0], vec![90.0, 160.0]]);
+    }
+
+    #[test]
+    fn shape_mismatch() {
+        let wide = vec![vec![1.0, 2.0]];
+        assert!(add(&a(), &wide).is_err());
+        let short = vec![vec![1.0], vec![2.0]];
+        assert!(add(&a(), &short).is_err());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e: Vec<Vec<f64>> = vec![];
+        assert_eq!(add(&e, &e).unwrap(), Vec::<Vec<f64>>::new());
+    }
+}

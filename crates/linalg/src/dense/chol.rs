@@ -1,0 +1,100 @@
+//! Cholesky factorisation (CHF).
+//!
+//! For a symmetric positive-definite `A`, computes the upper-triangular `R`
+//! with `A = Rᵀ·R` — the convention of R's `chol()`, which the paper's CHF
+//! mirrors.
+
+use super::eig::is_symmetric;
+use super::matrix::Matrix;
+use crate::error::LinalgError;
+
+/// Upper-triangular Cholesky factor `R` with `A = Rᵀ·R`.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare);
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if !is_symmetric(a) {
+        return Err(LinalgError::NotPositiveDefinite);
+    }
+    let mut r = Matrix::zeros(n, n);
+    for j in 0..n {
+        // diagonal entry
+        let mut s = a.get(j, j);
+        for k in 0..j {
+            let rkj = r.get(k, j);
+            s -= rkj * rkj;
+        }
+        if s <= 0.0 {
+            return Err(LinalgError::NotPositiveDefinite);
+        }
+        let rjj = s.sqrt();
+        r.set(j, j, rjj);
+        // row j to the right of the diagonal
+        for i in j + 1..n {
+            let mut s = a.get(j, i);
+            for k in 0..j {
+                s -= r.get(k, j) * r.get(k, i);
+            }
+            r.set(j, i, s / rjj);
+        }
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::gemm::crossprod;
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ])
+        .unwrap();
+        let r = cholesky(&a).unwrap();
+        // classic example: R = [[2,6,-8],[0,1,5],[0,0,3]]
+        assert!((r.get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((r.get(0, 1) - 6.0).abs() < 1e-12);
+        assert!((r.get(1, 2) - 5.0).abs() < 1e-12);
+        assert!((r.get(2, 2) - 3.0).abs() < 1e-12);
+        assert!(crossprod(&r, &r).unwrap().approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn lower_triangle_is_zero() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let r = cholesky(&a).unwrap();
+        assert_eq!(r.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn identity_factor_is_identity() {
+        let r = cholesky(&Matrix::identity(4)).unwrap();
+        assert!(r.approx_eq(&Matrix::identity(4), 1e-12));
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert_eq!(cholesky(&a), Err(LinalgError::NotPositiveDefinite));
+    }
+
+    #[test]
+    fn asymmetric_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]).unwrap();
+        assert_eq!(cholesky(&a), Err(LinalgError::NotPositiveDefinite));
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert_eq!(cholesky(&Matrix::zeros(2, 3)), Err(LinalgError::NotSquare));
+        assert_eq!(cholesky(&Matrix::zeros(0, 0)), Err(LinalgError::Empty));
+    }
+}

@@ -1,0 +1,507 @@
+//! Eigen decomposition (EVL/EVC).
+//!
+//! * Symmetric matrices: cyclic Jacobi rotations — exact, robust, and the
+//!   common case for the paper's workloads (covariance/Gram matrices).
+//! * General real matrices: Hessenberg reduction followed by the shifted QR
+//!   algorithm for eigenvalues, then inverse iteration for eigenvectors.
+//!   Matrices with complex eigenvalues yield [`LinalgError::ComplexEigenvalues`]
+//!   — a real-valued relation cannot represent them (R returns complex
+//!   values here; the paper does not evaluate complex spectra).
+
+use super::gemm::{dot, matmul};
+use super::lu::Lu;
+use super::matrix::Matrix;
+use crate::error::LinalgError;
+
+/// Eigen decomposition result: `values[k]` corresponds to column `k` of
+/// `vectors`. Values are sorted by decreasing value (R's convention).
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    pub values: Vec<f64>,
+    pub vectors: Matrix,
+}
+
+const SYM_EPS: f64 = 1e-10;
+const JACOBI_SWEEPS: usize = 100;
+const QR_ITERS: usize = 30 * 64;
+
+/// Is the matrix symmetric within a scaled tolerance?
+pub fn is_symmetric(a: &Matrix) -> bool {
+    if !a.is_square() {
+        return false;
+    }
+    let scale = a.as_slice().iter().fold(1.0f64, |m, &x| m.max(x.abs()));
+    for i in 0..a.rows() {
+        for j in i + 1..a.cols() {
+            if (a.get(i, j) - a.get(j, i)).abs() > SYM_EPS * scale {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Eigenvalues only.
+pub fn eigenvalues(a: &Matrix) -> Result<Vec<f64>, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare);
+    }
+    if a.rows() == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if is_symmetric(a) {
+        Ok(jacobi(a)?.values)
+    } else {
+        let mut vals = qr_eigenvalues(a)?;
+        vals.sort_by(|x, y| y.total_cmp(x));
+        Ok(vals)
+    }
+}
+
+/// Full decomposition (values and vectors).
+pub fn eigen(a: &Matrix) -> Result<Eigen, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare);
+    }
+    if a.rows() == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if is_symmetric(a) {
+        return jacobi(a);
+    }
+    let mut values = qr_eigenvalues(a)?;
+    values.sort_by(|x, y| y.total_cmp(x));
+    // eigenvectors by inverse iteration per eigenvalue
+    let n = a.rows();
+    let mut vectors = Matrix::zeros(n, n);
+    for (k, &lambda) in values.iter().enumerate() {
+        let v = inverse_iteration(a, lambda)?;
+        for i in 0..n {
+            vectors.set(i, k, v[i]);
+        }
+    }
+    Ok(Eigen { values, vectors })
+}
+
+/// Cyclic Jacobi for symmetric matrices.
+fn jacobi(a: &Matrix) -> Result<Eigen, LinalgError> {
+    let n = a.rows();
+    let mut d = a.clone();
+    let mut v = Matrix::identity(n);
+    let scale = a.as_slice().iter().fold(1.0f64, |m, &x| m.max(x.abs()));
+    let tol = 1e-15 * scale;
+    for _ in 0..JACOBI_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in p + 1..n {
+                off = off.max(d.get(p, q).abs());
+            }
+        }
+        if off <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = d.get(p, q);
+                if apq.abs() <= tol {
+                    continue;
+                }
+                let app = d.get(p, p);
+                let aqq = d.get(q, q);
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // D ← JᵀDJ, applied as row and column rotations
+                for i in 0..n {
+                    let dip = d.get(i, p);
+                    let diq = d.get(i, q);
+                    d.set(i, p, c * dip - s * diq);
+                    d.set(i, q, s * dip + c * diq);
+                }
+                for j in 0..n {
+                    let dpj = d.get(p, j);
+                    let dqj = d.get(q, j);
+                    d.set(p, j, c * dpj - s * dqj);
+                    d.set(q, j, s * dpj + c * dqj);
+                }
+                for i in 0..n {
+                    let vip = v.get(i, p);
+                    let viq = v.get(i, q);
+                    v.set(i, p, c * vip - s * viq);
+                    v.set(i, q, s * vip + c * viq);
+                }
+            }
+        }
+    }
+    // sort by decreasing eigenvalue
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&x, &y| d.get(y, y).total_cmp(&d.get(x, x)));
+    let mut values = Vec::with_capacity(n);
+    let mut vectors = Matrix::zeros(n, n);
+    for (out_j, &src_j) in order.iter().enumerate() {
+        values.push(d.get(src_j, src_j));
+        for i in 0..n {
+            vectors.set(i, out_j, v.get(i, src_j));
+        }
+    }
+    Ok(Eigen { values, vectors })
+}
+
+/// Reduce to upper Hessenberg form by Householder similarity transforms.
+fn hessenberg(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let mut h = a.clone();
+    for k in 0..n.saturating_sub(2) {
+        // reflector on rows k+1..n of column k
+        let x: Vec<f64> = (k + 1..n).map(|i| h.get(i, k)).collect();
+        let alpha = -x[0].signum() * dot(&x, &x).sqrt();
+        if alpha == 0.0 {
+            continue;
+        }
+        let mut v = x;
+        v[0] -= alpha;
+        let vnorm = dot(&v, &v).sqrt();
+        if vnorm == 0.0 {
+            continue;
+        }
+        for t in v.iter_mut() {
+            *t /= vnorm;
+        }
+        // H ← P H P with P = I − 2vvᵀ acting on rows/cols k+1..n
+        for j in 0..n {
+            let mut proj = 0.0;
+            for (idx, &vi) in v.iter().enumerate() {
+                proj += vi * h.get(k + 1 + idx, j);
+            }
+            proj *= 2.0;
+            for (idx, &vi) in v.iter().enumerate() {
+                let cur = h.get(k + 1 + idx, j);
+                h.set(k + 1 + idx, j, cur - proj * vi);
+            }
+        }
+        for i in 0..n {
+            let mut proj = 0.0;
+            for (idx, &vi) in v.iter().enumerate() {
+                proj += vi * h.get(i, k + 1 + idx);
+            }
+            proj *= 2.0;
+            for (idx, &vi) in v.iter().enumerate() {
+                let cur = h.get(i, k + 1 + idx);
+                h.set(i, k + 1 + idx, cur - proj * vi);
+            }
+        }
+    }
+    h
+}
+
+/// Shifted QR iteration on the Hessenberg form; real eigenvalues only.
+fn qr_eigenvalues(a: &Matrix) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    let mut h = hessenberg(a);
+    let mut values = Vec::with_capacity(n);
+    let mut hi = n; // active block is 0..hi
+    let scale = a.as_slice().iter().fold(1.0f64, |m, &x| m.max(x.abs()));
+    let tol = 1e-12 * scale;
+    let mut iters = 0;
+    while hi > 0 {
+        if hi == 1 {
+            values.push(h.get(0, 0));
+            break;
+        }
+        // deflate: find the largest k < hi with negligible subdiagonal
+        let mut deflated = false;
+        for k in (1..hi).rev() {
+            if h.get(k, k - 1).abs() <= tol {
+                if k == hi - 1 {
+                    values.push(h.get(hi - 1, hi - 1));
+                    hi -= 1;
+                } else if k == hi - 2 {
+                    // trailing 2×2 block
+                    push_block_eigenvalues(&h, hi - 2, &mut values)?;
+                    hi -= 2;
+                } else {
+                    continue;
+                }
+                deflated = true;
+                break;
+            }
+        }
+        if deflated {
+            continue;
+        }
+        if hi == 2 {
+            push_block_eigenvalues(&h, 0, &mut values)?;
+            break;
+        }
+        iters += 1;
+        if iters > QR_ITERS {
+            // Non-convergence under real shifts indicates a complex pair.
+            return Err(LinalgError::ComplexEigenvalues);
+        }
+        // Wilkinson shift from the trailing 2×2 of the active block
+        let (aa, bb, cc, dd) = (
+            h.get(hi - 2, hi - 2),
+            h.get(hi - 2, hi - 1),
+            h.get(hi - 1, hi - 2),
+            h.get(hi - 1, hi - 1),
+        );
+        let tr = aa + dd;
+        let det = aa * dd - bb * cc;
+        let disc = tr * tr / 4.0 - det;
+        let shift = if disc >= 0.0 {
+            let r = disc.sqrt();
+            let l1 = tr / 2.0 + r;
+            let l2 = tr / 2.0 - r;
+            if (l1 - dd).abs() < (l2 - dd).abs() {
+                l1
+            } else {
+                l2
+            }
+        } else {
+            dd // complex pair in the corner: use Rayleigh shift, let the
+               // iteration counter detect true complex spectra
+        };
+        // QR step on the active block via the full matrix (simple + correct)
+        let active = sub_matrix(&h, hi);
+        let shifted = active.zip_with(&shift_identity(hi, shift), |x, y| x - y)?;
+        let qr = super::qr::qr(&shifted)?;
+        let next = matmul(&qr.r, &qr.q)?.zip_with(&shift_identity(hi, -shift), |x, y| x - y)?;
+        for i in 0..hi {
+            for j in 0..hi {
+                h.set(i, j, next.get(i, j));
+            }
+        }
+    }
+    Ok(values)
+}
+
+fn push_block_eigenvalues(
+    h: &Matrix,
+    k: usize,
+    values: &mut Vec<f64>,
+) -> Result<(), LinalgError> {
+    let (a, b, c, d) = (
+        h.get(k, k),
+        h.get(k, k + 1),
+        h.get(k + 1, k),
+        h.get(k + 1, k + 1),
+    );
+    let tr = a + d;
+    let det = a * d - b * c;
+    let disc = tr * tr / 4.0 - det;
+    if disc < 0.0 {
+        return Err(LinalgError::ComplexEigenvalues);
+    }
+    let r = disc.sqrt();
+    values.push(tr / 2.0 + r);
+    values.push(tr / 2.0 - r);
+    Ok(())
+}
+
+fn sub_matrix(h: &Matrix, k: usize) -> Matrix {
+    let mut m = Matrix::zeros(k, k);
+    for i in 0..k {
+        for j in 0..k {
+            m.set(i, j, h.get(i, j));
+        }
+    }
+    m
+}
+
+fn shift_identity(n: usize, s: f64) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        m.set(i, i, s);
+    }
+    m
+}
+
+/// Inverse iteration: dominant eigenvector of `(A − λI)⁻¹`.
+fn inverse_iteration(a: &Matrix, lambda: f64) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    // perturb the shift slightly so A − λI is invertible
+    let scale = a.as_slice().iter().fold(1.0f64, |m, &x| m.max(x.abs()));
+    let mut shift = lambda;
+    let mut lu = None;
+    for attempt in 0..6 {
+        let shifted = a.zip_with(&shift_identity(n, shift), |x, y| x - y)?;
+        match Lu::factor(&shifted) {
+            Ok(f) => {
+                lu = Some(f);
+                break;
+            }
+            Err(LinalgError::Singular) => {
+                shift = lambda + scale * 1e-10 * 10f64.powi(attempt);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let lu = lu.ok_or(LinalgError::NotConverged)?;
+    let mut v = vec![1.0; n];
+    normalise(&mut v);
+    for _ in 0..64 {
+        let next = lu.solve_vec(&v)?;
+        let mut next = next;
+        normalise(&mut next);
+        let delta: f64 = v
+            .iter()
+            .zip(&next)
+            .map(|(x, y)| (x - y).abs().min((x + y).abs()))
+            .sum();
+        v = next;
+        if delta < 1e-13 * n as f64 {
+            break;
+        }
+    }
+    // sign convention: largest-magnitude component positive
+    let imax = (0..n).fold(0, |best, i| {
+        if v[i].abs() > v[best].abs() {
+            i
+        } else {
+            best
+        }
+    });
+    if v[imax] < 0.0 {
+        for t in v.iter_mut() {
+            *t = -*t;
+        }
+    }
+    Ok(v)
+}
+
+fn normalise(v: &mut [f64]) {
+    let norm = dot(v, v).sqrt();
+    if norm > 0.0 {
+        for t in v.iter_mut() {
+            *t /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_2x2_known() {
+        // [[2,1],[1,2]] → eigenvalues 3, 1
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // A·v = λ·v
+        for k in 0..2 {
+            let v: Vec<f64> = (0..2).map(|i| e.vectors.get(i, k)).collect();
+            let av = matmul(&a, &Matrix::col_vector(&v)).unwrap();
+            for i in 0..2 {
+                assert!((av.get(i, 0) - e.values[k] * v[i]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_diagonal() {
+        let a = Matrix::from_rows(&[&[5.0, 0.0, 0.0], &[0.0, -1.0, 0.0], &[0.0, 0.0, 2.0]])
+            .unwrap();
+        let vals = eigenvalues(&a).unwrap();
+        assert_eq!(vals, vec![5.0, 2.0, -1.0]);
+    }
+
+    #[test]
+    fn nonsymmetric_real_spectrum() {
+        // [[4,1],[2,3]] → eigenvalues 5, 2
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]).unwrap();
+        let e = eigen(&a).unwrap();
+        assert!((e.values[0] - 5.0).abs() < 1e-8);
+        assert!((e.values[1] - 2.0).abs() < 1e-8);
+        for k in 0..2 {
+            let v: Vec<f64> = (0..2).map(|i| e.vectors.get(i, k)).collect();
+            let av = matmul(&a, &Matrix::col_vector(&v)).unwrap();
+            for i in 0..2 {
+                assert!((av.get(i, 0) - e.values[k] * v[i]).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn nonsymmetric_3x3_triangular() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[0.0, 4.0, 5.0],
+            &[0.0, 0.0, 6.0],
+        ])
+        .unwrap();
+        let vals = eigenvalues(&a).unwrap();
+        assert!((vals[0] - 6.0).abs() < 1e-8);
+        assert!((vals[1] - 4.0).abs() < 1e-8);
+        assert!((vals[2] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rotation_matrix_is_complex() {
+        // 90° rotation has eigenvalues ±i
+        let a = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]).unwrap();
+        assert_eq!(eigenvalues(&a), Err(LinalgError::ComplexEigenvalues));
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(matches!(
+            eigenvalues(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare)
+        ));
+        assert!(matches!(
+            eigen(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn covariance_matrix_eigen() {
+        // symmetric PSD: eigenvalues non-negative, vectors orthonormal
+        let a = Matrix::from_rows(&[
+            &[2.5, 1.2, 0.3],
+            &[1.2, 3.0, -0.5],
+            &[0.3, -0.5, 1.8],
+        ])
+        .unwrap();
+        let e = eigen(&a).unwrap();
+        assert!(e.values.iter().all(|&v| v > 0.0));
+        let vtv = crate::dense::gemm::crossprod(&e.vectors, &e.vectors).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(3), 1e-9));
+        // trace = sum of eigenvalues
+        let trace = 2.5 + 3.0 + 1.8;
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_symmetric_random() {
+        // deterministic pseudo-random symmetric matrix, checks Jacobi at n=8
+        let n = 8;
+        let mut a = Matrix::zeros(n, n);
+        let mut seed = 42u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in i..n {
+                let v = next();
+                a.set(i, j, v);
+                a.set(j, i, v);
+            }
+        }
+        let e = eigen(&a).unwrap();
+        // reconstruct A = V Λ Vᵀ
+        let mut vl = e.vectors.clone();
+        for j in 0..n {
+            for t in vl.col_mut(j) {
+                *t *= e.values[j];
+            }
+        }
+        let back = matmul(&vl, &e.vectors.transpose()).unwrap();
+        assert!(back.approx_eq(&a, 1e-8));
+    }
+}

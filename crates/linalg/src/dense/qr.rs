@@ -1,0 +1,216 @@
+//! Householder QR decomposition (QQR/RQR) and QR-based least squares.
+//!
+//! For an `m × n` matrix with `m ≥ n` this computes the *thin* factorisation
+//! `A = Q·R` with `Q` of shape `m × n` (orthonormal columns) and `R` of shape
+//! `n × n` (upper triangular) — the shapes the paper's Table 1 assigns to
+//! QQR (`r1,c1`) and RQR (`c1,c1`). Signs follow the LAPACK convention of
+//! non-negative diagonal in `R`.
+
+use super::gemm::dot;
+use super::matrix::Matrix;
+use crate::error::LinalgError;
+
+/// The thin QR factorisation of a matrix.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// `m × n`, orthonormal columns.
+    pub q: Matrix,
+    /// `n × n`, upper triangular.
+    pub r: Matrix,
+}
+
+/// Factorise `a` (requires `rows ≥ cols`).
+pub fn qr(a: &Matrix) -> Result<Qr, LinalgError> {
+    let (m, n) = (a.rows(), a.cols());
+    if m == 0 || n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if m < n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "QR requires rows >= cols",
+        });
+    }
+    // Householder vectors are accumulated in-place in `work`; `vs[k]` keeps
+    // the k-th reflector for the Q reconstruction.
+    let mut work = a.clone();
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for k in 0..n {
+        // build the reflector from work[k.., k]
+        let col = work.col(k);
+        let x = &col[k..];
+        let alpha = -x[0].signum() * norm2(x);
+        let mut v: Vec<f64> = x.to_vec();
+        v[0] -= alpha;
+        let vnorm = norm2(&v);
+        if vnorm > 0.0 {
+            for t in v.iter_mut() {
+                *t /= vnorm;
+            }
+            // apply H = I − 2vvᵀ to the trailing columns
+            for j in k..n {
+                let cj = work.col_mut(j);
+                let tail = &mut cj[k..];
+                let proj = 2.0 * dot(&v, tail);
+                for (t, &vi) in tail.iter_mut().zip(&v) {
+                    *t -= proj * vi;
+                }
+            }
+        }
+        vs.push(v);
+    }
+    // R: upper-triangular top of `work`
+    let mut r = Matrix::zeros(n, n);
+    for j in 0..n {
+        for i in 0..=j.min(n - 1) {
+            r.set(i, j, work.get(i, j));
+        }
+    }
+    // Q: apply reflectors in reverse to the first n columns of I
+    let mut q = Matrix::zeros(m, n);
+    for j in 0..n {
+        q.set(j, j, 1.0);
+    }
+    for k in (0..n).rev() {
+        let v = &vs[k];
+        if norm2(v) == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            let cj = q.col_mut(j);
+            let tail = &mut cj[k..];
+            let proj = 2.0 * dot(v, tail);
+            for (t, &vi) in tail.iter_mut().zip(v) {
+                *t -= proj * vi;
+            }
+        }
+    }
+    // sign convention: make diag(R) non-negative
+    for j in 0..n {
+        if r.get(j, j) < 0.0 {
+            for jj in j..n {
+                let v = r.get(j, jj);
+                r.set(j, jj, -v);
+            }
+            let cj = q.col_mut(j);
+            for t in cj.iter_mut() {
+                *t = -*t;
+            }
+        }
+    }
+    Ok(Qr { q, r })
+}
+
+/// Least-squares solve `min ‖A·x − b‖₂` via QR: `x = R⁻¹·Qᵀ·b`.
+pub fn least_squares(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            context: "least squares rhs rows",
+        });
+    }
+    let Qr { q, r } = qr(a)?;
+    let qtb = super::gemm::crossprod(&q, b)?;
+    // back substitution on R for each rhs column
+    let n = r.rows();
+    let mut cols = Vec::with_capacity(qtb.cols());
+    for j in 0..qtb.cols() {
+        let mut x = qtb.col(j).to_vec();
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for jj in i + 1..n {
+                s -= r.get(i, jj) * x[jj];
+            }
+            let d = r.get(i, i);
+            if d.abs() < 1e-12 {
+                return Err(LinalgError::Singular);
+            }
+            x[i] = s / d;
+        }
+        cols.push(x);
+    }
+    Matrix::from_columns(&cols)
+}
+
+fn norm2(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::gemm::{crossprod, matmul};
+
+    fn weather_matrix() -> Matrix {
+        // Figure 8: g = [[1,3],[1,4],[6,7],[8,5]]
+        Matrix::from_rows(&[&[1.0, 3.0], &[1.0, 4.0], &[6.0, 7.0], &[8.0, 5.0]]).unwrap()
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = weather_matrix();
+        let Qr { q, r } = qr(&a).unwrap();
+        let back = matmul(&q, &r).unwrap();
+        assert!(back.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let Qr { q, .. } = qr(&weather_matrix()).unwrap();
+        let qtq = crossprod(&q, &q).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_nonnegative_diagonal() {
+        let Qr { r, .. } = qr(&weather_matrix()).unwrap();
+        assert_eq!(r.get(1, 0), 0.0);
+        assert!(r.get(0, 0) >= 0.0 && r.get(1, 1) >= 0.0);
+    }
+
+    #[test]
+    fn r_matches_paper_figure8_magnitudes() {
+        // the paper reports R = [[-10.1, -8.8], [0, -4.6]] (sign convention
+        // differs; magnitudes must match)
+        let Qr { r, .. } = qr(&weather_matrix()).unwrap();
+        assert!((r.get(0, 0).abs() - 10.1).abs() < 0.05);
+        assert!((r.get(0, 1).abs() - 8.8).abs() < 0.08);
+        assert!((r.get(1, 1).abs() - 4.6).abs() < 0.05);
+    }
+
+    #[test]
+    fn square_qr() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let Qr { q, r } = qr(&a).unwrap();
+        assert!(matmul(&q, &r).unwrap().approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn wide_matrix_rejected() {
+        assert!(qr(&Matrix::zeros(2, 3)).is_err());
+        assert!(qr(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_column_does_not_panic() {
+        // second column is a multiple of the first
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        let Qr { q, r } = qr(&a).unwrap();
+        assert!(matmul(&q, &r).unwrap().approx_eq(&a, 1e-10));
+        assert!(r.get(1, 1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_recovers_line() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
+        let b = Matrix::col_vector(&[1.1, 2.9, 5.1, 6.9]);
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x.get(0, 0) - 1.02).abs() < 0.1); // intercept ≈ 1
+        assert!((x.get(1, 0) - 1.98).abs() < 0.1); // slope ≈ 2
+    }
+
+    #[test]
+    fn least_squares_singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let b = Matrix::col_vector(&[1.0, 2.0, 3.0]);
+        assert!(matches!(least_squares(&a, &b), Err(LinalgError::Singular)));
+    }
+}

@@ -1,0 +1,212 @@
+//! Singular value decomposition via one-sided Jacobi (DSV/USV/VSV), and the
+//! SVD-based numerical rank (RNK).
+//!
+//! One-sided Jacobi orthogonalises the columns of `A` by plane rotations.
+//! On convergence the rotated matrix is `U·Σ` and the accumulated rotations
+//! form `V`, giving `A = U·Σ·Vᵀ` with `U: m×n`, `Σ: n`, `V: n×n`. The method
+//! is simple, numerically robust, and accurate for the small-to-medium
+//! matrices the paper's workloads produce.
+
+use super::gemm::dot;
+use super::matrix::Matrix;
+use crate::error::LinalgError;
+
+/// Result of a thin SVD.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m × n`.
+    pub u: Matrix,
+    /// Singular values, descending.
+    pub s: Vec<f64>,
+    /// Right singular vectors, `n × n` (columns are vectors).
+    pub v: Matrix,
+}
+
+const MAX_SWEEPS: usize = 60;
+const CONV_EPS: f64 = 1e-14;
+
+/// Compute the thin SVD of `a` (requires `rows ≥ cols`; transpose first for
+/// wide matrices — the RMA layer never needs that case because relations
+/// have at least as many rows as application attributes in the evaluated
+/// workloads; wide inputs return a dimension error).
+pub fn svd(a: &Matrix) -> Result<Svd, LinalgError> {
+    let (m, n) = (a.rows(), a.cols());
+    if m == 0 || n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if m < n {
+        return Err(LinalgError::DimensionMismatch {
+            context: "SVD requires rows >= cols",
+        });
+    }
+    let mut u = a.clone();
+    let mut v = Matrix::identity(n);
+    let scale = a.frobenius_norm().max(f64::MIN_POSITIVE);
+    let tol = CONV_EPS * scale * scale;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in p + 1..n {
+                // 2×2 Gram block of columns p, q
+                let (app, aqq, apq) = {
+                    let cp = u.col(p);
+                    let cq = u.col(q);
+                    (dot(cp, cp), dot(cq, cq), dot(cp, cq))
+                };
+                off = off.max(apq.abs());
+                if apq.abs() <= tol {
+                    continue;
+                }
+                // Jacobi rotation that zeroes the off-diagonal Gram entry
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_columns(&mut u, p, q, c, s);
+                rotate_columns(&mut v, p, q, c, s);
+            }
+        }
+        if off <= tol {
+            break;
+        }
+    }
+
+    // singular values = column norms of the rotated U; normalise columns
+    let mut sv: Vec<(f64, usize)> = (0..n)
+        .map(|j| (dot(u.col(j), u.col(j)).sqrt(), j))
+        .collect();
+    sv.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut u_sorted = Matrix::zeros(m, n);
+    let mut v_sorted = Matrix::zeros(n, n);
+    let mut s = Vec::with_capacity(n);
+    for (out_j, &(norm, src_j)) in sv.iter().enumerate() {
+        s.push(norm);
+        let uc = u.col(src_j);
+        let vc = v.col(src_j);
+        if norm > 0.0 {
+            for i in 0..m {
+                u_sorted.set(i, out_j, uc[i] / norm);
+            }
+        }
+        for i in 0..n {
+            v_sorted.set(i, out_j, vc[i]);
+        }
+    }
+    Ok(Svd {
+        u: u_sorted,
+        s,
+        v: v_sorted,
+    })
+}
+
+fn rotate_columns(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let rows = m.rows();
+    for i in 0..rows {
+        let xp = m.get(i, p);
+        let xq = m.get(i, q);
+        m.set(i, p, c * xp - s * xq);
+        m.set(i, q, s * xp + c * xq);
+    }
+}
+
+/// Numerical rank: number of singular values above the standard threshold
+/// `max(m,n) · ε · σ_max` (what R's `qr(x)$rank` / MATLAB's `rank` use).
+pub fn rank(a: &Matrix) -> Result<usize, LinalgError> {
+    let (m, n) = (a.rows(), a.cols());
+    if m == 0 || n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    // svd requires m >= n; rank is transpose-invariant
+    let s = if m >= n {
+        svd(a)?.s
+    } else {
+        svd(&a.transpose())?.s
+    };
+    let smax = s.first().copied().unwrap_or(0.0);
+    if smax == 0.0 {
+        return Ok(0);
+    }
+    let thresh = m.max(n) as f64 * f64::EPSILON * smax;
+    Ok(s.iter().filter(|&&x| x > thresh).count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::gemm::{crossprod, matmul};
+
+    fn reconstruct(svd: &Svd) -> Matrix {
+        let n = svd.s.len();
+        let mut us = svd.u.clone();
+        for j in 0..n {
+            let c = us.col_mut(j);
+            for t in c.iter_mut() {
+                *t *= svd.s[j];
+            }
+        }
+        matmul(&us, &svd.v.transpose()).unwrap()
+    }
+
+    #[test]
+    fn svd_reconstructs() {
+        let a = Matrix::from_rows(&[&[1.0, 3.0], &[1.0, 4.0], &[6.0, 7.0], &[8.0, 5.0]]).unwrap();
+        let d = svd(&a).unwrap();
+        assert!(reconstruct(&d).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn singular_values_descending_and_positive() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 5.0], &[0.0, 0.0]]).unwrap();
+        let d = svd(&a).unwrap();
+        assert!((d.s[0] - 5.0).abs() < 1e-12);
+        assert!((d.s[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn u_and_v_orthonormal() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let d = svd(&a).unwrap();
+        assert!(crossprod(&d.u, &d.u).unwrap().approx_eq(&Matrix::identity(2), 1e-10));
+        assert!(crossprod(&d.v, &d.v).unwrap().approx_eq(&Matrix::identity(2), 1e-10));
+    }
+
+    #[test]
+    fn svd_of_identity() {
+        let d = svd(&Matrix::identity(3)).unwrap();
+        assert!(d.s.iter().all(|&s| (s - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn rank_full_and_deficient() {
+        let full = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert_eq!(rank(&full).unwrap(), 2);
+        let def = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        assert_eq!(rank(&def).unwrap(), 1);
+        let zero = Matrix::zeros(3, 2);
+        assert_eq!(rank(&zero).unwrap(), 0);
+    }
+
+    #[test]
+    fn rank_of_wide_matrix_via_transpose() {
+        let wide = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, 1.0]]).unwrap();
+        assert_eq!(rank(&wide).unwrap(), 2);
+    }
+
+    #[test]
+    fn wide_svd_rejected_empty_rejected() {
+        assert!(svd(&Matrix::zeros(2, 3)).is_err());
+        assert!(svd(&Matrix::zeros(0, 0)).is_err());
+        assert!(rank(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn svd_matches_eigen_of_gram_matrix() {
+        // σ² of A are eigenvalues of AᵀA; check against a hand-computed case
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[4.0, 5.0]]).unwrap();
+        let d = svd(&a).unwrap();
+        // det(AᵀA - λI) = λ² - 50λ + 225 → λ = 45, 5 → σ = √45, √5
+        assert!((d.s[0] - 45f64.sqrt()).abs() < 1e-10);
+        assert!((d.s[1] - 5f64.sqrt()).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,49 @@
+//! Linear-algebra error type.
+
+use std::fmt;
+
+/// Errors produced by the matrix kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the operation.
+    DimensionMismatch {
+        /// What was being checked (static description).
+        context: &'static str,
+    },
+    /// A square matrix was required.
+    NotSquare,
+    /// The matrix is singular (or numerically singular) where invertibility
+    /// is required.
+    Singular,
+    /// Cholesky factorisation needs a symmetric positive-definite input.
+    NotPositiveDefinite,
+    /// The eigen decomposition encountered complex eigenvalues, which cannot
+    /// be represented in a real-valued relation.
+    ComplexEigenvalues,
+    /// An iterative method failed to converge.
+    NotConverged,
+    /// Empty input where at least one element is required.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            LinalgError::NotSquare => f.write_str("operation requires a square matrix"),
+            LinalgError::Singular => f.write_str("matrix is singular"),
+            LinalgError::NotPositiveDefinite => {
+                f.write_str("matrix is not symmetric positive-definite")
+            }
+            LinalgError::ComplexEigenvalues => {
+                f.write_str("matrix has complex eigenvalues (not representable in a relation)")
+            }
+            LinalgError::NotConverged => f.write_str("iterative method did not converge"),
+            LinalgError::Empty => f.write_str("empty matrix"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

@@ -1,0 +1,341 @@
+//! Grouped aggregation ϑ.
+
+use super::{row_key, KeyPart};
+use crate::error::RelationError;
+use crate::relation::Relation;
+use crate::schema::{Attribute, Schema};
+use rma_storage::{Column, ColumnData, DataType, Value};
+use std::collections::HashMap;
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` — counts tuples, including those with nulls.
+    CountStar,
+    /// `COUNT(a)` — counts non-null values.
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// One aggregate to compute: function, input attribute (ignored for
+/// `COUNT(*)`), output attribute name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    pub input: Option<String>,
+    pub output: String,
+}
+
+impl AggSpec {
+    pub fn new(func: AggFunc, input: Option<&str>, output: &str) -> Self {
+        AggSpec {
+            func,
+            input: input.map(str::to_string),
+            output: output.to_string(),
+        }
+    }
+
+    /// `COUNT(*) AS name`.
+    pub fn count_star(output: &str) -> Self {
+        Self::new(AggFunc::CountStar, None, output)
+    }
+
+    /// `AVG(input) AS output`.
+    pub fn avg(input: &str, output: &str) -> Self {
+        Self::new(AggFunc::Avg, Some(input), output)
+    }
+
+    /// `SUM(input) AS output`.
+    pub fn sum(input: &str, output: &str) -> Self {
+        Self::new(AggFunc::Sum, Some(input), output)
+    }
+}
+
+/// Per-group accumulator.
+#[derive(Debug, Clone, Default)]
+struct Acc {
+    count: u64,
+    count_nonnull: u64,
+    sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+/// ϑ: group `r` by `group_by` and compute the aggregates. With an empty
+/// `group_by` the whole relation is one group (one output row, even when the
+/// input is empty — SQL semantics).
+pub fn aggregate(
+    r: &Relation,
+    group_by: &[&str],
+    aggs: &[AggSpec],
+) -> Result<Relation, RelationError> {
+    // resolve inputs up front
+    for spec in aggs {
+        if let Some(input) = &spec.input {
+            let dt = r.schema().attribute(input)?.dtype();
+            if matches!(spec.func, AggFunc::Sum | AggFunc::Avg) && !dt.is_numeric() {
+                return Err(RelationError::Expression(format!(
+                    "{:?} over non-numeric attribute `{input}`",
+                    spec.func
+                )));
+            }
+        } else if spec.func != AggFunc::CountStar {
+            return Err(RelationError::Expression(format!(
+                "{:?} requires an input attribute",
+                spec.func
+            )));
+        }
+    }
+    let group_cols = r.columns_of(group_by)?;
+    let agg_cols: Vec<Option<&Column>> = aggs
+        .iter()
+        .map(|s| s.input.as_deref().map(|n| r.column(n)).transpose())
+        .collect::<Result<_, _>>()?;
+
+    // group id assignment: first-seen order, one accumulator row per agg
+    let mut group_ids: HashMap<Vec<KeyPart>, usize> = HashMap::new();
+    let mut rep_row: Vec<usize> = Vec::new(); // a representative row per group
+    let mut accs: Vec<Vec<Acc>> = Vec::new();
+    if group_by.is_empty() {
+        group_ids.insert(Vec::new(), 0);
+        rep_row.push(0);
+        accs.push(vec![Acc::default(); aggs.len()]);
+    }
+    for i in 0..r.len() {
+        let key = row_key(&group_cols, i);
+        let next_id = group_ids.len();
+        let gid = *group_ids.entry(key).or_insert_with(|| {
+            rep_row.push(i);
+            next_id
+        });
+        if gid == accs.len() {
+            accs.push(vec![Acc::default(); aggs.len()]);
+        }
+        for (k, spec) in aggs.iter().enumerate() {
+            let acc = &mut accs[gid][k];
+            acc.count += 1;
+            if let Some(col) = agg_cols[k] {
+                if col.is_null(i) {
+                    continue;
+                }
+                acc.count_nonnull += 1;
+                match spec.func {
+                    AggFunc::Sum | AggFunc::Avg => {
+                        // numeric-only checked above
+                        acc.sum += value_f64(col, i);
+                    }
+                    AggFunc::Min => {
+                        let v = col.get(i);
+                        if acc.min.as_ref().is_none_or(|m| v.total_cmp(m).is_lt()) {
+                            acc.min = Some(v);
+                        }
+                    }
+                    AggFunc::Max => {
+                        let v = col.get(i);
+                        if acc.max.as_ref().is_none_or(|m| v.total_cmp(m).is_gt()) {
+                            acc.max = Some(v);
+                        }
+                    }
+                    AggFunc::Count | AggFunc::CountStar => {}
+                }
+            }
+        }
+    }
+
+    // output schema: group-by attrs followed by aggregate outputs
+    let mut attrs: Vec<Attribute> = Vec::with_capacity(group_by.len() + aggs.len());
+    for n in group_by {
+        attrs.push(r.schema().attribute(n)?.clone());
+    }
+    for spec in aggs {
+        let dt = output_type(spec, r)?;
+        attrs.push(Attribute::new(spec.output.clone(), dt));
+    }
+    let schema = Schema::new(attrs)?;
+
+    // group-by columns: gather representative rows
+    let mut columns: Vec<Column> = group_cols.iter().map(|c| c.take(&rep_row)).collect();
+    // aggregate columns
+    for (k, spec) in aggs.iter().enumerate() {
+        let dt = output_type(spec, r)?;
+        let vals: Vec<Value> = accs
+            .iter()
+            .map(|group| finish(&group[k], spec, dt))
+            .collect();
+        columns.push(Column::from_values_typed(dt, &vals)?);
+    }
+    Relation::new(schema, columns)
+}
+
+fn value_f64(col: &Column, i: usize) -> f64 {
+    match col.data() {
+        ColumnData::Int(v) => v[i] as f64,
+        ColumnData::Float(v) => v[i],
+        _ => unreachable!("checked numeric"),
+    }
+}
+
+fn output_type(spec: &AggSpec, r: &Relation) -> Result<DataType, RelationError> {
+    Ok(match spec.func {
+        AggFunc::Count | AggFunc::CountStar => DataType::Int,
+        AggFunc::Avg => DataType::Float,
+        AggFunc::Sum => {
+            let input = spec.input.as_deref().expect("checked");
+            match r.schema().attribute(input)?.dtype() {
+                DataType::Int => DataType::Int,
+                _ => DataType::Float,
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let input = spec.input.as_deref().ok_or_else(|| {
+                RelationError::Expression("MIN/MAX require an input".to_string())
+            })?;
+            r.schema().attribute(input)?.dtype()
+        }
+    })
+}
+
+fn finish(acc: &Acc, spec: &AggSpec, dt: DataType) -> Value {
+    match spec.func {
+        AggFunc::CountStar => Value::Int(acc.count as i64),
+        AggFunc::Count => Value::Int(acc.count_nonnull as i64),
+        AggFunc::Sum => {
+            if acc.count_nonnull == 0 {
+                Value::Null
+            } else if dt == DataType::Int {
+                Value::Int(acc.sum as i64)
+            } else {
+                Value::Float(acc.sum)
+            }
+        }
+        AggFunc::Avg => {
+            if acc.count_nonnull == 0 {
+                Value::Null
+            } else {
+                Value::Float(acc.sum / acc.count_nonnull as f64)
+            }
+        }
+        AggFunc::Min => acc.min.clone().unwrap_or(Value::Null),
+        AggFunc::Max => acc.max.clone().unwrap_or(Value::Null),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+
+    fn trips() -> Relation {
+        RelationBuilder::new()
+            .column("station", vec!["a", "a", "b", "b", "b"])
+            .column("dur", vec![10.0f64, 20.0, 5.0, 7.0, 9.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn grouped_avg_count() {
+        let out = aggregate(
+            &trips(),
+            &["station"],
+            &[
+                AggSpec::avg("dur", "avg_dur"),
+                AggSpec::count_star("n"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        // first-seen group order: a then b
+        assert_eq!(out.cell(0, "station").unwrap(), Value::from("a"));
+        assert_eq!(out.cell(0, "avg_dur").unwrap(), Value::Float(15.0));
+        assert_eq!(out.cell(1, "n").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn global_aggregate_single_row() {
+        let out = aggregate(&trips(), &[], &[AggSpec::count_star("M")]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.cell(0, "M").unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_relation() {
+        let empty = trips().take(&[]);
+        let out = aggregate(
+            &empty,
+            &[],
+            &[AggSpec::count_star("M"), AggSpec::sum("dur", "s")],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.cell(0, "M").unwrap(), Value::Int(0));
+        assert_eq!(out.cell(0, "s").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn grouped_on_empty_relation_is_empty() {
+        let empty = trips().take(&[]);
+        let out = aggregate(&empty, &["station"], &[AggSpec::count_star("n")]).unwrap();
+        assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn min_max_on_strings() {
+        let out = aggregate(
+            &trips(),
+            &[],
+            &[
+                AggSpec::new(AggFunc::Min, Some("station"), "lo"),
+                AggSpec::new(AggFunc::Max, Some("station"), "hi"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.cell(0, "lo").unwrap(), Value::from("a"));
+        assert_eq!(out.cell(0, "hi").unwrap(), Value::from("b"));
+    }
+
+    #[test]
+    fn count_skips_nulls_count_star_does_not() {
+        let r = Relation::from_rows(
+            Schema::from_pairs(&[("x", DataType::Int)]).unwrap(),
+            &[vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(3)]],
+        )
+        .unwrap();
+        let out = aggregate(
+            &r,
+            &[],
+            &[
+                AggSpec::new(AggFunc::Count, Some("x"), "c"),
+                AggSpec::count_star("cs"),
+                AggSpec::avg("x", "a"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.cell(0, "c").unwrap(), Value::Int(2));
+        assert_eq!(out.cell(0, "cs").unwrap(), Value::Int(3));
+        assert_eq!(out.cell(0, "a").unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn sum_of_ints_stays_int() {
+        let r = RelationBuilder::new().column("x", vec![1i64, 2, 3]).build().unwrap();
+        let out = aggregate(&r, &[], &[AggSpec::sum("x", "s")]).unwrap();
+        assert_eq!(out.cell(0, "s").unwrap(), Value::Int(6));
+    }
+
+    #[test]
+    fn avg_over_strings_rejected() {
+        assert!(aggregate(&trips(), &[], &[AggSpec::avg("station", "a")]).is_err());
+    }
+
+    #[test]
+    fn int_sum_finish_widens_back() {
+        // regression: Acc accumulates f64; int SUM output must be Int typed
+        let r = RelationBuilder::new().column("x", vec![1i64, 2]).build().unwrap();
+        let out = aggregate(&r, &[], &[AggSpec::sum("x", "s")]).unwrap();
+        assert_eq!(out.schema().attribute("s").unwrap().dtype(), DataType::Int);
+    }
+}

@@ -1,0 +1,262 @@
+//! Joins: hash equi-join, natural join, theta join, cross product.
+
+use super::{key_has_null, row_key};
+use crate::error::RelationError;
+use crate::expr::Expr;
+use crate::relation::Relation;
+use std::collections::HashMap;
+
+/// Inner equi-join `a ⋈_{a.x = b.y} b` via a hash table on the smaller
+/// side's key columns. The output schema is the concatenation of both full
+/// schemas; attribute name collisions are an error (rename first).
+pub fn join_on(
+    a: &Relation,
+    b: &Relation,
+    on: &[(&str, &str)],
+) -> Result<Relation, RelationError> {
+    if on.is_empty() {
+        return Err(RelationError::Expression(
+            "equi-join requires at least one key pair".to_string(),
+        ));
+    }
+    let (left_idx, right_idx) = hash_join_indices(a, b, on)?;
+    assemble_join(a, b, &left_idx, &right_idx, &[])
+}
+
+/// Natural join: equi-join on all common attribute names, keeping a single
+/// copy of each join attribute (the paper's `u ⋈ r` on `User`).
+pub fn natural_join(a: &Relation, b: &Relation) -> Result<Relation, RelationError> {
+    let common: Vec<&str> = a
+        .schema()
+        .names()
+        .filter(|n| b.schema().contains(n))
+        .collect();
+    if common.is_empty() {
+        return cross_product(a, b);
+    }
+    let pairs: Vec<(&str, &str)> = common.iter().map(|&n| (n, n)).collect();
+    let (left_idx, right_idx) = hash_join_indices(a, b, &pairs)?;
+    assemble_join(a, b, &left_idx, &right_idx, &common)
+}
+
+/// General theta join: nested-loop join with an arbitrary predicate over the
+/// concatenated schema. Quadratic — used only when no equi-key exists.
+pub fn theta_join(
+    a: &Relation,
+    b: &Relation,
+    predicate: &Expr,
+) -> Result<Relation, RelationError> {
+    let product = cross_product(a, b)?;
+    super::select(&product, predicate)
+}
+
+/// Cross product ×. Collisions between attribute names are an error.
+pub fn cross_product(a: &Relation, b: &Relation) -> Result<Relation, RelationError> {
+    let schema = a.schema().concat(b.schema())?;
+    let (n, m) = (a.len(), b.len());
+    // left index: 0,0,...,0,1,1,... ; right index: 0,1,...,m-1,0,1,...
+    let mut left_idx = Vec::with_capacity(n * m);
+    let mut right_idx = Vec::with_capacity(n * m);
+    for i in 0..n {
+        for j in 0..m {
+            left_idx.push(i);
+            right_idx.push(j);
+        }
+    }
+    let mut columns = Vec::with_capacity(schema.len());
+    for c in a.columns() {
+        columns.push(c.take(&left_idx));
+    }
+    for c in b.columns() {
+        columns.push(c.take(&right_idx));
+    }
+    Relation::new(schema, columns)
+}
+
+/// Compute matching row-index pairs with a hash table built on the right
+/// input (build side), probed by the left.
+fn hash_join_indices(
+    a: &Relation,
+    b: &Relation,
+    on: &[(&str, &str)],
+) -> Result<(Vec<usize>, Vec<usize>), RelationError> {
+    let left_keys: Vec<&str> = on.iter().map(|(l, _)| *l).collect();
+    let right_keys: Vec<&str> = on.iter().map(|(_, r)| *r).collect();
+    let left_cols = a.columns_of(&left_keys)?;
+    let right_cols = b.columns_of(&right_keys)?;
+
+    let mut table: HashMap<Vec<super::KeyPart>, Vec<usize>> = HashMap::with_capacity(b.len());
+    for j in 0..b.len() {
+        let key = row_key(&right_cols, j);
+        if key_has_null(&key) {
+            continue; // NULL keys never match
+        }
+        table.entry(key).or_default().push(j);
+    }
+
+    let mut left_idx = Vec::new();
+    let mut right_idx = Vec::new();
+    for i in 0..a.len() {
+        let key = row_key(&left_cols, i);
+        if key_has_null(&key) {
+            continue;
+        }
+        if let Some(matches) = table.get(&key) {
+            for &j in matches {
+                left_idx.push(i);
+                right_idx.push(j);
+            }
+        }
+    }
+    Ok((left_idx, right_idx))
+}
+
+/// Gather both sides through the match indices; `drop_right` lists right
+/// attributes omitted from the output (used by natural join).
+fn assemble_join(
+    a: &Relation,
+    b: &Relation,
+    left_idx: &[usize],
+    right_idx: &[usize],
+    drop_right: &[&str],
+) -> Result<Relation, RelationError> {
+    let kept_right: Vec<&str> = b
+        .schema()
+        .names()
+        .filter(|n| !drop_right.contains(n))
+        .collect();
+    let right_schema = b.schema().subset(&kept_right)?;
+    let schema = a.schema().concat(&right_schema)?;
+    let mut columns = Vec::with_capacity(schema.len());
+    for c in a.columns() {
+        columns.push(c.take(left_idx));
+    }
+    for n in &kept_right {
+        columns.push(b.column(n)?.take(right_idx));
+    }
+    Relation::new(schema, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use rma_storage::Value;
+
+    fn users() -> Relation {
+        RelationBuilder::new()
+            .column("User", vec!["Ann", "Tom", "Jan"])
+            .column("State", vec!["CA", "FL", "CA"])
+            .build()
+            .unwrap()
+    }
+
+    fn ratings() -> Relation {
+        RelationBuilder::new()
+            .column("User", vec!["Ann", "Tom", "Jan"])
+            .column("Balto", vec![2.0f64, 0.0, 1.0])
+            .column("Heat", vec![1.5f64, 0.0, 4.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn natural_join_on_user() {
+        let j = natural_join(&users(), &ratings()).unwrap();
+        assert_eq!(j.len(), 3);
+        let names: Vec<_> = j.schema().names().collect();
+        assert_eq!(names, vec!["User", "State", "Balto", "Heat"]);
+    }
+
+    #[test]
+    fn natural_join_without_common_attrs_is_cross() {
+        let a = RelationBuilder::new().column("x", vec![1i64, 2]).build().unwrap();
+        let b = RelationBuilder::new().column("y", vec![10i64]).build().unwrap();
+        let j = natural_join(&a, &b).unwrap();
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn join_on_different_names_keeps_both() {
+        let films = RelationBuilder::new()
+            .column("Title", vec!["Heat", "Balto"])
+            .column("Director", vec!["Lee", "Lee"])
+            .build()
+            .unwrap();
+        let w7 = RelationBuilder::new()
+            .column("C", vec!["Balto", "Heat", "Net"])
+            .column("cov", vec![1.56f64, -0.62, -2.5])
+            .build()
+            .unwrap();
+        // the paper's w8 = σ_{D='Lee'}(w7 ⋈_{C=T} f)
+        let j = join_on(&w7, &films, &[("C", "Title")]).unwrap();
+        assert_eq!(j.len(), 2);
+        assert!(j.schema().contains("C"));
+        assert!(j.schema().contains("Title"));
+    }
+
+    #[test]
+    fn join_duplicates_multiply() {
+        let a = RelationBuilder::new().column("k", vec![1i64, 1]).build().unwrap();
+        let b = RelationBuilder::new()
+            .column("k2", vec![1i64, 1, 1])
+            .build()
+            .unwrap();
+        let j = join_on(&a, &b, &[("k", "k2")]).unwrap();
+        assert_eq!(j.len(), 6);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let a = Relation::from_rows(
+            crate::schema::Schema::from_pairs(&[("k", rma_storage::DataType::Int)]).unwrap(),
+            &[vec![Value::Null], vec![Value::Int(1)]],
+        )
+        .unwrap();
+        let j = join_on(&a, &a.clone(), &[("k", "k")]);
+        // schema collision: k appears twice → rename first
+        assert!(j.is_err());
+        let b = rename_k(&a);
+        let j = join_on(&a, &b, &[("k", "k2")]).unwrap();
+        assert_eq!(j.len(), 1); // only the 1=1 match; NULL=NULL is not true
+    }
+
+    fn rename_k(r: &Relation) -> Relation {
+        super::super::rename(r, &[("k", "k2")]).unwrap()
+    }
+
+    #[test]
+    fn cross_product_sizes_and_collisions() {
+        let a = RelationBuilder::new().column("x", vec![1i64, 2]).build().unwrap();
+        let b = RelationBuilder::new()
+            .column("y", vec![10i64, 20, 30])
+            .build()
+            .unwrap();
+        let c = cross_product(&a, &b).unwrap();
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.cell(5, "x").unwrap(), Value::Int(2));
+        assert_eq!(c.cell(5, "y").unwrap(), Value::Int(30));
+        assert!(cross_product(&a, &a.clone()).is_err());
+    }
+
+    #[test]
+    fn theta_join_inequality() {
+        let a = RelationBuilder::new().column("x", vec![1i64, 5]).build().unwrap();
+        let b = RelationBuilder::new().column("y", vec![3i64, 4]).build().unwrap();
+        let j = theta_join(&a, &b, &Expr::col("x").lt(Expr::col("y"))).unwrap();
+        assert_eq!(j.len(), 2); // (1,3), (1,4)
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let a = users().take(&[]);
+        let j = natural_join(&a, &ratings()).unwrap();
+        assert_eq!(j.len(), 0);
+        assert_eq!(j.schema().len(), 4);
+    }
+
+    #[test]
+    fn join_requires_key_pairs() {
+        assert!(join_on(&users(), &ratings(), &[]).is_err());
+    }
+}

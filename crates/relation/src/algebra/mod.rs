@@ -1,0 +1,94 @@
+//! The relational algebra operators: σ, π, ρ, ⋈, ×, ϑ, ∪, distinct, sort.
+//!
+//! All operators are column-at-a-time: they construct output columns in bulk
+//! from input columns (selection vectors, gather indices, hash tables over
+//! key columns), never materialising boxed tuples on hot paths.
+
+mod aggregate;
+mod join;
+mod project;
+mod select;
+mod setops;
+
+pub use aggregate::{aggregate, AggFunc, AggSpec};
+pub use join::{cross_product, join_on, natural_join, theta_join};
+pub use project::{project, project_exprs, rename};
+pub use select::select;
+pub use setops::{distinct, limit, order_by, union_all};
+
+use rma_storage::{Column, ColumnData};
+
+/// A hashable, equatable key extracted from one row of a set of columns.
+/// Used by joins, grouping, and duplicate elimination.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum KeyPart {
+    Int(i64),
+    /// Float keyed by its bit pattern (exact equality; NaNs all equal).
+    Float(u64),
+    Str(String),
+    Bool(bool),
+    Date(i32),
+    Null,
+}
+
+/// Extract the grouping/join key of row `i` over `cols`.
+pub(crate) fn row_key(cols: &[&Column], i: usize) -> Vec<KeyPart> {
+    cols.iter()
+        .map(|c| {
+            if c.is_null(i) {
+                return KeyPart::Null;
+            }
+            match c.data() {
+                ColumnData::Int(v) => KeyPart::Int(v[i]),
+                ColumnData::Float(v) => {
+                    // normalise NaN payloads and -0.0 so equal floats hash equal
+                    let x = v[i];
+                    let bits = if x.is_nan() {
+                        f64::NAN.to_bits()
+                    } else if x == 0.0 {
+                        0u64
+                    } else {
+                        x.to_bits()
+                    };
+                    KeyPart::Float(bits)
+                }
+                ColumnData::Str(v) => KeyPart::Str(v[i].clone()),
+                ColumnData::Bool(v) => KeyPart::Bool(v[i]),
+                ColumnData::Date(v) => KeyPart::Date(v[i]),
+            }
+        })
+        .collect()
+}
+
+/// Does the key contain a null (SQL: `NULL = NULL` is not true, so such rows
+/// never match in equi-joins)?
+pub(crate) fn key_has_null(key: &[KeyPart]) -> bool {
+    key.iter().any(|k| matches!(k, KeyPart::Null))
+}
+
+/// Hash-based key check: do the columns contain no duplicate row? O(n)
+/// instead of the O(n log n) sort-based [`rma_storage::is_key`] — used by
+/// the RMA layer's sort-avoidance optimisation, where validating the order
+/// schema must not itself cost a sort.
+pub fn is_key_hash(cols: &[&rma_storage::Column]) -> bool {
+    let n = cols.first().map_or(0, |c| c.len());
+    if cols.is_empty() {
+        return n <= 1;
+    }
+    // single-column fast paths avoid per-row key-vector allocation
+    if cols.len() == 1 && !cols[0].has_nulls() {
+        match cols[0].data() {
+            ColumnData::Int(v) => {
+                let mut seen = std::collections::HashSet::with_capacity(v.len());
+                return v.iter().all(|x| seen.insert(*x));
+            }
+            ColumnData::Str(v) => {
+                let mut seen = std::collections::HashSet::with_capacity(v.len());
+                return v.iter().all(|x| seen.insert(x.as_str()));
+            }
+            _ => {}
+        }
+    }
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    (0..n).all(|i| seen.insert(row_key(cols, i)))
+}

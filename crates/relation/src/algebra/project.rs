@@ -1,0 +1,126 @@
+//! Projection π and rename ρ.
+
+use crate::error::RelationError;
+use crate::expr::Expr;
+use crate::relation::Relation;
+use crate::schema::{Attribute, Schema};
+
+/// π_names(r): keep the named attributes, in the given order. Duplicate
+/// elimination is *not* performed (bag semantics, as in SQL).
+pub fn project(r: &Relation, names: &[&str]) -> Result<Relation, RelationError> {
+    let schema = r.schema().subset(names)?;
+    let columns = names
+        .iter()
+        .map(|n| r.column(n).cloned())
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut out = Relation::new(schema, columns)?;
+    if let Some(n) = r.name() {
+        out = out.with_name(n);
+    }
+    Ok(out)
+}
+
+/// Generalised projection: each output attribute is an expression, e.g. the
+/// paper's `π_{C, B/(M−1), H/(M−1), N/(M−1)}(w6)`.
+pub fn project_exprs(
+    r: &Relation,
+    items: &[(Expr, &str)],
+) -> Result<Relation, RelationError> {
+    let mut attrs = Vec::with_capacity(items.len());
+    let mut columns = Vec::with_capacity(items.len());
+    for (expr, name) in items {
+        let col = expr.eval(r)?;
+        attrs.push(Attribute::new(*name, col.data_type()));
+        columns.push(col);
+    }
+    Relation::new(Schema::new(attrs)?, columns)
+}
+
+/// ρ: rename attributes according to `(old, new)` pairs; unlisted attributes
+/// keep their names. Renaming is a schema-level operation — no data moves.
+pub fn rename(r: &Relation, mapping: &[(&str, &str)]) -> Result<Relation, RelationError> {
+    for (old, _) in mapping {
+        if !r.schema().contains(old) {
+            return Err(RelationError::UnknownAttribute(old.to_string()));
+        }
+    }
+    let attrs = r
+        .schema()
+        .attributes()
+        .iter()
+        .map(|a| {
+            let new = mapping
+                .iter()
+                .find(|(old, _)| *old == a.name())
+                .map(|(_, new)| *new)
+                .unwrap_or_else(|| a.name());
+            Attribute::new(new, a.dtype())
+        })
+        .collect();
+    let schema = Schema::new(attrs)?;
+    Ok(r.clone().with_schema_unchecked(schema))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use rma_storage::{DataType, Value};
+
+    fn rel() -> Relation {
+        RelationBuilder::new()
+            .name("w")
+            .column("C", vec!["B", "H"])
+            .column("B", vec![1.56f64, -0.62])
+            .column("M", vec![2i64, 2])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn project_reorders() {
+        let p = project(&rel(), &["B", "C"]).unwrap();
+        let names: Vec<_> = p.schema().names().collect();
+        assert_eq!(names, vec!["B", "C"]);
+        assert_eq!(p.name(), Some("w"));
+    }
+
+    #[test]
+    fn project_unknown_errors() {
+        assert!(project(&rel(), &["Z"]).is_err());
+    }
+
+    #[test]
+    fn project_exprs_computes() {
+        let items = [
+            (Expr::col("C"), "C"),
+            (
+                Expr::col("B").div(Expr::col("M").sub(Expr::lit(1i64))),
+                "Bn",
+            ),
+        ];
+        let p = project_exprs(&rel(), &items).unwrap();
+        assert_eq!(p.schema().attribute("Bn").unwrap().dtype(), DataType::Float);
+        assert_eq!(p.cell(0, "Bn").unwrap(), Value::Float(1.56));
+    }
+
+    #[test]
+    fn project_exprs_rejects_duplicate_output_names() {
+        let items = [(Expr::col("B"), "x"), (Expr::col("C"), "x")];
+        assert!(project_exprs(&rel(), &items).is_err());
+    }
+
+    #[test]
+    fn rename_is_schema_only() {
+        let n = rename(&rel(), &[("B", "Balto")]).unwrap();
+        assert!(n.schema().contains("Balto"));
+        assert!(!n.schema().contains("B"));
+        assert_eq!(n.column("Balto").unwrap(), rel().column("B").unwrap());
+    }
+
+    #[test]
+    fn rename_unknown_and_collision() {
+        assert!(rename(&rel(), &[("zz", "y")]).is_err());
+        assert!(rename(&rel(), &[("B", "C")]).is_err()); // collides with existing C
+    }
+}

@@ -1,0 +1,61 @@
+//! Selection σ.
+
+use crate::error::RelationError;
+use crate::expr::Expr;
+use crate::relation::Relation;
+
+/// σ_predicate(r): keep the tuples for which the predicate is true.
+pub fn select(r: &Relation, predicate: &Expr) -> Result<Relation, RelationError> {
+    let keep = predicate.eval_filter(r)?;
+    Ok(r.filter(&keep))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use rma_storage::Value;
+
+    fn users() -> Relation {
+        RelationBuilder::new()
+            .column("User", vec!["Ann", "Tom", "Jan"])
+            .column("State", vec!["CA", "FL", "CA"])
+            .column("YoB", vec![1980i64, 1965, 1970])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn select_by_string_equality() {
+        // the paper's σ_{S='CA'}(u)
+        let r = select(&users(), &Expr::col("State").eq(Expr::lit("CA"))).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.cell(0, "User").unwrap(), Value::from("Ann"));
+        assert_eq!(r.cell(1, "User").unwrap(), Value::from("Jan"));
+    }
+
+    #[test]
+    fn select_compound_predicate() {
+        let p = Expr::col("State")
+            .eq(Expr::lit("CA"))
+            .and(Expr::col("YoB").lt(Expr::lit(1975i64)));
+        let r = select(&users(), &p).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.cell(0, "User").unwrap(), Value::from("Jan"));
+    }
+
+    #[test]
+    fn select_none_and_all() {
+        let none = select(&users(), &Expr::lit(1i64).eq(Expr::lit(2i64))).unwrap();
+        assert_eq!(none.len(), 0);
+        assert_eq!(none.schema(), users().schema());
+        let all = select(&users(), &Expr::lit(1i64).eq(Expr::lit(1i64))).unwrap();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn select_propagates_expression_errors() {
+        assert!(select(&users(), &Expr::col("nope").eq(Expr::lit(1i64))).is_err());
+        assert!(select(&users(), &Expr::col("YoB")).is_err()); // non-boolean
+    }
+}

@@ -1,0 +1,159 @@
+//! Bag union, duplicate elimination, ordering, limit.
+
+use super::row_key;
+use crate::error::RelationError;
+use crate::relation::Relation;
+use rma_storage::Column;
+use std::collections::HashSet;
+
+/// `UNION ALL`: bag union of two union-compatible relations. The output
+/// keeps the left schema's attribute names.
+pub fn union_all(a: &Relation, b: &Relation) -> Result<Relation, RelationError> {
+    if !a.schema().union_compatible(b.schema()) {
+        return Err(RelationError::NotUnionCompatible);
+    }
+    let mut columns: Vec<Column> = a.columns().to_vec();
+    for (c, other) in columns.iter_mut().zip(b.columns()) {
+        c.append(other)?;
+    }
+    Relation::new(a.schema().clone(), columns)
+}
+
+/// Duplicate elimination (SQL `DISTINCT`), keeping first occurrences in
+/// input order.
+pub fn distinct(r: &Relation) -> Result<Relation, RelationError> {
+    let names: Vec<&str> = r.schema().names().collect();
+    let cols = r.columns_of(&names)?;
+    let mut seen = HashSet::with_capacity(r.len());
+    let mut keep_idx = Vec::new();
+    for i in 0..r.len() {
+        if seen.insert(row_key(&cols, i)) {
+            keep_idx.push(i);
+        }
+    }
+    Ok(r.take(&keep_idx))
+}
+
+/// `ORDER BY` over the given attributes; `ascending[k]` gives the direction
+/// of the k-th attribute (must match `attrs` length; all-ascending if empty).
+pub fn order_by(
+    r: &Relation,
+    attrs: &[&str],
+    ascending: &[bool],
+) -> Result<Relation, RelationError> {
+    if !ascending.is_empty() && ascending.len() != attrs.len() {
+        return Err(RelationError::ArityMismatch {
+            expected: attrs.len(),
+            found: ascending.len(),
+        });
+    }
+    let cols = r.columns_of(attrs)?;
+    let mut perm: Vec<usize> = (0..r.len()).collect();
+    perm.sort_by(|&x, &y| {
+        for (k, c) in cols.iter().enumerate() {
+            let asc = ascending.get(k).copied().unwrap_or(true);
+            let ord = c.cmp_rows(x, y);
+            let ord = if asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(r.take(&perm))
+}
+
+/// `LIMIT n` (with optional `OFFSET`).
+pub fn limit(r: &Relation, n: usize, offset: usize) -> Relation {
+    let end = (offset + n).min(r.len());
+    let start = offset.min(r.len());
+    let idx: Vec<usize> = (start..end).collect();
+    r.take(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+    use rma_storage::Value;
+
+    fn rel() -> Relation {
+        RelationBuilder::new()
+            .column("x", vec![3i64, 1, 3, 2])
+            .column("y", vec!["c", "a", "c", "b"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn union_all_appends() {
+        let u = union_all(&rel(), &rel()).unwrap();
+        assert_eq!(u.len(), 8);
+        assert_eq!(u.cell(4, "x").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn union_all_requires_compatibility() {
+        let other = RelationBuilder::new()
+            .column("x", vec![1.0f64])
+            .column("y", vec!["a"])
+            .build()
+            .unwrap();
+        assert!(matches!(
+            union_all(&rel(), &other),
+            Err(RelationError::NotUnionCompatible)
+        ));
+    }
+
+    #[test]
+    fn union_all_keeps_left_names() {
+        let renamed = crate::algebra::rename(&rel(), &[("x", "p"), ("y", "q")]).unwrap();
+        let u = union_all(&rel(), &renamed).unwrap();
+        assert!(u.schema().contains("x"));
+        assert!(!u.schema().contains("p"));
+    }
+
+    #[test]
+    fn distinct_keeps_first() {
+        let d = distinct(&rel()).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.cell(0, "x").unwrap(), Value::Int(3));
+        assert_eq!(d.cell(1, "x").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn order_by_desc() {
+        let o = order_by(&rel(), &["x"], &[false]).unwrap();
+        let xs: Vec<Value> = o.column("x").unwrap().iter_values().collect();
+        assert_eq!(
+            xs,
+            vec![Value::Int(3), Value::Int(3), Value::Int(2), Value::Int(1)]
+        );
+    }
+
+    #[test]
+    fn order_by_mixed_directions() {
+        let r = RelationBuilder::new()
+            .column("a", vec![1i64, 1, 2])
+            .column("b", vec![10i64, 20, 5])
+            .build()
+            .unwrap();
+        let o = order_by(&r, &["a", "b"], &[true, false]).unwrap();
+        assert_eq!(o.cell(0, "b").unwrap(), Value::Int(20));
+        assert_eq!(o.cell(1, "b").unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn order_by_direction_arity_checked() {
+        assert!(order_by(&rel(), &["x"], &[true, false]).is_err());
+    }
+
+    #[test]
+    fn limit_and_offset() {
+        let l = limit(&rel(), 2, 1);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.cell(0, "x").unwrap(), Value::Int(1));
+        assert_eq!(limit(&rel(), 10, 3).len(), 1);
+        assert_eq!(limit(&rel(), 10, 99).len(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Relational-layer error type.
+
+use rma_storage::StorageError;
+use std::fmt;
+
+/// Errors produced by the relational model and algebra.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RelationError {
+    /// Schema construction with a repeated attribute name.
+    DuplicateAttribute(String),
+    /// Reference to an attribute that is not in the schema.
+    UnknownAttribute(String),
+    /// Column count does not match schema width, or row width mismatch.
+    ArityMismatch { expected: usize, found: usize },
+    /// Columns of one relation have differing lengths.
+    RaggedColumns,
+    /// A column's type does not match its schema attribute.
+    SchemaTypeMismatch { attribute: String },
+    /// Expression evaluation failed (type errors, unknown names).
+    Expression(String),
+    /// The given attributes do not form a key of the relation.
+    NotAKey(Vec<String>),
+    /// Set operation over incompatible schemas.
+    NotUnionCompatible,
+    /// Underlying storage error.
+    Storage(StorageError),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::DuplicateAttribute(n) => write!(f, "duplicate attribute name `{n}`"),
+            RelationError::UnknownAttribute(n) => write!(f, "unknown attribute `{n}`"),
+            RelationError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected}, found {found}")
+            }
+            RelationError::RaggedColumns => f.write_str("columns have differing lengths"),
+            RelationError::SchemaTypeMismatch { attribute } => {
+                write!(f, "column type does not match schema for `{attribute}`")
+            }
+            RelationError::Expression(msg) => write!(f, "expression error: {msg}"),
+            RelationError::NotAKey(attrs) => {
+                write!(f, "attributes {attrs:?} do not form a key")
+            }
+            RelationError::NotUnionCompatible => {
+                f.write_str("relations are not union compatible")
+            }
+            RelationError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RelationError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for RelationError {
+    fn from(e: StorageError) -> Self {
+        RelationError::Storage(e)
+    }
+}

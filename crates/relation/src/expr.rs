@@ -1,0 +1,603 @@
+//! Scalar expressions with vectorised evaluation.
+//!
+//! Expressions appear in selections (σ predicate), projections with
+//! arithmetic (e.g. the paper's `π_{C, B/(M−1), …}`), and join conditions.
+//! Evaluation is column-at-a-time: an expression over a relation produces a
+//! whole [`Column`] in one pass per operator, the same execution style the
+//! engine uses everywhere else.
+//!
+//! Null semantics follow SQL: arithmetic and comparisons with NULL yield
+//! NULL; `AND`/`OR` use three-valued logic; filters keep only rows whose
+//! predicate is true (NULL is not true).
+
+use crate::error::RelationError;
+use crate::relation::Relation;
+use rma_storage::{Bitmap, Column, ColumnData, DataType, Value};
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+impl BinOp {
+    fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+
+    fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Attribute reference.
+    Col(String),
+    /// Literal value.
+    Lit(Value),
+    /// Binary operation.
+    Bin(Box<Expr>, BinOp, Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `IS NULL` test.
+    IsNull(Box<Expr>),
+    /// Unary scalar function (sqrt, abs) — always evaluates to Float.
+    Func(ScalarFunc, Box<Expr>),
+}
+
+/// Built-in unary scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFunc {
+    Sqrt,
+    Abs,
+}
+
+impl Expr {
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    pub fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Bin(Box::new(self), op, Box::new(rhs))
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Add, rhs)
+    }
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Sub, rhs)
+    }
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Mul, rhs)
+    }
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Div, rhs)
+    }
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Eq, rhs)
+    }
+    pub fn not_eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::NotEq, rhs)
+    }
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Lt, rhs)
+    }
+    pub fn lt_eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::LtEq, rhs)
+    }
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Gt, rhs)
+    }
+    pub fn gt_eq(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::GtEq, rhs)
+    }
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::And, rhs)
+    }
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.bin(BinOp::Or, rhs)
+    }
+    /// `SQRT(self)`.
+    pub fn sqrt(self) -> Expr {
+        Expr::Func(ScalarFunc::Sqrt, Box::new(self))
+    }
+    /// `ABS(self)`.
+    pub fn abs(self) -> Expr {
+        Expr::Func(ScalarFunc::Abs, Box::new(self))
+    }
+
+    /// All attribute names referenced by this expression.
+    pub fn referenced_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Col(n) => {
+                if !out.contains(n) {
+                    out.push(n.clone());
+                }
+            }
+            Expr::Lit(_) => {}
+            Expr::Bin(l, _, r) => {
+                l.referenced_columns(out);
+                r.referenced_columns(out);
+            }
+            Expr::Neg(e) | Expr::Not(e) | Expr::IsNull(e) | Expr::Func(_, e) => {
+                e.referenced_columns(out)
+            }
+        }
+    }
+
+    /// Evaluate over a relation, producing one value per tuple.
+    pub fn eval(&self, r: &Relation) -> Result<Column, RelationError> {
+        match self {
+            Expr::Col(name) => Ok(r.column(name)?.clone()),
+            Expr::Lit(v) => broadcast_literal(v, r.len()),
+            Expr::Neg(e) => {
+                let c = e.eval(r)?;
+                numeric_unary(&c, |x| -x)
+            }
+            Expr::Not(e) => {
+                let c = e.eval(r)?;
+                bool_unary(&c, |x| !x)
+            }
+            Expr::IsNull(e) => {
+                let c = e.eval(r)?;
+                let bits: Vec<bool> = (0..c.len()).map(|i| c.is_null(i)).collect();
+                Ok(Column::new(ColumnData::Bool(bits)))
+            }
+            Expr::Func(f, e) => {
+                let c = e.eval(r)?;
+                let vals = as_f64_lossy(&c)?;
+                let out: Vec<f64> = match f {
+                    ScalarFunc::Sqrt => vals.iter().map(|&x| x.sqrt()).collect(),
+                    ScalarFunc::Abs => vals.iter().map(|&x| x.abs()).collect(),
+                };
+                rebuild(ColumnData::Float(out), c.nulls())
+            }
+            Expr::Bin(l, op, rhs) => {
+                let a = l.eval(r)?;
+                let b = rhs.eval(r)?;
+                if a.len() != b.len() {
+                    return Err(RelationError::Expression(format!(
+                        "operand length mismatch: {} vs {}",
+                        a.len(),
+                        b.len()
+                    )));
+                }
+                if op.is_logical() {
+                    logical(&a, *op, &b)
+                } else if op.is_comparison() {
+                    comparison(&a, *op, &b)
+                } else {
+                    arithmetic(&a, *op, &b)
+                }
+            }
+        }
+    }
+
+    /// Evaluate as a filter predicate: `true` per row iff the expression is
+    /// boolean true (NULL counts as false, per SQL).
+    pub fn eval_filter(&self, r: &Relation) -> Result<Vec<bool>, RelationError> {
+        let c = self.eval(r)?;
+        match c.data() {
+            ColumnData::Bool(v) => Ok(v
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| b && !c.is_null(i))
+                .collect()),
+            other => Err(RelationError::Expression(format!(
+                "filter predicate must be boolean, found {}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// Result data type over the given relation (probes with an empty eval).
+    pub fn result_type(&self, r: &Relation) -> Result<DataType, RelationError> {
+        // Evaluating on the full relation would work but is wasteful for
+        // planning; evaluate on a zero-row slice instead.
+        let probe = r.take(&[]);
+        Ok(self.eval(&probe)?.data_type())
+    }
+}
+
+fn broadcast_literal(v: &Value, n: usize) -> Result<Column, RelationError> {
+    let vals = vec![v.clone(); n.max(1)];
+    let col = Column::from_values(&vals).map_err(|_| {
+        RelationError::Expression("NULL literal needs a typed context".to_string())
+    })?;
+    if n == 0 {
+        return Ok(col.take(&[]));
+    }
+    Ok(col)
+}
+
+fn numeric_unary(c: &Column, f: impl Fn(f64) -> f64) -> Result<Column, RelationError> {
+    match c.data() {
+        ColumnData::Int(v) => {
+            let out: Vec<i64> = v.iter().map(|&x| f(x as f64) as i64).collect();
+            rebuild(ColumnData::Int(out), c.nulls())
+        }
+        ColumnData::Float(v) => {
+            let out: Vec<f64> = v.iter().map(|&x| f(x)).collect();
+            rebuild(ColumnData::Float(out), c.nulls())
+        }
+        other => Err(RelationError::Expression(format!(
+            "numeric operator on {}",
+            other.data_type()
+        ))),
+    }
+}
+
+fn bool_unary(c: &Column, f: impl Fn(bool) -> bool) -> Result<Column, RelationError> {
+    match c.data() {
+        ColumnData::Bool(v) => {
+            let out: Vec<bool> = v.iter().map(|&x| f(x)).collect();
+            rebuild(ColumnData::Bool(out), c.nulls())
+        }
+        other => Err(RelationError::Expression(format!(
+            "boolean operator on {}",
+            other.data_type()
+        ))),
+    }
+}
+
+fn rebuild(data: ColumnData, nulls: Option<&Bitmap>) -> Result<Column, RelationError> {
+    match nulls {
+        Some(b) => Ok(Column::with_nulls(data, b.clone())?),
+        None => Ok(Column::new(data)),
+    }
+}
+
+fn union_nulls(a: &Column, b: &Column) -> Option<Bitmap> {
+    match (a.nulls(), b.nulls()) {
+        (None, None) => None,
+        (Some(x), None) => Some(x.clone()),
+        (None, Some(y)) => Some(y.clone()),
+        (Some(x), Some(y)) => Some(x.union(y)),
+    }
+}
+
+fn arithmetic(a: &Column, op: BinOp, b: &Column) -> Result<Column, RelationError> {
+    let nulls = union_nulls(a, b);
+    // Int ⊕ Int stays Int except division, which is exact (float).
+    if let (ColumnData::Int(x), ColumnData::Int(y)) = (a.data(), b.data()) {
+        if op != BinOp::Div {
+            let out: Vec<i64> = x
+                .iter()
+                .zip(y)
+                .map(|(&p, &q)| match op {
+                    BinOp::Add => p.wrapping_add(q),
+                    BinOp::Sub => p.wrapping_sub(q),
+                    BinOp::Mul => p.wrapping_mul(q),
+                    BinOp::Mod => {
+                        if q == 0 {
+                            0
+                        } else {
+                            p % q
+                        }
+                    }
+                    _ => unreachable!(),
+                })
+                .collect();
+            // integer x % 0 produced a placeholder; mark those rows null
+            let mut nulls = nulls;
+            if op == BinOp::Mod && y.contains(&0) {
+                let mut bm = nulls.unwrap_or_else(|| Bitmap::new(x.len()));
+                for (i, &q) in y.iter().enumerate() {
+                    if q == 0 {
+                        bm.set(i);
+                    }
+                }
+                nulls = Some(bm);
+            }
+            return rebuild_opt(ColumnData::Int(out), nulls);
+        }
+    }
+    let x = as_f64_lossy(a)?;
+    let y = as_f64_lossy(b)?;
+    let out: Vec<f64> = x
+        .iter()
+        .zip(&y)
+        .map(|(&p, &q)| match op {
+            BinOp::Add => p + q,
+            BinOp::Sub => p - q,
+            BinOp::Mul => p * q,
+            BinOp::Div => p / q,
+            BinOp::Mod => p % q,
+            _ => unreachable!(),
+        })
+        .collect();
+    rebuild_opt(ColumnData::Float(out), nulls)
+}
+
+fn rebuild_opt(data: ColumnData, nulls: Option<Bitmap>) -> Result<Column, RelationError> {
+    match nulls {
+        Some(b) => Ok(Column::with_nulls(data, b)?),
+        None => Ok(Column::new(data)),
+    }
+}
+
+/// Numeric view that tolerates nulls (placeholder slots pass through; the
+/// caller re-applies the null bitmap).
+fn as_f64_lossy(c: &Column) -> Result<Vec<f64>, RelationError> {
+    match c.data() {
+        ColumnData::Int(v) => Ok(v.iter().map(|&x| x as f64).collect()),
+        ColumnData::Float(v) => Ok(v.clone()),
+        other => Err(RelationError::Expression(format!(
+            "arithmetic on {}",
+            other.data_type()
+        ))),
+    }
+}
+
+fn comparison(a: &Column, op: BinOp, b: &Column) -> Result<Column, RelationError> {
+    use std::cmp::Ordering;
+    let nulls = union_nulls(a, b);
+    let n = a.len();
+    let apply = |ord: Ordering| match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::NotEq => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::LtEq => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::GtEq => ord != Ordering::Less,
+        _ => unreachable!(),
+    };
+    // Typed fast paths avoid per-row boxing on the hot σ path.
+    let out: Vec<bool> = match (a.data(), b.data()) {
+        (ColumnData::Int(x), ColumnData::Int(y)) => {
+            x.iter().zip(y).map(|(p, q)| apply(p.cmp(q))).collect()
+        }
+        (ColumnData::Float(x), ColumnData::Float(y)) => {
+            x.iter().zip(y).map(|(p, q)| apply(p.total_cmp(q))).collect()
+        }
+        (ColumnData::Int(x), ColumnData::Float(y)) => x
+            .iter()
+            .zip(y)
+            .map(|(&p, q)| apply((p as f64).total_cmp(q)))
+            .collect(),
+        (ColumnData::Float(x), ColumnData::Int(y)) => x
+            .iter()
+            .zip(y)
+            .map(|(p, &q)| apply(p.total_cmp(&(q as f64))))
+            .collect(),
+        (ColumnData::Str(x), ColumnData::Str(y)) => {
+            x.iter().zip(y).map(|(p, q)| apply(p.cmp(q))).collect()
+        }
+        (ColumnData::Date(x), ColumnData::Date(y)) => {
+            x.iter().zip(y).map(|(p, q)| apply(p.cmp(q))).collect()
+        }
+        _ => (0..n).map(|i| apply(a.cmp_rows_cross(i, b, i))).collect(),
+    };
+    rebuild_opt(ColumnData::Bool(out), nulls)
+}
+
+fn logical(a: &Column, op: BinOp, b: &Column) -> Result<Column, RelationError> {
+    let (ColumnData::Bool(x), ColumnData::Bool(y)) = (a.data(), b.data()) else {
+        return Err(RelationError::Expression(
+            "AND/OR over non-boolean operands".to_string(),
+        ));
+    };
+    let n = x.len();
+    let mut out = Vec::with_capacity(n);
+    let mut nulls = Bitmap::new(n);
+    let mut any_null = false;
+    for i in 0..n {
+        let l = (!a.is_null(i)).then_some(x[i]);
+        let r = (!b.is_null(i)).then_some(y[i]);
+        // Kleene three-valued logic.
+        let v = match op {
+            BinOp::And => match (l, r) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            BinOp::Or => match (l, r) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            _ => unreachable!(),
+        };
+        match v {
+            Some(b) => out.push(b),
+            None => {
+                out.push(false);
+                nulls.set(i);
+                any_null = true;
+            }
+        }
+    }
+    rebuild_opt(ColumnData::Bool(out), any_null.then_some(nulls))
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(n) => f.write_str(n),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Bin(l, op, r) => write!(f, "({l} {op} {r})"),
+            Expr::Neg(e) => write!(f, "(-{e})"),
+            Expr::Func(func, e) => {
+                let name = match func {
+                    ScalarFunc::Sqrt => "SQRT",
+                    ScalarFunc::Abs => "ABS",
+                };
+                write!(f, "{name}({e})")
+            }
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationBuilder;
+
+    fn rel() -> Relation {
+        RelationBuilder::new()
+            .column("a", vec![1i64, 2, 3])
+            .column("b", vec![10.0f64, 20.0, 30.0])
+            .column("s", vec!["x", "y", "z"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_int_preserved() {
+        let c = Expr::col("a").add(Expr::lit(1i64)).eval(&rel()).unwrap();
+        assert_eq!(c.data_type(), DataType::Int);
+        assert_eq!(c.get(2), Value::Int(4));
+    }
+
+    #[test]
+    fn division_is_float() {
+        let c = Expr::col("a").div(Expr::lit(2i64)).eval(&rel()).unwrap();
+        assert_eq!(c.data_type(), DataType::Float);
+        assert_eq!(c.get(0), Value::Float(0.5));
+    }
+
+    #[test]
+    fn mixed_int_float_widens() {
+        let c = Expr::col("a").mul(Expr::col("b")).eval(&rel()).unwrap();
+        assert_eq!(c.data_type(), DataType::Float);
+        assert_eq!(c.get(1), Value::Float(40.0));
+    }
+
+    #[test]
+    fn comparisons_and_filter() {
+        let keep = Expr::col("a").gt(Expr::lit(1i64)).eval_filter(&rel()).unwrap();
+        assert_eq!(keep, vec![false, true, true]);
+        let keep = Expr::col("s").eq(Expr::lit("y")).eval_filter(&rel()).unwrap();
+        assert_eq!(keep, vec![false, true, false]);
+    }
+
+    #[test]
+    fn logic_three_valued() {
+        let r = RelationBuilder::new()
+            .column("p", vec![true, true, false])
+            .build()
+            .unwrap();
+        let e = Expr::col("p").and(Expr::Not(Box::new(Expr::col("p"))));
+        assert_eq!(e.eval_filter(&r).unwrap(), vec![false, false, false]);
+        let e = Expr::col("p").or(Expr::Not(Box::new(Expr::col("p"))));
+        assert_eq!(e.eval_filter(&r).unwrap(), vec![true, true, true]);
+    }
+
+    #[test]
+    fn null_propagation() {
+        let col = Column::from_values(&[Value::Int(1), Value::Null]).unwrap();
+        let r = Relation::new(
+            crate::schema::Schema::from_pairs(&[("a", DataType::Int)]).unwrap(),
+            vec![col],
+        )
+        .unwrap();
+        let c = Expr::col("a").add(Expr::lit(5i64)).eval(&r).unwrap();
+        assert_eq!(c.get(0), Value::Int(6));
+        assert!(c.is_null(1));
+        // comparisons with null are null, so the filter drops the row
+        let keep = Expr::col("a").gt_eq(Expr::lit(0i64)).eval_filter(&r).unwrap();
+        assert_eq!(keep, vec![true, false]);
+        // IS NULL sees it
+        let keep = Expr::IsNull(Box::new(Expr::col("a"))).eval_filter(&r).unwrap();
+        assert_eq!(keep, vec![false, true]);
+    }
+
+    #[test]
+    fn mod_by_zero_is_null() {
+        let r = RelationBuilder::new()
+            .column("a", vec![7i64, 9])
+            .column("d", vec![2i64, 0])
+            .build()
+            .unwrap();
+        let c = Expr::col("a").bin(BinOp::Mod, Expr::col("d")).eval(&r).unwrap();
+        assert_eq!(c.get(0), Value::Int(1));
+        assert!(c.is_null(1));
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        assert!(Expr::col("s").add(Expr::lit(1i64)).eval(&rel()).is_err());
+        assert!(Expr::col("a").and(Expr::col("a")).eval(&rel()).is_err());
+        assert!(Expr::col("a").eval_filter(&rel()).is_err());
+        assert!(Expr::col("missing").eval(&rel()).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_dedup() {
+        let e = Expr::col("a").add(Expr::col("b")).mul(Expr::col("a"));
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn result_type_probe_is_cheap() {
+        let e = Expr::col("a").div(Expr::lit(2i64));
+        assert_eq!(e.result_type(&rel()).unwrap(), DataType::Float);
+    }
+
+    #[test]
+    fn display() {
+        let e = Expr::col("a").add(Expr::lit(1i64)).lt(Expr::col("b"));
+        assert_eq!(e.to_string(), "((a + 1) < b)");
+    }
+
+    #[test]
+    fn literal_broadcast_on_empty_relation() {
+        let empty = rel().take(&[]);
+        let c = Expr::lit(3i64).eval(&empty).unwrap();
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.data_type(), DataType::Int);
+    }
+}

@@ -1,0 +1,21 @@
+//! # rma-relation — relational model and algebra over BATs
+//!
+//! The relational layer of the RMA reproduction: schemas, relations stored
+//! column-wise, a vectorised expression evaluator, and the classical algebra
+//! (σ, π, ρ, ⋈, ×, ϑ, ∪, distinct, order, limit). The relational matrix
+//! algebra in `rma-core` builds directly on this crate.
+
+pub mod algebra;
+pub mod error;
+pub mod expr;
+pub mod relation;
+pub mod schema;
+
+pub use algebra::{
+    aggregate, cross_product, distinct, join_on, limit, natural_join, order_by, project,
+    project_exprs, rename, select, theta_join, union_all, AggFunc, AggSpec,
+};
+pub use error::RelationError;
+pub use expr::{BinOp, Expr, ScalarFunc};
+pub use relation::{Relation, RelationBuilder};
+pub use schema::{Attribute, Schema};

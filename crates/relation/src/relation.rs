@@ -1,0 +1,398 @@
+//! Relations: a schema plus one BAT per attribute.
+//!
+//! Following MonetDB, a relation is stored column-wise; all attribute
+//! columns have equal length and row `i` across the columns is tuple `i`.
+//! Relations carry an optional *name* which the RMA layer uses as the row
+//! origin of shape-(1,1) operations (`det`, `rnk` — see Fig. 9 of the
+//! paper).
+
+use crate::error::RelationError;
+use crate::schema::{Attribute, Schema};
+use rma_storage::{is_key, sort_permutation, Column, Value};
+use std::fmt;
+
+/// A relation instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    name: Option<String>,
+    schema: Schema,
+    columns: Vec<Column>,
+}
+
+impl Relation {
+    /// Build a relation from a schema and matching columns.
+    pub fn new(schema: Schema, columns: Vec<Column>) -> Result<Self, RelationError> {
+        if schema.len() != columns.len() {
+            return Err(RelationError::ArityMismatch {
+                expected: schema.len(),
+                found: columns.len(),
+            });
+        }
+        if let Some(first) = columns.first() {
+            if columns.iter().any(|c| c.len() != first.len()) {
+                return Err(RelationError::RaggedColumns);
+            }
+        }
+        for (a, c) in schema.attributes().iter().zip(&columns) {
+            if a.dtype() != c.data_type() {
+                return Err(RelationError::SchemaTypeMismatch {
+                    attribute: a.name().to_string(),
+                });
+            }
+        }
+        Ok(Relation {
+            name: None,
+            schema,
+            columns,
+        })
+    }
+
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        let columns = schema
+            .attributes()
+            .iter()
+            .map(|a| Column::new(rma_storage::ColumnData::empty(a.dtype())))
+            .collect();
+        Relation {
+            name: None,
+            schema,
+            columns,
+        }
+    }
+
+    /// Build from rows of boxed values (test/edge convenience; bulk paths
+    /// construct columns directly).
+    pub fn from_rows(schema: Schema, rows: &[Vec<Value>]) -> Result<Self, RelationError> {
+        let width = schema.len();
+        for r in rows {
+            if r.len() != width {
+                return Err(RelationError::ArityMismatch {
+                    expected: width,
+                    found: r.len(),
+                });
+            }
+        }
+        let mut columns = Vec::with_capacity(width);
+        for (j, attr) in schema.attributes().iter().enumerate() {
+            let vals: Vec<Value> = rows.iter().map(|r| r[j].clone()).collect();
+            columns.push(Column::from_values_typed(attr.dtype(), &vals)?);
+        }
+        Relation::new(schema, columns)
+    }
+
+    /// Set the relation name (used as the row origin of `det`/`rnk`).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples `|r|`.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column of an attribute by name.
+    pub fn column(&self, name: &str) -> Result<&Column, RelationError> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| RelationError::UnknownAttribute(name.to_string()))?;
+        Ok(&self.columns[idx])
+    }
+
+    /// Columns of several attributes, in the requested order.
+    pub fn columns_of(&self, names: &[&str]) -> Result<Vec<&Column>, RelationError> {
+        names.iter().map(|n| self.column(n)).collect()
+    }
+
+    /// One cell.
+    pub fn cell(&self, row: usize, attr: &str) -> Result<Value, RelationError> {
+        Ok(self.column(attr)?.get(row))
+    }
+
+    /// One tuple as boxed values.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// Iterate tuples as boxed values (edge use; bulk code works on columns).
+    pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.len()).map(move |i| self.row(i))
+    }
+
+    /// Gather rows by index, preserving schema and name.
+    pub fn take(&self, idx: &[usize]) -> Relation {
+        Relation {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.take(idx)).collect(),
+        }
+    }
+
+    /// Keep rows whose flag is set.
+    pub fn filter(&self, keep: &[bool]) -> Relation {
+        Relation {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.filter(keep)).collect(),
+        }
+    }
+
+    /// The sort permutation of this relation under the given attributes
+    /// (ascending, nulls first), i.e. the OID order of `r^{U,k}`.
+    pub fn sort_permutation_by(&self, attrs: &[&str]) -> Result<Vec<usize>, RelationError> {
+        let cols = self.columns_of(attrs)?;
+        Ok(sort_permutation(&cols))
+    }
+
+    /// Materialise the relation sorted by the given attributes.
+    pub fn sorted_by(&self, attrs: &[&str]) -> Result<Relation, RelationError> {
+        let perm = self.sort_permutation_by(attrs)?;
+        Ok(self.take(&perm))
+    }
+
+    /// Do the given attributes form a key?
+    pub fn attrs_form_key(&self, attrs: &[&str]) -> Result<bool, RelationError> {
+        if attrs.is_empty() {
+            // the empty attribute set is a key only of relations with ≤1 row
+            return Ok(self.len() <= 1);
+        }
+        let cols = self.columns_of(attrs)?;
+        Ok(is_key(&cols))
+    }
+
+    /// Verify the key property, erroring if it does not hold (relational
+    /// matrix operations require their order schema to be a key).
+    pub fn require_key(&self, attrs: &[&str]) -> Result<(), RelationError> {
+        if self.attrs_form_key(attrs)? {
+            Ok(())
+        } else {
+            Err(RelationError::NotAKey(
+                attrs.iter().map(|s| s.to_string()).collect(),
+            ))
+        }
+    }
+
+    /// Bag equality up to row order (two relations are equal as bags iff
+    /// sorting all columns the same way yields identical columns). Intended
+    /// for tests and assertions, not hot paths.
+    pub fn bag_equals(&self, other: &Relation) -> bool {
+        if self.schema != other.schema || self.len() != other.len() {
+            return false;
+        }
+        let all: Vec<&str> = self.schema.names().collect();
+        let a = match self.sorted_by(&all) {
+            Ok(r) => r,
+            Err(_) => return false,
+        };
+        let b = match other.sorted_by(&all) {
+            Ok(r) => r,
+            Err(_) => return false,
+        };
+        a.columns == b.columns
+    }
+
+    /// Replace the schema names wholesale (the rename operator ρ uses this).
+    pub(crate) fn with_schema_unchecked(mut self, schema: Schema) -> Relation {
+        debug_assert_eq!(schema.len(), self.schema.len());
+        self.schema = schema;
+        self
+    }
+
+    /// Attribute helper: the attributes of this relation as (name, type).
+    pub fn attribute(&self, name: &str) -> Result<&Attribute, RelationError> {
+        self.schema.attribute(name)
+    }
+}
+
+impl fmt::Display for Relation {
+    /// Render a bounded ASCII table (first 20 rows) for debugging.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.schema.names().collect();
+        writeln!(f, "{}", names.join(" | "))?;
+        for i in 0..self.len().min(20) {
+            let row: Vec<String> = self.columns.iter().map(|c| c.get(i).to_string()).collect();
+            writeln!(f, "{}", row.join(" | "))?;
+        }
+        if self.len() > 20 {
+            writeln!(f, "... ({} rows)", self.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for constructing relations column by column.
+#[derive(Debug, Default)]
+pub struct RelationBuilder {
+    name: Option<String>,
+    attrs: Vec<Attribute>,
+    columns: Vec<Column>,
+}
+
+impl RelationBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Add a named column; its data type is taken from the column.
+    pub fn column(mut self, name: impl Into<String>, column: impl Into<Column>) -> Self {
+        let column = column.into();
+        self.attrs.push(Attribute::new(name, column.data_type()));
+        self.columns.push(column);
+        self
+    }
+
+    pub fn build(self) -> Result<Relation, RelationError> {
+        let schema = Schema::new(self.attrs)?;
+        let mut r = Relation::new(schema, self.columns)?;
+        if let Some(n) = self.name {
+            r = r.with_name(n);
+        }
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rma_storage::DataType;
+
+    /// The weather relation of the paper's Figure 2.
+    pub(crate) fn weather() -> Relation {
+        RelationBuilder::new()
+            .name("r")
+            .column("T", vec!["5am", "8am", "7am", "6am"])
+            .column("H", vec![1.0f64, 8.0, 6.0, 1.0])
+            .column("W", vec![3.0f64, 5.0, 7.0, 4.0])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_access() {
+        let r = weather();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.schema().len(), 3);
+        assert_eq!(r.cell(1, "H").unwrap(), Value::Float(8.0));
+        assert_eq!(r.name(), Some("r"));
+    }
+
+    #[test]
+    fn arity_and_type_checks() {
+        let s = Schema::from_pairs(&[("a", DataType::Int)]).unwrap();
+        assert!(matches!(
+            Relation::new(s.clone(), vec![]),
+            Err(RelationError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            Relation::new(s, vec![Column::from(vec![1.0f64])]),
+            Err(RelationError::SchemaTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        let s =
+            Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).unwrap();
+        let r = Relation::new(
+            s,
+            vec![Column::from(vec![1i64]), Column::from(vec![1i64, 2])],
+        );
+        assert!(matches!(r, Err(RelationError::RaggedColumns)));
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let s = Schema::from_pairs(&[("u", DataType::Str), ("x", DataType::Float)]).unwrap();
+        let r = Relation::from_rows(
+            s,
+            &[
+                vec![Value::from("Ann"), Value::from(2.0)],
+                vec![Value::from("Tom"), Value::from(0.0)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.row(1), vec![Value::from("Tom"), Value::from(0.0)]);
+    }
+
+    #[test]
+    fn sorted_by_matches_paper_example() {
+        // Example 3.1: third tuple of r sorted by V... here: sort by T
+        let r = weather();
+        let s = r.sorted_by(&["T"]).unwrap();
+        let ts: Vec<Value> = s.column("T").unwrap().iter_values().collect();
+        assert_eq!(
+            ts,
+            vec![
+                Value::from("5am"),
+                Value::from("6am"),
+                Value::from("7am"),
+                Value::from("8am")
+            ]
+        );
+    }
+
+    #[test]
+    fn key_checks() {
+        let r = weather();
+        assert!(r.attrs_form_key(&["T"]).unwrap());
+        assert!(!r.attrs_form_key(&["H"]).unwrap()); // H has duplicate 1.0
+        r.require_key(&["T"]).unwrap();
+        assert!(matches!(
+            r.require_key(&["H"]),
+            Err(RelationError::NotAKey(_))
+        ));
+    }
+
+    #[test]
+    fn empty_attr_key_only_for_tiny_relations() {
+        let r = weather();
+        assert!(!r.attrs_form_key(&[]).unwrap());
+        let one = r.take(&[0]);
+        assert!(one.attrs_form_key(&[]).unwrap());
+    }
+
+    #[test]
+    fn bag_equality_ignores_row_order() {
+        let r = weather();
+        let shuffled = r.take(&[2, 0, 3, 1]);
+        assert!(r.bag_equals(&shuffled));
+        let truncated = r.take(&[0, 1]);
+        assert!(!r.bag_equals(&truncated));
+    }
+
+    #[test]
+    fn take_and_filter_preserve_name() {
+        let r = weather();
+        assert_eq!(r.take(&[0]).name(), Some("r"));
+        assert_eq!(r.filter(&[true, false, false, false]).name(), Some("r"));
+    }
+
+    #[test]
+    fn display_renders_header() {
+        let out = weather().to_string();
+        assert!(out.starts_with("T | H | W"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Relation schemas: finite, ordered lists of named, typed attributes.
+
+use crate::error::RelationError;
+use rma_storage::DataType;
+use std::fmt;
+
+/// One attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    dtype: DataType,
+}
+
+impl Attribute {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Attribute {
+            name: name.into(),
+            dtype,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+}
+
+/// A finite, ordered set of attribute names with types (the paper's `R`).
+///
+/// Attribute names are unique within a schema; order is significant (the
+/// paper's schema casts and concatenations rely on it).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate attribute names.
+    pub fn new(attributes: Vec<Attribute>) -> Result<Self, RelationError> {
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|b| b.name == a.name) {
+                return Err(RelationError::DuplicateAttribute(a.name.clone()));
+            }
+        }
+        Ok(Schema { attributes })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Result<Self, RelationError> {
+        Self::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Attribute::new(*n, *t))
+                .collect(),
+        )
+    }
+
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.attributes.iter().map(|a| a.name.as_str())
+    }
+
+    /// Position of an attribute by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    pub fn attribute(&self, name: &str) -> Result<&Attribute, RelationError> {
+        self.attributes
+            .iter()
+            .find(|a| a.name == name)
+            .ok_or_else(|| RelationError::UnknownAttribute(name.to_string()))
+    }
+
+    /// The ordered subset of this schema with the given names (order taken
+    /// from `names`, as in the paper's `U ⊆ R`).
+    pub fn subset(&self, names: &[&str]) -> Result<Schema, RelationError> {
+        let mut attrs = Vec::with_capacity(names.len());
+        for n in names {
+            attrs.push(self.attribute(n)?.clone());
+        }
+        Schema::new(attrs)
+    }
+
+    /// The complement `U̅ = R − U`, preserving this schema's order.
+    pub fn complement(&self, names: &[&str]) -> Schema {
+        Schema {
+            attributes: self
+                .attributes
+                .iter()
+                .filter(|a| !names.contains(&a.name.as_str()))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Concatenate two schemas (`U ◦ V`), rejecting name collisions.
+    pub fn concat(&self, other: &Schema) -> Result<Schema, RelationError> {
+        let mut attrs = self.attributes.clone();
+        attrs.extend(other.attributes.iter().cloned());
+        Schema::new(attrs)
+    }
+
+    /// Union compatibility: same length, pairwise same types (names may
+    /// differ — needed by `add`/`sub`/`emu` whose application schemas must be
+    /// union compatible).
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        self.len() == other.len()
+            && self
+                .attributes
+                .iter()
+                .zip(&other.attributes)
+                .all(|(a, b)| a.dtype == b.dtype)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", a.name, a.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("T", DataType::Str),
+            ("H", DataType::Float),
+            ("W", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(matches!(
+            Schema::from_pairs(&[("a", DataType::Int), ("a", DataType::Int)]),
+            Err(RelationError::DuplicateAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn subset_preserves_requested_order() {
+        let s = schema().subset(&["W", "T"]).unwrap();
+        let names: Vec<_> = s.names().collect();
+        assert_eq!(names, vec!["W", "T"]);
+    }
+
+    #[test]
+    fn subset_unknown_attribute() {
+        assert!(schema().subset(&["X"]).is_err());
+    }
+
+    #[test]
+    fn complement_preserves_schema_order() {
+        let c = schema().complement(&["T"]);
+        let names: Vec<_> = c.names().collect();
+        assert_eq!(names, vec!["H", "W"]);
+    }
+
+    #[test]
+    fn concat_rejects_collision() {
+        let a = Schema::from_pairs(&[("x", DataType::Int)]).unwrap();
+        let b = Schema::from_pairs(&[("x", DataType::Float)]).unwrap();
+        assert!(a.concat(&b).is_err());
+        let c = Schema::from_pairs(&[("y", DataType::Float)]).unwrap();
+        assert_eq!(a.concat(&c).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn union_compatibility_ignores_names() {
+        let a = Schema::from_pairs(&[("x", DataType::Float), ("y", DataType::Float)]).unwrap();
+        let b = Schema::from_pairs(&[("p", DataType::Float), ("q", DataType::Float)]).unwrap();
+        let c = Schema::from_pairs(&[("p", DataType::Float), ("q", DataType::Str)]).unwrap();
+        assert!(a.union_compatible(&b));
+        assert!(!a.union_compatible(&c));
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::from_pairs(&[("a", DataType::Int)]).unwrap();
+        assert_eq!(s.to_string(), "(a INT)");
+    }
+}

@@ -1,0 +1,36 @@
+//! # rma — relational matrix algebra in a column store
+//!
+//! Facade crate of the RMA reproduction (Dolmatova, Augsten, Böhlen,
+//! SIGMOD 2020): re-exports the storage, relational, linear-algebra, RMA,
+//! SQL, and data-generation layers under one roof.
+//!
+//! ```
+//! use rma::sql::Engine;
+//!
+//! let mut e = Engine::new();
+//! e.execute("CREATE TABLE rating (u VARCHAR, balto DOUBLE, heat DOUBLE, net DOUBLE)").unwrap();
+//! e.execute("INSERT INTO rating VALUES ('Ann', 2.0, 1.5, 0.5), \
+//!            ('Tom', 0.0, 0.0, 1.5), ('Jan', 1.0, 4.0, 1.0)").unwrap();
+//! // the paper's introduction query
+//! let inv = e.query("SELECT * FROM INV(rating BY u)").unwrap();
+//! assert_eq!(inv.len(), 3);
+//! ```
+
+/// BAT column store (storage kernel).
+pub use rma_storage as storage;
+/// Relational model and algebra.
+pub use rma_relation as relation;
+/// Dense and column-at-a-time linear algebra kernels.
+pub use rma_linalg as linalg;
+/// The relational matrix algebra (the paper's contribution).
+pub use rma_core as core;
+/// SQL frontend with the `OP(r BY U)` extension.
+pub use rma_sql as sql;
+/// Synthetic dataset generators.
+pub use rma_data as data;
+
+// The most-used items at the top level.
+pub use rma_core::{RmaContext, RmaError, RmaOp, RmaOptions};
+pub use rma_relation::{Expr, Relation, RelationBuilder, Schema};
+pub use rma_sql::Engine;
+pub use rma_storage::{DataType, Value};

@@ -1,0 +1,146 @@
+//! Abstract syntax tree for the SQL dialect.
+//!
+//! The dialect covers the paper's needs: SELECT-FROM-WHERE with joins,
+//! grouping and aggregates, plus the RMA extension — relational matrix
+//! operations as table expressions with `BY` order schemas (§7.2):
+//!
+//! ```sql
+//! SELECT * FROM INV(r BY U);
+//! SELECT * FROM MMU(r BY U, s BY V);
+//! ```
+
+use rma_core::RmaOp;
+use rma_relation::{AggFunc, BinOp};
+use rma_storage::{DataType, Value};
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    CreateTable {
+        name: String,
+        columns: Vec<(String, DataType)>,
+    },
+    Insert {
+        table: String,
+        rows: Vec<Vec<Value>>,
+    },
+    DropTable {
+        name: String,
+    },
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: TableExpr,
+    pub where_clause: Option<SqlExpr>,
+    pub group_by: Vec<String>,
+    pub order_by: Vec<(String, bool)>,
+    pub limit: Option<usize>,
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// Expression with optional alias.
+    Expr { expr: SqlExpr, alias: Option<String> },
+}
+
+/// Table expressions of the FROM clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableExpr {
+    /// Base table reference with optional alias.
+    Table { name: String, alias: Option<String> },
+    /// Derived table `( SELECT ... ) AS alias`.
+    Subquery {
+        query: Box<SelectStmt>,
+        alias: String,
+    },
+    /// `left JOIN right ON l = r [AND ...]`.
+    JoinOn {
+        left: Box<TableExpr>,
+        right: Box<TableExpr>,
+        on: Vec<(ColRef, ColRef)>,
+    },
+    /// `left NATURAL JOIN right`.
+    NaturalJoin {
+        left: Box<TableExpr>,
+        right: Box<TableExpr>,
+    },
+    /// `left CROSS JOIN right`.
+    CrossJoin {
+        left: Box<TableExpr>,
+        right: Box<TableExpr>,
+    },
+    /// The RMA extension: `OP(t BY a, b [, t2 BY c])`.
+    RmaCall {
+        op: RmaOp,
+        args: Vec<RmaArg>,
+        alias: Option<String>,
+    },
+}
+
+/// One argument of an RMA table expression: a table expression plus its
+/// order schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmaArg {
+    pub table: Box<TableExpr>,
+    pub order: Vec<String>,
+}
+
+/// A possibly-qualified column reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColRef {
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+impl ColRef {
+    pub fn plain(name: impl Into<String>) -> Self {
+        ColRef {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+}
+
+/// Scalar expressions (superset of the executable expressions: aggregates
+/// are extracted during planning).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    Col(ColRef),
+    Lit(Value),
+    Bin(Box<SqlExpr>, BinOp, Box<SqlExpr>),
+    Neg(Box<SqlExpr>),
+    Not(Box<SqlExpr>),
+    IsNull(Box<SqlExpr>),
+    IsNotNull(Box<SqlExpr>),
+    /// Aggregate call; `arg` is `None` for `COUNT(*)`.
+    Agg {
+        func: AggFunc,
+        arg: Option<ColRef>,
+    },
+    /// Unary scalar function call (SQRT, ABS).
+    Func(rma_relation::ScalarFunc, Box<SqlExpr>),
+}
+
+impl SqlExpr {
+    /// Does the expression contain an aggregate call?
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            SqlExpr::Agg { .. } => true,
+            SqlExpr::Col(_) | SqlExpr::Lit(_) => false,
+            SqlExpr::Bin(l, _, r) => l.has_aggregate() || r.has_aggregate(),
+            SqlExpr::Neg(e)
+            | SqlExpr::Not(e)
+            | SqlExpr::IsNull(e)
+            | SqlExpr::IsNotNull(e)
+            | SqlExpr::Func(_, e) => e.has_aggregate(),
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Named-relation catalog.
+
+use crate::error::SqlError;
+use rma_relation::Relation;
+use std::collections::HashMap;
+
+/// A case-insensitive map from table names to relations.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Relation>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a relation under a name (the relation is renamed to match,
+    /// so (1,1)-shaped RMA results carry the right row origin).
+    pub fn register(&mut self, name: &str, relation: Relation) -> Result<(), SqlError> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(SqlError::TableExists(name.to_string()));
+        }
+        self.tables.insert(key, relation.with_name(name));
+        Ok(())
+    }
+
+    /// Replace or insert a relation.
+    pub fn put(&mut self, name: &str, relation: Relation) {
+        self.tables
+            .insert(name.to_ascii_lowercase(), relation.with_name(name));
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    pub fn remove(&mut self, name: &str) -> Option<Relation> {
+        self.tables.remove(&name.to_ascii_lowercase())
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Iterate table names (sorted, for deterministic output).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rma_relation::RelationBuilder;
+
+    fn rel() -> Relation {
+        RelationBuilder::new().column("a", vec![1i64]).build().unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let mut c = Catalog::new();
+        c.register("Trips", rel()).unwrap();
+        assert!(c.get("trips").is_some());
+        assert!(c.get("TRIPS").is_some());
+        assert!(c.contains("tRiPs"));
+        assert_eq!(c.get("trips").unwrap().name(), Some("Trips"));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut c = Catalog::new();
+        c.register("t", rel()).unwrap();
+        assert!(matches!(
+            c.register("T", rel()),
+            Err(SqlError::TableExists(_))
+        ));
+        // put replaces silently
+        c.put("t", rel());
+        assert!(c.get("t").is_some());
+    }
+
+    #[test]
+    fn remove_and_names() {
+        let mut c = Catalog::new();
+        c.register("b", rel()).unwrap();
+        c.register("a", rel()).unwrap();
+        assert_eq!(c.table_names(), vec!["a", "b"]);
+        assert!(c.remove("B").is_some());
+        assert!(c.get("b").is_none());
+    }
+}

@@ -1,0 +1,322 @@
+//! The SQL engine: parse → plan → optimize → execute.
+
+use crate::ast::Statement;
+use crate::catalog::Catalog;
+use crate::error::SqlError;
+use crate::executor::execute;
+use crate::optimizer::optimize;
+use crate::parser::{parse, parse_script};
+use crate::plan::{explain, plan_select, Plan};
+use rma_core::{RmaContext, RmaOptions};
+use rma_relation::{Relation, Schema};
+use rma_storage::Column;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// A SELECT result.
+    Relation(Relation),
+    /// DDL/DML acknowledgement with affected-row count.
+    Done { rows_affected: usize },
+}
+
+impl QueryResult {
+    /// Unwrap a SELECT result.
+    pub fn relation(self) -> Result<Relation, SqlError> {
+        match self {
+            QueryResult::Relation(r) => Ok(r),
+            QueryResult::Done { .. } => Err(SqlError::Plan(
+                "statement did not produce a relation".to_string(),
+            )),
+        }
+    }
+}
+
+/// An embedded SQL engine over the RMA-extended dialect.
+#[derive(Debug, Default)]
+pub struct Engine {
+    pub catalog: Catalog,
+    rma: RmaContext,
+    /// Disable the optimizer to measure its effect (ablation benches).
+    pub optimize: bool,
+}
+
+impl Engine {
+    pub fn new() -> Self {
+        Engine {
+            catalog: Catalog::new(),
+            rma: RmaContext::default(),
+            optimize: true,
+        }
+    }
+
+    /// Engine with explicit RMA options (backend, sort policy, …).
+    pub fn with_options(options: RmaOptions) -> Self {
+        Engine {
+            catalog: Catalog::new(),
+            rma: RmaContext::new(options),
+            optimize: true,
+        }
+    }
+
+    /// The RMA execution context (for reading kernel statistics).
+    pub fn rma_context(&self) -> &RmaContext {
+        &self.rma
+    }
+
+    /// Register a Rust-created relation as a table.
+    pub fn register(&mut self, name: &str, relation: Relation) -> Result<(), SqlError> {
+        self.catalog.register(name, relation)
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, SqlError> {
+        let stmt = parse(sql)?;
+        self.run_statement(stmt)
+    }
+
+    /// Execute a `;`-separated script, returning the last result.
+    pub fn execute_script(&mut self, sql: &str) -> Result<QueryResult, SqlError> {
+        let stmts = parse_script(sql)?;
+        let mut last = QueryResult::Done { rows_affected: 0 };
+        for stmt in stmts {
+            last = self.run_statement(stmt)?;
+        }
+        Ok(last)
+    }
+
+    /// Convenience: run a SELECT and return the relation.
+    pub fn query(&mut self, sql: &str) -> Result<Relation, SqlError> {
+        self.execute(sql)?.relation()
+    }
+
+    /// EXPLAIN: the (optimized) plan of a SELECT, as text.
+    pub fn explain(&self, sql: &str) -> Result<String, SqlError> {
+        let stmt = parse(sql)?;
+        let Statement::Select(sel) = stmt else {
+            return Err(SqlError::Plan("EXPLAIN requires a SELECT".to_string()));
+        };
+        let plan = self.build_plan(&sel)?;
+        Ok(explain(&plan))
+    }
+
+    fn build_plan(&self, sel: &crate::ast::SelectStmt) -> Result<Plan, SqlError> {
+        let plan = plan_select(sel)?;
+        Ok(if self.optimize {
+            optimize(plan, &self.catalog)
+        } else {
+            plan
+        })
+    }
+
+    fn run_statement(&mut self, stmt: Statement) -> Result<QueryResult, SqlError> {
+        match stmt {
+            Statement::Select(sel) => {
+                let plan = self.build_plan(&sel)?;
+                let rel = execute(&plan, &self.catalog, &self.rma)?;
+                Ok(QueryResult::Relation(rel))
+            }
+            Statement::CreateTable { name, columns } => {
+                let schema = Schema::new(
+                    columns
+                        .iter()
+                        .map(|(n, t)| rma_relation::Attribute::new(n.clone(), *t))
+                        .collect(),
+                )
+                .map_err(SqlError::Relation)?;
+                self.catalog.register(&name, Relation::empty(schema))?;
+                Ok(QueryResult::Done { rows_affected: 0 })
+            }
+            Statement::Insert { table, rows } => {
+                let existing = self
+                    .catalog
+                    .get(&table)
+                    .ok_or_else(|| SqlError::UnknownTable(table.clone()))?
+                    .clone();
+                let incoming = Relation::from_rows(existing.schema().clone(), &rows)
+                    .map_err(SqlError::Relation)?;
+                let mut columns: Vec<Column> = existing.columns().to_vec();
+                for (c, new) in columns.iter_mut().zip(incoming.columns()) {
+                    c.append(new).map_err(rma_relation::RelationError::from)?;
+                }
+                let combined = Relation::new(existing.schema().clone(), columns)
+                    .map_err(SqlError::Relation)?;
+                let n = rows.len();
+                self.catalog.put(&table, combined);
+                Ok(QueryResult::Done { rows_affected: n })
+            }
+            Statement::DropTable { name } => {
+                if self.catalog.remove(&name).is_none() {
+                    return Err(SqlError::UnknownTable(name));
+                }
+                Ok(QueryResult::Done { rows_affected: 0 })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rma_storage::Value;
+
+    fn engine_with_rating() -> Engine {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE rating (u VARCHAR, Balto DOUBLE, Heat DOUBLE, Net DOUBLE)")
+            .unwrap();
+        e.execute(
+            "INSERT INTO rating VALUES ('Ann', 2.0, 1.5, 0.5), ('Tom', 0.0, 0.0, 1.5), ('Jan', 1.0, 4.0, 1.0)",
+        )
+        .unwrap();
+        e
+    }
+
+    #[test]
+    fn create_insert_select() {
+        let mut e = engine_with_rating();
+        let r = e.query("SELECT * FROM rating WHERE u = 'Ann'").unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.cell(0, "Balto").unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn paper_intro_query() {
+        let mut e = engine_with_rating();
+        let inv = e.query("SELECT * FROM INV(rating BY u)").unwrap();
+        assert_eq!(inv.len(), 3);
+        let names: Vec<_> = inv.schema().names().collect();
+        assert_eq!(names, vec!["u", "Balto", "Heat", "Net"]);
+        // rows sorted by user: Ann, Jan, Tom
+        assert_eq!(inv.cell(0, "u").unwrap(), Value::from("Ann"));
+        assert_eq!(inv.cell(1, "u").unwrap(), Value::from("Jan"));
+    }
+
+    #[test]
+    fn nested_rma_and_relational() {
+        let mut e = engine_with_rating();
+        let r = e
+            .query("SELECT * FROM TRA(TRA(rating BY u) BY C) WHERE C = 'Jan'")
+            .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.cell(0, "Heat").unwrap(), Value::Float(4.0));
+    }
+
+    #[test]
+    fn aggregates_and_arithmetic() {
+        let mut e = engine_with_rating();
+        let r = e
+            .query("SELECT COUNT(*) AS n, AVG(Heat) AS h FROM rating")
+            .unwrap();
+        assert_eq!(r.cell(0, "n").unwrap(), Value::Int(3));
+        let Value::Float(h) = r.cell(0, "h").unwrap() else {
+            panic!()
+        };
+        assert!((h - (1.5 + 4.0) / 3.0).abs() < 1e-12);
+        let r = e
+            .query("SELECT u, Balto + Net AS s FROM rating ORDER BY s DESC LIMIT 1")
+            .unwrap();
+        assert_eq!(r.cell(0, "u").unwrap(), Value::from("Ann"));
+    }
+
+    #[test]
+    fn insert_appends() {
+        let mut e = engine_with_rating();
+        let res = e
+            .execute("INSERT INTO rating VALUES ('Zoe', 1.0, 1.0, 1.0)")
+            .unwrap();
+        assert_eq!(res, QueryResult::Done { rows_affected: 1 });
+        assert_eq!(e.query("SELECT * FROM rating").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn drop_and_unknown_tables() {
+        let mut e = engine_with_rating();
+        e.execute("DROP TABLE rating").unwrap();
+        assert!(matches!(
+            e.query("SELECT * FROM rating"),
+            Err(SqlError::UnknownTable(_))
+        ));
+        assert!(e.execute("DROP TABLE rating").is_err());
+    }
+
+    #[test]
+    fn explain_shows_pushdown() {
+        let mut e = engine_with_rating();
+        e.execute("CREATE TABLE f (t VARCHAR, d VARCHAR)").unwrap();
+        let plan = e
+            .explain("SELECT * FROM rating JOIN f ON u = t WHERE d = 'Lee'")
+            .unwrap();
+        let join = plan.find("JoinOn").unwrap();
+        let filt = plan.find("Filter").unwrap();
+        assert!(filt > join, "expected pushdown:\n{plan}");
+        // and without the optimizer the filter stays on top
+        e.optimize = false;
+        let plan = e
+            .explain("SELECT * FROM rating JOIN f ON u = t WHERE d = 'Lee'")
+            .unwrap();
+        assert!(plan.starts_with("Filter"));
+    }
+
+    #[test]
+    fn execute_script_returns_last() {
+        let mut e = Engine::new();
+        let r = e
+            .execute_script(
+                "CREATE TABLE t (a INT); INSERT INTO t VALUES (1),(2); SELECT * FROM t;",
+            )
+            .unwrap()
+            .relation()
+            .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn insert_type_mismatch_rejected() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE t (a INT)").unwrap();
+        assert!(e.execute("INSERT INTO t VALUES ('x')").is_err());
+    }
+
+    #[test]
+    fn rma_error_surfaces() {
+        let mut e = engine_with_rating();
+        // duplicate order values: Balto is not a key of (Balto-only proj)?
+        e.execute("CREATE TABLE dup (k INT, x DOUBLE)").unwrap();
+        e.execute("INSERT INTO dup VALUES (1, 1.0), (1, 2.0)").unwrap();
+        assert!(matches!(
+            e.query("SELECT * FROM QQR(dup BY k)"),
+            Err(SqlError::Rma(_))
+        ));
+    }
+
+    #[test]
+    fn paper_folded_query_runs() {
+        // the §7.2 SQL translation, end to end on the Figure 5/7 data
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE w1 (U VARCHAR, B DOUBLE, H DOUBLE, N DOUBLE)")
+            .unwrap();
+        e.execute("INSERT INTO w1 VALUES ('Ann', 2.0, 1.5, 0.5), ('Jan', 1.0, 4.0, 1.0)")
+            .unwrap();
+        e.execute("CREATE TABLE w3 (U VARCHAR, B DOUBLE, H DOUBLE, N DOUBLE)")
+            .unwrap();
+        e.execute(
+            "INSERT INTO w3 VALUES ('Ann', -0.5, -1.25, -0.25), ('Jan', 0.5, 1.25, 0.25)",
+        )
+        .unwrap();
+        // w4 = TRA(w3 BY U) as a subexpression of the folded query
+        let r = e
+            .query(
+                "SELECT C, B/(M-1) AS B, H/(M-1) AS H, N/(M-1) AS N \
+                 FROM MMU(TRA(w3 BY U) BY C, w3 BY U) AS w5 \
+                 CROSS JOIN ( SELECT COUNT(*) AS M FROM w1 ) AS t",
+            )
+            .unwrap();
+        assert_eq!(r.len(), 3);
+        let names: Vec<_> = r.schema().names().collect();
+        assert_eq!(names, vec!["C", "B", "H", "N"]);
+        // covariance of B with B over the two centred rows: (0.25+0.25)/1
+        let sorted = r.sorted_by(&["C"]).unwrap();
+        assert_eq!(sorted.cell(0, "C").unwrap(), Value::from("B"));
+        assert_eq!(sorted.cell(0, "B").unwrap(), Value::Float(0.5));
+    }
+}

@@ -1,0 +1,60 @@
+//! SQL-layer error type.
+
+use rma_core::RmaError;
+use rma_relation::RelationError;
+use std::fmt;
+
+/// Errors produced by the SQL frontend.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Tokenizer error.
+    Lex(String),
+    /// Parser error.
+    Parse(String),
+    /// Unknown table.
+    UnknownTable(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// Semantic error while planning (unknown columns, bad aggregates, …).
+    Plan(String),
+    /// Relational execution error.
+    Relation(RelationError),
+    /// Relational matrix operation error.
+    Rma(RmaError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex(m) => write!(f, "lex error: {m}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            SqlError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            SqlError::Plan(m) => write!(f, "planning error: {m}"),
+            SqlError::Relation(e) => write!(f, "{e}"),
+            SqlError::Rma(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Relation(e) => Some(e),
+            SqlError::Rma(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for SqlError {
+    fn from(e: RelationError) -> Self {
+        SqlError::Relation(e)
+    }
+}
+
+impl From<RmaError> for SqlError {
+    fn from(e: RmaError) -> Self {
+        SqlError::Rma(e)
+    }
+}

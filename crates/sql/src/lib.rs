@@ -1,0 +1,32 @@
+//! # rma-sql — SQL frontend with the RMA table-expression extension
+//!
+//! Implements the paper's §7.2 SQL integration: relational matrix
+//! operations appear in the FROM clause as table expressions with `BY`
+//! order schemas, composable with joins, subqueries, aggregates, and
+//! ordinary SQL:
+//!
+//! ```
+//! use rma_sql::Engine;
+//!
+//! let mut e = Engine::new();
+//! e.execute("CREATE TABLE r (t VARCHAR, h DOUBLE, w DOUBLE)").unwrap();
+//! e.execute("INSERT INTO r VALUES ('7am', 6.0, 7.0), ('8am', 8.0, 5.0)").unwrap();
+//! let inv = e.query("SELECT * FROM INV(r BY t)").unwrap();
+//! assert_eq!(inv.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod catalog;
+pub mod engine;
+pub mod error;
+pub mod executor;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+
+pub use catalog::Catalog;
+pub use engine::{Engine, QueryResult};
+pub use error::SqlError;
+pub use parser::{parse, parse_script};
+pub use plan::{explain, plan_select, Plan};

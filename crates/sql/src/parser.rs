@@ -1,0 +1,842 @@
+//! Recursive-descent parser for the SQL dialect with the RMA extension.
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::lexer::{tokenize, Token};
+use rma_core::RmaOp;
+use rma_relation::{AggFunc, BinOp};
+use rma_storage::{DataType, Value};
+
+/// Parse a single SQL statement (trailing semicolon optional).
+pub fn parse(sql: &str) -> Result<Statement, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_semicolons();
+    if !p.at_end() {
+        return Err(SqlError::Parse(format!(
+            "unexpected trailing input at `{}`",
+            p.peek_display()
+        )));
+    }
+    Ok(stmt)
+}
+
+/// Parse a script of `;`-separated statements.
+pub fn parse_script(sql: &str) -> Result<Vec<Statement>, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    p.eat_semicolons();
+    while !p.at_end() {
+        out.push(p.statement()?);
+        p.eat_semicolons();
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_display(&self) -> String {
+        self.peek().map_or("<end>".to_string(), |t| t.to_string())
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume the next token if it is the given keyword (case-insensitive).
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected `{kw}`, found `{}`",
+                self.peek_display()
+            )))
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), SqlError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected `{t}`, found `{}`",
+                self.peek_display()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found `{}`",
+                other.map_or("<end>".to_string(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    fn eat_semicolons(&mut self) {
+        while self.eat(&Token::Semicolon) {}
+    }
+
+    // ------------------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        if self.peek_kw("SELECT") {
+            Ok(Statement::Select(self.select()?))
+        } else if self.eat_kw("CREATE") {
+            self.expect_kw("TABLE")?;
+            self.create_table()
+        } else if self.eat_kw("INSERT") {
+            self.expect_kw("INTO")?;
+            self.insert()
+        } else if self.eat_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            let name = self.ident()?;
+            Ok(Statement::DropTable { name })
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected statement, found `{}`",
+                self.peek_display()
+            )))
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement, SqlError> {
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.ident()?;
+            let dt = match ty.to_ascii_uppercase().as_str() {
+                "INT" | "INTEGER" | "BIGINT" => DataType::Int,
+                "DOUBLE" | "FLOAT" | "REAL" | "DECIMAL" | "NUMERIC" => DataType::Float,
+                "VARCHAR" | "TEXT" | "STRING" | "CHAR" => DataType::Str,
+                "BOOLEAN" | "BOOL" => DataType::Bool,
+                "DATE" => DataType::Date,
+                other => {
+                    return Err(SqlError::Parse(format!("unknown type `{other}`")));
+                }
+            };
+            // optional length parameter, e.g. VARCHAR(20)
+            if self.eat(&Token::LParen) {
+                self.next();
+                self.expect(&Token::RParen)?;
+            }
+            columns.push((col, dt));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn insert(&mut self) -> Result<Statement, SqlError> {
+        let table = self.ident()?;
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn literal(&mut self) -> Result<Value, SqlError> {
+        let neg = self.eat(&Token::Minus);
+        let v = match self.next() {
+            Some(Token::Int(v)) => Value::Int(if neg { -v } else { v }),
+            Some(Token::Float(v)) => Value::Float(if neg { -v } else { v }),
+            Some(Token::Str(s)) if !neg => Value::Str(s),
+            Some(Token::Ident(s)) if !neg && s.eq_ignore_ascii_case("NULL") => Value::Null,
+            Some(Token::Ident(s)) if !neg && s.eq_ignore_ascii_case("TRUE") => Value::Bool(true),
+            Some(Token::Ident(s)) if !neg && s.eq_ignore_ascii_case("FALSE") => {
+                Value::Bool(false)
+            }
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "expected literal, found `{}`",
+                    other.map_or("<end>".to_string(), |t| t.to_string())
+                )))
+            }
+        };
+        Ok(v)
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, SqlError> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&Token::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let from = self.table_expr()?;
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.column_name()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let col = self.column_name()?;
+                let asc = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push((col, asc));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "expected LIMIT count, found `{}`",
+                        other.map_or("<end>".to_string(), |t| t.to_string())
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    /// A column name, possibly qualified; the qualifier is dropped (names
+    /// must be unambiguous after joins in this dialect).
+    fn column_name(&mut self) -> Result<String, SqlError> {
+        let first = self.ident()?;
+        if self.eat(&Token::Dot) {
+            Ok(self.ident()?)
+        } else {
+            Ok(first)
+        }
+    }
+
+    // ---------------- FROM clause ----------------
+
+    fn table_expr(&mut self) -> Result<TableExpr, SqlError> {
+        let mut left = self.table_primary()?;
+        loop {
+            if self.eat_kw("CROSS") {
+                self.expect_kw("JOIN")?;
+                let right = self.table_primary()?;
+                left = TableExpr::CrossJoin {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                };
+            } else if self.eat_kw("NATURAL") {
+                self.expect_kw("JOIN")?;
+                let right = self.table_primary()?;
+                left = TableExpr::NaturalJoin {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                };
+            } else if self.eat_kw("INNER") || self.peek_kw("JOIN") {
+                self.expect_kw("JOIN")?;
+                let right = self.table_primary()?;
+                self.expect_kw("ON")?;
+                let mut on = Vec::new();
+                loop {
+                    let l = self.col_ref()?;
+                    self.expect(&Token::Eq)?;
+                    let r = self.col_ref()?;
+                    on.push((l, r));
+                    if !self.eat_kw("AND") {
+                        break;
+                    }
+                }
+                left = TableExpr::JoinOn {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    on,
+                };
+            } else if self.eat(&Token::Comma) {
+                // implicit cross join: FROM a, b
+                let right = self.table_primary()?;
+                left = TableExpr::CrossJoin {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn table_primary(&mut self) -> Result<TableExpr, SqlError> {
+        if self.eat(&Token::LParen) {
+            // subquery
+            let query = self.select()?;
+            self.expect(&Token::RParen)?;
+            self.eat_kw("AS");
+            let alias = self.ident()?;
+            return Ok(TableExpr::Subquery {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.ident()?;
+        // RMA call: OP ( texpr BY cols [, texpr BY cols] )
+        if let Some(op) = RmaOp::parse(&name) {
+            if self.peek() == Some(&Token::LParen) {
+                self.next();
+                let mut args = Vec::new();
+                let table = self.table_expr()?;
+                self.expect_kw("BY")?;
+                let mut order = vec![self.column_name()?];
+                // order attributes separated by commas — but a comma may
+                // also start the second RMA argument; disambiguate by
+                // checking whether a table expression + BY follows
+                while self.eat(&Token::Comma) {
+                    if self.starts_rma_arg() {
+                        let table2 = self.table_expr()?;
+                        self.expect_kw("BY")?;
+                        let mut order2 = vec![self.column_name()?];
+                        while self.eat(&Token::Comma) {
+                            if self.starts_rma_arg() {
+                                return Err(SqlError::Parse(
+                                    "RMA operations take at most two arguments".to_string(),
+                                ));
+                            }
+                            order2.push(self.column_name()?);
+                        }
+                        args.push(RmaArg {
+                            table: Box::new(table),
+                            order,
+                        });
+                        args.push(RmaArg {
+                            table: Box::new(table2),
+                            order: order2,
+                        });
+                        self.expect(&Token::RParen)?;
+                        return self.finish_rma(op, args);
+                    }
+                    order.push(self.column_name()?);
+                }
+                args.push(RmaArg {
+                    table: Box::new(table),
+                    order,
+                });
+                self.expect(&Token::RParen)?;
+                return self.finish_rma(op, args);
+            }
+        }
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if let Some(Token::Ident(s)) = self.peek() {
+            // bare alias, unless it is a clause keyword
+            const KEYWORDS: [&str; 13] = [
+                "WHERE", "GROUP", "ORDER", "LIMIT", "JOIN", "CROSS", "NATURAL", "INNER", "ON",
+                "BY", "AND", "AS", "UNION",
+            ];
+            if KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k)) {
+                None
+            } else {
+                Some(self.ident()?)
+            }
+        } else {
+            None
+        };
+        Ok(TableExpr::Table { name, alias })
+    }
+
+    /// Lookahead: does the upcoming input look like `<table primary> ... BY`
+    /// (the second argument of a binary RMA call) rather than another order
+    /// attribute?
+    fn starts_rma_arg(&self) -> bool {
+        // a subquery or an identifier followed by BY / ( … ) BY
+        match self.peek() {
+            Some(Token::LParen) => true,
+            Some(Token::Ident(_)) => {
+                matches!(self.tokens.get(self.pos + 1), Some(Token::Ident(s)) if s.eq_ignore_ascii_case("BY"))
+                    || matches!(self.tokens.get(self.pos + 1), Some(Token::LParen))
+            }
+            _ => false,
+        }
+    }
+
+    fn finish_rma(&mut self, op: RmaOp, args: Vec<RmaArg>) -> Result<TableExpr, SqlError> {
+        let expected = if op.is_binary() { 2 } else { 1 };
+        if args.len() != expected {
+            return Err(SqlError::Parse(format!(
+                "{} takes {expected} argument(s), found {}",
+                op.name().to_uppercase(),
+                args.len()
+            )));
+        }
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableExpr::RmaCall { op, args, alias })
+    }
+
+    fn col_ref(&mut self) -> Result<ColRef, SqlError> {
+        let first = self.ident()?;
+        if self.eat(&Token::Dot) {
+            let name = self.ident()?;
+            Ok(ColRef {
+                qualifier: Some(first),
+                name,
+            })
+        } else {
+            Ok(ColRef {
+                qualifier: None,
+                name: first,
+            })
+        }
+    }
+
+    // ---------------- scalar expressions ----------------
+
+    fn expr(&mut self) -> Result<SqlExpr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = SqlExpr::Bin(Box::new(left), BinOp::Or, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = SqlExpr::Bin(Box::new(left), BinOp::And, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        if self.eat_kw("NOT") {
+            Ok(SqlExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<SqlExpr, SqlError> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::NotEq) => Some(BinOp::NotEq),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::LtEq) => Some(BinOp::LtEq),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::GtEq) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.next();
+            let right = self.additive()?;
+            return Ok(SqlExpr::Bin(Box::new(left), op, Box::new(right)));
+        }
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let not = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(if not {
+                SqlExpr::IsNotNull(Box::new(left))
+            } else {
+                SqlExpr::IsNull(Box::new(left))
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let right = self.multiplicative()?;
+            left = SqlExpr::Bin(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.next();
+            let right = self.unary()?;
+            left = SqlExpr::Bin(Box::new(left), op, Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<SqlExpr, SqlError> {
+        if self.eat(&Token::Minus) {
+            return Ok(SqlExpr::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr, SqlError> {
+        match self.peek().cloned() {
+            Some(Token::LParen) => {
+                self.next();
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Int(v)) => {
+                self.next();
+                Ok(SqlExpr::Lit(Value::Int(v)))
+            }
+            Some(Token::Float(v)) => {
+                self.next();
+                Ok(SqlExpr::Lit(Value::Float(v)))
+            }
+            Some(Token::Str(s)) => {
+                self.next();
+                Ok(SqlExpr::Lit(Value::Str(s)))
+            }
+            Some(Token::Ident(s)) => {
+                // scalar function?
+                if let Some(func) = scalar_func(&s) {
+                    if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
+                        self.next(); // name
+                        self.next(); // (
+                        let arg = self.expr()?;
+                        self.expect(&Token::RParen)?;
+                        return Ok(SqlExpr::Func(func, Box::new(arg)));
+                    }
+                }
+                // aggregate?
+                if let Some(func) = agg_func(&s) {
+                    if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
+                        self.next(); // name
+                        self.next(); // (
+                        let arg = if self.eat(&Token::Star) {
+                            None
+                        } else {
+                            Some(self.col_ref()?)
+                        };
+                        self.expect(&Token::RParen)?;
+                        let func = if arg.is_none() && func == AggFunc::Count {
+                            AggFunc::CountStar
+                        } else {
+                            func
+                        };
+                        return Ok(SqlExpr::Agg { func, arg });
+                    }
+                }
+                if s.eq_ignore_ascii_case("NULL") {
+                    self.next();
+                    return Ok(SqlExpr::Lit(Value::Null));
+                }
+                if s.eq_ignore_ascii_case("TRUE") {
+                    self.next();
+                    return Ok(SqlExpr::Lit(Value::Bool(true)));
+                }
+                if s.eq_ignore_ascii_case("FALSE") {
+                    self.next();
+                    return Ok(SqlExpr::Lit(Value::Bool(false)));
+                }
+                Ok(SqlExpr::Col(self.col_ref()?))
+            }
+            other => Err(SqlError::Parse(format!(
+                "expected expression, found `{}`",
+                other.map_or("<end>".to_string(), |t| t.to_string())
+            ))),
+        }
+    }
+}
+
+fn scalar_func(name: &str) -> Option<rma_relation::ScalarFunc> {
+    match name.to_ascii_uppercase().as_str() {
+        "SQRT" => Some(rma_relation::ScalarFunc::Sqrt),
+        "ABS" => Some(rma_relation::ScalarFunc::Abs),
+        _ => None,
+    }
+}
+
+fn agg_func(name: &str) -> Option<AggFunc> {
+    match name.to_ascii_uppercase().as_str() {
+        "COUNT" => Some(AggFunc::Count),
+        "SUM" => Some(AggFunc::Sum),
+        "AVG" => Some(AggFunc::Avg),
+        "MIN" => Some(AggFunc::Min),
+        "MAX" => Some(AggFunc::Max),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_inv_query() {
+        let s = parse("SELECT * FROM INV(rating BY User);").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.items, vec![SelectItem::Wildcard]);
+        let TableExpr::RmaCall { op, args, .. } = sel.from else {
+            panic!("expected RMA call")
+        };
+        assert_eq!(op, RmaOp::Inv);
+        assert_eq!(args.len(), 1);
+        assert_eq!(args[0].order, vec!["User"]);
+    }
+
+    #[test]
+    fn parse_binary_rma_call() {
+        let s = parse("SELECT * FROM MMU(w4 BY C, w3 BY U) AS w5").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let TableExpr::RmaCall { op, args, alias } = sel.from else {
+            panic!()
+        };
+        assert_eq!(op, RmaOp::Mmu);
+        assert_eq!(args.len(), 2);
+        assert_eq!(args[0].order, vec!["C"]);
+        assert_eq!(args[1].order, vec!["U"]);
+        assert_eq!(alias.as_deref(), Some("w5"));
+    }
+
+    #[test]
+    fn parse_composite_order_schema() {
+        let s = parse("SELECT * FROM QQR(r BY W, T)").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let TableExpr::RmaCall { args, .. } = sel.from else { panic!() };
+        assert_eq!(args[0].order, vec!["W", "T"]);
+    }
+
+    #[test]
+    fn parse_binary_with_composite_orders() {
+        let s = parse("SELECT * FROM ADD(a BY k1, x1, b BY k2, x2)").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let TableExpr::RmaCall { args, .. } = sel.from else { panic!() };
+        assert_eq!(args[0].order, vec!["k1", "x1"]);
+        assert_eq!(args[1].order, vec!["k2", "x2"]);
+    }
+
+    #[test]
+    fn parse_paper_folded_query() {
+        // the paper's §7.2 example
+        let sql = "SELECT C, B/(M-1), H/(M-1), N/(M-1)
+                   FROM MMU(w4 BY C, w3 BY U) AS w5
+                   CROSS JOIN ( SELECT COUNT(*) AS M FROM w1 ) AS t";
+        let s = parse(sql).unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.items.len(), 4);
+        let TableExpr::CrossJoin { left, right } = sel.from else {
+            panic!()
+        };
+        assert!(matches!(*left, TableExpr::RmaCall { .. }));
+        assert!(matches!(*right, TableExpr::Subquery { .. }));
+    }
+
+    #[test]
+    fn parse_joins_where_group_order_limit() {
+        let sql = "SELECT u, AVG(x) AS a FROM t JOIN s ON t.k = s.k2 \
+                   WHERE x > 1 AND u <> 'zz' GROUP BY u ORDER BY a DESC LIMIT 10";
+        let Statement::Select(sel) = parse(sql).unwrap() else {
+            panic!()
+        };
+        assert!(sel.where_clause.is_some());
+        assert_eq!(sel.group_by, vec!["u"]);
+        assert_eq!(sel.order_by, vec![("a".to_string(), false)]);
+        assert_eq!(sel.limit, Some(10));
+        let TableExpr::JoinOn { on, .. } = sel.from else { panic!() };
+        assert_eq!(on[0].0.qualifier.as_deref(), Some("t"));
+        assert_eq!(on[0].1.name, "k2");
+    }
+
+    #[test]
+    fn parse_nested_rma_calls() {
+        let s = parse("SELECT * FROM TRA(TRA(r BY T) BY C)").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        let TableExpr::RmaCall { op, args, .. } = sel.from else { panic!() };
+        assert_eq!(op, RmaOp::Tra);
+        assert!(matches!(*args[0].table, TableExpr::RmaCall { .. }));
+    }
+
+    #[test]
+    fn parse_create_insert_drop() {
+        let c = parse("CREATE TABLE t (a INT, b DOUBLE, c VARCHAR(20))").unwrap();
+        let Statement::CreateTable { name, columns } = c else {
+            panic!()
+        };
+        assert_eq!(name, "t");
+        assert_eq!(columns.len(), 3);
+        assert_eq!(columns[1].1, DataType::Float);
+        let i = parse("INSERT INTO t VALUES (1, 2.5, 'x'), (2, NULL, 'y')").unwrap();
+        let Statement::Insert { rows, .. } = i else { panic!() };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][1], Value::Null);
+        assert!(matches!(
+            parse("DROP TABLE t").unwrap(),
+            Statement::DropTable { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_count_star_and_aliases() {
+        let Statement::Select(sel) =
+            parse("SELECT COUNT(*) AS M, SUM(d) FROM trips tr").unwrap()
+        else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, alias } = &sel.items[0] else {
+            panic!()
+        };
+        assert_eq!(
+            *expr,
+            SqlExpr::Agg {
+                func: AggFunc::CountStar,
+                arg: None
+            }
+        );
+        assert_eq!(alias.as_deref(), Some("M"));
+        let TableExpr::Table { name, alias } = sel.from else { panic!() };
+        assert_eq!(name, "trips");
+        assert_eq!(alias.as_deref(), Some("tr"));
+    }
+
+    #[test]
+    fn parse_script_multiple_statements() {
+        let stmts = parse_script(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM INV(r)").is_err()); // missing BY
+        assert!(parse("SELECT * FROM INV(r BY k, s BY j)").is_err()); // unary with 2 args
+        assert!(parse("SELECT * FROM MMU(r BY k)").is_err()); // binary with 1 arg
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t extra garbage !").is_err());
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let Statement::Select(sel) = parse("SELECT a + b * c FROM t").unwrap() else {
+            panic!()
+        };
+        let SelectItem::Expr { expr, .. } = &sel.items[0] else {
+            panic!()
+        };
+        // a + (b * c)
+        let SqlExpr::Bin(_, BinOp::Add, rhs) = expr else {
+            panic!()
+        };
+        assert!(matches!(**rhs, SqlExpr::Bin(_, BinOp::Mul, _)));
+    }
+}

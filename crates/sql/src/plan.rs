@@ -1,0 +1,429 @@
+//! Logical plans and AST → plan translation.
+
+use crate::ast::{ColRef, RmaArg, SelectItem, SelectStmt, SqlExpr, TableExpr};
+use crate::error::SqlError;
+use rma_core::RmaOp;
+use rma_relation::{AggSpec, Expr};
+
+/// A logical query plan. Executable against a catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Base-table scan.
+    Scan { table: String },
+    /// σ.
+    Filter { input: Box<Plan>, predicate: Expr },
+    /// Generalised projection (expression, output name).
+    Project {
+        input: Box<Plan>,
+        items: Vec<(Expr, String)>,
+    },
+    /// ϑ with optional post-projection of expressions over the aggregates.
+    Aggregate {
+        input: Box<Plan>,
+        group_by: Vec<String>,
+        aggs: Vec<AggSpec>,
+    },
+    /// Natural join.
+    NaturalJoin { left: Box<Plan>, right: Box<Plan> },
+    /// Equi-join on explicit column pairs.
+    JoinOn {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        on: Vec<(String, String)>,
+    },
+    /// Cross product.
+    Cross { left: Box<Plan>, right: Box<Plan> },
+    /// A relational matrix operation.
+    Rma {
+        op: RmaOp,
+        args: Vec<(Box<Plan>, Vec<String>)>,
+    },
+    /// Duplicate elimination.
+    Distinct { input: Box<Plan> },
+    /// Sorting.
+    OrderBy {
+        input: Box<Plan>,
+        keys: Vec<(String, bool)>,
+    },
+    /// Row-count limit.
+    Limit { input: Box<Plan>, n: usize },
+    /// Key assertion: pass the input through unchanged, erroring if the
+    /// given attributes do not form a key. Inserted by cross-algebra
+    /// rewrites that eliminate an RMA operation but must preserve its
+    /// order-schema validation.
+    AssertKey {
+        input: Box<Plan>,
+        attrs: Vec<String>,
+    },
+}
+
+/// Translate a SELECT statement into a logical plan.
+pub fn plan_select(stmt: &SelectStmt) -> Result<Plan, SqlError> {
+    let mut plan = plan_table_expr(&stmt.from)?;
+
+    if let Some(w) = &stmt.where_clause {
+        if w.has_aggregate() {
+            return Err(SqlError::Plan(
+                "aggregates are not allowed in WHERE".to_string(),
+            ));
+        }
+        plan = Plan::Filter {
+            input: Box::new(plan),
+            predicate: lower_expr(w)?,
+        };
+    }
+
+    let has_agg = stmt
+        .items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.has_aggregate()));
+    if has_agg || !stmt.group_by.is_empty() {
+        plan = plan_aggregate(stmt, plan)?;
+    } else {
+        // plain projection, unless the select list is a lone `*`
+        let wildcard_only =
+            stmt.items.len() == 1 && matches!(stmt.items[0], SelectItem::Wildcard);
+        if !wildcard_only {
+            let mut items = Vec::new();
+            for item in &stmt.items {
+                match item {
+                    SelectItem::Wildcard => {
+                        return Err(SqlError::Plan(
+                            "`*` cannot be mixed with other select items".to_string(),
+                        ))
+                    }
+                    SelectItem::Expr { expr, alias } => {
+                        let name = alias.clone().unwrap_or_else(|| default_name(expr));
+                        items.push((lower_expr(expr)?, name));
+                    }
+                }
+            }
+            plan = Plan::Project {
+                input: Box::new(plan),
+                items,
+            };
+        }
+    }
+
+    if stmt.distinct {
+        plan = Plan::Distinct {
+            input: Box::new(plan),
+        };
+    }
+    if !stmt.order_by.is_empty() {
+        plan = Plan::OrderBy {
+            input: Box::new(plan),
+            keys: stmt.order_by.clone(),
+        };
+    }
+    if let Some(n) = stmt.limit {
+        plan = Plan::Limit {
+            input: Box::new(plan),
+            n,
+        };
+    }
+    Ok(plan)
+}
+
+/// Aggregate planning: extract aggregate calls from the select list,
+/// compute them in a ϑ node, and post-project the remaining expression
+/// structure over the aggregate outputs.
+fn plan_aggregate(stmt: &SelectStmt, input: Plan) -> Result<Plan, SqlError> {
+    let mut aggs: Vec<AggSpec> = Vec::new();
+    let mut post_items: Vec<(Expr, String)> = Vec::new();
+
+    for item in &stmt.items {
+        let SelectItem::Expr { expr, alias } = item else {
+            return Err(SqlError::Plan(
+                "`*` is not allowed with GROUP BY / aggregates".to_string(),
+            ));
+        };
+        let name = alias.clone().unwrap_or_else(|| default_name(expr));
+        let rewritten = extract_aggs(expr, &mut aggs)?;
+        // a plain column must be a grouping column; a bare aggregate needs
+        // no post-projection
+        if let Expr::Col(c) = &rewritten {
+            if !stmt.group_by.contains(c) && !aggs.iter().any(|a| a.output == *c) {
+                return Err(SqlError::Plan(format!(
+                    "column `{c}` must appear in GROUP BY or an aggregate"
+                )));
+            }
+        }
+        post_items.push((rewritten, name));
+    }
+    // name bare aggregates directly after their select alias where possible
+    for (expr, name) in &mut post_items {
+        if let Expr::Col(c) = expr {
+            if let Some(spec) = aggs.iter_mut().find(|a| a.output == *c) {
+                if !stmt.group_by.contains(name) {
+                    spec.output = name.clone();
+                    *expr = Expr::Col(name.clone());
+                }
+            }
+        }
+    }
+
+    let agg_plan = Plan::Aggregate {
+        input: Box::new(input),
+        group_by: stmt.group_by.clone(),
+        aggs,
+    };
+    // a final projection fixes both the requested item order and the
+    // output names, whether or not expressions wrap the aggregates
+    Ok(Plan::Project {
+        input: Box::new(agg_plan),
+        items: post_items,
+    })
+}
+
+/// Replace aggregate calls by references to generated output columns,
+/// collecting the specs.
+fn extract_aggs(expr: &SqlExpr, aggs: &mut Vec<AggSpec>) -> Result<Expr, SqlError> {
+    Ok(match expr {
+        SqlExpr::Agg { func, arg } => {
+            let input = arg.as_ref().map(|c| c.name.clone());
+            let output = format!("__agg{}", aggs.len());
+            aggs.push(AggSpec {
+                func: *func,
+                input,
+                output: output.clone(),
+            });
+            Expr::Col(output)
+        }
+        SqlExpr::Col(c) => Expr::Col(c.name.clone()),
+        SqlExpr::Lit(v) => Expr::Lit(v.clone()),
+        SqlExpr::Bin(l, op, r) => Expr::Bin(
+            Box::new(extract_aggs(l, aggs)?),
+            *op,
+            Box::new(extract_aggs(r, aggs)?),
+        ),
+        SqlExpr::Neg(e) => Expr::Neg(Box::new(extract_aggs(e, aggs)?)),
+        SqlExpr::Not(e) => Expr::Not(Box::new(extract_aggs(e, aggs)?)),
+        SqlExpr::IsNull(e) => Expr::IsNull(Box::new(extract_aggs(e, aggs)?)),
+        SqlExpr::IsNotNull(e) => {
+            Expr::Not(Box::new(Expr::IsNull(Box::new(extract_aggs(e, aggs)?))))
+        }
+        SqlExpr::Func(f, e) => Expr::Func(*f, Box::new(extract_aggs(e, aggs)?)),
+    })
+}
+
+fn plan_table_expr(t: &TableExpr) -> Result<Plan, SqlError> {
+    Ok(match t {
+        TableExpr::Table { name, .. } => Plan::Scan {
+            table: name.clone(),
+        },
+        TableExpr::Subquery { query, .. } => plan_select(query)?,
+        TableExpr::JoinOn { left, right, on } => Plan::JoinOn {
+            left: Box::new(plan_table_expr(left)?),
+            right: Box::new(plan_table_expr(right)?),
+            on: on
+                .iter()
+                .map(|(l, r)| (l.name.clone(), r.name.clone()))
+                .collect(),
+        },
+        TableExpr::NaturalJoin { left, right } => Plan::NaturalJoin {
+            left: Box::new(plan_table_expr(left)?),
+            right: Box::new(plan_table_expr(right)?),
+        },
+        TableExpr::CrossJoin { left, right } => Plan::Cross {
+            left: Box::new(plan_table_expr(left)?),
+            right: Box::new(plan_table_expr(right)?),
+        },
+        TableExpr::RmaCall { op, args, .. } => Plan::Rma {
+            op: *op,
+            args: args
+                .iter()
+                .map(|RmaArg { table, order }| {
+                    Ok((Box::new(plan_table_expr(table)?), order.clone()))
+                })
+                .collect::<Result<_, SqlError>>()?,
+        },
+    })
+}
+
+/// Lower an aggregate-free AST expression to an executable expression.
+pub fn lower_expr(e: &SqlExpr) -> Result<Expr, SqlError> {
+    Ok(match e {
+        SqlExpr::Col(ColRef { name, .. }) => Expr::Col(name.clone()),
+        SqlExpr::Lit(v) => Expr::Lit(v.clone()),
+        SqlExpr::Bin(l, op, r) => {
+            Expr::Bin(Box::new(lower_expr(l)?), *op, Box::new(lower_expr(r)?))
+        }
+        SqlExpr::Neg(x) => Expr::Neg(Box::new(lower_expr(x)?)),
+        SqlExpr::Not(x) => Expr::Not(Box::new(lower_expr(x)?)),
+        SqlExpr::IsNull(x) => Expr::IsNull(Box::new(lower_expr(x)?)),
+        SqlExpr::IsNotNull(x) => Expr::Not(Box::new(Expr::IsNull(Box::new(lower_expr(x)?)))),
+        SqlExpr::Func(f, x) => Expr::Func(*f, Box::new(lower_expr(x)?)),
+        SqlExpr::Agg { .. } => {
+            return Err(SqlError::Plan(
+                "aggregate in a non-aggregating context".to_string(),
+            ))
+        }
+    })
+}
+
+/// A display name for an unaliased select expression.
+fn default_name(e: &SqlExpr) -> String {
+    match e {
+        SqlExpr::Col(c) => c.name.clone(),
+        SqlExpr::Agg { func, arg } => {
+            let f = format!("{func:?}").to_lowercase();
+            match arg {
+                Some(c) => format!("{f}_{}", c.name),
+                None => "count".to_string(),
+            }
+        }
+        _ => "expr".to_string(),
+    }
+}
+
+/// Pretty-print a plan tree (EXPLAIN-style), for tests and debugging.
+pub fn explain(plan: &Plan) -> String {
+    let mut out = String::new();
+    fn walk(p: &Plan, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match p {
+            Plan::Scan { table } => out.push_str(&format!("{pad}Scan {table}\n")),
+            Plan::Filter { input, predicate } => {
+                out.push_str(&format!("{pad}Filter {predicate}\n"));
+                walk(input, depth + 1, out);
+            }
+            Plan::Project { input, items } => {
+                let names: Vec<&str> = items.iter().map(|(_, n)| n.as_str()).collect();
+                out.push_str(&format!("{pad}Project [{}]\n", names.join(", ")));
+                walk(input, depth + 1, out);
+            }
+            Plan::Aggregate {
+                input, group_by, aggs, ..
+            } => {
+                out.push_str(&format!(
+                    "{pad}Aggregate group_by={group_by:?} aggs={}\n",
+                    aggs.len()
+                ));
+                walk(input, depth + 1, out);
+            }
+            Plan::NaturalJoin { left, right } => {
+                out.push_str(&format!("{pad}NaturalJoin\n"));
+                walk(left, depth + 1, out);
+                walk(right, depth + 1, out);
+            }
+            Plan::JoinOn { left, right, on } => {
+                out.push_str(&format!("{pad}JoinOn {on:?}\n"));
+                walk(left, depth + 1, out);
+                walk(right, depth + 1, out);
+            }
+            Plan::Cross { left, right } => {
+                out.push_str(&format!("{pad}Cross\n"));
+                walk(left, depth + 1, out);
+                walk(right, depth + 1, out);
+            }
+            Plan::Rma { op, args } => {
+                let orders: Vec<String> = args.iter().map(|(_, o)| format!("{o:?}")).collect();
+                out.push_str(&format!(
+                    "{pad}Rma {} BY {}\n",
+                    op.name().to_uppercase(),
+                    orders.join("; ")
+                ));
+                for (p, _) in args {
+                    walk(p, depth + 1, out);
+                }
+            }
+            Plan::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                walk(input, depth + 1, out);
+            }
+            Plan::OrderBy { input, keys } => {
+                out.push_str(&format!("{pad}OrderBy {keys:?}\n"));
+                walk(input, depth + 1, out);
+            }
+            Plan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                walk(input, depth + 1, out);
+            }
+            Plan::AssertKey { input, attrs } => {
+                out.push_str(&format!("{pad}AssertKey {attrs:?}\n"));
+                walk(input, depth + 1, out);
+            }
+        }
+    }
+    walk(plan, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::ast::Statement;
+
+    fn plan_of(sql: &str) -> Plan {
+        let Statement::Select(sel) = parse(sql).unwrap() else {
+            panic!()
+        };
+        plan_select(&sel).unwrap()
+    }
+
+    #[test]
+    fn simple_scan_filter() {
+        let p = plan_of("SELECT * FROM t WHERE a > 1");
+        assert!(matches!(p, Plan::Filter { .. }));
+        let e = explain(&p);
+        assert!(e.contains("Filter"));
+        assert!(e.contains("Scan t"));
+    }
+
+    #[test]
+    fn rma_plan() {
+        let p = plan_of("SELECT * FROM MMU(a BY k, b BY j)");
+        let Plan::Rma { op, args } = p else { panic!() };
+        assert_eq!(op, rma_core::RmaOp::Mmu);
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_with_post_projection() {
+        let p = plan_of("SELECT u, SUM(x) / COUNT(*) AS m FROM t GROUP BY u");
+        let Plan::Project { input, items } = p else { panic!() };
+        assert_eq!(items[1].1, "m");
+        assert!(matches!(*input, Plan::Aggregate { .. }));
+    }
+
+    #[test]
+    fn bare_aggregates_named_by_alias() {
+        let p = plan_of("SELECT COUNT(*) AS M FROM t");
+        let Plan::Project { input, items } = p else { panic!() };
+        assert_eq!(items[0].1, "M");
+        let Plan::Aggregate { aggs, .. } = *input else { panic!() };
+        assert_eq!(aggs[0].output, "M");
+    }
+
+    #[test]
+    fn non_grouped_column_rejected() {
+        let Statement::Select(sel) =
+            parse("SELECT u, x FROM t GROUP BY u").unwrap()
+        else {
+            panic!()
+        };
+        assert!(plan_select(&sel).is_err());
+    }
+
+    #[test]
+    fn aggregate_in_where_rejected() {
+        let Statement::Select(sel) =
+            parse("SELECT a FROM t WHERE COUNT(*) > 1").unwrap()
+        else {
+            panic!()
+        };
+        assert!(plan_select(&sel).is_err());
+    }
+
+    #[test]
+    fn order_limit_distinct_wrap() {
+        let p = plan_of("SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 5");
+        let Plan::Limit { input, n } = p else { panic!() };
+        assert_eq!(n, 5);
+        let Plan::OrderBy { input, keys } = *input else { panic!() };
+        assert_eq!(keys, vec![("a".to_string(), false)]);
+        assert!(matches!(*input, Plan::Distinct { .. }));
+    }
+}

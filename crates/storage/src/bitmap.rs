@@ -1,0 +1,156 @@
+//! Compact validity bitmap used for null tracking.
+//!
+//! A column with no nulls carries no bitmap at all (the common case), so the
+//! bulk operators pay nothing for null support unless nulls are present.
+
+/// A fixed-length bitmap; bit `i` set means row `i` is null.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An all-valid (no bits set) bitmap of length `len`.
+    pub fn new(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Build from a bool slice (`true` = null).
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut b = Bitmap::new(bits.len());
+        for (i, &v) in bits.iter().enumerate() {
+            if v {
+                b.set(i);
+            }
+        }
+        b
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i` (mark row `i` null).
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Test bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits (null count).
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn all_clear(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Bitwise OR of two bitmaps of equal length (null union, as produced by
+    /// null-propagating arithmetic).
+    pub fn union(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Gather: `out[k] = self[idx[k]]`.
+    pub fn take(&self, idx: &[usize]) -> Bitmap {
+        let mut out = Bitmap::new(idx.len());
+        for (k, &i) in idx.iter().enumerate() {
+            if self.get(i) {
+                out.set(k);
+            }
+        }
+        out
+    }
+
+    /// Append another bitmap.
+    pub fn extend(&mut self, other: &Bitmap) {
+        let old = self.len;
+        self.len += other.len;
+        self.words.resize(self.len.div_ceil(64), 0);
+        for i in 0..other.len {
+            if other.get(i) {
+                self.set(old + i);
+            }
+        }
+    }
+
+    /// Iterate the bits as bools.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = Bitmap::new(130);
+        assert!(b.all_clear());
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(128));
+        assert_eq!(b.count_set(), 3);
+        assert!(!b.all_clear());
+    }
+
+    #[test]
+    fn union_and_take() {
+        let a = Bitmap::from_bools(&[true, false, false, true]);
+        let b = Bitmap::from_bools(&[false, false, true, true]);
+        let u = a.union(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![true, false, true, true]);
+        let t = u.take(&[3, 1, 1]);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![true, false, false]);
+    }
+
+    #[test]
+    fn extend_crosses_word_boundary() {
+        let mut a = Bitmap::from_bools(&[true; 63]);
+        let b = Bitmap::from_bools(&[false, true, false]);
+        a.extend(&b);
+        assert_eq!(a.len(), 66);
+        assert!(a.get(62) && !a.get(63) && a.get(64) && !a.get(65));
+        assert_eq!(a.count_set(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        Bitmap::new(5).get(5);
+    }
+
+    #[test]
+    fn empty() {
+        let b = Bitmap::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_set(), 0);
+    }
+}

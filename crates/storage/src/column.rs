@@ -1,0 +1,437 @@
+//! Typed column vectors — the tail of a BAT.
+//!
+//! Each column stores a contiguous `Vec` of one primitive type plus an
+//! optional null bitmap. All bulk operators work directly on the typed
+//! vectors; [`Value`] is only used at the edges.
+
+use crate::bitmap::Bitmap;
+use crate::error::StorageError;
+use crate::value::{DataType, Value};
+use std::cmp::Ordering;
+
+/// Typed storage for the rows of one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<String>),
+    Bool(Vec<bool>),
+    Date(Vec<i32>),
+}
+
+impl ColumnData {
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str(_) => DataType::Str,
+            ColumnData::Bool(_) => DataType::Bool,
+            ColumnData::Date(_) => DataType::Date,
+        }
+    }
+
+    /// Empty storage of the given type.
+    pub fn empty(dt: DataType) -> Self {
+        match dt {
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Str => ColumnData::Str(Vec::new()),
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+            DataType::Date => ColumnData::Date(Vec::new()),
+        }
+    }
+
+    /// Empty storage of the given type, with reserved capacity.
+    pub fn with_capacity(dt: DataType, cap: usize) -> Self {
+        match dt {
+            DataType::Int => ColumnData::Int(Vec::with_capacity(cap)),
+            DataType::Float => ColumnData::Float(Vec::with_capacity(cap)),
+            DataType::Str => ColumnData::Str(Vec::with_capacity(cap)),
+            DataType::Bool => ColumnData::Bool(Vec::with_capacity(cap)),
+            DataType::Date => ColumnData::Date(Vec::with_capacity(cap)),
+        }
+    }
+}
+
+/// A column: typed data plus an optional null bitmap.
+///
+/// `nulls == None` means "no nulls anywhere" — the hot path. When a bitmap is
+/// present, the underlying slot of a null row holds an arbitrary placeholder
+/// (zero / empty string) that must never be observed through the public API.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    nulls: Option<Bitmap>,
+}
+
+impl Column {
+    /// A column from typed data with no nulls.
+    pub fn new(data: ColumnData) -> Self {
+        Column { data, nulls: None }
+    }
+
+    /// A column from typed data with the given null bitmap. The bitmap is
+    /// dropped if it has no set bits.
+    pub fn with_nulls(data: ColumnData, nulls: Bitmap) -> Result<Self, StorageError> {
+        if nulls.len() != data.len() {
+            return Err(StorageError::LengthMismatch {
+                left: data.len(),
+                right: nulls.len(),
+            });
+        }
+        let nulls = if nulls.all_clear() { None } else { Some(nulls) };
+        Ok(Column { data, nulls })
+    }
+
+    /// Build a column from scalar values; infers the type from the first
+    /// non-null value. An all-null column needs an explicit type, use
+    /// [`Column::from_values_typed`].
+    pub fn from_values(values: &[Value]) -> Result<Self, StorageError> {
+        let dt = values
+            .iter()
+            .find_map(|v| v.data_type())
+            .ok_or(StorageError::UntypedColumn)?;
+        Self::from_values_typed(dt, values)
+    }
+
+    /// Build a column of the given type from scalar values; `Null` entries
+    /// set the bitmap, non-null entries must match `dt`.
+    pub fn from_values_typed(dt: DataType, values: &[Value]) -> Result<Self, StorageError> {
+        let mut data = ColumnData::with_capacity(dt, values.len());
+        let mut nulls = Bitmap::new(values.len());
+        let mut any_null = false;
+        for (i, v) in values.iter().enumerate() {
+            if v.is_null() {
+                any_null = true;
+                nulls.set(i);
+                push_placeholder(&mut data);
+                continue;
+            }
+            match (&mut data, v) {
+                (ColumnData::Int(d), Value::Int(x)) => d.push(*x),
+                (ColumnData::Float(d), Value::Float(x)) => d.push(*x),
+                (ColumnData::Float(d), Value::Int(x)) => d.push(*x as f64),
+                (ColumnData::Str(d), Value::Str(x)) => d.push(x.clone()),
+                (ColumnData::Bool(d), Value::Bool(x)) => d.push(*x),
+                (ColumnData::Date(d), Value::Date(x)) => d.push(*x),
+                _ => {
+                    return Err(StorageError::TypeMismatch {
+                        expected: dt,
+                        found: v.data_type(),
+                    })
+                }
+            }
+        }
+        let nulls = any_null.then_some(nulls);
+        Ok(Column { data, nulls })
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn data_type(&self) -> DataType {
+        self.data.data_type()
+    }
+
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The null bitmap, if any row is null.
+    pub fn nulls(&self) -> Option<&Bitmap> {
+        self.nulls.as_ref()
+    }
+
+    pub fn has_nulls(&self) -> bool {
+        self.nulls.is_some()
+    }
+
+    pub fn null_count(&self) -> usize {
+        self.nulls.as_ref().map_or(0, Bitmap::count_set)
+    }
+
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.as_ref().is_some_and(|b| b.get(i))
+    }
+
+    /// Read a single cell as a boxed scalar.
+    pub fn get(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Date(v) => Value::Date(v[i]),
+        }
+    }
+
+    /// Compare two rows of this column with null-first total order.
+    pub fn cmp_rows(&self, i: usize, j: usize) -> Ordering {
+        match (self.is_null(i), self.is_null(j)) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => match &self.data {
+                ColumnData::Int(v) => v[i].cmp(&v[j]),
+                ColumnData::Float(v) => v[i].total_cmp(&v[j]),
+                ColumnData::Str(v) => v[i].cmp(&v[j]),
+                ColumnData::Bool(v) => v[i].cmp(&v[j]),
+                ColumnData::Date(v) => v[i].cmp(&v[j]),
+            },
+        }
+    }
+
+    /// Compare row `i` of this column with row `j` of another column of the
+    /// same type (used by multi-relation alignment).
+    pub fn cmp_rows_cross(&self, i: usize, other: &Column, j: usize) -> Ordering {
+        self.get(i).total_cmp(&other.get(j))
+    }
+
+    /// Gather rows: `out[k] = self[idx[k]]` (MonetDB `leftfetchjoin`).
+    pub fn take(&self, idx: &[usize]) -> Column {
+        let data = match &self.data {
+            ColumnData::Int(v) => ColumnData::Int(idx.iter().map(|&i| v[i]).collect()),
+            ColumnData::Float(v) => ColumnData::Float(idx.iter().map(|&i| v[i]).collect()),
+            ColumnData::Str(v) => ColumnData::Str(idx.iter().map(|&i| v[i].clone()).collect()),
+            ColumnData::Bool(v) => ColumnData::Bool(idx.iter().map(|&i| v[i]).collect()),
+            ColumnData::Date(v) => ColumnData::Date(idx.iter().map(|&i| v[i]).collect()),
+        };
+        let nulls = self.nulls.as_ref().map(|b| b.take(idx));
+        let nulls = nulls.filter(|b| !b.all_clear());
+        Column { data, nulls }
+    }
+
+    /// Keep only rows whose flag is set (vectorised σ on a selection vector).
+    pub fn filter(&self, keep: &[bool]) -> Column {
+        debug_assert_eq!(keep.len(), self.len());
+        let idx: Vec<usize> = keep
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &k)| k.then_some(i))
+            .collect();
+        self.take(&idx)
+    }
+
+    /// Concatenate another column of the same type onto this one.
+    pub fn append(&mut self, other: &Column) -> Result<(), StorageError> {
+        if self.data_type() != other.data_type() {
+            return Err(StorageError::TypeMismatch {
+                expected: self.data_type(),
+                found: Some(other.data_type()),
+            });
+        }
+        let old_len = self.len();
+        match (&mut self.data, &other.data) {
+            (ColumnData::Int(a), ColumnData::Int(b)) => a.extend_from_slice(b),
+            (ColumnData::Float(a), ColumnData::Float(b)) => a.extend_from_slice(b),
+            (ColumnData::Str(a), ColumnData::Str(b)) => a.extend_from_slice(b),
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(b),
+            (ColumnData::Date(a), ColumnData::Date(b)) => a.extend_from_slice(b),
+            _ => unreachable!("type equality checked above"),
+        }
+        match (&mut self.nulls, &other.nulls) {
+            (None, None) => {}
+            (Some(a), Some(b)) => a.extend(b),
+            (Some(a), None) => a.extend(&Bitmap::new(other.len())),
+            (None, Some(b)) => {
+                let mut m = Bitmap::new(old_len);
+                m.extend(b);
+                self.nulls = Some(m);
+            }
+        }
+        Ok(())
+    }
+
+    /// View the column as `f64` values; integer columns are widened. Errors
+    /// on non-numeric types or on nulls — matrices cannot hold either.
+    pub fn to_f64_vec(&self) -> Result<Vec<f64>, StorageError> {
+        if let Some(b) = &self.nulls {
+            if !b.all_clear() {
+                return Err(StorageError::NullInNumericContext);
+            }
+        }
+        match &self.data {
+            ColumnData::Int(v) => Ok(v.iter().map(|&x| x as f64).collect()),
+            ColumnData::Float(v) => Ok(v.clone()),
+            other => Err(StorageError::TypeMismatch {
+                expected: DataType::Float,
+                found: Some(other.data_type()),
+            }),
+        }
+    }
+
+    /// Borrow the float data directly if this is a null-free float column.
+    pub fn as_f64_slice(&self) -> Option<&[f64]> {
+        if self.has_nulls() {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Iterate all cells as boxed scalars (edge use only).
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+fn push_placeholder(data: &mut ColumnData) {
+    match data {
+        ColumnData::Int(d) => d.push(0),
+        ColumnData::Float(d) => d.push(0.0),
+        ColumnData::Str(d) => d.push(String::new()),
+        ColumnData::Bool(d) => d.push(false),
+        ColumnData::Date(d) => d.push(0),
+    }
+}
+
+/// Convenience constructors for tests and generators.
+impl From<Vec<i64>> for Column {
+    fn from(v: Vec<i64>) -> Self {
+        Column::new(ColumnData::Int(v))
+    }
+}
+impl From<Vec<f64>> for Column {
+    fn from(v: Vec<f64>) -> Self {
+        Column::new(ColumnData::Float(v))
+    }
+}
+impl From<Vec<String>> for Column {
+    fn from(v: Vec<String>) -> Self {
+        Column::new(ColumnData::Str(v))
+    }
+}
+impl From<Vec<&str>> for Column {
+    fn from(v: Vec<&str>) -> Self {
+        Column::new(ColumnData::Str(v.into_iter().map(str::to_string).collect()))
+    }
+}
+impl From<Vec<bool>> for Column {
+    fn from(v: Vec<bool>) -> Self {
+        Column::new(ColumnData::Bool(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_infers_type() {
+        let c = Column::from_values(&[Value::Null, Value::Int(3), Value::Int(1)]).unwrap();
+        assert_eq!(c.data_type(), DataType::Int);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(0), Value::Null);
+        assert_eq!(c.get(1), Value::Int(3));
+    }
+
+    #[test]
+    fn from_values_all_null_fails() {
+        assert!(matches!(
+            Column::from_values(&[Value::Null]),
+            Err(StorageError::UntypedColumn)
+        ));
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let c =
+            Column::from_values_typed(DataType::Float, &[Value::Int(1), Value::Float(2.5)])
+                .unwrap();
+        assert_eq!(c.to_f64_vec().unwrap(), vec![1.0, 2.5]);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let r = Column::from_values_typed(DataType::Int, &[Value::Str("x".into())]);
+        assert!(matches!(r, Err(StorageError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn take_and_filter() {
+        let c = Column::from(vec![10i64, 20, 30, 40]);
+        let t = c.take(&[3, 0, 0]);
+        assert_eq!(t.get(0), Value::Int(40));
+        assert_eq!(t.get(2), Value::Int(10));
+        let f = c.filter(&[false, true, true, false]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.get(0), Value::Int(20));
+    }
+
+    #[test]
+    fn take_preserves_nulls() {
+        let c = Column::from_values(&[Value::Int(1), Value::Null, Value::Int(3)]).unwrap();
+        let t = c.take(&[1, 2]);
+        assert!(t.is_null(0));
+        assert!(!t.is_null(1));
+        // all-valid result drops the bitmap entirely
+        let t2 = c.take(&[0, 2]);
+        assert!(!t2.has_nulls());
+    }
+
+    #[test]
+    fn append_merges_null_bitmaps() {
+        let mut a = Column::from(vec![1i64, 2]);
+        let b = Column::from_values(&[Value::Null, Value::Int(4)]).unwrap();
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 4);
+        assert!(a.is_null(2));
+        assert!(!a.is_null(0));
+    }
+
+    #[test]
+    fn append_type_mismatch() {
+        let mut a = Column::from(vec![1i64]);
+        assert!(a.append(&Column::from(vec![1.0f64])).is_err());
+    }
+
+    #[test]
+    fn to_f64_rejects_nulls_and_strings() {
+        let c = Column::from_values(&[Value::Float(1.0), Value::Null]).unwrap();
+        assert!(matches!(
+            c.to_f64_vec(),
+            Err(StorageError::NullInNumericContext)
+        ));
+        let s = Column::from(vec!["a"]);
+        assert!(s.to_f64_vec().is_err());
+    }
+
+    #[test]
+    fn cmp_rows_null_first() {
+        let c = Column::from_values(&[Value::Int(5), Value::Null]).unwrap();
+        assert_eq!(c.cmp_rows(1, 0), Ordering::Less);
+        assert_eq!(c.cmp_rows(0, 0), Ordering::Equal);
+    }
+
+    #[test]
+    fn as_f64_slice_borrows() {
+        let c = Column::from(vec![1.0f64, 2.0]);
+        assert_eq!(c.as_f64_slice().unwrap(), &[1.0, 2.0]);
+        let i = Column::from(vec![1i64]);
+        assert!(i.as_f64_slice().is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! Storage-layer error type.
+
+use crate::value::DataType;
+use std::fmt;
+
+/// Errors produced by the column store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Two columns/bitmaps that must align have different lengths.
+    LengthMismatch { left: usize, right: usize },
+    /// A value of the wrong type was pushed into a column.
+    TypeMismatch {
+        expected: DataType,
+        found: Option<DataType>,
+    },
+    /// A column of only nulls cannot infer its type.
+    UntypedColumn,
+    /// A null reached a numeric-only context (matrix construction).
+    NullInNumericContext,
+    /// An operation needed a numeric column but got something else.
+    NonNumeric { found: DataType },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::LengthMismatch { left, right } => {
+                write!(f, "column length mismatch: {left} vs {right}")
+            }
+            StorageError::TypeMismatch { expected, found } => match found {
+                Some(found) => write!(f, "type mismatch: expected {expected}, found {found}"),
+                None => write!(f, "type mismatch: expected {expected}, found NULL"),
+            },
+            StorageError::UntypedColumn => {
+                f.write_str("cannot infer type of a column containing only NULLs")
+            }
+            StorageError::NullInNumericContext => {
+                f.write_str("NULL value in numeric context (matrix cells cannot be NULL)")
+            }
+            StorageError::NonNumeric { found } => {
+                write!(f, "numeric column required, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

@@ -1,0 +1,27 @@
+//! # rma-storage — BAT column store
+//!
+//! The storage kernel of the RMA reproduction: typed columns with optional
+//! null bitmaps, named BATs with virtual OID heads, sort permutations,
+//! gather (`leftfetchjoin`), vectorised float kernels, and zero-run
+//! compression.
+//!
+//! This crate plays the role MonetDB's kernel plays in the paper: everything
+//! above it (relational algebra, relational matrix algebra, SQL) is compiled
+//! down to bulk operations on [`Bat`]s.
+
+#![warn(missing_docs)]
+#![allow(missing_docs)] // enforced at item granularity below where practical
+
+pub mod bat;
+pub mod bitmap;
+pub mod column;
+pub mod compress;
+pub mod error;
+pub mod value;
+
+pub use bat::{cmp_rows, invert_permutation, is_identity_permutation, is_key, is_sorted_by, sort_permutation, Bat};
+pub use bitmap::Bitmap;
+pub use column::{Column, ColumnData};
+pub use compress::CompressedFloats;
+pub use error::StorageError;
+pub use value::{DataType, Value};

@@ -1,0 +1,193 @@
+//! Scalar values and data types stored in BAT tails.
+//!
+//! MonetDB tails are typed; we mirror that with [`DataType`] describing the
+//! tail type of a column and [`Value`] as the boxed scalar used at the edges
+//! (literals, single-cell reads, ordering keys). Bulk processing never goes
+//! through `Value`; it operates on typed column vectors.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The tail type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float (the matrix element type).
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// Date stored as days since 1970-01-01.
+    Date,
+}
+
+impl DataType {
+    /// Whether values of this type can participate in the application part of
+    /// a relational matrix operation (i.e., can be placed into a matrix).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "DOUBLE",
+            DataType::Str => "VARCHAR",
+            DataType::Bool => "BOOLEAN",
+            DataType::Date => "DATE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single scalar value. `Null` is typeless, as in SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Date(i32),
+    Null,
+}
+
+impl Value {
+    /// The data type of the value, or `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Date(_) => Some(DataType::Date),
+            Value::Null => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value as `f64`, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Total order used for sorting order parts and for `ORDER BY`.
+    ///
+    /// Nulls sort first; across types the order is
+    /// numeric < string < bool < date, with ints and floats compared
+    /// numerically so that mixed numeric columns order naturally. Float NaN
+    /// sorts after all other floats (as in MonetDB's nil-last convention).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Int(_) | Float(_) => 1,
+                Str(_) => 2,
+                Bool(_) => 3,
+                Date(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => f.write_str(v),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Date(v) => write!(f, "date#{v}"),
+            Value::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_order() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(
+            Value::Float(3.0).total_cmp(&Value::Int(3)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn nulls_sort_first() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(i64::MIN)), Ordering::Less);
+        assert_eq!(Value::Str("a".into()).total_cmp(&Value::Null), Ordering::Greater);
+    }
+
+    #[test]
+    fn nan_sorts_last_among_floats() {
+        assert_eq!(
+            Value::Float(f64::NAN).total_cmp(&Value::Float(f64::INFINITY)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn display_and_types() {
+        assert_eq!(Value::from(7i64).to_string(), "7");
+        assert_eq!(Value::from("x").data_type(), Some(DataType::Str));
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Str("4".into()).as_f64(), None);
+    }
+}

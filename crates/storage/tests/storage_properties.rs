@@ -1,0 +1,132 @@
+//! Property tests of the storage kernel: sort permutations, gather,
+//! compression round-trips, and the float BAT kernels.
+
+use proptest::prelude::*;
+use rma_storage::{
+    bat::float_ops, cmp_rows, invert_permutation, is_key, sort_permutation, Column,
+    CompressedFloats,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // sorting by the permutation yields a non-decreasing column
+    #[test]
+    fn sort_permutation_sorts(vals in proptest::collection::vec(-1000i64..1000, 0..64)) {
+        let c = Column::from(vals.clone());
+        let perm = sort_permutation(&[&c]);
+        prop_assert_eq!(perm.len(), vals.len());
+        let sorted = c.take(&perm);
+        for i in 1..sorted.len() {
+            prop_assert!(sorted.cmp_rows(i - 1, i) != std::cmp::Ordering::Greater);
+        }
+        // a permutation touches every index exactly once
+        let mut seen = vec![false; perm.len()];
+        for &p in &perm {
+            prop_assert!(!seen[p]);
+            seen[p] = true;
+        }
+    }
+
+    // invert_permutation is a true inverse
+    #[test]
+    fn permutation_inversion(vals in proptest::collection::vec(0.0f64..1.0, 1..64)) {
+        let c = Column::from(vals);
+        let perm = sort_permutation(&[&c]);
+        let inv = invert_permutation(&perm);
+        for (k, &p) in perm.iter().enumerate() {
+            prop_assert_eq!(inv[p], k);
+        }
+    }
+
+    // lexicographic sorting: ties in the first column are broken by the second
+    #[test]
+    fn lexicographic_two_columns(
+        pairs in proptest::collection::vec((0i64..4, -100i64..100), 0..48)
+    ) {
+        let a = Column::from(pairs.iter().map(|(x, _)| *x).collect::<Vec<i64>>());
+        let b = Column::from(pairs.iter().map(|(_, y)| *y).collect::<Vec<i64>>());
+        let perm = sort_permutation(&[&a, &b]);
+        for w in perm.windows(2) {
+            prop_assert!(cmp_rows(&[&a, &b], w[0], w[1]) != std::cmp::Ordering::Greater);
+        }
+    }
+
+    // is_key agrees with a brute-force duplicate check
+    #[test]
+    fn key_check_agrees_with_bruteforce(vals in proptest::collection::vec(0i64..12, 0..24)) {
+        let c = Column::from(vals.clone());
+        let mut dedup = vals.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(is_key(&[&c]), dedup.len() == vals.len());
+    }
+
+    // compression round-trips arbitrary data with interleaved zero runs
+    #[test]
+    fn compression_roundtrip(
+        segments in proptest::collection::vec((0usize..30, -5.0f64..5.0), 0..12)
+    ) {
+        let mut vals = Vec::new();
+        for (zeros, v) in segments {
+            vals.extend(std::iter::repeat_n(0.0, zeros));
+            vals.push(v);
+        }
+        let c = CompressedFloats::compress(&vals);
+        prop_assert_eq!(c.decompress(), vals.clone());
+        prop_assert!(c.stored_values() <= vals.len());
+    }
+
+    // compressed add equals dense add
+    #[test]
+    fn compressed_add_correct(
+        a in proptest::collection::vec(prop_oneof![Just(0.0f64), -10.0..10.0], 0..128),
+        b_seed in proptest::collection::vec(prop_oneof![Just(0.0f64), -10.0..10.0], 0..128),
+    ) {
+        let n = a.len().min(b_seed.len());
+        let (a, b) = (&a[..n], &b_seed[..n]);
+        let ca = CompressedFloats::compress(a);
+        let cb = CompressedFloats::compress(b);
+        let got = ca.add(&cb).decompress();
+        let expect: Vec<f64> = a.iter().zip(b).map(|(x, y)| x + y).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    // float kernels agree with scalar math
+    #[test]
+    fn float_kernels_agree(
+        a in proptest::collection::vec(-100.0f64..100.0, 1..64),
+        scale in 1.0f64..10.0,
+    ) {
+        let b: Vec<f64> = a.iter().map(|x| x * 0.5 + 1.0).collect();
+        let ca = Column::from(a.clone());
+        let cb = Column::from(b.clone());
+        let sum = float_ops::add(&ca, &cb).unwrap().to_f64_vec().unwrap();
+        for (i, s) in sum.iter().enumerate() {
+            prop_assert!((s - (a[i] + b[i])).abs() < 1e-12);
+        }
+        let scaled = float_ops::div_scalar(&ca, scale).unwrap().to_f64_vec().unwrap();
+        for (i, s) in scaled.iter().enumerate() {
+            prop_assert!((s - a[i] / scale).abs() < 1e-12);
+        }
+        let fused = float_ops::sub_scaled(&ca, &cb, scale).unwrap().to_f64_vec().unwrap();
+        for (i, s) in fused.iter().enumerate() {
+            prop_assert!((s - (a[i] - b[i] * scale)).abs() < 1e-9);
+        }
+        let total: f64 = a.iter().sum();
+        prop_assert!((float_ops::sum(&ca).unwrap() - total).abs() < 1e-9);
+    }
+
+    // take ∘ take composes
+    #[test]
+    fn gather_composes(vals in proptest::collection::vec(-100i64..100, 1..32)) {
+        let c = Column::from(vals);
+        let n = c.len();
+        let idx1: Vec<usize> = (0..n).rev().collect();
+        let idx2: Vec<usize> = (0..n).step_by(2).collect();
+        let two_step = c.take(&idx1).take(&idx2);
+        let composed: Vec<usize> = idx2.iter().map(|&i| idx1[i]).collect();
+        let one_step = c.take(&composed);
+        prop_assert_eq!(two_step, one_step);
+    }
+}

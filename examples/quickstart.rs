@@ -1,0 +1,55 @@
+//! Quickstart: the paper's introduction example.
+//!
+//! A `rating` relation stores users and their ratings for three films.
+//! `SELECT * FROM INV(rating BY User)` orders the relation by users,
+//! inverts the matrix formed by the numeric columns, and returns a relation
+//! with the same schema — user names and film titles (the *origins*) are
+//! preserved automatically.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rma::core::RmaContext;
+use rma::relation::RelationBuilder;
+use rma::sql::Engine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- the SQL route -------------------------------------------------
+    let mut engine = Engine::new();
+    engine.execute(
+        "CREATE TABLE rating (User VARCHAR, Balto DOUBLE, Heat DOUBLE, Net DOUBLE)",
+    )?;
+    engine.execute(
+        "INSERT INTO rating VALUES
+           ('Ann', 2.0, 1.5, 0.5),
+           ('Tom', 0.0, 0.0, 1.5),
+           ('Jan', 1.0, 4.0, 1.0)",
+    )?;
+
+    let inverted = engine.query("SELECT * FROM INV(rating BY User)")?;
+    println!("SELECT * FROM INV(rating BY User):\n{inverted}");
+
+    // --- the library route ---------------------------------------------
+    let rating = RelationBuilder::new()
+        .name("rating")
+        .column("User", vec!["Ann", "Tom", "Jan"])
+        .column("Balto", vec![2.0f64, 0.0, 1.0])
+        .column("Heat", vec![1.5f64, 0.0, 4.0])
+        .column("Net", vec![0.5f64, 1.5, 1.0])
+        .build()?;
+
+    let ctx = RmaContext::default();
+    let inv = ctx.inv(&rating, &["User"])?;
+    println!("library inv(rating BY User):\n{inv}");
+
+    // RMA is closed: results are plain relations, so operations nest. A
+    // double transpose returns the original values, with full context:
+    let t1 = ctx.tra(&rating, &["User"])?;
+    println!("tra(rating BY User):\n{t1}");
+    let t2 = ctx.tra(&t1, &["C"])?;
+    println!("tra(tra(rating BY User) BY C):\n{t2}");
+
+    // ... and mixed queries compose freely with relational operators:
+    let det = engine.query("SELECT * FROM DET(rating BY User)")?;
+    println!("SELECT * FROM DET(rating BY User):\n{det}");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! A scripted SQL session demonstrating the extended dialect: RMA table
+//! expressions, nesting, joins, aggregates, and EXPLAIN with predicate
+//! pushdown.
+//!
+//! Run with: `cargo run --example sql_session`
+
+use rma::sql::Engine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut e = Engine::new();
+
+    e.execute_script(
+        "CREATE TABLE r (T VARCHAR, H DOUBLE, W DOUBLE);
+         INSERT INTO r VALUES ('5am', 1.0, 3.0), ('8am', 8.0, 5.0),
+                              ('7am', 6.0, 7.0), ('6am', 1.0, 4.0);",
+    )?;
+
+    for query in [
+        // Figure 3: inversion of a selected sub-relation
+        "SELECT * FROM INV((SELECT * FROM r WHERE T > '6am') q BY T)",
+        // Figure 4: QR decomposition and transpose
+        "SELECT * FROM QQR(r BY T)",
+        "SELECT * FROM TRA(r BY T)",
+        // Figure 10: nested transposes round-trip
+        "SELECT * FROM TRA(TRA(r BY T) BY C) WHERE C >= '7am'",
+        // singular values, determinant needs a square application part
+        "SELECT * FROM VSV(r BY T)",
+        "SELECT * FROM DET((SELECT * FROM r WHERE T > '6am') q BY T)",
+        // plain SQL still works, including aggregates and ordering
+        "SELECT COUNT(*) AS n, AVG(H) AS avg_h FROM r WHERE W > 3",
+        "SELECT T, H + W AS s FROM r ORDER BY s DESC LIMIT 2",
+    ] {
+        println!("> {query}");
+        println!("{}", e.query(query)?);
+    }
+
+    // EXPLAIN shows the optimizer pushing filters below joins
+    e.execute("CREATE TABLE meta (T2 VARCHAR, label VARCHAR)")?;
+    e.execute("INSERT INTO meta VALUES ('7am', 'rush'), ('8am', 'rush')")?;
+    let plan = e.explain(
+        "SELECT * FROM r JOIN meta ON T = T2 WHERE label = 'rush' AND H > 2",
+    )?;
+    println!("EXPLAIN with pushdown:\n{plan}");
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! Robustness: degenerate and adversarial inputs must produce typed errors
+//! or well-defined results — never panics.
+
+use rma::core::{RmaContext, RmaError};
+use rma::relation::RelationBuilder;
+use rma::Value;
+
+#[test]
+fn empty_relation_inputs() {
+    let ctx = RmaContext::default();
+    let empty = RelationBuilder::new()
+        .column("k", Vec::<i64>::new())
+        .column("x", Vec::<f64>::new())
+        .build()
+        .unwrap();
+    // kernels reject empty matrices with a typed error
+    for result in [
+        ctx.qqr(&empty, &["k"]),
+        ctx.inv(&empty, &["k"]),
+        ctx.det(&empty, &["k"]),
+        ctx.rnk(&empty, &["k"]),
+    ] {
+        assert!(matches!(result, Err(RmaError::Linalg(_))));
+    }
+}
+
+#[test]
+fn single_row_relation() {
+    let ctx = RmaContext::default();
+    let one = RelationBuilder::new()
+        .name("one")
+        .column("k", vec![7i64])
+        .column("x", vec![3.0f64])
+        .build()
+        .unwrap();
+    let inv = ctx.inv(&one, &["k"]).unwrap();
+    assert_eq!(
+        inv.cell(0, "x").unwrap().as_f64().unwrap(),
+        1.0 / 3.0
+    );
+    let d = ctx.det(&one, &["k"]).unwrap();
+    assert_eq!(d.cell(0, "det").unwrap(), Value::Float(3.0));
+    let t = ctx.tra(&one, &["k"]).unwrap();
+    assert_eq!(t.len(), 1);
+    assert!(t.schema().contains("7"));
+}
+
+#[test]
+fn nan_in_keys_breaks_key_property() {
+    let ctx = RmaContext::default();
+    let r = RelationBuilder::new()
+        .column("k", vec![f64::NAN, f64::NAN])
+        .column("x", vec![1.0f64, 2.0])
+        .build()
+        .unwrap();
+    // two NaN keys are duplicates under the engine's total order
+    assert!(matches!(
+        ctx.qqr(&r, &["k"]),
+        Err(RmaError::OrderSchemaNotKey(_))
+    ));
+}
+
+#[test]
+fn nan_values_flow_through_application_part() {
+    let ctx = RmaContext::default();
+    let r = RelationBuilder::new()
+        .column("k", vec![1i64, 2])
+        .column("x", vec![f64::NAN, 1.0])
+        .build()
+        .unwrap();
+    // element-wise ops propagate NaN without panicking
+    let s = RelationBuilder::new()
+        .column("j", vec![1i64, 2])
+        .column("y", vec![5.0f64, 5.0])
+        .build()
+        .unwrap();
+    let sum = ctx.add(&r, &["k"], &s, &["j"]).unwrap();
+    let xs = sum.column("x").unwrap().to_f64_vec().unwrap();
+    assert!(xs[0].is_nan());
+    assert_eq!(xs[1], 6.0);
+}
+
+#[test]
+fn unknown_order_attributes_error() {
+    let ctx = RmaContext::default();
+    let r = RelationBuilder::new()
+        .column("k", vec![1i64])
+        .column("x", vec![1.0f64])
+        .build()
+        .unwrap();
+    assert!(ctx.qqr(&r, &["nope"]).is_err());
+    assert!(ctx.mmu(&r, &["k"], &r, &["nope"]).is_err());
+}
+
+#[test]
+fn huge_values_do_not_break_origins() {
+    let ctx = RmaContext::default();
+    let r = RelationBuilder::new()
+        .column("k", vec![i64::MAX, i64::MIN])
+        .column("x", vec![1e300f64, 1e-300])
+        .build()
+        .unwrap();
+    let q = ctx.vsv(&r, &["k"]).unwrap();
+    assert_eq!(q.len(), 2);
+    let sorted = q.sorted_by(&["k"]).unwrap();
+    assert_eq!(sorted.cell(0, "k").unwrap(), Value::Int(i64::MIN));
+}
+
+#[test]
+fn mismatched_binary_shapes_error_cleanly() {
+    let ctx = RmaContext::default();
+    let a = RelationBuilder::new()
+        .column("k", vec![1i64, 2])
+        .column("x", vec![1.0f64, 2.0])
+        .column("y", vec![1.0f64, 2.0])
+        .build()
+        .unwrap();
+    let b = RelationBuilder::new()
+        .column("j", vec![1i64, 2, 3])
+        .column("z", vec![1.0f64, 2.0, 3.0])
+        .build()
+        .unwrap();
+    // add: tuple counts differ
+    assert!(matches!(
+        ctx.add(&a, &["k"], &b, &["j"]),
+        Err(RmaError::TupleCountMismatch { .. })
+    ));
+    // mmu: inner dimensions differ (2 app cols vs 3 tuples)
+    assert!(matches!(
+        ctx.mmu(&a, &["k"], &b, &["j"]),
+        Err(RmaError::Linalg(_))
+    ));
+}
+
+#[test]
+fn duplicate_origin_names_rejected() {
+    let ctx = RmaContext::default();
+    // order values that stringify to the same attribute name collide with C
+    let r = RelationBuilder::new()
+        .column("k", vec!["C", "D"])
+        .column("x", vec![1.0f64, 2.0])
+        .build()
+        .unwrap();
+    // tra creates a C column; a key value "C" would collide in the schema
+    assert!(ctx.tra(&r, &["k"]).is_err());
+}
