@@ -29,16 +29,31 @@ fn bench(c: &mut Criterion) {
         let renames: Vec<(String, String)> = std::iter::once(("a0".to_string(), "b0".to_string()))
             .chain((0..attrs).map(|k| (format!("k{k}"), format!("j{k}"))))
             .collect();
-        let refs: Vec<(&str, &str)> = renames.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let refs: Vec<(&str, &str)> = renames
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
         let s = rma_relation::rename(&r, &refs).unwrap();
         let s_order: Vec<String> = (0..attrs).map(|k| format!("j{k}")).collect();
         let s_refs: Vec<&str> = s_order.iter().map(String::as_str).collect();
         g.bench_with_input(BenchmarkId::new("add_full_sort", attrs), &attrs, |b, _| {
-            b.iter(|| ctx(SortPolicy::Always).add(&r, &order_refs, &s, &s_refs).unwrap())
+            b.iter(|| {
+                ctx(SortPolicy::Always)
+                    .add(&r, &order_refs, &s, &s_refs)
+                    .unwrap()
+            })
         });
-        g.bench_with_input(BenchmarkId::new("add_relative_sort", attrs), &attrs, |b, _| {
-            b.iter(|| ctx(SortPolicy::Optimized).add(&r, &order_refs, &s, &s_refs).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("add_relative_sort", attrs),
+            &attrs,
+            |b, _| {
+                b.iter(|| {
+                    ctx(SortPolicy::Optimized)
+                        .add(&r, &order_refs, &s, &s_refs)
+                        .unwrap()
+                })
+            },
+        );
     }
     g.finish();
 }

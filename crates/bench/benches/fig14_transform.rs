@@ -10,7 +10,10 @@ fn bench(c: &mut Criterion) {
     let renames: Vec<(String, String)> = std::iter::once(("k0".to_string(), "k".to_string()))
         .chain((0..50).map(|c| (format!("a{c}"), format!("b{c}"))))
         .collect();
-    let refs: Vec<(&str, &str)> = renames.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let refs: Vec<(&str, &str)> = renames
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
     let s = rma_relation::rename(&r, &refs).unwrap();
     let mut g = c.benchmark_group("fig14_transform");
     g.sample_size(10);

@@ -9,7 +9,12 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig16_journeys");
     g.sample_size(10);
     for hops in [1usize, 3] {
-        for sys in [SystemKind::RmaAuto, SystemKind::Aida, SystemKind::R, SystemKind::Madlib] {
+        for sys in [
+            SystemKind::RmaAuto,
+            SystemKind::Aida,
+            SystemKind::R,
+            SystemKind::Madlib,
+        ] {
             let id = format!("{}_{hops}hops", sys.name());
             g.bench_with_input(BenchmarkId::new("regression", id), &sys, |b, &sys| {
                 b.iter(|| run_journeys_regression(sys, &journeys, &stations, hops))

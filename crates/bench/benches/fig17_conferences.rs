@@ -15,9 +15,11 @@ fn bench(c: &mut Criterion) {
         SystemKind::Aida,
         SystemKind::R,
     ] {
-        g.bench_with_input(BenchmarkId::new("covariance", sys.name()), &sys, |b, &sys| {
-            b.iter(|| run_conferences_covariance(sys, &pubs, &rankings))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("covariance", sys.name()),
+            &sys,
+            |b, &sys| b.iter(|| run_conferences_covariance(sys, &pubs, &rankings)),
+        );
     }
     g.finish();
 }

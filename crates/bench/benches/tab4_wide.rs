@@ -8,7 +8,8 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for attrs in [100usize, 400, 1000] {
         let a = rma_data::wide_relation(1000, attrs, 4);
-        let b = rma_relation::rename(&rma_data::wide_relation(1000, attrs, 5), &[("k0", "k")]).unwrap();
+        let b =
+            rma_relation::rename(&rma_data::wide_relation(1000, attrs, 5), &[("k0", "k")]).unwrap();
         g.bench_with_input(BenchmarkId::new("add", attrs), &attrs, |bch, _| {
             bch.iter(|| RmaContext::default().add(&a, &["k0"], &b, &["k"]).unwrap())
         });

@@ -13,10 +13,18 @@ fn bench(c: &mut Criterion) {
             bch.iter(|| rma_core::add(&a, &["lk"], &b, &["rk"]).unwrap())
         });
         let ca: Vec<CompressedFloats> = (0..4)
-            .map(|i| CompressedFloats::compress(&a.column(&format!("l{i}")).unwrap().to_f64_vec().unwrap()))
+            .map(|i| {
+                CompressedFloats::compress(
+                    &a.column(&format!("l{i}")).unwrap().to_f64_vec().unwrap(),
+                )
+            })
             .collect();
         let cb: Vec<CompressedFloats> = (0..4)
-            .map(|i| CompressedFloats::compress(&b.column(&format!("r{i}")).unwrap().to_f64_vec().unwrap()))
+            .map(|i| {
+                CompressedFloats::compress(
+                    &b.column(&format!("r{i}")).unwrap().to_f64_vec().unwrap(),
+                )
+            })
             .collect();
         g.bench_with_input(BenchmarkId::new("compressed_add", pct), &pct, |bch, _| {
             bch.iter(|| {

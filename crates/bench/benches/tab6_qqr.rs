@@ -22,10 +22,18 @@ fn bench(c: &mut Criterion) {
             })
         });
         g.bench_with_input(BenchmarkId::new("rma_dense", &id), &id, |b, _| {
-            b.iter(|| RmaContext::with_backend(Backend::Dense).qqr(&r, &["k0"]).unwrap())
+            b.iter(|| {
+                RmaContext::with_backend(Backend::Dense)
+                    .qqr(&r, &["k0"])
+                    .unwrap()
+            })
         });
         g.bench_with_input(BenchmarkId::new("rma_bat", &id), &id, |b, _| {
-            b.iter(|| RmaContext::with_backend(Backend::Bat).qqr(&r, &["k0"]).unwrap())
+            b.iter(|| {
+                RmaContext::with_backend(Backend::Bat)
+                    .qqr(&r, &["k0"])
+                    .unwrap()
+            })
         });
     }
     g.finish();

@@ -37,8 +37,7 @@ fn main() {
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = [
-            "fig13", "tab4", "tab5", "tab6", "tab7", "fig14", "fig15", "fig16", "fig17",
-            "fig18",
+            "fig13", "tab4", "tab5", "tab6", "tab7", "fig14", "fig15", "fig16", "fig17", "fig18",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -90,14 +89,21 @@ fn fig13(scale: usize) {
     ] {
         let rows = rows.max(100);
         println!("### {rows} tuples");
-        println!("{:>8} {:>12} {:>16} {:>12} {:>16}", "#order", "add(s)", "add rel-sort(s)", "qqr(s)", "qqr no-sort(s)");
+        println!(
+            "{:>8} {:>12} {:>16} {:>12} {:>16}",
+            "#order", "add(s)", "add rel-sort(s)", "qqr(s)", "qqr no-sort(s)"
+        );
         for &attrs in &attr_points {
             let r = rma_data::uniform_relation(rows, attrs, 1, 13);
             let s = {
-                let renames: Vec<(String, String)> = std::iter::once(("a0".to_string(), "b0".to_string()))
-                    .chain((0..attrs).map(|k| (format!("k{k}"), format!("j{k}"))))
+                let renames: Vec<(String, String)> =
+                    std::iter::once(("a0".to_string(), "b0".to_string()))
+                        .chain((0..attrs).map(|k| (format!("k{k}"), format!("j{k}"))))
+                        .collect();
+                let refs: Vec<(&str, &str)> = renames
+                    .iter()
+                    .map(|(a, b)| (a.as_str(), b.as_str()))
                     .collect();
-                let refs: Vec<(&str, &str)> = renames.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
                 rma_relation::rename(&r, &refs).expect("rename")
             };
             let order: Vec<String> = (0..attrs).map(|k| format!("k{k}")).collect();
@@ -106,16 +112,22 @@ fn fig13(scale: usize) {
             let s_order_refs: Vec<&str> = s_order.iter().map(String::as_str).collect();
 
             let t = Instant::now();
-            ctx(SortPolicy::Always).add(&r, &order_refs, &s, &s_order_refs).expect("add");
+            ctx(SortPolicy::Always)
+                .add(&r, &order_refs, &s, &s_order_refs)
+                .expect("add");
             let add_full = t.elapsed();
             let t = Instant::now();
-            ctx(SortPolicy::Optimized).add(&r, &order_refs, &s, &s_order_refs).expect("add");
+            ctx(SortPolicy::Optimized)
+                .add(&r, &order_refs, &s, &s_order_refs)
+                .expect("add");
             let add_rel = t.elapsed();
             let t = Instant::now();
             ctx(SortPolicy::Always).qqr(&r, &order_refs).expect("qqr");
             let qqr_full = t.elapsed();
             let t = Instant::now();
-            ctx(SortPolicy::Optimized).qqr(&r, &order_refs).expect("qqr");
+            ctx(SortPolicy::Optimized)
+                .qqr(&r, &order_refs)
+                .expect("qqr");
             let qqr_skip = t.elapsed();
             println!(
                 "{attrs:>8} {:>12} {:>16} {:>12} {:>16}",
@@ -140,7 +152,9 @@ fn tab4(scale: usize) {
     while attrs <= max_attrs {
         let (a, b) = wide_pair(rows, attrs);
         let t = Instant::now();
-        ctx(SortPolicy::Optimized).add(&a, &["k0"], &b, &["k"]).expect("add");
+        ctx(SortPolicy::Optimized)
+            .add(&a, &["k0"], &b, &["k"])
+            .expect("add");
         println!("{attrs:>8} {:>10}", secs(t.elapsed()));
         attrs += step;
     }
@@ -163,14 +177,24 @@ fn tab5(scale: usize) {
         let (a, b) = rma_data::sparse_pair(rows, 10, pct as f64 / 100.0, 100 + pct as u64);
         // dense columnar add through RMA
         let t = Instant::now();
-        ctx(SortPolicy::Optimized).add(&a, &["lk"], &b, &["rk"]).expect("add");
+        ctx(SortPolicy::Optimized)
+            .add(&a, &["lk"], &b, &["rk"])
+            .expect("add");
         let dense = t.elapsed();
         // compressed add on the storage layer (MonetDB's compression role)
         let t = Instant::now();
         let mut compressed_total = Duration::ZERO;
         for c in 0..10 {
-            let ca = a.column(&format!("l{c}")).expect("col").to_f64_vec().expect("num");
-            let cb = b.column(&format!("r{c}")).expect("col").to_f64_vec().expect("num");
+            let ca = a
+                .column(&format!("l{c}"))
+                .expect("col")
+                .to_f64_vec()
+                .expect("num");
+            let cb = b
+                .column(&format!("r{c}"))
+                .expect("col")
+                .to_f64_vec()
+                .expect("num");
             let ca = rma_storage::CompressedFloats::compress(&ca);
             let cb = rma_storage::CompressedFloats::compress(&cb);
             let t2 = Instant::now();
@@ -178,7 +202,11 @@ fn tab5(scale: usize) {
             compressed_total += t2.elapsed();
         }
         let _ = t.elapsed();
-        println!("{pct:>6} {:>12} {:>14}", secs(dense), secs(compressed_total));
+        println!(
+            "{pct:>6} {:>12} {:>14}",
+            secs(dense),
+            secs(compressed_total)
+        );
     }
     println!();
 }
@@ -227,7 +255,10 @@ fn tab6(scale: usize) {
 /// Table 7: add followed by a selection — RMA+ vs the SciDB simulator.
 fn tab7(scale: usize) {
     println!("## Table 7 — add + selection, RMA+ vs SciDB");
-    println!("{:>10} {:>10} {:>10} {:>8}", "tuples", "RMA+(s)", "SciDB(s)", "ratio");
+    println!(
+        "{:>10} {:>10} {:>10} {:>8}",
+        "tuples", "RMA+(s)", "SciDB(s)", "ratio"
+    );
     for tuples in [1_000_000, 5_000_000, 10_000_000, 15_000_000] {
         let tuples = (tuples / scale.max(1)).max(10_000);
         let (a, b) = trip_count_tables(tuples, 10, 7);
@@ -253,13 +284,20 @@ fn fig14(scale: usize) {
         ("DSV", rma_core::RmaOp::Dsv),
         ("VSV", rma_core::RmaOp::Vsv),
     ];
-    for rows in [100_000 / scale.max(1), 300_000 / scale.max(1), 500_000 / scale.max(1)] {
+    for rows in [
+        100_000 / scale.max(1),
+        300_000 / scale.max(1),
+        500_000 / scale.max(1),
+    ] {
         let rows = rows.max(2_000);
         let r = rma_data::uniform_relation(rows, 1, 50, 14);
         let s = {
             let mut renames = vec![("k0".to_string(), "k".to_string())];
             renames.extend((0..50).map(|c| (format!("a{c}"), format!("b{c}"))));
-            let refs: Vec<(&str, &str)> = renames.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+            let refs: Vec<(&str, &str)> = renames
+                .iter()
+                .map(|(a, b)| (a.as_str(), b.as_str()))
+                .collect();
             rma_relation::rename(&r, &refs).expect("rename")
         };
         print!("{rows:>9} rows: ");
@@ -342,8 +380,18 @@ fn fig16(scale: usize) {
             .iter()
             .map(|&s| run_journeys_regression(s, &journeys, &stations, hops))
             .collect();
-        reports.push(run_journeys_regression(SystemKind::RmaBat, &journeys, &stations, hops));
-        reports.push(run_journeys_regression(SystemKind::RmaMkl, &journeys, &stations, hops));
+        reports.push(run_journeys_regression(
+            SystemKind::RmaBat,
+            &journeys,
+            &stations,
+            hops,
+        ));
+        reports.push(run_journeys_regression(
+            SystemKind::RmaMkl,
+            &journeys,
+            &stations,
+            hops,
+        ));
         print_reports(&format!("### journeys of {hops} trip(s)"), &reports);
     }
 }
@@ -366,9 +414,20 @@ fn fig17(scale: usize) {
             .iter()
             .map(|&s| run_conferences_covariance(s, &pubs, &rankings))
             .collect();
-        reports.push(run_conferences_covariance(SystemKind::RmaBat, &pubs, &rankings));
-        reports.push(run_conferences_covariance(SystemKind::RmaMkl, &pubs, &rankings));
-        print_reports(&format!("### {authors} authors × {confs} conferences"), &reports);
+        reports.push(run_conferences_covariance(
+            SystemKind::RmaBat,
+            &pubs,
+            &rankings,
+        ));
+        reports.push(run_conferences_covariance(
+            SystemKind::RmaMkl,
+            &pubs,
+            &rankings,
+        ));
+        print_reports(
+            &format!("### {authors} authors × {confs} conferences"),
+            &reports,
+        );
     }
 }
 

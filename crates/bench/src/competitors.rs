@@ -524,7 +524,11 @@ mod tests {
     #[test]
     fn mat_engines_agree_and_charge_transform() {
         let (a, _) = ab();
-        for flavor in [MatFlavor::RMatrix, MatFlavor::AidaNumpy, MatFlavor::MadlibRows] {
+        for flavor in [
+            MatFlavor::RMatrix,
+            MatFlavor::AidaNumpy,
+            MatFlavor::MadlibRows,
+        ] {
             let eng = MatEngine::new(flavor);
             let mut t = SimTimes::default();
             let m = eng.enter(&a, &["x"], &mut t);

@@ -8,9 +8,7 @@
 
 use crate::competitors::{scidb, MatEngine, MatFlavor, RelEngine, RelFlavor, SimTimes};
 use rma_core::{Backend, RmaContext, RmaOptions};
-use rma_relation::{
-    cross_product, project, project_exprs, rename, AggSpec, Expr, Relation,
-};
+use rma_relation::{cross_product, project, project_exprs, rename, AggSpec, Expr, Relation};
 use rma_storage::Value;
 use std::time::{Duration, Instant};
 
@@ -45,7 +43,10 @@ impl SystemKind {
     }
 
     fn is_rma(self) -> bool {
-        matches!(self, SystemKind::RmaAuto | SystemKind::RmaBat | SystemKind::RmaMkl)
+        matches!(
+            self,
+            SystemKind::RmaAuto | SystemKind::RmaBat | SystemKind::RmaMkl
+        )
     }
 
     fn rma_context(self) -> RmaContext {
@@ -117,22 +118,46 @@ fn trips_prep(rel: &RelEngine, trips: &Relation, stations: &Relation, min_count:
         &[("start_station", "fs"), ("end_station", "fe")],
     );
     // (b) join station coordinates for both endpoints
-    let s_start = rename(stations, &[("code", "sc"), ("name", "sn"), ("lat", "slat"), ("lon", "slon")])
-        .expect("rename");
-    let s_end = rename(stations, &[("code", "ec"), ("name", "en"), ("lat", "elat"), ("lon", "elon")])
-        .expect("rename");
+    let s_start = rename(
+        stations,
+        &[
+            ("code", "sc"),
+            ("name", "sn"),
+            ("lat", "slat"),
+            ("lon", "slon"),
+        ],
+    )
+    .expect("rename");
+    let s_end = rename(
+        stations,
+        &[
+            ("code", "ec"),
+            ("name", "en"),
+            ("lat", "elat"),
+            ("lon", "elon"),
+        ],
+    )
+    .expect("rename");
     let t = rel.join(&t, &s_start, &[("start_station", "sc")]);
     let t = rel.join(&t, &s_end, &[("end_station", "ec")]);
     // distance in ~km (see rma_data::bixi::station_distance)
     let dist = Expr::col("slat")
         .sub(Expr::col("elat"))
         .mul(Expr::lit(111.0))
-        .mul(Expr::col("slat").sub(Expr::col("elat")).mul(Expr::lit(111.0)))
+        .mul(
+            Expr::col("slat")
+                .sub(Expr::col("elat"))
+                .mul(Expr::lit(111.0)),
+        )
         .add(
             Expr::col("slon")
                 .sub(Expr::col("elon"))
                 .mul(Expr::lit(78.0))
-                .mul(Expr::col("slon").sub(Expr::col("elon")).mul(Expr::lit(78.0))),
+                .mul(
+                    Expr::col("slon")
+                        .sub(Expr::col("elon"))
+                        .mul(Expr::lit(78.0)),
+                ),
         )
         .sqrt();
     project_exprs(
@@ -238,25 +263,52 @@ pub fn run_trips_ols(
 /// Simulation note: the paper composes trips that "meet in a station"; with
 /// synthetic ids we additionally require consecutive journey ids, keeping
 /// the join fan-out bounded without changing the operator mix.
-fn journeys_prep(rel: &RelEngine, journeys: &Relation, stations: &Relation, hops: usize) -> Relation {
+fn journeys_prep(
+    rel: &RelEngine,
+    journeys: &Relation,
+    stations: &Relation,
+    hops: usize,
+) -> Relation {
     // distance per one-trip journey
-    let s_start =
-        rename(stations, &[("code", "sc"), ("name", "sn"), ("lat", "slat"), ("lon", "slon")])
-            .expect("rename");
-    let s_end =
-        rename(stations, &[("code", "ec"), ("name", "en"), ("lat", "elat"), ("lon", "elon")])
-            .expect("rename");
+    let s_start = rename(
+        stations,
+        &[
+            ("code", "sc"),
+            ("name", "sn"),
+            ("lat", "slat"),
+            ("lon", "slon"),
+        ],
+    )
+    .expect("rename");
+    let s_end = rename(
+        stations,
+        &[
+            ("code", "ec"),
+            ("name", "en"),
+            ("lat", "elat"),
+            ("lon", "elon"),
+        ],
+    )
+    .expect("rename");
     let j = rel.join(journeys, &s_start, &[("start", "sc")]);
     let j = rel.join(&j, &s_end, &[("end", "ec")]);
     let dist = Expr::col("slat")
         .sub(Expr::col("elat"))
         .mul(Expr::lit(111.0))
-        .mul(Expr::col("slat").sub(Expr::col("elat")).mul(Expr::lit(111.0)))
+        .mul(
+            Expr::col("slat")
+                .sub(Expr::col("elat"))
+                .mul(Expr::lit(111.0)),
+        )
         .add(
             Expr::col("slon")
                 .sub(Expr::col("elon"))
                 .mul(Expr::lit(78.0))
-                .mul(Expr::col("slon").sub(Expr::col("elon")).mul(Expr::lit(78.0))),
+                .mul(
+                    Expr::col("slon")
+                        .sub(Expr::col("elon"))
+                        .mul(Expr::lit(78.0)),
+                ),
         )
         .sqrt();
     let base = project_exprs(
@@ -278,10 +330,7 @@ fn journeys_prep(rel: &RelEngine, journeys: &Relation, stations: &Relation, hops
         let next = project_exprs(
             &base,
             &[
-                (
-                    Expr::col("jid").sub(Expr::lit((hop - 1) as i64)),
-                    "pjid",
-                ),
+                (Expr::col("jid").sub(Expr::lit((hop - 1) as i64)), "pjid"),
                 (Expr::col("start"), "nstart"),
                 (Expr::col("end"), "nend"),
                 (Expr::col("duration"), "ndur"),
@@ -303,8 +352,7 @@ fn journeys_prep(rel: &RelEngine, journeys: &Relation, stations: &Relation, hops
             items.push((Expr::col(format!("dist{h}")), format!("dist{h}")));
         }
         items.push((Expr::col("ndist"), format!("dist{hop}")));
-        let refs: Vec<(Expr, &str)> =
-            items.iter().map(|(e, n)| (e.clone(), n.as_str())).collect();
+        let refs: Vec<(Expr, &str)> = items.iter().map(|(e, n)| (e.clone(), n.as_str())).collect();
         cur = project_exprs(&joined, &refs).expect("hop projection");
     }
     // add the intercept column; design columns x0..xk sort alphabetically
@@ -352,7 +400,11 @@ pub fn run_journeys_regression(
         let mut check = 0.0;
         for i in 0..sorted.len() {
             if sorted.cell(i, "C").expect("C") != Value::from("x0") {
-                check += sorted.cell(i, "duration").expect("b").as_f64().expect("num");
+                check += sorted
+                    .cell(i, "duration")
+                    .expect("b")
+                    .as_f64()
+                    .expect("num");
             }
         }
         WorkloadReport {
@@ -415,8 +467,11 @@ pub fn run_conferences_covariance(
     if system.is_rma() {
         let ctx = system.rma_context();
         // centre: sub over relations (paper's w3), keys author / author2
-        let users = rename(&project(pubs, &["author"]).expect("authors"), &[("author", "author2")])
-            .expect("rename");
+        let users = rename(
+            &project(pubs, &["author"]).expect("authors"),
+            &[("author", "author2")],
+        )
+        .expect("rename");
         let means_rel = cross_product(&users, &means).expect("broadcast");
         let centred = ctx
             .sub(pubs, &["author"], &means_rel, &["author2"])
@@ -500,7 +555,10 @@ fn rename_author(r: &Relation) -> Relation {
             mapping.push((n.to_string(), format!("{n}_2")));
         }
     }
-    let refs: Vec<(&str, &str)> = mapping.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let refs: Vec<(&str, &str)> = mapping
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
     rename(r, &refs).expect("rename")
 }
 
@@ -604,9 +662,8 @@ pub fn run_scidb_comparison(
     let t = Instant::now();
     let ctx = RmaContext::default();
     let sum = ctx.add(year1, &["k0"], year2, &["k"]).expect("add");
-    let selected =
-        rma_relation::select(&sum, &Expr::col(dest_refs[0]).gt(Expr::lit(threshold)))
-            .expect("select");
+    let selected = rma_relation::select(&sum, &Expr::col(dest_refs[0]).gt(Expr::lit(threshold)))
+        .expect("select");
     let rma_time = t.elapsed();
     let rma_count = selected.len();
 

@@ -83,6 +83,11 @@ pub struct ExecStats {
     pub compute: Duration,
     pub sort: Duration,
     pub ops_run: u32,
+    /// Number of argument sort computations performed (full sorts and
+    /// relative alignments). The lazy plan optimizer's redundant-sort
+    /// elimination is observable here: consecutive operations over the same
+    /// order schema sort once, not once per operation.
+    pub sorts: u32,
     pub last_kernel: Option<KernelUsed>,
 }
 
@@ -103,6 +108,7 @@ impl ExecStats {
         self.compute += other.compute;
         self.sort += other.sort;
         self.ops_run += other.ops_run;
+        self.sorts += other.sorts;
         if other.last_kernel.is_some() {
             self.last_kernel = other.last_kernel;
         }
@@ -147,8 +153,16 @@ impl RmaContext {
     }
 
     /// Decide the kernel for an operation on an `m × n` application part
-    /// (plus an optional second operand) under the configured policy.
-    pub(crate) fn choose_kernel(&self, op: RmaOp, m: usize, n: usize) -> Backend {
+    /// (plus the second operand's application dimensions for binary ops)
+    /// under the configured policy. Public so the plan-level optimizer can
+    /// make the same choice ahead of execution.
+    pub fn choose_kernel(
+        &self,
+        op: RmaOp,
+        m: usize,
+        n: usize,
+        second: Option<(usize, usize)>,
+    ) -> Backend {
         match self.options.backend {
             Backend::Bat => Backend::Bat,
             Backend::Dense => Backend::Dense,
@@ -157,8 +171,13 @@ impl RmaContext {
                     // linear ops: transformation cost can never be amortised
                     Backend::Bat
                 } else {
-                    // complex op: use dense unless the copy would not fit
-                    let est = 2 * m * n * std::mem::size_of::<f64>();
+                    // complex op: use dense unless copying every operand in
+                    // and the result out would not fit the budget
+                    let mut cells = m * n;
+                    if let Some((m2, n2)) = second {
+                        cells += m2 * n2;
+                    }
+                    let est = 2 * cells * std::mem::size_of::<f64>();
                     if est <= self.options.dense_memory_budget {
                         Backend::Dense
                     } else {
@@ -177,9 +196,18 @@ mod tests {
     #[test]
     fn auto_policy_matches_paper() {
         let ctx = RmaContext::default();
-        assert_eq!(ctx.choose_kernel(RmaOp::Add, 1_000_000, 10), Backend::Bat);
-        assert_eq!(ctx.choose_kernel(RmaOp::Qqr, 1_000_000, 10), Backend::Dense);
-        assert_eq!(ctx.choose_kernel(RmaOp::Inv, 100, 100), Backend::Dense);
+        assert_eq!(
+            ctx.choose_kernel(RmaOp::Add, 1_000_000, 10, Some((1_000_000, 10))),
+            Backend::Bat
+        );
+        assert_eq!(
+            ctx.choose_kernel(RmaOp::Qqr, 1_000_000, 10, None),
+            Backend::Dense
+        );
+        assert_eq!(
+            ctx.choose_kernel(RmaOp::Inv, 100, 100, None),
+            Backend::Dense
+        );
     }
 
     #[test]
@@ -189,18 +217,41 @@ mod tests {
             ..RmaOptions::default()
         });
         // 1M × 10 doubles ≈ 80 MB > 1 MiB → BAT
-        assert_eq!(ctx.choose_kernel(RmaOp::Qqr, 1_000_000, 10), Backend::Bat);
-        assert_eq!(ctx.choose_kernel(RmaOp::Qqr, 100, 10), Backend::Dense);
+        assert_eq!(
+            ctx.choose_kernel(RmaOp::Qqr, 1_000_000, 10, None),
+            Backend::Bat
+        );
+        assert_eq!(ctx.choose_kernel(RmaOp::Qqr, 100, 10, None), Backend::Dense);
+    }
+
+    #[test]
+    fn binary_budget_counts_both_operands() {
+        // 60 KiB budget: one 32×100 operand copies in 2·32·100·8 ≈ 50 KiB,
+        // but mmu's second operand of the same size pushes past the budget.
+        let ctx = RmaContext::new(RmaOptions {
+            dense_memory_budget: 60 << 10,
+            ..RmaOptions::default()
+        });
+        assert_eq!(ctx.choose_kernel(RmaOp::Mmu, 32, 100, None), Backend::Dense);
+        assert_eq!(
+            ctx.choose_kernel(RmaOp::Mmu, 32, 100, Some((100, 32))),
+            Backend::Bat
+        );
     }
 
     #[test]
     fn forced_backends() {
         assert_eq!(
-            RmaContext::with_backend(Backend::Bat).choose_kernel(RmaOp::Qqr, 10, 10),
+            RmaContext::with_backend(Backend::Bat).choose_kernel(RmaOp::Qqr, 10, 10, None),
             Backend::Bat
         );
         assert_eq!(
-            RmaContext::with_backend(Backend::Dense).choose_kernel(RmaOp::Add, 10, 10),
+            RmaContext::with_backend(Backend::Dense).choose_kernel(
+                RmaOp::Add,
+                10,
+                10,
+                Some((10, 10))
+            ),
             Backend::Dense
         );
     }
@@ -214,12 +265,14 @@ mod tests {
             compute: Duration::from_millis(60),
             sort: Duration::from_millis(5),
             ops_run: 1,
+            sorts: 1,
             last_kernel: Some(KernelUsed::Dense),
         };
         ctx.record(&s);
         ctx.record(&s);
         let acc = ctx.stats();
         assert_eq!(acc.ops_run, 2);
+        assert_eq!(acc.sorts, 2);
         assert_eq!(acc.compute, Duration::from_millis(120));
         assert!((acc.transform_share() - 0.4).abs() < 1e-9);
         ctx.reset_stats();

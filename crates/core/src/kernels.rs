@@ -46,7 +46,7 @@ pub fn eval_unary(
 ) -> Result<KernelOut, RmaError> {
     let m = app.first().map_or(0, Vec::len);
     let n = app.len();
-    let mut backend = ctx.choose_kernel(op, m, n);
+    let mut backend = ctx.choose_kernel(op, m, n, None);
     let mut kernel_used = match backend {
         Backend::Bat => KernelUsed::Bat,
         _ => KernelUsed::Dense,
@@ -92,9 +92,10 @@ pub fn eval_binary(
     b: &[Vec<f64>],
     stats: &mut ExecStats,
 ) -> Result<KernelOut, RmaError> {
-    let m = a.first().map_or(0, Vec::len).max(b.first().map_or(0, Vec::len));
-    let n = a.len().max(b.len());
-    let backend = ctx.choose_kernel(op, m, n);
+    let m = a.first().map_or(0, Vec::len);
+    let n = a.len();
+    let second = (b.first().map_or(0, Vec::len), b.len());
+    let backend = ctx.choose_kernel(op, m, n, Some(second));
     let out = match backend {
         Backend::Bat => {
             let t = Instant::now();
@@ -279,7 +280,9 @@ mod tests {
         let mut s = ExecStats::default();
         let ctx = RmaContext::with_backend(Backend::Bat);
         let app = vec![vec![2.0, 0.0, 0.0], vec![0.0, 5.0, 0.0]];
-        let out = eval_unary(&ctx, RmaOp::Vsv, &app, &mut s).unwrap().into_cols();
+        let out = eval_unary(&ctx, RmaOp::Vsv, &app, &mut s)
+            .unwrap()
+            .into_cols();
         assert_eq!(s.last_kernel, Some(KernelUsed::DenseFallback));
         assert_eq!(out[0].len(), 3); // padded to m rows
         assert!((out[0][0] - 5.0).abs() < 1e-12);
@@ -311,7 +314,9 @@ mod tests {
         let ctx = RmaContext::new(RmaOptions::default());
         let a = vec![vec![1.0, 2.0]];
         let b = vec![vec![10.0, 20.0]];
-        let out = eval_binary(&ctx, RmaOp::Add, &a, &b, &mut s).unwrap().into_cols();
+        let out = eval_binary(&ctx, RmaOp::Add, &a, &b, &mut s)
+            .unwrap()
+            .into_cols();
         assert_eq!(out[0], vec![11.0, 22.0]);
         assert_eq!(s.last_kernel, Some(KernelUsed::Bat));
     }
@@ -321,13 +326,24 @@ mod tests {
         let mut s = ExecStats::default();
         let a = vec![vec![1.0, 3.0], vec![2.0, 4.0]]; // [[1,2],[3,4]]
         let b = vec![vec![5.0, 7.0], vec![6.0, 8.0]]; // [[5,6],[7,8]]
-        let bat = eval_binary(&RmaContext::with_backend(Backend::Bat), RmaOp::Mmu, &a, &b, &mut s)
-            .unwrap()
-            .into_cols();
-        let dense =
-            eval_binary(&RmaContext::with_backend(Backend::Dense), RmaOp::Mmu, &a, &b, &mut s)
-                .unwrap()
-                .into_cols();
+        let bat = eval_binary(
+            &RmaContext::with_backend(Backend::Bat),
+            RmaOp::Mmu,
+            &a,
+            &b,
+            &mut s,
+        )
+        .unwrap()
+        .into_cols();
+        let dense = eval_binary(
+            &RmaContext::with_backend(Backend::Dense),
+            RmaOp::Mmu,
+            &a,
+            &b,
+            &mut s,
+        )
+        .unwrap()
+        .into_cols();
         assert_eq!(bat, dense);
         assert_eq!(bat, vec![vec![19.0, 43.0], vec![22.0, 50.0]]);
     }
@@ -338,7 +354,9 @@ mod tests {
         let ctx = RmaContext::with_backend(Backend::Dense);
         // 4×2 application part → U must be 4×4
         let app = vec![vec![1.0, 1.0, 6.0, 8.0], vec![3.0, 4.0, 7.0, 5.0]];
-        let u = eval_unary(&ctx, RmaOp::Usv, &app, &mut s).unwrap().into_cols();
+        let u = eval_unary(&ctx, RmaOp::Usv, &app, &mut s)
+            .unwrap()
+            .into_cols();
         assert_eq!(u.len(), 4);
         assert_eq!(u[0].len(), 4);
         for i in 0..4 {

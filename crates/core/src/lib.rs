@@ -30,15 +30,16 @@ pub mod context;
 pub mod error;
 pub mod kernels;
 pub mod ops;
+pub mod plan;
 pub mod shape;
 pub mod split;
 
 pub use context::{Backend, ExecStats, KernelUsed, RmaContext, RmaOptions, SortPolicy};
 pub use error::RmaError;
+pub use plan::{Frame, LogicalPlan, PlanError, TableProvider};
 pub use shape::{Dim, RmaOp, ShapeType, ALL_OPS};
 
 // Free-function API re-exports.
 pub use ops::{
-    add, chf, cpd, det, dsv, emu, evc, evl, inv, mmu, opd, qqr, rnk, rqr, sol, sub, tra, usv,
-    vsv,
+    add, chf, cpd, det, dsv, emu, evc, evl, inv, mmu, opd, qqr, rnk, rqr, sol, sub, tra, usv, vsv,
 };

@@ -22,6 +22,20 @@ use std::time::Instant;
 impl RmaContext {
     /// Dispatch a unary relational matrix operation `op_U(r)`.
     pub fn unary(&self, op: RmaOp, r: &Relation, order: &[&str]) -> Result<Relation, RmaError> {
+        self.unary_hinted(op, r, order, false)
+    }
+
+    /// Unary dispatch with a sortedness hint from the plan layer:
+    /// `input_sorted` asserts that `r` is already physically ordered by
+    /// `order`, so the sort can be skipped even when the operation's result
+    /// depends on row order.
+    pub(crate) fn unary_hinted(
+        &self,
+        op: RmaOp,
+        r: &Relation,
+        order: &[&str],
+        input_sorted: bool,
+    ) -> Result<Relation, RmaError> {
         assert!(!op.is_binary(), "unary() called with binary op {op:?}");
         // tra and usv use the column cast ▽U: |U| must be 1
         if matches!(op, RmaOp::Tra | RmaOp::Usv) && order.len() != 1 {
@@ -32,7 +46,15 @@ impl RmaContext {
         }
         let mut stats = crate::context::ExecStats::default();
         let t_sort = Instant::now();
-        let s = split(self, r, order, unary_sort_mode(self, op))?;
+        let mode = if input_sorted {
+            SortMode::Skip
+        } else {
+            unary_sort_mode(self, op)
+        };
+        if matches!(mode, SortMode::Full) {
+            stats.sorts += 1;
+        }
+        let s = split(self, r, order, mode)?;
         stats.sort += t_sort.elapsed();
         let out = eval_unary(self, op, &s.app, &mut stats)?;
 
@@ -78,6 +100,23 @@ impl RmaContext {
         s: &Relation,
         s_order: &[&str],
     ) -> Result<Relation, RmaError> {
+        self.binary_hinted(op, r, r_order, false, s, s_order, false)
+    }
+
+    /// Binary dispatch with per-argument sortedness hints from the plan
+    /// layer (each flag asserts that the argument is already physically
+    /// ordered by its order schema).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn binary_hinted(
+        &self,
+        op: RmaOp,
+        r: &Relation,
+        r_order: &[&str],
+        r_sorted: bool,
+        s: &Relation,
+        s_order: &[&str],
+        s_sorted: bool,
+    ) -> Result<Relation, RmaError> {
         assert!(op.is_binary(), "binary() called with unary op {op:?}");
         if op == RmaOp::Opd && s_order.len() != 1 {
             return Err(RmaError::OrderSchemaCardinality {
@@ -91,8 +130,7 @@ impl RmaContext {
             op,
             RmaOp::Add | RmaOp::Sub | RmaOp::Emu | RmaOp::Cpd | RmaOp::Sol
         );
-        let optimized =
-            self.options.sort_policy == crate::context::SortPolicy::Optimized;
+        let optimized = self.options.sort_policy == crate::context::SortPolicy::Optimized;
         let (rs, ss) = if aligned {
             // element-wise / row-aligned: both relations must have equally
             // many tuples, paired by rank under their own order schemas
@@ -102,13 +140,25 @@ impl RmaContext {
                     right: s.len(),
                 });
             }
-            if optimized {
-                // relative sorting: r stays physical, s is aligned to it
-                let ranks = alignment_ranks(r, r_order)?;
+            if optimized && r_sorted && s_sorted {
+                // both physically sorted: ranks align positionally for free
                 let rs = split(self, r, r_order, SortMode::Skip)?;
+                let ss = split(self, s, s_order, SortMode::Skip)?;
+                (rs, ss)
+            } else if optimized {
+                // relative sorting: r stays physical, s is aligned to it
+                let ranks = if r_sorted {
+                    (0..r.len()).collect()
+                } else {
+                    stats.sorts += 1;
+                    alignment_ranks(r, r_order)?
+                };
+                let rs = split(self, r, r_order, SortMode::Skip)?;
+                stats.sorts += 1;
                 let ss = split(self, s, s_order, SortMode::AlignTo { ranks })?;
                 (rs, ss)
             } else {
+                stats.sorts += 2;
                 let rs = split(self, r, r_order, SortMode::Full)?;
                 let ss = split(self, s, s_order, SortMode::Full)?;
                 (rs, ss)
@@ -117,21 +167,30 @@ impl RmaContext {
             // mmu/opd: r's rows are free (result rows permute with them),
             // s must be in key order (it aligns with r's application
             // columns / provides the sorted ▽V names)
-            let r_mode = if optimized && !op.result_depends_on_row_order() {
+            let r_mode = if r_sorted || (optimized && !op.result_depends_on_row_order()) {
                 SortMode::Skip
             } else {
                 SortMode::Full
             };
+            let s_mode = if s_sorted {
+                SortMode::Skip
+            } else {
+                SortMode::Full
+            };
+            if matches!(r_mode, SortMode::Full) {
+                stats.sorts += 1;
+            }
+            if matches!(s_mode, SortMode::Full) {
+                stats.sorts += 1;
+            }
             let rs = split(self, r, r_order, r_mode)?;
-            let ss = split(self, s, s_order, SortMode::Full)?;
+            let ss = split(self, s, s_order, s_mode)?;
             (rs, ss)
         };
         stats.sort += t_sort.elapsed();
 
         // element-wise ops need union-compatible application schemas
-        if matches!(op, RmaOp::Add | RmaOp::Sub | RmaOp::Emu)
-            && rs.app.len() != ss.app.len()
-        {
+        if matches!(op, RmaOp::Add | RmaOp::Sub | RmaOp::Emu) && rs.app.len() != ss.app.len() {
             return Err(RmaError::ApplicationNotUnionCompatible);
         }
 

@@ -1,0 +1,152 @@
+//! Logical-plan interpreter: walks an (optimized) [`LogicalPlan`] and calls
+//! the eager relational-algebra functions and RMA kernels. The eager APIs
+//! remain the execution layer; this module only adds plan-level concerns —
+//! table resolution, scan-time projection, sortedness hints, and per-node
+//! backend overrides.
+
+use super::{LogicalPlan, PlanError, TableProvider};
+use crate::context::{RmaContext, RmaOptions};
+use rma_relation::{self as rel, Relation};
+
+/// Execute a logical plan against a table provider.
+pub fn execute(
+    plan: &LogicalPlan,
+    ctx: &RmaContext,
+    provider: &dyn TableProvider,
+) -> Result<Relation, PlanError> {
+    match plan {
+        LogicalPlan::Values { rel, projection } => {
+            scan_projected(rel.as_ref(), projection.as_deref())
+        }
+        LogicalPlan::Scan { table, projection } => {
+            let r = provider
+                .table(table)
+                .ok_or_else(|| PlanError::UnknownTable(table.clone()))?;
+            scan_projected(r, projection.as_deref())
+        }
+        LogicalPlan::Select { input, predicate } => {
+            let r = execute(input, ctx, provider)?;
+            Ok(rel::select(&r, predicate)?)
+        }
+        LogicalPlan::Project { input, items } => {
+            let r = execute(input, ctx, provider)?;
+            let refs: Vec<(rel::Expr, &str)> =
+                items.iter().map(|(e, n)| (e.clone(), n.as_str())).collect();
+            Ok(rel::project_exprs(&r, &refs)?)
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let r = execute(input, ctx, provider)?;
+            let gb: Vec<&str> = group_by.iter().map(String::as_str).collect();
+            Ok(rel::aggregate(&r, &gb, aggs)?)
+        }
+        LogicalPlan::NaturalJoin { left, right } => {
+            let l = execute(left, ctx, provider)?;
+            let r = execute(right, ctx, provider)?;
+            Ok(rel::natural_join(&l, &r)?)
+        }
+        LogicalPlan::JoinOn { left, right, on } => {
+            let l = execute(left, ctx, provider)?;
+            let r = execute(right, ctx, provider)?;
+            let pairs: Vec<(&str, &str)> =
+                on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+            Ok(rel::join_on(&l, &r, &pairs)?)
+        }
+        LogicalPlan::Cross { left, right } => {
+            let l = execute(left, ctx, provider)?;
+            let r = execute(right, ctx, provider)?;
+            Ok(rel::cross_product(&l, &r)?)
+        }
+        LogicalPlan::UnionAll { left, right } => {
+            let l = execute(left, ctx, provider)?;
+            let r = execute(right, ctx, provider)?;
+            Ok(rel::union_all(&l, &r)?)
+        }
+        LogicalPlan::Distinct { input } => {
+            let r = execute(input, ctx, provider)?;
+            Ok(rel::distinct(&r)?)
+        }
+        LogicalPlan::OrderBy { input, keys } => {
+            let r = execute(input, ctx, provider)?;
+            let attrs: Vec<&str> = keys.iter().map(|(k, _)| k.as_str()).collect();
+            let dirs: Vec<bool> = keys.iter().map(|(_, asc)| *asc).collect();
+            Ok(rel::order_by(&r, &attrs, &dirs)?)
+        }
+        LogicalPlan::Limit { input, n } => {
+            let r = execute(input, ctx, provider)?;
+            Ok(rel::limit(&r, *n, 0))
+        }
+        LogicalPlan::Rma { op, args, backend } => {
+            let expected = if op.is_binary() { 2 } else { 1 };
+            if args.len() != expected {
+                return Err(PlanError::Plan(format!(
+                    "{} expects {expected} argument(s), found {}",
+                    op.name(),
+                    args.len()
+                )));
+            }
+            // argument subtrees run under the caller's context; only this
+            // node's kernel dispatch honours the plan-level backend choice
+            let inputs: Vec<Relation> = args
+                .iter()
+                .map(|a| execute(&a.input, ctx, provider))
+                .collect::<Result<_, _>>()?;
+            match backend {
+                Some(b) if *b != ctx.options.backend => {
+                    let sub = RmaContext::new(RmaOptions {
+                        backend: *b,
+                        ..ctx.options.clone()
+                    });
+                    let result = dispatch_rma(&sub, *op, args, &inputs);
+                    ctx.record(&sub.stats());
+                    result
+                }
+                _ => dispatch_rma(ctx, *op, args, &inputs),
+            }
+        }
+        LogicalPlan::AssertKey { input, attrs } => {
+            let r = execute(input, ctx, provider)?;
+            let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            r.require_key(&refs)?;
+            Ok(r)
+        }
+    }
+}
+
+fn dispatch_rma(
+    ctx: &RmaContext,
+    op: crate::shape::RmaOp,
+    args: &[super::RmaArg],
+    inputs: &[Relation],
+) -> Result<Relation, PlanError> {
+    let first_order: Vec<&str> = args[0].order.iter().map(String::as_str).collect();
+    if op.is_binary() {
+        let second_order: Vec<&str> = args[1].order.iter().map(String::as_str).collect();
+        Ok(ctx.binary_hinted(
+            op,
+            &inputs[0],
+            &first_order,
+            args[0].sorted_input,
+            &inputs[1],
+            &second_order,
+            args[1].sorted_input,
+        )?)
+    } else {
+        Ok(ctx.unary_hinted(op, &inputs[0], &first_order, args[0].sorted_input)?)
+    }
+}
+
+/// Materialise a scan: project straight off the borrowed relation so a
+/// pruned scan never copies the columns it is about to drop.
+fn scan_projected(r: &Relation, projection: Option<&[String]>) -> Result<Relation, PlanError> {
+    match projection {
+        None => Ok(r.clone()),
+        Some(cols) => {
+            let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            Ok(rel::project(r, &refs)?)
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! Lazy logical plans over the combined relational + matrix algebra.
+//!
+//! The paper's central claim is that relational and matrix operations form
+//! *one* closed algebra; this module gives that algebra one composable plan
+//! representation. A [`LogicalPlan`] covers scans, the classical relational
+//! operators, and all 19 relational matrix operations, and every frontend —
+//! the fluent [`Frame`] builder for Rust users and the SQL layer's
+//! `plan_select` — lowers to it. A shared optimizer
+//! ([`optimize`]) then performs cross-operator rewrites (projection
+//! pushdown, selection pushdown, redundant-sort elimination, plan-level
+//! kernel choice) that no eager API could express, and a single interpreter
+//! ([`execute`]) runs the optimized plan against the eager kernels in
+//! [`crate::ops`].
+
+mod exec;
+mod frame;
+mod optimize;
+
+pub use exec::execute;
+pub use frame::Frame;
+pub use optimize::{optimize, output_columns};
+
+use crate::context::Backend;
+use crate::error::RmaError;
+use crate::shape::RmaOp;
+use rma_relation::{AggSpec, Expr, Relation, RelationError};
+use std::fmt;
+use std::sync::Arc;
+
+/// A source of named tables for [`LogicalPlan::Scan`] nodes. The SQL
+/// catalog implements this; plans built purely from in-memory relations via
+/// [`Frame::scan`] never need one.
+pub trait TableProvider {
+    fn table(&self, name: &str) -> Option<&Relation>;
+}
+
+/// The empty provider: every `Scan` fails to resolve.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTables;
+
+impl TableProvider for NoTables {
+    fn table(&self, _name: &str) -> Option<&Relation> {
+        None
+    }
+}
+
+/// One argument of a relational matrix operation in a plan: the input plan,
+/// its order schema, and an optimizer-set flag recording that the input is
+/// already sorted by that schema (so execution may skip the sort).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmaArg {
+    pub input: Box<LogicalPlan>,
+    pub order: Vec<String>,
+    pub sorted_input: bool,
+}
+
+impl RmaArg {
+    pub fn new(input: LogicalPlan, order: Vec<String>) -> Self {
+        RmaArg {
+            input: Box::new(input),
+            order,
+            sorted_input: false,
+        }
+    }
+}
+
+/// A lazy logical plan over the combined relational + matrix algebra.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan of an in-memory relation (the [`Frame`] entry point).
+    Values {
+        rel: Arc<Relation>,
+        /// Optimizer-set column pruning, applied at scan time.
+        projection: Option<Vec<String>>,
+    },
+    /// Scan of a named table, resolved through a [`TableProvider`].
+    Scan {
+        table: String,
+        projection: Option<Vec<String>>,
+    },
+    /// σ.
+    Select {
+        input: Box<LogicalPlan>,
+        predicate: Expr,
+    },
+    /// Generalised projection (expression, output name).
+    Project {
+        input: Box<LogicalPlan>,
+        items: Vec<(Expr, String)>,
+    },
+    /// ϑ.
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_by: Vec<String>,
+        aggs: Vec<AggSpec>,
+    },
+    /// Natural join.
+    NaturalJoin {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+    },
+    /// Equi-join on explicit column pairs.
+    JoinOn {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        on: Vec<(String, String)>,
+    },
+    /// Cross product.
+    Cross {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+    },
+    /// Bag union (schemas must be union compatible).
+    UnionAll {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+    },
+    /// Duplicate elimination.
+    Distinct { input: Box<LogicalPlan> },
+    /// Sorting.
+    OrderBy {
+        input: Box<LogicalPlan>,
+        keys: Vec<(String, bool)>,
+    },
+    /// Row-count limit.
+    Limit { input: Box<LogicalPlan>, n: usize },
+    /// A relational matrix operation. `backend` is the optimizer's
+    /// plan-level kernel choice when argument sizes are statically exact.
+    Rma {
+        op: RmaOp,
+        args: Vec<RmaArg>,
+        backend: Option<Backend>,
+    },
+    /// Key assertion: pass the input through unchanged, erroring if the
+    /// given attributes do not form a key. Inserted by rewrites that
+    /// eliminate or bypass an RMA operation but must preserve its
+    /// order-schema validation.
+    AssertKey {
+        input: Box<LogicalPlan>,
+        attrs: Vec<String>,
+    },
+}
+
+impl LogicalPlan {
+    /// Plain RMA node with no optimizer annotations.
+    pub fn rma(op: RmaOp, args: Vec<(LogicalPlan, Vec<String>)>) -> Self {
+        LogicalPlan::Rma {
+            op,
+            args: args
+                .into_iter()
+                .map(|(p, order)| RmaArg::new(p, order))
+                .collect(),
+            backend: None,
+        }
+    }
+
+    /// Apply `f` to every direct child plan, rebuilding this node.
+    pub fn map_children(self, f: &mut impl FnMut(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
+        use LogicalPlan::*;
+        match self {
+            Select { input, predicate } => Select {
+                input: Box::new(f(*input)),
+                predicate,
+            },
+            Project { input, items } => Project {
+                input: Box::new(f(*input)),
+                items,
+            },
+            Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => Aggregate {
+                input: Box::new(f(*input)),
+                group_by,
+                aggs,
+            },
+            NaturalJoin { left, right } => NaturalJoin {
+                left: Box::new(f(*left)),
+                right: Box::new(f(*right)),
+            },
+            JoinOn { left, right, on } => JoinOn {
+                left: Box::new(f(*left)),
+                right: Box::new(f(*right)),
+                on,
+            },
+            Cross { left, right } => Cross {
+                left: Box::new(f(*left)),
+                right: Box::new(f(*right)),
+            },
+            UnionAll { left, right } => UnionAll {
+                left: Box::new(f(*left)),
+                right: Box::new(f(*right)),
+            },
+            Distinct { input } => Distinct {
+                input: Box::new(f(*input)),
+            },
+            OrderBy { input, keys } => OrderBy {
+                input: Box::new(f(*input)),
+                keys,
+            },
+            Limit { input, n } => Limit {
+                input: Box::new(f(*input)),
+                n,
+            },
+            Rma { op, args, backend } => Rma {
+                op,
+                args: args
+                    .into_iter()
+                    .map(|a| RmaArg {
+                        input: Box::new(f(*a.input)),
+                        order: a.order,
+                        sorted_input: a.sorted_input,
+                    })
+                    .collect(),
+                backend,
+            },
+            AssertKey { input, attrs } => AssertKey {
+                input: Box::new(f(*input)),
+                attrs,
+            },
+            leaf @ (Values { .. } | Scan { .. }) => leaf,
+        }
+    }
+}
+
+/// Errors from building, optimizing, or executing a logical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A `Scan` node references a table the provider does not know.
+    UnknownTable(String),
+    /// Semantic plan error.
+    Plan(String),
+    /// Relational execution error.
+    Relation(RelationError),
+    /// Relational matrix operation error.
+    Rma(RmaError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            PlanError::Plan(m) => write!(f, "plan error: {m}"),
+            PlanError::Relation(e) => write!(f, "{e}"),
+            PlanError::Rma(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Relation(e) => Some(e),
+            PlanError::Rma(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for PlanError {
+    fn from(e: RelationError) -> Self {
+        PlanError::Relation(e)
+    }
+}
+
+impl From<RmaError> for PlanError {
+    fn from(e: RmaError) -> Self {
+        PlanError::Rma(e)
+    }
+}
+
+/// Pretty-print a plan tree (EXPLAIN-style). Optimizer annotations —
+/// scan projections, skipped sorts, plan-chosen backends — are rendered so
+/// snapshot tests can observe rewrites.
+pub fn explain(plan: &LogicalPlan) -> String {
+    let mut out = String::new();
+    walk_explain(plan, 0, &mut out);
+    out
+}
+
+fn walk_explain(p: &LogicalPlan, depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    let pad = "  ".repeat(depth);
+    match p {
+        LogicalPlan::Values { rel, projection } => {
+            let name = rel.name().unwrap_or("<inline>");
+            let _ = write!(out, "{pad}Values {name} rows={}", rel.len());
+            if let Some(cols) = projection {
+                let _ = write!(out, " project=[{}]", cols.join(", "));
+            }
+            out.push('\n');
+        }
+        LogicalPlan::Scan { table, projection } => {
+            let _ = write!(out, "{pad}Scan {table}");
+            if let Some(cols) = projection {
+                let _ = write!(out, " project=[{}]", cols.join(", "));
+            }
+            out.push('\n');
+        }
+        LogicalPlan::Select { input, predicate } => {
+            let _ = writeln!(out, "{pad}Select {predicate}");
+            walk_explain(input, depth + 1, out);
+        }
+        LogicalPlan::Project { input, items } => {
+            let names: Vec<&str> = items.iter().map(|(_, n)| n.as_str()).collect();
+            let _ = writeln!(out, "{pad}Project [{}]", names.join(", "));
+            walk_explain(input, depth + 1, out);
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}Aggregate group_by={group_by:?} aggs={}",
+                aggs.len()
+            );
+            walk_explain(input, depth + 1, out);
+        }
+        LogicalPlan::NaturalJoin { left, right } => {
+            let _ = writeln!(out, "{pad}NaturalJoin");
+            walk_explain(left, depth + 1, out);
+            walk_explain(right, depth + 1, out);
+        }
+        LogicalPlan::JoinOn { left, right, on } => {
+            let _ = writeln!(out, "{pad}JoinOn {on:?}");
+            walk_explain(left, depth + 1, out);
+            walk_explain(right, depth + 1, out);
+        }
+        LogicalPlan::Cross { left, right } => {
+            let _ = writeln!(out, "{pad}Cross");
+            walk_explain(left, depth + 1, out);
+            walk_explain(right, depth + 1, out);
+        }
+        LogicalPlan::UnionAll { left, right } => {
+            let _ = writeln!(out, "{pad}UnionAll");
+            walk_explain(left, depth + 1, out);
+            walk_explain(right, depth + 1, out);
+        }
+        LogicalPlan::Distinct { input } => {
+            let _ = writeln!(out, "{pad}Distinct");
+            walk_explain(input, depth + 1, out);
+        }
+        LogicalPlan::OrderBy { input, keys } => {
+            let _ = writeln!(out, "{pad}OrderBy {keys:?}");
+            walk_explain(input, depth + 1, out);
+        }
+        LogicalPlan::Limit { input, n } => {
+            let _ = writeln!(out, "{pad}Limit {n}");
+            walk_explain(input, depth + 1, out);
+        }
+        LogicalPlan::Rma { op, args, backend } => {
+            let orders: Vec<String> = args
+                .iter()
+                .map(|a| {
+                    let mut o = format!("{:?}", a.order);
+                    if a.sorted_input {
+                        o.push_str(" (sorted: skip sort)");
+                    }
+                    o
+                })
+                .collect();
+            let _ = write!(
+                out,
+                "{pad}Rma {} BY {}",
+                op.name().to_uppercase(),
+                orders.join("; ")
+            );
+            if let Some(b) = backend {
+                let _ = write!(out, " backend={b:?}");
+            }
+            out.push('\n');
+            for a in args {
+                walk_explain(&a.input, depth + 1, out);
+            }
+        }
+        LogicalPlan::AssertKey { input, attrs } => {
+            let _ = writeln!(out, "{pad}AssertKey {attrs:?}");
+            walk_explain(input, depth + 1, out);
+        }
+    }
+}

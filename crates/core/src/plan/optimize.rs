@@ -1,0 +1,868 @@
+//! The shared plan optimizer: every frontend (the lazy [`super::Frame`]
+//! builder and the SQL layer) runs these passes over the same
+//! [`LogicalPlan`], so cross-operator rewrites apply uniformly.
+//!
+//! Passes, in order:
+//! 1. **Double-transpose elimination** — the paper's cross-algebra rewrite:
+//!    `TRA(TRA(r BY u) BY C)` becomes a sort plus a rename.
+//! 2. **Selection pushdown** — σ moves below projections, into join inputs,
+//!    and below `mmu`/`opd` when the predicate only references the first
+//!    argument's order schema (those operations compute each result row
+//!    from one input row of the first argument, so filtering commutes).
+//! 3. **Selection merging** — directly nested filters collapse to one.
+//! 4. **Projection pushdown** — column requirements propagate to scans,
+//!    which prune unused columns at the source.
+//! 5. **Redundant-sort elimination** — consecutive RMA operations over the
+//!    same order schema sort once: when a node's input is provably sorted
+//!    by the node's order schema, the argument is flagged `sorted_input`
+//!    and execution skips the sort.
+//! 6. **Plan-level backend choice** — when argument sizes are statically
+//!    exact, the kernel decision ([`RmaContext::choose_kernel`]) is made at
+//!    plan time and recorded on the node (visible in EXPLAIN).
+
+use super::{LogicalPlan, RmaArg, TableProvider};
+use crate::context::{RmaContext, SortPolicy};
+use crate::shape::{Dim, RmaOp};
+use rma_relation::{BinOp, Expr, Schema};
+use std::collections::BTreeSet;
+
+/// Optimize a plan under the given execution context (whose sort policy and
+/// backend options steer the sort- and kernel-level passes) and provider
+/// (whose schemas inform column-dependent rewrites).
+pub fn optimize(plan: LogicalPlan, ctx: &RmaContext, provider: &dyn TableProvider) -> LogicalPlan {
+    let plan = eliminate_double_transpose(plan, provider);
+    let plan = push_selections(plan, ctx, provider);
+    let plan = merge_selections(plan);
+    let plan = prune_projections(plan, None, provider);
+    let plan = if ctx.options.sort_policy == SortPolicy::Optimized {
+        mark_sorted_inputs(plan).0
+    } else {
+        // the Always policy is the paper's unoptimised baseline: keep every
+        // materialised sort so ablations measure what they claim to
+        plan
+    };
+    choose_backends(plan, ctx, provider)
+}
+
+// ---------------------------------------------------------------------
+// Schema inference helpers
+// ---------------------------------------------------------------------
+
+/// Output column names of a plan, if statically known.
+pub fn output_columns(plan: &LogicalPlan, provider: &dyn TableProvider) -> Option<Vec<String>> {
+    match plan {
+        LogicalPlan::Values { rel, projection } => Some(match projection {
+            Some(p) => p.clone(),
+            None => rel.schema().names().map(str::to_string).collect(),
+        }),
+        LogicalPlan::Scan { table, projection } => match projection {
+            Some(p) => Some(p.clone()),
+            None => provider
+                .table(table)
+                .map(|r| r.schema().names().map(str::to_string).collect()),
+        },
+        LogicalPlan::Select { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::OrderBy { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::AssertKey { input, .. } => output_columns(input, provider),
+        LogicalPlan::Project { items, .. } => Some(items.iter().map(|(_, n)| n.clone()).collect()),
+        LogicalPlan::Aggregate { group_by, aggs, .. } => {
+            let mut out = group_by.clone();
+            out.extend(aggs.iter().map(|a| a.output.clone()));
+            Some(out)
+        }
+        LogicalPlan::NaturalJoin { left, right } => {
+            let l = output_columns(left, provider)?;
+            let r = output_columns(right, provider)?;
+            let mut out = l.clone();
+            out.extend(r.into_iter().filter(|n| !l.contains(n)));
+            Some(out)
+        }
+        LogicalPlan::JoinOn { left, right, .. } | LogicalPlan::Cross { left, right } => {
+            let mut out = output_columns(left, provider)?;
+            out.extend(output_columns(right, provider)?);
+            Some(out)
+        }
+        LogicalPlan::UnionAll { left, .. } => output_columns(left, provider),
+        // RMA output schemas depend on data values (column casts); treat as
+        // opaque
+        LogicalPlan::Rma { .. } => None,
+    }
+}
+
+/// Follow pass-through nodes (filter/sort/limit/distinct/assert) down to a
+/// scan and return its schema; `None` when the subtree recomputes columns
+/// (projection, aggregation, joins, RMA) or the scan prunes columns.
+fn pass_through_scan_schema<'a>(
+    plan: &'a LogicalPlan,
+    provider: &'a dyn TableProvider,
+) -> Option<&'a Schema> {
+    match plan {
+        LogicalPlan::Values {
+            rel,
+            projection: None,
+        } => Some(rel.schema()),
+        LogicalPlan::Scan {
+            table,
+            projection: None,
+        } => provider.table(table).map(|r| r.schema()),
+        LogicalPlan::Select { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::OrderBy { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::AssertKey { input, .. } => pass_through_scan_schema(input, provider),
+        _ => None,
+    }
+}
+
+fn refs_subset(e: &Expr, cols: &[String]) -> bool {
+    let mut refs = Vec::new();
+    e.referenced_columns(&mut refs);
+    refs.iter().all(|r| cols.contains(r))
+}
+
+/// Split a predicate into AND-conjuncts.
+fn conjuncts(e: Expr) -> Vec<Expr> {
+    match e {
+        Expr::Bin(l, BinOp::And, r) => {
+            let mut out = conjuncts(*l);
+            out.extend(conjuncts(*r));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// Recombine conjuncts with AND.
+fn combine(mut es: Vec<Expr>) -> Option<Expr> {
+    let first = es.pop()?;
+    Some(es.into_iter().fold(first, |acc, e| acc.and(e)))
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: cross-algebra double-transpose elimination
+// ---------------------------------------------------------------------
+
+/// `TRA(TRA(r BY u) BY C)` is the input sorted by `u` with `u` renamed to
+/// `C` (the paper's Figure 10), so two matrix transposes — each a full
+/// element shuffle — are replaced by a sort and a rename. The inner
+/// operation's order-schema validation is preserved with an
+/// [`LogicalPlan::AssertKey`] node, and the application schema must be
+/// statically known and numeric (otherwise the plan is left untouched, so
+/// the original error still surfaces).
+fn eliminate_double_transpose(plan: LogicalPlan, provider: &dyn TableProvider) -> LogicalPlan {
+    // rewrite bottom-up
+    let plan = plan.map_children(&mut |p| eliminate_double_transpose(p, provider));
+    let LogicalPlan::Rma {
+        op: RmaOp::Tra,
+        args,
+        backend,
+    } = plan
+    else {
+        return plan;
+    };
+    let rebuild = |args: Vec<RmaArg>| LogicalPlan::Rma {
+        op: RmaOp::Tra,
+        args,
+        backend,
+    };
+    if args
+        .first()
+        .is_none_or(|a| a.order.as_slice() != ["C".to_string()])
+    {
+        return rebuild(args);
+    }
+    let LogicalPlan::Rma {
+        op: RmaOp::Tra,
+        args: inner_args,
+        ..
+    } = args[0].input.as_ref()
+    else {
+        return rebuild(args);
+    };
+    let Some(inner_first) = inner_args.first() else {
+        return rebuild(args);
+    };
+    let (inner_input, inner_order) = (&inner_first.input, &inner_first.order);
+    if inner_order.len() != 1 {
+        return rebuild(args);
+    }
+    let Some(cols) = output_columns(inner_input, provider) else {
+        return rebuild(args);
+    };
+    let u = inner_order[0].clone();
+    if !cols.contains(&u) {
+        return rebuild(args);
+    }
+    // the original would reject non-numeric application attributes; only
+    // rewrite when the base schema proves they are numeric
+    match pass_through_scan_schema(inner_input, provider) {
+        Some(schema)
+            if schema
+                .attributes()
+                .iter()
+                .filter(|a| a.name() != u)
+                .all(|a| a.dtype().is_numeric()) => {}
+        _ => return rebuild(args),
+    }
+    // Project: u renamed to C; application columns in sorted name order —
+    // the outer transpose names its columns via the column cast ▽ of the
+    // inner C column, which is sorted
+    let mut items: Vec<(Expr, String)> = vec![(Expr::Col(u.clone()), "C".to_string())];
+    let mut app: Vec<&String> = cols.iter().filter(|c| **c != u).collect();
+    app.sort();
+    for c in app {
+        items.push((Expr::Col(c.clone()), c.clone()));
+    }
+    LogicalPlan::Project {
+        items,
+        input: Box::new(LogicalPlan::OrderBy {
+            keys: vec![(u.clone(), true)],
+            input: Box::new(LogicalPlan::AssertKey {
+                attrs: vec![u],
+                input: inner_input.clone(),
+            }),
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: selection pushdown
+// ---------------------------------------------------------------------
+
+fn push_selections(
+    plan: LogicalPlan,
+    ctx: &RmaContext,
+    provider: &dyn TableProvider,
+) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Select { input, predicate } => {
+            let input = push_selections(*input, ctx, provider);
+            push_one_selection(predicate, input, ctx, provider)
+        }
+        other => other.map_children(&mut |p| push_selections(p, ctx, provider)),
+    }
+}
+
+/// Push one selection's conjuncts as deep as legal.
+fn push_one_selection(
+    predicate: Expr,
+    input: LogicalPlan,
+    ctx: &RmaContext,
+    provider: &dyn TableProvider,
+) -> LogicalPlan {
+    match input {
+        // σ over × / ⋈: conjuncts referencing one side only move there
+        LogicalPlan::Cross { left, right } => {
+            push_into_join(predicate, *left, *right, ctx, provider, |l, r| {
+                LogicalPlan::Cross {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            })
+        }
+        LogicalPlan::JoinOn { left, right, on } => {
+            push_into_join(predicate, *left, *right, ctx, provider, move |l, r| {
+                LogicalPlan::JoinOn {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    on: on.clone(),
+                }
+            })
+        }
+        LogicalPlan::NaturalJoin { left, right } => {
+            push_into_join(predicate, *left, *right, ctx, provider, |l, r| {
+                LogicalPlan::NaturalJoin {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            })
+        }
+        // σ over π: push through when the projection passes the referenced
+        // columns unchanged (identity items)
+        LogicalPlan::Project {
+            input: inner,
+            items,
+        } => {
+            let identity: Vec<String> = items
+                .iter()
+                .filter_map(|(e, n)| match e {
+                    Expr::Col(c) if c == n => Some(n.clone()),
+                    _ => None,
+                })
+                .collect();
+            if refs_subset(&predicate, &identity) {
+                let pushed = push_one_selection(predicate, *inner, ctx, provider);
+                LogicalPlan::Project {
+                    input: Box::new(pushed),
+                    items,
+                }
+            } else {
+                LogicalPlan::Select {
+                    input: Box::new(LogicalPlan::Project {
+                        input: inner,
+                        items,
+                    }),
+                    predicate,
+                }
+            }
+        }
+        // σ over mmu/opd: each result row is computed from one row of the
+        // first argument (row i is µU(r)[i] combined with all of s), so a
+        // predicate over the first order schema commutes with the
+        // operation. The order schema of the *unfiltered* argument must
+        // still be validated as a key, which the inserted AssertKey
+        // preserves.
+        LogicalPlan::Rma {
+            op,
+            mut args,
+            backend,
+        } if matches!(op, RmaOp::Mmu | RmaOp::Opd) && !args.is_empty() => {
+            let order = args[0].order.clone();
+            let mut pushable = Vec::new();
+            let mut keep = Vec::new();
+            for c in conjuncts(predicate) {
+                if refs_subset(&c, &order) {
+                    pushable.push(c);
+                } else {
+                    keep.push(c);
+                }
+            }
+            if let Some(p) = combine(pushable) {
+                let inner = std::mem::replace(
+                    &mut *args[0].input,
+                    LogicalPlan::Scan {
+                        table: String::new(),
+                        projection: None,
+                    },
+                );
+                let inner = if ctx.options.validate_keys {
+                    LogicalPlan::AssertKey {
+                        attrs: order,
+                        input: Box::new(inner),
+                    }
+                } else {
+                    inner
+                };
+                *args[0].input = push_one_selection(p, inner, ctx, provider);
+            }
+            let node = LogicalPlan::Rma { op, args, backend };
+            match combine(keep) {
+                Some(p) => LogicalPlan::Select {
+                    input: Box::new(node),
+                    predicate: p,
+                },
+                None => node,
+            }
+        }
+        other => LogicalPlan::Select {
+            input: Box::new(other),
+            predicate,
+        },
+    }
+}
+
+fn push_into_join(
+    predicate: Expr,
+    left: LogicalPlan,
+    right: LogicalPlan,
+    ctx: &RmaContext,
+    provider: &dyn TableProvider,
+    rebuild: impl FnOnce(LogicalPlan, LogicalPlan) -> LogicalPlan,
+) -> LogicalPlan {
+    let lcols = output_columns(&left, provider);
+    let rcols = output_columns(&right, provider);
+    let mut to_left = Vec::new();
+    let mut to_right = Vec::new();
+    let mut keep = Vec::new();
+    for c in conjuncts(predicate) {
+        if let Some(lc) = &lcols {
+            if refs_subset(&c, lc) {
+                to_left.push(c);
+                continue;
+            }
+        }
+        if let Some(rc) = &rcols {
+            if refs_subset(&c, rc) {
+                to_right.push(c);
+                continue;
+            }
+        }
+        keep.push(c);
+    }
+    let left = wrap_selection(left, to_left, ctx, provider);
+    let right = wrap_selection(right, to_right, ctx, provider);
+    let joined = rebuild(left, right);
+    match combine(keep) {
+        Some(p) => LogicalPlan::Select {
+            input: Box::new(joined),
+            predicate: p,
+        },
+        None => joined,
+    }
+}
+
+fn wrap_selection(
+    plan: LogicalPlan,
+    preds: Vec<Expr>,
+    ctx: &RmaContext,
+    provider: &dyn TableProvider,
+) -> LogicalPlan {
+    match combine(preds) {
+        // keep pushing further down the side
+        Some(p) => push_one_selection(p, plan, ctx, provider),
+        None => plan,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 3: merge directly nested selections
+// ---------------------------------------------------------------------
+
+fn merge_selections(plan: LogicalPlan) -> LogicalPlan {
+    let plan = plan.map_children(&mut merge_selections);
+    if let LogicalPlan::Select { input, predicate } = plan {
+        if let LogicalPlan::Select {
+            input: inner,
+            predicate: p2,
+        } = *input
+        {
+            LogicalPlan::Select {
+                input: inner,
+                predicate: predicate.and(p2),
+            }
+        } else {
+            LogicalPlan::Select { input, predicate }
+        }
+    } else {
+        plan
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 4: projection pushdown into scans
+// ---------------------------------------------------------------------
+
+/// Propagate the set of columns required from above down to scans; a scan
+/// that provides more prunes itself. `None` means "all columns".
+fn prune_projections(
+    plan: LogicalPlan,
+    required: Option<&BTreeSet<String>>,
+    provider: &dyn TableProvider,
+) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Values { rel, projection } => {
+            let projection = narrow_scan(
+                projection,
+                rel.schema().names().map(str::to_string),
+                required,
+            );
+            LogicalPlan::Values { rel, projection }
+        }
+        LogicalPlan::Scan { table, projection } => {
+            let schema_names: Option<Vec<String>> = provider
+                .table(&table)
+                .map(|r| r.schema().names().map(str::to_string).collect());
+            let projection = match schema_names {
+                Some(names) => narrow_scan(projection, names.into_iter(), required),
+                None => projection,
+            };
+            LogicalPlan::Scan { table, projection }
+        }
+        LogicalPlan::Project { input, items } => {
+            let mut needed = BTreeSet::new();
+            for (e, _) in &items {
+                let mut refs = Vec::new();
+                e.referenced_columns(&mut refs);
+                needed.extend(refs);
+            }
+            LogicalPlan::Project {
+                input: Box::new(prune_projections(*input, Some(&needed), provider)),
+                items,
+            }
+        }
+        LogicalPlan::Select { input, predicate } => {
+            let merged = required.map(|req| {
+                let mut needed = req.clone();
+                let mut refs = Vec::new();
+                predicate.referenced_columns(&mut refs);
+                needed.extend(refs);
+                needed
+            });
+            LogicalPlan::Select {
+                input: Box::new(prune_projections(*input, merged.as_ref(), provider)),
+                predicate,
+            }
+        }
+        LogicalPlan::OrderBy { input, keys } => {
+            let merged = required.map(|req| {
+                let mut needed = req.clone();
+                needed.extend(keys.iter().map(|(k, _)| k.clone()));
+                needed
+            });
+            LogicalPlan::OrderBy {
+                input: Box::new(prune_projections(*input, merged.as_ref(), provider)),
+                keys,
+            }
+        }
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(prune_projections(*input, required, provider)),
+            n,
+        },
+        LogicalPlan::AssertKey { input, attrs } => {
+            let merged = required.map(|req| {
+                let mut needed = req.clone();
+                needed.extend(attrs.iter().cloned());
+                needed
+            });
+            LogicalPlan::AssertKey {
+                input: Box::new(prune_projections(*input, merged.as_ref(), provider)),
+                attrs,
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            // the aggregate defines its own requirements, regardless of
+            // what is needed above it
+            let mut needed: BTreeSet<String> = group_by.iter().cloned().collect();
+            needed.extend(aggs.iter().filter_map(|a| a.input.clone()));
+            LogicalPlan::Aggregate {
+                input: Box::new(prune_projections(*input, Some(&needed), provider)),
+                group_by,
+                aggs,
+            }
+        }
+        // duplicate elimination is over the full row; joins, unions, and
+        // RMA operations consume every column of their inputs — recurse
+        // with no requirement so nothing below is pruned incorrectly
+        other => other.map_children(&mut |p| prune_projections(p, None, provider)),
+    }
+}
+
+/// Narrow a scan's projection to the required columns (kept in schema
+/// order). Pruning is skipped when a required column is missing — the
+/// unpruned plan then surfaces the original resolution error at execution.
+fn narrow_scan(
+    existing: Option<Vec<String>>,
+    schema_names: impl Iterator<Item = String>,
+    required: Option<&BTreeSet<String>>,
+) -> Option<Vec<String>> {
+    let available: Vec<String> = match &existing {
+        Some(p) => p.clone(),
+        None => schema_names.collect(),
+    };
+    let Some(req) = required else {
+        return existing;
+    };
+    // a zero-column scan would lose the row count (COUNT(*) over no
+    // attributes); keep the scan as-is when nothing by name is required
+    if req.is_empty() || !req.iter().all(|r| available.contains(r)) {
+        return existing;
+    }
+    let narrowed: Vec<String> = available
+        .iter()
+        .filter(|n| req.contains(*n))
+        .cloned()
+        .collect();
+    if narrowed.len() < available.len() {
+        Some(narrowed)
+    } else {
+        existing
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 5: redundant-sort elimination
+// ---------------------------------------------------------------------
+
+/// Bottom-up sortedness inference: rewrite the plan, flagging RMA arguments
+/// whose input is provably sorted by the argument's order schema, and
+/// return the attribute list the node's own output is sorted by (if any).
+fn mark_sorted_inputs(plan: LogicalPlan) -> (LogicalPlan, Option<Vec<String>>) {
+    match plan {
+        LogicalPlan::OrderBy { input, keys } => {
+            let (input, _) = mark_sorted_inputs(*input);
+            let sorted = keys
+                .iter()
+                .all(|(_, asc)| *asc)
+                .then(|| keys.iter().map(|(k, _)| k.clone()).collect());
+            (
+                LogicalPlan::OrderBy {
+                    input: Box::new(input),
+                    keys,
+                },
+                sorted,
+            )
+        }
+        // row-preserving operators keep their input's order
+        LogicalPlan::Select { input, predicate } => {
+            let (input, sorted) = mark_sorted_inputs(*input);
+            (
+                LogicalPlan::Select {
+                    input: Box::new(input),
+                    predicate,
+                },
+                sorted,
+            )
+        }
+        LogicalPlan::Limit { input, n } => {
+            let (input, sorted) = mark_sorted_inputs(*input);
+            (
+                LogicalPlan::Limit {
+                    input: Box::new(input),
+                    n,
+                },
+                sorted,
+            )
+        }
+        LogicalPlan::AssertKey { input, attrs } => {
+            let (input, sorted) = mark_sorted_inputs(*input);
+            (
+                LogicalPlan::AssertKey {
+                    input: Box::new(input),
+                    attrs,
+                },
+                sorted,
+            )
+        }
+        // distinct keeps first occurrences in input order
+        LogicalPlan::Distinct { input } => {
+            let (input, sorted) = mark_sorted_inputs(*input);
+            (
+                LogicalPlan::Distinct {
+                    input: Box::new(input),
+                },
+                sorted,
+            )
+        }
+        // a projection preserves sortedness when every sort key survives as
+        // an identity item
+        LogicalPlan::Project { input, items } => {
+            let (input, sorted) = mark_sorted_inputs(*input);
+            let preserved = sorted.filter(|keys| {
+                keys.iter().all(|k| {
+                    items
+                        .iter()
+                        .any(|(e, n)| n == k && matches!(e, Expr::Col(c) if c == k))
+                })
+            });
+            (
+                LogicalPlan::Project {
+                    input: Box::new(input),
+                    items,
+                },
+                preserved,
+            )
+        }
+        LogicalPlan::Rma { op, args, backend } => {
+            let args: Vec<RmaArg> = args
+                .into_iter()
+                .map(|a| {
+                    let (input, sorted) = mark_sorted_inputs(*a.input);
+                    let sorted_input =
+                        a.sorted_input || sorted.as_deref() == Some(a.order.as_slice());
+                    RmaArg {
+                        input: Box::new(input),
+                        order: a.order,
+                        sorted_input,
+                    }
+                })
+                .collect();
+            let sorted = rma_output_sorted(op, &args);
+            (LogicalPlan::Rma { op, args, backend }, sorted)
+        }
+        // joins, unions, aggregation, and scans give no ordering guarantee
+        other => (other.map_children(&mut |p| mark_sorted_inputs(p).0), None),
+    }
+}
+
+/// Is the output of an RMA node sorted by its first argument's order
+/// schema? True exactly when the node's row context is the (sorted) order
+/// part of the first argument — i.e. the result's row dimension is `r1`
+/// (or `r*`) and the execution either materialises the sort or inherits a
+/// sorted input. Only called under the Optimized policy (the pass is
+/// gated in [`optimize`]), so element-wise ops — whose first argument
+/// stays physical under relative alignment — never guarantee order.
+fn rma_output_sorted(op: RmaOp, args: &[RmaArg]) -> Option<Vec<String>> {
+    if !matches!(op.shape().rows, Dim::R1 | Dim::RStar) {
+        return None;
+    }
+    let first = args.first()?;
+    let elementwise = matches!(op, RmaOp::Add | RmaOp::Sub | RmaOp::Emu);
+    let will_be_sorted = first.sorted_input || (!elementwise && op.result_depends_on_row_order());
+    will_be_sorted.then(|| first.order.clone())
+}
+
+// ---------------------------------------------------------------------
+// Pass 6: plan-level backend choice
+// ---------------------------------------------------------------------
+
+/// Statically estimated size of a plan's output.
+#[derive(Debug, Clone, Copy)]
+struct DimsEst {
+    rows: usize,
+    cols: usize,
+    /// True when the estimate is exact (derived only from scans and
+    /// cardinality-preserving operators), so a plan-time kernel decision
+    /// is guaranteed to match the execution-time one.
+    exact: bool,
+}
+
+fn choose_backends(
+    plan: LogicalPlan,
+    ctx: &RmaContext,
+    provider: &dyn TableProvider,
+) -> LogicalPlan {
+    let plan = plan.map_children(&mut |p| choose_backends(p, ctx, provider));
+    let LogicalPlan::Rma { op, args, backend } = plan else {
+        return plan;
+    };
+    if backend.is_some() {
+        return LogicalPlan::Rma { op, args, backend };
+    }
+    let chosen = rma_app_dims(op, &args, provider).map(|(first, second)| {
+        ctx.choose_kernel(op, first.rows, first.cols, second.map(|d| (d.rows, d.cols)))
+    });
+    LogicalPlan::Rma {
+        op,
+        args,
+        backend: chosen,
+    }
+}
+
+/// Exact application-part dimensions of an RMA node's argument(s), or
+/// `None` when any argument's size is not statically exact.
+fn rma_app_dims(
+    op: RmaOp,
+    args: &[RmaArg],
+    provider: &dyn TableProvider,
+) -> Option<(DimsEst, Option<DimsEst>)> {
+    let first = app_dims(args.first()?, provider)?;
+    let second = if op.is_binary() {
+        Some(app_dims(args.get(1)?, provider)?)
+    } else {
+        None
+    };
+    Some((first, second))
+}
+
+/// Application dims of one argument: relation rows × (columns − order
+/// columns).
+fn app_dims(arg: &RmaArg, provider: &dyn TableProvider) -> Option<DimsEst> {
+    let d = estimate_dims(&arg.input, provider)?;
+    if !d.exact || d.cols <= arg.order.len() {
+        return None;
+    }
+    Some(DimsEst {
+        rows: d.rows,
+        cols: d.cols - arg.order.len(),
+        exact: true,
+    })
+}
+
+fn estimate_dims(plan: &LogicalPlan, provider: &dyn TableProvider) -> Option<DimsEst> {
+    match plan {
+        LogicalPlan::Values { rel, projection } => Some(DimsEst {
+            rows: rel.len(),
+            cols: projection.as_ref().map_or(rel.schema().len(), Vec::len),
+            exact: true,
+        }),
+        LogicalPlan::Scan { table, projection } => {
+            let r = provider.table(table)?;
+            Some(DimsEst {
+                rows: r.len(),
+                cols: projection.as_ref().map_or(r.schema().len(), Vec::len),
+                exact: true,
+            })
+        }
+        LogicalPlan::Select { input, .. } | LogicalPlan::Distinct { input } => {
+            let d = estimate_dims(input, provider)?;
+            Some(DimsEst { exact: false, ..d })
+        }
+        LogicalPlan::OrderBy { input, .. } | LogicalPlan::AssertKey { input, .. } => {
+            estimate_dims(input, provider)
+        }
+        LogicalPlan::Limit { input, n } => {
+            let d = estimate_dims(input, provider)?;
+            Some(DimsEst {
+                rows: d.rows.min(*n),
+                ..d
+            })
+        }
+        LogicalPlan::Project { input, items } => {
+            let d = estimate_dims(input, provider)?;
+            Some(DimsEst {
+                cols: items.len(),
+                ..d
+            })
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let d = estimate_dims(input, provider)?;
+            Some(DimsEst {
+                rows: d.rows,
+                cols: group_by.len() + aggs.len(),
+                exact: false,
+            })
+        }
+        LogicalPlan::Cross { left, right } => {
+            let l = estimate_dims(left, provider)?;
+            let r = estimate_dims(right, provider)?;
+            Some(DimsEst {
+                rows: l.rows.checked_mul(r.rows)?,
+                cols: l.cols + r.cols,
+                exact: l.exact && r.exact,
+            })
+        }
+        LogicalPlan::UnionAll { left, right } => {
+            let l = estimate_dims(left, provider)?;
+            let r = estimate_dims(right, provider)?;
+            Some(DimsEst {
+                rows: l.rows + r.rows,
+                cols: l.cols,
+                exact: l.exact && r.exact,
+            })
+        }
+        LogicalPlan::NaturalJoin { .. } | LogicalPlan::JoinOn { .. } => None,
+        LogicalPlan::Rma { op, args, .. } => {
+            let (first, second) = rma_app_dims(*op, args, provider)?;
+            let shape = op.shape();
+            let order0 = args.first()?.order.len();
+            let order1 = args.get(1).map_or(0, |a| a.order.len());
+            let rows = match shape.rows {
+                Dim::R1 | Dim::RStar => first.rows,
+                Dim::R2 => second?.rows,
+                Dim::C1 | Dim::CStar => first.cols,
+                Dim::C2 => second?.cols,
+                Dim::One => 1,
+            };
+            let context_cols = match shape.rows {
+                Dim::R1 => order0,
+                Dim::RStar => order0 + order1,
+                Dim::C1 | Dim::One => 1,
+                // no operation has r2/c2/c* row context
+                Dim::R2 | Dim::C2 | Dim::CStar => return None,
+            };
+            let base_cols = match shape.cols {
+                Dim::C1 | Dim::CStar => first.cols,
+                Dim::C2 => second?.cols,
+                Dim::R1 => first.rows,
+                Dim::R2 => second?.rows,
+                Dim::One => 1,
+                Dim::RStar => return None,
+            };
+            Some(DimsEst {
+                rows,
+                cols: context_cols + base_cols,
+                exact: first.exact && second.is_none_or(|s| s.exact),
+            })
+        }
+    }
+}

@@ -110,7 +110,13 @@ impl RmaOp {
     pub fn is_binary(self) -> bool {
         matches!(
             self,
-            RmaOp::Emu | RmaOp::Mmu | RmaOp::Opd | RmaOp::Cpd | RmaOp::Add | RmaOp::Sub | RmaOp::Sol
+            RmaOp::Emu
+                | RmaOp::Mmu
+                | RmaOp::Opd
+                | RmaOp::Cpd
+                | RmaOp::Add
+                | RmaOp::Sub
+                | RmaOp::Sol
         )
     }
 
@@ -208,12 +214,30 @@ mod tests {
         assert_eq!(RmaOp::Opd.shape(), ShapeType { rows: R1, cols: R2 });
         assert_eq!(RmaOp::Inv.shape(), ShapeType { rows: R1, cols: C1 });
         assert_eq!(RmaOp::Mmu.shape(), ShapeType { rows: R1, cols: C2 });
-        assert_eq!(RmaOp::Evl.shape(), ShapeType { rows: R1, cols: One });
+        assert_eq!(
+            RmaOp::Evl.shape(),
+            ShapeType {
+                rows: R1,
+                cols: One
+            }
+        );
         assert_eq!(RmaOp::Tra.shape(), ShapeType { rows: C1, cols: R1 });
         assert_eq!(RmaOp::Rqr.shape(), ShapeType { rows: C1, cols: C1 });
         assert_eq!(RmaOp::Cpd.shape(), ShapeType { rows: C1, cols: C2 });
-        assert_eq!(RmaOp::Add.shape(), ShapeType { rows: RStar, cols: CStar });
-        assert_eq!(RmaOp::Det.shape(), ShapeType { rows: One, cols: One });
+        assert_eq!(
+            RmaOp::Add.shape(),
+            ShapeType {
+                rows: RStar,
+                cols: CStar
+            }
+        );
+        assert_eq!(
+            RmaOp::Det.shape(),
+            ShapeType {
+                rows: One,
+                cols: One
+            }
+        );
     }
 
     #[test]

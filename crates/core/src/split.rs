@@ -315,7 +315,10 @@ mod tests {
     #[test]
     fn empty_application_rejected() {
         let ctx = RmaContext::default();
-        let r = RelationBuilder::new().column("k", vec![1i64, 2]).build().unwrap();
+        let r = RelationBuilder::new()
+            .column("k", vec![1i64, 2])
+            .build()
+            .unwrap();
         assert!(matches!(
             split(&ctx, &r, &["k"], SortMode::Full),
             Err(RmaError::EmptyApplication)
@@ -343,7 +346,10 @@ mod tests {
             sort_policy: SortPolicy::Always,
             ..Default::default()
         });
-        assert!(matches!(unary_sort_mode(&always, RmaOp::Qqr), SortMode::Full));
+        assert!(matches!(
+            unary_sort_mode(&always, RmaOp::Qqr),
+            SortMode::Full
+        ));
     }
 
     #[test]
@@ -353,7 +359,10 @@ mod tests {
         let names = schema_cast(&["H".to_string(), "W".to_string()]);
         assert_eq!(names.get(1), Value::from("W"));
         let empty = Column::from(vec![""]);
-        assert!(matches!(column_cast(&empty), Err(RmaError::BadOriginName(_))));
+        assert!(matches!(
+            column_cast(&empty),
+            Err(RmaError::BadOriginName(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Property test: lazy/eager parity. For randomly generated small
+//! relations and operation pipelines, `Frame::...collect()` produces
+//! exactly the relation the equivalent sequence of eager `RmaContext`
+//! calls produces — under every backend and both sort policies. The
+//! optimizer's rewrites (sort elimination, backend choice) must be
+//! invisible in results.
+
+use proptest::prelude::*;
+use rma_core::plan::Frame;
+use rma_core::{Backend, RmaContext, RmaOptions, SortPolicy};
+use rma_relation::{Relation, RelationBuilder};
+
+const ROWS: usize = 3;
+
+/// One step of a random pipeline. Binary steps carry their (pre-generated)
+/// second operand and its key attribute name.
+#[derive(Debug, Clone)]
+enum Step {
+    Qqr,
+    Inv,
+    Tra,
+    Add(Relation, String),
+    Mmu(Relation, String),
+}
+
+/// A relation with a unique string key and `ROWS` float application
+/// columns, in a shuffled physical row order.
+fn keyed_relation(key_name: &str, prefix: &str, vals: &[f64], rng: &mut TestRng) -> Relation {
+    let mut order: Vec<usize> = (0..ROWS).collect();
+    for i in (1..ROWS).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let keys: Vec<String> = order.iter().map(|i| format!("{prefix}{i:02}")).collect();
+    let mut b = RelationBuilder::new().column(key_name, keys);
+    for c in 0..ROWS {
+        let col: Vec<f64> = order.iter().map(|&i| vals[i * ROWS + c]).collect();
+        b = b.column(format!("{prefix}a{c}"), col);
+    }
+    b.build().expect("valid relation")
+}
+
+/// Strategy: a base relation plus a pipeline of 1–3 steps that keeps the
+/// intermediate application part square (so `inv` stays applicable).
+fn arb_case() -> impl Strategy<Value = (Relation, Vec<Step>)> {
+    (
+        proptest::collection::vec(-4.0f64..4.0, ROWS * ROWS),
+        proptest::collection::vec(
+            (
+                0usize..5,
+                proptest::collection::vec(-4.0f64..4.0, ROWS * ROWS),
+            ),
+            1..4,
+        ),
+    )
+        .prop_perturb(|(base_vals, raw_steps), mut rng| {
+            let base = keyed_relation("k", "k", &base_vals, &mut rng);
+            let mut steps = Vec::new();
+            let mut order_len = 1usize; // current order-schema width
+            for (i, (kind, vals)) in raw_steps.into_iter().enumerate() {
+                let step = match kind {
+                    0 => Step::Qqr,
+                    1 => Step::Inv,
+                    // tra needs a single-attribute order schema
+                    2 if order_len == 1 => Step::Tra,
+                    2 => Step::Qqr,
+                    3 => {
+                        let key = format!("j{i}");
+                        let s = keyed_relation(&key, &format!("s{i}"), &vals, &mut rng);
+                        order_len += 1;
+                        Step::Add(s, key)
+                    }
+                    _ => {
+                        let key = format!("m{i}");
+                        let s = keyed_relation(&key, &format!("t{i}"), &vals, &mut rng);
+                        Step::Mmu(s, key)
+                    }
+                };
+                if matches!(step, Step::Tra) {
+                    order_len = 1;
+                }
+                steps.push(step);
+            }
+            (base, steps)
+        })
+}
+
+/// Apply the pipeline eagerly, tracking the order schema like the lazy
+/// builder's caller would.
+fn run_eager(
+    ctx: &RmaContext,
+    base: &Relation,
+    steps: &[Step],
+) -> Result<Relation, rma_core::RmaError> {
+    let mut cur = base.clone();
+    let mut order: Vec<String> = vec!["k".to_string()];
+    for step in steps {
+        let refs: Vec<&str> = order.iter().map(String::as_str).collect();
+        cur = match step {
+            Step::Qqr => ctx.qqr(&cur, &refs)?,
+            Step::Inv => ctx.inv(&cur, &refs)?,
+            Step::Tra => {
+                let out = ctx.tra(&cur, &refs)?;
+                order = vec!["C".to_string()];
+                out
+            }
+            Step::Add(s, key) => {
+                let out = ctx.add(&cur, &refs, s, &[key])?;
+                order.push(key.clone());
+                out
+            }
+            Step::Mmu(s, key) => ctx.mmu(&cur, &refs, s, &[key])?,
+        };
+    }
+    Ok(cur)
+}
+
+/// Build the same pipeline lazily.
+fn build_lazy(base: &Relation, steps: &[Step]) -> Frame {
+    let mut frame = Frame::scan(base.clone());
+    let mut order: Vec<String> = vec!["k".to_string()];
+    for step in steps {
+        let refs: Vec<&str> = order.iter().map(String::as_str).collect();
+        frame = match step {
+            Step::Qqr => frame.qqr(&refs),
+            Step::Inv => frame.inv(&refs),
+            Step::Tra => {
+                let out = frame.tra(&refs);
+                order = vec!["C".to_string()];
+                out
+            }
+            Step::Add(s, key) => {
+                let out = frame.add(&refs, Frame::scan(s.clone()), &[key]);
+                order.push(key.clone());
+                out
+            }
+            Step::Mmu(s, key) => frame.mmu(&refs, Frame::scan(s.clone()), &[key]),
+        };
+    }
+    frame
+}
+
+fn configs() -> Vec<RmaOptions> {
+    let mut out = Vec::new();
+    for backend in [Backend::Auto, Backend::Bat, Backend::Dense] {
+        for sort_policy in [SortPolicy::Optimized, SortPolicy::Always] {
+            out.push(RmaOptions {
+                backend,
+                sort_policy,
+                ..RmaOptions::default()
+            });
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lazy_collect_equals_eager_calls((base, steps) in arb_case()) {
+        for options in configs() {
+            let eager_ctx = RmaContext::new(options.clone());
+            let lazy_ctx = RmaContext::new(options.clone());
+            let eager = run_eager(&eager_ctx, &base, &steps);
+            let lazy = build_lazy(&base, &steps).collect(&lazy_ctx);
+            match (&eager, &lazy) {
+                (Ok(e), Ok(l)) => {
+                    prop_assert_eq!(
+                        e.schema(), l.schema(),
+                        "schema mismatch under {:?} for {:?}", options, steps
+                    );
+                    prop_assert_eq!(
+                        e, l,
+                        "result mismatch under {:?} for {:?}", options, steps
+                    );
+                }
+                (Err(_), Err(_)) => {} // both reject (e.g. singular inv)
+                (e, l) => prop_assert!(
+                    false,
+                    "divergence under {:?} for {:?}: eager={:?} lazy={:?}",
+                    options, steps, e.is_ok(), l.is_ok()
+                ),
+            }
+            // the optimizer may only ever *remove* sorts
+            prop_assert!(
+                lazy_ctx.stats().sorts <= eager_ctx.stats().sorts,
+                "lazy sorted more than eager under {:?} for {:?}",
+                options, steps
+            );
+        }
+    }
+}

@@ -11,10 +11,7 @@ use rma_relation::{Relation, RelationBuilder};
 /// application attributes `a0..`, plus a random physical row permutation.
 fn arb_relation(rows: usize, cols: usize) -> impl Strategy<Value = Relation> {
     (
-        proptest::collection::vec(
-            proptest::collection::vec(-100.0f64..100.0, cols),
-            rows,
-        ),
+        proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, cols), rows),
         Just(rows),
     )
         .prop_perturb(move |(data, rows), mut rng| {

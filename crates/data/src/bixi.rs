@@ -146,7 +146,9 @@ mod tests {
         assert_eq!(t.len(), 500);
         let starts = t.column("start_station").unwrap();
         for v in starts.iter_values() {
-            let rma_storage::Value::Int(code) = v else { panic!() };
+            let rma_storage::Value::Int(code) = v else {
+                panic!()
+            };
             assert!((6000..6030).contains(&code));
         }
         assert!(t.attrs_form_key(&["id"]).unwrap());

@@ -115,7 +115,9 @@ mod tests {
         assert!(r.attrs_form_key(&["conf"]).unwrap());
         // every rating is one of the five classes
         for v in r.column("rating").unwrap().iter_values() {
-            let rma_storage::Value::Str(s) = v else { panic!() };
+            let rma_storage::Value::Str(s) = v else {
+                panic!()
+            };
             assert!(["A++", "A+", "A", "B", "C"].contains(&s.as_str()));
         }
         // some A++ conferences exist at this size with high probability

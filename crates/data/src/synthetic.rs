@@ -126,9 +126,21 @@ mod tests {
         assert!((share - 0.5).abs() < 0.05, "share = {share}");
         // extremes
         let (l, _) = sparse_pair(500, 1, 0.0, 4);
-        assert!(l.column("l0").unwrap().to_f64_vec().unwrap().iter().all(|&x| x != 0.0));
+        assert!(l
+            .column("l0")
+            .unwrap()
+            .to_f64_vec()
+            .unwrap()
+            .iter()
+            .all(|&x| x != 0.0));
         let (l, _) = sparse_pair(500, 1, 1.0, 5);
-        assert!(l.column("l0").unwrap().to_f64_vec().unwrap().iter().all(|&x| x == 0.0));
+        assert!(l
+            .column("l0")
+            .unwrap()
+            .to_f64_vec()
+            .unwrap()
+            .iter()
+            .all(|&x| x == 0.0));
     }
 
     #[test]

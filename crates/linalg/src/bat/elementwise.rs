@@ -7,11 +7,7 @@
 use super::{shape, Cols};
 use crate::error::LinalgError;
 
-fn binary(
-    a: &Cols,
-    b: &Cols,
-    f: impl Fn(f64, f64) -> f64,
-) -> Result<Vec<Vec<f64>>, LinalgError> {
+fn binary(a: &Cols, b: &Cols, f: impl Fn(f64, f64) -> f64) -> Result<Vec<Vec<f64>>, LinalgError> {
     let (ra, ca) = shape(a)?;
     let (rb, cb) = shape(b)?;
     if ra != rb || ca != cb {
@@ -53,9 +49,18 @@ mod tests {
 
     #[test]
     fn add_sub_emu() {
-        assert_eq!(add(&a(), &b()).unwrap(), vec![vec![11.0, 22.0], vec![33.0, 44.0]]);
-        assert_eq!(sub(&b(), &a()).unwrap(), vec![vec![9.0, 18.0], vec![27.0, 36.0]]);
-        assert_eq!(emu(&a(), &b()).unwrap(), vec![vec![10.0, 40.0], vec![90.0, 160.0]]);
+        assert_eq!(
+            add(&a(), &b()).unwrap(),
+            vec![vec![11.0, 22.0], vec![33.0, 44.0]]
+        );
+        assert_eq!(
+            sub(&b(), &a()).unwrap(),
+            vec![vec![9.0, 18.0], vec![27.0, 36.0]]
+        );
+        assert_eq!(
+            emu(&a(), &b()).unwrap(),
+            vec![vec![10.0, 40.0], vec![90.0, 160.0]]
+        );
     }
 
     #[test]

@@ -154,11 +154,7 @@ mod tests {
         let a = vec![vec![1.0, 1.0, 1.0, 1.0], vec![0.0, 1.0, 2.0, 3.0]];
         let b = vec![vec![1.1, 2.9, 5.1, 6.9]];
         let x = least_squares(&a, &b).unwrap();
-        let xd = dense::qr::least_squares(
-            &to_matrix(&a),
-            &Matrix::col_vector(&b[0]),
-        )
-        .unwrap();
+        let xd = dense::qr::least_squares(&to_matrix(&a), &Matrix::col_vector(&b[0])).unwrap();
         assert!((x[0][0] - xd.get(0, 0)).abs() < 1e-10);
         assert!((x[0][1] - xd.get(1, 0)).abs() < 1e-10);
     }
@@ -167,10 +163,7 @@ mod tests {
     fn least_squares_singular_detected() {
         let a = vec![vec![1.0, 1.0, 1.0], vec![1.0, 1.0, 1.0]];
         let b = vec![vec![1.0, 2.0, 3.0]];
-        assert!(matches!(
-            least_squares(&a, &b),
-            Err(LinalgError::Singular)
-        ));
+        assert!(matches!(least_squares(&a, &b), Err(LinalgError::Singular)));
     }
 
     #[test]

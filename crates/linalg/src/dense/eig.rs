@@ -276,11 +276,7 @@ fn qr_eigenvalues(a: &Matrix) -> Result<Vec<f64>, LinalgError> {
     Ok(values)
 }
 
-fn push_block_eigenvalues(
-    h: &Matrix,
-    k: usize,
-    values: &mut Vec<f64>,
-) -> Result<(), LinalgError> {
+fn push_block_eigenvalues(h: &Matrix, k: usize, values: &mut Vec<f64>) -> Result<(), LinalgError> {
     let (a, b, c, d) = (
         h.get(k, k),
         h.get(k, k + 1),
@@ -355,13 +351,16 @@ fn inverse_iteration(a: &Matrix, lambda: f64) -> Result<Vec<f64>, LinalgError> {
         }
     }
     // sign convention: largest-magnitude component positive
-    let imax = (0..n).fold(0, |best, i| {
-        if v[i].abs() > v[best].abs() {
-            i
-        } else {
-            best
-        }
-    });
+    let imax = (0..n).fold(
+        0,
+        |best, i| {
+            if v[i].abs() > v[best].abs() {
+                i
+            } else {
+                best
+            }
+        },
+    );
     if v[imax] < 0.0 {
         for t in v.iter_mut() {
             *t = -*t;
@@ -402,8 +401,8 @@ mod tests {
 
     #[test]
     fn symmetric_diagonal() {
-        let a = Matrix::from_rows(&[&[5.0, 0.0, 0.0], &[0.0, -1.0, 0.0], &[0.0, 0.0, 2.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[5.0, 0.0, 0.0], &[0.0, -1.0, 0.0], &[0.0, 0.0, 2.0]]).unwrap();
         let vals = eigenvalues(&a).unwrap();
         assert_eq!(vals, vec![5.0, 2.0, -1.0]);
     }
@@ -426,12 +425,7 @@ mod tests {
 
     #[test]
     fn nonsymmetric_3x3_triangular() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[0.0, 4.0, 5.0],
-            &[0.0, 0.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 4.0, 5.0], &[0.0, 0.0, 6.0]]).unwrap();
         let vals = eigenvalues(&a).unwrap();
         assert!((vals[0] - 6.0).abs() < 1e-8);
         assert!((vals[1] - 4.0).abs() < 1e-8);
@@ -460,12 +454,8 @@ mod tests {
     #[test]
     fn covariance_matrix_eigen() {
         // symmetric PSD: eigenvalues non-negative, vectors orthonormal
-        let a = Matrix::from_rows(&[
-            &[2.5, 1.2, 0.3],
-            &[1.2, 3.0, -0.5],
-            &[0.3, -0.5, 1.8],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.5, 1.2, 0.3], &[1.2, 3.0, -0.5], &[0.3, -0.5, 1.8]]).unwrap();
         let e = eigen(&a).unwrap();
         assert!(e.values.iter().all(|&v| v > 0.0));
         let vtv = crate::dense::gemm::crossprod(&e.vectors, &e.vectors).unwrap();
@@ -483,7 +473,9 @@ mod tests {
         let mut a = Matrix::zeros(n, n);
         let mut seed = 42u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         for i in 0..n {

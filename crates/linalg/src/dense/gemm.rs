@@ -81,7 +81,15 @@ fn matmul_parallel(a: &Matrix, b: &Matrix, c: &mut Matrix, threads: usize) {
 }
 
 #[inline]
-fn matmul_block_cols(a: &Matrix, b: &Matrix, c: &mut Matrix, j0: usize, jmax: usize, m: usize, k: usize) {
+fn matmul_block_cols(
+    a: &Matrix,
+    b: &Matrix,
+    c: &mut Matrix,
+    j0: usize,
+    jmax: usize,
+    m: usize,
+    k: usize,
+) {
     // c[:, j] += a[:, l] * b[l, j], blocked over l and rows for locality
     for l0 in (0..k).step_by(BLOCK) {
         let lmax = (l0 + BLOCK).min(k);
@@ -193,7 +201,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = matmul(&a, &b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]

@@ -175,8 +175,7 @@ mod tests {
     fn inverse_matches_paper_figure3() {
         let inv = inverse(&paper_matrix()).unwrap();
         let expected =
-            Matrix::from_rows(&[&[-5.0 / 26.0, 7.0 / 26.0], &[8.0 / 26.0, -6.0 / 26.0]])
-                .unwrap();
+            Matrix::from_rows(&[&[-5.0 / 26.0, 7.0 / 26.0], &[8.0 / 26.0, -6.0 / 26.0]]).unwrap();
         assert!(inv.approx_eq(&expected, 1e-12));
         // paper rounds to -0.19, 0.27 / 0.31, -0.23
         assert!((inv.get(0, 0) - -0.1923).abs() < 1e-3);
@@ -185,12 +184,8 @@ mod tests {
 
     #[test]
     fn inverse_times_original_is_identity() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[3.0, 6.0, -4.0],
-            &[2.0, 1.0, 8.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[3.0, 6.0, -4.0], &[2.0, 1.0, 8.0]]).unwrap();
         let inv = inverse(&a).unwrap();
         let prod = matmul(&a, &inv).unwrap();
         assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
@@ -256,7 +251,10 @@ mod tests {
             Lu::factor(&Matrix::zeros(2, 3)),
             Err(LinalgError::NotSquare)
         ));
-        assert!(matches!(Lu::factor(&Matrix::zeros(0, 0)), Err(LinalgError::Empty)));
+        assert!(matches!(
+            Lu::factor(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
     }
 
     #[test]

@@ -167,8 +167,12 @@ mod tests {
     fn u_and_v_orthonormal() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
         let d = svd(&a).unwrap();
-        assert!(crossprod(&d.u, &d.u).unwrap().approx_eq(&Matrix::identity(2), 1e-10));
-        assert!(crossprod(&d.v, &d.v).unwrap().approx_eq(&Matrix::identity(2), 1e-10));
+        assert!(crossprod(&d.u, &d.u)
+            .unwrap()
+            .approx_eq(&Matrix::identity(2), 1e-10));
+        assert!(crossprod(&d.v, &d.v)
+            .unwrap()
+            .approx_eq(&Matrix::identity(2), 1e-10));
     }
 
     #[test]

@@ -68,7 +68,9 @@ fn tall_skinny_qr_and_svd() {
     assert_eq!(svd.s.len(), 2);
     assert!(svd.s[0] >= svd.s[1]);
     // Gram-Schmidt agrees with Householder on |R|
-    let (_, r_gs) = bat::qqr(&cols).map(|q| (q, bat::rqr(&cols).unwrap())).unwrap();
+    let (_, r_gs) = bat::qqr(&cols)
+        .map(|q| (q, bat::rqr(&cols).unwrap()))
+        .unwrap();
     for i in 0..2 {
         for j in i..2 {
             assert!((r_gs[j][i].abs() - qr.r.get(i, j).abs()).abs() < 1e-8);
@@ -81,7 +83,9 @@ fn eigen_of_near_multiple_eigenvalues() {
     // eigenvalues 2, 2+1e-9: Jacobi must still produce an orthonormal basis
     let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0 + 1e-9]]).unwrap();
     let e = dense::eigen(&a).unwrap();
-    let dot: f64 = (0..2).map(|i| e.vectors.get(i, 0) * e.vectors.get(i, 1)).sum();
+    let dot: f64 = (0..2)
+        .map(|i| e.vectors.get(i, 0) * e.vectors.get(i, 1))
+        .sum();
     assert!(dot.abs() < 1e-8);
 }
 

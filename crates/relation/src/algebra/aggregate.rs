@@ -190,9 +190,10 @@ fn output_type(spec: &AggSpec, r: &Relation) -> Result<DataType, RelationError> 
             }
         }
         AggFunc::Min | AggFunc::Max => {
-            let input = spec.input.as_deref().ok_or_else(|| {
-                RelationError::Expression("MIN/MAX require an input".to_string())
-            })?;
+            let input = spec
+                .input
+                .as_deref()
+                .ok_or_else(|| RelationError::Expression("MIN/MAX require an input".to_string()))?;
             r.schema().attribute(input)?.dtype()
         }
     })
@@ -241,10 +242,7 @@ mod tests {
         let out = aggregate(
             &trips(),
             &["station"],
-            &[
-                AggSpec::avg("dur", "avg_dur"),
-                AggSpec::count_star("n"),
-            ],
+            &[AggSpec::avg("dur", "avg_dur"), AggSpec::count_star("n")],
         )
         .unwrap();
         assert_eq!(out.len(), 2);
@@ -321,7 +319,10 @@ mod tests {
 
     #[test]
     fn sum_of_ints_stays_int() {
-        let r = RelationBuilder::new().column("x", vec![1i64, 2, 3]).build().unwrap();
+        let r = RelationBuilder::new()
+            .column("x", vec![1i64, 2, 3])
+            .build()
+            .unwrap();
         let out = aggregate(&r, &[], &[AggSpec::sum("x", "s")]).unwrap();
         assert_eq!(out.cell(0, "s").unwrap(), Value::Int(6));
     }
@@ -334,7 +335,10 @@ mod tests {
     #[test]
     fn int_sum_finish_widens_back() {
         // regression: Acc accumulates f64; int SUM output must be Int typed
-        let r = RelationBuilder::new().column("x", vec![1i64, 2]).build().unwrap();
+        let r = RelationBuilder::new()
+            .column("x", vec![1i64, 2])
+            .build()
+            .unwrap();
         let out = aggregate(&r, &[], &[AggSpec::sum("x", "s")]).unwrap();
         assert_eq!(out.schema().attribute("s").unwrap().dtype(), DataType::Int);
     }

@@ -9,11 +9,7 @@ use std::collections::HashMap;
 /// Inner equi-join `a ⋈_{a.x = b.y} b` via a hash table on the smaller
 /// side's key columns. The output schema is the concatenation of both full
 /// schemas; attribute name collisions are an error (rename first).
-pub fn join_on(
-    a: &Relation,
-    b: &Relation,
-    on: &[(&str, &str)],
-) -> Result<Relation, RelationError> {
+pub fn join_on(a: &Relation, b: &Relation, on: &[(&str, &str)]) -> Result<Relation, RelationError> {
     if on.is_empty() {
         return Err(RelationError::Expression(
             "equi-join requires at least one key pair".to_string(),
@@ -41,11 +37,7 @@ pub fn natural_join(a: &Relation, b: &Relation) -> Result<Relation, RelationErro
 
 /// General theta join: nested-loop join with an arbitrary predicate over the
 /// concatenated schema. Quadratic — used only when no equi-key exists.
-pub fn theta_join(
-    a: &Relation,
-    b: &Relation,
-    predicate: &Expr,
-) -> Result<Relation, RelationError> {
+pub fn theta_join(a: &Relation, b: &Relation, predicate: &Expr) -> Result<Relation, RelationError> {
     let product = cross_product(a, b)?;
     super::select(&product, predicate)
 }
@@ -170,8 +162,14 @@ mod tests {
 
     #[test]
     fn natural_join_without_common_attrs_is_cross() {
-        let a = RelationBuilder::new().column("x", vec![1i64, 2]).build().unwrap();
-        let b = RelationBuilder::new().column("y", vec![10i64]).build().unwrap();
+        let a = RelationBuilder::new()
+            .column("x", vec![1i64, 2])
+            .build()
+            .unwrap();
+        let b = RelationBuilder::new()
+            .column("y", vec![10i64])
+            .build()
+            .unwrap();
         let j = natural_join(&a, &b).unwrap();
         assert_eq!(j.len(), 2);
     }
@@ -197,7 +195,10 @@ mod tests {
 
     #[test]
     fn join_duplicates_multiply() {
-        let a = RelationBuilder::new().column("k", vec![1i64, 1]).build().unwrap();
+        let a = RelationBuilder::new()
+            .column("k", vec![1i64, 1])
+            .build()
+            .unwrap();
         let b = RelationBuilder::new()
             .column("k2", vec![1i64, 1, 1])
             .build()
@@ -227,7 +228,10 @@ mod tests {
 
     #[test]
     fn cross_product_sizes_and_collisions() {
-        let a = RelationBuilder::new().column("x", vec![1i64, 2]).build().unwrap();
+        let a = RelationBuilder::new()
+            .column("x", vec![1i64, 2])
+            .build()
+            .unwrap();
         let b = RelationBuilder::new()
             .column("y", vec![10i64, 20, 30])
             .build()
@@ -241,8 +245,14 @@ mod tests {
 
     #[test]
     fn theta_join_inequality() {
-        let a = RelationBuilder::new().column("x", vec![1i64, 5]).build().unwrap();
-        let b = RelationBuilder::new().column("y", vec![3i64, 4]).build().unwrap();
+        let a = RelationBuilder::new()
+            .column("x", vec![1i64, 5])
+            .build()
+            .unwrap();
+        let b = RelationBuilder::new()
+            .column("y", vec![3i64, 4])
+            .build()
+            .unwrap();
         let j = theta_join(&a, &b, &Expr::col("x").lt(Expr::col("y"))).unwrap();
         assert_eq!(j.len(), 2); // (1,3), (1,4)
     }

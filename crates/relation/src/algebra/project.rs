@@ -22,10 +22,7 @@ pub fn project(r: &Relation, names: &[&str]) -> Result<Relation, RelationError> 
 
 /// Generalised projection: each output attribute is an expression, e.g. the
 /// paper's `π_{C, B/(M−1), H/(M−1), N/(M−1)}(w6)`.
-pub fn project_exprs(
-    r: &Relation,
-    items: &[(Expr, &str)],
-) -> Result<Relation, RelationError> {
+pub fn project_exprs(r: &Relation, items: &[(Expr, &str)]) -> Result<Relation, RelationError> {
     let mut attrs = Vec::with_capacity(items.len());
     let mut columns = Vec::with_capacity(items.len());
     for (expr, name) in items {

@@ -42,9 +42,7 @@ impl fmt::Display for RelationError {
             RelationError::NotAKey(attrs) => {
                 write!(f, "attributes {attrs:?} do not form a key")
             }
-            RelationError::NotUnionCompatible => {
-                f.write_str("relations are not union compatible")
-            }
+            RelationError::NotUnionCompatible => f.write_str("relations are not union compatible"),
             RelationError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }

@@ -250,9 +250,8 @@ impl Expr {
 
 fn broadcast_literal(v: &Value, n: usize) -> Result<Column, RelationError> {
     let vals = vec![v.clone(); n.max(1)];
-    let col = Column::from_values(&vals).map_err(|_| {
-        RelationError::Expression("NULL literal needs a typed context".to_string())
-    })?;
+    let col = Column::from_values(&vals)
+        .map_err(|_| RelationError::Expression("NULL literal needs a typed context".to_string()))?;
     if n == 0 {
         return Ok(col.take(&[]));
     }
@@ -396,9 +395,11 @@ fn comparison(a: &Column, op: BinOp, b: &Column) -> Result<Column, RelationError
         (ColumnData::Int(x), ColumnData::Int(y)) => {
             x.iter().zip(y).map(|(p, q)| apply(p.cmp(q))).collect()
         }
-        (ColumnData::Float(x), ColumnData::Float(y)) => {
-            x.iter().zip(y).map(|(p, q)| apply(p.total_cmp(q))).collect()
-        }
+        (ColumnData::Float(x), ColumnData::Float(y)) => x
+            .iter()
+            .zip(y)
+            .map(|(p, q)| apply(p.total_cmp(q)))
+            .collect(),
         (ColumnData::Int(x), ColumnData::Float(y)) => x
             .iter()
             .zip(y)
@@ -516,9 +517,15 @@ mod tests {
 
     #[test]
     fn comparisons_and_filter() {
-        let keep = Expr::col("a").gt(Expr::lit(1i64)).eval_filter(&rel()).unwrap();
+        let keep = Expr::col("a")
+            .gt(Expr::lit(1i64))
+            .eval_filter(&rel())
+            .unwrap();
         assert_eq!(keep, vec![false, true, true]);
-        let keep = Expr::col("s").eq(Expr::lit("y")).eval_filter(&rel()).unwrap();
+        let keep = Expr::col("s")
+            .eq(Expr::lit("y"))
+            .eval_filter(&rel())
+            .unwrap();
         assert_eq!(keep, vec![false, true, false]);
     }
 
@@ -546,10 +553,15 @@ mod tests {
         assert_eq!(c.get(0), Value::Int(6));
         assert!(c.is_null(1));
         // comparisons with null are null, so the filter drops the row
-        let keep = Expr::col("a").gt_eq(Expr::lit(0i64)).eval_filter(&r).unwrap();
+        let keep = Expr::col("a")
+            .gt_eq(Expr::lit(0i64))
+            .eval_filter(&r)
+            .unwrap();
         assert_eq!(keep, vec![true, false]);
         // IS NULL sees it
-        let keep = Expr::IsNull(Box::new(Expr::col("a"))).eval_filter(&r).unwrap();
+        let keep = Expr::IsNull(Box::new(Expr::col("a")))
+            .eval_filter(&r)
+            .unwrap();
         assert_eq!(keep, vec![false, true]);
     }
 
@@ -560,7 +572,10 @@ mod tests {
             .column("d", vec![2i64, 0])
             .build()
             .unwrap();
-        let c = Expr::col("a").bin(BinOp::Mod, Expr::col("d")).eval(&r).unwrap();
+        let c = Expr::col("a")
+            .bin(BinOp::Mod, Expr::col("d"))
+            .eval(&r)
+            .unwrap();
         assert_eq!(c.get(0), Value::Int(1));
         assert!(c.is_null(1));
     }

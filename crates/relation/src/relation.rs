@@ -222,17 +222,64 @@ impl Relation {
     }
 }
 
+/// Rows shown before a rendered relation is truncated.
+const DISPLAY_ROWS: usize = 20;
+
 impl fmt::Display for Relation {
-    /// Render a bounded ASCII table (first 20 rows) for debugging.
+    /// Render an aligned ASCII table: header, separator, and up to
+    /// [`DISPLAY_ROWS`] rows. Numeric columns are right-aligned, others
+    /// left-aligned; longer relations end with a truncation note.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let names: Vec<&str> = self.schema.names().collect();
-        writeln!(f, "{}", names.join(" | "))?;
-        for i in 0..self.len().min(20) {
-            let row: Vec<String> = self.columns.iter().map(|c| c.get(i).to_string()).collect();
-            writeln!(f, "{}", row.join(" | "))?;
+        let shown = self.len().min(DISPLAY_ROWS);
+        // materialise the displayed cells once to compute column widths
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(self.schema.len());
+        let mut widths: Vec<usize> = Vec::with_capacity(self.schema.len());
+        for (attr, col) in self.schema.attributes().iter().zip(&self.columns) {
+            let vals: Vec<String> = (0..shown).map(|i| col.get(i).to_string()).collect();
+            let width = vals
+                .iter()
+                .map(String::len)
+                .chain(std::iter::once(attr.name().len()))
+                .max()
+                .unwrap_or(0);
+            widths.push(width);
+            cells.push(vals);
         }
-        if self.len() > 20 {
-            writeln!(f, "... ({} rows)", self.len())?;
+        let right_align: Vec<bool> = self
+            .schema
+            .attributes()
+            .iter()
+            .map(|a| a.dtype().is_numeric())
+            .collect();
+        let write_row =
+            |f: &mut fmt::Formatter<'_>, fields: &mut dyn Iterator<Item = String>| -> fmt::Result {
+                let mut first = true;
+                for (j, field) in fields.enumerate() {
+                    if !first {
+                        write!(f, " | ")?;
+                    }
+                    first = false;
+                    if right_align[j] {
+                        write!(f, "{field:>width$}", width = widths[j])?;
+                    } else {
+                        write!(f, "{field:<width$}", width = widths[j])?;
+                    }
+                }
+                writeln!(f)
+            };
+        write_row(f, &mut self.schema.names().map(str::to_string))?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "{}", sep.join("-+-"))?;
+        for i in 0..shown {
+            write_row(f, &mut cells.iter().map(|c| c[i].clone()))?;
+        }
+        if self.len() > shown {
+            writeln!(
+                f,
+                "… {} more rows ({} total)",
+                self.len() - shown,
+                self.len()
+            )?;
         }
         Ok(())
     }
@@ -314,8 +361,7 @@ mod tests {
 
     #[test]
     fn ragged_columns_rejected() {
-        let s =
-            Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).unwrap();
+        let s = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).unwrap();
         let r = Relation::new(
             s,
             vec![Column::from(vec![1i64]), Column::from(vec![1i64, 2])],
@@ -391,8 +437,28 @@ mod tests {
     }
 
     #[test]
-    fn display_renders_header() {
+    fn display_renders_aligned_table() {
         let out = weather().to_string();
-        assert!(out.starts_with("T | H | W"));
+        let lines: Vec<&str> = out.lines().collect();
+        // header padded to the widest cell of each column
+        assert_eq!(lines[0], "T   | H | W");
+        assert!(lines[1].chars().all(|c| c == '-' || c == '+'));
+        // string column left-aligned, numeric columns right-aligned
+        assert_eq!(lines[2], "5am | 1 | 3");
+        // all rows shown: no truncation note
+        assert_eq!(lines.len(), 2 + 4);
+    }
+
+    #[test]
+    fn display_truncates_long_relations() {
+        let n = 24usize;
+        let r = RelationBuilder::new()
+            .column("i", (0..n as i64).collect::<Vec<_>>())
+            .column("x", (0..n).map(|i| i as f64).collect::<Vec<_>>())
+            .build()
+            .unwrap();
+        let out = r.to_string();
+        assert_eq!(out.lines().count(), 2 + 20 + 1);
+        assert!(out.ends_with("… 4 more rows (24 total)\n"), "{out}");
     }
 }

@@ -50,12 +50,7 @@ impl Schema {
 
     /// Convenience constructor from `(name, type)` pairs.
     pub fn from_pairs(pairs: &[(&str, DataType)]) -> Result<Self, RelationError> {
-        Self::new(
-            pairs
-                .iter()
-                .map(|(n, t)| Attribute::new(*n, *t))
-                .collect(),
-        )
+        Self::new(pairs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect())
     }
 
     pub fn len(&self) -> usize {

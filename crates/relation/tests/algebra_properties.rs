@@ -9,19 +9,17 @@ use rma_relation::{
 
 /// Random small relation (k: Int possibly duplicated, s: Str, x: Float).
 fn arb_rel(max_rows: usize) -> impl Strategy<Value = Relation> {
-    proptest::collection::vec((0i64..8, 0usize..4, -50.0f64..50.0), 0..max_rows).prop_map(
-        |rows| {
-            let ks: Vec<i64> = rows.iter().map(|(k, _, _)| *k).collect();
-            let ss: Vec<String> = rows.iter().map(|(_, s, _)| format!("s{s}")).collect();
-            let xs: Vec<f64> = rows.iter().map(|(_, _, x)| *x).collect();
-            RelationBuilder::new()
-                .column("k", ks)
-                .column("s", ss)
-                .column("x", xs)
-                .build()
-                .expect("valid")
-        },
-    )
+    proptest::collection::vec((0i64..8, 0usize..4, -50.0f64..50.0), 0..max_rows).prop_map(|rows| {
+        let ks: Vec<i64> = rows.iter().map(|(k, _, _)| *k).collect();
+        let ss: Vec<String> = rows.iter().map(|(_, s, _)| format!("s{s}")).collect();
+        let xs: Vec<f64> = rows.iter().map(|(_, _, x)| *x).collect();
+        RelationBuilder::new()
+            .column("k", ks)
+            .column("s", ss)
+            .column("x", xs)
+            .build()
+            .expect("valid")
+    })
 }
 
 proptest! {

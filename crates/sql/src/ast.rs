@@ -17,6 +17,8 @@ use rma_storage::{DataType, Value};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     Select(SelectStmt),
+    /// `EXPLAIN SELECT ...`: render the optimized logical plan.
+    Explain(SelectStmt),
     CreateTable {
         name: String,
         columns: Vec<(String, DataType)>,
@@ -48,7 +50,10 @@ pub enum SelectItem {
     /// `*`
     Wildcard,
     /// Expression with optional alias.
-    Expr { expr: SqlExpr, alias: Option<String> },
+    Expr {
+        expr: SqlExpr,
+        alias: Option<String>,
+    },
 }
 
 /// Table expressions of the FROM clause.

@@ -1,6 +1,7 @@
 //! Named-relation catalog.
 
 use crate::error::SqlError;
+use rma_core::plan::TableProvider;
 use rma_relation::Relation;
 use std::collections::HashMap;
 
@@ -52,13 +53,23 @@ impl Catalog {
     }
 }
 
+/// The catalog is the SQL layer's table source for shared logical plans.
+impl TableProvider for Catalog {
+    fn table(&self, name: &str) -> Option<&Relation> {
+        self.get(name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rma_relation::RelationBuilder;
 
     fn rel() -> Relation {
-        RelationBuilder::new().column("a", vec![1i64]).build().unwrap()
+        RelationBuilder::new()
+            .column("a", vec![1i64])
+            .build()
+            .unwrap()
     }
 
     #[test]

@@ -90,11 +90,13 @@ impl Engine {
         self.execute(sql)?.relation()
     }
 
-    /// EXPLAIN: the (optimized) plan of a SELECT, as text.
+    /// EXPLAIN: the (optimized) plan of a SELECT, as text. Also reachable
+    /// as the SQL statement `EXPLAIN SELECT ...`.
     pub fn explain(&self, sql: &str) -> Result<String, SqlError> {
         let stmt = parse(sql)?;
-        let Statement::Select(sel) = stmt else {
-            return Err(SqlError::Plan("EXPLAIN requires a SELECT".to_string()));
+        let sel = match stmt {
+            Statement::Select(sel) | Statement::Explain(sel) => sel,
+            _ => return Err(SqlError::Plan("EXPLAIN requires a SELECT".to_string())),
         };
         let plan = self.build_plan(&sel)?;
         Ok(explain(&plan))
@@ -103,7 +105,7 @@ impl Engine {
     fn build_plan(&self, sel: &crate::ast::SelectStmt) -> Result<Plan, SqlError> {
         let plan = plan_select(sel)?;
         Ok(if self.optimize {
-            optimize(plan, &self.catalog)
+            optimize(plan, &self.catalog, &self.rma)
         } else {
             plan
         })
@@ -114,6 +116,15 @@ impl Engine {
             Statement::Select(sel) => {
                 let plan = self.build_plan(&sel)?;
                 let rel = execute(&plan, &self.catalog, &self.rma)?;
+                Ok(QueryResult::Relation(rel))
+            }
+            Statement::Explain(sel) => {
+                let plan = self.build_plan(&sel)?;
+                let lines: Vec<String> = explain(&plan).lines().map(str::to_string).collect();
+                let rel = rma_relation::RelationBuilder::new()
+                    .column("plan", lines)
+                    .build()
+                    .map_err(SqlError::Relation)?;
                 Ok(QueryResult::Relation(rel))
             }
             Statement::CreateTable { name, columns } => {
@@ -247,14 +258,14 @@ mod tests {
             .explain("SELECT * FROM rating JOIN f ON u = t WHERE d = 'Lee'")
             .unwrap();
         let join = plan.find("JoinOn").unwrap();
-        let filt = plan.find("Filter").unwrap();
+        let filt = plan.find("Select").unwrap();
         assert!(filt > join, "expected pushdown:\n{plan}");
         // and without the optimizer the filter stays on top
         e.optimize = false;
         let plan = e
             .explain("SELECT * FROM rating JOIN f ON u = t WHERE d = 'Lee'")
             .unwrap();
-        assert!(plan.starts_with("Filter"));
+        assert!(plan.starts_with("Select"));
     }
 
     #[test]
@@ -282,11 +293,61 @@ mod tests {
         let mut e = engine_with_rating();
         // duplicate order values: Balto is not a key of (Balto-only proj)?
         e.execute("CREATE TABLE dup (k INT, x DOUBLE)").unwrap();
-        e.execute("INSERT INTO dup VALUES (1, 1.0), (1, 2.0)").unwrap();
+        e.execute("INSERT INTO dup VALUES (1, 1.0), (1, 2.0)")
+            .unwrap();
         assert!(matches!(
             e.query("SELECT * FROM QQR(dup BY k)"),
             Err(SqlError::Rma(_))
         ));
+    }
+
+    #[test]
+    fn explain_statement_returns_plan_relation() {
+        let mut e = engine_with_rating();
+        let r = e.query("EXPLAIN SELECT * FROM INV(rating BY u)").unwrap();
+        let names: Vec<_> = r.schema().names().collect();
+        assert_eq!(names, vec!["plan"]);
+        let text: Vec<String> = (0..r.len())
+            .map(|i| r.cell(i, "plan").unwrap().to_string())
+            .collect();
+        let joined = text.join("\n");
+        assert!(joined.contains("Rma INV"), "unexpected plan:\n{joined}");
+        assert!(joined.contains("Scan rating"), "unexpected plan:\n{joined}");
+        // EXPLAIN of a non-SELECT is a parse error
+        assert!(e.execute("EXPLAIN DROP TABLE rating").is_err());
+    }
+
+    #[test]
+    fn sql_consecutive_rma_ops_share_one_sort() {
+        let mut e = engine_with_rating();
+        // snapshot: the outer INV's argument is flagged as pre-sorted
+        let plan = e
+            .explain("SELECT * FROM INV(INV(rating BY u) BY u)")
+            .unwrap();
+        assert_eq!(
+            plan.matches("(sorted: skip sort)").count(),
+            1,
+            "redundant sort not eliminated:\n{plan}"
+        );
+        // runtime: exactly one sort is performed for the whole query
+        e.rma_context().reset_stats();
+        let out = e.query("SELECT * FROM INV(INV(rating BY u) BY u)").unwrap();
+        assert_eq!(e.rma_context().stats().sorts, 1);
+        // the double inversion returns the original matrix
+        let orig = e.query("SELECT * FROM rating").unwrap();
+        let sorted = out.sorted_by(&["u"]).unwrap();
+        let orig_sorted = orig.sorted_by(&["u"]).unwrap();
+        for i in 0..3 {
+            for c in ["Balto", "Heat", "Net"] {
+                let rma_storage::Value::Float(a) = sorted.cell(i, c).unwrap() else {
+                    panic!()
+                };
+                let rma_storage::Value::Float(b) = orig_sorted.cell(i, c).unwrap() else {
+                    panic!()
+                };
+                assert!((a - b).abs() < 1e-9, "{c}[{i}]: {a} vs {b}");
+            }
+        }
     }
 
     #[test]
@@ -299,10 +360,8 @@ mod tests {
             .unwrap();
         e.execute("CREATE TABLE w3 (U VARCHAR, B DOUBLE, H DOUBLE, N DOUBLE)")
             .unwrap();
-        e.execute(
-            "INSERT INTO w3 VALUES ('Ann', -0.5, -1.25, -0.25), ('Jan', 0.5, 1.25, 0.25)",
-        )
-        .unwrap();
+        e.execute("INSERT INTO w3 VALUES ('Ann', -0.5, -1.25, -0.25), ('Jan', 0.5, 1.25, 0.25)")
+            .unwrap();
         // w4 = TRA(w3 BY U) as a subexpression of the folded query
         let r = e
             .query(

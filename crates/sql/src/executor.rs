@@ -1,88 +1,19 @@
-//! Plan execution against a catalog.
+//! Plan execution: a thin adapter over the shared plan interpreter
+//! (`rma_core::plan::execute`), mapping plan errors into SQL errors.
 
 use crate::catalog::Catalog;
 use crate::error::SqlError;
 use crate::plan::Plan;
+use rma_core::plan::PlanError;
 use rma_core::RmaContext;
-use rma_relation::{self as rel, Relation};
+use rma_relation::Relation;
 
-/// Execute a logical plan.
+/// Execute a logical plan against a catalog.
 pub fn execute(plan: &Plan, catalog: &Catalog, rma: &RmaContext) -> Result<Relation, SqlError> {
-    match plan {
-        Plan::Scan { table } => catalog
-            .get(table)
-            .cloned()
-            .ok_or_else(|| SqlError::UnknownTable(table.clone())),
-        Plan::Filter { input, predicate } => {
-            let r = execute(input, catalog, rma)?;
-            Ok(rel::select(&r, predicate)?)
-        }
-        Plan::Project { input, items } => {
-            let r = execute(input, catalog, rma)?;
-            let refs: Vec<(rel::Expr, &str)> = items
-                .iter()
-                .map(|(e, n)| (e.clone(), n.as_str()))
-                .collect();
-            Ok(rel::project_exprs(&r, &refs)?)
-        }
-        Plan::Aggregate {
-            input,
-            group_by,
-            aggs,
-        } => {
-            let r = execute(input, catalog, rma)?;
-            let gb: Vec<&str> = group_by.iter().map(String::as_str).collect();
-            Ok(rel::aggregate(&r, &gb, aggs)?)
-        }
-        Plan::NaturalJoin { left, right } => {
-            let l = execute(left, catalog, rma)?;
-            let r = execute(right, catalog, rma)?;
-            Ok(rel::natural_join(&l, &r)?)
-        }
-        Plan::JoinOn { left, right, on } => {
-            let l = execute(left, catalog, rma)?;
-            let r = execute(right, catalog, rma)?;
-            let pairs: Vec<(&str, &str)> = on
-                .iter()
-                .map(|(a, b)| (a.as_str(), b.as_str()))
-                .collect();
-            Ok(rel::join_on(&l, &r, &pairs)?)
-        }
-        Plan::Cross { left, right } => {
-            let l = execute(left, catalog, rma)?;
-            let r = execute(right, catalog, rma)?;
-            Ok(rel::cross_product(&l, &r)?)
-        }
-        Plan::Rma { op, args } => {
-            let first = execute(&args[0].0, catalog, rma)?;
-            let first_order: Vec<&str> = args[0].1.iter().map(String::as_str).collect();
-            if op.is_binary() {
-                let second = execute(&args[1].0, catalog, rma)?;
-                let second_order: Vec<&str> = args[1].1.iter().map(String::as_str).collect();
-                Ok(rma.binary(*op, &first, &first_order, &second, &second_order)?)
-            } else {
-                Ok(rma.unary(*op, &first, &first_order)?)
-            }
-        }
-        Plan::Distinct { input } => {
-            let r = execute(input, catalog, rma)?;
-            Ok(rel::distinct(&r)?)
-        }
-        Plan::OrderBy { input, keys } => {
-            let r = execute(input, catalog, rma)?;
-            let attrs: Vec<&str> = keys.iter().map(|(k, _)| k.as_str()).collect();
-            let dirs: Vec<bool> = keys.iter().map(|(_, asc)| *asc).collect();
-            Ok(rel::order_by(&r, &attrs, &dirs)?)
-        }
-        Plan::Limit { input, n } => {
-            let r = execute(input, catalog, rma)?;
-            Ok(rel::limit(&r, *n, 0))
-        }
-        Plan::AssertKey { input, attrs } => {
-            let r = execute(input, catalog, rma)?;
-            let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-            r.require_key(&refs)?;
-            Ok(r)
-        }
-    }
+    rma_core::plan::execute(plan, rma, catalog).map_err(|e| match e {
+        PlanError::UnknownTable(t) => SqlError::UnknownTable(t),
+        PlanError::Plan(m) => SqlError::Plan(m),
+        PlanError::Relation(e) => SqlError::Relation(e),
+        PlanError::Rma(e) => SqlError::Rma(e),
+    })
 }

@@ -179,9 +179,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                 i += 1;
                 loop {
                     match bytes.get(i) {
-                        None => {
-                            return Err(SqlError::Lex("unterminated identifier".to_string()))
-                        }
+                        None => return Err(SqlError::Lex("unterminated identifier".to_string())),
                         Some(b'"') => {
                             i += 1;
                             break;

@@ -1,473 +1,25 @@
-//! Logical plan optimizer: selection pushdown and filter merging.
+//! SQL-side optimizer entry point.
 //!
-//! The paper's claim that RMA "leverages existing data structures and
-//! optimizations" includes the relational optimizer continuing to work
-//! around relational matrix operations. This optimizer demonstrates that:
-//! σ is pushed below projections, into join inputs, and never through RMA
-//! nodes (whose results depend on all input rows).
+//! All optimization logic lives in the shared plan layer
+//! (`rma_core::plan::optimize`): selection pushdown, projection pushdown,
+//! the cross-algebra double-transpose rewrite, redundant-sort elimination,
+//! and plan-level kernel choice run identically for SQL queries and lazy
+//! `Frame` pipelines. This module only adapts the SQL engine's types.
 
 use crate::catalog::Catalog;
 use crate::plan::Plan;
-use rma_relation::{BinOp, Expr};
+use rma_core::RmaContext;
 
-/// Optimize a plan against a catalog (schemas are needed to decide which
-/// join side can absorb a predicate).
-pub fn optimize(plan: Plan, catalog: &Catalog) -> Plan {
-    let plan = eliminate_double_transpose(plan, catalog);
-    let plan = push_filters(plan, catalog);
-    merge_filters(plan)
-}
-
-/// Cross-algebra rewrite (the paper's concluding "new opportunities for
-/// cross algebra optimizations"): `TRA(TRA(r BY u) BY C)` is the input
-/// sorted by `u` with `u` renamed to `C` (Figure 10), so the two matrix
-/// transposes — each a full element shuffle — are replaced by a sort and a
-/// rename. The inner operation's order-schema validation is preserved with
-/// an [`Plan::AssertKey`] node, and the application schema must be
-/// statically known (otherwise the plan is left untouched).
-fn eliminate_double_transpose(plan: Plan, catalog: &Catalog) -> Plan {
-    use rma_core::RmaOp;
-    // rewrite bottom-up
-    let plan = map_children(plan, &mut |p| eliminate_double_transpose(p, catalog));
-    let Plan::Rma { op: RmaOp::Tra, args } = plan else {
-        return plan;
-    };
-    // args is a single (input, order) pair for tra
-    let (outer_input, outer_order) = (&args[0].0, &args[0].1);
-    if outer_order.as_slice() != ["C".to_string()] {
-        return Plan::Rma { op: RmaOp::Tra, args };
-    }
-    let Plan::Rma { op: RmaOp::Tra, args: inner_args } = outer_input.as_ref() else {
-        return Plan::Rma { op: RmaOp::Tra, args };
-    };
-    let (inner_input, inner_order) = (&inner_args[0].0, &inner_args[0].1);
-    if inner_order.len() != 1 {
-        return Plan::Rma { op: RmaOp::Tra, args };
-    }
-    let Some(cols) = output_columns(inner_input, catalog) else {
-        return Plan::Rma { op: RmaOp::Tra, args };
-    };
-    let u = inner_order[0].clone();
-    if !cols.contains(&u) {
-        return Plan::Rma { op: RmaOp::Tra, args };
-    }
-    // the original would reject non-numeric application attributes; only
-    // rewrite when the base schema proves they are numeric
-    match pass_through_scan_schema(inner_input, catalog) {
-        Some(schema)
-            if schema
-                .attributes()
-                .iter()
-                .filter(|a| a.name() != u)
-                .all(|a| a.dtype().is_numeric()) => {}
-        _ => return Plan::Rma { op: RmaOp::Tra, args },
-    }
-    // Project: u renamed to C; application columns in sorted name order —
-    // the outer transpose names its columns via the column cast ▽ of the
-    // inner C column, which is sorted
-    let mut items: Vec<(Expr, String)> = vec![(Expr::Col(u.clone()), "C".to_string())];
-    let mut app: Vec<&String> = cols.iter().filter(|c| **c != u).collect();
-    app.sort();
-    for c in app {
-        items.push((Expr::Col(c.clone()), c.clone()));
-    }
-    Plan::Project {
-        items,
-        input: Box::new(Plan::OrderBy {
-            keys: vec![(u.clone(), true)],
-            input: Box::new(Plan::AssertKey {
-                attrs: vec![u],
-                input: inner_input.clone(),
-            }),
-        }),
-    }
-}
-
-/// Follow pass-through nodes (filter/sort/limit/distinct/assert) down to a
-/// base-table scan and return its schema; `None` when the subtree
-/// recomputes columns (projection, aggregation, joins, RMA).
-fn pass_through_scan_schema<'a>(
-    plan: &Plan,
-    catalog: &'a Catalog,
-) -> Option<&'a rma_relation::Schema> {
-    match plan {
-        Plan::Scan { table } => catalog.get(table).map(|r| r.schema()),
-        Plan::Filter { input, .. }
-        | Plan::Distinct { input }
-        | Plan::OrderBy { input, .. }
-        | Plan::Limit { input, .. }
-        | Plan::AssertKey { input, .. } => pass_through_scan_schema(input, catalog),
-        _ => None,
-    }
-}
-
-/// Apply `f` to every direct child plan.
-fn map_children(plan: Plan, f: &mut impl FnMut(Plan) -> Plan) -> Plan {
-    match plan {
-        Plan::Filter { input, predicate } => Plan::Filter {
-            input: Box::new(f(*input)),
-            predicate,
-        },
-        Plan::Project { input, items } => Plan::Project {
-            input: Box::new(f(*input)),
-            items,
-        },
-        Plan::Aggregate {
-            input,
-            group_by,
-            aggs,
-        } => Plan::Aggregate {
-            input: Box::new(f(*input)),
-            group_by,
-            aggs,
-        },
-        Plan::NaturalJoin { left, right } => Plan::NaturalJoin {
-            left: Box::new(f(*left)),
-            right: Box::new(f(*right)),
-        },
-        Plan::JoinOn { left, right, on } => Plan::JoinOn {
-            left: Box::new(f(*left)),
-            right: Box::new(f(*right)),
-            on,
-        },
-        Plan::Cross { left, right } => Plan::Cross {
-            left: Box::new(f(*left)),
-            right: Box::new(f(*right)),
-        },
-        Plan::Rma { op, args } => Plan::Rma {
-            op,
-            args: args.into_iter().map(|(p, o)| (Box::new(f(*p)), o)).collect(),
-        },
-        Plan::Distinct { input } => Plan::Distinct {
-            input: Box::new(f(*input)),
-        },
-        Plan::OrderBy { input, keys } => Plan::OrderBy {
-            input: Box::new(f(*input)),
-            keys,
-        },
-        Plan::Limit { input, n } => Plan::Limit {
-            input: Box::new(f(*input)),
-            n,
-        },
-        Plan::AssertKey { input, attrs } => Plan::AssertKey {
-            input: Box::new(f(*input)),
-            attrs,
-        },
-        leaf => leaf,
-    }
-}
-
-/// Split a predicate into AND-conjuncts.
-fn conjuncts(e: Expr) -> Vec<Expr> {
-    match e {
-        Expr::Bin(l, BinOp::And, r) => {
-            let mut out = conjuncts(*l);
-            out.extend(conjuncts(*r));
-            out
-        }
-        other => vec![other],
-    }
-}
-
-/// Recombine conjuncts with AND.
-fn combine(mut es: Vec<Expr>) -> Option<Expr> {
-    let first = es.pop()?;
-    Some(es.into_iter().fold(first, |acc, e| acc.and(e)))
+/// Optimize a plan against a catalog (whose schemas inform
+/// column-dependent rewrites) and an execution context (whose sort policy
+/// and kernel options steer the physical passes).
+pub fn optimize(plan: Plan, catalog: &Catalog, ctx: &RmaContext) -> Plan {
+    rma_core::plan::optimize(plan, ctx, catalog)
 }
 
 /// Output column names of a plan, if statically known.
 pub fn output_columns(plan: &Plan, catalog: &Catalog) -> Option<Vec<String>> {
-    match plan {
-        Plan::Scan { table } => catalog
-            .get(table)
-            .map(|r| r.schema().names().map(str::to_string).collect()),
-        Plan::Filter { input, .. }
-        | Plan::Distinct { input }
-        | Plan::OrderBy { input, .. }
-        | Plan::Limit { input, .. }
-        | Plan::AssertKey { input, .. } => output_columns(input, catalog),
-        Plan::Project { items, .. } => Some(items.iter().map(|(_, n)| n.clone()).collect()),
-        Plan::Aggregate {
-            group_by, aggs, ..
-        } => {
-            let mut out = group_by.clone();
-            out.extend(aggs.iter().map(|a| a.output.clone()));
-            Some(out)
-        }
-        Plan::NaturalJoin { left, right } => {
-            let l = output_columns(left, catalog)?;
-            let r = output_columns(right, catalog)?;
-            let mut out = l.clone();
-            out.extend(r.into_iter().filter(|n| !l.contains(n)));
-            Some(out)
-        }
-        Plan::JoinOn { left, right, .. } | Plan::Cross { left, right } => {
-            let mut out = output_columns(left, catalog)?;
-            out.extend(output_columns(right, catalog)?);
-            Some(out)
-        }
-        // RMA output schemas depend on data values (column casts); treat as
-        // opaque
-        Plan::Rma { .. } => None,
-    }
-}
-
-fn refs_subset(e: &Expr, cols: &[String]) -> bool {
-    let mut refs = Vec::new();
-    e.referenced_columns(&mut refs);
-    refs.iter().all(|r| cols.contains(r))
-}
-
-fn push_filters(plan: Plan, catalog: &Catalog) -> Plan {
-    match plan {
-        Plan::Filter { input, predicate } => {
-            let input = push_filters(*input, catalog);
-            push_one_filter(predicate, input, catalog)
-        }
-        // recurse structurally
-        Plan::Project { input, items } => Plan::Project {
-            input: Box::new(push_filters(*input, catalog)),
-            items,
-        },
-        Plan::Aggregate {
-            input,
-            group_by,
-            aggs,
-        } => Plan::Aggregate {
-            input: Box::new(push_filters(*input, catalog)),
-            group_by,
-            aggs,
-        },
-        Plan::NaturalJoin { left, right } => Plan::NaturalJoin {
-            left: Box::new(push_filters(*left, catalog)),
-            right: Box::new(push_filters(*right, catalog)),
-        },
-        Plan::JoinOn { left, right, on } => Plan::JoinOn {
-            left: Box::new(push_filters(*left, catalog)),
-            right: Box::new(push_filters(*right, catalog)),
-            on,
-        },
-        Plan::Cross { left, right } => Plan::Cross {
-            left: Box::new(push_filters(*left, catalog)),
-            right: Box::new(push_filters(*right, catalog)),
-        },
-        Plan::Rma { op, args } => Plan::Rma {
-            op,
-            args: args
-                .into_iter()
-                .map(|(p, o)| (Box::new(push_filters(*p, catalog)), o))
-                .collect(),
-        },
-        Plan::Distinct { input } => Plan::Distinct {
-            input: Box::new(push_filters(*input, catalog)),
-        },
-        Plan::OrderBy { input, keys } => Plan::OrderBy {
-            input: Box::new(push_filters(*input, catalog)),
-            keys,
-        },
-        Plan::Limit { input, n } => Plan::Limit {
-            input: Box::new(push_filters(*input, catalog)),
-            n,
-        },
-        Plan::AssertKey { input, attrs } => Plan::AssertKey {
-            input: Box::new(push_filters(*input, catalog)),
-            attrs,
-        },
-        leaf => leaf,
-    }
-}
-
-/// Push one filter's conjuncts as deep as legal.
-fn push_one_filter(predicate: Expr, input: Plan, catalog: &Catalog) -> Plan {
-    match input {
-        // σ over × / ⋈: conjuncts referencing one side only move there
-        Plan::Cross { left, right } => {
-            let (l, r, keep) = split_for_join(predicate, &left, &right, catalog);
-            let left = wrap_filter(*left, l, catalog);
-            let right = wrap_filter(*right, r, catalog);
-            let joined = Plan::Cross {
-                left: Box::new(left),
-                right: Box::new(right),
-            };
-            match combine(keep) {
-                Some(p) => Plan::Filter {
-                    input: Box::new(joined),
-                    predicate: p,
-                },
-                None => joined,
-            }
-        }
-        Plan::JoinOn { left, right, on } => {
-            let (l, r, keep) = split_for_join(predicate, &left, &right, catalog);
-            let left = wrap_filter(*left, l, catalog);
-            let right = wrap_filter(*right, r, catalog);
-            let joined = Plan::JoinOn {
-                left: Box::new(left),
-                right: Box::new(right),
-                on,
-            };
-            match combine(keep) {
-                Some(p) => Plan::Filter {
-                    input: Box::new(joined),
-                    predicate: p,
-                },
-                None => joined,
-            }
-        }
-        Plan::NaturalJoin { left, right } => {
-            let (l, r, keep) = split_for_join(predicate, &left, &right, catalog);
-            let left = wrap_filter(*left, l, catalog);
-            let right = wrap_filter(*right, r, catalog);
-            let joined = Plan::NaturalJoin {
-                left: Box::new(left),
-                right: Box::new(right),
-            };
-            match combine(keep) {
-                Some(p) => Plan::Filter {
-                    input: Box::new(joined),
-                    predicate: p,
-                },
-                None => joined,
-            }
-        }
-        // σ over π: push through when the projection passes the referenced
-        // columns unchanged (identity items)
-        Plan::Project { input: inner, items } => {
-            let identity: Vec<String> = items
-                .iter()
-                .filter_map(|(e, n)| match e {
-                    Expr::Col(c) if c == n => Some(n.clone()),
-                    _ => None,
-                })
-                .collect();
-            if refs_subset(&predicate, &identity) {
-                let pushed = push_one_filter(predicate, *inner, catalog);
-                Plan::Project {
-                    input: Box::new(pushed),
-                    items,
-                }
-            } else {
-                Plan::Filter {
-                    input: Box::new(Plan::Project { input: inner, items }),
-                    predicate,
-                }
-            }
-        }
-        other => Plan::Filter {
-            input: Box::new(other),
-            predicate,
-        },
-    }
-}
-
-fn split_for_join(
-    predicate: Expr,
-    left: &Plan,
-    right: &Plan,
-    catalog: &Catalog,
-) -> (Vec<Expr>, Vec<Expr>, Vec<Expr>) {
-    let lcols = output_columns(left, catalog);
-    let rcols = output_columns(right, catalog);
-    let mut to_left = Vec::new();
-    let mut to_right = Vec::new();
-    let mut keep = Vec::new();
-    for c in conjuncts(predicate) {
-        if let Some(lc) = &lcols {
-            if refs_subset(&c, lc) {
-                to_left.push(c);
-                continue;
-            }
-        }
-        if let Some(rc) = &rcols {
-            if refs_subset(&c, rc) {
-                to_right.push(c);
-                continue;
-            }
-        }
-        keep.push(c);
-    }
-    (to_left, to_right, keep)
-}
-
-fn wrap_filter(plan: Plan, preds: Vec<Expr>, catalog: &Catalog) -> Plan {
-    match combine(preds) {
-        // keep pushing further down the side
-        Some(p) => push_one_filter(p, plan, catalog),
-        None => plan,
-    }
-}
-
-/// Merge directly nested filters into one conjunction.
-fn merge_filters(plan: Plan) -> Plan {
-    match plan {
-        Plan::Filter { input, predicate } => {
-            let input = merge_filters(*input);
-            if let Plan::Filter {
-                input: inner,
-                predicate: p2,
-            } = input
-            {
-                Plan::Filter {
-                    input: inner,
-                    predicate: predicate.and(p2),
-                }
-            } else {
-                Plan::Filter {
-                    input: Box::new(input),
-                    predicate,
-                }
-            }
-        }
-        Plan::Project { input, items } => Plan::Project {
-            input: Box::new(merge_filters(*input)),
-            items,
-        },
-        Plan::Aggregate {
-            input,
-            group_by,
-            aggs,
-        } => Plan::Aggregate {
-            input: Box::new(merge_filters(*input)),
-            group_by,
-            aggs,
-        },
-        Plan::NaturalJoin { left, right } => Plan::NaturalJoin {
-            left: Box::new(merge_filters(*left)),
-            right: Box::new(merge_filters(*right)),
-        },
-        Plan::JoinOn { left, right, on } => Plan::JoinOn {
-            left: Box::new(merge_filters(*left)),
-            right: Box::new(merge_filters(*right)),
-            on,
-        },
-        Plan::Cross { left, right } => Plan::Cross {
-            left: Box::new(merge_filters(*left)),
-            right: Box::new(merge_filters(*right)),
-        },
-        Plan::Rma { op, args } => Plan::Rma {
-            op,
-            args: args
-                .into_iter()
-                .map(|(p, o)| (Box::new(merge_filters(*p)), o))
-                .collect(),
-        },
-        Plan::Distinct { input } => Plan::Distinct {
-            input: Box::new(merge_filters(*input)),
-        },
-        Plan::OrderBy { input, keys } => Plan::OrderBy {
-            input: Box::new(merge_filters(*input)),
-            keys,
-        },
-        Plan::Limit { input, n } => Plan::Limit {
-            input: Box::new(merge_filters(*input)),
-            n,
-        },
-        Plan::AssertKey { input, attrs } => Plan::AssertKey {
-            input: Box::new(merge_filters(*input)),
-            attrs,
-        },
-        leaf => leaf,
-    }
+    rma_core::plan::output_columns(plan, catalog)
 }
 
 #[cfg(test)]
@@ -506,59 +58,110 @@ mod tests {
             panic!()
         };
         let plan = plan_select(&sel).unwrap();
-        explain(&optimize(plan, &catalog()))
+        explain(&optimize(plan, &catalog(), &RmaContext::default()))
     }
 
     #[test]
     fn filter_pushed_into_join_side() {
-        let e = optimized(
-            "SELECT * FROM u JOIN r ON user = user2 WHERE state = 'CA' AND score > 0",
-        );
+        let e =
+            optimized("SELECT * FROM u JOIN r ON user = user2 WHERE state = 'CA' AND score > 0");
         // both conjuncts land below the join
         let join_pos = e.find("JoinOn").unwrap();
         let f1 = e.find("(state = CA)").unwrap();
         let f2 = e.find("(score > 0)").unwrap();
         assert!(f1 > join_pos && f2 > join_pos, "filters not pushed:\n{e}");
-        assert!(!e.starts_with("Filter"));
+        assert!(!e.starts_with("Select"));
     }
 
     #[test]
     fn cross_predicate_stays_above() {
         let e = optimized("SELECT * FROM u CROSS JOIN r WHERE user = user2");
-        assert!(e.starts_with("Filter"), "join predicate must stay:\n{e}");
+        assert!(e.starts_with("Select"), "join predicate must stay:\n{e}");
     }
 
     #[test]
     fn filter_pushes_through_identity_projection() {
         let e = optimized("SELECT state FROM (SELECT state FROM u) q WHERE state = 'CA'");
         let proj = e.find("Project").unwrap();
-        let filt = e.find("Filter").unwrap();
+        let filt = e.find("Select").unwrap();
         assert!(filt > proj, "filter should sink below projection:\n{e}");
     }
 
     #[test]
-    fn filter_not_pushed_through_rma() {
+    fn filter_not_pushed_through_row_coupling_rma() {
         let e = optimized("SELECT * FROM QQR(r BY user2) WHERE score > 0");
-        let filt = e.find("Filter").unwrap();
+        let filt = e.find("Select").unwrap();
         let rma = e.find("Rma").unwrap();
-        assert!(filt < rma, "filter must stay above RMA:\n{e}");
+        assert!(filt < rma, "filter must stay above QQR:\n{e}");
+    }
+
+    #[test]
+    fn filter_on_order_schema_pushed_below_mmu() {
+        let mut c = Catalog::new();
+        c.register(
+            "a",
+            RelationBuilder::new()
+                .column("k", vec![1i64, 2])
+                .column("x", vec![1.0f64, 2.0])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.register(
+            "b",
+            RelationBuilder::new()
+                .column("j", vec![1i64, 2])
+                .column("y", vec![3.0f64, 4.0])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let Statement::Select(sel) =
+            parse("SELECT * FROM MMU(a BY k, b BY j) WHERE k > 1").unwrap()
+        else {
+            panic!()
+        };
+        let plan = plan_select(&sel).unwrap();
+        let e = explain(&optimize(plan, &c, &RmaContext::default()));
+        let rma = e.find("Rma MMU").unwrap();
+        let filt = e.find("Select").unwrap();
+        assert!(
+            filt > rma,
+            "order-schema filter should sink below mmu:\n{e}"
+        );
+        assert!(e.contains("AssertKey"), "key validation preserved:\n{e}");
+    }
+
+    #[test]
+    fn projection_pushdown_prunes_scans() {
+        let e = optimized("SELECT state FROM u WHERE state = 'CA'");
+        assert!(
+            e.contains("Scan u project=[state]"),
+            "scan should prune unused columns:\n{e}"
+        );
     }
 
     #[test]
     fn nested_filters_merged() {
-        let plan = Plan::Filter {
+        let plan = Plan::Select {
             predicate: rma_relation::Expr::col("a").gt(rma_relation::Expr::lit(1i64)),
-            input: Box::new(Plan::Filter {
+            input: Box::new(Plan::Select {
                 predicate: rma_relation::Expr::col("a").lt(rma_relation::Expr::lit(9i64)),
-                input: Box::new(Plan::Rma {
-                    op: rma_core::RmaOp::Qqr,
-                    args: vec![(Box::new(Plan::Scan { table: "r".into() }), vec!["k".into()])],
-                }),
+                input: Box::new(Plan::rma(
+                    rma_core::RmaOp::Qqr,
+                    vec![(
+                        Plan::Scan {
+                            table: "r".into(),
+                            projection: None,
+                        },
+                        vec!["k".into()],
+                    )],
+                )),
             }),
         };
-        let out = merge_filters(plan);
+        let out = optimize(plan, &catalog(), &RmaContext::default());
         let e = explain(&out);
-        assert_eq!(e.matches("Filter").count(), 1);
+        assert_eq!(e.matches("Select").count(), 1);
         assert!(e.contains("AND"));
     }
 }
@@ -569,7 +172,8 @@ mod cross_algebra_tests {
 
     fn engine() -> Engine {
         let mut e = Engine::new();
-        e.execute("CREATE TABLE r (T VARCHAR, H DOUBLE, W DOUBLE)").unwrap();
+        e.execute("CREATE TABLE r (T VARCHAR, H DOUBLE, W DOUBLE)")
+            .unwrap();
         e.execute(
             "INSERT INTO r VALUES ('5am', 1.0, 3.0), ('8am', 8.0, 5.0), \
              ('7am', 6.0, 7.0), ('6am', 1.0, 4.0)",
@@ -604,7 +208,8 @@ mod cross_algebra_tests {
     fn rewrite_preserves_key_validation() {
         let mut e = Engine::new();
         e.execute("CREATE TABLE d (k INT, x DOUBLE)").unwrap();
-        e.execute("INSERT INTO d VALUES (1, 1.0), (1, 2.0)").unwrap();
+        e.execute("INSERT INTO d VALUES (1, 1.0), (1, 2.0)")
+            .unwrap();
         // duplicate keys must still error after the rewrite
         let err = e.query("SELECT * FROM TRA(TRA(d BY k) BY C)");
         assert!(err.is_err());
@@ -646,13 +251,17 @@ mod cross_algebra_column_order {
     fn rewrite_sorts_application_columns_like_the_column_cast() {
         // schema order (T, W, H) differs from sorted name order (H, W)
         let mut e = Engine::new();
-        e.execute("CREATE TABLE r2 (T VARCHAR, W DOUBLE, H DOUBLE)").unwrap();
-        e.execute("INSERT INTO r2 VALUES ('a', 3.0, 1.0), ('b', 5.0, 8.0)").unwrap();
+        e.execute("CREATE TABLE r2 (T VARCHAR, W DOUBLE, H DOUBLE)")
+            .unwrap();
+        e.execute("INSERT INTO r2 VALUES ('a', 3.0, 1.0), ('b', 5.0, 8.0)")
+            .unwrap();
         let q = "SELECT * FROM TRA(TRA(r2 BY T) BY C)";
         let optimized = e.query(q).unwrap();
         let mut plain = Engine::new();
         plain.optimize = false;
-        plain.execute("CREATE TABLE r2 (T VARCHAR, W DOUBLE, H DOUBLE)").unwrap();
+        plain
+            .execute("CREATE TABLE r2 (T VARCHAR, W DOUBLE, H DOUBLE)")
+            .unwrap();
         plain
             .execute("INSERT INTO r2 VALUES ('a', 3.0, 1.0), ('b', 5.0, 8.0)")
             .unwrap();

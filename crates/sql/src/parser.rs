@@ -126,6 +126,14 @@ impl Parser {
     fn statement(&mut self) -> Result<Statement, SqlError> {
         if self.peek_kw("SELECT") {
             Ok(Statement::Select(self.select()?))
+        } else if self.eat_kw("EXPLAIN") {
+            if !self.peek_kw("SELECT") {
+                return Err(SqlError::Parse(format!(
+                    "EXPLAIN requires a SELECT, found `{}`",
+                    self.peek_display()
+                )));
+            }
+            Ok(Statement::Explain(self.select()?))
         } else if self.eat_kw("CREATE") {
             self.expect_kw("TABLE")?;
             self.create_table()
@@ -205,9 +213,7 @@ impl Parser {
             Some(Token::Str(s)) if !neg => Value::Str(s),
             Some(Token::Ident(s)) if !neg && s.eq_ignore_ascii_case("NULL") => Value::Null,
             Some(Token::Ident(s)) if !neg && s.eq_ignore_ascii_case("TRUE") => Value::Bool(true),
-            Some(Token::Ident(s)) if !neg && s.eq_ignore_ascii_case("FALSE") => {
-                Value::Bool(false)
-            }
+            Some(Token::Ident(s)) if !neg && s.eq_ignore_ascii_case("FALSE") => Value::Bool(false),
             other => {
                 return Err(SqlError::Parse(format!(
                     "expected literal, found `{}`",
@@ -709,7 +715,9 @@ mod tests {
     fn parse_composite_order_schema() {
         let s = parse("SELECT * FROM QQR(r BY W, T)").unwrap();
         let Statement::Select(sel) = s else { panic!() };
-        let TableExpr::RmaCall { args, .. } = sel.from else { panic!() };
+        let TableExpr::RmaCall { args, .. } = sel.from else {
+            panic!()
+        };
         assert_eq!(args[0].order, vec!["W", "T"]);
     }
 
@@ -717,7 +725,9 @@ mod tests {
     fn parse_binary_with_composite_orders() {
         let s = parse("SELECT * FROM ADD(a BY k1, x1, b BY k2, x2)").unwrap();
         let Statement::Select(sel) = s else { panic!() };
-        let TableExpr::RmaCall { args, .. } = sel.from else { panic!() };
+        let TableExpr::RmaCall { args, .. } = sel.from else {
+            panic!()
+        };
         assert_eq!(args[0].order, vec!["k1", "x1"]);
         assert_eq!(args[1].order, vec!["k2", "x2"]);
     }
@@ -749,7 +759,9 @@ mod tests {
         assert_eq!(sel.group_by, vec!["u"]);
         assert_eq!(sel.order_by, vec![("a".to_string(), false)]);
         assert_eq!(sel.limit, Some(10));
-        let TableExpr::JoinOn { on, .. } = sel.from else { panic!() };
+        let TableExpr::JoinOn { on, .. } = sel.from else {
+            panic!()
+        };
         assert_eq!(on[0].0.qualifier.as_deref(), Some("t"));
         assert_eq!(on[0].1.name, "k2");
     }
@@ -758,7 +770,9 @@ mod tests {
     fn parse_nested_rma_calls() {
         let s = parse("SELECT * FROM TRA(TRA(r BY T) BY C)").unwrap();
         let Statement::Select(sel) = s else { panic!() };
-        let TableExpr::RmaCall { op, args, .. } = sel.from else { panic!() };
+        let TableExpr::RmaCall { op, args, .. } = sel.from else {
+            panic!()
+        };
         assert_eq!(op, RmaOp::Tra);
         assert!(matches!(*args[0].table, TableExpr::RmaCall { .. }));
     }
@@ -773,7 +787,9 @@ mod tests {
         assert_eq!(columns.len(), 3);
         assert_eq!(columns[1].1, DataType::Float);
         let i = parse("INSERT INTO t VALUES (1, 2.5, 'x'), (2, NULL, 'y')").unwrap();
-        let Statement::Insert { rows, .. } = i else { panic!() };
+        let Statement::Insert { rows, .. } = i else {
+            panic!()
+        };
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[1][1], Value::Null);
         assert!(matches!(
@@ -784,8 +800,7 @@ mod tests {
 
     #[test]
     fn parse_count_star_and_aliases() {
-        let Statement::Select(sel) =
-            parse("SELECT COUNT(*) AS M, SUM(d) FROM trips tr").unwrap()
+        let Statement::Select(sel) = parse("SELECT COUNT(*) AS M, SUM(d) FROM trips tr").unwrap()
         else {
             panic!()
         };
@@ -800,17 +815,18 @@ mod tests {
             }
         );
         assert_eq!(alias.as_deref(), Some("M"));
-        let TableExpr::Table { name, alias } = sel.from else { panic!() };
+        let TableExpr::Table { name, alias } = sel.from else {
+            panic!()
+        };
         assert_eq!(name, "trips");
         assert_eq!(alias.as_deref(), Some("tr"));
     }
 
     #[test]
     fn parse_script_multiple_statements() {
-        let stmts = parse_script(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_script("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 

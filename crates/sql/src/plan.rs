@@ -1,61 +1,18 @@
-//! Logical plans and AST → plan translation.
+//! AST → logical-plan translation.
+//!
+//! SQL lowers to the *same* [`LogicalPlan`] the lazy `Frame` API builds
+//! (`rma_core::plan`), so both frontends share one optimizer and one
+//! interpreter. This module only translates syntax; all optimization lives
+//! in `rma_core::plan::optimize`.
 
 use crate::ast::{ColRef, RmaArg, SelectItem, SelectStmt, SqlExpr, TableExpr};
 use crate::error::SqlError;
-use rma_core::RmaOp;
 use rma_relation::{AggSpec, Expr};
 
-/// A logical query plan. Executable against a catalog.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Plan {
-    /// Base-table scan.
-    Scan { table: String },
-    /// σ.
-    Filter { input: Box<Plan>, predicate: Expr },
-    /// Generalised projection (expression, output name).
-    Project {
-        input: Box<Plan>,
-        items: Vec<(Expr, String)>,
-    },
-    /// ϑ with optional post-projection of expressions over the aggregates.
-    Aggregate {
-        input: Box<Plan>,
-        group_by: Vec<String>,
-        aggs: Vec<AggSpec>,
-    },
-    /// Natural join.
-    NaturalJoin { left: Box<Plan>, right: Box<Plan> },
-    /// Equi-join on explicit column pairs.
-    JoinOn {
-        left: Box<Plan>,
-        right: Box<Plan>,
-        on: Vec<(String, String)>,
-    },
-    /// Cross product.
-    Cross { left: Box<Plan>, right: Box<Plan> },
-    /// A relational matrix operation.
-    Rma {
-        op: RmaOp,
-        args: Vec<(Box<Plan>, Vec<String>)>,
-    },
-    /// Duplicate elimination.
-    Distinct { input: Box<Plan> },
-    /// Sorting.
-    OrderBy {
-        input: Box<Plan>,
-        keys: Vec<(String, bool)>,
-    },
-    /// Row-count limit.
-    Limit { input: Box<Plan>, n: usize },
-    /// Key assertion: pass the input through unchanged, erroring if the
-    /// given attributes do not form a key. Inserted by cross-algebra
-    /// rewrites that eliminate an RMA operation but must preserve its
-    /// order-schema validation.
-    AssertKey {
-        input: Box<Plan>,
-        attrs: Vec<String>,
-    },
-}
+/// EXPLAIN-style plan rendering (shared with the `Frame` API).
+pub use rma_core::plan::explain;
+/// The shared logical plan type (re-exported under the historical name).
+pub use rma_core::plan::LogicalPlan as Plan;
 
 /// Translate a SELECT statement into a logical plan.
 pub fn plan_select(stmt: &SelectStmt) -> Result<Plan, SqlError> {
@@ -67,7 +24,7 @@ pub fn plan_select(stmt: &SelectStmt) -> Result<Plan, SqlError> {
                 "aggregates are not allowed in WHERE".to_string(),
             ));
         }
-        plan = Plan::Filter {
+        plan = Plan::Select {
             input: Box::new(plan),
             predicate: lower_expr(w)?,
         };
@@ -81,8 +38,7 @@ pub fn plan_select(stmt: &SelectStmt) -> Result<Plan, SqlError> {
         plan = plan_aggregate(stmt, plan)?;
     } else {
         // plain projection, unless the select list is a lone `*`
-        let wildcard_only =
-            stmt.items.len() == 1 && matches!(stmt.items[0], SelectItem::Wildcard);
+        let wildcard_only = stmt.items.len() == 1 && matches!(stmt.items[0], SelectItem::Wildcard);
         if !wildcard_only {
             let mut items = Vec::new();
             for item in &stmt.items {
@@ -211,6 +167,7 @@ fn plan_table_expr(t: &TableExpr) -> Result<Plan, SqlError> {
     Ok(match t {
         TableExpr::Table { name, .. } => Plan::Scan {
             table: name.clone(),
+            projection: None,
         },
         TableExpr::Subquery { query, .. } => plan_select(query)?,
         TableExpr::JoinOn { left, right, on } => Plan::JoinOn {
@@ -229,15 +186,13 @@ fn plan_table_expr(t: &TableExpr) -> Result<Plan, SqlError> {
             left: Box::new(plan_table_expr(left)?),
             right: Box::new(plan_table_expr(right)?),
         },
-        TableExpr::RmaCall { op, args, .. } => Plan::Rma {
-            op: *op,
-            args: args
-                .iter()
-                .map(|RmaArg { table, order }| {
-                    Ok((Box::new(plan_table_expr(table)?), order.clone()))
-                })
-                .collect::<Result<_, SqlError>>()?,
-        },
+        TableExpr::RmaCall { op, args, .. } => {
+            let mut lowered = Vec::with_capacity(args.len());
+            for RmaArg { table, order } in args {
+                lowered.push((plan_table_expr(table)?, order.clone()));
+            }
+            Plan::rma(*op, lowered)
+        }
     })
 }
 
@@ -277,84 +232,11 @@ fn default_name(e: &SqlExpr) -> String {
     }
 }
 
-/// Pretty-print a plan tree (EXPLAIN-style), for tests and debugging.
-pub fn explain(plan: &Plan) -> String {
-    let mut out = String::new();
-    fn walk(p: &Plan, depth: usize, out: &mut String) {
-        let pad = "  ".repeat(depth);
-        match p {
-            Plan::Scan { table } => out.push_str(&format!("{pad}Scan {table}\n")),
-            Plan::Filter { input, predicate } => {
-                out.push_str(&format!("{pad}Filter {predicate}\n"));
-                walk(input, depth + 1, out);
-            }
-            Plan::Project { input, items } => {
-                let names: Vec<&str> = items.iter().map(|(_, n)| n.as_str()).collect();
-                out.push_str(&format!("{pad}Project [{}]\n", names.join(", ")));
-                walk(input, depth + 1, out);
-            }
-            Plan::Aggregate {
-                input, group_by, aggs, ..
-            } => {
-                out.push_str(&format!(
-                    "{pad}Aggregate group_by={group_by:?} aggs={}\n",
-                    aggs.len()
-                ));
-                walk(input, depth + 1, out);
-            }
-            Plan::NaturalJoin { left, right } => {
-                out.push_str(&format!("{pad}NaturalJoin\n"));
-                walk(left, depth + 1, out);
-                walk(right, depth + 1, out);
-            }
-            Plan::JoinOn { left, right, on } => {
-                out.push_str(&format!("{pad}JoinOn {on:?}\n"));
-                walk(left, depth + 1, out);
-                walk(right, depth + 1, out);
-            }
-            Plan::Cross { left, right } => {
-                out.push_str(&format!("{pad}Cross\n"));
-                walk(left, depth + 1, out);
-                walk(right, depth + 1, out);
-            }
-            Plan::Rma { op, args } => {
-                let orders: Vec<String> = args.iter().map(|(_, o)| format!("{o:?}")).collect();
-                out.push_str(&format!(
-                    "{pad}Rma {} BY {}\n",
-                    op.name().to_uppercase(),
-                    orders.join("; ")
-                ));
-                for (p, _) in args {
-                    walk(p, depth + 1, out);
-                }
-            }
-            Plan::Distinct { input } => {
-                out.push_str(&format!("{pad}Distinct\n"));
-                walk(input, depth + 1, out);
-            }
-            Plan::OrderBy { input, keys } => {
-                out.push_str(&format!("{pad}OrderBy {keys:?}\n"));
-                walk(input, depth + 1, out);
-            }
-            Plan::Limit { input, n } => {
-                out.push_str(&format!("{pad}Limit {n}\n"));
-                walk(input, depth + 1, out);
-            }
-            Plan::AssertKey { input, attrs } => {
-                out.push_str(&format!("{pad}AssertKey {attrs:?}\n"));
-                walk(input, depth + 1, out);
-            }
-        }
-    }
-    walk(plan, 0, &mut out);
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse;
     use crate::ast::Statement;
+    use crate::parser::parse;
 
     fn plan_of(sql: &str) -> Plan {
         let Statement::Select(sel) = parse(sql).unwrap() else {
@@ -366,24 +248,30 @@ mod tests {
     #[test]
     fn simple_scan_filter() {
         let p = plan_of("SELECT * FROM t WHERE a > 1");
-        assert!(matches!(p, Plan::Filter { .. }));
+        assert!(matches!(p, Plan::Select { .. }));
         let e = explain(&p);
-        assert!(e.contains("Filter"));
+        assert!(e.contains("Select"));
         assert!(e.contains("Scan t"));
     }
 
     #[test]
     fn rma_plan() {
         let p = plan_of("SELECT * FROM MMU(a BY k, b BY j)");
-        let Plan::Rma { op, args } = p else { panic!() };
+        let Plan::Rma { op, args, .. } = p else {
+            panic!()
+        };
         assert_eq!(op, rma_core::RmaOp::Mmu);
         assert_eq!(args.len(), 2);
+        assert_eq!(args[0].order, vec!["k".to_string()]);
+        assert!(!args[0].sorted_input);
     }
 
     #[test]
     fn aggregate_with_post_projection() {
         let p = plan_of("SELECT u, SUM(x) / COUNT(*) AS m FROM t GROUP BY u");
-        let Plan::Project { input, items } = p else { panic!() };
+        let Plan::Project { input, items } = p else {
+            panic!()
+        };
         assert_eq!(items[1].1, "m");
         assert!(matches!(*input, Plan::Aggregate { .. }));
     }
@@ -391,17 +279,19 @@ mod tests {
     #[test]
     fn bare_aggregates_named_by_alias() {
         let p = plan_of("SELECT COUNT(*) AS M FROM t");
-        let Plan::Project { input, items } = p else { panic!() };
+        let Plan::Project { input, items } = p else {
+            panic!()
+        };
         assert_eq!(items[0].1, "M");
-        let Plan::Aggregate { aggs, .. } = *input else { panic!() };
+        let Plan::Aggregate { aggs, .. } = *input else {
+            panic!()
+        };
         assert_eq!(aggs[0].output, "M");
     }
 
     #[test]
     fn non_grouped_column_rejected() {
-        let Statement::Select(sel) =
-            parse("SELECT u, x FROM t GROUP BY u").unwrap()
-        else {
+        let Statement::Select(sel) = parse("SELECT u, x FROM t GROUP BY u").unwrap() else {
             panic!()
         };
         assert!(plan_select(&sel).is_err());
@@ -409,9 +299,7 @@ mod tests {
 
     #[test]
     fn aggregate_in_where_rejected() {
-        let Statement::Select(sel) =
-            parse("SELECT a FROM t WHERE COUNT(*) > 1").unwrap()
-        else {
+        let Statement::Select(sel) = parse("SELECT a FROM t WHERE COUNT(*) > 1").unwrap() else {
             panic!()
         };
         assert!(plan_select(&sel).is_err());
@@ -420,9 +308,13 @@ mod tests {
     #[test]
     fn order_limit_distinct_wrap() {
         let p = plan_of("SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 5");
-        let Plan::Limit { input, n } = p else { panic!() };
+        let Plan::Limit { input, n } = p else {
+            panic!()
+        };
         assert_eq!(n, 5);
-        let Plan::OrderBy { input, keys } = *input else { panic!() };
+        let Plan::OrderBy { input, keys } = *input else {
+            panic!()
+        };
         assert_eq!(keys, vec![("a".to_string(), false)]);
         assert!(matches!(*input, Plan::Distinct { .. }));
     }

@@ -23,7 +23,9 @@ fn escaped_quotes_and_null_literals() {
     assert_eq!(r.cell(0, "k").unwrap(), Value::Int(3));
     let r = e.query("SELECT k FROM t WHERE name IS NULL").unwrap();
     assert_eq!(r.len(), 1);
-    let r = e.query("SELECT k FROM t WHERE x IS NOT NULL ORDER BY k").unwrap();
+    let r = e
+        .query("SELECT k FROM t WHERE x IS NOT NULL ORDER BY k")
+        .unwrap();
     assert_eq!(r.len(), 3);
 }
 
@@ -32,12 +34,18 @@ fn null_arithmetic_and_aggregates() {
     let mut e = engine();
     // x + 1 is NULL for the NULL row; comparisons with NULL are not true,
     // so only the three non-null rows qualify (all have x + 1 > 0)
-    let r = e.query("SELECT k FROM t WHERE x + 1 > 0 ORDER BY k").unwrap();
+    let r = e
+        .query("SELECT k FROM t WHERE x + 1 > 0 ORDER BY k")
+        .unwrap();
     assert_eq!(r.len(), 3);
-    let r2 = e.query("SELECT COUNT(*) AS a, COUNT(x) AS b, AVG(x) AS m FROM t").unwrap();
+    let r2 = e
+        .query("SELECT COUNT(*) AS a, COUNT(x) AS b, AVG(x) AS m FROM t")
+        .unwrap();
     assert_eq!(r2.cell(0, "a").unwrap(), Value::Int(4));
     assert_eq!(r2.cell(0, "b").unwrap(), Value::Int(3));
-    let Value::Float(m) = r2.cell(0, "m").unwrap() else { panic!() };
+    let Value::Float(m) = r2.cell(0, "m").unwrap() else {
+        panic!()
+    };
     assert!((m - (1.5 - 0.5 + 2.25) / 3.0).abs() < 1e-12);
 }
 
@@ -47,7 +55,9 @@ fn scalar_functions_in_sql() {
     let r = e
         .query("SELECT k, SQRT(ABS(x)) AS s FROM t WHERE x IS NOT NULL ORDER BY k")
         .unwrap();
-    let Value::Float(s) = r.cell(1, "s").unwrap() else { panic!() };
+    let Value::Float(s) = r.cell(1, "s").unwrap() else {
+        panic!()
+    };
     assert!((s - 0.5f64.sqrt()).abs() < 1e-12);
 }
 
@@ -73,13 +83,13 @@ fn rma_over_derived_over_rma() {
     .unwrap();
     // inv ∘ (σ over inv) — closure in action
     let r = e
-        .query(
-            "SELECT * FROM INV((SELECT * FROM INV(m BY k) WHERE k >= 'r1') q BY k)",
-        )
+        .query("SELECT * FROM INV((SELECT * FROM INV(m BY k) WHERE k >= 'r1') q BY k)")
         .unwrap();
     // inverting twice returns the original matrix
     assert_eq!(r.len(), 2);
-    let Value::Float(a) = r.cell(0, "a").unwrap() else { panic!() };
+    let Value::Float(a) = r.cell(0, "a").unwrap() else {
+        panic!()
+    };
     assert!((a - 2.0).abs() < 1e-9);
 }
 
@@ -149,7 +159,9 @@ fn empty_results_keep_schema() {
     assert_eq!(r.len(), 0);
     assert_eq!(r.schema().len(), 2);
     // aggregates over the empty set: COUNT = 0, AVG = NULL
-    let r = e.query("SELECT COUNT(*) AS n, AVG(x) AS m FROM t WHERE k > 100").unwrap();
+    let r = e
+        .query("SELECT COUNT(*) AS n, AVG(x) AS m FROM t WHERE k > 100")
+        .unwrap();
     assert_eq!(r.cell(0, "n").unwrap(), Value::Int(0));
     assert_eq!(r.cell(0, "m").unwrap(), Value::Null);
 }

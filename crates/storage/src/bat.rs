@@ -134,11 +134,7 @@ pub fn invert_permutation(perm: &[usize]) -> Vec<usize> {
 pub mod float_ops {
     use super::*;
 
-    fn binary(
-        a: &Column,
-        b: &Column,
-        f: impl Fn(f64, f64) -> f64,
-    ) -> Result<Column, StorageError> {
+    fn binary(a: &Column, b: &Column, f: impl Fn(f64, f64) -> f64) -> Result<Column, StorageError> {
         if a.len() != b.len() {
             return Err(StorageError::LengthMismatch {
                 left: a.len(),
@@ -283,7 +279,10 @@ mod tests {
             vec![10.0, 10.0, 10.0]
         );
         assert_eq!(
-            float_ops::div_scalar(&b, 10.0).unwrap().to_f64_vec().unwrap(),
+            float_ops::div_scalar(&b, 10.0)
+                .unwrap()
+                .to_f64_vec()
+                .unwrap(),
             vec![1.0, 2.0, 3.0]
         );
         assert_eq!(

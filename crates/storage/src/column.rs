@@ -359,9 +359,8 @@ mod tests {
 
     #[test]
     fn int_widens_into_float_column() {
-        let c =
-            Column::from_values_typed(DataType::Float, &[Value::Int(1), Value::Float(2.5)])
-                .unwrap();
+        let c = Column::from_values_typed(DataType::Float, &[Value::Int(1), Value::Float(2.5)])
+            .unwrap();
         assert_eq!(c.to_f64_vec().unwrap(), vec![1.0, 2.5]);
     }
 

@@ -19,7 +19,10 @@ pub mod compress;
 pub mod error;
 pub mod value;
 
-pub use bat::{cmp_rows, invert_permutation, is_identity_permutation, is_key, is_sorted_by, sort_permutation, Bat};
+pub use bat::{
+    cmp_rows, invert_permutation, is_identity_permutation, is_key, is_sorted_by, sort_permutation,
+    Bat,
+};
 pub use bitmap::Bitmap;
 pub use column::{Column, ColumnData};
 pub use compress::CompressedFloats;

@@ -160,16 +160,16 @@ mod tests {
     #[test]
     fn numeric_cross_type_order() {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
-        assert_eq!(
-            Value::Float(3.0).total_cmp(&Value::Int(3)),
-            Ordering::Equal
-        );
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Ordering::Equal);
     }
 
     #[test]
     fn nulls_sort_first() {
         assert_eq!(Value::Null.total_cmp(&Value::Int(i64::MIN)), Ordering::Less);
-        assert_eq!(Value::Str("a".into()).total_cmp(&Value::Null), Ordering::Greater);
+        assert_eq!(
+            Value::Str("a".into()).total_cmp(&Value::Null),
+            Ordering::Greater
+        );
     }
 
     #[test]

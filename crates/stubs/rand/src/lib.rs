@@ -1,0 +1,255 @@
+//! Offline shim for the `rand` crate: a seeded xorshift64* generator behind
+//! the subset of the rand 0.8 API this workspace uses. Deterministic and
+//! fast; not cryptographic.
+
+/// Seedable constructor, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods, mirroring `rand::Rng`.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p
+    }
+}
+
+/// Types samplable uniformly over their standard distribution (`rng.gen()`).
+pub trait Standard {
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Range forms accepted by `gen_range` (`a..b` and `a..=b`).
+pub trait SampleRange {
+    type Output;
+    fn sample_from<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+impl<T: UniformRange> SampleRange for std::ops::Range<T> {
+    type Output = T;
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self)
+    }
+}
+
+impl<T: UniformRange + InclusiveEnd> SampleRange for std::ops::RangeInclusive<T> {
+    type Output = T;
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_range(rng, start..end.next_up())
+    }
+}
+
+/// Successor for turning an inclusive integer bound into an exclusive one.
+pub trait InclusiveEnd: Sized {
+    fn next_up(self) -> Self;
+}
+
+impl InclusiveEnd for i32 {
+    fn next_up(self) -> i32 {
+        self.checked_add(1).expect("inclusive range end overflow")
+    }
+}
+
+impl InclusiveEnd for i64 {
+    fn next_up(self) -> i64 {
+        self.checked_add(1).expect("inclusive range end overflow")
+    }
+}
+
+impl InclusiveEnd for usize {
+    fn next_up(self) -> usize {
+        self.checked_add(1).expect("inclusive range end overflow")
+    }
+}
+
+impl InclusiveEnd for u64 {
+    fn next_up(self) -> u64 {
+        self.checked_add(1).expect("inclusive range end overflow")
+    }
+}
+
+/// Types samplable uniformly from a half-open range (`rng.gen_range(a..b)`).
+pub trait UniformRange: Sized {
+    fn sample_range<R: Rng>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+}
+
+impl UniformRange for i32 {
+    fn sample_range<R: Rng>(rng: &mut R, range: std::ops::Range<i32>) -> i32 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end.wrapping_sub(range.start) as u32 as u64;
+        range.start.wrapping_add((rng.next_u64() % span) as i32)
+    }
+}
+
+impl UniformRange for i64 {
+    fn sample_range<R: Rng>(rng: &mut R, range: std::ops::Range<i64>) -> i64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end.wrapping_sub(range.start) as u64;
+        range.start.wrapping_add((rng.next_u64() % span) as i64)
+    }
+}
+
+impl UniformRange for usize {
+    fn sample_range<R: Rng>(rng: &mut R, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (rng.next_u64() % span) as usize
+    }
+}
+
+impl UniformRange for u64 {
+    fn sample_range<R: Rng>(rng: &mut R, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + rng.next_u64() % (range.end - range.start)
+    }
+}
+
+impl UniformRange for f64 {
+    fn sample_range<R: Rng>(rng: &mut R, range: std::ops::Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + rng.next_f64() * (range.end - range.start)
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xorshift64* generator with the `StdRng` name.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 of the seed avoids weak low-entropy states
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            StdRng {
+                state: (z ^ (z >> 31)) | 1,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling/choosing, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+        fn choose<'a, R: Rng>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            // Fisher–Yates
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: Rng>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..1000 {
+            let x = a.gen_range(-5i64..7);
+            assert!((-5..7).contains(&x));
+            let f = a.gen_range(0.5f64..2.5);
+            assert!((0.5..2.5).contains(&f));
+            let u: f64 = a.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut v: Vec<i64> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

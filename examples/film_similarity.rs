@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // w3 = π_{U,B,H,N}(sub_{U;V}(w1, ρ_V(π_U(w1)) × w2))
     let user_list = rename(&project(&w1, &["User"])?, &[("User", "V")])?;
     let means = cross_product(&user_list, &w2)?;
-    let w3 = project(&ctx.sub(&w1, &["User"], &means, &["V"])?, &["User", "Balto", "Heat", "Net"])?;
+    let w3 = project(
+        &ctx.sub(&w1, &["User"], &means, &["V"])?,
+        &["User", "Balto", "Heat", "Net"],
+    )?;
     println!("w3 (centred ratings):\n{w3}");
 
     // w4 = tra_U(w3); w5 = mmu_{C;U}(w4, w3)

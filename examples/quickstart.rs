@@ -11,13 +11,12 @@
 use rma::core::RmaContext;
 use rma::relation::RelationBuilder;
 use rma::sql::Engine;
+use rma::Frame;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- the SQL route -------------------------------------------------
     let mut engine = Engine::new();
-    engine.execute(
-        "CREATE TABLE rating (User VARCHAR, Balto DOUBLE, Heat DOUBLE, Net DOUBLE)",
-    )?;
+    engine.execute("CREATE TABLE rating (User VARCHAR, Balto DOUBLE, Heat DOUBLE, Net DOUBLE)")?;
     engine.execute(
         "INSERT INTO rating VALUES
            ('Ann', 2.0, 1.5, 0.5),
@@ -51,5 +50,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ... and mixed queries compose freely with relational operators:
     let det = engine.query("SELECT * FROM DET(rating BY User)")?;
     println!("SELECT * FROM DET(rating BY User):\n{det}");
+
+    // --- the lazy route --------------------------------------------------
+    // A Frame records the pipeline as one logical plan; collect() optimizes
+    // across operators (here: the second inversion reuses the first's sort)
+    // and then executes.
+    ctx.reset_stats();
+    let frame = Frame::scan(rating).inv(&["User"]).inv(&["User"]);
+    println!("optimized plan:\n{}", frame.explain(&ctx));
+    let roundtrip = frame.collect(&ctx)?;
+    println!("inv(inv(rating BY User) BY User):\n{roundtrip}");
+    println!("sorts performed: {}", ctx.stats().sorts);
     Ok(())
 }

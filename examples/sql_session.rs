@@ -34,12 +34,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{}", e.query(query)?);
     }
 
-    // EXPLAIN shows the optimizer pushing filters below joins
+    // EXPLAIN shows the optimizer pushing filters below joins; it is a
+    // statement of the dialect, so it composes with the scripted session
     e.execute("CREATE TABLE meta (T2 VARCHAR, label VARCHAR)")?;
     e.execute("INSERT INTO meta VALUES ('7am', 'rush'), ('8am', 'rush')")?;
-    let plan = e.explain(
-        "SELECT * FROM r JOIN meta ON T = T2 WHERE label = 'rush' AND H > 2",
-    )?;
+    let plan =
+        e.query("EXPLAIN SELECT * FROM r JOIN meta ON T = T2 WHERE label = 'rush' AND H > 2")?;
     println!("EXPLAIN with pushdown:\n{plan}");
+
+    // ... and exposes the cross-operator rewrite: consecutive matrix
+    // operations over the same order schema sort once
+    let plan = e.query("EXPLAIN SELECT * FROM INV(INV(r BY T) BY T)")?;
+    println!("EXPLAIN with shared sort:\n{plan}");
     Ok(())
 }

@@ -80,7 +80,7 @@ fn every_binary_operation_end_to_end() {
     // opd with |V| = 1
     let o = ctx.opd(&a, &["k"], &b, &["j"]).unwrap();
     assert_eq!(o.schema().len(), 4); // k ◦ ▽j (3 columns)
-    // sol: least squares
+                                     // sol: least squares
     let y = RelationBuilder::new()
         .column("t", vec![1i64, 2, 3])
         .column("y", vec![2.0f64, 5.0, 1.0])

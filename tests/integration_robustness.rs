@@ -34,10 +34,7 @@ fn single_row_relation() {
         .build()
         .unwrap();
     let inv = ctx.inv(&one, &["k"]).unwrap();
-    assert_eq!(
-        inv.cell(0, "x").unwrap().as_f64().unwrap(),
-        1.0 / 3.0
-    );
+    assert_eq!(inv.cell(0, "x").unwrap().as_f64().unwrap(), 1.0 / 3.0);
     let d = ctx.det(&one, &["k"]).unwrap();
     assert_eq!(d.cell(0, "det").unwrap(), Value::Float(3.0));
     let t = ctx.tra(&one, &["k"]).unwrap();

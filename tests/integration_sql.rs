@@ -7,8 +7,10 @@ use rma::Value;
 #[test]
 fn full_sql_session_over_generated_data() {
     let mut e = Engine::new();
-    e.register("trips", rma::data::trips(2_000, 25, 77)).unwrap();
-    e.register("stations", rma::data::stations(25, 77 ^ 0x5a5a)).unwrap();
+    e.register("trips", rma::data::trips(2_000, 25, 77))
+        .unwrap();
+    e.register("stations", rma::data::stations(25, 77 ^ 0x5a5a))
+        .unwrap();
 
     // relational: aggregate + join + filter
     let busy = e
@@ -44,9 +46,7 @@ fn covariance_query_via_sql() {
     )
     .unwrap();
     let cov = e
-        .query(
-            "SELECT C, B, H, N FROM MMU(TRA(w3 BY U) BY C, w3 BY U) ORDER BY C",
-        )
+        .query("SELECT C, B, H, N FROM MMU(TRA(w3 BY U) BY C, w3 BY U) ORDER BY C")
         .unwrap();
     assert_eq!(cov.len(), 3);
     assert_eq!(cov.cell(0, "C").unwrap(), Value::from("B"));
@@ -58,7 +58,8 @@ fn covariance_query_via_sql() {
 fn errors_are_reported_not_panicked() {
     let mut e = Engine::new();
     e.execute("CREATE TABLE t (k INT, x DOUBLE)").unwrap();
-    e.execute("INSERT INTO t VALUES (1, 1.0), (1, 2.0)").unwrap();
+    e.execute("INSERT INTO t VALUES (1, 1.0), (1, 2.0)")
+        .unwrap();
     // duplicate key in order schema
     assert!(e.query("SELECT * FROM INV(t BY k)").is_err());
     // unknown table, unknown column, bad syntax
@@ -66,7 +67,8 @@ fn errors_are_reported_not_panicked() {
     assert!(e.query("SELECT nope FROM t").is_err());
     assert!(e.query("SELEC * FROM t").is_err());
     // non-square inversion
-    e.execute("CREATE TABLE t2 (k INT, x DOUBLE, y DOUBLE)").unwrap();
+    e.execute("CREATE TABLE t2 (k INT, x DOUBLE, y DOUBLE)")
+        .unwrap();
     e.execute("INSERT INTO t2 VALUES (1, 1.0, 2.0)").unwrap();
     assert!(e.query("SELECT * FROM INV(t2 BY k)").is_err());
 }
@@ -75,7 +77,8 @@ fn errors_are_reported_not_panicked() {
 fn optimizer_toggle_preserves_results() {
     let mut e = Engine::new();
     e.register("trips", rma::data::trips(1_000, 10, 5)).unwrap();
-    e.register("stations", rma::data::stations(10, 5 ^ 0x5a5a)).unwrap();
+    e.register("stations", rma::data::stations(10, 5 ^ 0x5a5a))
+        .unwrap();
     let q = "SELECT name, duration FROM trips JOIN stations ON start_station = code \
              WHERE duration > 300 AND lat > 45.5 ORDER BY duration DESC LIMIT 20";
     let with = e.query(q).unwrap();
