@@ -1,0 +1,23 @@
+//! Thread scaling of the morsel-driven parallel engine: the fixed
+//! scan→select→aggregate workload at 1/2/4/8 worker threads. On multi-core
+//! hardware the 4-thread point should be ≥1.5× faster than 1 thread; on a
+//! single core the curve is flat (the engine then only pays morsel
+//! bookkeeping).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rma_bench::{run_thread_scaling, thread_scaling_table};
+
+fn bench(c: &mut Criterion) {
+    let table = thread_scaling_table(400_000, 42);
+    let mut g = c.benchmark_group("scaling_threads");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(BenchmarkId::new("scan_select_aggregate", threads), |b| {
+            b.iter(|| run_thread_scaling(&table, threads))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

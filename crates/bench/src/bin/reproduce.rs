@@ -38,6 +38,7 @@ fn main() {
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = [
             "fig13", "tab4", "tab5", "tab6", "tab7", "fig14", "fig15", "fig16", "fig17", "fig18",
+            "scaling",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -56,6 +57,7 @@ fn main() {
             "fig16" => fig16(scale),
             "fig17" => fig17(scale),
             "fig18" => fig18(scale),
+            "scaling" => scaling(scale),
             other => eprintln!("unknown target `{other}` (skipped)"),
         }
     }
@@ -429,6 +431,34 @@ fn fig17(scale: usize) {
             &reports,
         );
     }
+}
+
+/// Thread scaling (PR 2): the morsel-driven engine's fixed
+/// scan→select→aggregate workload at 1/2/4/8 worker threads.
+fn scaling(scale: usize) {
+    println!("## Thread scaling — morsel-driven scan→select→aggregate");
+    let rows = (40_000_000 / scale.max(1)).max(200_000);
+    let table = rma_bench::thread_scaling_table(rows, 42);
+    println!("### {rows} rows, 64 groups");
+    println!("{:>8} {:>12} {:>10}", "threads", "time(s)", "speedup");
+    // warm up (page in the table) and establish the serial baseline
+    let _ = rma_bench::run_thread_scaling(&table, 1);
+    let (base, check1) = rma_bench::run_thread_scaling(&table, 1);
+    println!("{:>8} {:>12} {:>10.2}", 1, secs(base), 1.0);
+    for threads in [2usize, 4, 8] {
+        let (t, check) = rma_bench::run_thread_scaling(&table, threads);
+        assert_eq!(
+            check, check1,
+            "parallel result diverged at {threads} threads"
+        );
+        println!(
+            "{:>8} {:>12} {:>10.2}",
+            threads,
+            secs(t),
+            base.as_secs_f64() / t.as_secs_f64()
+        );
+    }
+    println!("(target: ≥1.5× at 4 threads on a ≥4-core machine)\n");
 }
 
 /// Fig. 18: trip count addition.

@@ -681,3 +681,78 @@ pub fn run_scidb_comparison(
 
     (rma_time, scidb_time, rma_count, scidb_count)
 }
+
+// ---------------------------------------------------------------------
+// Thread scaling (PR 2): the morsel-driven parallel engine
+// ---------------------------------------------------------------------
+
+/// The thread-scaling table: a distinct int key `k`, a 64-value grouping
+/// attribute `g`, and three float measures. Sized so the partition-parallel
+/// scan+select+aggregate pipeline is compute-bound, not spawn-bound.
+pub fn thread_scaling_table(rows: usize, seed: u64) -> Relation {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k: Vec<i64> = (0..rows as i64).collect();
+    let g: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..64)).collect();
+    let x: Vec<f64> = (0..rows).map(|_| rng.gen_range(-100.0..100.0)).collect();
+    let y: Vec<f64> = (0..rows).map(|_| rng.gen_range(-100.0..100.0)).collect();
+    let z: Vec<f64> = (0..rows).map(|_| rng.gen_range(0.0..100.0)).collect();
+    rma_relation::RelationBuilder::new()
+        .name("scaling")
+        .column("k", k)
+        .column("g", g)
+        .column("x", x)
+        .column("y", y)
+        .column("z", z)
+        .build()
+        .expect("valid relation")
+}
+
+/// Run the fixed scan→select→aggregate workload through the lazy plan at a
+/// given worker-thread count. The filter evaluates a compute-heavy
+/// expression per row and the aggregation folds three measures over 64
+/// groups, so the morsel pipeline and the parallel aggregation both
+/// contribute. Returns (wall time, integer checksum). The checksum digests
+/// each group's key and exact counts — values whose parallel merge is
+/// bit-exact — so a mis-merged or mis-ordered parallel aggregation changes
+/// it, while float-sum association (legitimately order-dependent) does not.
+pub fn run_thread_scaling(table: &Relation, threads: usize) -> (Duration, i64) {
+    let ctx = RmaContext::new(RmaOptions {
+        threads,
+        ..RmaOptions::default()
+    });
+    let predicate = Expr::col("x")
+        .mul(Expr::col("y"))
+        .add(Expr::col("z").sqrt())
+        .abs()
+        .gt(Expr::lit(25.0));
+    let frame = rma_core::Frame::scan(table.clone())
+        .select(predicate)
+        .aggregate(
+            &["g"],
+            vec![
+                AggSpec::count_star("n"),
+                AggSpec::sum("x", "sx"),
+                AggSpec::avg("y", "ay"),
+                AggSpec::new(rma_relation::AggFunc::Max, Some("z"), "mz"),
+            ],
+        );
+    let t = Instant::now();
+    let out = frame.collect(&ctx).expect("scaling workload");
+    let elapsed = t.elapsed();
+    let mut checksum = out.len() as i64;
+    for i in 0..out.len() {
+        let (Value::Int(g), Value::Int(n)) =
+            (out.cell(i, "g").expect("g"), out.cell(i, "n").expect("n"))
+        else {
+            panic!("unexpected aggregate output types");
+        };
+        // position-sensitive digest: catches wrong counts, wrong group
+        // keys, and wrong group order alike
+        checksum = checksum
+            .wrapping_mul(31)
+            .wrapping_add((g + 1).wrapping_mul(n));
+    }
+    (elapsed, checksum)
+}

@@ -6,7 +6,7 @@
 //! [`ExecStats`] measures the data-transformation share reported in Fig. 14.
 
 use crate::shape::RmaOp;
-use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::time::Duration;
 
 /// Which kernel family computes base results.
@@ -49,6 +49,14 @@ pub struct RmaOptions {
     /// estimated dense working set exceeds it, the BAT kernel is used
     /// (mirroring the paper's switch to BATs when MKL would not fit).
     pub dense_memory_budget: usize,
+    /// Worker threads for *plan execution*. With `threads > 1` the plan
+    /// interpreter routes operators with a parallel implementation
+    /// (partitioned scan pipelines, hash joins, aggregation) through the
+    /// morsel-driven engine; `1` forces the serial plan interpreter. The
+    /// dense kernels in `rma-linalg` keep their own process-wide budget
+    /// (same `RMA_THREADS` knob, [`rma_linalg::available_threads`]) and
+    /// are not governed per-context. Defaults to [`default_threads`].
+    pub threads: usize,
 }
 
 impl Default for RmaOptions {
@@ -58,8 +66,17 @@ impl Default for RmaOptions {
             sort_policy: SortPolicy::Optimized,
             validate_keys: true,
             dense_memory_budget: 8 << 30, // 8 GiB
+            threads: default_threads(),
         }
     }
+}
+
+/// The default worker-thread count for plan execution: exactly the dense
+/// kernels' process-wide budget ([`rma_linalg::available_threads`] —
+/// `RMA_THREADS` env override, else hardware parallelism, capped), so one
+/// knob and one parsing rule configure both layers.
+pub fn default_threads() -> usize {
+    rma_linalg::available_threads()
 }
 
 /// Which kernel actually ran (recorded per operation for tests/benches).
@@ -101,33 +118,88 @@ impl ExecStats {
         }
         copy.as_secs_f64() / total.as_secs_f64()
     }
+}
 
-    fn accumulate(&mut self, other: &ExecStats) {
-        self.copy_in += other.copy_in;
-        self.copy_out += other.copy_out;
-        self.compute += other.compute;
-        self.sort += other.sort;
-        self.ops_run += other.ops_run;
-        self.sorts += other.sorts;
-        if other.last_kernel.is_some() {
-            self.last_kernel = other.last_kernel;
+/// Lock-free statistics cell: every counter is an atomic so parallel
+/// workers record sorts/copies concurrently without a shared lock (and
+/// [`RmaContext`] is `Sync`, so one context can serve a whole worker pool).
+/// Durations are stored as nanoseconds.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    copy_in_ns: AtomicU64,
+    copy_out_ns: AtomicU64,
+    compute_ns: AtomicU64,
+    sort_ns: AtomicU64,
+    ops_run: AtomicU32,
+    sorts: AtomicU32,
+    /// 0 = none, 1 = Bat, 2 = Dense, 3 = DenseFallback.
+    last_kernel: AtomicU8,
+}
+
+impl AtomicStats {
+    fn accumulate(&self, s: &ExecStats) {
+        let add_ns = |cell: &AtomicU64, d: Duration| {
+            cell.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        };
+        add_ns(&self.copy_in_ns, s.copy_in);
+        add_ns(&self.copy_out_ns, s.copy_out);
+        add_ns(&self.compute_ns, s.compute);
+        add_ns(&self.sort_ns, s.sort);
+        self.ops_run.fetch_add(s.ops_run, Ordering::Relaxed);
+        self.sorts.fetch_add(s.sorts, Ordering::Relaxed);
+        if let Some(k) = s.last_kernel {
+            let code = match k {
+                KernelUsed::Bat => 1,
+                KernelUsed::Dense => 2,
+                KernelUsed::DenseFallback => 3,
+            };
+            self.last_kernel.store(code, Ordering::Relaxed);
         }
+    }
+
+    fn snapshot(&self) -> ExecStats {
+        let ns = |cell: &AtomicU64| Duration::from_nanos(cell.load(Ordering::Relaxed));
+        ExecStats {
+            copy_in: ns(&self.copy_in_ns),
+            copy_out: ns(&self.copy_out_ns),
+            compute: ns(&self.compute_ns),
+            sort: ns(&self.sort_ns),
+            ops_run: self.ops_run.load(Ordering::Relaxed),
+            sorts: self.sorts.load(Ordering::Relaxed),
+            last_kernel: match self.last_kernel.load(Ordering::Relaxed) {
+                1 => Some(KernelUsed::Bat),
+                2 => Some(KernelUsed::Dense),
+                3 => Some(KernelUsed::DenseFallback),
+                _ => None,
+            },
+        }
+    }
+
+    fn reset(&self) {
+        self.copy_in_ns.store(0, Ordering::Relaxed);
+        self.copy_out_ns.store(0, Ordering::Relaxed);
+        self.compute_ns.store(0, Ordering::Relaxed);
+        self.sort_ns.store(0, Ordering::Relaxed);
+        self.ops_run.store(0, Ordering::Relaxed);
+        self.sorts.store(0, Ordering::Relaxed);
+        self.last_kernel.store(0, Ordering::Relaxed);
     }
 }
 
 /// An execution context: options plus accumulated statistics. Create one
-/// per query (cheap) or keep one around per session.
+/// per query (cheap) or keep one around per session. `Sync`: parallel
+/// workers may share one context and record statistics concurrently.
 #[derive(Debug, Default)]
 pub struct RmaContext {
     pub options: RmaOptions,
-    stats: RefCell<ExecStats>,
+    stats: AtomicStats,
 }
 
 impl RmaContext {
     pub fn new(options: RmaOptions) -> Self {
         RmaContext {
             options,
-            stats: RefCell::new(ExecStats::default()),
+            stats: AtomicStats::default(),
         }
     }
 
@@ -141,15 +213,15 @@ impl RmaContext {
 
     /// Accumulated statistics since construction or the last reset.
     pub fn stats(&self) -> ExecStats {
-        *self.stats.borrow()
+        self.stats.snapshot()
     }
 
     pub fn reset_stats(&self) {
-        *self.stats.borrow_mut() = ExecStats::default();
+        self.stats.reset();
     }
 
     pub(crate) fn record(&self, s: &ExecStats) {
-        self.stats.borrow_mut().accumulate(s);
+        self.stats.accumulate(s);
     }
 
     /// Decide the kernel for an operation on an `m × n` application part
@@ -278,5 +350,39 @@ mod tests {
         ctx.reset_stats();
         assert_eq!(ctx.stats().ops_run, 0);
         assert_eq!(ExecStats::default().transform_share(), 0.0);
+    }
+
+    #[test]
+    fn stats_recording_is_thread_safe() {
+        // RmaContext is Sync: workers record without a lock and no update
+        // is lost
+        let ctx = RmaContext::default();
+        let s = ExecStats {
+            compute: Duration::from_micros(10),
+            ops_run: 1,
+            sorts: 2,
+            last_kernel: Some(KernelUsed::Bat),
+            ..ExecStats::default()
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        ctx.record(&s);
+                    }
+                });
+            }
+        });
+        let acc = ctx.stats();
+        assert_eq!(acc.ops_run, 800);
+        assert_eq!(acc.sorts, 1600);
+        assert_eq!(acc.compute, Duration::from_millis(8));
+        assert_eq!(acc.last_kernel, Some(KernelUsed::Bat));
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+        assert!(RmaOptions::default().threads >= 1);
     }
 }

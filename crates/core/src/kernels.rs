@@ -183,9 +183,9 @@ fn dense_binary(op: RmaOp, a: &Matrix, b: &Matrix) -> Result<Matrix, RmaError> {
         RmaOp::Cpd => dense::crossprod(a, b)?,
         RmaOp::Opd => dense::outer(a, b)?,
         RmaOp::Sol => dense::solve(a, b)?,
-        RmaOp::Add => a.zip_with(b, |x, y| x + y)?,
-        RmaOp::Sub => a.zip_with(b, |x, y| x - y)?,
-        RmaOp::Emu => a.zip_with(b, |x, y| x * y)?,
+        RmaOp::Add => a.zip_with_parallel(b, |x, y| x + y)?,
+        RmaOp::Sub => a.zip_with_parallel(b, |x, y| x - y)?,
+        RmaOp::Emu => a.zip_with_parallel(b, |x, y| x * y)?,
         other => unreachable!("dense_binary called for unary op {other:?}"),
     };
     Ok(out)

@@ -34,9 +34,11 @@ pub mod plan;
 pub mod shape;
 pub mod split;
 
-pub use context::{Backend, ExecStats, KernelUsed, RmaContext, RmaOptions, SortPolicy};
+pub use context::{
+    default_threads, Backend, ExecStats, KernelUsed, RmaContext, RmaOptions, SortPolicy,
+};
 pub use error::RmaError;
-pub use plan::{Frame, LogicalPlan, PlanError, TableProvider};
+pub use plan::{Frame, LogicalPlan, PartitionedTableProvider, PlanError, TableProvider};
 pub use shape::{Dim, RmaOp, ShapeType, ALL_OPS};
 
 // Free-function API re-exports.

@@ -1,10 +1,18 @@
 //! Logical-plan interpreter: walks an (optimized) [`LogicalPlan`] and calls
 //! the eager relational-algebra functions and RMA kernels. The eager APIs
 //! remain the execution layer; this module only adds plan-level concerns —
-//! table resolution, scan-time projection, sortedness hints, and per-node
-//! backend overrides.
+//! table resolution, scan-time projection, sortedness hints, per-node
+//! backend overrides, and the routing into the morsel-driven parallel
+//! engine.
+//!
+//! Parallel routing: with `ctx.options.threads > 1`, `Scan→Select→Project`
+//! chains run as fused partition-parallel pipelines ([`super::par`]), and
+//! selections, hash joins, and aggregation run partition-parallel
+//! operator-at-a-time. Every other operator — and everything at
+//! `threads == 1` — takes the serial interpreter below, which is the
+//! fallback rule for operators without a parallel implementation.
 
-use super::{LogicalPlan, PlanError, TableProvider};
+use super::{par, LogicalPlan, PartitionedTableProvider, PlanError};
 use crate::context::{RmaContext, RmaOptions};
 use rma_relation::{self as rel, Relation};
 
@@ -12,8 +20,14 @@ use rma_relation::{self as rel, Relation};
 pub fn execute(
     plan: &LogicalPlan,
     ctx: &RmaContext,
-    provider: &dyn TableProvider,
+    provider: &dyn PartitionedTableProvider,
 ) -> Result<Relation, PlanError> {
+    let threads = ctx.options.threads;
+    if threads > 1 {
+        if let Some(result) = par::try_pipeline(plan, ctx, provider) {
+            return result;
+        }
+    }
     match plan {
         LogicalPlan::Values { rel, projection } => {
             scan_projected(rel.as_ref(), projection.as_deref())
@@ -26,7 +40,9 @@ pub fn execute(
         }
         LogicalPlan::Select { input, predicate } => {
             let r = execute(input, ctx, provider)?;
-            Ok(rel::select(&r, predicate)?)
+            // select_parallel (like the other *_parallel operators) runs
+            // the serial operator itself when threads <= 1
+            Ok(rel::select_parallel(&r, predicate, threads)?)
         }
         LogicalPlan::Project { input, items } => {
             let r = execute(input, ctx, provider)?;
@@ -41,19 +57,19 @@ pub fn execute(
         } => {
             let r = execute(input, ctx, provider)?;
             let gb: Vec<&str> = group_by.iter().map(String::as_str).collect();
-            Ok(rel::aggregate(&r, &gb, aggs)?)
+            Ok(rel::aggregate_parallel(&r, &gb, aggs, threads)?)
         }
         LogicalPlan::NaturalJoin { left, right } => {
             let l = execute(left, ctx, provider)?;
             let r = execute(right, ctx, provider)?;
-            Ok(rel::natural_join(&l, &r)?)
+            Ok(rel::natural_join_parallel(&l, &r, threads)?)
         }
         LogicalPlan::JoinOn { left, right, on } => {
             let l = execute(left, ctx, provider)?;
             let r = execute(right, ctx, provider)?;
             let pairs: Vec<(&str, &str)> =
                 on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
-            Ok(rel::join_on(&l, &r, &pairs)?)
+            Ok(rel::join_on_parallel(&l, &r, &pairs, threads)?)
         }
         LogicalPlan::Cross { left, right } => {
             let l = execute(left, ctx, provider)?;
@@ -78,6 +94,12 @@ pub fn execute(
         LogicalPlan::Limit { input, n } => {
             let r = execute(input, ctx, provider)?;
             Ok(rel::limit(&r, *n, 0))
+        }
+        LogicalPlan::TopK { input, keys, n } => {
+            let r = execute(input, ctx, provider)?;
+            let attrs: Vec<&str> = keys.iter().map(|(k, _)| k.as_str()).collect();
+            let dirs: Vec<bool> = keys.iter().map(|(_, asc)| *asc).collect();
+            Ok(rel::top_k(&r, &attrs, &dirs, *n)?)
         }
         LogicalPlan::Rma { op, args, backend } => {
             let expected = if op.is_binary() { 2 } else { 1 };

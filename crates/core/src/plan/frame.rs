@@ -27,7 +27,9 @@
 //! assert_eq!(out.len(), 2);
 //! ```
 
-use super::{execute, explain, optimize, LogicalPlan, NoTables, PlanError, RmaArg, TableProvider};
+use super::{
+    execute, explain, optimize, LogicalPlan, NoTables, PartitionedTableProvider, PlanError, RmaArg,
+};
 use crate::context::RmaContext;
 use crate::shape::RmaOp;
 use rma_relation::{AggSpec, Expr, Relation};
@@ -52,8 +54,8 @@ impl Frame {
         }
     }
 
-    /// Lazily scan a named table, resolved through the [`TableProvider`]
-    /// passed to [`Frame::collect_with`].
+    /// Lazily scan a named table, resolved through the
+    /// [`PartitionedTableProvider`] passed to [`Frame::collect_with`].
     pub fn table(name: impl Into<String>) -> Frame {
         Frame {
             plan: LogicalPlan::Scan {
@@ -233,7 +235,7 @@ impl Frame {
     pub fn collect_with(
         &self,
         ctx: &RmaContext,
-        provider: &dyn TableProvider,
+        provider: &dyn PartitionedTableProvider,
     ) -> Result<Relation, PlanError> {
         let plan = optimize(self.plan.clone(), ctx, provider);
         execute(&plan, ctx, provider)
@@ -244,7 +246,11 @@ impl Frame {
         self.explain_with(ctx, &NoTables)
     }
 
-    pub fn explain_with(&self, ctx: &RmaContext, provider: &dyn TableProvider) -> String {
+    pub fn explain_with(
+        &self,
+        ctx: &RmaContext,
+        provider: &dyn PartitionedTableProvider,
+    ) -> String {
         explain(&optimize(self.plan.clone(), ctx, provider))
     }
 

@@ -15,6 +15,7 @@
 mod exec;
 mod frame;
 mod optimize;
+mod par;
 
 pub use exec::execute;
 pub use frame::Frame;
@@ -25,6 +26,7 @@ use crate::error::RmaError;
 use crate::shape::RmaOp;
 use rma_relation::{AggSpec, Expr, Relation, RelationError};
 use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// A source of named tables for [`LogicalPlan::Scan`] nodes. The SQL
@@ -32,6 +34,21 @@ use std::sync::Arc;
 /// [`Frame::scan`] never need one.
 pub trait TableProvider {
     fn table(&self, name: &str) -> Option<&Relation>;
+}
+
+/// A [`TableProvider`] whose tables can be scanned as row-range partitions
+/// — the scan side of the morsel-driven parallel engine. The default
+/// implementation splits a table into up to `target` near-equal contiguous
+/// row ranges with the in-memory row-range partitioner
+/// ([`rma_relation::partition_ranges`]); providers backed by sharded or
+/// chunked storage can override it to expose natural shard boundaries.
+/// Returning `None` (or a single range) makes the executor fall back to a
+/// serial scan of that table.
+pub trait PartitionedTableProvider: TableProvider {
+    fn scan_partitions(&self, table: &str, target: usize) -> Option<Vec<Range<usize>>> {
+        self.table(table)
+            .map(|r| rma_relation::partition_ranges(r.len(), target))
+    }
 }
 
 /// The empty provider: every `Scan` fails to resolve.
@@ -43,6 +60,8 @@ impl TableProvider for NoTables {
         None
     }
 }
+
+impl PartitionedTableProvider for NoTables {}
 
 /// One argument of a relational matrix operation in a plan: the input plan,
 /// its order schema, and an optimizer-set flag recording that the input is
@@ -124,6 +143,14 @@ pub enum LogicalPlan {
     },
     /// Row-count limit.
     Limit { input: Box<LogicalPlan>, n: usize },
+    /// Bounded top-k: the first `n` rows of the input ordered by `keys`,
+    /// computed with a bounded heap instead of a full sort. Produced by the
+    /// optimizer's Limit-into-Sort rewrite; no frontend emits it directly.
+    TopK {
+        input: Box<LogicalPlan>,
+        keys: Vec<(String, bool)>,
+        n: usize,
+    },
     /// A relational matrix operation. `backend` is the optimizer's
     /// plan-level kernel choice when argument sizes are statically exact.
     Rma {
@@ -201,6 +228,11 @@ impl LogicalPlan {
             },
             Limit { input, n } => Limit {
                 input: Box::new(f(*input)),
+                n,
+            },
+            TopK { input, keys, n } => TopK {
+                input: Box::new(f(*input)),
+                keys,
                 n,
             },
             Rma { op, args, backend } => Rma {
@@ -349,6 +381,10 @@ fn walk_explain(p: &LogicalPlan, depth: usize, out: &mut String) {
         }
         LogicalPlan::Limit { input, n } => {
             let _ = writeln!(out, "{pad}Limit {n}");
+            walk_explain(input, depth + 1, out);
+        }
+        LogicalPlan::TopK { input, keys, n } => {
+            let _ = writeln!(out, "{pad}TopK {keys:?} n={n}");
             walk_explain(input, depth + 1, out);
         }
         LogicalPlan::Rma { op, args, backend } => {

@@ -12,11 +12,14 @@
 //! 3. **Selection merging** — directly nested filters collapse to one.
 //! 4. **Projection pushdown** — column requirements propagate to scans,
 //!    which prune unused columns at the source.
-//! 5. **Redundant-sort elimination** — consecutive RMA operations over the
+//! 5. **Limit-into-Sort fusion** — `Limit n` directly over `OrderBy`
+//!    becomes a [`LogicalPlan::TopK`] node, executed with a bounded heap in
+//!    O(|r| log n) instead of a full O(|r| log |r|) sort.
+//! 6. **Redundant-sort elimination** — consecutive RMA operations over the
 //!    same order schema sort once: when a node's input is provably sorted
 //!    by the node's order schema, the argument is flagged `sorted_input`
 //!    and execution skips the sort.
-//! 6. **Plan-level backend choice** — when argument sizes are statically
+//! 7. **Plan-level backend choice** — when argument sizes are statically
 //!    exact, the kernel decision ([`RmaContext::choose_kernel`]) is made at
 //!    plan time and recorded on the node (visible in EXPLAIN).
 
@@ -34,6 +37,7 @@ pub fn optimize(plan: LogicalPlan, ctx: &RmaContext, provider: &dyn TableProvide
     let plan = push_selections(plan, ctx, provider);
     let plan = merge_selections(plan);
     let plan = prune_projections(plan, None, provider);
+    let plan = fuse_top_k(plan);
     let plan = if ctx.options.sort_policy == SortPolicy::Optimized {
         mark_sorted_inputs(plan).0
     } else {
@@ -65,6 +69,7 @@ pub fn output_columns(plan: &LogicalPlan, provider: &dyn TableProvider) -> Optio
         | LogicalPlan::Distinct { input }
         | LogicalPlan::OrderBy { input, .. }
         | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::TopK { input, .. }
         | LogicalPlan::AssertKey { input, .. } => output_columns(input, provider),
         LogicalPlan::Project { items, .. } => Some(items.iter().map(|(_, n)| n.clone()).collect()),
         LogicalPlan::Aggregate { group_by, aggs, .. } => {
@@ -111,6 +116,7 @@ fn pass_through_scan_schema<'a>(
         | LogicalPlan::Distinct { input }
         | LogicalPlan::OrderBy { input, .. }
         | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::TopK { input, .. }
         | LogicalPlan::AssertKey { input, .. } => pass_through_scan_schema(input, provider),
         _ => None,
     }
@@ -510,6 +516,18 @@ fn prune_projections(
             input: Box::new(prune_projections(*input, required, provider)),
             n,
         },
+        LogicalPlan::TopK { input, keys, n } => {
+            let merged = required.map(|req| {
+                let mut needed = req.clone();
+                needed.extend(keys.iter().map(|(k, _)| k.clone()));
+                needed
+            });
+            LogicalPlan::TopK {
+                input: Box::new(prune_projections(*input, merged.as_ref(), provider)),
+                keys,
+                n,
+            }
+        }
         LogicalPlan::AssertKey { input, attrs } => {
             let merged = required.map(|req| {
                 let mut needed = req.clone();
@@ -576,7 +594,33 @@ fn narrow_scan(
 }
 
 // ---------------------------------------------------------------------
-// Pass 5: redundant-sort elimination
+// Pass 5: Limit-into-Sort fusion (top-k)
+// ---------------------------------------------------------------------
+
+/// `Limit n` directly over `OrderBy keys` becomes `TopK(keys, n)`: the
+/// executor then keeps the k best rows in a bounded heap instead of
+/// materialising the full sort. The rewrite is exact — [`rma_relation::
+/// top_k`] breaks ties by row index, reproducing the stable sort's prefix.
+fn fuse_top_k(plan: LogicalPlan) -> LogicalPlan {
+    let plan = plan.map_children(&mut fuse_top_k);
+    match plan {
+        LogicalPlan::Limit { input, n } => match *input {
+            LogicalPlan::OrderBy { input: inner, keys } => LogicalPlan::TopK {
+                input: inner,
+                keys,
+                n,
+            },
+            other => LogicalPlan::Limit {
+                input: Box::new(other),
+                n,
+            },
+        },
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 6: redundant-sort elimination
 // ---------------------------------------------------------------------
 
 /// Bottom-up sortedness inference: rewrite the plan, flagging RMA arguments
@@ -614,6 +658,22 @@ fn mark_sorted_inputs(plan: LogicalPlan) -> (LogicalPlan, Option<Vec<String>>) {
             (
                 LogicalPlan::Limit {
                     input: Box::new(input),
+                    n,
+                },
+                sorted,
+            )
+        }
+        // top-k output is sorted by its keys, like the OrderBy it replaced
+        LogicalPlan::TopK { input, keys, n } => {
+            let (input, _) = mark_sorted_inputs(*input);
+            let sorted = keys
+                .iter()
+                .all(|(_, asc)| *asc)
+                .then(|| keys.iter().map(|(k, _)| k.clone()).collect());
+            (
+                LogicalPlan::TopK {
+                    input: Box::new(input),
+                    keys,
                     n,
                 },
                 sorted,
@@ -698,7 +758,7 @@ fn rma_output_sorted(op: RmaOp, args: &[RmaArg]) -> Option<Vec<String>> {
 }
 
 // ---------------------------------------------------------------------
-// Pass 6: plan-level backend choice
+// Pass 7: plan-level backend choice
 // ---------------------------------------------------------------------
 
 /// Statically estimated size of a plan's output.
@@ -786,7 +846,7 @@ fn estimate_dims(plan: &LogicalPlan, provider: &dyn TableProvider) -> Option<Dim
         LogicalPlan::OrderBy { input, .. } | LogicalPlan::AssertKey { input, .. } => {
             estimate_dims(input, provider)
         }
-        LogicalPlan::Limit { input, n } => {
+        LogicalPlan::Limit { input, n } | LogicalPlan::TopK { input, n, .. } => {
             let d = estimate_dims(input, provider)?;
             Some(DimsEst {
                 rows: d.rows.min(*n),

@@ -1,0 +1,152 @@
+//! The morsel-driven side of the plan interpreter: fused partition-parallel
+//! `Scan → Select → Project` pipelines over a [`PartitionedTableProvider`].
+//!
+//! A pipeline is a chain of row-local operators (σ and generalised π) over
+//! a single scan. Because every stage maps each input row independently, the
+//! whole chain runs per *morsel* — one contiguous row range of the scanned
+//! table — with no synchronisation until the final reassembly. Workers claim
+//! morsels from a shared counter ([`rma_relation::for_each_partition`]), so
+//! a selective filter that empties one range simply frees its worker for the
+//! next morsel. Results are concatenated in range order, which makes the
+//! parallel pipeline produce exactly the serial interpreter's rows.
+//!
+//! Operators that need cross-partition state — joins, aggregation — are
+//! parallelised operator-at-a-time in `exec.rs` (partitioned build/probe and
+//! per-worker partial aggregates merged at a barrier); everything else falls
+//! back to the serial interpreter.
+
+use super::{LogicalPlan, PartitionedTableProvider, PlanError};
+use crate::context::RmaContext;
+use rma_relation::{
+    self as rel, for_each_partition, morsel_count, par::MIN_PARALLEL_ROWS, partition_ranges, Expr,
+    Relation,
+};
+use std::ops::Range;
+
+/// One row-local pipeline stage. Project items are prepared once, outside
+/// the morsel loop, so workers share one expression tree instead of
+/// cloning it per morsel.
+enum Stage<'a> {
+    Select(&'a Expr),
+    Project(Vec<(Expr, &'a str)>),
+}
+
+/// Try to execute `plan` as a fused partition-parallel pipeline. Returns
+/// `None` when the plan is not a `Select`/`Project` chain over a scan, or
+/// when the scan yields at most one partition — the caller then runs the
+/// serial interpreter.
+pub(super) fn try_pipeline(
+    plan: &LogicalPlan,
+    ctx: &RmaContext,
+    provider: &dyn PartitionedTableProvider,
+) -> Option<Result<Relation, PlanError>> {
+    let threads = ctx.options.threads;
+
+    // peel the row-local stages off the top of the plan
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut cur = plan;
+    loop {
+        match cur {
+            LogicalPlan::Select { input, predicate } => {
+                stages.push(Stage::Select(predicate));
+                cur = input;
+            }
+            LogicalPlan::Project { input, items } => {
+                stages.push(Stage::Project(
+                    items.iter().map(|(e, n)| (e.clone(), n.as_str())).collect(),
+                ));
+                cur = input;
+            }
+            _ => break,
+        }
+    }
+    if stages.is_empty() {
+        return None; // a bare scan gains nothing from fusion
+    }
+    stages.reverse(); // execute scan-upward
+
+    let (base, projection, ranges): (&Relation, Option<&[String]>, Vec<Range<usize>>) = match cur {
+        LogicalPlan::Values { rel, projection } => {
+            let r = rel.as_ref();
+            (
+                r,
+                projection.as_deref(),
+                partition_ranges(r.len(), morsel_count(threads, r.len())),
+            )
+        }
+        LogicalPlan::Scan { table, projection } => {
+            let Some(r) = provider.table(table) else {
+                return Some(Err(PlanError::UnknownTable(table.clone())));
+            };
+            let parts = provider.scan_partitions(table, morsel_count(threads, r.len()))?;
+            (r, projection.as_deref(), parts)
+        }
+        _ => return None,
+    };
+    if ranges.len() <= 1 || base.len() < MIN_PARALLEL_ROWS {
+        return None;
+    }
+    // scan_partitions is a provider override point: reject malformed ranges
+    // here so a stale shard map surfaces as a plan error, not a worker panic
+    if ranges.iter().any(|r| r.start > r.end || r.end > base.len()) {
+        return Some(Err(PlanError::Plan(format!(
+            "scan_partitions returned a range outside 0..{}",
+            base.len()
+        ))));
+    }
+
+    let results = for_each_partition(threads, &ranges, |_, range| {
+        run_stages(base, projection, range.clone(), &stages)
+    });
+    let mut parts = Vec::with_capacity(results.len());
+    for p in results {
+        match p {
+            Ok(r) => parts.push(r),
+            Err(e) => return Some(Err(e)),
+        }
+    }
+    Some(Relation::concat(&parts).map_err(PlanError::from))
+}
+
+/// Execute the fused stages over one morsel of the base table.
+fn run_stages(
+    base: &Relation,
+    projection: Option<&[String]>,
+    range: Range<usize>,
+    stages: &[Stage],
+) -> Result<Relation, PlanError> {
+    let mut part = slice_scan(base, projection, range)?;
+    for stage in stages {
+        part = match stage {
+            Stage::Select(p) => rel::select(&part, p)?,
+            Stage::Project(items) => rel::project_exprs(&part, items)?,
+        };
+    }
+    Ok(part)
+}
+
+/// Materialise one morsel of a (possibly projection-pruned) scan: only the
+/// projected columns are sliced, so pruned columns are never copied. Keeps
+/// the relation name, matching the serial `scan_projected`.
+fn slice_scan(
+    base: &Relation,
+    projection: Option<&[String]>,
+    range: Range<usize>,
+) -> Result<Relation, PlanError> {
+    match projection {
+        None => Ok(base.slice(range)),
+        Some(cols) => {
+            let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            let schema = base.schema().subset(&refs)?;
+            let columns = refs
+                .iter()
+                .map(|n| base.column(n).map(|c| c.slice(range.start, range.end)))
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut out = Relation::new(schema, columns)?;
+            if let Some(n) = base.name() {
+                out = out.with_name(n);
+            }
+            Ok(out)
+        }
+    }
+}

@@ -16,6 +16,10 @@ const BLOCK: usize = 64;
 /// thread spawn overhead dominates below.
 const PAR_THRESHOLD: usize = 256 * 256;
 
+/// Flop-count threshold for parallelising dot-product-shaped kernels whose
+/// output may be small while the reduction dimension is long.
+const PAR_FLOPS: usize = 1 << 20;
+
 /// `A · B` (the base result of `mmu`). Shape `(m×k) · (k×n) → (m×n)`.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
     if a.cols() != b.rows() {
@@ -37,13 +41,7 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
     Ok(c)
 }
 
-/// Number of worker threads to use (cores, capped).
-pub fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(16)
-}
+pub use crate::threads::available_threads;
 
 fn matmul_parallel(a: &Matrix, b: &Matrix, c: &mut Matrix, threads: usize) {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
@@ -120,13 +118,34 @@ pub fn crossprod(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
             context: "crossprod: row counts must match",
         });
     }
-    let (m, n) = (a.cols(), b.cols());
+    let (m, n, k) = (a.cols(), b.cols(), a.rows());
     let mut c = Matrix::zeros(m, n);
-    for j in 0..n {
-        let bj = b.col(j);
-        for i in 0..m {
-            let ai = a.col(i);
-            c.set(i, j, dot(ai, bj));
+    let threads = available_threads();
+    if threads > 1 && n > 1 && m * n * k >= PAR_FLOPS {
+        // split C into contiguous column chunks (disjoint in column-major
+        // layout); each worker computes the dot products of its columns
+        let chunk_cols = n.div_ceil(threads).max(1);
+        let buf = c.as_mut_slice();
+        std::thread::scope(|scope| {
+            for (chunk_id, chunk) in buf.chunks_mut(chunk_cols * m).enumerate() {
+                let j_start = chunk_id * chunk_cols;
+                scope.spawn(move || {
+                    for (jc, cj) in chunk.chunks_mut(m).enumerate() {
+                        let bj = b.col(j_start + jc);
+                        for (i, out) in cj.iter_mut().enumerate() {
+                            *out = dot(a.col(i), bj);
+                        }
+                    }
+                });
+            }
+        });
+    } else {
+        for j in 0..n {
+            let bj = b.col(j);
+            for i in 0..m {
+                let ai = a.col(i);
+                c.set(i, j, dot(ai, bj));
+            }
         }
     }
     Ok(c)

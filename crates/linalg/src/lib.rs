@@ -19,6 +19,8 @@
 pub mod bat;
 pub mod dense;
 pub mod error;
+pub mod threads;
 
 pub use dense::Matrix;
 pub use error::LinalgError;
+pub use threads::available_threads;

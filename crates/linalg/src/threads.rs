@@ -1,0 +1,42 @@
+//! Worker-thread budget shared by the parallel dense kernels.
+//!
+//! The count is resolved once per process: the `RMA_THREADS` environment
+//! variable wins (the same knob the execution engine's `RmaOptions::threads`
+//! defaults from, so one setting steers both layers), otherwise the
+//! available hardware parallelism, capped to keep spawn overhead bounded on
+//! very wide machines.
+
+use std::sync::OnceLock;
+
+/// Hard cap on the default worker count (explicit `RMA_THREADS` may exceed
+/// it — an operator who sets the knob gets what they asked for).
+const DEFAULT_THREAD_CAP: usize = 16;
+
+/// Number of worker threads the dense kernels use.
+pub fn available_threads() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Some(n) = std::env::var("RMA_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(DEFAULT_THREAD_CAP)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_least_one_thread() {
+        assert!(available_threads() >= 1);
+        // cached: a second call agrees
+        assert_eq!(available_threads(), available_threads());
+    }
+}

@@ -54,9 +54,11 @@ impl AggSpec {
     }
 }
 
-/// Per-group accumulator.
+/// Per-group accumulator. Accumulators are *mergeable*: the parallel
+/// aggregation path computes one per group per worker and combines them at
+/// the barrier ([`Acc::merge`]).
 #[derive(Debug, Clone, Default)]
-struct Acc {
+pub(super) struct Acc {
     count: u64,
     count_nonnull: u64,
     sum: f64,
@@ -64,15 +66,39 @@ struct Acc {
     max: Option<Value>,
 }
 
-/// ϑ: group `r` by `group_by` and compute the aggregates. With an empty
-/// `group_by` the whole relation is one group (one output row, even when the
-/// input is empty — SQL semantics).
-pub fn aggregate(
-    r: &Relation,
-    group_by: &[&str],
-    aggs: &[AggSpec],
-) -> Result<Relation, RelationError> {
-    // resolve inputs up front
+impl Acc {
+    /// Fold another partial accumulator for the same group into this one.
+    pub(super) fn merge(&mut self, other: &Acc) {
+        self.count += other.count;
+        self.count_nonnull += other.count_nonnull;
+        self.sum += other.sum;
+        if let Some(v) = &other.min {
+            if self.min.as_ref().is_none_or(|m| v.total_cmp(m).is_lt()) {
+                self.min = Some(v.clone());
+            }
+        }
+        if let Some(v) = &other.max {
+            if self.max.as_ref().is_none_or(|m| v.total_cmp(m).is_gt()) {
+                self.max = Some(v.clone());
+            }
+        }
+    }
+}
+
+/// Partial aggregation state over one row range: group keys and
+/// representative rows in first-seen order, plus one accumulator row per
+/// aggregate. Merging partials in range order reproduces the serial
+/// first-seen group order exactly.
+#[derive(Debug, Default)]
+pub(super) struct Partial {
+    pub(super) keys: Vec<Vec<KeyPart>>,
+    pub(super) rep: Vec<usize>,
+    pub(super) accs: Vec<Vec<Acc>>,
+}
+
+/// Check aggregate specs against the input schema (shared by the serial and
+/// parallel paths).
+pub(super) fn validate_aggs(r: &Relation, aggs: &[AggSpec]) -> Result<(), RelationError> {
     for spec in aggs {
         if let Some(input) = &spec.input {
             let dt = r.schema().attribute(input)?.dtype();
@@ -89,33 +115,42 @@ pub fn aggregate(
             )));
         }
     }
-    let group_cols = r.columns_of(group_by)?;
-    let agg_cols: Vec<Option<&Column>> = aggs
-        .iter()
-        .map(|s| s.input.as_deref().map(|n| r.column(n)).transpose())
-        .collect::<Result<_, _>>()?;
+    Ok(())
+}
 
-    // group id assignment: first-seen order, one accumulator row per agg
+/// Accumulate rows `range` of the input into per-group partial states.
+/// `seed_global` inserts the single empty-key group up front (global
+/// aggregation semantics: one output row even for empty input).
+pub(super) fn accumulate(
+    group_cols: &[&Column],
+    agg_cols: &[Option<&Column>],
+    aggs: &[AggSpec],
+    range: std::ops::Range<usize>,
+    seed_global: bool,
+) -> Partial {
     let mut group_ids: HashMap<Vec<KeyPart>, usize> = HashMap::new();
-    let mut rep_row: Vec<usize> = Vec::new(); // a representative row per group
-    let mut accs: Vec<Vec<Acc>> = Vec::new();
-    if group_by.is_empty() {
+    let mut out = Partial::default();
+    if seed_global {
         group_ids.insert(Vec::new(), 0);
-        rep_row.push(0);
-        accs.push(vec![Acc::default(); aggs.len()]);
+        out.keys.push(Vec::new());
+        out.rep.push(0);
+        out.accs.push(vec![Acc::default(); aggs.len()]);
     }
-    for i in 0..r.len() {
-        let key = row_key(&group_cols, i);
-        let next_id = group_ids.len();
-        let gid = *group_ids.entry(key).or_insert_with(|| {
-            rep_row.push(i);
-            next_id
-        });
-        if gid == accs.len() {
-            accs.push(vec![Acc::default(); aggs.len()]);
-        }
+    for i in range {
+        let key = row_key(group_cols, i);
+        let gid = match group_ids.get(&key) {
+            Some(&g) => g,
+            None => {
+                let g = group_ids.len();
+                out.keys.push(key.clone());
+                out.rep.push(i);
+                out.accs.push(vec![Acc::default(); aggs.len()]);
+                group_ids.insert(key, g);
+                g
+            }
+        };
         for (k, spec) in aggs.iter().enumerate() {
-            let acc = &mut accs[gid][k];
+            let acc = &mut out.accs[gid][k];
             acc.count += 1;
             if let Some(col) = agg_cols[k] {
                 if col.is_null(i) {
@@ -124,7 +159,7 @@ pub fn aggregate(
                 acc.count_nonnull += 1;
                 match spec.func {
                     AggFunc::Sum | AggFunc::Avg => {
-                        // numeric-only checked above
+                        // numeric-only checked by validate_aggs
                         acc.sum += value_f64(col, i);
                     }
                     AggFunc::Min => {
@@ -144,7 +179,18 @@ pub fn aggregate(
             }
         }
     }
+    out
+}
 
+/// Build the output relation from finished group states. `rep` holds one
+/// representative row index (into `r`) per group.
+pub(super) fn finalize(
+    r: &Relation,
+    group_by: &[&str],
+    aggs: &[AggSpec],
+    rep: &[usize],
+    accs: &[Vec<Acc>],
+) -> Result<Relation, RelationError> {
     // output schema: group-by attrs followed by aggregate outputs
     let mut attrs: Vec<Attribute> = Vec::with_capacity(group_by.len() + aggs.len());
     for n in group_by {
@@ -157,7 +203,8 @@ pub fn aggregate(
     let schema = Schema::new(attrs)?;
 
     // group-by columns: gather representative rows
-    let mut columns: Vec<Column> = group_cols.iter().map(|c| c.take(&rep_row)).collect();
+    let group_cols = r.columns_of(group_by)?;
+    let mut columns: Vec<Column> = group_cols.iter().map(|c| c.take(rep)).collect();
     // aggregate columns
     for (k, spec) in aggs.iter().enumerate() {
         let dt = output_type(spec, r)?;
@@ -168,6 +215,37 @@ pub fn aggregate(
         columns.push(Column::from_values_typed(dt, &vals)?);
     }
     Relation::new(schema, columns)
+}
+
+/// Resolve the aggregate input columns of `r` (None for `COUNT(*)`).
+pub(super) fn resolve_agg_cols<'a>(
+    r: &'a Relation,
+    aggs: &[AggSpec],
+) -> Result<Vec<Option<&'a Column>>, RelationError> {
+    aggs.iter()
+        .map(|s| s.input.as_deref().map(|n| r.column(n)).transpose())
+        .collect()
+}
+
+/// ϑ: group `r` by `group_by` and compute the aggregates. With an empty
+/// `group_by` the whole relation is one group (one output row, even when the
+/// input is empty — SQL semantics).
+pub fn aggregate(
+    r: &Relation,
+    group_by: &[&str],
+    aggs: &[AggSpec],
+) -> Result<Relation, RelationError> {
+    validate_aggs(r, aggs)?;
+    let group_cols = r.columns_of(group_by)?;
+    let agg_cols = resolve_agg_cols(r, aggs)?;
+    let partial = accumulate(
+        &group_cols,
+        &agg_cols,
+        aggs,
+        0..r.len(),
+        group_by.is_empty(),
+    );
+    finalize(r, group_by, aggs, &partial.rep, &partial.accs)
 }
 
 fn value_f64(col: &Column, i: usize) -> f64 {

@@ -22,11 +22,7 @@ pub fn join_on(a: &Relation, b: &Relation, on: &[(&str, &str)]) -> Result<Relati
 /// Natural join: equi-join on all common attribute names, keeping a single
 /// copy of each join attribute (the paper's `u ⋈ r` on `User`).
 pub fn natural_join(a: &Relation, b: &Relation) -> Result<Relation, RelationError> {
-    let common: Vec<&str> = a
-        .schema()
-        .names()
-        .filter(|n| b.schema().contains(n))
-        .collect();
+    let common = common_attributes(a, b);
     if common.is_empty() {
         return cross_product(a, b);
     }
@@ -65,31 +61,35 @@ pub fn cross_product(a: &Relation, b: &Relation) -> Result<Relation, RelationErr
     Relation::new(schema, columns)
 }
 
-/// Compute matching row-index pairs with a hash table built on the right
-/// input (build side), probed by the left.
-fn hash_join_indices(
-    a: &Relation,
-    b: &Relation,
-    on: &[(&str, &str)],
-) -> Result<(Vec<usize>, Vec<usize>), RelationError> {
-    let left_keys: Vec<&str> = on.iter().map(|(l, _)| *l).collect();
-    let right_keys: Vec<&str> = on.iter().map(|(_, r)| *r).collect();
-    let left_cols = a.columns_of(&left_keys)?;
-    let right_cols = b.columns_of(&right_keys)?;
-
-    let mut table: HashMap<Vec<super::KeyPart>, Vec<usize>> = HashMap::with_capacity(b.len());
-    for j in 0..b.len() {
-        let key = row_key(&right_cols, j);
+/// Build-side hash table over rows `range` of `cols` (row indices are
+/// global, so per-partition tables can be merged in partition order).
+pub(super) fn build_side_range(
+    cols: &[&rma_storage::Column],
+    range: std::ops::Range<usize>,
+) -> HashMap<Vec<super::KeyPart>, Vec<usize>> {
+    let mut table: HashMap<Vec<super::KeyPart>, Vec<usize>> =
+        HashMap::with_capacity(range.end - range.start);
+    for j in range {
+        let key = row_key(cols, j);
         if key_has_null(&key) {
             continue; // NULL keys never match
         }
         table.entry(key).or_default().push(j);
     }
+    table
+}
 
+/// Probe rows `range` of `cols` against a build table, emitting matching
+/// (left, right) global row-index pairs in probe order.
+pub(super) fn probe_range(
+    table: &HashMap<Vec<super::KeyPart>, Vec<usize>>,
+    cols: &[&rma_storage::Column],
+    range: std::ops::Range<usize>,
+) -> (Vec<usize>, Vec<usize>) {
     let mut left_idx = Vec::new();
     let mut right_idx = Vec::new();
-    for i in 0..a.len() {
-        let key = row_key(&left_cols, i);
+    for i in range {
+        let key = row_key(cols, i);
         if key_has_null(&key) {
             continue;
         }
@@ -100,12 +100,43 @@ fn hash_join_indices(
             }
         }
     }
-    Ok((left_idx, right_idx))
+    (left_idx, right_idx)
+}
+
+/// Resolve the key columns of both join sides.
+pub(super) fn join_key_columns<'a>(
+    a: &'a Relation,
+    b: &'a Relation,
+    on: &[(&str, &str)],
+) -> Result<(Vec<&'a rma_storage::Column>, Vec<&'a rma_storage::Column>), RelationError> {
+    let left_keys: Vec<&str> = on.iter().map(|(l, _)| *l).collect();
+    let right_keys: Vec<&str> = on.iter().map(|(_, r)| *r).collect();
+    Ok((a.columns_of(&left_keys)?, b.columns_of(&right_keys)?))
+}
+
+/// Common attribute names of two relations (the natural-join key set).
+pub(super) fn common_attributes<'a>(a: &'a Relation, b: &Relation) -> Vec<&'a str> {
+    a.schema()
+        .names()
+        .filter(|n| b.schema().contains(n))
+        .collect()
+}
+
+/// Compute matching row-index pairs with a hash table built on the right
+/// input (build side), probed by the left.
+fn hash_join_indices(
+    a: &Relation,
+    b: &Relation,
+    on: &[(&str, &str)],
+) -> Result<(Vec<usize>, Vec<usize>), RelationError> {
+    let (left_cols, right_cols) = join_key_columns(a, b, on)?;
+    let table = build_side_range(&right_cols, 0..b.len());
+    Ok(probe_range(&table, &left_cols, 0..a.len()))
 }
 
 /// Gather both sides through the match indices; `drop_right` lists right
 /// attributes omitted from the output (used by natural join).
-fn assemble_join(
+pub(super) fn assemble_join(
     a: &Relation,
     b: &Relation,
     left_idx: &[usize],

@@ -6,15 +6,17 @@
 
 mod aggregate;
 mod join;
+mod parallel;
 mod project;
 mod select;
 mod setops;
 
 pub use aggregate::{aggregate, AggFunc, AggSpec};
 pub use join::{cross_product, join_on, natural_join, theta_join};
+pub use parallel::{aggregate_parallel, join_on_parallel, natural_join_parallel, select_parallel};
 pub use project::{project, project_exprs, rename};
 pub use select::select;
-pub use setops::{distinct, limit, order_by, union_all};
+pub use setops::{distinct, limit, order_by, top_k, union_all};
 
 use rma_storage::{Column, ColumnData};
 

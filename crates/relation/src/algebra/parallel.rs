@@ -1,0 +1,324 @@
+//! Partition-parallel relational operators: σ, ϑ, and hash joins over
+//! row-range morsels (`crate::par`).
+//!
+//! Every operator here is *exactly* result-equivalent to its serial
+//! counterpart, including row order: morsels are contiguous row ranges and
+//! their results are reassembled in range order, so the only difference is
+//! which thread touched which rows. (For `SUM`/`AVG` the floating-point
+//! accumulation order does change — partial sums per morsel are merged at
+//! the barrier — which is the usual contract of parallel aggregation.)
+//!
+//! With `threads <= 1` each function delegates to the serial operator, which
+//! is also the fallback rule the plan executor applies to operators without
+//! a parallel implementation.
+
+use super::aggregate::{accumulate, finalize, resolve_agg_cols, validate_aggs, Partial};
+use super::join::{
+    assemble_join, build_side_range, common_attributes, join_key_columns, probe_range,
+};
+use super::{AggSpec, KeyPart};
+use crate::error::RelationError;
+use crate::expr::Expr;
+use crate::par::{for_each_partition, morsel_count, partition_ranges, MIN_PARALLEL_ROWS};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use std::collections::HashMap;
+
+/// Parallel σ: evaluate the predicate over row-range morsels on worker
+/// threads, then apply the combined selection vector in one pass. Only the
+/// columns the predicate references are sliced per morsel, so the scan of
+/// payload columns happens once, during the final filter.
+pub fn select_parallel(
+    r: &Relation,
+    predicate: &Expr,
+    threads: usize,
+) -> Result<Relation, RelationError> {
+    let mut refs: Vec<String> = Vec::new();
+    predicate.referenced_columns(&mut refs);
+    refs.sort();
+    refs.dedup();
+    if threads <= 1 || r.len() < MIN_PARALLEL_ROWS || refs.is_empty() {
+        return super::select(r, predicate);
+    }
+    let ref_names: Vec<&str> = refs.iter().map(String::as_str).collect();
+    let pred_cols = r.columns_of(&ref_names)?;
+    let pred_schema = Schema::new(
+        ref_names
+            .iter()
+            .map(|n| r.schema().attribute(n).cloned())
+            .collect::<Result<_, _>>()?,
+    )?;
+    let ranges = partition_ranges(r.len(), morsel_count(threads, r.len()));
+    let keeps = for_each_partition(threads, &ranges, |_, range| {
+        let cols = pred_cols
+            .iter()
+            .map(|c| c.slice(range.start, range.end))
+            .collect();
+        let part = Relation::new(pred_schema.clone(), cols)?;
+        predicate.eval_filter(&part)
+    });
+    let mut keep = Vec::with_capacity(r.len());
+    for k in keeps {
+        keep.extend(k?);
+    }
+    Ok(r.filter(&keep))
+}
+
+/// Parallel ϑ: each worker accumulates per-group partial states over its
+/// morsels; partials are merged in morsel order at the barrier, which
+/// reproduces the serial first-seen group order, then finalized once.
+pub fn aggregate_parallel(
+    r: &Relation,
+    group_by: &[&str],
+    aggs: &[AggSpec],
+    threads: usize,
+) -> Result<Relation, RelationError> {
+    if threads <= 1 || r.len() < MIN_PARALLEL_ROWS {
+        return super::aggregate(r, group_by, aggs);
+    }
+    validate_aggs(r, aggs)?;
+    let group_cols = r.columns_of(group_by)?;
+    let agg_cols = resolve_agg_cols(r, aggs)?;
+    let ranges = partition_ranges(r.len(), morsel_count(threads, r.len()));
+    let partials = for_each_partition(threads, &ranges, |_, range| {
+        accumulate(&group_cols, &agg_cols, aggs, range.clone(), false)
+    });
+
+    // merge at the barrier, in morsel order
+    let mut merged = Partial::default();
+    let mut group_ids: HashMap<Vec<KeyPart>, usize> = HashMap::new();
+    if group_by.is_empty() {
+        // global aggregation: one group even over empty input
+        group_ids.insert(Vec::new(), 0);
+        merged.keys.push(Vec::new());
+        merged.rep.push(0);
+        merged.accs.push(vec![Default::default(); aggs.len()]);
+    }
+    for partial in partials {
+        for (k, key) in partial.keys.into_iter().enumerate() {
+            let gid = match group_ids.get(&key) {
+                Some(&g) => g,
+                None => {
+                    let g = group_ids.len();
+                    merged.keys.push(key.clone());
+                    merged.rep.push(partial.rep[k]);
+                    merged.accs.push(vec![Default::default(); aggs.len()]);
+                    group_ids.insert(key, g);
+                    g
+                }
+            };
+            for (j, acc) in partial.accs[k].iter().enumerate() {
+                merged.accs[gid][j].merge(acc);
+            }
+        }
+    }
+    finalize(r, group_by, aggs, &merged.rep, &merged.accs)
+}
+
+/// Parallel hash equi-join: partitioned build (per-morsel hash tables over
+/// the right side, merged in morsel order so match lists stay ascending)
+/// followed by a partitioned probe of the left side.
+pub fn join_on_parallel(
+    a: &Relation,
+    b: &Relation,
+    on: &[(&str, &str)],
+    threads: usize,
+) -> Result<Relation, RelationError> {
+    if on.is_empty() {
+        return Err(RelationError::Expression(
+            "equi-join requires at least one key pair".to_string(),
+        ));
+    }
+    if threads <= 1 || (a.len() < MIN_PARALLEL_ROWS && b.len() < MIN_PARALLEL_ROWS) {
+        return super::join_on(a, b, on);
+    }
+    let (left_idx, right_idx) = parallel_join_indices(a, b, on, threads)?;
+    assemble_join(a, b, &left_idx, &right_idx, &[])
+}
+
+/// Parallel natural join: the equi-join machinery over all common attribute
+/// names, dropping the duplicated key columns.
+pub fn natural_join_parallel(
+    a: &Relation,
+    b: &Relation,
+    threads: usize,
+) -> Result<Relation, RelationError> {
+    if threads <= 1 || (a.len() < MIN_PARALLEL_ROWS && b.len() < MIN_PARALLEL_ROWS) {
+        return super::natural_join(a, b);
+    }
+    let common = common_attributes(a, b);
+    if common.is_empty() {
+        return super::cross_product(a, b);
+    }
+    let pairs: Vec<(&str, &str)> = common.iter().map(|&n| (n, n)).collect();
+    let (left_idx, right_idx) = parallel_join_indices(a, b, &pairs, threads)?;
+    assemble_join(a, b, &left_idx, &right_idx, &common)
+}
+
+fn parallel_join_indices(
+    a: &Relation,
+    b: &Relation,
+    on: &[(&str, &str)],
+    threads: usize,
+) -> Result<(Vec<usize>, Vec<usize>), RelationError> {
+    let (left_cols, right_cols) = join_key_columns(a, b, on)?;
+
+    // build: per-morsel tables over the right side, merged in morsel order.
+    // Global row indices within a morsel are ascending and morsels are
+    // disjoint ascending ranges, so each key's merged match list is exactly
+    // the serial one.
+    let build_ranges = partition_ranges(b.len(), morsel_count(threads, b.len()));
+    let tables = for_each_partition(threads, &build_ranges, |_, range| {
+        build_side_range(&right_cols, range.clone())
+    });
+    let mut table: HashMap<Vec<KeyPart>, Vec<usize>> = HashMap::with_capacity(b.len());
+    for part in tables {
+        for (key, mut rows) in part {
+            table.entry(key).or_default().append(&mut rows);
+        }
+    }
+
+    // probe: morsels of the left side, results concatenated in morsel order
+    let probe_ranges = partition_ranges(a.len(), morsel_count(threads, a.len()));
+    let pairs = for_each_partition(threads, &probe_ranges, |_, range| {
+        probe_range(&table, &left_cols, range.clone())
+    });
+    let mut left_idx = Vec::new();
+    let mut right_idx = Vec::new();
+    for (mut l, mut r) in pairs {
+        left_idx.append(&mut l);
+        right_idx.append(&mut r);
+    }
+    Ok((left_idx, right_idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{aggregate, join_on, natural_join, select, AggFunc};
+    use crate::relation::RelationBuilder;
+
+    /// A relation large enough that every morsel is non-trivial, with
+    /// duplicate join/group keys.
+    fn sample(n: usize) -> Relation {
+        let key: Vec<i64> = (0..n as i64).map(|i| i % 17).collect();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7) % 23) as f64).collect();
+        let tag: Vec<String> = (0..n).map(|i| format!("t{}", i % 5)).collect();
+        RelationBuilder::new()
+            .name("sample")
+            .column("k", key)
+            .column("x", x)
+            .column("tag", tag)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_select_matches_serial() {
+        let r = sample(2497);
+        let p = Expr::col("x")
+            .gt(Expr::lit(5.0))
+            .and(Expr::col("k").lt(Expr::lit(11i64)));
+        for threads in [2, 4, 8] {
+            let par = select_parallel(&r, &p, threads).unwrap();
+            let ser = select(&r, &p).unwrap();
+            assert_eq!(par, ser, "threads={threads}");
+            assert_eq!(par.name(), Some("sample"));
+        }
+    }
+
+    #[test]
+    fn parallel_select_literal_predicate_falls_back() {
+        let r = sample(50);
+        let p = Expr::lit(1i64).eq(Expr::lit(1i64));
+        assert_eq!(select_parallel(&r, &p, 4).unwrap(), select(&r, &p).unwrap());
+    }
+
+    #[test]
+    fn parallel_aggregate_matches_serial() {
+        let r = sample(2113);
+        let aggs = [
+            AggSpec::count_star("n"),
+            AggSpec::sum("x", "s"),
+            AggSpec::avg("x", "a"),
+            AggSpec::new(AggFunc::Min, Some("x"), "lo"),
+            AggSpec::new(AggFunc::Max, Some("tag"), "hi"),
+        ];
+        for threads in [2, 4] {
+            let par = aggregate_parallel(&r, &["k"], &aggs, threads).unwrap();
+            let ser = aggregate(&r, &["k"], &aggs).unwrap();
+            // x is integer-valued, so partial-sum merge order is exact
+            assert_eq!(par, ser, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_global_aggregate_and_empty_input() {
+        let r = sample(2400);
+        let aggs = [AggSpec::count_star("n"), AggSpec::sum("x", "s")];
+        assert_eq!(
+            aggregate_parallel(&r, &[], &aggs, 4).unwrap(),
+            aggregate(&r, &[], &aggs).unwrap()
+        );
+        let empty = r.take(&[]);
+        assert_eq!(
+            aggregate_parallel(&empty, &[], &aggs, 4).unwrap(),
+            aggregate(&empty, &[], &aggs).unwrap()
+        );
+        assert_eq!(
+            aggregate_parallel(&empty, &["k"], &aggs, 4).unwrap(),
+            aggregate(&empty, &["k"], &aggs).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_join_matches_serial() {
+        let a = sample(611);
+        let b = {
+            let key: Vec<i64> = (0..300i64).map(|i| i % 19).collect();
+            let y: Vec<f64> = (0..300).map(|i| i as f64).collect();
+            RelationBuilder::new()
+                .column("j", key)
+                .column("y", y)
+                .build()
+                .unwrap()
+        };
+        for threads in [2, 4] {
+            let par = join_on_parallel(&a, &b, &[("k", "j")], threads).unwrap();
+            let ser = join_on(&a, &b, &[("k", "j")]).unwrap();
+            assert_eq!(par, ser, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_natural_join_matches_serial() {
+        let a = sample(2201);
+        let b = {
+            let k: Vec<i64> = (0..17).collect();
+            let w: Vec<f64> = (0..17).map(|i| (i * i) as f64).collect();
+            RelationBuilder::new()
+                .column("k", k)
+                .column("w", w)
+                .build()
+                .unwrap()
+        };
+        let par = natural_join_parallel(&a, &b, 4).unwrap();
+        let ser = natural_join(&a, &b).unwrap();
+        assert_eq!(par, ser);
+        // no common attributes → cross product, same as serial
+        let c = RelationBuilder::new()
+            .column("z", vec![1i64, 2])
+            .build()
+            .unwrap();
+        assert_eq!(
+            natural_join_parallel(&b, &c, 4).unwrap(),
+            natural_join(&b, &c).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_join_empty_on_rejected() {
+        let r = sample(10);
+        assert!(join_on_parallel(&r, &r, &[], 4).is_err());
+    }
+}

@@ -63,6 +63,86 @@ pub fn order_by(
     Ok(r.take(&perm))
 }
 
+/// Top-k: the first `n` rows of `ORDER BY attrs` without materialising the
+/// full sort. A bounded binary max-heap of row indices keeps the current k
+/// best rows; each remaining row either displaces the heap root or is
+/// dropped, so the cost is O(|r| log n) instead of O(|r| log |r|).
+///
+/// Ties are broken by row index, which makes the result identical to
+/// `limit(order_by(r, ...), n, 0)` (the stable serial sort).
+pub fn top_k(
+    r: &Relation,
+    attrs: &[&str],
+    ascending: &[bool],
+    n: usize,
+) -> Result<Relation, RelationError> {
+    if !ascending.is_empty() && ascending.len() != attrs.len() {
+        return Err(RelationError::ArityMismatch {
+            expected: attrs.len(),
+            found: ascending.len(),
+        });
+    }
+    let cols = r.columns_of(attrs)?;
+    let cmp = |&x: &usize, &y: &usize| -> std::cmp::Ordering {
+        for (k, c) in cols.iter().enumerate() {
+            let asc = ascending.get(k).copied().unwrap_or(true);
+            let ord = c.cmp_rows(x, y);
+            let ord = if asc { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        x.cmp(&y) // index tie-break = stable-sort order
+    };
+    if n == 0 {
+        return Ok(r.take(&[]));
+    }
+    // bounded max-heap over row indices: heap[0] is the worst of the k best
+    let mut heap: Vec<usize> = Vec::with_capacity(n.min(r.len()));
+    let sift_up = |heap: &mut Vec<usize>, mut i: usize| {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if cmp(&heap[i], &heap[parent]).is_gt() {
+                heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    };
+    let sift_down = |heap: &mut Vec<usize>| {
+        let len = heap.len();
+        let mut i = 0;
+        loop {
+            let (l, rgt) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < len && cmp(&heap[l], &heap[largest]).is_gt() {
+                largest = l;
+            }
+            if rgt < len && cmp(&heap[rgt], &heap[largest]).is_gt() {
+                largest = rgt;
+            }
+            if largest == i {
+                break;
+            }
+            heap.swap(i, largest);
+            i = largest;
+        }
+    };
+    for i in 0..r.len() {
+        if heap.len() < n {
+            heap.push(i);
+            let last = heap.len() - 1;
+            sift_up(&mut heap, last);
+        } else if cmp(&i, &heap[0]).is_lt() {
+            heap[0] = i;
+            sift_down(&mut heap);
+        }
+    }
+    heap.sort_by(cmp);
+    Ok(r.take(&heap))
+}
+
 /// `LIMIT n` (with optional `OFFSET`).
 pub fn limit(r: &Relation, n: usize, offset: usize) -> Relation {
     let end = (offset + n).min(r.len());
@@ -146,6 +226,39 @@ mod tests {
     #[test]
     fn order_by_direction_arity_checked() {
         assert!(order_by(&rel(), &["x"], &[true, false]).is_err());
+    }
+
+    #[test]
+    fn top_k_matches_sort_plus_limit() {
+        let r = RelationBuilder::new()
+            .column("a", vec![5i64, 1, 4, 1, 3, 2, 5, 0])
+            .column("b", vec!["e", "b", "d", "a", "c", "x", "y", "z"])
+            .build()
+            .unwrap();
+        for n in 0..=9 {
+            for dirs in [vec![true], vec![false]] {
+                let tk = top_k(&r, &["a"], &dirs, n).unwrap();
+                let full = limit(&order_by(&r, &["a"], &dirs).unwrap(), n, 0);
+                assert_eq!(tk, full, "n={n} dirs={dirs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_breaks_ties_like_stable_sort() {
+        let r = RelationBuilder::new()
+            .column("a", vec![1i64, 1, 1, 1])
+            .column("i", vec![0i64, 1, 2, 3])
+            .build()
+            .unwrap();
+        let tk = top_k(&r, &["a"], &[], 2).unwrap();
+        assert_eq!(tk.cell(0, "i").unwrap(), Value::Int(0));
+        assert_eq!(tk.cell(1, "i").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn top_k_checks_direction_arity() {
+        assert!(top_k(&rel(), &["x"], &[true, false], 1).is_err());
     }
 
     #[test]

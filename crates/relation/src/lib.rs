@@ -8,14 +8,17 @@
 pub mod algebra;
 pub mod error;
 pub mod expr;
+pub mod par;
 pub mod relation;
 pub mod schema;
 
 pub use algebra::{
-    aggregate, cross_product, distinct, join_on, limit, natural_join, order_by, project,
-    project_exprs, rename, select, theta_join, union_all, AggFunc, AggSpec,
+    aggregate, aggregate_parallel, cross_product, distinct, join_on, join_on_parallel, limit,
+    natural_join, natural_join_parallel, order_by, project, project_exprs, rename, select,
+    select_parallel, theta_join, top_k, union_all, AggFunc, AggSpec,
 };
 pub use error::RelationError;
 pub use expr::{BinOp, Expr, ScalarFunc};
+pub use par::{for_each_partition, morsel_count, partition_ranges};
 pub use relation::{Relation, RelationBuilder};
 pub use schema::{Attribute, Schema};

@@ -1,0 +1,151 @@
+//! Morsel-driven parallelism primitives: the row-range partitioner and a
+//! small work-claiming scheduler on `std::thread`.
+//!
+//! A *morsel* is a contiguous row range of a relation. Parallel operators
+//! split their input into morsels and let a fixed set of worker threads
+//! claim them from a shared atomic counter — faster workers simply claim
+//! more morsels, which gives work-stealing-like load balancing without
+//! per-task queues or external dependencies. Results are reassembled in
+//! morsel order, so parallel execution is deterministic and produces the
+//! same row order as the serial operator.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Morsels per worker thread: enough slack that an uneven morsel (e.g. a
+/// selective filter hitting one range) rebalances onto idle workers.
+const MORSELS_PER_THREAD: usize = 4;
+
+/// Inputs below this many rows run the serial operator even when threads
+/// are available: thread spawn/join costs tens of microseconds, which
+/// dwarfs the operator itself on small relations (the relational analogue
+/// of the dense kernels' element thresholds).
+pub const MIN_PARALLEL_ROWS: usize = 1024;
+
+/// Split `0..len` into at most `parts` contiguous, non-empty ranges of
+/// near-equal size (sizes differ by at most one; longer ranges first).
+/// Deterministic: the same `(len, parts)` always yields the same split.
+/// An empty input yields no ranges.
+pub fn partition_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let rem = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for k in 0..parts {
+        let size = base + usize::from(k < rem);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// The morsel count for an operator over `len` rows with `threads` workers.
+pub fn morsel_count(threads: usize, len: usize) -> usize {
+    (threads.max(1) * MORSELS_PER_THREAD).min(len).max(1)
+}
+
+/// Run `f` over every item on up to `threads` scoped worker threads and
+/// return the results in item order. Workers claim items from a shared
+/// counter (morsel-driven dispatch); with `threads <= 1` or a single item
+/// the work runs inline on the caller's thread.
+pub fn for_each_partition<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let mut collected: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(i, item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            collected.extend(h.join().expect("morsel worker panicked"));
+        }
+    });
+    collected.sort_unstable_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitioner_empty_table() {
+        assert!(partition_ranges(0, 4).is_empty());
+        assert!(partition_ranges(0, 0).is_empty());
+    }
+
+    #[test]
+    fn partitioner_fewer_rows_than_partitions() {
+        let r = partition_ranges(3, 8);
+        assert_eq!(r, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn partitioner_uneven_split() {
+        let r = partition_ranges(10, 4);
+        assert_eq!(r, vec![0..3, 3..6, 6..8, 8..10]);
+        // ranges cover the input exactly, sizes differ by at most one
+        let sizes: Vec<usize> = r.iter().map(|x| x.end - x.start).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn partitioner_even_split_and_single_part() {
+        assert_eq!(partition_ranges(8, 4), vec![0..2, 2..4, 4..6, 6..8]);
+        assert_eq!(partition_ranges(5, 1), vec![0..5]);
+        // parts = 0 is clamped to one range
+        assert_eq!(partition_ranges(5, 0), vec![0..5]);
+    }
+
+    #[test]
+    fn partitioner_is_deterministic() {
+        assert_eq!(partition_ranges(1234, 7), partition_ranges(1234, 7));
+    }
+
+    #[test]
+    fn scheduler_preserves_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = for_each_partition(4, &items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scheduler_runs_inline_when_serial() {
+        let items = vec![1, 2, 3];
+        assert_eq!(for_each_partition(1, &items, |_, &x| x + 1), vec![2, 3, 4]);
+        assert_eq!(for_each_partition(0, &items, |_, &x| x + 1), vec![2, 3, 4]);
+        let one = vec![9];
+        assert_eq!(for_each_partition(8, &one, |_, &x| x), vec![9]);
+        let none: Vec<i32> = Vec::new();
+        assert!(for_each_partition(8, &none, |_, &x| x).is_empty());
+    }
+}

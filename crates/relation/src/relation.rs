@@ -146,6 +146,45 @@ impl Relation {
         }
     }
 
+    /// Copy out the contiguous row range `range` (one partition of a
+    /// row-range partitioned scan), preserving schema and name.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Relation {
+        Relation {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| c.slice(range.start, range.end))
+                .collect(),
+        }
+    }
+
+    /// Concatenate partition results back into one relation. All parts must
+    /// share the first part's schema exactly; the first part's name is kept
+    /// (parallel operators split a named relation and reassemble it).
+    pub fn concat(parts: &[Relation]) -> Result<Relation, RelationError> {
+        let Some((first, rest)) = parts.split_first() else {
+            return Err(RelationError::Expression(
+                "concat of zero partitions".to_string(),
+            ));
+        };
+        let mut columns = first.columns.clone();
+        for part in rest {
+            if part.schema != first.schema {
+                return Err(RelationError::NotUnionCompatible);
+            }
+            for (c, other) in columns.iter_mut().zip(&part.columns) {
+                c.append(other)?;
+            }
+        }
+        Ok(Relation {
+            name: first.name.clone(),
+            schema: first.schema.clone(),
+            columns,
+        })
+    }
+
     /// Keep rows whose flag is set.
     pub fn filter(&self, keep: &[bool]) -> Relation {
         Relation {

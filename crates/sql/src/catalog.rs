@@ -1,7 +1,7 @@
 //! Named-relation catalog.
 
 use crate::error::SqlError;
-use rma_core::plan::TableProvider;
+use rma_core::plan::{PartitionedTableProvider, TableProvider};
 use rma_relation::Relation;
 use std::collections::HashMap;
 
@@ -59,6 +59,10 @@ impl TableProvider for Catalog {
         self.get(name)
     }
 }
+
+/// Catalog tables are in-memory relations, so the default row-range
+/// partitioner serves as the parallel scan source.
+impl PartitionedTableProvider for Catalog {}
 
 #[cfg(test)]
 mod tests {

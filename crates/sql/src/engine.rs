@@ -50,13 +50,23 @@ impl Engine {
         }
     }
 
-    /// Engine with explicit RMA options (backend, sort policy, …).
+    /// Engine with explicit RMA options (backend, sort policy, threads, …).
     pub fn with_options(options: RmaOptions) -> Self {
         Engine {
             catalog: Catalog::new(),
             rma: RmaContext::new(options),
             optimize: true,
         }
+    }
+
+    /// Engine with an explicit worker-thread count for plan execution
+    /// (`1` forces the serial plan interpreter; other options default —
+    /// the dense kernels keep their process-wide `RMA_THREADS` budget).
+    pub fn with_threads(threads: usize) -> Self {
+        Engine::with_options(RmaOptions {
+            threads: threads.max(1),
+            ..RmaOptions::default()
+        })
     }
 
     /// The RMA execution context (for reading kernel statistics).
@@ -348,6 +358,57 @@ mod tests {
                 assert!((a - b).abs() < 1e-9, "{c}[{i}]: {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn parallel_engine_matches_serial() {
+        // the same script executed at 1 and 4 worker threads produces
+        // identical relations (scan→filter pipeline, join, aggregation)
+        let build = |threads: usize| {
+            let mut e = Engine::with_threads(threads);
+            e.execute("CREATE TABLE t (k INT, g INT, x DOUBLE)")
+                .unwrap();
+            let rows: Vec<String> = (0..500)
+                .map(|i| format!("({}, {}, {}.0)", i, i % 7, (i * 3) % 11))
+                .collect();
+            e.execute(&format!("INSERT INTO t VALUES {}", rows.join(", ")))
+                .unwrap();
+            e
+        };
+        let queries = [
+            "SELECT k, x FROM t WHERE x > 4 AND k < 400",
+            "SELECT g, COUNT(*) AS n, SUM(x) AS s FROM t WHERE k > 10 GROUP BY g",
+            "SELECT * FROM t a JOIN (SELECT g AS g2, AVG(x) AS m FROM t GROUP BY g) b ON g = g2 WHERE k < 50",
+        ];
+        let mut serial = build(1);
+        let mut parallel = build(4);
+        for q in queries {
+            assert_eq!(serial.query(q).unwrap(), parallel.query(q).unwrap(), "{q}");
+        }
+    }
+
+    #[test]
+    fn explain_shows_topk_replacing_sort_limit() {
+        let mut e = engine_with_rating();
+        let plan = e
+            .explain("SELECT u, Heat FROM rating ORDER BY Heat DESC LIMIT 2")
+            .unwrap();
+        assert!(plan.contains("TopK"), "expected TopK:\n{plan}");
+        assert!(!plan.contains("OrderBy"), "sort not fused:\n{plan}");
+        assert!(!plan.contains("Limit"), "limit not fused:\n{plan}");
+        // without the optimizer the Sort+Limit pair survives
+        e.optimize = false;
+        let plan = e
+            .explain("SELECT u, Heat FROM rating ORDER BY Heat DESC LIMIT 2")
+            .unwrap();
+        assert!(plan.contains("OrderBy") && plan.contains("Limit"));
+        // and the fused plan returns the right rows
+        e.optimize = true;
+        let r = e
+            .query("SELECT u, Heat FROM rating ORDER BY Heat DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(r.cell(0, "u").unwrap(), Value::from("Jan"));
+        assert_eq!(r.cell(1, "u").unwrap(), Value::from("Ann"));
     }
 
     #[test]

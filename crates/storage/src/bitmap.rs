@@ -86,6 +86,23 @@ impl Bitmap {
         out
     }
 
+    /// The bits of the contiguous row range `start..end`, as a new bitmap
+    /// (partitioned scans slice the validity mask along with the data).
+    pub fn slice(&self, start: usize, end: usize) -> Bitmap {
+        assert!(
+            start <= end && end <= self.len,
+            "bitmap slice {start}..{end} out of range {}",
+            self.len
+        );
+        let mut out = Bitmap::new(end - start);
+        for i in start..end {
+            if self.get(i) {
+                out.set(i - start);
+            }
+        }
+        out
+    }
+
     /// Append another bitmap.
     pub fn extend(&mut self, other: &Bitmap) {
         let old = self.len;
