@@ -38,7 +38,7 @@ fn main() {
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = [
             "fig13", "tab4", "tab5", "tab6", "tab7", "fig14", "fig15", "fig16", "fig17", "fig18",
-            "scaling",
+            "scaling", "pipeline",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -58,6 +58,7 @@ fn main() {
             "fig17" => fig17(scale),
             "fig18" => fig18(scale),
             "scaling" => scaling(scale),
+            "pipeline" => pipeline(scale),
             other => eprintln!("unknown target `{other}` (skipped)"),
         }
     }
@@ -459,6 +460,48 @@ fn scaling(scale: usize) {
         );
     }
     println!("(target: ≥1.5× at 4 threads on a ≥4-core machine)\n");
+}
+
+/// Late materialization (PR 3): the Scan→Select→Project→Join chain at
+/// 1% / 10% / 90% selectivity, eager copy-per-operator execution vs the
+/// selection-vector pipeline. Emits BENCH_pipeline.json.
+fn pipeline(scale: usize) {
+    println!("## Pipeline — late materialization (Scan→Select→Project→Join)");
+    let rows = (20_000_000 / scale.max(1)).max(100_000);
+    let (fact, dim) = rma_bench::pipeline_tables(rows, 1000, 33);
+    println!("### {rows} fact rows × 1000 dimension rows");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "%keep", "eager(s)", "lazy(s)", "speedup"
+    );
+    let mut records = Vec::new();
+    for pct in [1usize, 10, 90] {
+        let cutoff = (pct * 10) as i64; // f is uniform in 0..1000
+                                        // warm-up pass (page in the tables), then one timed run per mode
+        let _ = rma_bench::run_pipeline(&fact, &dim, cutoff, false);
+        let (eager_t, eager_check) = rma_bench::run_pipeline(&fact, &dim, cutoff, true);
+        let (lazy_t, lazy_check) = rma_bench::run_pipeline(&fact, &dim, cutoff, false);
+        assert_eq!(
+            eager_check, lazy_check,
+            "eager and lazy pipelines diverged at {pct}% selectivity"
+        );
+        let speedup = eager_t.as_secs_f64() / lazy_t.as_secs_f64();
+        println!(
+            "{pct:>6} {:>12} {:>12} {speedup:>8.2}",
+            secs(eager_t),
+            secs(lazy_t)
+        );
+        records.push(format!(
+            "{{\"selectivity\": {:.2}, \"rows\": {rows}, \"eager_s\": {:.6}, \"lazy_s\": {:.6}, \"speedup\": {:.3}}}",
+            pct as f64 / 100.0,
+            eager_t.as_secs_f64(),
+            lazy_t.as_secs_f64(),
+            speedup
+        ));
+    }
+    let json = format!("[\n  {}\n]\n", records.join(",\n  "));
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("(recorded in BENCH_pipeline.json; target: ≥2x at 1% selectivity)\n");
 }
 
 /// Fig. 18: trip count addition.

@@ -756,3 +756,112 @@ pub fn run_thread_scaling(table: &Relation, threads: usize) -> (Duration, i64) {
     }
     (elapsed, checksum)
 }
+
+// ---------------------------------------------------------------------
+// Late-materialization pipeline (PR 3)
+// ---------------------------------------------------------------------
+
+/// Tables for the Scan→Select→Project→Join pipeline bench: a fact table
+/// with a join key `k` into the dimension, an integer filter column `f`
+/// uniform in `0..1000` (so a cutoff of `c` keeps c/1000 of the rows), and
+/// three float payload columns; a dimension table keyed on `dk` with one
+/// weight column.
+pub fn pipeline_tables(rows: usize, dim_rows: usize, seed: u64) -> (Relation, Relation) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k: Vec<i64> = (0..rows)
+        .map(|_| rng.gen_range(0..dim_rows as i64))
+        .collect();
+    let f: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..1000)).collect();
+    let a: Vec<f64> = (0..rows).map(|_| rng.gen_range(-100.0..100.0)).collect();
+    let b: Vec<f64> = (0..rows).map(|_| rng.gen_range(-100.0..100.0)).collect();
+    let c: Vec<f64> = (0..rows).map(|_| rng.gen_range(0.0..100.0)).collect();
+    let fact = rma_relation::RelationBuilder::new()
+        .name("fact")
+        .column("k", k)
+        .column("f", f)
+        .column("a", a)
+        .column("b", b)
+        .column("c", c)
+        .build()
+        .expect("valid fact table");
+    let dk: Vec<i64> = (0..dim_rows as i64).collect();
+    let w: Vec<f64> = (0..dim_rows).map(|_| rng.gen_range(0.0..10.0)).collect();
+    let dim = rma_relation::RelationBuilder::new()
+        .name("dim")
+        .column("dk", dk)
+        .column("w", w)
+        .build()
+        .expect("valid dimension table");
+    (fact, dim)
+}
+
+/// Deep-copy every column's data vector (and bitmap), defeating the Arc
+/// sharing — this reproduces what the seed engine paid per operator, when
+/// `Relation::clone`/`project` duplicated the backing `Vec`s.
+fn deep_copy(r: &Relation) -> Relation {
+    let columns: Vec<rma_storage::Column> = r
+        .columns()
+        .iter()
+        .map(|c| match c.nulls() {
+            Some(b) => rma_storage::Column::with_nulls(c.data().clone(), b.clone())
+                .expect("bitmap length matches"),
+            None => rma_storage::Column::new(c.data().clone()),
+        })
+        .collect();
+    let mut out =
+        Relation::new(r.schema().clone(), columns).expect("schema unchanged by deep copy");
+    if let Some(n) = r.name() {
+        out = out.with_name(n);
+    }
+    out
+}
+
+/// One run of the `Scan→σ(f < cutoff)→π(k,a,b)→⋈ dim` pipeline.
+///
+/// `eager` reproduces the seed's copy-per-operator execution: the scan
+/// deep-copies the table, σ materialises the surviving rows, π deep-copies
+/// the kept columns. The lazy path is today's engine: the scan is shared,
+/// σ and π produce selection-vector views, and the join probes through the
+/// SelVec — the only copy is the final gather of matching rows.
+///
+/// Returns wall time and a position-sensitive checksum of the join result,
+/// so the two paths can be asserted identical.
+pub fn run_pipeline(fact: &Relation, dim: &Relation, cutoff: i64, eager: bool) -> (Duration, i64) {
+    let pred = Expr::col("f").lt(Expr::lit(cutoff));
+    let t = Instant::now();
+    let out = if eager {
+        let scanned = deep_copy(fact);
+        let selected = rma_relation::select(&scanned, &pred)
+            .expect("σ")
+            .materialize();
+        let projected = deep_copy(&project(&selected, &["k", "a", "b"]).expect("π"));
+        rma_relation::join_on(&projected, dim, &[("k", "dk")]).expect("⋈")
+    } else {
+        let selected = rma_relation::select(fact, &pred).expect("σ");
+        let projected = project(&selected, &["k", "a", "b"]).expect("π");
+        rma_relation::join_on(&projected, dim, &[("k", "dk")]).expect("⋈")
+    };
+    let elapsed = t.elapsed();
+    // position-sensitive digest over the key AND the payload columns, so a
+    // gather bug that corrupts only non-key data still flips the checksum
+    let mut checksum = out.len() as i64;
+    let ks = match out.column("k").expect("k").data() {
+        rma_storage::ColumnData::Int(v) => v,
+        _ => unreachable!("k is an int column"),
+    };
+    for &k in ks {
+        checksum = checksum.wrapping_mul(31).wrapping_add(k + 1);
+    }
+    for payload in ["a", "b", "w"] {
+        let vs = match out.column(payload).expect("payload").data() {
+            rma_storage::ColumnData::Float(v) => v,
+            _ => unreachable!("payloads are float columns"),
+        };
+        for &x in vs {
+            checksum = checksum.wrapping_mul(31).wrapping_add(x.to_bits() as i64);
+        }
+    }
+    (elapsed, checksum)
+}

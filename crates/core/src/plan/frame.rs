@@ -231,14 +231,16 @@ impl Frame {
     }
 
     /// Optimize and execute the plan, resolving named tables through the
-    /// provider.
+    /// provider. `collect` is a pipeline sink: intermediate results flow
+    /// through as selection-vector views, and the final relation is
+    /// compacted here before it is handed to the caller.
     pub fn collect_with(
         &self,
         ctx: &RmaContext,
         provider: &dyn PartitionedTableProvider,
     ) -> Result<Relation, PlanError> {
         let plan = optimize(self.plan.clone(), ctx, provider);
-        execute(&plan, ctx, provider)
+        Ok(execute(&plan, ctx, provider)?.materialize())
     }
 
     /// Render the optimized plan as an EXPLAIN-style tree.

@@ -10,6 +10,12 @@
 //! next morsel. Results are concatenated in range order, which makes the
 //! parallel pipeline produce exactly the serial interpreter's rows.
 //!
+//! Late materialization: a morsel is a *range-SelVec view* over the shared
+//! base columns — claiming one copies nothing — and σ/π keep it a view, so
+//! the only per-row copying in the whole pipeline is the final
+//! range-ordered reassembly ([`Relation::concat`]), which gathers each
+//! morsel's surviving rows directly into the output columns.
+//!
 //! Operators that need cross-partition state — joins, aggregation — are
 //! parallelised operator-at-a-time in `exec.rs` (partitioned build/probe and
 //! per-worker partial aggregates merged at a barrier); everything else falls
@@ -125,9 +131,12 @@ fn run_stages(
     Ok(part)
 }
 
-/// Materialise one morsel of a (possibly projection-pruned) scan: only the
-/// projected columns are sliced, so pruned columns are never copied. Keeps
-/// the relation name, matching the serial `scan_projected`.
+/// One morsel of a (possibly projection-pruned) scan, as a zero-copy
+/// range-SelVec view over the shared base columns: nothing is sliced or
+/// copied here — pruned columns are dropped by the (equally zero-copy)
+/// projection, and the rows a downstream stage actually keeps are gathered
+/// once, at the pipeline's reassembly sink. Keeps the relation name,
+/// matching the serial `scan_projected`.
 fn slice_scan(
     base: &Relation,
     projection: Option<&[String]>,
@@ -137,16 +146,7 @@ fn slice_scan(
         None => Ok(base.slice(range)),
         Some(cols) => {
             let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
-            let schema = base.schema().subset(&refs)?;
-            let columns = refs
-                .iter()
-                .map(|n| base.column(n).map(|c| c.slice(range.start, range.end)))
-                .collect::<Result<Vec<_>, _>>()?;
-            let mut out = Relation::new(schema, columns)?;
-            if let Some(n) = base.name() {
-                out = out.with_name(n);
-            }
-            Ok(out)
+            Ok(rel::project(base, &refs)?.slice(range))
         }
     }
 }

@@ -1,9 +1,18 @@
 //! Joins: hash equi-join, natural join, theta join, cross product.
+//!
+//! Late materialization: both join inputs may be selection-vector views.
+//! The build and probe sides read key cells straight through their
+//! selection vectors ([`JoinSide`]) — neither side is compacted — and the
+//! hash table hashes typed column slices ([`super::hash_row`]) instead of
+//! boxing a `Value` key per row. The single gather happens in
+//! [`assemble_join`], which composes the match indices with each side's
+//! selection vector and materialises only the surviving rows.
 
-use super::{key_has_null, row_key};
+use super::{hash_row, rows_eq};
 use crate::error::RelationError;
 use crate::expr::Expr;
 use crate::relation::Relation;
+use rma_storage::SelVec;
 use std::collections::HashMap;
 
 /// Inner equi-join `a ⋈_{a.x = b.y} b` via a hash table on the smaller
@@ -16,7 +25,7 @@ pub fn join_on(a: &Relation, b: &Relation, on: &[(&str, &str)]) -> Result<Relati
         ));
     }
     let (left_idx, right_idx) = hash_join_indices(a, b, on)?;
-    assemble_join(a, b, &left_idx, &right_idx, &[])
+    assemble_join(a, b, left_idx, right_idx, &[])
 }
 
 /// Natural join: equi-join on all common attribute names, keeping a single
@@ -28,7 +37,7 @@ pub fn natural_join(a: &Relation, b: &Relation) -> Result<Relation, RelationErro
     }
     let pairs: Vec<(&str, &str)> = common.iter().map(|&n| (n, n)).collect();
     let (left_idx, right_idx) = hash_join_indices(a, b, &pairs)?;
-    assemble_join(a, b, &left_idx, &right_idx, &common)
+    assemble_join(a, b, left_idx, right_idx, &common)
 }
 
 /// General theta join: nested-loop join with an arbitrary predicate over the
@@ -51,67 +60,115 @@ pub fn cross_product(a: &Relation, b: &Relation) -> Result<Relation, RelationErr
             right_idx.push(j);
         }
     }
+    let left_sel = a.compose_owned(left_idx);
+    let right_sel = b.compose_owned(right_idx);
     let mut columns = Vec::with_capacity(schema.len());
-    for c in a.columns() {
-        columns.push(c.take(&left_idx));
+    for c in a.base_columns() {
+        columns.push(c.gather(&left_sel));
     }
-    for c in b.columns() {
-        columns.push(c.take(&right_idx));
+    for c in b.base_columns() {
+        columns.push(c.gather(&right_sel));
     }
     Relation::new(schema, columns)
 }
 
-/// Build-side hash table over rows `range` of `cols` (row indices are
-/// global, so per-partition tables can be merged in partition order).
+/// One side of a hash join: the key's *base* columns plus the relation's
+/// selection vector. Positions (0..relation.len()) are resolved to base
+/// rows on the fly — probing and building run through the SelVec without
+/// compacting either input.
+pub(super) struct JoinSide<'a> {
+    cols: Vec<&'a rma_storage::Column>,
+    sel: Option<&'a SelVec>,
+}
+
+impl<'a> JoinSide<'a> {
+    pub(super) fn new(r: &'a Relation, keys: &[&str]) -> Result<Self, RelationError> {
+        Ok(JoinSide {
+            cols: keys
+                .iter()
+                .map(|n| r.base_column(n))
+                .collect::<Result<_, _>>()?,
+            sel: r.sel(),
+        })
+    }
+
+    /// Base row behind visible position `pos`.
+    #[inline]
+    fn base(&self, pos: usize) -> usize {
+        match self.sel {
+            Some(s) => s.get(pos),
+            None => pos,
+        }
+    }
+
+    #[inline]
+    fn key_has_null(&self, base: usize) -> bool {
+        self.cols.iter().any(|c| c.is_null(base))
+    }
+}
+
+/// Build-side hash table over visible positions `range` (positions within a
+/// morsel are ascending and morsels are disjoint ascending ranges, so
+/// per-partition tables merge in partition order). Buckets are keyed by the
+/// composite row hash; equal-hash rows of *different* keys are separated at
+/// probe time by [`rows_eq`].
 pub(super) fn build_side_range(
-    cols: &[&rma_storage::Column],
+    side: &JoinSide,
     range: std::ops::Range<usize>,
-) -> HashMap<Vec<super::KeyPart>, Vec<usize>> {
-    let mut table: HashMap<Vec<super::KeyPart>, Vec<usize>> =
-        HashMap::with_capacity(range.end - range.start);
-    for j in range {
-        let key = row_key(cols, j);
-        if key_has_null(&key) {
+) -> HashMap<u64, Vec<usize>> {
+    let mut table: HashMap<u64, Vec<usize>> = HashMap::with_capacity(range.end - range.start);
+    for pos in range {
+        let base = side.base(pos);
+        if side.key_has_null(base) {
             continue; // NULL keys never match
         }
-        table.entry(key).or_default().push(j);
+        table
+            .entry(hash_row(&side.cols, base))
+            .or_default()
+            .push(pos);
     }
     table
 }
 
-/// Probe rows `range` of `cols` against a build table, emitting matching
-/// (left, right) global row-index pairs in probe order.
+/// Probe visible positions `range` of the probe side against a build
+/// table, emitting matching (probe, build) position pairs in probe order.
 pub(super) fn probe_range(
-    table: &HashMap<Vec<super::KeyPart>, Vec<usize>>,
-    cols: &[&rma_storage::Column],
+    table: &HashMap<u64, Vec<usize>>,
+    build: &JoinSide,
+    probe: &JoinSide,
     range: std::ops::Range<usize>,
 ) -> (Vec<usize>, Vec<usize>) {
     let mut left_idx = Vec::new();
     let mut right_idx = Vec::new();
-    for i in range {
-        let key = row_key(cols, i);
-        if key_has_null(&key) {
+    for pos in range {
+        let pb = probe.base(pos);
+        if probe.key_has_null(pb) {
             continue;
         }
-        if let Some(matches) = table.get(&key) {
-            for &j in matches {
-                left_idx.push(i);
-                right_idx.push(j);
+        if let Some(bucket) = table.get(&hash_row(&probe.cols, pb)) {
+            for &j in bucket {
+                if rows_eq(&probe.cols, pb, &build.cols, build.base(j)) {
+                    left_idx.push(pos);
+                    right_idx.push(j);
+                }
             }
         }
     }
     (left_idx, right_idx)
 }
 
-/// Resolve the key columns of both join sides.
-pub(super) fn join_key_columns<'a>(
+/// Resolve the key sides of a join.
+pub(super) fn join_key_sides<'a>(
     a: &'a Relation,
     b: &'a Relation,
     on: &[(&str, &str)],
-) -> Result<(Vec<&'a rma_storage::Column>, Vec<&'a rma_storage::Column>), RelationError> {
+) -> Result<(JoinSide<'a>, JoinSide<'a>), RelationError> {
     let left_keys: Vec<&str> = on.iter().map(|(l, _)| *l).collect();
     let right_keys: Vec<&str> = on.iter().map(|(_, r)| *r).collect();
-    Ok((a.columns_of(&left_keys)?, b.columns_of(&right_keys)?))
+    Ok((
+        JoinSide::new(a, &left_keys)?,
+        JoinSide::new(b, &right_keys)?,
+    ))
 }
 
 /// Common attribute names of two relations (the natural-join key set).
@@ -129,18 +186,19 @@ fn hash_join_indices(
     b: &Relation,
     on: &[(&str, &str)],
 ) -> Result<(Vec<usize>, Vec<usize>), RelationError> {
-    let (left_cols, right_cols) = join_key_columns(a, b, on)?;
-    let table = build_side_range(&right_cols, 0..b.len());
-    Ok(probe_range(&table, &left_cols, 0..a.len()))
+    let (probe, build) = join_key_sides(a, b, on)?;
+    let table = build_side_range(&build, 0..b.len());
+    Ok(probe_range(&table, &build, &probe, 0..a.len()))
 }
 
-/// Gather both sides through the match indices; `drop_right` lists right
-/// attributes omitted from the output (used by natural join).
+/// Gather both sides through the match indices — the join's one
+/// materialization point; `drop_right` lists right attributes omitted from
+/// the output (used by natural join).
 pub(super) fn assemble_join(
     a: &Relation,
     b: &Relation,
-    left_idx: &[usize],
-    right_idx: &[usize],
+    left_idx: Vec<usize>,
+    right_idx: Vec<usize>,
     drop_right: &[&str],
 ) -> Result<Relation, RelationError> {
     let kept_right: Vec<&str> = b
@@ -150,12 +208,14 @@ pub(super) fn assemble_join(
         .collect();
     let right_schema = b.schema().subset(&kept_right)?;
     let schema = a.schema().concat(&right_schema)?;
+    let left_sel = a.compose_owned(left_idx);
+    let right_sel = b.compose_owned(right_idx);
     let mut columns = Vec::with_capacity(schema.len());
-    for c in a.columns() {
-        columns.push(c.take(left_idx));
+    for c in a.base_columns() {
+        columns.push(c.gather(&left_sel));
     }
     for n in &kept_right {
-        columns.push(b.column(n)?.take(right_idx));
+        columns.push(b.base_column(n)?.gather(&right_sel));
     }
     Relation::new(schema, columns)
 }

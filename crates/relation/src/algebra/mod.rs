@@ -19,9 +19,11 @@ pub use select::select;
 pub use setops::{distinct, limit, order_by, top_k, union_all};
 
 use rma_storage::{Column, ColumnData};
+use std::hash::{Hash, Hasher};
 
 /// A hashable, equatable key extracted from one row of a set of columns.
-/// Used by joins, grouping, and duplicate elimination.
+/// Used by grouping and duplicate elimination (joins hash the typed column
+/// data directly — see [`hash_row`] / [`rows_eq`] — and never box keys).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) enum KeyPart {
     Int(i64),
@@ -33,6 +35,18 @@ pub(crate) enum KeyPart {
     Null,
 }
 
+/// Normalise a float for keying: NaN payloads collapse, `-0.0 == 0.0`.
+#[inline]
+pub(crate) fn float_key_bits(x: f64) -> u64 {
+    if x.is_nan() {
+        f64::NAN.to_bits()
+    } else if x == 0.0 {
+        0u64
+    } else {
+        x.to_bits()
+    }
+}
+
 /// Extract the grouping/join key of row `i` over `cols`.
 pub(crate) fn row_key(cols: &[&Column], i: usize) -> Vec<KeyPart> {
     cols.iter()
@@ -42,18 +56,7 @@ pub(crate) fn row_key(cols: &[&Column], i: usize) -> Vec<KeyPart> {
             }
             match c.data() {
                 ColumnData::Int(v) => KeyPart::Int(v[i]),
-                ColumnData::Float(v) => {
-                    // normalise NaN payloads and -0.0 so equal floats hash equal
-                    let x = v[i];
-                    let bits = if x.is_nan() {
-                        f64::NAN.to_bits()
-                    } else if x == 0.0 {
-                        0u64
-                    } else {
-                        x.to_bits()
-                    };
-                    KeyPart::Float(bits)
-                }
+                ColumnData::Float(v) => KeyPart::Float(float_key_bits(v[i])),
                 ColumnData::Str(v) => KeyPart::Str(v[i].clone()),
                 ColumnData::Bool(v) => KeyPart::Bool(v[i]),
                 ColumnData::Date(v) => KeyPart::Date(v[i]),
@@ -62,10 +65,61 @@ pub(crate) fn row_key(cols: &[&Column], i: usize) -> Vec<KeyPart> {
         .collect()
 }
 
-/// Does the key contain a null (SQL: `NULL = NULL` is not true, so such rows
-/// never match in equi-joins)?
-pub(crate) fn key_has_null(key: &[KeyPart]) -> bool {
-    key.iter().any(|k| matches!(k, KeyPart::Null))
+/// Composite hash of row `i` over typed column slices — no per-row key
+/// allocation, no `Value` boxing. Must only be called on null-free rows
+/// (callers skip null keys first). Hash-equal rows are confirmed with
+/// [`rows_eq`], so cross-type hash discipline only affects bucket quality,
+/// not correctness; a type discriminant is mixed in to keep e.g. `Int(0)`
+/// and `Bool(false)` apart.
+#[inline]
+pub(crate) fn hash_row(cols: &[&Column], i: usize) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for c in cols {
+        match c.data() {
+            ColumnData::Int(v) => {
+                0u8.hash(&mut h);
+                v[i].hash(&mut h);
+            }
+            ColumnData::Float(v) => {
+                1u8.hash(&mut h);
+                float_key_bits(v[i]).hash(&mut h);
+            }
+            ColumnData::Str(v) => {
+                2u8.hash(&mut h);
+                v[i].hash(&mut h);
+            }
+            ColumnData::Bool(v) => {
+                3u8.hash(&mut h);
+                v[i].hash(&mut h);
+            }
+            ColumnData::Date(v) => {
+                4u8.hash(&mut h);
+                v[i].hash(&mut h);
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Do row `i` of `a` and row `j` of `b` hold equal (column-wise) key
+/// values? Equality matches [`KeyPart`] semantics exactly: same-type
+/// comparison only (an `Int 5` never equals a `Float 5.0` key), floats by
+/// normalised bits. Rows must be null-free (callers skip null keys).
+#[inline]
+pub(crate) fn rows_eq(a: &[&Column], i: usize, b: &[&Column], j: usize) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .all(|(ca, cb)| match (ca.data(), cb.data()) {
+            (ColumnData::Int(x), ColumnData::Int(y)) => x[i] == y[j],
+            (ColumnData::Float(x), ColumnData::Float(y)) => {
+                float_key_bits(x[i]) == float_key_bits(y[j])
+            }
+            (ColumnData::Str(x), ColumnData::Str(y)) => x[i] == y[j],
+            (ColumnData::Bool(x), ColumnData::Bool(y)) => x[i] == y[j],
+            (ColumnData::Date(x), ColumnData::Date(y)) => x[i] == y[j],
+            _ => false,
+        })
 }
 
 /// Hash-based key check: do the columns contain no duplicate row? O(n)

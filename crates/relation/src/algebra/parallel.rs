@@ -14,20 +14,21 @@
 
 use super::aggregate::{accumulate, finalize, resolve_agg_cols, validate_aggs, Partial};
 use super::join::{
-    assemble_join, build_side_range, common_attributes, join_key_columns, probe_range,
+    assemble_join, build_side_range, common_attributes, join_key_sides, probe_range,
 };
 use super::{AggSpec, KeyPart};
 use crate::error::RelationError;
 use crate::expr::Expr;
 use crate::par::{for_each_partition, morsel_count, partition_ranges, MIN_PARALLEL_ROWS};
 use crate::relation::Relation;
-use crate::schema::Schema;
 use std::collections::HashMap;
 
 /// Parallel σ: evaluate the predicate over row-range morsels on worker
-/// threads, then apply the combined selection vector in one pass. Only the
-/// columns the predicate references are sliced per morsel, so the scan of
-/// payload columns happens once, during the final filter.
+/// threads, then combine the per-morsel keep masks into one lazy selection
+/// vector. Each morsel is a range *view* of the (projected) input — no
+/// column is sliced up front, only the rows an expression actually reads
+/// are gathered, and the result itself is a view: the payload columns are
+/// never copied here at all.
 pub fn select_parallel(
     r: &Relation,
     predicate: &Expr,
@@ -41,21 +42,11 @@ pub fn select_parallel(
         return super::select(r, predicate);
     }
     let ref_names: Vec<&str> = refs.iter().map(String::as_str).collect();
-    let pred_cols = r.columns_of(&ref_names)?;
-    let pred_schema = Schema::new(
-        ref_names
-            .iter()
-            .map(|n| r.schema().attribute(n).cloned())
-            .collect::<Result<_, _>>()?,
-    )?;
+    // a zero-copy view of just the referenced attributes
+    let pred_view = super::project(r, &ref_names)?;
     let ranges = partition_ranges(r.len(), morsel_count(threads, r.len()));
     let keeps = for_each_partition(threads, &ranges, |_, range| {
-        let cols = pred_cols
-            .iter()
-            .map(|c| c.slice(range.start, range.end))
-            .collect();
-        let part = Relation::new(pred_schema.clone(), cols)?;
-        predicate.eval_filter(&part)
+        predicate.eval_filter(&pred_view.slice(range.clone()))
     });
     let mut keep = Vec::with_capacity(r.len());
     for k in keeps {
@@ -133,7 +124,7 @@ pub fn join_on_parallel(
         return super::join_on(a, b, on);
     }
     let (left_idx, right_idx) = parallel_join_indices(a, b, on, threads)?;
-    assemble_join(a, b, &left_idx, &right_idx, &[])
+    assemble_join(a, b, left_idx, right_idx, &[])
 }
 
 /// Parallel natural join: the equi-join machinery over all common attribute
@@ -152,7 +143,7 @@ pub fn natural_join_parallel(
     }
     let pairs: Vec<(&str, &str)> = common.iter().map(|&n| (n, n)).collect();
     let (left_idx, right_idx) = parallel_join_indices(a, b, &pairs, threads)?;
-    assemble_join(a, b, &left_idx, &right_idx, &common)
+    assemble_join(a, b, left_idx, right_idx, &common)
 }
 
 fn parallel_join_indices(
@@ -161,17 +152,17 @@ fn parallel_join_indices(
     on: &[(&str, &str)],
     threads: usize,
 ) -> Result<(Vec<usize>, Vec<usize>), RelationError> {
-    let (left_cols, right_cols) = join_key_columns(a, b, on)?;
+    let (probe, build) = join_key_sides(a, b, on)?;
 
     // build: per-morsel tables over the right side, merged in morsel order.
-    // Global row indices within a morsel are ascending and morsels are
-    // disjoint ascending ranges, so each key's merged match list is exactly
-    // the serial one.
+    // Positions within a morsel are ascending and morsels are disjoint
+    // ascending ranges, so each bucket's merged match list is exactly the
+    // serial one.
     let build_ranges = partition_ranges(b.len(), morsel_count(threads, b.len()));
     let tables = for_each_partition(threads, &build_ranges, |_, range| {
-        build_side_range(&right_cols, range.clone())
+        build_side_range(&build, range.clone())
     });
-    let mut table: HashMap<Vec<KeyPart>, Vec<usize>> = HashMap::with_capacity(b.len());
+    let mut table: HashMap<u64, Vec<usize>> = HashMap::with_capacity(b.len());
     for part in tables {
         for (key, mut rows) in part {
             table.entry(key).or_default().append(&mut rows);
@@ -181,7 +172,7 @@ fn parallel_join_indices(
     // probe: morsels of the left side, results concatenated in morsel order
     let probe_ranges = partition_ranges(a.len(), morsel_count(threads, a.len()));
     let pairs = for_each_partition(threads, &probe_ranges, |_, range| {
-        probe_range(&table, &left_cols, range.clone())
+        probe_range(&table, &build, &probe, range.clone())
     });
     let mut left_idx = Vec::new();
     let mut right_idx = Vec::new();

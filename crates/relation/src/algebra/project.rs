@@ -6,23 +6,51 @@ use crate::relation::Relation;
 use crate::schema::{Attribute, Schema};
 
 /// π_names(r): keep the named attributes, in the given order. Duplicate
-/// elimination is *not* performed (bag semantics, as in SQL).
+/// elimination is *not* performed (bag semantics, as in SQL). Zero-copy:
+/// the output shares the input's base columns (O(1) Arc clones) and keeps
+/// its selection vector, so projecting a view stays a view.
 pub fn project(r: &Relation, names: &[&str]) -> Result<Relation, RelationError> {
     let schema = r.schema().subset(names)?;
     let columns = names
         .iter()
-        .map(|n| r.column(n).cloned())
+        .map(|n| r.base_column(n).cloned())
         .collect::<Result<Vec<_>, _>>()?;
-    let mut out = Relation::new(schema, columns)?;
-    if let Some(n) = r.name() {
-        out = out.with_name(n);
-    }
-    Ok(out)
+    Ok(Relation::from_view_parts(
+        r.name().map(str::to_string),
+        schema,
+        columns,
+        r.sel().cloned(),
+    ))
 }
 
 /// Generalised projection: each output attribute is an expression, e.g. the
 /// paper's `π_{C, B/(M−1), H/(M−1), N/(M−1)}(w6)`.
+///
+/// A projection of plain attribute references (including repeated or
+/// renamed ones) shares the base columns and keeps the selection vector —
+/// zero copy; computed items evaluate over only the selected rows and
+/// materialise their output. Either way the result is unnamed, as before.
 pub fn project_exprs(r: &Relation, items: &[(Expr, &str)]) -> Result<Relation, RelationError> {
+    if items.iter().all(|(e, _)| matches!(e, Expr::Col(_))) {
+        let mut attrs = Vec::with_capacity(items.len());
+        let mut columns = Vec::with_capacity(items.len());
+        for (e, out) in items {
+            let Expr::Col(n) = e else {
+                unreachable!("checked above")
+            };
+            attrs.push(Attribute::new(*out, r.schema().attribute(n)?.dtype()));
+            columns.push(r.base_column(n)?.clone());
+        }
+        // duplicate *output* names error here, exactly as Relation::new
+        // does on the eval path
+        let schema = Schema::new(attrs)?;
+        return Ok(Relation::from_view_parts(
+            None,
+            schema,
+            columns,
+            r.sel().cloned(),
+        ));
+    }
     let mut attrs = Vec::with_capacity(items.len());
     let mut columns = Vec::with_capacity(items.len());
     for (expr, name) in items {

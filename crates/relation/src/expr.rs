@@ -175,87 +175,399 @@ impl Expr {
     }
 
     /// Evaluate over a relation, producing one value per tuple.
+    ///
+    /// Internally evaluation is *scalar-lazy*: literal subtrees stay
+    /// scalars for the whole walk ([`Ev::Scalar`]), combine with columns
+    /// through constant-operand kernels, and only an expression whose
+    /// entire result is constant is broadcast — once, here, at the top.
+    /// `Expr::Lit` therefore costs O(1) regardless of relation size. On a
+    /// view, only the referenced columns are gathered, and only their
+    /// selected rows are evaluated.
     pub fn eval(&self, r: &Relation) -> Result<Column, RelationError> {
+        match self.eval_ev(r)? {
+            Ev::Col(c) => Ok(c),
+            Ev::Scalar(v) => broadcast_scalar(&v, r.len()),
+        }
+    }
+
+    /// Evaluate without forcing constant results into columns.
+    fn eval_ev(&self, r: &Relation) -> Result<Ev, RelationError> {
         match self {
-            Expr::Col(name) => Ok(r.column(name)?.clone()),
-            Expr::Lit(v) => broadcast_literal(v, r.len()),
-            Expr::Neg(e) => {
-                let c = e.eval(r)?;
-                numeric_unary(&c, |x| -x)
-            }
-            Expr::Not(e) => {
-                let c = e.eval(r)?;
-                bool_unary(&c, |x| !x)
-            }
-            Expr::IsNull(e) => {
-                let c = e.eval(r)?;
-                let bits: Vec<bool> = (0..c.len()).map(|i| c.is_null(i)).collect();
-                Ok(Column::new(ColumnData::Bool(bits)))
-            }
+            Expr::Col(name) => Ok(Ev::Col(r.column_shared(name)?)),
+            Expr::Lit(v) => Ok(Ev::Scalar(v.clone())),
+            Expr::Neg(e) => match e.eval_ev(r)? {
+                Ev::Col(c) => numeric_unary(&c, |x| -x).map(Ev::Col),
+                Ev::Scalar(v) => fold_scalar(&v, |c| numeric_unary(c, |x| -x)),
+            },
+            Expr::Not(e) => match e.eval_ev(r)? {
+                Ev::Col(c) => bool_unary(&c, |x| !x).map(Ev::Col),
+                Ev::Scalar(v) => fold_scalar(&v, |c| bool_unary(c, |x| !x)),
+            },
+            Expr::IsNull(e) => match e.eval_ev(r)? {
+                Ev::Col(c) => {
+                    let bits: Vec<bool> = (0..c.len()).map(|i| c.is_null(i)).collect();
+                    Ok(Ev::Col(Column::new(ColumnData::Bool(bits))))
+                }
+                Ev::Scalar(v) => Ok(Ev::Scalar(Value::Bool(v.is_null()))),
+            },
             Expr::Func(f, e) => {
-                let c = e.eval(r)?;
-                let vals = as_f64_lossy(&c)?;
-                let out: Vec<f64> = match f {
-                    ScalarFunc::Sqrt => vals.iter().map(|&x| x.sqrt()).collect(),
-                    ScalarFunc::Abs => vals.iter().map(|&x| x.abs()).collect(),
+                let apply = |c: &Column| {
+                    let vals = as_f64_lossy(c)?;
+                    let out: Vec<f64> = match f {
+                        ScalarFunc::Sqrt => vals.iter().map(|&x| x.sqrt()).collect(),
+                        ScalarFunc::Abs => vals.iter().map(|&x| x.abs()).collect(),
+                    };
+                    rebuild(ColumnData::Float(out), c.nulls())
                 };
-                rebuild(ColumnData::Float(out), c.nulls())
+                match e.eval_ev(r)? {
+                    Ev::Col(c) => apply(&c).map(Ev::Col),
+                    Ev::Scalar(v) => fold_scalar(&v, apply),
+                }
             }
             Expr::Bin(l, op, rhs) => {
-                let a = l.eval(r)?;
-                let b = rhs.eval(r)?;
-                if a.len() != b.len() {
-                    return Err(RelationError::Expression(format!(
-                        "operand length mismatch: {} vs {}",
-                        a.len(),
-                        b.len()
-                    )));
-                }
-                if op.is_logical() {
-                    logical(&a, *op, &b)
-                } else if op.is_comparison() {
-                    comparison(&a, *op, &b)
-                } else {
-                    arithmetic(&a, *op, &b)
+                let a = l.eval_ev(r)?;
+                let b = rhs.eval_ev(r)?;
+                match (a, b) {
+                    (Ev::Col(a), Ev::Col(b)) => {
+                        if a.len() != b.len() {
+                            return Err(RelationError::Expression(format!(
+                                "operand length mismatch: {} vs {}",
+                                a.len(),
+                                b.len()
+                            )));
+                        }
+                        let out = if op.is_logical() {
+                            logical(&a, *op, &b)?
+                        } else if op.is_comparison() {
+                            comparison(&a, *op, &b)?
+                        } else {
+                            arithmetic(&a, *op, &b)?
+                        };
+                        Ok(Ev::Col(out))
+                    }
+                    (Ev::Col(c), Ev::Scalar(v)) => col_scalar(&c, *op, &v, true).map(Ev::Col),
+                    (Ev::Scalar(v), Ev::Col(c)) => col_scalar(&c, *op, &v, false).map(Ev::Col),
+                    (Ev::Scalar(x), Ev::Scalar(y)) => {
+                        // constant folding via one-row columns, reusing the
+                        // vector kernels' type/null rules verbatim
+                        let a = scalar_as_column(&x)?;
+                        let b = scalar_as_column(&y)?;
+                        let out = if op.is_logical() {
+                            logical(&a, *op, &b)?
+                        } else if op.is_comparison() {
+                            comparison(&a, *op, &b)?
+                        } else {
+                            arithmetic(&a, *op, &b)?
+                        };
+                        Ok(Ev::Scalar(out.get(0)))
+                    }
                 }
             }
         }
     }
 
     /// Evaluate as a filter predicate: `true` per row iff the expression is
-    /// boolean true (NULL counts as false, per SQL).
+    /// boolean true (NULL counts as false, per SQL). A constant predicate
+    /// never materialises a column.
     pub fn eval_filter(&self, r: &Relation) -> Result<Vec<bool>, RelationError> {
-        let c = self.eval(r)?;
-        match c.data() {
-            ColumnData::Bool(v) => Ok(v
-                .iter()
-                .enumerate()
-                .map(|(i, &b)| b && !c.is_null(i))
-                .collect()),
-            other => Err(RelationError::Expression(format!(
+        match self.eval_ev(r)? {
+            Ev::Scalar(Value::Bool(b)) => Ok(vec![b; r.len()]),
+            Ev::Scalar(Value::Null) => Err(RelationError::Expression(
+                "NULL literal needs a typed context".to_string(),
+            )),
+            Ev::Scalar(v) => Err(RelationError::Expression(format!(
                 "filter predicate must be boolean, found {}",
-                other.data_type()
+                v.data_type()
+                    .map_or_else(|| "NULL".to_string(), |d| d.to_string())
             ))),
+            Ev::Col(c) => match c.data() {
+                ColumnData::Bool(v) => Ok(v
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| b && !c.is_null(i))
+                    .collect()),
+                other => Err(RelationError::Expression(format!(
+                    "filter predicate must be boolean, found {}",
+                    other.data_type()
+                ))),
+            },
         }
     }
 
-    /// Result data type over the given relation (probes with an empty eval).
+    /// Result data type over the given relation's schema.
     pub fn result_type(&self, r: &Relation) -> Result<DataType, RelationError> {
-        // Evaluating on the full relation would work but is wasteful for
-        // planning; evaluate on a zero-row slice instead.
-        let probe = r.take(&[]);
-        Ok(self.eval(&probe)?.data_type())
+        self.result_type_of(r.schema())
+    }
+
+    /// Result data type against a schema — pure type inference, mirroring
+    /// the evaluator's rules; no relation (not even a zero-row probe) is
+    /// constructed.
+    pub fn result_type_of(
+        &self,
+        schema: &crate::schema::Schema,
+    ) -> Result<DataType, RelationError> {
+        match self {
+            Expr::Col(name) => Ok(schema.attribute(name)?.dtype()),
+            Expr::Lit(v) => v.data_type().ok_or_else(|| {
+                RelationError::Expression("NULL literal needs a typed context".to_string())
+            }),
+            Expr::Neg(e) => {
+                let dt = e.result_type_of(schema)?;
+                if dt.is_numeric() {
+                    Ok(dt)
+                } else {
+                    Err(RelationError::Expression(format!(
+                        "numeric operator on {dt}"
+                    )))
+                }
+            }
+            Expr::Not(e) => {
+                let dt = e.result_type_of(schema)?;
+                if dt == DataType::Bool {
+                    Ok(DataType::Bool)
+                } else {
+                    Err(RelationError::Expression(format!(
+                        "boolean operator on {dt}"
+                    )))
+                }
+            }
+            // IS NULL is defined for every operand, including an untyped
+            // NULL literal
+            Expr::IsNull(e) => {
+                if !matches!(e.as_ref(), Expr::Lit(Value::Null)) {
+                    e.result_type_of(schema)?;
+                }
+                Ok(DataType::Bool)
+            }
+            Expr::Func(_, e) => {
+                let dt = e.result_type_of(schema)?;
+                if dt.is_numeric() {
+                    Ok(DataType::Float)
+                } else {
+                    Err(RelationError::Expression(format!("arithmetic on {dt}")))
+                }
+            }
+            Expr::Bin(l, op, r) => {
+                let a = l.result_type_of(schema)?;
+                let b = r.result_type_of(schema)?;
+                if op.is_logical() {
+                    if a == DataType::Bool && b == DataType::Bool {
+                        Ok(DataType::Bool)
+                    } else {
+                        Err(RelationError::Expression(
+                            "AND/OR over non-boolean operands".to_string(),
+                        ))
+                    }
+                } else if op.is_comparison() {
+                    Ok(DataType::Bool)
+                } else {
+                    let non_numeric = [a, b].into_iter().find(|d| !d.is_numeric());
+                    if let Some(dt) = non_numeric {
+                        return Err(RelationError::Expression(format!("arithmetic on {dt}")));
+                    }
+                    if a == DataType::Int && b == DataType::Int && *op != BinOp::Div {
+                        Ok(DataType::Int)
+                    } else {
+                        Ok(DataType::Float)
+                    }
+                }
+            }
+        }
     }
 }
 
-fn broadcast_literal(v: &Value, n: usize) -> Result<Column, RelationError> {
-    let vals = vec![v.clone(); n.max(1)];
-    let col = Column::from_values(&vals)
-        .map_err(|_| RelationError::Expression("NULL literal needs a typed context".to_string()))?;
-    if n == 0 {
-        return Ok(col.take(&[]));
+/// A lazily-broadcast evaluation result: a column of `r.len()` values, or a
+/// scalar standing for a constant column of any length.
+enum Ev {
+    Col(Column),
+    Scalar(Value),
+}
+
+/// Force a scalar into an n-row column (the only broadcast left; reached
+/// when a whole expression is constant, e.g. a literal projection).
+fn broadcast_scalar(v: &Value, n: usize) -> Result<Column, RelationError> {
+    let dt = v.data_type().ok_or_else(|| {
+        RelationError::Expression("NULL literal needs a typed context".to_string())
+    })?;
+    Ok(Column::broadcast(v, dt, n)?)
+}
+
+/// A scalar as a one-row column, so unary/binary column kernels can be
+/// reused for constant folding.
+fn scalar_as_column(v: &Value) -> Result<Column, RelationError> {
+    broadcast_scalar(v, 1)
+}
+
+/// Apply a column kernel to a scalar via a one-row column and unwrap the
+/// scalar result.
+fn fold_scalar(
+    v: &Value,
+    f: impl FnOnce(&Column) -> Result<Column, RelationError>,
+) -> Result<Ev, RelationError> {
+    let c = scalar_as_column(v)?;
+    Ok(Ev::Scalar(f(&c)?.get(0)))
+}
+
+/// Binary operation between a column and a constant. `scalar_right` tells
+/// which side the scalar came from (matters for `-`, `/`, `%`, `<`…).
+fn col_scalar(
+    c: &Column,
+    op: BinOp,
+    v: &Value,
+    scalar_right: bool,
+) -> Result<Column, RelationError> {
+    if v.is_null() {
+        return Err(RelationError::Expression(
+            "NULL literal needs a typed context".to_string(),
+        ));
     }
-    Ok(col)
+    if op.is_logical() {
+        return logical_scalar(c, op, v);
+    }
+    if op.is_comparison() {
+        return comparison_scalar(c, op, v, scalar_right);
+    }
+    arithmetic_scalar(c, op, v, scalar_right)
+}
+
+/// AND/OR against a constant: the identity cases return the column itself
+/// (O(1), Arc share); the absorbing cases return a constant column.
+/// Three-valued logic holds: NULL AND TRUE is NULL (nulls survive the
+/// share), NULL AND FALSE is FALSE, and dually for OR.
+fn logical_scalar(c: &Column, op: BinOp, v: &Value) -> Result<Column, RelationError> {
+    let (ColumnData::Bool(_), Value::Bool(q)) = (c.data(), v) else {
+        return Err(RelationError::Expression(
+            "AND/OR over non-boolean operands".to_string(),
+        ));
+    };
+    match (op, q) {
+        (BinOp::And, true) | (BinOp::Or, false) => Ok(c.clone()),
+        (BinOp::And, false) => Ok(Column::new(ColumnData::Bool(vec![false; c.len()]))),
+        (BinOp::Or, true) => Ok(Column::new(ColumnData::Bool(vec![true; c.len()]))),
+        _ => unreachable!("caller dispatched a logical op"),
+    }
+}
+
+/// Comparison against a constant, with typed fast paths (the hot σ shape
+/// `col ⋚ literal`): the scalar stays in a register, no broadcast vector.
+fn comparison_scalar(
+    c: &Column,
+    op: BinOp,
+    v: &Value,
+    scalar_right: bool,
+) -> Result<Column, RelationError> {
+    // normalise to column-vs-scalar by flipping the order relation
+    let op = if scalar_right {
+        op
+    } else {
+        match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::LtEq => BinOp::GtEq,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::GtEq => BinOp::LtEq,
+            other => other,
+        }
+    };
+    let apply = ord_to_bool(op);
+    let out: Vec<bool> = match (c.data(), v) {
+        (ColumnData::Int(x), Value::Int(q)) => x.iter().map(|p| apply(p.cmp(q))).collect(),
+        (ColumnData::Int(x), Value::Float(q)) => {
+            x.iter().map(|&p| apply((p as f64).total_cmp(q))).collect()
+        }
+        (ColumnData::Float(x), Value::Float(q)) => {
+            x.iter().map(|p| apply(p.total_cmp(q))).collect()
+        }
+        (ColumnData::Float(x), Value::Int(q)) => {
+            x.iter().map(|p| apply(p.total_cmp(&(*q as f64)))).collect()
+        }
+        (ColumnData::Str(x), Value::Str(q)) => x
+            .iter()
+            .map(|p| apply(p.as_str().cmp(q.as_str())))
+            .collect(),
+        (ColumnData::Date(x), Value::Date(q)) => x.iter().map(|p| apply(p.cmp(q))).collect(),
+        (ColumnData::Bool(x), Value::Bool(q)) => x.iter().map(|p| apply(p.cmp(q))).collect(),
+        _ => (0..c.len()).map(|i| apply(c.get(i).total_cmp(v))).collect(),
+    };
+    rebuild(ColumnData::Bool(out), c.nulls())
+}
+
+/// Arithmetic against a constant. Int ⊕ Int stays Int except division;
+/// everything else runs on the f64 path with the scalar widened once.
+fn arithmetic_scalar(
+    c: &Column,
+    op: BinOp,
+    v: &Value,
+    scalar_right: bool,
+) -> Result<Column, RelationError> {
+    if let (ColumnData::Int(x), Value::Int(q)) = (c.data(), v) {
+        if op != BinOp::Div {
+            let q = *q;
+            let out: Vec<i64> = x
+                .iter()
+                .map(|&p| {
+                    let (l, r) = if scalar_right { (p, q) } else { (q, p) };
+                    match op {
+                        BinOp::Add => l.wrapping_add(r),
+                        BinOp::Sub => l.wrapping_sub(r),
+                        BinOp::Mul => l.wrapping_mul(r),
+                        BinOp::Mod => {
+                            if r == 0 {
+                                0
+                            } else {
+                                l % r
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                })
+                .collect();
+            let nulls = if op == BinOp::Mod {
+                let nulls = c.nulls().cloned();
+                if scalar_right {
+                    // constant divisor: zero nulls every row, anything
+                    // else adds no null at all
+                    if q == 0 {
+                        null_zero_divisors(nulls, x.len(), (0..x.len()).map(|i| (i, q)))
+                    } else {
+                        nulls
+                    }
+                } else {
+                    null_zero_divisors(nulls, x.len(), x.iter().copied().enumerate())
+                }
+            } else {
+                c.nulls().cloned()
+            };
+            return rebuild_opt(ColumnData::Int(out), nulls);
+        }
+    }
+    let xs = as_f64_lossy(c)?;
+    let q = match v {
+        Value::Int(i) => *i as f64,
+        Value::Float(f) => *f,
+        other => {
+            return Err(RelationError::Expression(format!(
+                "arithmetic on {}",
+                other
+                    .data_type()
+                    .map_or_else(|| "NULL".to_string(), |d| d.to_string())
+            )))
+        }
+    };
+    let out: Vec<f64> = xs
+        .iter()
+        .map(|&p| {
+            let (l, r) = if scalar_right { (p, q) } else { (q, p) };
+            match op {
+                BinOp::Add => l + r,
+                BinOp::Sub => l - r,
+                BinOp::Mul => l * r,
+                BinOp::Div => l / r,
+                BinOp::Mod => l % r,
+                _ => unreachable!(),
+            }
+        })
+        .collect();
+    rebuild_opt(ColumnData::Float(out), c.nulls().cloned())
 }
 
 fn numeric_unary(c: &Column, f: impl Fn(f64) -> f64) -> Result<Column, RelationError> {
@@ -326,17 +638,11 @@ fn arithmetic(a: &Column, op: BinOp, b: &Column) -> Result<Column, RelationError
                     _ => unreachable!(),
                 })
                 .collect();
-            // integer x % 0 produced a placeholder; mark those rows null
-            let mut nulls = nulls;
-            if op == BinOp::Mod && y.contains(&0) {
-                let mut bm = nulls.unwrap_or_else(|| Bitmap::new(x.len()));
-                for (i, &q) in y.iter().enumerate() {
-                    if q == 0 {
-                        bm.set(i);
-                    }
-                }
-                nulls = Some(bm);
-            }
+            let nulls = if op == BinOp::Mod {
+                null_zero_divisors(nulls, x.len(), y.iter().copied().enumerate())
+            } else {
+                nulls
+            };
             return rebuild_opt(ColumnData::Int(out), nulls);
         }
     }
@@ -364,6 +670,39 @@ fn rebuild_opt(data: ColumnData, nulls: Option<Bitmap>) -> Result<Column, Relati
     }
 }
 
+/// The comparison operators' `Ordering → bool` table, shared by the
+/// column-column and column-scalar kernels so their semantics cannot
+/// diverge.
+fn ord_to_bool(op: BinOp) -> impl Fn(std::cmp::Ordering) -> bool + Copy {
+    use std::cmp::Ordering;
+    move |ord: Ordering| match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::NotEq => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::LtEq => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::GtEq => ord != Ordering::Less,
+        _ => unreachable!("not a comparison operator"),
+    }
+}
+
+/// Null-mark every row whose integer `%` divisor is zero (the kernel wrote
+/// a placeholder there), on top of any existing null union. Shared by the
+/// column-column and column-scalar Mod kernels.
+fn null_zero_divisors(
+    nulls: Option<Bitmap>,
+    n: usize,
+    divisors: impl Iterator<Item = (usize, i64)>,
+) -> Option<Bitmap> {
+    let mut nulls = nulls;
+    for (i, q) in divisors {
+        if q == 0 {
+            nulls.get_or_insert_with(|| Bitmap::new(n)).set(i);
+        }
+    }
+    nulls
+}
+
 /// Numeric view that tolerates nulls (placeholder slots pass through; the
 /// caller re-applies the null bitmap).
 fn as_f64_lossy(c: &Column) -> Result<Vec<f64>, RelationError> {
@@ -378,18 +717,9 @@ fn as_f64_lossy(c: &Column) -> Result<Vec<f64>, RelationError> {
 }
 
 fn comparison(a: &Column, op: BinOp, b: &Column) -> Result<Column, RelationError> {
-    use std::cmp::Ordering;
     let nulls = union_nulls(a, b);
     let n = a.len();
-    let apply = |ord: Ordering| match op {
-        BinOp::Eq => ord == Ordering::Equal,
-        BinOp::NotEq => ord != Ordering::Equal,
-        BinOp::Lt => ord == Ordering::Less,
-        BinOp::LtEq => ord != Ordering::Greater,
-        BinOp::Gt => ord == Ordering::Greater,
-        BinOp::GtEq => ord != Ordering::Less,
-        _ => unreachable!(),
-    };
+    let apply = ord_to_bool(op);
     // Typed fast paths avoid per-row boxing on the hot σ path.
     let out: Vec<bool> = match (a.data(), b.data()) {
         (ColumnData::Int(x), ColumnData::Int(y)) => {
@@ -614,5 +944,115 @@ mod tests {
         let c = Expr::lit(3i64).eval(&empty).unwrap();
         assert_eq!(c.len(), 0);
         assert_eq!(c.data_type(), DataType::Int);
+    }
+
+    #[test]
+    fn scalar_on_the_left_flips_correctly() {
+        // 2 < a  (a = 1, 2, 3)
+        let keep = Expr::lit(2i64)
+            .lt(Expr::col("a"))
+            .eval_filter(&rel())
+            .unwrap();
+        assert_eq!(keep, vec![false, false, true]);
+        // 10 - a
+        let c = Expr::lit(10i64).sub(Expr::col("a")).eval(&rel()).unwrap();
+        assert_eq!(c.get(2), Value::Int(7));
+        // 10 / a is float division with the scalar as dividend
+        let c = Expr::lit(3.0).div(Expr::col("b")).eval(&rel()).unwrap();
+        assert_eq!(c.get(0), Value::Float(0.3));
+    }
+
+    #[test]
+    fn constant_subexpressions_fold_to_scalars() {
+        // (1 + 2) * 3 over a relation: one broadcast at the top, value 9
+        let e = Expr::lit(1i64).add(Expr::lit(2i64)).mul(Expr::lit(3i64));
+        let c = e.eval(&rel()).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(1), Value::Int(9));
+        // constant comparison folds too; a constant filter never broadcasts
+        let keep = Expr::lit(1i64)
+            .eq(Expr::lit(1i64))
+            .eval_filter(&rel())
+            .unwrap();
+        assert_eq!(keep, vec![true, true, true]);
+    }
+
+    #[test]
+    fn logical_with_constant_short_circuits() {
+        let r = RelationBuilder::new()
+            .column("p", vec![true, false])
+            .build()
+            .unwrap();
+        let keep = Expr::col("p").and(Expr::lit(true)).eval_filter(&r).unwrap();
+        assert_eq!(keep, vec![true, false]);
+        let keep = Expr::col("p").or(Expr::lit(true)).eval_filter(&r).unwrap();
+        assert_eq!(keep, vec![true, true]);
+        let keep = Expr::col("p")
+            .and(Expr::lit(false))
+            .eval_filter(&r)
+            .unwrap();
+        assert_eq!(keep, vec![false, false]);
+    }
+
+    #[test]
+    fn eval_over_view_touches_only_selected_rows() {
+        let r = rel();
+        let v = r.filter(&[false, true, true]);
+        let c = Expr::col("a").add(Expr::lit(1i64)).eval(&v).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0), Value::Int(3));
+        let keep = Expr::col("s").eq(Expr::lit("z")).eval_filter(&v).unwrap();
+        assert_eq!(keep, vec![false, true]);
+    }
+
+    #[test]
+    fn scalar_mod_by_zero_is_null() {
+        let r = RelationBuilder::new()
+            .column("a", vec![7i64, 9])
+            .build()
+            .unwrap();
+        let c = Expr::col("a")
+            .bin(BinOp::Mod, Expr::lit(0i64))
+            .eval(&r)
+            .unwrap();
+        assert!(c.is_null(0) && c.is_null(1));
+        // scalar dividend: per-row zero divisors go null
+        let r2 = RelationBuilder::new()
+            .column("d", vec![2i64, 0])
+            .build()
+            .unwrap();
+        let c = Expr::lit(9i64)
+            .bin(BinOp::Mod, Expr::col("d"))
+            .eval(&r2)
+            .unwrap();
+        assert_eq!(c.get(0), Value::Int(1));
+        assert!(c.is_null(1));
+    }
+
+    #[test]
+    fn result_type_of_matches_eval() {
+        let schema = rel().schema().clone();
+        for (e, want) in [
+            (Expr::col("a").add(Expr::lit(1i64)), DataType::Int),
+            (Expr::col("a").div(Expr::lit(2i64)), DataType::Float),
+            (Expr::col("a").mul(Expr::col("b")), DataType::Float),
+            (Expr::col("a").gt(Expr::lit(0i64)), DataType::Bool),
+            (Expr::col("s").eq(Expr::lit("x")), DataType::Bool),
+            (Expr::IsNull(Box::new(Expr::col("a"))), DataType::Bool),
+            (Expr::col("a").sqrt(), DataType::Float),
+            (Expr::Neg(Box::new(Expr::col("a"))), DataType::Int),
+        ] {
+            assert_eq!(e.result_type_of(&schema).unwrap(), want, "{e}");
+            assert_eq!(e.eval(&rel()).unwrap().data_type(), want, "{e}");
+        }
+        assert!(Expr::col("s")
+            .add(Expr::lit(1i64))
+            .result_type_of(&schema)
+            .is_err());
+        assert!(Expr::col("missing").result_type_of(&schema).is_err());
+        assert!(Expr::col("a")
+            .and(Expr::col("a"))
+            .result_type_of(&schema)
+            .is_err());
     }
 }

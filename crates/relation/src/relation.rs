@@ -5,18 +5,83 @@
 //! Relations carry an optional *name* which the RMA layer uses as the row
 //! origin of shape-(1,1) operations (`det`, `rnk` — see Fig. 9 of the
 //! paper).
+//!
+//! ## Late materialization
+//!
+//! A relation is either *compact* (each column holds exactly the visible
+//! rows) or a *view*: `Arc`-shared base columns plus a [`SelVec`] naming
+//! the visible rows. Row-local operators — [`Relation::filter`],
+//! [`Relation::take`], [`Relation::slice`], projection — produce views in
+//! O(result) index work with **zero column copying**; the copy happens once,
+//! at a pipeline sink, via [`Relation::materialize`] (or transparently on
+//! first use of the compacting [`Relation::columns`] accessor, which caches
+//! the gathered columns). Code that is not view-aware therefore stays
+//! correct: it simply pays the one gather a sink would pay anyway.
 
 use crate::error::RelationError;
 use crate::schema::{Attribute, Schema};
-use rma_storage::{is_key, sort_permutation, Column, Value};
+use rma_storage::{is_key, sort_permutation, Column, SelVec, Value};
 use std::fmt;
+use std::sync::OnceLock;
 
-/// A relation instance.
-#[derive(Debug, Clone, PartialEq)]
+/// A relation instance: compact columns, or a selection-vector view over
+/// shared base columns.
+#[derive(Debug)]
 pub struct Relation {
     name: Option<String>,
     schema: Schema,
+    /// Base columns. Compact relations: exactly the visible rows. Views:
+    /// the (shared) base the selection vector indexes into.
     columns: Vec<Column>,
+    /// `Some` marks a view; `None` marks a compact relation.
+    sel: Option<SelVec>,
+    /// Per-column lazily gathered visible columns of a view: the
+    /// compacting accessors pay each column's gather once, and only for
+    /// the columns actually read (a grouped aggregate over a wide view
+    /// never touches the payload it ignores).
+    compacted: Box<[OnceLock<Column>]>,
+    /// The full compacted column vector, assembled (from the per-column
+    /// cache, O(width) Arc clones) on first use of [`Relation::columns`].
+    compacted_all: OnceLock<Vec<Column>>,
+}
+
+/// One empty per-column cache slot per attribute.
+fn fresh_cache(width: usize) -> Box<[OnceLock<Column>]> {
+    (0..width).map(|_| OnceLock::new()).collect()
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        let compacted = fresh_cache(self.columns.len());
+        for (slot, src) in compacted.iter().zip(self.compacted.iter()) {
+            if let Some(c) = src.get() {
+                let _ = slot.set(c.clone());
+            }
+        }
+        let compacted_all = OnceLock::new();
+        if let Some(c) = self.compacted_all.get() {
+            let _ = compacted_all.set(c.clone());
+        }
+        Relation {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns: self.columns.clone(),
+            sel: self.sel.clone(),
+            compacted,
+            compacted_all,
+        }
+    }
+}
+
+/// Logical equality: same name, schema, and visible rows — a view and its
+/// materialization compare equal.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        self.name == other.name
+            && self.schema == other.schema
+            && self.len() == other.len()
+            && self.columns() == other.columns()
+    }
 }
 
 impl Relation {
@@ -40,25 +105,67 @@ impl Relation {
                 });
             }
         }
+        let compacted = fresh_cache(columns.len());
         Ok(Relation {
             name: None,
             schema,
             columns,
+            sel: None,
+            compacted,
+            compacted_all: OnceLock::new(),
         })
     }
 
     /// An empty relation with the given schema.
     pub fn empty(schema: Schema) -> Self {
-        let columns = schema
+        let columns: Vec<Column> = schema
             .attributes()
             .iter()
             .map(|a| Column::new(rma_storage::ColumnData::empty(a.dtype())))
             .collect();
+        let compacted = fresh_cache(columns.len());
         Relation {
             name: None,
             schema,
             columns,
+            sel: None,
+            compacted,
+            compacted_all: OnceLock::new(),
         }
+    }
+
+    /// Internal view constructor: shared base columns + selection vector.
+    /// Invariants (unchecked): `schema` matches `columns`, every index in
+    /// `sel` is within the base length.
+    pub(crate) fn from_view_parts(
+        name: Option<String>,
+        schema: Schema,
+        columns: Vec<Column>,
+        sel: Option<SelVec>,
+    ) -> Relation {
+        // an identity selection is just a compact relation
+        let base_len = columns.first().map_or(0, Column::len);
+        let sel = sel.filter(|s| !s.is_identity(base_len));
+        let compacted = fresh_cache(columns.len());
+        Relation {
+            name,
+            schema,
+            columns,
+            sel,
+            compacted,
+            compacted_all: OnceLock::new(),
+        }
+    }
+
+    /// A view over this relation's base selecting `sel` (positions are
+    /// composed when `self` is already a view).
+    fn view(&self, sel: SelVec) -> Relation {
+        Relation::from_view_parts(
+            self.name.clone(),
+            self.schema.clone(),
+            self.columns.clone(),
+            Some(sel),
+        )
     }
 
     /// Build from rows of boxed values (test/edge convenience; bulk paths
@@ -95,21 +202,46 @@ impl Relation {
         &self.schema
     }
 
-    /// Number of tuples `|r|`.
+    /// Number of visible tuples `|r|`.
     pub fn len(&self) -> usize {
-        self.columns.first().map_or(0, Column::len)
+        if self.columns.is_empty() {
+            return 0;
+        }
+        match &self.sel {
+            Some(sel) => sel.len(),
+            None => self.columns[0].len(),
+        }
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    pub fn columns(&self) -> &[Column] {
+    /// Is this relation a selection-vector view (visible rows ≠ base rows)?
+    pub fn is_view(&self) -> bool {
+        self.sel.is_some()
+    }
+
+    /// The selection vector, when this relation is a view.
+    pub fn sel(&self) -> Option<&SelVec> {
+        self.sel.as_ref()
+    }
+
+    /// The shared base columns a view indexes into (equal to
+    /// [`Relation::columns`] for compact relations). Base columns may be
+    /// longer than [`Relation::len`]; index them through [`Relation::sel`].
+    pub fn base_columns(&self) -> &[Column] {
         &self.columns
     }
 
-    /// Column of an attribute by name.
-    pub fn column(&self, name: &str) -> Result<&Column, RelationError> {
+    /// Number of rows in the base columns.
+    pub fn base_len(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Base column of an attribute by name (not compacted — index it
+    /// through [`Relation::sel`] / [`Relation::base_index`]).
+    pub fn base_column(&self, name: &str) -> Result<&Column, RelationError> {
         let idx = self
             .schema
             .index_of(name)
@@ -117,19 +249,102 @@ impl Relation {
         Ok(&self.columns[idx])
     }
 
-    /// Columns of several attributes, in the requested order.
+    /// The base row index behind visible position `i`.
+    #[inline]
+    pub fn base_index(&self, i: usize) -> usize {
+        match &self.sel {
+            Some(sel) => sel.get(i),
+            None => i,
+        }
+    }
+
+    /// Map visible positions to base indices as a selection vector —
+    /// composing with this view's own selection, if any. `pos` must hold
+    /// valid visible positions.
+    pub fn compose_positions(&self, pos: &[usize]) -> SelVec {
+        match &self.sel {
+            Some(sel) => sel.compose(pos),
+            None => SelVec::from_indices(pos.to_vec()),
+        }
+    }
+
+    /// [`Relation::compose_positions`], consuming the position vector: a
+    /// compact relation wraps it as-is, with no copy (the shape joins use
+    /// — match lists are owned and huge).
+    pub fn compose_owned(&self, pos: Vec<usize>) -> SelVec {
+        match &self.sel {
+            Some(sel) => sel.compose(&pos),
+            None => SelVec::from_indices(pos),
+        }
+    }
+
+    /// Compacted column `idx` of a view, gathered (and cached) on first
+    /// use. Must only be called when `self.sel` is `Some`.
+    fn compacted_col(&self, idx: usize) -> &Column {
+        self.compacted[idx].get_or_init(|| {
+            let sel = self
+                .sel
+                .as_ref()
+                .expect("compacted_col called on a non-view");
+            self.columns[idx].gather(sel)
+        })
+    }
+
+    /// The visible columns, compacted. Compact relations return their
+    /// columns directly; a view gathers (and caches) the selected rows of
+    /// every column on first use — this is the implicit whole-width sink
+    /// for code that is not view-aware.
+    pub fn columns(&self) -> &[Column] {
+        match &self.sel {
+            None => &self.columns,
+            Some(_) => self.compacted_all.get_or_init(|| {
+                (0..self.columns.len())
+                    .map(|j| self.compacted_col(j).clone())
+                    .collect()
+            }),
+        }
+    }
+
+    /// Visible column of an attribute by name. On a view, only this
+    /// column is gathered (then cached) — the other base columns are left
+    /// untouched, so single-attribute consumers of a wide view never pay
+    /// for the payload they ignore.
+    pub fn column(&self, name: &str) -> Result<&Column, RelationError> {
+        let idx = self
+            .schema
+            .index_of(name)
+            .ok_or_else(|| RelationError::UnknownAttribute(name.to_string()))?;
+        Ok(match &self.sel {
+            None => &self.columns[idx],
+            Some(_) => self.compacted_col(idx),
+        })
+    }
+
+    /// An owned handle to one visible column: O(1) Arc clone on compact
+    /// relations, a cached single-column gather on views — this is what
+    /// expression evaluation uses to touch only referenced attributes.
+    pub fn column_shared(&self, name: &str) -> Result<Column, RelationError> {
+        self.column(name).cloned()
+    }
+
+    /// Columns of several attributes, in the requested order (compacted).
     pub fn columns_of(&self, names: &[&str]) -> Result<Vec<&Column>, RelationError> {
         names.iter().map(|n| self.column(n)).collect()
     }
 
-    /// One cell.
+    /// One cell. Reads through the selection vector — no compaction.
     pub fn cell(&self, row: usize, attr: &str) -> Result<Value, RelationError> {
-        Ok(self.column(attr)?.get(row))
+        let idx = self
+            .schema
+            .index_of(attr)
+            .ok_or_else(|| RelationError::UnknownAttribute(attr.to_string()))?;
+        Ok(self.columns[idx].get(self.base_index(row)))
     }
 
     /// One tuple as boxed values.
     pub fn row(&self, i: usize) -> Vec<Value> {
-        self.columns.iter().map(|c| c.get(i)).collect()
+        let b = self.base_index(i);
+        self.columns.iter().map(|c| c.get(b)).collect()
     }
 
     /// Iterate tuples as boxed values (edge use; bulk code works on columns).
@@ -137,61 +352,93 @@ impl Relation {
         (0..self.len()).map(move |i| self.row(i))
     }
 
-    /// Gather rows by index, preserving schema and name.
+    /// Gather rows by (visible) index, preserving schema and name. Lazy:
+    /// the result is a view sharing this relation's base columns; indices
+    /// compose, so stacking `take`s never builds chains.
     pub fn take(&self, idx: &[usize]) -> Relation {
-        Relation {
-            name: self.name.clone(),
-            schema: self.schema.clone(),
-            columns: self.columns.iter().map(|c| c.take(idx)).collect(),
-        }
+        self.view(self.compose_positions(idx))
     }
 
-    /// Copy out the contiguous row range `range` (one partition of a
-    /// row-range partitioned scan), preserving schema and name.
+    /// The contiguous visible row range `range` (one morsel of a row-range
+    /// partitioned scan), preserving schema and name. Lazy: a range over a
+    /// compact relation or a range view stays a range — a morsel is two
+    /// words, not a copy.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Relation {
-        Relation {
-            name: self.name.clone(),
-            schema: self.schema.clone(),
-            columns: self
-                .columns
-                .iter()
-                .map(|c| c.slice(range.start, range.end))
-                .collect(),
+        let sel = match &self.sel {
+            None => SelVec::Range(range),
+            Some(sel) => sel.slice(range),
+        };
+        self.view(sel)
+    }
+
+    /// Keep rows whose flag is set. Lazy: builds a selection vector, not
+    /// new columns.
+    pub fn filter(&self, keep: &[bool]) -> Relation {
+        debug_assert_eq!(keep.len(), self.len());
+        let sel = match &self.sel {
+            Some(sel) => sel.compose_mask(keep),
+            None => SelVec::all(self.len()).compose_mask(keep),
+        };
+        self.view(sel)
+    }
+
+    /// Compact this relation: gather the visible rows of every column into
+    /// fresh (well, possibly shared — a compact relation just recounts its
+    /// Arcs) columns and drop the selection vector. Pipeline sinks call
+    /// this once; everything upstream stays zero-copy.
+    pub fn materialize(&self) -> Relation {
+        match &self.sel {
+            None => self.clone(),
+            Some(_) => {
+                let columns = self.columns().to_vec();
+                let compacted = fresh_cache(columns.len());
+                Relation {
+                    name: self.name.clone(),
+                    schema: self.schema.clone(),
+                    columns,
+                    sel: None,
+                    compacted,
+                    compacted_all: OnceLock::new(),
+                }
+            }
         }
     }
 
-    /// Concatenate partition results back into one relation. All parts must
-    /// share the first part's schema exactly; the first part's name is kept
-    /// (parallel operators split a named relation and reassemble it).
+    /// Concatenate partition results back into one compact relation. All
+    /// parts must share the first part's schema exactly; the first part's
+    /// name is kept (parallel operators split a named relation and
+    /// reassemble it). Views are gathered directly into the output — the
+    /// gather and the concatenation are one pass.
     pub fn concat(parts: &[Relation]) -> Result<Relation, RelationError> {
         let Some((first, rest)) = parts.split_first() else {
             return Err(RelationError::Expression(
                 "concat of zero partitions".to_string(),
             ));
         };
-        let mut columns = first.columns.clone();
         for part in rest {
             if part.schema != first.schema {
                 return Err(RelationError::NotUnionCompatible);
             }
-            for (c, other) in columns.iter_mut().zip(&part.columns) {
-                c.append(other)?;
-            }
         }
+        let total: usize = parts.iter().map(Relation::len).sum();
+        let mut columns: Vec<Column> = Vec::with_capacity(first.schema.len());
+        for j in 0..first.schema.len() {
+            let dt = first.schema.attributes()[j].dtype();
+            let mut col = Column::new(rma_storage::ColumnData::with_capacity(dt, total));
+            for part in parts {
+                col.append_gather(&part.columns[j], part.sel.as_ref())?;
+            }
+            columns.push(col);
+        }
+        let compacted = fresh_cache(columns.len());
         Ok(Relation {
             name: first.name.clone(),
             schema: first.schema.clone(),
             columns,
+            sel: None,
+            compacted,
+            compacted_all: OnceLock::new(),
         })
-    }
-
-    /// Keep rows whose flag is set.
-    pub fn filter(&self, keep: &[bool]) -> Relation {
-        Relation {
-            name: self.name.clone(),
-            schema: self.schema.clone(),
-            columns: self.columns.iter().map(|c| c.filter(keep)).collect(),
-        }
     }
 
     /// The sort permutation of this relation under the given attributes
@@ -245,7 +492,7 @@ impl Relation {
             Ok(r) => r,
             Err(_) => return false,
         };
-        a.columns == b.columns
+        a.columns() == b.columns()
     }
 
     /// Replace the schema names wholesale (the rename operator ρ uses this).
@@ -267,14 +514,17 @@ const DISPLAY_ROWS: usize = 20;
 impl fmt::Display for Relation {
     /// Render an aligned ASCII table: header, separator, and up to
     /// [`DISPLAY_ROWS`] rows. Numeric columns are right-aligned, others
-    /// left-aligned; longer relations end with a truncation note.
+    /// left-aligned; longer relations end with a truncation note. Reads
+    /// through the selection vector, so displaying a huge view stays cheap.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let shown = self.len().min(DISPLAY_ROWS);
         // materialise the displayed cells once to compute column widths
         let mut cells: Vec<Vec<String>> = Vec::with_capacity(self.schema.len());
         let mut widths: Vec<usize> = Vec::with_capacity(self.schema.len());
         for (attr, col) in self.schema.attributes().iter().zip(&self.columns) {
-            let vals: Vec<String> = (0..shown).map(|i| col.get(i).to_string()).collect();
+            let vals: Vec<String> = (0..shown)
+                .map(|i| col.get(self.base_index(i)).to_string())
+                .collect();
             let width = vals
                 .iter()
                 .map(String::len)
@@ -473,6 +723,77 @@ mod tests {
         let r = weather();
         assert_eq!(r.take(&[0]).name(), Some("r"));
         assert_eq!(r.filter(&[true, false, false, false]).name(), Some("r"));
+    }
+
+    #[test]
+    fn take_and_filter_are_views() {
+        let r = weather();
+        let t = r.take(&[2, 0]);
+        assert!(t.is_view());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(0, "T").unwrap(), Value::from("7am"));
+        let f = r.filter(&[true, false, true, false]);
+        assert!(f.is_view());
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.cell(1, "T").unwrap(), Value::from("7am"));
+        // a view equals its materialization
+        assert_eq!(f, f.materialize());
+        assert!(!f.materialize().is_view());
+    }
+
+    #[test]
+    fn views_compose_without_chaining() {
+        let r = weather();
+        let v = r
+            .filter(&[true, true, true, false]) // rows 0,1,2
+            .take(&[2, 1]) // rows 2,1
+            .filter(&[true, false]); // row 2
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.cell(0, "T").unwrap(), Value::from("7am"));
+        // composed eagerly: the view indexes the original base directly
+        assert_eq!(v.sel().unwrap().get(0), 2);
+        assert_eq!(v.base_len(), 4);
+    }
+
+    #[test]
+    fn slice_stays_a_range_view() {
+        let r = weather();
+        let s = r.slice(1..3);
+        assert!(matches!(s.sel(), Some(SelVec::Range(rng)) if rng == &(1..3)));
+        let s2 = s.slice(1..2);
+        assert!(matches!(s2.sel(), Some(SelVec::Range(rng)) if rng == &(2..3)));
+        assert_eq!(s2.cell(0, "T").unwrap(), Value::from("7am"));
+        // full-range slice of a compact relation stays compact
+        assert!(!r.slice(0..4).is_view());
+    }
+
+    #[test]
+    fn compacting_accessor_matches_view() {
+        let r = weather();
+        let v = r.take(&[3, 1]);
+        let cols = v.columns();
+        assert_eq!(cols[0].len(), 2);
+        assert_eq!(cols[0].get(0), Value::from("6am"));
+        // cached: second call returns the same gathered columns
+        assert_eq!(v.columns()[0].get(1), Value::from("8am"));
+        assert_eq!(v.column("T").unwrap().get(0), Value::from("6am"));
+        assert_eq!(v.column_shared("H").unwrap().get(1), Value::Float(8.0));
+    }
+
+    #[test]
+    fn concat_gathers_views_directly() {
+        let r = weather();
+        let a = r.filter(&[true, false, true, false]);
+        let b = r.slice(3..4);
+        let c = Relation::concat(&[a, b]).unwrap();
+        assert!(!c.is_view());
+        assert_eq!(c.len(), 3);
+        let ts: Vec<Value> = c.column("T").unwrap().iter_values().collect();
+        assert_eq!(
+            ts,
+            vec![Value::from("5am"), Value::from("7am"), Value::from("6am")]
+        );
+        assert_eq!(c.name(), Some("r"));
     }
 
     #[test]

@@ -125,7 +125,9 @@ impl Engine {
         match stmt {
             Statement::Select(sel) => {
                 let plan = self.build_plan(&sel)?;
-                let rel = execute(&plan, &self.catalog, &self.rma)?;
+                // the query result is a pipeline sink: compact any
+                // selection-vector view before handing it to the caller
+                let rel = execute(&plan, &self.catalog, &self.rma)?.materialize();
                 Ok(QueryResult::Relation(rel))
             }
             Statement::Explain(sel) => {

@@ -103,6 +103,12 @@ impl Bitmap {
         out
     }
 
+    /// Extend by `n` clear (valid) bits.
+    pub fn grow(&mut self, n: usize) {
+        self.len += n;
+        self.words.resize(self.len.div_ceil(64), 0);
+    }
+
     /// Append another bitmap.
     pub fn extend(&mut self, other: &Bitmap) {
         let old = self.len;

@@ -3,11 +3,20 @@
 //! Each column stores a contiguous `Vec` of one primitive type plus an
 //! optional null bitmap. All bulk operators work directly on the typed
 //! vectors; [`Value`] is only used at the edges.
+//!
+//! Both the data vector and the bitmap live behind `Arc`, so cloning a
+//! column is O(1) — operators share intermediate results instead of deep
+//! copying them, and [`Column::append`] copies-on-write only when a shared
+//! column is actually extended. Row selection composes with this through
+//! [`Column::gather`], which materialises the rows named by a
+//! [`SelVec`](crate::SelVec).
 
 use crate::bitmap::Bitmap;
 use crate::error::StorageError;
+use crate::selvec::SelVec;
 use crate::value::{DataType, Value};
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// Typed storage for the rows of one attribute.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,21 +76,24 @@ impl ColumnData {
     }
 }
 
-/// A column: typed data plus an optional null bitmap.
+/// A column: typed data plus an optional null bitmap, both `Arc`-shared.
 ///
 /// `nulls == None` means "no nulls anywhere" — the hot path. When a bitmap is
 /// present, the underlying slot of a null row holds an arbitrary placeholder
 /// (zero / empty string) that must never be observed through the public API.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Column {
-    data: ColumnData,
-    nulls: Option<Bitmap>,
+    data: Arc<ColumnData>,
+    nulls: Option<Arc<Bitmap>>,
 }
 
 impl Column {
     /// A column from typed data with no nulls.
     pub fn new(data: ColumnData) -> Self {
-        Column { data, nulls: None }
+        Column {
+            data: Arc::new(data),
+            nulls: None,
+        }
     }
 
     /// A column from typed data with the given null bitmap. The bitmap is
@@ -93,8 +105,22 @@ impl Column {
                 right: nulls.len(),
             });
         }
-        let nulls = if nulls.all_clear() { None } else { Some(nulls) };
-        Ok(Column { data, nulls })
+        let nulls = if nulls.all_clear() {
+            None
+        } else {
+            Some(Arc::new(nulls))
+        };
+        Ok(Column {
+            data: Arc::new(data),
+            nulls,
+        })
+    }
+
+    /// Rewrap shared parts into a column (internal zero-copy constructor;
+    /// the bitmap is assumed non-empty when present).
+    fn from_parts(data: Arc<ColumnData>, nulls: Option<Arc<Bitmap>>) -> Self {
+        debug_assert!(nulls.as_ref().is_none_or(|b| b.len() == data.len()));
+        Column { data, nulls }
     }
 
     /// Build a column from scalar values; infers the type from the first
@@ -136,8 +162,41 @@ impl Column {
                 }
             }
         }
-        let nulls = any_null.then_some(nulls);
-        Ok(Column { data, nulls })
+        if any_null {
+            Column::with_nulls(data, nulls)
+        } else {
+            Ok(Column::new(data))
+        }
+    }
+
+    /// A column holding `len` copies of one scalar. Costs O(len) storage —
+    /// expression evaluation avoids calling this until a constant result
+    /// must actually become a column (see `rma_relation::Expr`).
+    pub fn broadcast(v: &Value, dt: DataType, len: usize) -> Result<Self, StorageError> {
+        if v.is_null() {
+            let mut nulls = Bitmap::new(len);
+            let mut data = ColumnData::with_capacity(dt, len);
+            for i in 0..len {
+                nulls.set(i);
+                push_placeholder(&mut data);
+            }
+            return Column::with_nulls(data, nulls);
+        }
+        let data = match (dt, v) {
+            (DataType::Int, Value::Int(x)) => ColumnData::Int(vec![*x; len]),
+            (DataType::Float, Value::Float(x)) => ColumnData::Float(vec![*x; len]),
+            (DataType::Float, Value::Int(x)) => ColumnData::Float(vec![*x as f64; len]),
+            (DataType::Str, Value::Str(x)) => ColumnData::Str(vec![x.clone(); len]),
+            (DataType::Bool, Value::Bool(x)) => ColumnData::Bool(vec![*x; len]),
+            (DataType::Date, Value::Date(x)) => ColumnData::Date(vec![*x; len]),
+            _ => {
+                return Err(StorageError::TypeMismatch {
+                    expected: dt,
+                    found: v.data_type(),
+                })
+            }
+        };
+        Ok(Column::new(data))
     }
 
     pub fn len(&self) -> usize {
@@ -158,7 +217,7 @@ impl Column {
 
     /// The null bitmap, if any row is null.
     pub fn nulls(&self) -> Option<&Bitmap> {
-        self.nulls.as_ref()
+        self.nulls.as_deref()
     }
 
     pub fn has_nulls(&self) -> bool {
@@ -166,7 +225,7 @@ impl Column {
     }
 
     pub fn null_count(&self) -> usize {
-        self.nulls.as_ref().map_or(0, Bitmap::count_set)
+        self.nulls.as_ref().map_or(0, |b| b.count_set())
     }
 
     pub fn is_null(&self, i: usize) -> bool {
@@ -178,7 +237,7 @@ impl Column {
         if self.is_null(i) {
             return Value::Null;
         }
-        match &self.data {
+        match self.data() {
             ColumnData::Int(v) => Value::Int(v[i]),
             ColumnData::Float(v) => Value::Float(v[i]),
             ColumnData::Str(v) => Value::Str(v[i].clone()),
@@ -193,7 +252,7 @@ impl Column {
             (true, true) => Ordering::Equal,
             (true, false) => Ordering::Less,
             (false, true) => Ordering::Greater,
-            (false, false) => match &self.data {
+            (false, false) => match self.data() {
                 ColumnData::Int(v) => v[i].cmp(&v[j]),
                 ColumnData::Float(v) => v[i].total_cmp(&v[j]),
                 ColumnData::Str(v) => v[i].cmp(&v[j]),
@@ -211,7 +270,7 @@ impl Column {
 
     /// Gather rows: `out[k] = self[idx[k]]` (MonetDB `leftfetchjoin`).
     pub fn take(&self, idx: &[usize]) -> Column {
-        let data = match &self.data {
+        let data = match self.data() {
             ColumnData::Int(v) => ColumnData::Int(idx.iter().map(|&i| v[i]).collect()),
             ColumnData::Float(v) => ColumnData::Float(idx.iter().map(|&i| v[i]).collect()),
             ColumnData::Str(v) => ColumnData::Str(idx.iter().map(|&i| v[i].clone()).collect()),
@@ -219,16 +278,20 @@ impl Column {
             ColumnData::Date(v) => ColumnData::Date(idx.iter().map(|&i| v[i]).collect()),
         };
         let nulls = self.nulls.as_ref().map(|b| b.take(idx));
-        let nulls = nulls.filter(|b| !b.all_clear());
-        Column { data, nulls }
+        let nulls = nulls.filter(|b| !b.all_clear()).map(Arc::new);
+        Column::from_parts(Arc::new(data), nulls)
     }
 
     /// Copy out the contiguous row range `start..end` (the unit of a
     /// row-range partitioned scan). Cheaper than [`Column::take`] with a
-    /// dense index list: each variant is one bulk subrange copy.
+    /// dense index list: each variant is one bulk subrange copy. A
+    /// full-range slice shares the backing storage instead of copying.
     pub fn slice(&self, start: usize, end: usize) -> Column {
         debug_assert!(start <= end && end <= self.len());
-        let data = match &self.data {
+        if start == 0 && end == self.len() {
+            return self.clone(); // Arc share, no copy
+        }
+        let data = match self.data() {
             ColumnData::Int(v) => ColumnData::Int(v[start..end].to_vec()),
             ColumnData::Float(v) => ColumnData::Float(v[start..end].to_vec()),
             ColumnData::Str(v) => ColumnData::Str(v[start..end].to_vec()),
@@ -236,8 +299,18 @@ impl Column {
             ColumnData::Date(v) => ColumnData::Date(v[start..end].to_vec()),
         };
         let nulls = self.nulls.as_ref().map(|b| b.slice(start, end));
-        let nulls = nulls.filter(|b| !b.all_clear());
-        Column { data, nulls }
+        let nulls = nulls.filter(|b| !b.all_clear()).map(Arc::new);
+        Column::from_parts(Arc::new(data), nulls)
+    }
+
+    /// Materialise the rows a selection vector names, in selection order —
+    /// the single compaction step of a late-materialized pipeline.
+    pub fn gather(&self, sel: &SelVec) -> Column {
+        match sel {
+            _ if sel.is_identity(self.len()) => self.clone(),
+            SelVec::Range(r) => self.slice(r.start, r.end),
+            SelVec::Indices(idx) => self.take(idx),
+        }
     }
 
     /// Keep only rows whose flag is set (vectorised σ on a selection vector).
@@ -251,8 +324,21 @@ impl Column {
         self.take(&idx)
     }
 
-    /// Concatenate another column of the same type onto this one.
+    /// Concatenate another column of the same type onto this one,
+    /// copying-on-write if the underlying storage is shared.
     pub fn append(&mut self, other: &Column) -> Result<(), StorageError> {
+        self.append_gather(other, None)
+    }
+
+    /// Append the rows of `other` selected by `sel` (all rows when `None`)
+    /// without materialising an intermediate column — the gather and the
+    /// concatenation are one pass. This is how partition results and view
+    /// parts are reassembled.
+    pub fn append_gather(
+        &mut self,
+        other: &Column,
+        sel: Option<&SelVec>,
+    ) -> Result<(), StorageError> {
         if self.data_type() != other.data_type() {
             return Err(StorageError::TypeMismatch {
                 expected: self.data_type(),
@@ -260,22 +346,46 @@ impl Column {
             });
         }
         let old_len = self.len();
-        match (&mut self.data, &other.data) {
-            (ColumnData::Int(a), ColumnData::Int(b)) => a.extend_from_slice(b),
-            (ColumnData::Float(a), ColumnData::Float(b)) => a.extend_from_slice(b),
-            (ColumnData::Str(a), ColumnData::Str(b)) => a.extend_from_slice(b),
-            (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(b),
-            (ColumnData::Date(a), ColumnData::Date(b)) => a.extend_from_slice(b),
-            _ => unreachable!("type equality checked above"),
+        let added = sel.map_or(other.len(), SelVec::len);
+        {
+            let data = Arc::make_mut(&mut self.data);
+            match (data, other.data()) {
+                (ColumnData::Int(a), ColumnData::Int(b)) => extend_gather(a, b, sel),
+                (ColumnData::Float(a), ColumnData::Float(b)) => extend_gather(a, b, sel),
+                (ColumnData::Str(a), ColumnData::Str(b)) => extend_gather(a, b, sel),
+                (ColumnData::Bool(a), ColumnData::Bool(b)) => extend_gather(a, b, sel),
+                (ColumnData::Date(a), ColumnData::Date(b)) => extend_gather(a, b, sel),
+                _ => unreachable!("type equality checked above"),
+            }
         }
-        match (&mut self.nulls, &other.nulls) {
-            (None, None) => {}
-            (Some(a), Some(b)) => a.extend(b),
-            (Some(a), None) => a.extend(&Bitmap::new(other.len())),
-            (None, Some(b)) => {
+        // merge the validity bitmaps (through the selection, when present)
+        let other_nulls = |m: &mut Bitmap| {
+            if let Some(b) = other.nulls() {
+                match sel {
+                    None => m.extend(b),
+                    Some(s) => {
+                        let start = m.len();
+                        m.grow(added);
+                        for (k, i) in s.iter().enumerate() {
+                            if b.get(i) {
+                                m.set(start + k);
+                            }
+                        }
+                    }
+                }
+            } else {
+                m.grow(added);
+            }
+        };
+        match (&mut self.nulls, other.nulls.is_some()) {
+            (None, false) => {}
+            (Some(a), _) => other_nulls(Arc::make_mut(a)),
+            (None, true) => {
                 let mut m = Bitmap::new(old_len);
-                m.extend(b);
-                self.nulls = Some(m);
+                other_nulls(&mut m);
+                if !m.all_clear() {
+                    self.nulls = Some(Arc::new(m));
+                }
             }
         }
         Ok(())
@@ -284,12 +394,12 @@ impl Column {
     /// View the column as `f64` values; integer columns are widened. Errors
     /// on non-numeric types or on nulls — matrices cannot hold either.
     pub fn to_f64_vec(&self) -> Result<Vec<f64>, StorageError> {
-        if let Some(b) = &self.nulls {
+        if let Some(b) = self.nulls() {
             if !b.all_clear() {
                 return Err(StorageError::NullInNumericContext);
             }
         }
-        match &self.data {
+        match self.data() {
             ColumnData::Int(v) => Ok(v.iter().map(|&x| x as f64).collect()),
             ColumnData::Float(v) => Ok(v.clone()),
             other => Err(StorageError::TypeMismatch {
@@ -304,7 +414,7 @@ impl Column {
         if self.has_nulls() {
             return None;
         }
-        match &self.data {
+        match self.data() {
             ColumnData::Float(v) => Some(v),
             _ => None,
         }
@@ -313,6 +423,14 @@ impl Column {
     /// Iterate all cells as boxed scalars (edge use only).
     pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
         (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+fn extend_gather<T: Clone>(a: &mut Vec<T>, b: &[T], sel: Option<&SelVec>) {
+    match sel {
+        None => a.extend_from_slice(b),
+        Some(SelVec::Range(r)) => a.extend_from_slice(&b[r.clone()]),
+        Some(SelVec::Indices(idx)) => a.extend(idx.iter().map(|&i| b[i].clone())),
     }
 }
 
@@ -407,6 +525,67 @@ mod tests {
         // all-valid result drops the bitmap entirely
         let t2 = c.take(&[0, 2]);
         assert!(!t2.has_nulls());
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let c = Column::from(vec![1i64, 2, 3]);
+        let d = c.clone();
+        assert!(Arc::ptr_eq(&c.data, &d.data));
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn append_copies_on_write() {
+        let c = Column::from(vec![1i64, 2]);
+        let mut d = c.clone();
+        d.append(&Column::from(vec![3i64])).unwrap();
+        // the original is untouched, the clone diverged
+        assert_eq!(c.len(), 2);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.get(2), Value::Int(3));
+    }
+
+    #[test]
+    fn gather_range_and_indices() {
+        let c = Column::from_values(&[Value::Int(1), Value::Null, Value::Int(3), Value::Int(4)])
+            .unwrap();
+        let r = c.gather(&SelVec::Range(1..3));
+        assert_eq!(r.len(), 2);
+        assert!(r.is_null(0));
+        let i = c.gather(&SelVec::from_indices(vec![3, 1]));
+        assert_eq!(i.get(0), Value::Int(4));
+        assert!(i.is_null(1));
+        // identity gather shares storage
+        let all = c.gather(&SelVec::all(4));
+        assert!(Arc::ptr_eq(&c.data, &all.data));
+    }
+
+    #[test]
+    fn append_gather_selected_rows() {
+        let mut a = Column::from(vec![1i64]);
+        let b = Column::from_values(&[Value::Int(10), Value::Null, Value::Int(30)]).unwrap();
+        a.append_gather(&b, Some(&SelVec::from_indices(vec![2, 1])))
+            .unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(1), Value::Int(30));
+        assert!(a.is_null(2));
+        let mut c = Column::from(vec![1i64]);
+        c.append_gather(&b, Some(&SelVec::Range(0..1))).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(!c.has_nulls());
+    }
+
+    #[test]
+    fn broadcast_scalar_and_null() {
+        let c = Column::broadcast(&Value::Int(7), DataType::Int, 3).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(2), Value::Int(7));
+        let n = Column::broadcast(&Value::Null, DataType::Float, 2).unwrap();
+        assert_eq!(n.null_count(), 2);
+        let w = Column::broadcast(&Value::Int(1), DataType::Float, 2).unwrap();
+        assert_eq!(w.get(0), Value::Float(1.0));
+        assert!(Column::broadcast(&Value::Bool(true), DataType::Int, 1).is_err());
     }
 
     #[test]

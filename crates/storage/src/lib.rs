@@ -17,6 +17,7 @@ pub mod bitmap;
 pub mod column;
 pub mod compress;
 pub mod error;
+pub mod selvec;
 pub mod value;
 
 pub use bat::{
@@ -27,4 +28,5 @@ pub use bitmap::Bitmap;
 pub use column::{Column, ColumnData};
 pub use compress::CompressedFloats;
 pub use error::StorageError;
+pub use selvec::SelVec;
 pub use value::{DataType, Value};

@@ -1,0 +1,175 @@
+//! Selection vectors — the candidate lists of late materialization.
+//!
+//! A [`SelVec`] names the rows of a base column set that an intermediate
+//! result consists of, without copying them: either a contiguous row range
+//! (the shape every morsel and every `LIMIT` produces) or an explicit list
+//! of row indices (the shape a filter or a sort permutation produces).
+//! Index lists are `Arc`-shared so cloning a view is O(1).
+//!
+//! This is the MonetDB candidate-list idea: operators upstream of a
+//! pipeline sink exchange `(shared columns, SelVec)` pairs and only the
+//! sink gathers (`Column::gather`) the surviving rows into fresh vectors.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A selection over rows of a base column set: a contiguous range or an
+/// explicit index list. Filters produce ascending lists; sorts produce
+/// permutations — both are valid, and `gather` preserves the given order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelVec {
+    /// The contiguous row range `start..end` of the base.
+    Range(Range<usize>),
+    /// Explicit base row indices, in output order.
+    Indices(Arc<Vec<usize>>),
+}
+
+impl SelVec {
+    /// The identity selection over `len` base rows.
+    pub fn all(len: usize) -> SelVec {
+        SelVec::Range(0..len)
+    }
+
+    /// A selection from an explicit index list.
+    pub fn from_indices(idx: Vec<usize>) -> SelVec {
+        SelVec::Indices(Arc::new(idx))
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        match self {
+            SelVec::Range(r) => r.end - r.start,
+            SelVec::Indices(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The base row index of selected position `k`. Panics when `k` is out
+    /// of range — a position past the selection must fail fast, not read a
+    /// base row outside the view.
+    pub fn get(&self, k: usize) -> usize {
+        match self {
+            SelVec::Range(r) => {
+                assert!(
+                    k < r.end - r.start,
+                    "selection position {k} out of range {}",
+                    r.end - r.start
+                );
+                r.start + k
+            }
+            SelVec::Indices(v) => v[k],
+        }
+    }
+
+    /// Iterate the selected base row indices in position order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).map(move |k| self.get(k))
+    }
+
+    /// Is this the identity selection over a base of `base_len` rows?
+    pub fn is_identity(&self, base_len: usize) -> bool {
+        matches!(self, SelVec::Range(r) if r.start == 0 && r.end == base_len)
+    }
+
+    /// Restrict to the contiguous *position* window `window` (positions are
+    /// indices into this selection, not the base). Range stays range;
+    /// index lists copy only the window.
+    pub fn slice(&self, window: Range<usize>) -> SelVec {
+        debug_assert!(window.start <= window.end && window.end <= self.len());
+        match self {
+            SelVec::Range(r) => SelVec::Range(r.start + window.start..r.start + window.end),
+            SelVec::Indices(v) => SelVec::from_indices(v[window.clone()].to_vec()),
+        }
+    }
+
+    /// Compose with a list of positions: the selection whose `k`-th row is
+    /// `self.get(pos[k])`. This is how lazy `take`/`filter` stack without
+    /// ever building chains of views.
+    pub fn compose(&self, pos: &[usize]) -> SelVec {
+        match self {
+            SelVec::Range(r) => SelVec::from_indices(pos.iter().map(|&p| r.start + p).collect()),
+            SelVec::Indices(v) => SelVec::from_indices(pos.iter().map(|&p| v[p]).collect()),
+        }
+    }
+
+    /// Compose with a keep-mask over positions: the selected base indices
+    /// whose position has its flag set (the lazy σ).
+    pub fn compose_mask(&self, keep: &[bool]) -> SelVec {
+        debug_assert_eq!(keep.len(), self.len());
+        let idx: Vec<usize> = match self {
+            SelVec::Range(r) => keep
+                .iter()
+                .enumerate()
+                .filter_map(|(p, &k)| k.then_some(r.start + p))
+                .collect(),
+            SelVec::Indices(v) => keep
+                .iter()
+                .zip(v.iter())
+                .filter_map(|(&k, &i)| k.then_some(i))
+                .collect(),
+        };
+        SelVec::from_indices(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_basics() {
+        let s = SelVec::Range(3..7);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.get(0), 3);
+        assert_eq!(s.get(3), 6);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 4, 5, 6]);
+        assert!(!s.is_identity(7));
+        assert!(SelVec::all(7).is_identity(7));
+    }
+
+    #[test]
+    fn indices_basics() {
+        let s = SelVec::from_indices(vec![5, 1, 9]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(1), 1);
+        assert!(!s.is_identity(3));
+    }
+
+    #[test]
+    fn slice_range_stays_range() {
+        let s = SelVec::Range(10..20).slice(2..5);
+        assert_eq!(s, SelVec::Range(12..15));
+        let s = SelVec::from_indices(vec![4, 8, 15, 16]).slice(1..3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![8, 15]);
+    }
+
+    #[test]
+    fn compose_maps_positions() {
+        let s = SelVec::Range(100..110);
+        assert_eq!(
+            s.compose(&[9, 0, 0]).iter().collect::<Vec<_>>(),
+            vec![109, 100, 100]
+        );
+        let s = SelVec::from_indices(vec![7, 3, 5]);
+        assert_eq!(s.compose(&[2, 1]).iter().collect::<Vec<_>>(), vec![5, 3]);
+    }
+
+    #[test]
+    fn compose_mask_filters() {
+        let s = SelVec::Range(4..8);
+        let f = s.compose_mask(&[true, false, false, true]);
+        assert_eq!(f.iter().collect::<Vec<_>>(), vec![4, 7]);
+        let f2 = f.compose_mask(&[false, true]);
+        assert_eq!(f2.iter().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let s = SelVec::from_indices(Vec::new());
+        assert!(s.is_empty());
+        assert_eq!(SelVec::Range(2..2).len(), 0);
+    }
+}
