@@ -37,8 +37,19 @@ fn main() {
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = [
-            "fig13", "tab4", "tab5", "tab6", "tab7", "fig14", "fig15", "fig16", "fig17", "fig18",
-            "scaling", "pipeline",
+            "fig13",
+            "tab4",
+            "tab5",
+            "tab6",
+            "tab7",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "scaling",
+            "pipeline",
+            "joinorder",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -59,6 +70,7 @@ fn main() {
             "fig18" => fig18(scale),
             "scaling" => scaling(scale),
             "pipeline" => pipeline(scale),
+            "joinorder" => joinorder(scale),
             other => eprintln!("unknown target `{other}` (skipped)"),
         }
     }
@@ -502,6 +514,54 @@ fn pipeline(scale: usize) {
     let json = format!("[\n  {}\n]\n", records.join(",\n  "));
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     println!("(recorded in BENCH_pipeline.json; target: ≥2x at 1% selectivity)\n");
+}
+
+/// Cost-based join ordering (PR 4): the star-schema multi-join whose
+/// written order joins the largest dimension first, executed with the
+/// join-order enumerator off (written order) and on (cost-based order).
+/// Emits BENCH_joinorder.json.
+fn joinorder(scale: usize) {
+    println!("## Join ordering — cost-based vs written order");
+    let rows = (1_000_000 / scale.max(1)).max(20_000);
+    let (fact, big, mid, small) = rma_bench::joinorder_tables(rows, 77);
+    println!(
+        "### {rows} fact rows × ({}, {}, {}) dimension rows, filter keeps ~1%",
+        big.len(),
+        mid.len(),
+        small.len()
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "#ways", "written(s)", "reordered(s)", "speedup"
+    );
+    let mut records = Vec::new();
+    for ways in [3usize, 4] {
+        // warm-up pass (page in the tables), then one timed run per mode
+        let _ = rma_bench::run_joinorder(&fact, &big, &mid, &small, ways, true);
+        let (written_t, written_check) =
+            rma_bench::run_joinorder(&fact, &big, &mid, &small, ways, false);
+        let (reordered_t, reordered_check) =
+            rma_bench::run_joinorder(&fact, &big, &mid, &small, ways, true);
+        assert_eq!(
+            written_check, reordered_check,
+            "join reordering changed the {ways}-way result"
+        );
+        let speedup = written_t.as_secs_f64() / reordered_t.as_secs_f64();
+        println!(
+            "{ways:>6} {:>14} {:>14} {speedup:>8.2}",
+            secs(written_t),
+            secs(reordered_t)
+        );
+        records.push(format!(
+            "{{\"ways\": {ways}, \"rows\": {rows}, \"written_s\": {:.6}, \"reordered_s\": {:.6}, \"speedup\": {:.3}}}",
+            written_t.as_secs_f64(),
+            reordered_t.as_secs_f64(),
+            speedup
+        ));
+    }
+    let json = format!("[\n  {}\n]\n", records.join(",\n  "));
+    std::fs::write("BENCH_joinorder.json", &json).expect("write BENCH_joinorder.json");
+    println!("(recorded in BENCH_joinorder.json; target: reordered ≥2x at 1M rows)\n");
 }
 
 /// Fig. 18: trip count addition.

@@ -10,7 +10,8 @@ pub mod workloads;
 
 pub use competitors::{MatEngine, MatFlavor, RelEngine, RelFlavor, SimTimes};
 pub use workloads::{
-    pipeline_tables, run_conferences_covariance, run_journeys_regression, run_pipeline,
-    run_scidb_comparison, run_thread_scaling, run_trip_count, run_trips_ols, thread_scaling_table,
-    trip_count_tables, SystemKind, WorkloadReport,
+    joinorder_tables, pipeline_tables, run_conferences_covariance, run_joinorder,
+    run_journeys_regression, run_pipeline, run_scidb_comparison, run_thread_scaling,
+    run_trip_count, run_trips_ols, thread_scaling_table, trip_count_tables, SystemKind,
+    WorkloadReport,
 };

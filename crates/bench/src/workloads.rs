@@ -865,3 +865,118 @@ pub fn run_pipeline(fact: &Relation, dim: &Relation, cutoff: i64, eager: bool) -
     }
     (elapsed, checksum)
 }
+
+// ---------------------------------------------------------------------
+// Cost-based join ordering (PR 4)
+// ---------------------------------------------------------------------
+
+/// Star-schema tables for the join-order bench, sized so the *written*
+/// join order is deliberately bad:
+///
+/// - `fact(f1, f2, f3, v)` — `rows` tuples; `f1`/`f2`/`f3` are foreign
+///   keys into the three dimensions;
+/// - `big(k1, w1)` — `rows/5` tuples, key `k1`: joining it first keeps the
+///   intermediate at `rows` tuples and only adds width;
+/// - `mid(k2, w2)` — 10 000 tuples, key `k2`: same, no reduction;
+/// - `small(k3, p, w3)` — 2 000 tuples, key `k3`, with `p` uniform in
+///   `0..1000`: the bench filters `p < 10`, so joining `small` *first*
+///   shrinks the pipeline to ~1% immediately.
+///
+/// The queries join `fact ⋈ big ⋈ mid ⋈ small` in exactly that written
+/// order; a cost-based optimizer should flip it to `small` first.
+pub fn joinorder_tables(rows: usize, seed: u64) -> (Relation, Relation, Relation, Relation) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let big_rows = (rows / 5).max(100);
+    let mid_rows = 10_000.min(rows).max(10);
+    let small_rows = 2_000.min(rows).max(10);
+    let f1: Vec<i64> = (0..rows)
+        .map(|_| rng.gen_range(0..big_rows as i64))
+        .collect();
+    let f2: Vec<i64> = (0..rows)
+        .map(|_| rng.gen_range(0..mid_rows as i64))
+        .collect();
+    let f3: Vec<i64> = (0..rows)
+        .map(|_| rng.gen_range(0..small_rows as i64))
+        .collect();
+    let v: Vec<f64> = (0..rows).map(|_| rng.gen_range(0.0..10.0)).collect();
+    let fact = rma_relation::RelationBuilder::new()
+        .name("fact")
+        .column("f1", f1)
+        .column("f2", f2)
+        .column("f3", f3)
+        .column("v", v)
+        .build()
+        .expect("valid fact table");
+    let dim = |name: &str, key: &str, payload: &str, n: usize, rng: &mut StdRng| {
+        let k: Vec<i64> = (0..n as i64).collect();
+        let w: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        rma_relation::RelationBuilder::new()
+            .name(name)
+            .column(key, k)
+            .column(payload, w)
+            .build()
+            .expect("valid dimension table")
+    };
+    let big = dim("big", "k1", "w1", big_rows, &mut rng);
+    let mid = dim("mid", "k2", "w2", mid_rows, &mut rng);
+    let p: Vec<i64> = (0..small_rows).map(|_| rng.gen_range(0..1000)).collect();
+    let w3: Vec<f64> = (0..small_rows).map(|_| rng.gen_range(0.0..10.0)).collect();
+    let small = rma_relation::RelationBuilder::new()
+        .name("small")
+        .column("k3", (0..small_rows as i64).collect::<Vec<_>>())
+        .column("p", p)
+        .column("w3", w3)
+        .build()
+        .expect("valid small table");
+    (fact, big, mid, small)
+}
+
+/// One run of the `ways`-way star join (`3` joins big and small, `4` also
+/// mid), written worst-first, with the filter `small.p < 10` on top —
+/// selection pushdown applies in both modes, so the measured difference is
+/// purely the join *order* chosen when `reorder` is on.
+///
+/// Returns wall time and an order-insensitive checksum (join orders
+/// legitimately permute result rows), so reordered and written-order runs
+/// can be asserted identical.
+pub fn run_joinorder(
+    fact: &Relation,
+    big: &Relation,
+    mid: &Relation,
+    small: &Relation,
+    ways: usize,
+    reorder: bool,
+) -> (Duration, i64) {
+    let ctx = RmaContext::new(RmaOptions {
+        join_reorder: reorder,
+        ..RmaOptions::default()
+    });
+    let mut frame = rma_core::Frame::scan(fact.clone())
+        .join(rma_core::Frame::scan(big.clone()), &[("f1", "k1")]);
+    if ways >= 4 {
+        frame = frame.join(rma_core::Frame::scan(mid.clone()), &[("f2", "k2")]);
+    }
+    let frame = frame
+        .join(rma_core::Frame::scan(small.clone()), &[("f3", "k3")])
+        .select(Expr::col("p").lt(Expr::lit(10i64)));
+    let t = Instant::now();
+    let out = frame.collect(&ctx).expect("join-order workload");
+    let elapsed = t.elapsed();
+    // commutative digest: per-row product over the integer key columns,
+    // wrapping-summed — identical under any row permutation
+    let mut checksum = out.len() as i64;
+    let int_col = |name: &str| match out.column(name).expect("key column").data() {
+        rma_storage::ColumnData::Int(v) => v.clone(),
+        _ => unreachable!("keys are int columns"),
+    };
+    let f1 = int_col("f1");
+    let f3 = int_col("f3");
+    let p = int_col("p");
+    for i in 0..out.len() {
+        let d = (f1[i] + 1).wrapping_mul(f3[i] + 3).wrapping_mul(p[i] + 7);
+        checksum = checksum.wrapping_add(d);
+    }
+    (elapsed, checksum)
+}

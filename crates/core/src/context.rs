@@ -40,7 +40,10 @@ pub enum SortPolicy {
 /// Options controlling RMA execution.
 #[derive(Debug, Clone)]
 pub struct RmaOptions {
+    /// Which kernel family computes base results ([`Backend::Auto`] is the
+    /// paper's policy).
     pub backend: Backend,
+    /// Order-schema sorting policy (§8.1).
     pub sort_policy: SortPolicy,
     /// Verify that order schemas form keys (the paper requires it; turning
     /// it off removes the O(n) hash check from micro-benchmarks).
@@ -57,6 +60,11 @@ pub struct RmaOptions {
     /// (same `RMA_THREADS` knob, [`rma_linalg::available_threads`]) and
     /// are not governed per-context. Defaults to [`default_threads`].
     pub threads: usize,
+    /// Enable the cost-based join-order enumerator
+    /// (`rma_core::plan::optimize`). Off, inner-join trees execute in the
+    /// order the frontend wrote them — the ablation baseline of the
+    /// `joinorder` bench target.
+    pub join_reorder: bool,
 }
 
 impl Default for RmaOptions {
@@ -67,6 +75,7 @@ impl Default for RmaOptions {
             validate_keys: true,
             dense_memory_budget: 8 << 30, // 8 GiB
             threads: default_threads(),
+            join_reorder: true,
         }
     }
 }
@@ -82,7 +91,9 @@ pub fn default_threads() -> usize {
 /// Which kernel actually ran (recorded per operation for tests/benches).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelUsed {
+    /// The no-copy column-at-a-time kernel.
     Bat,
+    /// The dense contiguous kernel.
     Dense,
     /// A BAT-forced operation had no BAT implementation.
     DenseFallback,
@@ -95,16 +106,22 @@ pub enum KernelUsed {
 /// kernel time; `sort` is order-schema handling (split/sort/morph).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecStats {
+    /// Time spent copying BATs into dense matrices.
     pub copy_in: Duration,
+    /// Time spent copying dense results back into BATs.
     pub copy_out: Duration,
+    /// Kernel compute time.
     pub compute: Duration,
+    /// Order-schema handling time (split/sort/morph).
     pub sort: Duration,
+    /// Number of relational matrix operations executed.
     pub ops_run: u32,
     /// Number of argument sort computations performed (full sorts and
     /// relative alignments). The lazy plan optimizer's redundant-sort
     /// elimination is observable here: consecutive operations over the same
     /// order schema sort once, not once per operation.
     pub sorts: u32,
+    /// The kernel family of the most recent operation, if any ran.
     pub last_kernel: Option<KernelUsed>,
 }
 
@@ -191,11 +208,13 @@ impl AtomicStats {
 /// workers may share one context and record statistics concurrently.
 #[derive(Debug, Default)]
 pub struct RmaContext {
+    /// Execution options this context runs operations under.
     pub options: RmaOptions,
     stats: AtomicStats,
 }
 
 impl RmaContext {
+    /// Context with the given options and zeroed statistics.
     pub fn new(options: RmaOptions) -> Self {
         RmaContext {
             options,
@@ -216,6 +235,7 @@ impl RmaContext {
         self.stats.snapshot()
     }
 
+    /// Zero the accumulated statistics.
     pub fn reset_stats(&self) {
         self.stats.reset();
     }

@@ -11,21 +11,37 @@ pub enum RmaError {
     /// The order schema must form a key of the argument relation.
     OrderSchemaNotKey(Vec<String>),
     /// An application-schema attribute is not numeric.
-    NonNumericApplication { attribute: String },
+    NonNumericApplication {
+        /// Name of the offending attribute.
+        attribute: String,
+    },
     /// `tra`/`usv` (and `opd`'s second argument) require an order schema of
     /// cardinality one, because its values become attribute names.
-    OrderSchemaCardinality { op: &'static str, found: usize },
+    OrderSchemaCardinality {
+        /// The operation that rejected the order schema.
+        op: &'static str,
+        /// The cardinality actually supplied.
+        found: usize,
+    },
     /// The application schema is empty — there is no matrix to operate on.
     EmptyApplication,
     /// `add`/`sub`/`emu` need union-compatible application schemas.
     ApplicationNotUnionCompatible,
     /// `add`/`sub`/`emu` need equally many tuples in both relations.
-    TupleCountMismatch { left: usize, right: usize },
+    TupleCountMismatch {
+        /// Tuple count of the first argument.
+        left: usize,
+        /// Tuple count of the second argument.
+        right: usize,
+    },
     /// Binary element-wise operations require non-overlapping order schemas
     /// (the result schema is `U ◦ V ◦ U̅`).
     OverlappingOrderSchemas(String),
     /// `det`/`rnk` row origin needs a named relation.
-    UnnamedRelation { op: &'static str },
+    UnnamedRelation {
+        /// The operation that needed the name.
+        op: &'static str,
+    },
     /// A column-cast value would produce a duplicate or empty attribute name.
     BadOriginName(String),
     /// Underlying relational error.

@@ -21,6 +21,7 @@ pub enum KernelOut {
 }
 
 impl KernelOut {
+    /// The result as columns; a scalar becomes a single 1×1 column.
     pub fn into_cols(self) -> Vec<Vec<f64>> {
         match self {
             KernelOut::Cols(c) => c,

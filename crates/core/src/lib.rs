@@ -26,6 +26,8 @@
 //! assert_eq!(inverted.schema(), rating.schema());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod context;
 pub mod error;
 pub mod kernels;

@@ -28,7 +28,8 @@
 //! ```
 
 use super::{
-    execute, explain, optimize, LogicalPlan, NoTables, PartitionedTableProvider, PlanError, RmaArg,
+    execute, explain_with_stats, optimize, LogicalPlan, NoTables, PartitionedTableProvider,
+    PlanError, RmaArg,
 };
 use crate::context::RmaContext;
 use crate::shape::RmaOp;
@@ -75,6 +76,7 @@ impl Frame {
         &self.plan
     }
 
+    /// Consume the frame, yielding the accumulated logical plan.
     pub fn into_plan(self) -> LogicalPlan {
         self.plan
     }
@@ -243,17 +245,19 @@ impl Frame {
         Ok(execute(&plan, ctx, provider)?.materialize())
     }
 
-    /// Render the optimized plan as an EXPLAIN-style tree.
+    /// Render the optimized plan as an EXPLAIN-style tree, annotated with
+    /// per-node `rows≈`/`cost≈` estimates ([`super::explain_with_stats`]).
     pub fn explain(&self, ctx: &RmaContext) -> String {
         self.explain_with(ctx, &NoTables)
     }
 
+    /// [`Frame::explain`] with named tables resolved through a provider.
     pub fn explain_with(
         &self,
         ctx: &RmaContext,
         provider: &dyn PartitionedTableProvider,
     ) -> String {
-        explain(&optimize(self.plan.clone(), ctx, provider))
+        explain_with_stats(&optimize(self.plan.clone(), ctx, provider), provider)
     }
 
     fn wrap(self, f: impl FnOnce(Box<LogicalPlan>) -> LogicalPlan) -> Frame {

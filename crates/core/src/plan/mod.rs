@@ -6,16 +6,25 @@
 //! operators, and all 19 relational matrix operations, and every frontend —
 //! the fluent [`Frame`] builder for Rust users and the SQL layer's
 //! `plan_select` — lowers to it. A shared optimizer
-//! ([`optimize`]) then performs cross-operator rewrites (projection
-//! pushdown, selection pushdown, redundant-sort elimination, plan-level
-//! kernel choice) that no eager API could express, and a single interpreter
-//! ([`execute`]) runs the optimized plan against the eager kernels in
-//! [`crate::ops`].
+//! ([`optimize()`]) then performs cross-operator rewrites (projection
+//! pushdown, selection pushdown, cost-based join ordering, redundant-sort
+//! elimination, plan-level kernel choice) that no eager API could express,
+//! and a single interpreter ([`execute`]) runs the optimized plan against
+//! the eager kernels in [`crate::ops`].
+//!
+//! Cost-based decisions are driven by the [`stats`] module: per-table
+//! statistics (row counts, per-column distinct estimates and min/max,
+//! computed lazily and cached on the [`Relation`]) propagate bottom-up
+//! into per-node cardinality and cost estimates. [`explain_with_stats`]
+//! renders those estimates as `rows≈`/`cost≈` annotations on every plan
+//! line, which is how the chosen join order is inspected and
+//! snapshot-tested.
 
 mod exec;
 mod frame;
-mod optimize;
+pub mod optimize;
 mod par;
+pub mod stats;
 
 pub use exec::execute;
 pub use frame::Frame;
@@ -33,7 +42,16 @@ use std::sync::Arc;
 /// catalog implements this; plans built purely from in-memory relations via
 /// [`Frame::scan`] never need one.
 pub trait TableProvider {
+    /// Resolve a table by name, or `None` when unknown.
     fn table(&self, name: &str) -> Option<&Relation>;
+
+    /// Table statistics for cost-based optimization. The default reads the
+    /// lazily computed, relation-cached statistics
+    /// ([`Relation::statistics`]); providers with their own statistics
+    /// store (histograms, remote catalogs) can override.
+    fn statistics(&self, name: &str) -> Option<&rma_relation::Statistics> {
+        self.table(name).map(|r| r.statistics())
+    }
 }
 
 /// A [`TableProvider`] whose tables can be scanned as row-range partitions
@@ -45,6 +63,8 @@ pub trait TableProvider {
 /// Returning `None` (or a single range) makes the executor fall back to a
 /// serial scan of that table.
 pub trait PartitionedTableProvider: TableProvider {
+    /// Row ranges to scan `table` in, targeting (up to) `target` morsels;
+    /// `None` or a single range falls back to a serial scan.
     fn scan_partitions(&self, table: &str, target: usize) -> Option<Vec<Range<usize>>> {
         self.table(table)
             .map(|r| rma_relation::partition_ranges(r.len(), target))
@@ -68,12 +88,17 @@ impl PartitionedTableProvider for NoTables {}
 /// already sorted by that schema (so execution may skip the sort).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RmaArg {
+    /// The plan producing this argument.
     pub input: Box<LogicalPlan>,
+    /// The argument's order schema.
     pub order: Vec<String>,
+    /// Optimizer-set: the input is already sorted by `order`, so execution
+    /// may skip the sort.
     pub sorted_input: bool,
 }
 
 impl RmaArg {
+    /// Argument with no optimizer annotations.
     pub fn new(input: LogicalPlan, order: Vec<String>) -> Self {
         RmaArg {
             input: Box::new(input),
@@ -88,74 +113,109 @@ impl RmaArg {
 pub enum LogicalPlan {
     /// Scan of an in-memory relation (the [`Frame`] entry point).
     Values {
+        /// The scanned relation (shared, never copied by the plan).
         rel: Arc<Relation>,
         /// Optimizer-set column pruning, applied at scan time.
         projection: Option<Vec<String>>,
     },
     /// Scan of a named table, resolved through a [`TableProvider`].
     Scan {
+        /// Name the provider resolves.
         table: String,
+        /// Optimizer-set column pruning, applied at scan time.
         projection: Option<Vec<String>>,
     },
     /// σ.
     Select {
+        /// Input plan.
         input: Box<LogicalPlan>,
+        /// Rows satisfying this predicate are kept.
         predicate: Expr,
     },
     /// Generalised projection (expression, output name).
     Project {
+        /// Input plan.
         input: Box<LogicalPlan>,
+        /// `(expression, output name)` per output column.
         items: Vec<(Expr, String)>,
     },
     /// ϑ.
     Aggregate {
+        /// Input plan.
         input: Box<LogicalPlan>,
+        /// Grouping attributes (empty for a global aggregate).
         group_by: Vec<String>,
+        /// Aggregates to compute per group.
         aggs: Vec<AggSpec>,
     },
     /// Natural join.
     NaturalJoin {
+        /// Left input.
         left: Box<LogicalPlan>,
+        /// Right input.
         right: Box<LogicalPlan>,
     },
     /// Equi-join on explicit column pairs.
     JoinOn {
+        /// Left input.
         left: Box<LogicalPlan>,
+        /// Right input.
         right: Box<LogicalPlan>,
+        /// `(left column, right column)` equality pairs.
         on: Vec<(String, String)>,
     },
     /// Cross product.
     Cross {
+        /// Left input.
         left: Box<LogicalPlan>,
+        /// Right input.
         right: Box<LogicalPlan>,
     },
     /// Bag union (schemas must be union compatible).
     UnionAll {
+        /// Left input.
         left: Box<LogicalPlan>,
+        /// Right input.
         right: Box<LogicalPlan>,
     },
     /// Duplicate elimination.
-    Distinct { input: Box<LogicalPlan> },
+    Distinct {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
     /// Sorting.
     OrderBy {
+        /// Input plan.
         input: Box<LogicalPlan>,
+        /// `(attribute, ascending)` sort keys, major first.
         keys: Vec<(String, bool)>,
     },
     /// Row-count limit.
-    Limit { input: Box<LogicalPlan>, n: usize },
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Number of rows kept.
+        n: usize,
+    },
     /// Bounded top-k: the first `n` rows of the input ordered by `keys`,
     /// computed with a bounded heap instead of a full sort. Produced by the
     /// optimizer's Limit-into-Sort rewrite; no frontend emits it directly.
     TopK {
+        /// Input plan.
         input: Box<LogicalPlan>,
+        /// `(attribute, ascending)` sort keys, major first.
         keys: Vec<(String, bool)>,
+        /// Number of rows kept.
         n: usize,
     },
     /// A relational matrix operation. `backend` is the optimizer's
     /// plan-level kernel choice when argument sizes are statically exact.
     Rma {
+        /// Which of the 19 operations.
         op: RmaOp,
+        /// One argument per operand (one for unary, two for binary ops).
         args: Vec<RmaArg>,
+        /// Optimizer-set plan-level kernel choice.
         backend: Option<Backend>,
     },
     /// Key assertion: pass the input through unchanged, erroring if the
@@ -163,7 +223,9 @@ pub enum LogicalPlan {
     /// eliminate or bypass an RMA operation but must preserve its
     /// order-schema validation.
     AssertKey {
+        /// Input plan.
         input: Box<LogicalPlan>,
+        /// Attributes that must form a key.
         attrs: Vec<String>,
     },
 }
@@ -304,88 +366,116 @@ impl From<RmaError> for PlanError {
 
 /// Pretty-print a plan tree (EXPLAIN-style). Optimizer annotations —
 /// scan projections, skipped sorts, plan-chosen backends — are rendered so
-/// snapshot tests can observe rewrites.
+/// snapshot tests can observe rewrites. See [`explain_with_stats`] for the
+/// variant that also prints per-node cardinality and cost estimates.
 pub fn explain(plan: &LogicalPlan) -> String {
     let mut out = String::new();
-    walk_explain(plan, 0, &mut out);
+    walk_explain(plan, 0, &mut out, None, &mut Default::default());
     out
 }
 
-fn walk_explain(p: &LogicalPlan, depth: usize, out: &mut String) {
+/// Pretty-print a plan tree with per-node cost annotations: every line
+/// ends in `rows≈N cost≈C`, the estimated output cardinality and
+/// accumulated cost (in rows-touched units, see [`stats::estimate`]) of
+/// that node. This is what SQL `EXPLAIN` prints, and how the cost-based
+/// join order is made visible and snapshot-testable.
+pub fn explain_with_stats(plan: &LogicalPlan, provider: &dyn TableProvider) -> String {
+    let mut out = String::new();
+    // one shared memo: the whole tree is estimated once, and each node's
+    // annotation reads its cached subtree estimate
+    let mut memo = std::collections::HashMap::new();
+    walk_explain(plan, 0, &mut out, Some(provider), &mut memo);
+    out
+}
+
+/// Render an estimate figure: integers below a million, engineering-style
+/// short form above (`2.5e8`), so huge cross-product estimates stay
+/// readable.
+fn fmt_est(v: f64) -> String {
+    if v < 1e6 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+fn walk_explain(
+    p: &LogicalPlan,
+    depth: usize,
+    out: &mut String,
+    annotate: Option<&dyn TableProvider>,
+    memo: &mut std::collections::HashMap<usize, stats::PlanEst>,
+) {
     use std::fmt::Write;
     let pad = "  ".repeat(depth);
+    out.push_str(&pad);
+    let mut children: Vec<&LogicalPlan> = Vec::new();
     match p {
         LogicalPlan::Values { rel, projection } => {
             let name = rel.name().unwrap_or("<inline>");
-            let _ = write!(out, "{pad}Values {name} rows={}", rel.len());
+            let _ = write!(out, "Values {name} rows={}", rel.len());
             if let Some(cols) = projection {
                 let _ = write!(out, " project=[{}]", cols.join(", "));
             }
-            out.push('\n');
         }
         LogicalPlan::Scan { table, projection } => {
-            let _ = write!(out, "{pad}Scan {table}");
+            let _ = write!(out, "Scan {table}");
             if let Some(cols) = projection {
                 let _ = write!(out, " project=[{}]", cols.join(", "));
             }
-            out.push('\n');
         }
         LogicalPlan::Select { input, predicate } => {
-            let _ = writeln!(out, "{pad}Select {predicate}");
-            walk_explain(input, depth + 1, out);
+            let _ = write!(out, "Select {predicate}");
+            children.push(input);
         }
         LogicalPlan::Project { input, items } => {
             let names: Vec<&str> = items.iter().map(|(_, n)| n.as_str()).collect();
-            let _ = writeln!(out, "{pad}Project [{}]", names.join(", "));
-            walk_explain(input, depth + 1, out);
+            let _ = write!(out, "Project [{}]", names.join(", "));
+            children.push(input);
         }
         LogicalPlan::Aggregate {
             input,
             group_by,
             aggs,
         } => {
-            let _ = writeln!(
-                out,
-                "{pad}Aggregate group_by={group_by:?} aggs={}",
-                aggs.len()
-            );
-            walk_explain(input, depth + 1, out);
+            let _ = write!(out, "Aggregate group_by={group_by:?} aggs={}", aggs.len());
+            children.push(input);
         }
         LogicalPlan::NaturalJoin { left, right } => {
-            let _ = writeln!(out, "{pad}NaturalJoin");
-            walk_explain(left, depth + 1, out);
-            walk_explain(right, depth + 1, out);
+            let _ = write!(out, "NaturalJoin");
+            children.push(left);
+            children.push(right);
         }
         LogicalPlan::JoinOn { left, right, on } => {
-            let _ = writeln!(out, "{pad}JoinOn {on:?}");
-            walk_explain(left, depth + 1, out);
-            walk_explain(right, depth + 1, out);
+            let _ = write!(out, "JoinOn {on:?}");
+            children.push(left);
+            children.push(right);
         }
         LogicalPlan::Cross { left, right } => {
-            let _ = writeln!(out, "{pad}Cross");
-            walk_explain(left, depth + 1, out);
-            walk_explain(right, depth + 1, out);
+            let _ = write!(out, "Cross");
+            children.push(left);
+            children.push(right);
         }
         LogicalPlan::UnionAll { left, right } => {
-            let _ = writeln!(out, "{pad}UnionAll");
-            walk_explain(left, depth + 1, out);
-            walk_explain(right, depth + 1, out);
+            let _ = write!(out, "UnionAll");
+            children.push(left);
+            children.push(right);
         }
         LogicalPlan::Distinct { input } => {
-            let _ = writeln!(out, "{pad}Distinct");
-            walk_explain(input, depth + 1, out);
+            let _ = write!(out, "Distinct");
+            children.push(input);
         }
         LogicalPlan::OrderBy { input, keys } => {
-            let _ = writeln!(out, "{pad}OrderBy {keys:?}");
-            walk_explain(input, depth + 1, out);
+            let _ = write!(out, "OrderBy {keys:?}");
+            children.push(input);
         }
         LogicalPlan::Limit { input, n } => {
-            let _ = writeln!(out, "{pad}Limit {n}");
-            walk_explain(input, depth + 1, out);
+            let _ = write!(out, "Limit {n}");
+            children.push(input);
         }
         LogicalPlan::TopK { input, keys, n } => {
-            let _ = writeln!(out, "{pad}TopK {keys:?} n={n}");
-            walk_explain(input, depth + 1, out);
+            let _ = write!(out, "TopK {keys:?} n={n}");
+            children.push(input);
         }
         LogicalPlan::Rma { op, args, backend } => {
             let orders: Vec<String> = args
@@ -400,21 +490,33 @@ fn walk_explain(p: &LogicalPlan, depth: usize, out: &mut String) {
                 .collect();
             let _ = write!(
                 out,
-                "{pad}Rma {} BY {}",
+                "Rma {} BY {}",
                 op.name().to_uppercase(),
                 orders.join("; ")
             );
             if let Some(b) = backend {
                 let _ = write!(out, " backend={b:?}");
             }
-            out.push('\n');
             for a in args {
-                walk_explain(&a.input, depth + 1, out);
+                children.push(&a.input);
             }
         }
         LogicalPlan::AssertKey { input, attrs } => {
-            let _ = writeln!(out, "{pad}AssertKey {attrs:?}");
-            walk_explain(input, depth + 1, out);
+            let _ = write!(out, "AssertKey {attrs:?}");
+            children.push(input);
         }
+    }
+    if let Some(provider) = annotate {
+        let est = stats::estimate_memo(p, provider, memo);
+        let _ = write!(
+            out,
+            " rows≈{} cost≈{}",
+            fmt_est(est.rows),
+            fmt_est(est.cost)
+        );
+    }
+    out.push('\n');
+    for child in children {
+        walk_explain(child, depth + 1, out, annotate, memo);
     }
 }

@@ -10,20 +10,67 @@
 //!    argument's order schema (those operations compute each result row
 //!    from one input row of the first argument, so filtering commutes).
 //! 3. **Selection merging** — directly nested filters collapse to one.
-//! 4. **Projection pushdown** — column requirements propagate to scans,
+//! 4. **Cost-based join ordering** — trees of inner equi-joins and cross
+//!    products are flattened into a join graph and re-enumerated: exact
+//!    dynamic programming over connected subsets for up to
+//!    [`DP_LIMIT`] relations, a greedy smallest-result-first heuristic
+//!    above. Cardinalities come from table statistics via
+//!    [`super::stats`]; equi-join connectivity is respected so no cross
+//!    product is introduced that the query did not ask for. The original
+//!    output column order is restored with an identity projection, so the
+//!    rewrite is invisible to everything downstream. Gated on
+//!    [`RmaOptions::join_reorder`](crate::RmaOptions::join_reorder).
+//! 5. **Projection pushdown** — column requirements propagate to scans,
 //!    which prune unused columns at the source.
-//! 5. **Limit-into-Sort fusion** — `Limit n` directly over `OrderBy`
+//! 6. **Limit-into-Sort fusion** — `Limit n` directly over `OrderBy`
 //!    becomes a [`LogicalPlan::TopK`] node, executed with a bounded heap in
 //!    O(|r| log n) instead of a full O(|r| log |r|) sort.
-//! 6. **Redundant-sort elimination** — consecutive RMA operations over the
+//! 7. **Redundant-sort elimination** — consecutive RMA operations over the
 //!    same order schema sort once: when a node's input is provably sorted
 //!    by the node's order schema, the argument is flagged `sorted_input`
 //!    and execution skips the sort.
-//! 7. **Plan-level backend choice** — when argument sizes are statically
+//! 8. **Plan-level backend choice** — when argument sizes are statically
 //!    exact, the kernel decision ([`RmaContext::choose_kernel`]) is made at
-//!    plan time and recorded on the node (visible in EXPLAIN).
+//!    plan time and recorded on the node (visible in EXPLAIN). Join
+//!    ordering runs first, so the kernel decision sees the reordered
+//!    (cheaper) argument shapes.
+//!
+//! ```
+//! use rma_core::plan::Frame;
+//! use rma_core::RmaContext;
+//! use rma_relation::{Expr, RelationBuilder};
+//!
+//! // a 1000-row fact table and a tiny, heavily filtered dimension
+//! let fact = RelationBuilder::new()
+//!     .name("fact")
+//!     .column("fk", (0..1000i64).map(|i| i % 50).collect::<Vec<_>>())
+//!     .column("gk", (0..1000i64).map(|i| i % 20).collect::<Vec<_>>())
+//!     .build()
+//!     .unwrap();
+//! let big = RelationBuilder::new()
+//!     .name("big")
+//!     .column("gk2", (0..20i64).collect::<Vec<_>>())
+//!     .build()
+//!     .unwrap();
+//! let dim = RelationBuilder::new()
+//!     .name("dim")
+//!     .column("k", (0..50i64).collect::<Vec<_>>())
+//!     .column("p", (0..50i64).collect::<Vec<_>>())
+//!     .build()
+//!     .unwrap();
+//! // written order: fact ⋈ big first; the selective dim filter makes
+//! // fact ⋈ dim far smaller, so the optimizer joins dim first
+//! let frame = Frame::scan(fact)
+//!     .join(Frame::scan(big), &[("gk", "gk2")])
+//!     .join(
+//!         Frame::scan(dim).select(Expr::col("p").eq(Expr::lit(3i64))),
+//!         &[("fk", "k")],
+//!     );
+//! let plan = frame.explain(&RmaContext::default());
+//! assert!(plan.find("Values dim").unwrap() < plan.find("Values big").unwrap());
+//! ```
 
-use super::{LogicalPlan, RmaArg, TableProvider};
+use super::{stats, LogicalPlan, RmaArg, TableProvider};
 use crate::context::{RmaContext, SortPolicy};
 use crate::shape::{Dim, RmaOp};
 use rma_relation::{BinOp, Expr, Schema};
@@ -31,11 +78,17 @@ use std::collections::BTreeSet;
 
 /// Optimize a plan under the given execution context (whose sort policy and
 /// backend options steer the sort- and kernel-level passes) and provider
-/// (whose schemas inform column-dependent rewrites).
+/// (whose schemas and statistics inform column- and cost-dependent
+/// rewrites).
 pub fn optimize(plan: LogicalPlan, ctx: &RmaContext, provider: &dyn TableProvider) -> LogicalPlan {
     let plan = eliminate_double_transpose(plan, provider);
     let plan = push_selections(plan, ctx, provider);
     let plan = merge_selections(plan);
+    let plan = if ctx.options.join_reorder {
+        reorder_joins(plan, provider)
+    } else {
+        plan
+    };
     let plan = prune_projections(plan, None, provider);
     let plan = fuse_top_k(plan);
     let plan = if ctx.options.sort_policy == SortPolicy::Optimized {
@@ -447,7 +500,345 @@ fn merge_selections(plan: LogicalPlan) -> LogicalPlan {
 }
 
 // ---------------------------------------------------------------------
-// Pass 4: projection pushdown into scans
+// Pass 4: cost-based join ordering
+// ---------------------------------------------------------------------
+
+/// Largest join-graph size ordered by exact dynamic programming; bigger
+/// graphs use the greedy smallest-result-first heuristic.
+pub const DP_LIMIT: usize = 8;
+
+/// Largest join-graph size the enumerator touches at all; beyond this the
+/// written order is kept.
+const ENUM_LIMIT: usize = 64;
+
+/// A flattened tree of inner equi-joins: the joined inputs (anything that
+/// is not itself a `JoinOn`/`Cross`), their output columns, and the
+/// equi-join edges between them.
+struct JoinGraph {
+    leaves: Vec<LogicalPlan>,
+    cols: Vec<Vec<String>>,
+    /// `(leaf a, column of a, leaf b, column of b)` — one per equi pair.
+    edges: Vec<(usize, String, usize, String)>,
+}
+
+/// Reorder every maximal `JoinOn`/`Cross` tree in the plan by estimated
+/// cost. Runs after selection pushdown, so single-table filters are part
+/// of the leaves and their selectivity steers the order. A join node is
+/// flattened together with its whole join subtree — recursion descends
+/// into the tree's *leaves*, never into its internal join nodes, so the
+/// enumerator always sees the maximal graph.
+fn reorder_joins(plan: LogicalPlan, provider: &dyn TableProvider) -> LogicalPlan {
+    match plan {
+        LogicalPlan::JoinOn { .. } | LogicalPlan::Cross { .. } => reorder_one_tree(plan, provider),
+        other => other.map_children(&mut |p| reorder_joins(p, provider)),
+    }
+}
+
+/// Reorder one flattened join tree, or return it unchanged when the
+/// rewrite cannot be proven safe (unknown leaf schemas, duplicate column
+/// names) or does not change the plan.
+fn reorder_one_tree(plan: LogicalPlan, provider: &dyn TableProvider) -> LogicalPlan {
+    let original = plan.clone();
+    // join trees nested below non-join operators (inside a subquery leaf)
+    // still get their own reorder pass
+    let recurse_into_children =
+        |p: LogicalPlan| p.map_children(&mut |c| reorder_joins(c, provider));
+    let mut graph = JoinGraph {
+        leaves: Vec::new(),
+        cols: Vec::new(),
+        edges: Vec::new(),
+    };
+    if flatten_joins(plan, provider, &mut graph).is_none() {
+        return recurse_into_children(original);
+    }
+    let n = graph.leaves.len();
+    if !(2..=ENUM_LIMIT).contains(&n) {
+        return recurse_into_children(original);
+    }
+    // the rewrite addresses every column by name across the whole tree, so
+    // names must be globally unique (a duplicate would also make the
+    // original join's output schema ambiguous)
+    {
+        let mut seen = BTreeSet::new();
+        for cols in &graph.cols {
+            for c in cols {
+                if !seen.insert(c.as_str()) {
+                    return recurse_into_children(original);
+                }
+            }
+        }
+    }
+    graph.leaves = graph
+        .leaves
+        .into_iter()
+        .map(|l| reorder_joins(l, provider))
+        .collect();
+    let ests: Vec<stats::PlanEst> = graph
+        .leaves
+        .iter()
+        .map(|l| stats::estimate(l, provider))
+        .collect();
+    // order each connected component (no cross products inside), then
+    // cross-join components smallest-first
+    let mut components = connected_components(n, &graph.edges);
+    let mut ordered: Vec<(LogicalPlan, stats::PlanEst)> = components
+        .drain(..)
+        .map(|comp| {
+            if comp.len() <= DP_LIMIT {
+                order_component_dp(&comp, &graph, &ests)
+            } else {
+                order_component_greedy(&comp, &graph, &ests)
+            }
+        })
+        .collect();
+    ordered.sort_by(|a, b| a.1.rows.total_cmp(&b.1.rows));
+    let mut it = ordered.into_iter();
+    let (mut best, mut best_est) = it.next().expect("n >= 2 leaves");
+    for (next, next_est) in it {
+        best_est = stats::cross_estimate(&best_est, &next_est);
+        best = LogicalPlan::Cross {
+            left: Box::new(best),
+            right: Box::new(next),
+        };
+    }
+    // no-change detection via the rendered plan shape: `LogicalPlan`'s
+    // derived PartialEq would descend into `Values` leaves and compare
+    // full column data, while `explain` prints structure only (leaves
+    // render as name + row count, and an unchanged leaf is the same Arc)
+    if super::explain(&best) == super::explain(&original) {
+        return original;
+    }
+    // restore the written output column order with an identity projection
+    let orig_cols: Vec<String> = graph.cols.concat();
+    LogicalPlan::Project {
+        items: orig_cols
+            .into_iter()
+            .map(|c| (Expr::Col(c.clone()), c))
+            .collect(),
+        input: Box::new(best),
+    }
+}
+
+/// Flatten a `JoinOn`/`Cross` tree into `graph`, returning the leaf
+/// indices of this subtree (`None` bails: unknown leaf schema, or an
+/// equi-join column that cannot be attributed to exactly one leaf).
+fn flatten_joins(
+    plan: LogicalPlan,
+    provider: &dyn TableProvider,
+    graph: &mut JoinGraph,
+) -> Option<Vec<usize>> {
+    match plan {
+        LogicalPlan::JoinOn { left, right, on } => {
+            let ls = flatten_joins(*left, provider, graph)?;
+            let rs = flatten_joins(*right, provider, graph)?;
+            for (lc, rc) in on {
+                let li = owning_leaf(&graph.cols, &ls, &lc)?;
+                let ri = owning_leaf(&graph.cols, &rs, &rc)?;
+                graph.edges.push((li, lc, ri, rc));
+            }
+            Some([ls, rs].concat())
+        }
+        LogicalPlan::Cross { left, right } => {
+            let ls = flatten_joins(*left, provider, graph)?;
+            let rs = flatten_joins(*right, provider, graph)?;
+            Some([ls, rs].concat())
+        }
+        leaf => {
+            let cols = output_columns(&leaf, provider)?;
+            graph.cols.push(cols);
+            graph.leaves.push(leaf);
+            Some(vec![graph.leaves.len() - 1])
+        }
+    }
+}
+
+/// The unique leaf among `among` providing column `col`.
+fn owning_leaf(cols: &[Vec<String>], among: &[usize], col: &str) -> Option<usize> {
+    let mut found = None;
+    for &i in among {
+        if cols[i].iter().any(|c| c == col) {
+            if found.is_some() {
+                return None;
+            }
+            found = Some(i);
+        }
+    }
+    found
+}
+
+/// Partition leaves into connected components of the equi-join graph.
+fn connected_components(n: usize, edges: &[(usize, String, usize, String)]) -> Vec<Vec<usize>> {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn root(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for (a, _, b, _) in edges {
+        let (ra, rb) = (root(&mut parent, *a), root(&mut parent, *b));
+        parent[ra] = rb;
+    }
+    let mut comps: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for i in 0..n {
+        let r = root(&mut parent, i);
+        comps.entry(r).or_default().push(i);
+    }
+    comps.into_values().collect()
+}
+
+/// The equi pairs between two leaf sets, oriented `(left side, right
+/// side)`.
+fn pairs_between(
+    graph: &JoinGraph,
+    left: impl Fn(usize) -> bool,
+    right: impl Fn(usize) -> bool,
+) -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    for (a, ca, b, cb) in &graph.edges {
+        if left(*a) && right(*b) {
+            pairs.push((ca.clone(), cb.clone()));
+        } else if left(*b) && right(*a) {
+            pairs.push((cb.clone(), ca.clone()));
+        }
+    }
+    pairs
+}
+
+/// Build the join of two ordered subplans, orienting the side with fewer
+/// estimated rows as the *right* input — [`rma_relation::join_on`] builds
+/// its hash table on the right side, so the smaller input should be the
+/// build side. `pairs` are `(a column, b column)` and are flipped with the
+/// operands.
+fn build_join(
+    a_plan: &LogicalPlan,
+    a_est: &stats::PlanEst,
+    b_plan: &LogicalPlan,
+    b_est: &stats::PlanEst,
+    pairs: Vec<(String, String)>,
+) -> (LogicalPlan, stats::PlanEst) {
+    let est = stats::join_estimate(a_est, b_est, &pairs);
+    let (left, right, on) = if b_est.rows <= a_est.rows {
+        (a_plan, b_plan, pairs)
+    } else {
+        (
+            b_plan,
+            a_plan,
+            pairs.into_iter().map(|(l, r)| (r, l)).collect(),
+        )
+    };
+    let plan = LogicalPlan::JoinOn {
+        left: Box::new(left.clone()),
+        right: Box::new(right.clone()),
+        on,
+    };
+    (plan, est)
+}
+
+/// Exact join-order search over one connected component: dynamic
+/// programming over connected subsets, minimising the accumulated cost of
+/// [`stats::join_estimate`]. `comp` has at most [`DP_LIMIT`] leaves, so
+/// the table has at most `2^8` entries.
+fn order_component_dp(
+    comp: &[usize],
+    graph: &JoinGraph,
+    ests: &[stats::PlanEst],
+) -> (LogicalPlan, stats::PlanEst) {
+    let k = comp.len();
+    let mut best: Vec<Option<(LogicalPlan, stats::PlanEst)>> = vec![None; 1 << k];
+    for (li, &leaf) in comp.iter().enumerate() {
+        best[1 << li] = Some((graph.leaves[leaf].clone(), ests[leaf].clone()));
+    }
+    let in_mask = |mask: usize, leaf: usize| {
+        comp.iter()
+            .position(|&l| l == leaf)
+            .is_some_and(|li| mask & (1 << li) != 0)
+    };
+    for mask in 1usize..(1 << k) {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        let low = mask & mask.wrapping_neg();
+        let mut sub = (mask - 1) & mask;
+        while sub > 0 {
+            // enumerate each unordered split once — build_join decides
+            // the probe/build orientation from the row estimates
+            if sub & low != 0 {
+                let other = mask ^ sub;
+                if let (Some((lp, le)), Some((rp, re))) = (&best[sub], &best[other]) {
+                    let pairs = pairs_between(graph, |l| in_mask(sub, l), |l| in_mask(other, l));
+                    if !pairs.is_empty() {
+                        let (plan, est) = build_join(lp, le, rp, re, pairs);
+                        if best[mask].as_ref().is_none_or(|(_, b)| est.cost < b.cost) {
+                            best[mask] = Some((plan, est));
+                        }
+                    }
+                }
+            }
+            sub = (sub - 1) & mask;
+        }
+    }
+    best[(1 << k) - 1]
+        .take()
+        .expect("a connected component always has a connected join order")
+}
+
+/// Greedy fallback above [`DP_LIMIT`]: repeatedly join the connected pair
+/// with the smallest estimated result, smallest-first — O(n³) pair scans,
+/// no exponential table.
+fn order_component_greedy(
+    comp: &[usize],
+    graph: &JoinGraph,
+    ests: &[stats::PlanEst],
+) -> (LogicalPlan, stats::PlanEst) {
+    struct Part {
+        leaves: Vec<usize>,
+        plan: LogicalPlan,
+        est: stats::PlanEst,
+    }
+    /// The pair the next round merges: indices, pairs, combined estimate.
+    type Pick = (usize, usize, Vec<(String, String)>, stats::PlanEst);
+    let mut parts: Vec<Part> = comp
+        .iter()
+        .map(|&l| Part {
+            leaves: vec![l],
+            plan: graph.leaves[l].clone(),
+            est: ests[l].clone(),
+        })
+        .collect();
+    while parts.len() > 1 {
+        let mut pick: Option<Pick> = None;
+        for i in 0..parts.len() {
+            for j in (i + 1)..parts.len() {
+                let pairs = pairs_between(
+                    graph,
+                    |l| parts[i].leaves.contains(&l),
+                    |l| parts[j].leaves.contains(&l),
+                );
+                if pairs.is_empty() {
+                    continue;
+                }
+                let est = stats::join_estimate(&parts[i].est, &parts[j].est, &pairs);
+                if pick.as_ref().is_none_or(|(_, _, _, b)| est.rows < b.rows) {
+                    pick = Some((i, j, pairs, est));
+                }
+            }
+        }
+        let (i, j, pairs, _) = pick.expect("a connected component always has a connected pair");
+        let b = parts.swap_remove(j);
+        let a = parts.swap_remove(i);
+        let (plan, est) = build_join(&a.plan, &a.est, &b.plan, &b.est, pairs);
+        let mut leaves = a.leaves;
+        leaves.extend(b.leaves);
+        parts.push(Part { leaves, plan, est });
+    }
+    let p = parts.pop().expect("non-empty component");
+    (p.plan, p.est)
+}
+
+// ---------------------------------------------------------------------
+// Pass 5: projection pushdown into scans
 // ---------------------------------------------------------------------
 
 /// Propagate the set of columns required from above down to scans; a scan

@@ -45,31 +45,52 @@ impl fmt::Display for Dim {
 /// The shape type `(rows, cols)` of an operation's result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShapeType {
+    /// Where the result's row count comes from.
     pub rows: Dim,
+    /// Where the result's column count comes from.
     pub cols: Dim,
 }
 
 /// The 19 relational matrix operations of RMA.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RmaOp {
+    /// Element-wise multiplication `emu_{U;V}`.
     Emu,
+    /// Matrix multiplication `mmu_{U;V}`.
     Mmu,
+    /// Outer product `opd_{U;V}` (`ABᵀ`).
     Opd,
+    /// Cross product `cpd_{U;V}` (`AᵀB`).
     Cpd,
+    /// Matrix addition `add_{U;V}`.
     Add,
+    /// Matrix subtraction `sub_{U;V}`.
     Sub,
+    /// Transpose `tra_U`.
     Tra,
+    /// Linear solve `sol_{U;V}`.
     Sol,
+    /// Matrix inversion `inv_U`.
     Inv,
+    /// Eigenvectors `evc_U`.
     Evc,
+    /// Eigenvalues `evl_U`.
     Evl,
+    /// Q of the QR decomposition `qqr_U`.
     Qqr,
+    /// R of the QR decomposition `rqr_U`.
     Rqr,
+    /// Diagonal singular-value matrix `dsv_U`.
     Dsv,
+    /// Left singular vectors `usv_U`.
     Usv,
+    /// Singular-value column `vsv_U`.
     Vsv,
+    /// Determinant `det_U`.
     Det,
+    /// Rank `rnk_U`.
     Rnk,
+    /// Cholesky factor `chf_U`.
     Chf,
 }
 

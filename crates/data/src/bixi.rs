@@ -1,6 +1,6 @@
 //! BIXI-like bike-share data: stations, trips, and journeys (§8.6).
 //!
-//! The real BIXI dataset [17] records Montreal bike-share trips 2014–2017.
+//! The real BIXI dataset \[17\] records Montreal bike-share trips 2014–2017.
 //! We generate a structurally identical stand-in:
 //!
 //! * `stations`: code (key), name, latitude, longitude around Montreal;

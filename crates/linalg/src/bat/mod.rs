@@ -12,7 +12,7 @@
 //! element-wise `add`/`sub`/`emu`, products `mmu`/`cpd`/`opd`, `tra`,
 //! Gauss-Jordan `inv` (the paper's Algorithm 2, extended with column
 //! pivoting), `det`, `sol`, `rnk`, Gram-Schmidt `qqr`/`rqr` (per the
-//! paper's Gander reference [12]), and a columnwise `chf`. The remaining
+//! paper's Gander reference \[12\]), and a columnwise `chf`. The remaining
 //! operations (SVD and eigen decompositions) always delegate to the dense
 //! kernel; the policy layer in `rma-core` handles that.
 

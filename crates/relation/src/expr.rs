@@ -177,7 +177,7 @@ impl Expr {
     /// Evaluate over a relation, producing one value per tuple.
     ///
     /// Internally evaluation is *scalar-lazy*: literal subtrees stay
-    /// scalars for the whole walk ([`Ev::Scalar`]), combine with columns
+    /// scalars for the whole walk (`Ev::Scalar`), combine with columns
     /// through constant-operand kernels, and only an expression whose
     /// entire result is constant is broadcast — once, here, at the top.
     /// `Expr::Lit` therefore costs O(1) regardless of relation size. On a

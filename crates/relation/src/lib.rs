@@ -11,6 +11,7 @@ pub mod expr;
 pub mod par;
 pub mod relation;
 pub mod schema;
+pub mod stats;
 
 pub use algebra::{
     aggregate, aggregate_parallel, cross_product, distinct, join_on, join_on_parallel, limit,
@@ -22,3 +23,4 @@ pub use expr::{BinOp, Expr, ScalarFunc};
 pub use par::{for_each_partition, morsel_count, partition_ranges};
 pub use relation::{Relation, RelationBuilder};
 pub use schema::{Attribute, Schema};
+pub use stats::Statistics;

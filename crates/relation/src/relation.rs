@@ -20,6 +20,7 @@
 
 use crate::error::RelationError;
 use crate::schema::{Attribute, Schema};
+use crate::stats::Statistics;
 use rma_storage::{is_key, sort_permutation, Column, SelVec, Value};
 use std::fmt;
 use std::sync::OnceLock;
@@ -43,6 +44,9 @@ pub struct Relation {
     /// The full compacted column vector, assembled (from the per-column
     /// cache, O(width) Arc clones) on first use of [`Relation::columns`].
     compacted_all: OnceLock<Vec<Column>>,
+    /// Lazily computed table statistics ([`Relation::statistics`]); shared
+    /// by clones once computed.
+    stats: OnceLock<Statistics>,
 }
 
 /// One empty per-column cache slot per attribute.
@@ -62,6 +66,10 @@ impl Clone for Relation {
         if let Some(c) = self.compacted_all.get() {
             let _ = compacted_all.set(c.clone());
         }
+        let stats = OnceLock::new();
+        if let Some(s) = self.stats.get() {
+            let _ = stats.set(s.clone());
+        }
         Relation {
             name: self.name.clone(),
             schema: self.schema.clone(),
@@ -69,6 +77,7 @@ impl Clone for Relation {
             sel: self.sel.clone(),
             compacted,
             compacted_all,
+            stats,
         }
     }
 }
@@ -113,6 +122,7 @@ impl Relation {
             sel: None,
             compacted,
             compacted_all: OnceLock::new(),
+            stats: OnceLock::new(),
         })
     }
 
@@ -131,6 +141,7 @@ impl Relation {
             sel: None,
             compacted,
             compacted_all: OnceLock::new(),
+            stats: OnceLock::new(),
         }
     }
 
@@ -154,6 +165,7 @@ impl Relation {
             sel,
             compacted,
             compacted_all: OnceLock::new(),
+            stats: OnceLock::new(),
         }
     }
 
@@ -399,6 +411,7 @@ impl Relation {
                     sel: None,
                     compacted,
                     compacted_all: OnceLock::new(),
+                    stats: OnceLock::new(),
                 }
             }
         }
@@ -438,6 +451,7 @@ impl Relation {
             sel: None,
             compacted,
             compacted_all: OnceLock::new(),
+            stats: OnceLock::new(),
         })
     }
 
@@ -506,6 +520,14 @@ impl Relation {
     pub fn attribute(&self, name: &str) -> Result<&Attribute, RelationError> {
         self.schema.attribute(name)
     }
+
+    /// Table statistics of this relation (row count, per-column null count,
+    /// distinct estimate, min/max), computed on first use and cached — a
+    /// provider that keeps relations around serves repeated optimizer
+    /// requests for free. Clones share the computed value.
+    pub fn statistics(&self) -> &Statistics {
+        self.stats.get_or_init(|| Statistics::compute(self))
+    }
 }
 
 /// Rows shown before a rendered relation is truncated.
@@ -513,7 +535,7 @@ const DISPLAY_ROWS: usize = 20;
 
 impl fmt::Display for Relation {
     /// Render an aligned ASCII table: header, separator, and up to
-    /// [`DISPLAY_ROWS`] rows. Numeric columns are right-aligned, others
+    /// `DISPLAY_ROWS` rows. Numeric columns are right-aligned, others
     /// left-aligned; longer relations end with a truncation note. Reads
     /// through the selection vector, so displaying a huge view stays cheap.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -1,0 +1,99 @@
+//! Table-level statistics: one [`ColumnStats`] per attribute plus the row
+//! count.
+//!
+//! Statistics are computed lazily — the first call to
+//! [`Relation::statistics`](crate::Relation::statistics) pays one scan per
+//! column and caches the result on the relation, so a table provider that
+//! keeps relations around (the SQL catalog, `Values` plan nodes) serves
+//! every later request for free. The plan-level optimizer
+//! (`rma_core::plan::stats`) consumes these to estimate predicate
+//! selectivities and join cardinalities.
+
+use crate::relation::Relation;
+use rma_storage::ColumnStats;
+
+/// Summary statistics of one relation: the row count and per-attribute
+/// [`ColumnStats`], in schema order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statistics {
+    /// Number of visible tuples at computation time.
+    pub row_count: usize,
+    /// Per-attribute statistics, aligned with the schema: `columns[i]`
+    /// describes attribute `i`.
+    columns: Vec<(String, ColumnStats)>,
+}
+
+impl Statistics {
+    /// Compute statistics for every attribute of a relation. Views are read
+    /// through their compacting accessors, so the statistics describe the
+    /// *visible* rows.
+    pub fn compute(rel: &Relation) -> Statistics {
+        let columns = rel
+            .schema()
+            .names()
+            .zip(rel.columns())
+            .map(|(name, col)| (name.to_string(), ColumnStats::compute(col)))
+            .collect();
+        Statistics {
+            row_count: rel.len(),
+            columns,
+        }
+    }
+
+    /// Statistics of one attribute, by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Iterate `(attribute name, stats)` pairs in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ColumnStats)> {
+        self.columns.iter().map(|(n, s)| (n.as_str(), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RelationBuilder;
+    use rma_storage::Value;
+
+    fn rel() -> Relation {
+        RelationBuilder::new()
+            .column("k", vec![1i64, 2, 3, 4])
+            .column("g", vec![7i64, 7, 8, 8])
+            .column("x", vec![0.5f64, 1.5, 2.5, 3.5])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn compute_covers_all_attributes() {
+        let s = Statistics::compute(&rel());
+        assert_eq!(s.row_count, 4);
+        assert_eq!(s.iter().count(), 3);
+        assert_eq!(s.column("k").unwrap().distinct, 4);
+        assert_eq!(s.column("g").unwrap().distinct, 2);
+        assert_eq!(s.column("x").unwrap().min, Some(Value::Float(0.5)));
+        assert!(s.column("missing").is_none());
+    }
+
+    #[test]
+    fn statistics_describe_visible_rows_of_views() {
+        let v = rel().filter(&[true, true, false, false]);
+        let s = Statistics::compute(&v);
+        assert_eq!(s.row_count, 2);
+        assert_eq!(s.column("g").unwrap().distinct, 1);
+        assert_eq!(s.column("k").unwrap().max, Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn cached_on_the_relation() {
+        let r = rel();
+        let a = r.statistics() as *const Statistics;
+        let b = r.statistics() as *const Statistics;
+        assert_eq!(a, b, "second call must hit the cache");
+        // clones share the computed statistics
+        let c = r.clone();
+        assert_eq!(c.statistics().row_count, 4);
+    }
+}

@@ -6,7 +6,7 @@ use crate::error::SqlError;
 use crate::executor::execute;
 use crate::optimizer::optimize;
 use crate::parser::{parse, parse_script};
-use crate::plan::{explain, plan_select, Plan};
+use crate::plan::{explain_with_stats, plan_select, Plan};
 use rma_core::{RmaContext, RmaOptions};
 use rma_relation::{Relation, Schema};
 use rma_storage::Column;
@@ -100,8 +100,10 @@ impl Engine {
         self.execute(sql)?.relation()
     }
 
-    /// EXPLAIN: the (optimized) plan of a SELECT, as text. Also reachable
-    /// as the SQL statement `EXPLAIN SELECT ...`.
+    /// EXPLAIN: the (optimized) plan of a SELECT, as text — one node per
+    /// line, annotated with estimated output rows (`rows≈`) and
+    /// accumulated cost (`cost≈`). Also reachable as the SQL statement
+    /// `EXPLAIN SELECT ...`. See the crate-level docs for the format.
     pub fn explain(&self, sql: &str) -> Result<String, SqlError> {
         let stmt = parse(sql)?;
         let sel = match stmt {
@@ -109,7 +111,7 @@ impl Engine {
             _ => return Err(SqlError::Plan("EXPLAIN requires a SELECT".to_string())),
         };
         let plan = self.build_plan(&sel)?;
-        Ok(explain(&plan))
+        Ok(explain_with_stats(&plan, &self.catalog))
     }
 
     fn build_plan(&self, sel: &crate::ast::SelectStmt) -> Result<Plan, SqlError> {
@@ -132,7 +134,10 @@ impl Engine {
             }
             Statement::Explain(sel) => {
                 let plan = self.build_plan(&sel)?;
-                let lines: Vec<String> = explain(&plan).lines().map(str::to_string).collect();
+                let lines: Vec<String> = explain_with_stats(&plan, &self.catalog)
+                    .lines()
+                    .map(str::to_string)
+                    .collect();
                 let rel = rma_relation::RelationBuilder::new()
                     .column("plan", lines)
                     .build()

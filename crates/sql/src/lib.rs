@@ -14,6 +14,49 @@
 //! let inv = e.query("SELECT * FROM INV(r BY t)").unwrap();
 //! assert_eq!(inv.len(), 2);
 //! ```
+//!
+//! ## EXPLAIN output format
+//!
+//! `EXPLAIN SELECT ...` (and [`Engine::explain`]) renders the *optimized*
+//! plan as an indented tree, one node per line, children indented two
+//! spaces under their parent. The first child of a join is the left
+//! (probe) side. Node headers are:
+//!
+//! | header | node |
+//! |---|---|
+//! | `Scan t` / `Values r rows=N` | table scan (named / in-memory); `project=[..]` marks optimizer column pruning |
+//! | `Select <predicate>` | σ |
+//! | `Project [cols]` | π / generalised projection |
+//! | `Aggregate group_by=.. aggs=N` | ϑ |
+//! | `JoinOn [("l", "r"), ..]` / `NaturalJoin` / `Cross` | joins |
+//! | `OrderBy [..]` / `Limit n` / `TopK [..] n=..` | sort, limit, and the fused bounded-heap top-k |
+//! | `Rma OP BY [..]` | relational matrix operation; `(sorted: skip sort)` marks an eliminated sort, `backend=..` the plan-level kernel choice |
+//! | `Distinct` / `UnionAll` / `AssertKey [..]` | the rest |
+//!
+//! Every line ends with two *cost annotations* estimated from table
+//! statistics (see `rma_core::plan::stats`):
+//!
+//! - `rows≈N` — estimated output cardinality of the node;
+//! - `cost≈C` — accumulated cost of the subtree in rows-touched units.
+//!
+//! The annotations make the cost-based join order observable: in
+//! `EXPLAIN SELECT * FROM fact JOIN big ON .. JOIN small ON .. WHERE
+//! small.p = 3`, the optimizer joins the filtered `small` table first
+//! however the query was written, and the `rows≈` column shows why (the
+//! early join collapses the intermediate cardinality):
+//!
+//! ```
+//! use rma_sql::Engine;
+//!
+//! let mut e = Engine::new();
+//! e.execute("CREATE TABLE fact (fk INT, v DOUBLE)").unwrap();
+//! e.execute("CREATE TABLE dim (k INT, p INT)").unwrap();
+//! e.execute("INSERT INTO fact VALUES (0, 1.0), (1, 2.0), (0, 3.0)").unwrap();
+//! e.execute("INSERT INTO dim VALUES (0, 10), (1, 20)").unwrap();
+//! let plan = e.explain("SELECT * FROM fact JOIN dim ON fk = k WHERE p = 10").unwrap();
+//! assert!(plan.contains("rows≈") && plan.contains("cost≈"));
+//! assert!(plan.contains("JoinOn"));
+//! ```
 
 pub mod ast;
 pub mod catalog;
@@ -29,4 +72,4 @@ pub use catalog::Catalog;
 pub use engine::{Engine, QueryResult};
 pub use error::SqlError;
 pub use parser::{parse, parse_script};
-pub use plan::{explain, plan_select, Plan};
+pub use plan::{explain, explain_with_stats, plan_select, Plan};

@@ -1,9 +1,9 @@
 //! AST → logical-plan translation.
 //!
-//! SQL lowers to the *same* [`LogicalPlan`] the lazy `Frame` API builds
-//! (`rma_core::plan`), so both frontends share one optimizer and one
-//! interpreter. This module only translates syntax; all optimization lives
-//! in `rma_core::plan::optimize`.
+//! SQL lowers to the *same* logical plan ([`Plan`], a re-export of
+//! `rma_core::plan::LogicalPlan`) the lazy `Frame` API builds, so both
+//! frontends share one optimizer and one interpreter. This module only
+//! translates syntax; all optimization lives in `rma_core::plan::optimize`.
 
 use crate::ast::{ColRef, RmaArg, SelectItem, SelectStmt, SqlExpr, TableExpr};
 use crate::error::SqlError;
@@ -11,6 +11,8 @@ use rma_relation::{AggSpec, Expr};
 
 /// EXPLAIN-style plan rendering (shared with the `Frame` API).
 pub use rma_core::plan::explain;
+/// EXPLAIN rendering with per-node `rows≈`/`cost≈` estimates.
+pub use rma_core::plan::explain_with_stats;
 /// The shared logical plan type (re-exported under the historical name).
 pub use rma_core::plan::LogicalPlan as Plan;
 

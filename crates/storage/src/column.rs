@@ -9,7 +9,7 @@
 //! copying them, and [`Column::append`] copies-on-write only when a shared
 //! column is actually extended. Row selection composes with this through
 //! [`Column::gather`], which materialises the rows named by a
-//! [`SelVec`](crate::SelVec).
+//! [`SelVec`].
 
 use crate::bitmap::Bitmap;
 use crate::error::StorageError;

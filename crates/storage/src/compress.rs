@@ -37,7 +37,7 @@ pub struct CompressedFloats {
 const MIN_RUN: usize = 8;
 
 impl CompressedFloats {
-    /// Compress a slice, encoding zero runs of at least [`MIN_RUN`].
+    /// Compress a slice, encoding zero runs of at least `MIN_RUN` values.
     pub fn compress(values: &[f64]) -> Self {
         let mut segments = Vec::new();
         let mut dense: Vec<f64> = Vec::new();

@@ -18,6 +18,7 @@ pub mod column;
 pub mod compress;
 pub mod error;
 pub mod selvec;
+pub mod stats;
 pub mod value;
 
 pub use bat::{
@@ -29,4 +30,5 @@ pub use column::{Column, ColumnData};
 pub use compress::CompressedFloats;
 pub use error::StorageError;
 pub use selvec::SelVec;
+pub use stats::ColumnStats;
 pub use value::{DataType, Value};

@@ -1,0 +1,319 @@
+//! Per-column statistics for cost-based query optimization.
+//!
+//! A [`ColumnStats`] summarises one column: how many rows are null, an
+//! estimate of the number of distinct values, and the minimum/maximum
+//! value. The plan-level optimizer turns these into predicate
+//! selectivities and join cardinality estimates (see
+//! `rma_core::plan::stats`), so the quality bar is "right order of
+//! magnitude", not exactness — distinct counts over large columns are
+//! estimated from an evenly spaced sample rather than a full hash of the
+//! column.
+
+use crate::column::{Column, ColumnData};
+use crate::value::Value;
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Columns at or below this row count are hashed exactly; larger columns
+/// estimate their distinct count from a [`SAMPLE_SIZE`] sample.
+const EXACT_LIMIT: usize = 4096;
+
+/// Number of evenly spaced rows sampled from a large column.
+const SAMPLE_SIZE: usize = 1024;
+
+/// Summary statistics of one column, computed by [`ColumnStats::compute`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Total rows, including nulls.
+    pub row_count: usize,
+    /// Number of null rows (exact — read off the validity bitmap).
+    pub null_count: usize,
+    /// Estimated number of distinct non-null values. Exact for columns of
+    /// at most `EXACT_LIMIT` (4096) rows, sample-based above that; always within
+    /// `1..=row_count - null_count` for non-empty columns.
+    pub distinct: usize,
+    /// Smallest non-null value (`None` for all-null or empty columns).
+    pub min: Option<Value>,
+    /// Largest non-null value (`None` for all-null or empty columns).
+    pub max: Option<Value>,
+}
+
+impl ColumnStats {
+    /// Compute statistics for a column: an O(n) min/max and null scan, plus
+    /// either an exact distinct count (small columns) or a sample-based
+    /// estimate (large columns).
+    pub fn compute(col: &Column) -> ColumnStats {
+        let row_count = col.len();
+        let null_count = col.null_count();
+        let non_null = row_count - null_count;
+        if non_null == 0 {
+            return ColumnStats {
+                row_count,
+                null_count,
+                distinct: 0,
+                min: None,
+                max: None,
+            };
+        }
+        let is_null = |i: usize| col.is_null(i);
+        let (distinct, min_i, max_i) = match col.data() {
+            ColumnData::Int(v) => scan(v, non_null, &is_null, |x| *x),
+            ColumnData::Float(v) => scan(v, non_null, &is_null, |x| x.to_bits()),
+            ColumnData::Str(v) => scan(v, non_null, &is_null, |x| x.clone()),
+            ColumnData::Bool(v) => scan(v, non_null, &is_null, |x| *x),
+            ColumnData::Date(v) => scan(v, non_null, &is_null, |x| *x),
+        };
+        ColumnStats {
+            row_count,
+            null_count,
+            distinct,
+            min: min_i.map(|i| col.get(i)),
+            max: max_i.map(|i| col.get(i)),
+        }
+    }
+
+    /// Fraction of rows that are null (0 for an empty column).
+    pub fn null_fraction(&self) -> f64 {
+        if self.row_count == 0 {
+            return 0.0;
+        }
+        self.null_count as f64 / self.row_count as f64
+    }
+}
+
+/// One pass over the typed values: min/max row indices (by [`Value`] total
+/// order via the native `Ord`/`total_cmp` of each variant) plus the
+/// distinct estimate. Returns `(distinct, min_index, max_index)`.
+fn scan<T, K: Eq + Hash>(
+    vals: &[T],
+    non_null: usize,
+    is_null: &impl Fn(usize) -> bool,
+    key: impl Fn(&T) -> K,
+) -> (usize, Option<usize>, Option<usize>)
+where
+    T: PartialOrd,
+{
+    // min/max: full scan (cheap, branch-predictable)
+    let mut min_i: Option<usize> = None;
+    let mut max_i: Option<usize> = None;
+    for (i, x) in vals.iter().enumerate() {
+        if is_null(i) {
+            continue;
+        }
+        // skip values with no defined order (float NaN): they must never
+        // become a bound, and in particular must not poison min/max by
+        // arriving first (`less(_, NaN)` is always false)
+        if x.partial_cmp(x).is_none() {
+            continue;
+        }
+        match min_i {
+            None => {
+                min_i = Some(i);
+                max_i = Some(i);
+            }
+            Some(m) => {
+                if less(x, &vals[m]) {
+                    min_i = Some(i);
+                }
+                if less(&vals[max_i.unwrap()], x) {
+                    max_i = Some(i);
+                }
+            }
+        }
+    }
+    // distinct: exact hash for small columns, evenly spaced sample above
+    let n = vals.len();
+    let distinct = if n <= EXACT_LIMIT {
+        let mut seen = HashSet::with_capacity(non_null.min(EXACT_LIMIT));
+        for (i, x) in vals.iter().enumerate() {
+            if !is_null(i) {
+                seen.insert(key(x));
+            }
+        }
+        seen.len()
+    } else {
+        let stride = n / SAMPLE_SIZE;
+        let mut seen = HashSet::with_capacity(SAMPLE_SIZE);
+        let mut sampled = 0usize;
+        let mut i = 0;
+        while i < n {
+            if !is_null(i) {
+                seen.insert(key(&vals[i]));
+                sampled += 1;
+            }
+            i += stride;
+        }
+        estimate_distinct(seen.len(), sampled, non_null)
+    };
+    (distinct, min_i, max_i)
+}
+
+/// `PartialOrd` comparison treating incomparable pairs (float NaN) as not
+/// less — NaN then never replaces an established min/max, matching the
+/// "NaN sorts last" convention well enough for estimates.
+fn less<T: PartialOrd>(a: &T, b: &T) -> bool {
+    matches!(a.partial_cmp(b), Some(std::cmp::Ordering::Less))
+}
+
+/// Scale a sample's distinct count `d` (out of `sampled` rows) up to a
+/// column of `n > 0` non-null rows.
+///
+/// Two regimes, switched on how saturated the sample is:
+/// - `d ≤ sampled/2`: many duplicates in the sample — the value domain is
+///   small and the sample has likely seen most of it; keep `d`.
+/// - otherwise: mostly-unique sample — assume the ratio carries over and
+///   scale linearly (`d/sampled · n`), which for an all-unique sample
+///   estimates a key column (`distinct = n`).
+///
+/// An empty sample (every strided position was null — possible for
+/// periodic null patterns) carries no duplicate evidence; assume all
+/// non-null rows distinct rather than returning 0, which would violate
+/// the `1..=n` invariant and collapse downstream selectivities.
+fn estimate_distinct(d: usize, sampled: usize, n: usize) -> usize {
+    if sampled == 0 {
+        return n;
+    }
+    let est = if d * 2 <= sampled {
+        d
+    } else {
+        ((d as f64 / sampled as f64) * n as f64).round() as usize
+    };
+    est.clamp(1, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_column() {
+        let c = Column::from(vec![3i64, 1, 4, 1, 5, 9, 2, 6, 5, 3]);
+        let s = ColumnStats::compute(&c);
+        assert_eq!(s.row_count, 10);
+        assert_eq!(s.null_count, 0);
+        assert_eq!(s.distinct, 7);
+        assert_eq!(s.min, Some(Value::Int(1)));
+        assert_eq!(s.max, Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn unique_key_detected() {
+        let c = Column::from((0..100i64).collect::<Vec<_>>());
+        let s = ColumnStats::compute(&c);
+        assert_eq!(s.distinct, 100);
+    }
+
+    #[test]
+    fn nulls_counted_and_excluded_from_bounds() {
+        let c = Column::from_values(&[
+            Value::Null,
+            Value::Int(5),
+            Value::Null,
+            Value::Int(2),
+            Value::Int(5),
+        ])
+        .unwrap();
+        let s = ColumnStats::compute(&c);
+        assert_eq!(s.null_count, 2);
+        assert_eq!(s.distinct, 2);
+        assert_eq!(s.min, Some(Value::Int(2)));
+        assert_eq!(s.max, Some(Value::Int(5)));
+        assert!((s.null_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_null_column() {
+        let c =
+            Column::from_values_typed(crate::DataType::Float, &[Value::Null, Value::Null]).unwrap();
+        let s = ColumnStats::compute(&c);
+        assert_eq!(s.distinct, 0);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+    }
+
+    #[test]
+    fn sampled_key_column_estimates_full_cardinality() {
+        let n = 100_000usize;
+        let c = Column::from((0..n as i64).collect::<Vec<_>>());
+        let s = ColumnStats::compute(&c);
+        // an all-unique sample scales to "everything distinct"
+        assert!(s.distinct > n * 9 / 10, "estimated {}", s.distinct);
+        assert_eq!(s.min, Some(Value::Int(0)));
+        assert_eq!(s.max, Some(Value::Int(n as i64 - 1)));
+    }
+
+    #[test]
+    fn sampled_low_cardinality_stays_low() {
+        let n = 100_000usize;
+        let c = Column::from((0..n).map(|i| (i % 10) as i64).collect::<Vec<_>>());
+        let s = ColumnStats::compute(&c);
+        assert!(s.distinct <= 10, "estimated {}", s.distinct);
+    }
+
+    #[test]
+    fn float_and_string_bounds() {
+        let c = Column::from(vec![2.5f64, -1.0, 7.25]);
+        let s = ColumnStats::compute(&c);
+        assert_eq!(s.min, Some(Value::Float(-1.0)));
+        assert_eq!(s.max, Some(Value::Float(7.25)));
+        let c = Column::from(vec!["pear", "apple", "quince"]);
+        let s = ColumnStats::compute(&c);
+        assert_eq!(s.min, Some(Value::from("apple")));
+        assert_eq!(s.max, Some(Value::from("quince")));
+        assert_eq!(s.distinct, 3);
+    }
+
+    #[test]
+    fn nan_never_becomes_a_bound() {
+        let c = Column::from(vec![1.0f64, f64::NAN, 3.0]);
+        let s = ColumnStats::compute(&c);
+        assert_eq!(s.min, Some(Value::Float(1.0)));
+        assert_eq!(s.max, Some(Value::Float(3.0)));
+        // a leading NaN must not pin min/max either
+        let c = Column::from(vec![f64::NAN, 1.0, 3.0]);
+        let s = ColumnStats::compute(&c);
+        assert_eq!(s.min, Some(Value::Float(1.0)));
+        assert_eq!(s.max, Some(Value::Float(3.0)));
+        // an all-NaN column has no usable bounds
+        let c = Column::from(vec![f64::NAN, f64::NAN]);
+        let s = ColumnStats::compute(&c);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+    }
+
+    #[test]
+    fn periodic_nulls_on_sample_stride_keep_invariant() {
+        // 8192 rows, nulls exactly on the stride-8 sample positions: the
+        // sample sees only nulls, but distinct must stay within 1..=non_null
+        let n = 8192usize;
+        let stride = n / 1024; // = SAMPLE_SIZE stride used by `scan`
+        let vals: Vec<Value> = (0..n)
+            .map(|i| {
+                if i % stride == 0 {
+                    Value::Null
+                } else {
+                    Value::Int((i % 100) as i64)
+                }
+            })
+            .collect();
+        let c = Column::from_values(&vals).unwrap();
+        let s = ColumnStats::compute(&c);
+        let non_null = s.row_count - s.null_count;
+        assert!(non_null > 0);
+        assert!(
+            (1..=non_null).contains(&s.distinct),
+            "distinct {} out of 1..={}",
+            s.distinct,
+            non_null
+        );
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = Column::new(ColumnData::empty(crate::DataType::Int));
+        let s = ColumnStats::compute(&c);
+        assert_eq!(s.row_count, 0);
+        assert_eq!(s.distinct, 0);
+        assert_eq!(s.null_fraction(), 0.0);
+    }
+}
