@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper's evaluation (§8).
 //!
 //! ```text
-//! reproduce [--scale N] [fig13|tab4|tab5|tab6|tab7|fig14|fig15|fig16|fig17|fig18|all]
+//! reproduce [--scale N] [--check] [fig13|...|fig18|scaling|pipeline|joinorder|sort|all]
 //! ```
 //!
 //! `--scale N` divides the paper's cardinalities by `N` (default 100) so a
@@ -9,6 +9,14 @@
 //! testbed was a 12-core Xeon with MKL); the *shapes* — who wins, by what
 //! factor, where the crossovers are — are the reproduction target and are
 //! recorded in EXPERIMENTS.md.
+//!
+//! `--check` turns the engine benches (`pipeline`, `joinorder`, `sort`)
+//! into a regression gate: every emitted speedup is compared against its
+//! committed floor (the `FLOOR_*` constants below) and the process exits
+//! non-zero if any falls short — so a perf win, once landed, cannot
+//! silently regress. Floors that require real hardware parallelism (the
+//! parallel-vs-serial sort/top-k ones) are skipped, loudly, below
+//! `GATE_MIN_HW` hardware threads; checksum parity is always asserted.
 
 use rma_bench::workloads::{
     run_conferences_covariance, run_journeys_regression, run_scidb_comparison, run_trip_count,
@@ -17,9 +25,74 @@ use rma_bench::workloads::{
 use rma_core::{Backend, RmaContext, RmaOptions, SortPolicy};
 use std::time::{Duration, Instant};
 
+/// Committed speedup floors for `--check` (per bench record). Parity
+/// (1.0×) is the regression line: the engine's lazy pipeline, join
+/// reordering, and parallel sort/top-k must never be *slower* than the
+/// baseline they replaced; typical measured values are far higher (see the
+/// BENCH_*.json artifacts).
+const FLOOR_PIPELINE: f64 = 1.0;
+/// Reordered vs written join order at the bench's skew: floor at parity.
+const FLOOR_JOINORDER: f64 = 1.0;
+/// Parallel vs serial full sort (armed at ≥ `GATE_MIN_HW` hardware threads).
+const FLOOR_SORT: f64 = 1.0;
+/// Parallel vs serial top-k (armed at ≥ `GATE_MIN_HW` hardware threads).
+/// Deliberately below parity: the gated top-k run is sub-millisecond at
+/// --scale 400, so even best-of-5 minima carry scheduler noise on a shared
+/// 4-vCPU runner — the floor catches real regressions (serial fallback,
+/// quadratic merge), not timer jitter. The sort floor stays at parity; its
+/// ~40 ms runs are stable.
+const FLOOR_TOPK: f64 = 0.9;
+/// Minimum hardware threads before the parallel-vs-serial floors arm.
+/// Below this the pool can be oversubscribed (workers > cores) and
+/// sub-parity results are legitimate — e.g. a 2-worker sort on 1 core, or
+/// a sub-millisecond top-k on a noisy 2-core shared runner — so gating
+/// would only measure the scheduler.
+const GATE_MIN_HW: usize = 4;
+
+/// The `--check` regression gate: collects floor violations across bench
+/// targets and fails the process at the end of the run.
+struct Gate {
+    check: bool,
+    failures: Vec<String>,
+    checked: usize,
+    skipped: usize,
+}
+
+impl Gate {
+    /// Record one emitted speedup against its committed floor.
+    /// `needs_parallelism` marks parallel-vs-serial speedups, which are
+    /// meaningless without enough cores and skipped (loudly) there.
+    fn record(&mut self, bench: &str, speedup: f64, floor: f64, needs_parallelism: bool) {
+        if !self.check {
+            return;
+        }
+        if needs_parallelism && hardware_threads() < GATE_MIN_HW {
+            println!(
+                "(--check: skipping `{bench}` floor — {} hardware thread(s), need {GATE_MIN_HW})",
+                hardware_threads()
+            );
+            self.skipped += 1;
+            return;
+        }
+        self.checked += 1;
+        if speedup < floor {
+            self.failures.push(format!(
+                "{bench}: speedup {speedup:.3} below committed floor {floor:.2}"
+            ));
+        }
+    }
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 100usize;
+    let mut check = false;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -31,6 +104,8 @@ fn main() {
             if scale == 0 {
                 die("--scale must be >= 1")
             }
+        } else if a == "--check" {
+            check = true;
         } else {
             targets.push(a.to_lowercase());
         }
@@ -50,11 +125,18 @@ fn main() {
             "scaling",
             "pipeline",
             "joinorder",
+            "sort",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
     }
+    let mut gate = Gate {
+        check,
+        failures: Vec::new(),
+        checked: 0,
+        skipped: 0,
+    };
     println!("# RMA reproduction — scale 1/{scale} of the paper's sizes\n");
     for t in &targets {
         match t.as_str() {
@@ -69,11 +151,45 @@ fn main() {
             "fig17" => fig17(scale),
             "fig18" => fig18(scale),
             "scaling" => scaling(scale),
-            "pipeline" => pipeline(scale),
-            "joinorder" => joinorder(scale),
+            "pipeline" => pipeline(scale, &mut gate),
+            "joinorder" => joinorder(scale, &mut gate),
+            "sort" => sort_bench(scale, &mut gate),
             other => eprintln!("unknown target `{other}` (skipped)"),
         }
     }
+    if check {
+        if !gate.failures.is_empty() {
+            for f in &gate.failures {
+                eprintln!("--check FAILED: {f}");
+            }
+            std::process::exit(1);
+        } else if gate.checked == 0 {
+            // a green gate that verified nothing must say so
+            println!(
+                "--check: no floors checked ({} skipped; did the run include a gated bench?)",
+                gate.skipped
+            );
+        } else {
+            println!(
+                "--check: {} floor(s) at or above their committed values ({} skipped)",
+                gate.checked, gate.skipped
+            );
+        }
+    }
+}
+
+/// Best-of-N timing for gated benches: minima are far more stable than
+/// single runs on shared CI machines, which matters because `--check`
+/// compares each speedup against a hard floor. Asserts the checksum is
+/// identical across repeats.
+fn best_of(reps: usize, f: &dyn Fn() -> (Duration, i64)) -> (Duration, i64) {
+    let (mut best_t, check) = f();
+    for _ in 1..reps {
+        let (t, c) = f();
+        assert_eq!(c, check, "bench checksum diverged between repeats");
+        best_t = best_t.min(t);
+    }
+    (best_t, check)
 }
 
 fn die(msg: &str) -> ! {
@@ -458,26 +574,33 @@ fn scaling(scale: usize) {
     let _ = rma_bench::run_thread_scaling(&table, 1);
     let (base, check1) = rma_bench::run_thread_scaling(&table, 1);
     println!("{:>8} {:>12} {:>10.2}", 1, secs(base), 1.0);
+    let mut records = vec![format!(
+        "{{\"threads\": 1, \"rows\": {rows}, \"time_s\": {:.6}, \"speedup\": 1.0}}",
+        base.as_secs_f64()
+    )];
     for threads in [2usize, 4, 8] {
         let (t, check) = rma_bench::run_thread_scaling(&table, threads);
         assert_eq!(
             check, check1,
             "parallel result diverged at {threads} threads"
         );
-        println!(
-            "{:>8} {:>12} {:>10.2}",
-            threads,
-            secs(t),
-            base.as_secs_f64() / t.as_secs_f64()
-        );
+        let speedup = base.as_secs_f64() / t.as_secs_f64();
+        println!("{:>8} {:>12} {:>10.2}", threads, secs(t), speedup);
+        records.push(format!(
+            "{{\"threads\": {threads}, \"rows\": {rows}, \"time_s\": {:.6}, \"speedup\": {:.3}}}",
+            t.as_secs_f64(),
+            speedup
+        ));
     }
-    println!("(target: ≥1.5× at 4 threads on a ≥4-core machine)\n");
+    let json = format!("[\n  {}\n]\n", records.join(",\n  "));
+    std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
+    println!("(recorded in BENCH_scaling.json; target: ≥1.5× at 4 threads on a ≥4-core machine)\n");
 }
 
 /// Late materialization (PR 3): the Scan→Select→Project→Join chain at
 /// 1% / 10% / 90% selectivity, eager copy-per-operator execution vs the
 /// selection-vector pipeline. Emits BENCH_pipeline.json.
-fn pipeline(scale: usize) {
+fn pipeline(scale: usize, gate: &mut Gate) {
     println!("## Pipeline — late materialization (Scan→Select→Project→Join)");
     let rows = (20_000_000 / scale.max(1)).max(100_000);
     let (fact, dim) = rma_bench::pipeline_tables(rows, 1000, 33);
@@ -489,10 +612,12 @@ fn pipeline(scale: usize) {
     let mut records = Vec::new();
     for pct in [1usize, 10, 90] {
         let cutoff = (pct * 10) as i64; // f is uniform in 0..1000
-                                        // warm-up pass (page in the tables), then one timed run per mode
+                                        // warm-up pass (page in the tables), then best-of-3 per mode
         let _ = rma_bench::run_pipeline(&fact, &dim, cutoff, false);
-        let (eager_t, eager_check) = rma_bench::run_pipeline(&fact, &dim, cutoff, true);
-        let (lazy_t, lazy_check) = rma_bench::run_pipeline(&fact, &dim, cutoff, false);
+        let (eager_t, eager_check) =
+            best_of(3, &|| rma_bench::run_pipeline(&fact, &dim, cutoff, true));
+        let (lazy_t, lazy_check) =
+            best_of(3, &|| rma_bench::run_pipeline(&fact, &dim, cutoff, false));
         assert_eq!(
             eager_check, lazy_check,
             "eager and lazy pipelines diverged at {pct}% selectivity"
@@ -503,6 +628,7 @@ fn pipeline(scale: usize) {
             secs(eager_t),
             secs(lazy_t)
         );
+        gate.record(&format!("pipeline@{pct}%"), speedup, FLOOR_PIPELINE, false);
         records.push(format!(
             "{{\"selectivity\": {:.2}, \"rows\": {rows}, \"eager_s\": {:.6}, \"lazy_s\": {:.6}, \"speedup\": {:.3}}}",
             pct as f64 / 100.0,
@@ -520,7 +646,7 @@ fn pipeline(scale: usize) {
 /// written order joins the largest dimension first, executed with the
 /// join-order enumerator off (written order) and on (cost-based order).
 /// Emits BENCH_joinorder.json.
-fn joinorder(scale: usize) {
+fn joinorder(scale: usize, gate: &mut Gate) {
     println!("## Join ordering — cost-based vs written order");
     let rows = (1_000_000 / scale.max(1)).max(20_000);
     let (fact, big, mid, small) = rma_bench::joinorder_tables(rows, 77);
@@ -536,12 +662,14 @@ fn joinorder(scale: usize) {
     );
     let mut records = Vec::new();
     for ways in [3usize, 4] {
-        // warm-up pass (page in the tables), then one timed run per mode
+        // warm-up pass (page in the tables), then best-of-3 per mode
         let _ = rma_bench::run_joinorder(&fact, &big, &mid, &small, ways, true);
-        let (written_t, written_check) =
-            rma_bench::run_joinorder(&fact, &big, &mid, &small, ways, false);
-        let (reordered_t, reordered_check) =
-            rma_bench::run_joinorder(&fact, &big, &mid, &small, ways, true);
+        let (written_t, written_check) = best_of(3, &|| {
+            rma_bench::run_joinorder(&fact, &big, &mid, &small, ways, false)
+        });
+        let (reordered_t, reordered_check) = best_of(3, &|| {
+            rma_bench::run_joinorder(&fact, &big, &mid, &small, ways, true)
+        });
         assert_eq!(
             written_check, reordered_check,
             "join reordering changed the {ways}-way result"
@@ -551,6 +679,12 @@ fn joinorder(scale: usize) {
             "{ways:>6} {:>14} {:>14} {speedup:>8.2}",
             secs(written_t),
             secs(reordered_t)
+        );
+        gate.record(
+            &format!("joinorder@{ways}way"),
+            speedup,
+            FLOOR_JOINORDER,
+            false,
         );
         records.push(format!(
             "{{\"ways\": {ways}, \"rows\": {rows}, \"written_s\": {:.6}, \"reordered_s\": {:.6}, \"speedup\": {:.3}}}",
@@ -562,6 +696,79 @@ fn joinorder(scale: usize) {
     let json = format!("[\n  {}\n]\n", records.join(",\n  "));
     std::fs::write("BENCH_joinorder.json", &json).expect("write BENCH_joinorder.json");
     println!("(recorded in BENCH_joinorder.json; target: reordered ≥2x at 1M rows)\n");
+}
+
+/// Parallel sort / top-k (PR 5): `ORDER BY` and `ORDER BY .. LIMIT k`
+/// through the lazy plan, serial (1 thread) vs the worker pool's parallel
+/// sort (per-worker local sorts + k-way merge) and top-k (per-worker
+/// bounded heaps merged at the barrier). Asserts checksum parity and emits
+/// BENCH_sort.json.
+fn sort_bench(scale: usize, gate: &mut Gate) {
+    println!("## Sort — pooled parallel sort / top-k vs serial");
+    let rows = (80_000_000 / scale.max(1)).max(200_000);
+    let threads = rma_core::default_threads().max(2);
+    let hw = hardware_threads();
+    let table = rma_bench::sort_table(rows, 55);
+    println!("### {rows} rows, {threads} worker threads, k = 100");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "op", "serial(s)", "parallel(s)", "speedup"
+    );
+    // warm-up pass (pages in the table, spins up the pool), then
+    // best-of-5 per mode (the runs are cheap; see `best_of`)
+    let mut records = Vec::new();
+    {
+        let _ = rma_bench::run_sort(&table, threads);
+        let (serial_t, serial_check) = best_of(5, &|| rma_bench::run_sort(&table, 1));
+        let (par_t, par_check) = best_of(5, &|| rma_bench::run_sort(&table, threads));
+        assert_eq!(
+            serial_check, par_check,
+            "parallel sort result diverged from serial"
+        );
+        let speedup = serial_t.as_secs_f64() / par_t.as_secs_f64();
+        println!(
+            "{:>6} {:>12} {:>12} {speedup:>8.2}",
+            "sort",
+            secs(serial_t),
+            secs(par_t)
+        );
+        gate.record("sort", speedup, FLOOR_SORT, true);
+        records.push(format!(
+            "{{\"op\": \"sort\", \"rows\": {rows}, \"threads\": {threads}, \"hardware_threads\": {hw}, \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.3}, \"checksum_match\": true}}",
+            serial_t.as_secs_f64(),
+            par_t.as_secs_f64(),
+            speedup
+        ));
+    }
+    {
+        let k = 100usize;
+        let _ = rma_bench::run_topk(&table, threads, k);
+        let (serial_t, serial_check) = best_of(5, &|| rma_bench::run_topk(&table, 1, k));
+        let (par_t, par_check) = best_of(5, &|| rma_bench::run_topk(&table, threads, k));
+        assert_eq!(
+            serial_check, par_check,
+            "parallel top-k result diverged from serial"
+        );
+        let speedup = serial_t.as_secs_f64() / par_t.as_secs_f64();
+        println!(
+            "{:>6} {:>12} {:>12} {speedup:>8.2}",
+            "topk",
+            secs(serial_t),
+            secs(par_t)
+        );
+        gate.record("topk", speedup, FLOOR_TOPK, true);
+        records.push(format!(
+            "{{\"op\": \"topk\", \"rows\": {rows}, \"k\": {k}, \"threads\": {threads}, \"hardware_threads\": {hw}, \"serial_s\": {:.6}, \"parallel_s\": {:.6}, \"speedup\": {:.3}, \"checksum_match\": true}}",
+            serial_t.as_secs_f64(),
+            par_t.as_secs_f64(),
+            speedup
+        ));
+    }
+    let json = format!("[\n  {}\n]\n", records.join(",\n  "));
+    std::fs::write("BENCH_sort.json", &json).expect("write BENCH_sort.json");
+    println!(
+        "(recorded in BENCH_sort.json; target: parallel ≥{FLOOR_SORT}x serial at --scale 400+)\n"
+    );
 }
 
 /// Fig. 18: trip count addition.

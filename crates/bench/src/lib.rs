@@ -11,7 +11,7 @@ pub mod workloads;
 pub use competitors::{MatEngine, MatFlavor, RelEngine, RelFlavor, SimTimes};
 pub use workloads::{
     joinorder_tables, pipeline_tables, run_conferences_covariance, run_joinorder,
-    run_journeys_regression, run_pipeline, run_scidb_comparison, run_thread_scaling,
-    run_trip_count, run_trips_ols, thread_scaling_table, trip_count_tables, SystemKind,
-    WorkloadReport,
+    run_journeys_regression, run_pipeline, run_scidb_comparison, run_sort, run_thread_scaling,
+    run_topk, run_trip_count, run_trips_ols, sort_table, thread_scaling_table, trip_count_tables,
+    SystemKind, WorkloadReport,
 };

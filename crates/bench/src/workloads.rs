@@ -980,3 +980,83 @@ pub fn run_joinorder(
     }
     (elapsed, checksum)
 }
+
+// ---------------------------------------------------------------------
+// Parallel sort / top-k (PR 5)
+// ---------------------------------------------------------------------
+
+/// Table for the sort bench: a heavily duplicated primary sort key `s`
+/// (tie-break coverage), a float secondary key `m`, a distinct `id`, and a
+/// float payload — shaped so the sort is comparison-bound, not key-bound.
+pub fn sort_table(rows: usize, seed: u64) -> Relation {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dup = (rows as i64 / 8).max(16);
+    let s: Vec<i64> = (0..rows).map(|_| rng.gen_range(0..dup)).collect();
+    let m: Vec<f64> = (0..rows).map(|_| rng.gen_range(-1000.0..1000.0)).collect();
+    let id: Vec<i64> = (0..rows as i64).collect();
+    let w: Vec<f64> = (0..rows).map(|_| rng.gen_range(0.0..10.0)).collect();
+    rma_relation::RelationBuilder::new()
+        .name("sortbench")
+        .column("s", s)
+        .column("m", m)
+        .column("id", id)
+        .column("w", w)
+        .build()
+        .expect("valid sort table")
+}
+
+/// Position-sensitive digest of an ordered result: every row's `s` and
+/// `id` fold in at their output position, so a mis-sorted, mis-merged, or
+/// mis-tie-broken result changes the value. Parallel sort is
+/// result-identical to serial (ties break on the row index), so serial and
+/// parallel runs must agree exactly.
+fn ordered_checksum(out: &Relation) -> i64 {
+    let int_col = |name: &str| match out.column(name).expect("int column").data() {
+        rma_storage::ColumnData::Int(v) => v.clone(),
+        _ => unreachable!("s/id are int columns"),
+    };
+    let s = int_col("s");
+    let id = int_col("id");
+    let mut checksum = out.len() as i64;
+    for i in 0..out.len() {
+        checksum = checksum
+            .wrapping_mul(31)
+            .wrapping_add((s[i] + 1).wrapping_mul(id[i] + 7));
+    }
+    checksum
+}
+
+/// One `ORDER BY s ASC, m DESC` over the full table through the lazy plan
+/// at a given worker-thread count (`1` = the serial sort; above, the
+/// pool's per-worker local sorts + k-way merge). Returns (wall time,
+/// position-sensitive checksum).
+pub fn run_sort(table: &Relation, threads: usize) -> (Duration, i64) {
+    let ctx = RmaContext::new(RmaOptions {
+        threads,
+        ..RmaOptions::default()
+    });
+    let frame = rma_core::Frame::scan(table.clone()).order_by(&["s", "m"], &[true, false]);
+    let t = Instant::now();
+    let out = frame.collect(&ctx).expect("sort workload");
+    let elapsed = t.elapsed();
+    (elapsed, ordered_checksum(&out))
+}
+
+/// One `ORDER BY s ASC, m DESC LIMIT k` (the optimizer rewrites it to a
+/// `TopK` node: serial bounded heap at one thread, per-worker bounded
+/// heaps merged at the barrier above). Returns (wall time, checksum).
+pub fn run_topk(table: &Relation, threads: usize, k: usize) -> (Duration, i64) {
+    let ctx = RmaContext::new(RmaOptions {
+        threads,
+        ..RmaOptions::default()
+    });
+    let frame = rma_core::Frame::scan(table.clone())
+        .order_by(&["s", "m"], &[true, false])
+        .limit(k);
+    let t = Instant::now();
+    let out = frame.collect(&ctx).expect("top-k workload");
+    let elapsed = t.elapsed();
+    (elapsed, ordered_checksum(&out))
+}

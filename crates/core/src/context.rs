@@ -6,7 +6,9 @@
 //! [`ExecStats`] measures the data-transformation share reported in Fig. 14.
 
 use crate::shape::RmaOp;
+use rma_relation::WorkerPool;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Which kernel family computes base results.
@@ -52,13 +54,18 @@ pub struct RmaOptions {
     /// estimated dense working set exceeds it, the BAT kernel is used
     /// (mirroring the paper's switch to BATs when MKL would not fit).
     pub dense_memory_budget: usize,
-    /// Worker threads for *plan execution*. With `threads > 1` the plan
-    /// interpreter routes operators with a parallel implementation
-    /// (partitioned scan pipelines, hash joins, aggregation) through the
-    /// morsel-driven engine; `1` forces the serial plan interpreter. The
-    /// dense kernels in `rma-linalg` keep their own process-wide budget
-    /// (same `RMA_THREADS` knob, [`rma_linalg::available_threads`]) and
-    /// are not governed per-context. Defaults to [`default_threads`].
+    /// Worker threads for *plan execution*. Sizes the context's session
+    /// [`WorkerPool`] (created at context construction; contexts at the
+    /// default count share one process-wide pool). With `threads > 1` the
+    /// plan interpreter routes operators with a parallel implementation
+    /// (partitioned scan pipelines, hash joins, aggregation, sort/top-k)
+    /// through the morsel-driven engine on that pool; `1` forces the serial
+    /// plan interpreter. The dense kernels in `rma-linalg` run on the same
+    /// substrate: constructing any context installs the process-wide
+    /// default-sized pool as their executor
+    /// ([`rma_linalg::install_parallelism`]), still budgeted by the shared
+    /// `RMA_THREADS` knob ([`rma_linalg::available_threads`]). Defaults to
+    /// [`default_threads`].
     pub threads: usize,
     /// Enable the cost-based join-order enumerator
     /// (`rma_core::plan::optimize`). Off, inner-join trees execute in the
@@ -203,22 +210,96 @@ impl AtomicStats {
     }
 }
 
-/// An execution context: options plus accumulated statistics. Create one
-/// per query (cheap) or keep one around per session. `Sync`: parallel
+/// The process-wide worker pool shared by every context running at the
+/// default thread count. Building it also installs it as the dense kernels'
+/// executor, so relational operators and matrix kernels run on one thread
+/// set. Never dropped: its workers are parked (not burning CPU) between
+/// jobs for the life of the process.
+fn global_pool() -> &'static Arc<WorkerPool> {
+    static POOL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let pool = Arc::new(WorkerPool::new(default_threads()));
+        let _ = rma_linalg::install_parallelism(Arc::new(PoolParallelism(Arc::clone(&pool))));
+        pool
+    })
+}
+
+/// Adapter: the session worker pool as the dense kernels' executor.
+struct PoolParallelism(Arc<WorkerPool>);
+
+impl rma_linalg::Parallelism for PoolParallelism {
+    fn threads(&self) -> usize {
+        self.0.threads()
+    }
+
+    fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        self.0.broadcast(f)
+    }
+}
+
+/// The pool a context with `threads` workers executes on: the shared
+/// process-wide pool at the default count, a private pool otherwise (an
+/// explicit non-default `RmaOptions::threads` gets exactly what it asked
+/// for without resizing anyone else's pool). The global pool — and with it
+/// the dense kernels' pooled executor — is brought up either way, so the
+/// "kernels ride the pool" guarantee holds for every context, not just
+/// default-threaded ones.
+fn pool_for(threads: usize) -> Arc<WorkerPool> {
+    let global = global_pool();
+    if threads.max(1) == default_threads() {
+        Arc::clone(global)
+    } else {
+        Arc::new(WorkerPool::new(threads))
+    }
+}
+
+/// An execution context: options plus accumulated statistics and the
+/// session worker pool every parallel operator of this context runs on.
+/// Create one per query (cheap — default-threaded contexts share one
+/// process-wide pool) or keep one around per session. `Sync`: parallel
 /// workers may share one context and record statistics concurrently.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RmaContext {
-    /// Execution options this context runs operations under.
+    /// Execution options this context runs operations under. `threads` is
+    /// read at construction to size the worker pool; mutate options through
+    /// a new context, not in place.
     pub options: RmaOptions,
     stats: AtomicStats,
+    pool: Arc<WorkerPool>,
+}
+
+impl Default for RmaContext {
+    fn default() -> Self {
+        RmaContext::new(RmaOptions::default())
+    }
 }
 
 impl RmaContext {
     /// Context with the given options and zeroed statistics.
     pub fn new(options: RmaOptions) -> Self {
+        let pool = pool_for(options.threads);
         RmaContext {
             options,
             stats: AtomicStats::default(),
+            pool,
+        }
+    }
+
+    /// The session worker pool this context's parallel operators run on.
+    /// Fixed threads, parked between jobs — consecutive `execute` calls
+    /// reuse them (see `rma_relation::par` for the job contract).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// A context with different options *sharing this context's pool* —
+    /// the plan interpreter's per-node backend overrides use this so an
+    /// override never spawns a second worker set.
+    pub(crate) fn with_options_shared_pool(&self, options: RmaOptions) -> RmaContext {
+        RmaContext {
+            options,
+            stats: AtomicStats::default(),
+            pool: Arc::clone(&self.pool),
         }
     }
 

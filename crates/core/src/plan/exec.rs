@@ -7,8 +7,10 @@
 //!
 //! Parallel routing: with `ctx.options.threads > 1`, `Scan→Select→Project`
 //! chains run as fused partition-parallel pipelines ([`super::par`]), and
-//! selections, hash joins, and aggregation run partition-parallel
-//! operator-at-a-time. Every other operator — and everything at
+//! selections, hash joins, aggregation, sort, and top-k run
+//! partition-parallel operator-at-a-time — all on the context's session
+//! [`WorkerPool`](rma_relation::WorkerPool) (`ctx.pool()`), never on
+//! per-operator thread spawns. Every other operator — and everything at
 //! `threads == 1` — takes the serial interpreter below, which is the
 //! fallback rule for operators without a parallel implementation.
 
@@ -22,8 +24,8 @@ pub fn execute(
     ctx: &RmaContext,
     provider: &dyn PartitionedTableProvider,
 ) -> Result<Relation, PlanError> {
-    let threads = ctx.options.threads;
-    if threads > 1 {
+    let pool = ctx.pool();
+    if pool.threads() > 1 {
         if let Some(result) = par::try_pipeline(plan, ctx, provider) {
             return result;
         }
@@ -41,8 +43,8 @@ pub fn execute(
         LogicalPlan::Select { input, predicate } => {
             let r = execute(input, ctx, provider)?;
             // select_parallel (like the other *_parallel operators) runs
-            // the serial operator itself when threads <= 1
-            Ok(rel::select_parallel(&r, predicate, threads)?)
+            // the serial operator itself on a single-worker pool
+            Ok(rel::select_parallel(&r, predicate, pool)?)
         }
         LogicalPlan::Project { input, items } => {
             let r = execute(input, ctx, provider)?;
@@ -57,19 +59,19 @@ pub fn execute(
         } => {
             let r = execute(input, ctx, provider)?;
             let gb: Vec<&str> = group_by.iter().map(String::as_str).collect();
-            Ok(rel::aggregate_parallel(&r, &gb, aggs, threads)?)
+            Ok(rel::aggregate_parallel(&r, &gb, aggs, pool)?)
         }
         LogicalPlan::NaturalJoin { left, right } => {
             let l = execute(left, ctx, provider)?;
             let r = execute(right, ctx, provider)?;
-            Ok(rel::natural_join_parallel(&l, &r, threads)?)
+            Ok(rel::natural_join_parallel(&l, &r, pool)?)
         }
         LogicalPlan::JoinOn { left, right, on } => {
             let l = execute(left, ctx, provider)?;
             let r = execute(right, ctx, provider)?;
             let pairs: Vec<(&str, &str)> =
                 on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
-            Ok(rel::join_on_parallel(&l, &r, &pairs, threads)?)
+            Ok(rel::join_on_parallel(&l, &r, &pairs, pool)?)
         }
         LogicalPlan::Cross { left, right } => {
             let l = execute(left, ctx, provider)?;
@@ -89,7 +91,8 @@ pub fn execute(
             let r = execute(input, ctx, provider)?;
             let attrs: Vec<&str> = keys.iter().map(|(k, _)| k.as_str()).collect();
             let dirs: Vec<bool> = keys.iter().map(|(_, asc)| *asc).collect();
-            Ok(rel::order_by(&r, &attrs, &dirs)?)
+            // per-worker local sorts + k-way merge; the result is a view
+            Ok(rel::order_by_parallel(&r, &attrs, &dirs, pool)?)
         }
         LogicalPlan::Limit { input, n } => {
             let r = execute(input, ctx, provider)?;
@@ -99,7 +102,8 @@ pub fn execute(
             let r = execute(input, ctx, provider)?;
             let attrs: Vec<&str> = keys.iter().map(|(k, _)| k.as_str()).collect();
             let dirs: Vec<bool> = keys.iter().map(|(_, asc)| *asc).collect();
-            Ok(rel::top_k(&r, &attrs, &dirs, *n)?)
+            // per-worker bounded heaps merged at the barrier
+            Ok(rel::top_k_parallel(&r, &attrs, &dirs, *n, pool)?)
         }
         LogicalPlan::Rma { op, args, backend } => {
             let expected = if op.is_binary() { 2 } else { 1 };
@@ -118,7 +122,7 @@ pub fn execute(
                 .collect::<Result<_, _>>()?;
             match backend {
                 Some(b) if *b != ctx.options.backend => {
-                    let sub = RmaContext::new(RmaOptions {
+                    let sub = ctx.with_options_shared_pool(RmaOptions {
                         backend: *b,
                         ..ctx.options.clone()
                     });

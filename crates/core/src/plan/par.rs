@@ -5,10 +5,13 @@
 //! a single scan. Because every stage maps each input row independently, the
 //! whole chain runs per *morsel* — one contiguous row range of the scanned
 //! table — with no synchronisation until the final reassembly. Workers claim
-//! morsels from a shared counter ([`rma_relation::for_each_partition`]), so
+//! morsels from a shared counter ([`rma_relation::WorkerPool::for_each`]), so
 //! a selective filter that empties one range simply frees its worker for the
-//! next morsel. Results are concatenated in range order, which makes the
-//! parallel pipeline produce exactly the serial interpreter's rows.
+//! next morsel. Workers are the context's session pool
+//! ([`rma_relation::WorkerPool`], `ctx.pool()`) — parked between jobs, never
+//! respawned per operator. Results are concatenated in range order, which
+//! makes the parallel pipeline produce exactly the serial interpreter's
+//! rows.
 //!
 //! Late materialization: a morsel is a *range-SelVec view* over the shared
 //! base columns — claiming one copies nothing — and σ/π keep it a view, so
@@ -24,8 +27,7 @@
 use super::{LogicalPlan, PartitionedTableProvider, PlanError};
 use crate::context::RmaContext;
 use rma_relation::{
-    self as rel, for_each_partition, morsel_count, par::MIN_PARALLEL_ROWS, partition_ranges, Expr,
-    Relation,
+    self as rel, morsel_count, par::MIN_PARALLEL_ROWS, partition_ranges, Expr, Relation,
 };
 use std::ops::Range;
 
@@ -46,7 +48,8 @@ pub(super) fn try_pipeline(
     ctx: &RmaContext,
     provider: &dyn PartitionedTableProvider,
 ) -> Option<Result<Relation, PlanError>> {
-    let threads = ctx.options.threads;
+    let pool = ctx.pool();
+    let threads = pool.threads();
 
     // peel the row-local stages off the top of the plan
     let mut stages: Vec<Stage> = Vec::new();
@@ -101,7 +104,7 @@ pub(super) fn try_pipeline(
         ))));
     }
 
-    let results = for_each_partition(threads, &ranges, |_, range| {
+    let results = pool.for_each(&ranges, |_, range| {
         run_stages(base, projection, range.clone(), &stages)
     });
     let mut parts = Vec::with_capacity(results.len());

@@ -2,7 +2,8 @@
 //! products the RMA operations need (MMU, CPD, OPD).
 //!
 //! The kernel is a cache-blocked `C += A·B` over column-major storage with a
-//! column-parallel outer loop (`std::thread::scope`), standing in for the
+//! column-parallel outer loop on the shared executor (the session worker
+//! pool once installed — see [`crate::threads`]), standing in for the
 //! multi-threaded MKL of the paper.
 
 use super::matrix::Matrix;
@@ -46,34 +47,31 @@ pub use crate::threads::available_threads;
 fn matmul_parallel(a: &Matrix, b: &Matrix, c: &mut Matrix, threads: usize) {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     // Split C into contiguous column chunks: in column-major layout a chunk
-    // of columns is a contiguous mutable slice, so each thread owns disjoint
-    // memory and no synchronisation is needed.
+    // of columns is a contiguous mutable slice, so each worker owns disjoint
+    // memory and no synchronisation is needed. Workers come from the shared
+    // executor (the session worker pool once installed), not per-call spawns.
     let chunk_cols = n.div_ceil(threads).max(1);
     let buf = c.as_mut_slice();
-    std::thread::scope(|scope| {
-        for (chunk_id, chunk) in buf.chunks_mut(chunk_cols * m).enumerate() {
-            let j_start = chunk_id * chunk_cols;
-            scope.spawn(move || {
-                let ncols = chunk.len() / m;
-                for l0 in (0..k).step_by(BLOCK) {
-                    let lmax = (l0 + BLOCK).min(k);
-                    for jc in 0..ncols {
-                        let j = j_start + jc;
-                        let bj = b.col(j);
-                        let cj = &mut chunk[jc * m..(jc + 1) * m];
-                        for l in l0..lmax {
-                            let blj = bj[l];
-                            if blj == 0.0 {
-                                continue;
-                            }
-                            let al = a.col(l);
-                            for i in 0..m {
-                                cj[i] += al[i] * blj;
-                            }
-                        }
+    crate::threads::par_chunks_mut(buf, chunk_cols * m, |chunk_id, _start, chunk| {
+        let j_start = chunk_id * chunk_cols;
+        let ncols = chunk.len() / m;
+        for l0 in (0..k).step_by(BLOCK) {
+            let lmax = (l0 + BLOCK).min(k);
+            for jc in 0..ncols {
+                let j = j_start + jc;
+                let bj = b.col(j);
+                let cj = &mut chunk[jc * m..(jc + 1) * m];
+                for l in l0..lmax {
+                    let blj = bj[l];
+                    if blj == 0.0 {
+                        continue;
+                    }
+                    let al = a.col(l);
+                    for i in 0..m {
+                        cj[i] += al[i] * blj;
                     }
                 }
-            });
+            }
         }
     });
 }
@@ -123,20 +121,17 @@ pub fn crossprod(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
     let threads = available_threads();
     if threads > 1 && n > 1 && m * n * k >= PAR_FLOPS {
         // split C into contiguous column chunks (disjoint in column-major
-        // layout); each worker computes the dot products of its columns
+        // layout); each worker computes the dot products of its columns,
+        // claiming chunks on the shared executor
         let chunk_cols = n.div_ceil(threads).max(1);
         let buf = c.as_mut_slice();
-        std::thread::scope(|scope| {
-            for (chunk_id, chunk) in buf.chunks_mut(chunk_cols * m).enumerate() {
-                let j_start = chunk_id * chunk_cols;
-                scope.spawn(move || {
-                    for (jc, cj) in chunk.chunks_mut(m).enumerate() {
-                        let bj = b.col(j_start + jc);
-                        for (i, out) in cj.iter_mut().enumerate() {
-                            *out = dot(a.col(i), bj);
-                        }
-                    }
-                });
+        crate::threads::par_chunks_mut(buf, chunk_cols * m, |chunk_id, _start, chunk| {
+            let j_start = chunk_id * chunk_cols;
+            for (jc, cj) in chunk.chunks_mut(m).enumerate() {
+                let bj = b.col(j_start + jc);
+                for (i, out) in cj.iter_mut().enumerate() {
+                    *out = dot(a.col(i), bj);
+                }
             }
         });
     } else {

@@ -280,16 +280,11 @@ impl Matrix {
 const PAR_ELEMWISE_MIN: usize = 1 << 15;
 
 /// Split `out` into `threads` contiguous chunks and run `f(start, chunk)`
-/// for each on a scoped worker thread. Chunks are disjoint, so workers need
-/// no synchronisation.
+/// for each on the shared executor's workers (the session worker pool once
+/// installed). Chunks are disjoint, so workers need no synchronisation.
 fn elementwise_chunks(threads: usize, out: &mut [f64], f: impl Fn(usize, &mut [f64]) + Sync) {
     let chunk = out.len().div_ceil(threads).max(1);
-    let f = &f;
-    std::thread::scope(|scope| {
-        for (k, dst) in out.chunks_mut(chunk).enumerate() {
-            scope.spawn(move || f(k * chunk, dst));
-        }
-    });
+    crate::threads::par_chunks_mut(out, chunk, |_, start, dst| f(start, dst));
 }
 
 impl fmt::Display for Matrix {

@@ -23,4 +23,4 @@ pub mod threads;
 
 pub use dense::Matrix;
 pub use error::LinalgError;
-pub use threads::available_threads;
+pub use threads::{available_threads, install_parallelism, par_chunks_mut, Parallelism};

@@ -10,6 +10,7 @@ mod parallel;
 mod project;
 mod select;
 mod setops;
+mod sort;
 
 pub use aggregate::{aggregate, AggFunc, AggSpec};
 pub use join::{cross_product, join_on, natural_join, theta_join};
@@ -17,6 +18,7 @@ pub use parallel::{aggregate_parallel, join_on_parallel, natural_join_parallel, 
 pub use project::{project, project_exprs, rename};
 pub use select::select;
 pub use setops::{distinct, limit, order_by, top_k, union_all};
+pub use sort::{order_by_parallel, top_k_parallel};
 
 use rma_storage::{Column, ColumnData};
 use std::hash::{Hash, Hasher};

@@ -1,5 +1,5 @@
 //! Partition-parallel relational operators: σ, ϑ, and hash joins over
-//! row-range morsels (`crate::par`).
+//! row-range morsels, executed on a shared [`WorkerPool`] (`crate::par`).
 //!
 //! Every operator here is *exactly* result-equivalent to its serial
 //! counterpart, including row order: morsels are contiguous row ranges and
@@ -8,9 +8,10 @@
 //! accumulation order does change — partial sums per morsel are merged at
 //! the barrier — which is the usual contract of parallel aggregation.)
 //!
-//! With `threads <= 1` each function delegates to the serial operator, which
-//! is also the fallback rule the plan executor applies to operators without
-//! a parallel implementation.
+//! With a single-worker pool each function delegates to the serial
+//! operator, which is also the fallback rule the plan executor applies to
+//! operators without a parallel implementation. Operators never spawn
+//! threads themselves: every job runs on the pool's parked workers.
 
 use super::aggregate::{accumulate, finalize, resolve_agg_cols, validate_aggs, Partial};
 use super::join::{
@@ -19,7 +20,7 @@ use super::join::{
 use super::{AggSpec, KeyPart};
 use crate::error::RelationError;
 use crate::expr::Expr;
-use crate::par::{for_each_partition, morsel_count, partition_ranges, MIN_PARALLEL_ROWS};
+use crate::par::{morsel_count, partition_ranges, WorkerPool, MIN_PARALLEL_ROWS};
 use crate::relation::Relation;
 use std::collections::HashMap;
 
@@ -32,8 +33,9 @@ use std::collections::HashMap;
 pub fn select_parallel(
     r: &Relation,
     predicate: &Expr,
-    threads: usize,
+    pool: &WorkerPool,
 ) -> Result<Relation, RelationError> {
+    let threads = pool.threads();
     let mut refs: Vec<String> = Vec::new();
     predicate.referenced_columns(&mut refs);
     refs.sort();
@@ -45,7 +47,7 @@ pub fn select_parallel(
     // a zero-copy view of just the referenced attributes
     let pred_view = super::project(r, &ref_names)?;
     let ranges = partition_ranges(r.len(), morsel_count(threads, r.len()));
-    let keeps = for_each_partition(threads, &ranges, |_, range| {
+    let keeps = pool.for_each(&ranges, |_, range| {
         predicate.eval_filter(&pred_view.slice(range.clone()))
     });
     let mut keep = Vec::with_capacity(r.len());
@@ -62,8 +64,9 @@ pub fn aggregate_parallel(
     r: &Relation,
     group_by: &[&str],
     aggs: &[AggSpec],
-    threads: usize,
+    pool: &WorkerPool,
 ) -> Result<Relation, RelationError> {
+    let threads = pool.threads();
     if threads <= 1 || r.len() < MIN_PARALLEL_ROWS {
         return super::aggregate(r, group_by, aggs);
     }
@@ -71,7 +74,7 @@ pub fn aggregate_parallel(
     let group_cols = r.columns_of(group_by)?;
     let agg_cols = resolve_agg_cols(r, aggs)?;
     let ranges = partition_ranges(r.len(), morsel_count(threads, r.len()));
-    let partials = for_each_partition(threads, &ranges, |_, range| {
+    let partials = pool.for_each(&ranges, |_, range| {
         accumulate(&group_cols, &agg_cols, aggs, range.clone(), false)
     });
 
@@ -113,17 +116,17 @@ pub fn join_on_parallel(
     a: &Relation,
     b: &Relation,
     on: &[(&str, &str)],
-    threads: usize,
+    pool: &WorkerPool,
 ) -> Result<Relation, RelationError> {
     if on.is_empty() {
         return Err(RelationError::Expression(
             "equi-join requires at least one key pair".to_string(),
         ));
     }
-    if threads <= 1 || (a.len() < MIN_PARALLEL_ROWS && b.len() < MIN_PARALLEL_ROWS) {
+    if pool.threads() <= 1 || (a.len() < MIN_PARALLEL_ROWS && b.len() < MIN_PARALLEL_ROWS) {
         return super::join_on(a, b, on);
     }
-    let (left_idx, right_idx) = parallel_join_indices(a, b, on, threads)?;
+    let (left_idx, right_idx) = parallel_join_indices(a, b, on, pool)?;
     assemble_join(a, b, left_idx, right_idx, &[])
 }
 
@@ -132,9 +135,9 @@ pub fn join_on_parallel(
 pub fn natural_join_parallel(
     a: &Relation,
     b: &Relation,
-    threads: usize,
+    pool: &WorkerPool,
 ) -> Result<Relation, RelationError> {
-    if threads <= 1 || (a.len() < MIN_PARALLEL_ROWS && b.len() < MIN_PARALLEL_ROWS) {
+    if pool.threads() <= 1 || (a.len() < MIN_PARALLEL_ROWS && b.len() < MIN_PARALLEL_ROWS) {
         return super::natural_join(a, b);
     }
     let common = common_attributes(a, b);
@@ -142,7 +145,7 @@ pub fn natural_join_parallel(
         return super::cross_product(a, b);
     }
     let pairs: Vec<(&str, &str)> = common.iter().map(|&n| (n, n)).collect();
-    let (left_idx, right_idx) = parallel_join_indices(a, b, &pairs, threads)?;
+    let (left_idx, right_idx) = parallel_join_indices(a, b, &pairs, pool)?;
     assemble_join(a, b, left_idx, right_idx, &common)
 }
 
@@ -150,8 +153,9 @@ fn parallel_join_indices(
     a: &Relation,
     b: &Relation,
     on: &[(&str, &str)],
-    threads: usize,
+    pool: &WorkerPool,
 ) -> Result<(Vec<usize>, Vec<usize>), RelationError> {
+    let threads = pool.threads();
     let (probe, build) = join_key_sides(a, b, on)?;
 
     // build: per-morsel tables over the right side, merged in morsel order.
@@ -159,7 +163,7 @@ fn parallel_join_indices(
     // ascending ranges, so each bucket's merged match list is exactly the
     // serial one.
     let build_ranges = partition_ranges(b.len(), morsel_count(threads, b.len()));
-    let tables = for_each_partition(threads, &build_ranges, |_, range| {
+    let tables = pool.for_each(&build_ranges, |_, range| {
         build_side_range(&build, range.clone())
     });
     let mut table: HashMap<u64, Vec<usize>> = HashMap::with_capacity(b.len());
@@ -171,7 +175,7 @@ fn parallel_join_indices(
 
     // probe: morsels of the left side, results concatenated in morsel order
     let probe_ranges = partition_ranges(a.len(), morsel_count(threads, a.len()));
-    let pairs = for_each_partition(threads, &probe_ranges, |_, range| {
+    let pairs = pool.for_each(&probe_ranges, |_, range| {
         probe_range(&table, &build, &probe, range.clone())
     });
     let mut left_idx = Vec::new();
@@ -211,7 +215,8 @@ mod tests {
             .gt(Expr::lit(5.0))
             .and(Expr::col("k").lt(Expr::lit(11i64)));
         for threads in [2, 4, 8] {
-            let par = select_parallel(&r, &p, threads).unwrap();
+            let pool = WorkerPool::new(threads);
+            let par = select_parallel(&r, &p, &pool).unwrap();
             let ser = select(&r, &p).unwrap();
             assert_eq!(par, ser, "threads={threads}");
             assert_eq!(par.name(), Some("sample"));
@@ -222,7 +227,11 @@ mod tests {
     fn parallel_select_literal_predicate_falls_back() {
         let r = sample(50);
         let p = Expr::lit(1i64).eq(Expr::lit(1i64));
-        assert_eq!(select_parallel(&r, &p, 4).unwrap(), select(&r, &p).unwrap());
+        let pool = WorkerPool::new(4);
+        assert_eq!(
+            select_parallel(&r, &p, &pool).unwrap(),
+            select(&r, &p).unwrap()
+        );
     }
 
     #[test]
@@ -236,7 +245,8 @@ mod tests {
             AggSpec::new(AggFunc::Max, Some("tag"), "hi"),
         ];
         for threads in [2, 4] {
-            let par = aggregate_parallel(&r, &["k"], &aggs, threads).unwrap();
+            let pool = WorkerPool::new(threads);
+            let par = aggregate_parallel(&r, &["k"], &aggs, &pool).unwrap();
             let ser = aggregate(&r, &["k"], &aggs).unwrap();
             // x is integer-valued, so partial-sum merge order is exact
             assert_eq!(par, ser, "threads={threads}");
@@ -247,17 +257,18 @@ mod tests {
     fn parallel_global_aggregate_and_empty_input() {
         let r = sample(2400);
         let aggs = [AggSpec::count_star("n"), AggSpec::sum("x", "s")];
+        let pool = WorkerPool::new(4);
         assert_eq!(
-            aggregate_parallel(&r, &[], &aggs, 4).unwrap(),
+            aggregate_parallel(&r, &[], &aggs, &pool).unwrap(),
             aggregate(&r, &[], &aggs).unwrap()
         );
         let empty = r.take(&[]);
         assert_eq!(
-            aggregate_parallel(&empty, &[], &aggs, 4).unwrap(),
+            aggregate_parallel(&empty, &[], &aggs, &pool).unwrap(),
             aggregate(&empty, &[], &aggs).unwrap()
         );
         assert_eq!(
-            aggregate_parallel(&empty, &["k"], &aggs, 4).unwrap(),
+            aggregate_parallel(&empty, &["k"], &aggs, &pool).unwrap(),
             aggregate(&empty, &["k"], &aggs).unwrap()
         );
     }
@@ -275,7 +286,8 @@ mod tests {
                 .unwrap()
         };
         for threads in [2, 4] {
-            let par = join_on_parallel(&a, &b, &[("k", "j")], threads).unwrap();
+            let pool = WorkerPool::new(threads);
+            let par = join_on_parallel(&a, &b, &[("k", "j")], &pool).unwrap();
             let ser = join_on(&a, &b, &[("k", "j")]).unwrap();
             assert_eq!(par, ser, "threads={threads}");
         }
@@ -293,7 +305,8 @@ mod tests {
                 .build()
                 .unwrap()
         };
-        let par = natural_join_parallel(&a, &b, 4).unwrap();
+        let pool = WorkerPool::new(4);
+        let par = natural_join_parallel(&a, &b, &pool).unwrap();
         let ser = natural_join(&a, &b).unwrap();
         assert_eq!(par, ser);
         // no common attributes → cross product, same as serial
@@ -302,7 +315,7 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(
-            natural_join_parallel(&b, &c, 4).unwrap(),
+            natural_join_parallel(&b, &c, &pool).unwrap(),
             natural_join(&b, &c).unwrap()
         );
     }
@@ -310,6 +323,6 @@ mod tests {
     #[test]
     fn parallel_join_empty_on_rejected() {
         let r = sample(10);
-        assert!(join_on_parallel(&r, &r, &[], 4).is_err());
+        assert!(join_on_parallel(&r, &r, &[], &WorkerPool::new(4)).is_err());
     }
 }

@@ -64,9 +64,11 @@ pub fn order_by(
 }
 
 /// Top-k: the first `n` rows of `ORDER BY attrs` without materialising the
-/// full sort. A bounded binary max-heap of row indices keeps the current k
-/// best rows; each remaining row either displaces the heap root or is
-/// dropped, so the cost is O(|r| log n) instead of O(|r| log |r|).
+/// full sort. A bounded binary max-heap of row indices (the same
+/// `bounded_top_k` helper each parallel worker runs — see
+/// `algebra::sort`) keeps the current k best rows; each remaining row
+/// either displaces the heap root or is dropped, so the cost is
+/// O(|r| log n) instead of O(|r| log |r|).
 ///
 /// Ties are broken by row index, which makes the result identical to
 /// `limit(order_by(r, ...), n, 0)` (the stable serial sort).
@@ -76,71 +78,13 @@ pub fn top_k(
     ascending: &[bool],
     n: usize,
 ) -> Result<Relation, RelationError> {
-    if !ascending.is_empty() && ascending.len() != attrs.len() {
-        return Err(RelationError::ArityMismatch {
-            expected: attrs.len(),
-            found: ascending.len(),
-        });
-    }
-    let cols = r.columns_of(attrs)?;
-    let cmp = |&x: &usize, &y: &usize| -> std::cmp::Ordering {
-        for (k, c) in cols.iter().enumerate() {
-            let asc = ascending.get(k).copied().unwrap_or(true);
-            let ord = c.cmp_rows(x, y);
-            let ord = if asc { ord } else { ord.reverse() };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
-            }
-        }
-        x.cmp(&y) // index tie-break = stable-sort order
-    };
+    let keys = super::sort::SortKeys::new(r, attrs, ascending)?;
     if n == 0 {
         return Ok(r.take(&[]));
     }
-    // bounded max-heap over row indices: heap[0] is the worst of the k best
-    let mut heap: Vec<usize> = Vec::with_capacity(n.min(r.len()));
-    let sift_up = |heap: &mut Vec<usize>, mut i: usize| {
-        while i > 0 {
-            let parent = (i - 1) / 2;
-            if cmp(&heap[i], &heap[parent]).is_gt() {
-                heap.swap(i, parent);
-                i = parent;
-            } else {
-                break;
-            }
-        }
-    };
-    let sift_down = |heap: &mut Vec<usize>| {
-        let len = heap.len();
-        let mut i = 0;
-        loop {
-            let (l, rgt) = (2 * i + 1, 2 * i + 2);
-            let mut largest = i;
-            if l < len && cmp(&heap[l], &heap[largest]).is_gt() {
-                largest = l;
-            }
-            if rgt < len && cmp(&heap[rgt], &heap[largest]).is_gt() {
-                largest = rgt;
-            }
-            if largest == i {
-                break;
-            }
-            heap.swap(i, largest);
-            i = largest;
-        }
-    };
-    for i in 0..r.len() {
-        if heap.len() < n {
-            heap.push(i);
-            let last = heap.len() - 1;
-            sift_up(&mut heap, last);
-        } else if cmp(&i, &heap[0]).is_lt() {
-            heap[0] = i;
-            sift_down(&mut heap);
-        }
-    }
-    heap.sort_by(cmp);
-    Ok(r.take(&heap))
+    let mut best = super::sort::bounded_top_k(0..r.len(), n, &keys);
+    best.sort_unstable_by(|&x, &y| keys.cmp(x, y));
+    Ok(r.take(&best))
 }
 
 /// `LIMIT n` (with optional `OFFSET`).

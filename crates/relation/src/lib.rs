@@ -15,12 +15,13 @@ pub mod stats;
 
 pub use algebra::{
     aggregate, aggregate_parallel, cross_product, distinct, join_on, join_on_parallel, limit,
-    natural_join, natural_join_parallel, order_by, project, project_exprs, rename, select,
-    select_parallel, theta_join, top_k, union_all, AggFunc, AggSpec,
+    natural_join, natural_join_parallel, order_by, order_by_parallel, project, project_exprs,
+    rename, select, select_parallel, theta_join, top_k, top_k_parallel, union_all, AggFunc,
+    AggSpec,
 };
 pub use error::RelationError;
 pub use expr::{BinOp, Expr, ScalarFunc};
-pub use par::{for_each_partition, morsel_count, partition_ranges};
+pub use par::{morsel_count, partition_ranges, threads_spawned, WorkerPool};
 pub use relation::{Relation, RelationBuilder};
 pub use schema::{Attribute, Schema};
 pub use stats::Statistics;

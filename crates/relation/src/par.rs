@@ -1,5 +1,5 @@
 //! Morsel-driven parallelism primitives: the row-range partitioner and a
-//! small work-claiming scheduler on `std::thread`.
+//! session-lifetime [`WorkerPool`].
 //!
 //! A *morsel* is a contiguous row range of a relation. Parallel operators
 //! split their input into morsels and let a fixed set of worker threads
@@ -8,16 +8,50 @@
 //! per-task queues or external dependencies. Results are reassembled in
 //! morsel order, so parallel execution is deterministic and produces the
 //! same row order as the serial operator.
+//!
+//! ## The worker pool
+//!
+//! Before the pool, every parallel operator spawned (and joined) its own
+//! `std::thread::scope` worker set, so a multi-operator plan paid thread
+//! startup per pipeline stage. A [`WorkerPool`] spawns its workers once and
+//! parks them on a condvar between jobs; a *job* is one closure every
+//! worker runs concurrently (the closure does its own morsel claiming from
+//! an atomic counter — see [`WorkerPool::for_each`]). The submitting thread
+//! participates as worker `0`, so a pool of `n` threads spawns `n - 1` OS
+//! threads and `threads = 1` degenerates to inline serial execution with no
+//! spawned workers at all.
+//!
+//! **Job contract** (what an operator must guarantee to enlist):
+//!
+//! - the job closure is `Fn(usize) + Sync`: it is called once per worker,
+//!   concurrently, with the worker index in `0..threads()`;
+//! - all sharing goes through `&`-captured state (atomics, `Mutex`, or
+//!   disjoint writes); the pool adds no synchronisation of its own beyond
+//!   the completion barrier;
+//! - [`WorkerPool::broadcast`] does not return until every worker has
+//!   finished the job, so the closure may freely borrow from the caller's
+//!   stack (this is also what makes the internal lifetime erasure sound);
+//! - jobs should run leaf computations (plan recursion happens between
+//!   jobs, on the submitting thread); if code inside a job does submit
+//!   another job — to any pool — the nested job is detected and runs
+//!   inline on the current thread instead of deadlocking on the
+//!   submission lock.
+//!
+//! Panics inside a job are caught at the worker, the barrier still
+//! completes, and the submitting call re-panics — the pool itself stays
+//! usable.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Morsels per worker thread: enough slack that an uneven morsel (e.g. a
 /// selective filter hitting one range) rebalances onto idle workers.
 const MORSELS_PER_THREAD: usize = 4;
 
 /// Inputs below this many rows run the serial operator even when threads
-/// are available: thread spawn/join costs tens of microseconds, which
+/// are available: handing a job to parked workers costs microseconds, which
 /// dwarfs the operator itself on small relations (the relational analogue
 /// of the dense kernels' element thresholds).
 pub const MIN_PARALLEL_ROWS: usize = 1024;
@@ -49,44 +83,285 @@ pub fn morsel_count(threads: usize, len: usize) -> usize {
     (threads.max(1) * MORSELS_PER_THREAD).min(len).max(1)
 }
 
-/// Run `f` over every item on up to `threads` scoped worker threads and
-/// return the results in item order. Workers claim items from a shared
-/// counter (morsel-driven dispatch); with `threads <= 1` or a single item
-/// the work runs inline on the caller's thread.
-pub fn for_each_partition<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+/// Total worker threads ever spawned by pools in this process. The
+/// pool-reuse tests watch this: consecutive jobs on one pool must not move
+/// it.
+static THREADS_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+/// How many pool worker threads this process has spawned so far (across all
+/// pools; workers park between jobs and are only ever spawned at pool
+/// construction, so a stable value across queries proves thread reuse).
+pub fn threads_spawned() -> usize {
+    THREADS_SPAWNED.load(Ordering::SeqCst)
+}
+
+/// The current job, type-erased. The pointee lives on the submitting
+/// thread's stack; [`WorkerPool::broadcast`] blocks until every worker is
+/// done with it, which is what makes sending the raw pointer sound.
+struct JobSlot(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointer is only dereferenced while `broadcast` — which owns
+// the pointee — is blocked on the completion barrier.
+unsafe impl Send for JobSlot {}
+
+/// Shared state between the pool handle and its workers.
+struct PoolState {
+    /// Valid exactly while `epoch` is ahead of a worker's last-seen epoch.
+    job: Option<JobSlot>,
+    /// Bumped once per job; how parked workers detect new work.
+    epoch: u64,
+    /// Workers still running the current job.
+    active: usize,
+    /// A worker caught a panic in the current job.
+    panicked: bool,
+    /// Set by `Drop`: workers exit instead of waiting for the next epoch.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between jobs.
+    work: Condvar,
+    /// The submitter parks here until `active` returns to zero.
+    done: Condvar,
+}
+
+/// Mutex helper: pool state is only ever mutated under the lock by pool
+/// code (never by job closures), so a poisoned lock can only mean a panic
+/// in the pool itself — propagate it.
+fn lock(shared: &PoolShared) -> MutexGuard<'_, PoolState> {
+    shared.state.lock().expect("worker pool state poisoned")
+}
+
+thread_local! {
+    /// Is the current thread inside a pool job? Guards against nested
+    /// submission deadlocking on the (non-reentrant) submission lock —
+    /// nested jobs degrade to inline execution instead.
+    static IN_POOL_JOB: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Run `f` with the current thread marked as executing a pool job (restored
+/// on unwind via the drop guard).
+fn run_marked_in_job<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            IN_POOL_JOB.set(self.0);
+        }
     }
-    let workers = threads.min(items.len());
-    let next = AtomicUsize::new(0);
-    let f = &f;
-    let next = &next;
-    let mut collected: Vec<(usize, R)> = Vec::with_capacity(items.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        out.push((i, f(i, item)));
-                    }
-                    out
-                })
+    let _reset = Reset(IN_POOL_JOB.replace(true));
+    f()
+}
+
+/// A fixed set of worker threads parked between jobs — the one execution
+/// substrate every parallel operator runs on.
+///
+/// Create one per session (`rma-core`'s `RmaContext` owns one, sized from
+/// `RmaOptions::threads` / the `RMA_THREADS` env knob) and submit jobs with
+/// [`WorkerPool::broadcast`] or the morsel-claiming
+/// [`WorkerPool::for_each`]. Dropping the pool wakes and joins the workers.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Serialises job submission: one job runs at a time.
+    submit: Mutex<()>,
+    /// Jobs completed (tests use this to prove an operator enlisted).
+    jobs_run: AtomicU64,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads())
+            .field("jobs_run", &self.jobs_run())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool of `threads` workers (`threads - 1` spawned OS threads; the
+    /// submitting thread is worker `0`). `threads <= 1` spawns nothing and
+    /// runs every job inline.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+                active: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                THREADS_SPAWNED.fetch_add(1, Ordering::SeqCst);
+                std::thread::Builder::new()
+                    .name(format!("rma-pool-{id}"))
+                    .spawn(move || worker_loop(&shared, id))
+                    .expect("spawn pool worker")
             })
             .collect();
-        for h in handles {
-            collected.extend(h.join().expect("morsel worker panicked"));
+        WorkerPool {
+            shared,
+            handles,
+            submit: Mutex::new(()),
+            jobs_run: AtomicU64::new(0),
         }
-    });
-    collected.sort_unstable_by_key(|(i, _)| *i);
-    collected.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Total workers, including the submitting thread (always ≥ 1).
+    pub fn threads(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Jobs this pool has completed since construction.
+    pub fn jobs_run(&self) -> u64 {
+        self.jobs_run.load(Ordering::SeqCst)
+    }
+
+    /// Run `f(worker)` once per worker, concurrently, and return when every
+    /// worker is done. See the module docs for the job contract. With no
+    /// spawned workers the job runs inline as worker `0`.
+    ///
+    /// Nested submission — `broadcast` called from inside a running job
+    /// (e.g. a kernel that parallelises through a pool reached from an
+    /// operator already on one) — would deadlock on the submission lock, so
+    /// it is detected and degraded to inline execution: the nested job runs
+    /// serially as worker `0` on the current thread, which is correct for
+    /// claim-loop jobs (one worker claims everything).
+    pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.handles.is_empty() || IN_POOL_JOB.get() {
+            f(0);
+            self.jobs_run.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+        // the guard only serialises submission; a propagated job panic
+        // poisons it without leaving any state behind — recover and go on
+        let _submit = self
+            .submit
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        {
+            let mut st = lock(&self.shared);
+            // SAFETY (lifetime erasure): we block below until `active == 0`,
+            // i.e. until no worker can touch the pointer again, and clear the
+            // slot before returning — the pointee outlives every dereference.
+            let raw = unsafe {
+                std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                    f as *const (dyn Fn(usize) + Sync),
+                )
+            };
+            st.job = Some(JobSlot(raw));
+            st.epoch += 1;
+            st.active = self.handles.len();
+            st.panicked = false;
+            self.shared.work.notify_all();
+        }
+        // the submitter is worker 0; catch a panic so the barrier below
+        // still runs and the job pointer stays valid until workers finish
+        let caller = catch_unwind(AssertUnwindSafe(|| run_marked_in_job(|| f(0))));
+        let mut st = lock(&self.shared);
+        while st.active > 0 {
+            st = self
+                .shared
+                .done
+                .wait(st)
+                .expect("worker pool state poisoned");
+        }
+        st.job = None;
+        let worker_panicked = st.panicked;
+        drop(st);
+        self.jobs_run.fetch_add(1, Ordering::SeqCst);
+        match caller {
+            Err(payload) => resume_unwind(payload),
+            Ok(()) if worker_panicked => panic!("worker pool job panicked on a worker thread"),
+            Ok(()) => {}
+        }
+    }
+
+    /// Run `f` over every item, workers claiming items from a shared
+    /// counter (morsel-driven dispatch), and return the results in item
+    /// order. With one worker or at most one item the work runs inline on
+    /// the caller's thread.
+    pub fn for_each<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.handles.is_empty() || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+        self.broadcast(&|_worker| {
+            let mut local = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                local.push((i, f(i, item)));
+            }
+            if !local.is_empty() {
+                collected
+                    .lock()
+                    .expect("for_each result sink poisoned")
+                    .extend(local);
+            }
+        });
+        let mut collected = collected
+            .into_inner()
+            .expect("for_each result sink poisoned");
+        collected.sort_unstable_by_key(|(i, _)| *i);
+        collected.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared);
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, id: usize) {
+    let mut seen = 0u64;
+    loop {
+        let raw = {
+            let mut st = lock(shared);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.job.as_ref().expect("job set with epoch").0;
+                }
+                st = shared.work.wait(st).expect("worker pool state poisoned");
+            }
+        };
+        // SAFETY: `broadcast` keeps the pointee alive until `active == 0`,
+        // and we only decrement `active` after the last use of `raw`.
+        let f = unsafe { &*raw };
+        let ok = catch_unwind(AssertUnwindSafe(|| run_marked_in_job(|| f(id)))).is_ok();
+        let mut st = lock(shared);
+        if !ok {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done.notify_all();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -129,9 +404,10 @@ mod tests {
     }
 
     #[test]
-    fn scheduler_preserves_item_order() {
+    fn pool_for_each_preserves_item_order() {
+        let pool = WorkerPool::new(4);
         let items: Vec<usize> = (0..100).collect();
-        let out = for_each_partition(4, &items, |i, &x| {
+        let out = pool.for_each(&items, |i, &x| {
             assert_eq!(i, x);
             x * 2
         });
@@ -139,13 +415,103 @@ mod tests {
     }
 
     #[test]
-    fn scheduler_runs_inline_when_serial() {
+    fn pool_runs_inline_when_serial() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
         let items = vec![1, 2, 3];
-        assert_eq!(for_each_partition(1, &items, |_, &x| x + 1), vec![2, 3, 4]);
-        assert_eq!(for_each_partition(0, &items, |_, &x| x + 1), vec![2, 3, 4]);
+        assert_eq!(pool.for_each(&items, |_, &x| x + 1), vec![2, 3, 4]);
+        let pool0 = WorkerPool::new(0);
+        assert_eq!(pool0.threads(), 1);
+        assert_eq!(pool0.for_each(&items, |_, &x| x + 1), vec![2, 3, 4]);
         let one = vec![9];
-        assert_eq!(for_each_partition(8, &one, |_, &x| x), vec![9]);
+        assert_eq!(WorkerPool::new(8).for_each(&one, |_, &x| x), vec![9]);
         let none: Vec<i32> = Vec::new();
-        assert!(for_each_partition(8, &none, |_, &x| x).is_empty());
+        assert!(WorkerPool::new(8).for_each(&none, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn pool_reuses_threads_across_jobs() {
+        // observe the thread identities jobs run on: across many jobs the
+        // pool must only ever use its fixed worker set (+ the submitter) —
+        // respawning would grow the set. (The process-wide threads_spawned
+        // counter is asserted in the isolated pool_reuse integration test;
+        // here sibling unit tests create pools concurrently, so per-pool
+        // thread identity is the race-free observation.)
+        let pool = WorkerPool::new(4);
+        let seen: Mutex<std::collections::HashSet<std::thread::ThreadId>> =
+            Mutex::new(std::collections::HashSet::new());
+        for round in 0..50u64 {
+            let items: Vec<usize> = (0..64).collect();
+            let out = pool.for_each(&items, |_, &x| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                x + round as usize
+            });
+            assert_eq!(out[0], round as usize);
+        }
+        let distinct = seen.lock().unwrap().len();
+        assert!(
+            distinct <= pool.threads(),
+            "50 jobs touched {distinct} distinct threads — more than the \
+             pool's {} fixed workers, so threads were respawned",
+            pool.threads()
+        );
+        assert!(pool.jobs_run() >= 50);
+    }
+
+    #[test]
+    fn pool_broadcast_runs_every_worker() {
+        let pool = WorkerPool::new(4);
+        let hits = Mutex::new(vec![0usize; pool.threads()]);
+        pool.broadcast(&|w| {
+            hits.lock().unwrap()[w] += 1;
+        });
+        assert_eq!(*hits.lock().unwrap(), vec![1; 4]);
+    }
+
+    #[test]
+    fn pool_survives_job_panic() {
+        let pool = WorkerPool::new(4);
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            let items: Vec<usize> = (0..32).collect();
+            pool.for_each(&items, |_, &x| {
+                if x == 17 {
+                    panic!("morsel 17 exploded");
+                }
+                x
+            });
+        }));
+        assert!(boom.is_err(), "the panic must propagate to the submitter");
+        // the pool is still functional afterwards
+        let items: Vec<usize> = (0..32).collect();
+        assert_eq!(pool.for_each(&items, |_, &x| x), items);
+    }
+
+    #[test]
+    fn nested_submission_runs_inline_instead_of_deadlocking() {
+        let pool = WorkerPool::new(4);
+        let items: Vec<usize> = (0..16).collect();
+        let out = pool.for_each(&items, |_, &x| {
+            // a nested job from inside a worker: must complete (inline,
+            // single worker), not deadlock on the submission lock
+            let inner: Vec<usize> = (0..8).collect();
+            let nested = pool.for_each(&inner, |_, &y| y * 10);
+            assert_eq!(nested, (0..8).map(|y| y * 10).collect::<Vec<_>>());
+            x + 1
+        });
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_serialises_concurrent_submitters() {
+        let pool = WorkerPool::new(3);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let items: Vec<usize> = (0..200).collect();
+                    let out = pool.for_each(&items, |_, &x| x * 3);
+                    assert_eq!(out, (0..200).map(|x| x * 3).collect::<Vec<_>>());
+                });
+            }
+        });
     }
 }
