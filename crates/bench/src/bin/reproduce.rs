@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper's evaluation (§8).
 //!
 //! ```text
-//! reproduce [--scale N] [--check] [fig13|...|fig18|scaling|pipeline|joinorder|sort|all]
+//! reproduce [--scale N] [--check] [fig13|...|fig18|scaling|pipeline|joinorder|sort|concurrency|all]
 //! ```
 //!
 //! `--scale N` divides the paper's cardinalities by `N` (default 100) so a
@@ -42,6 +42,11 @@ const FLOOR_SORT: f64 = 1.0;
 /// quadratic merge), not timer jitter. The sort floor stays at parity; its
 /// ~40 ms runs are stable.
 const FLOOR_TOPK: f64 = 0.9;
+/// Concurrent sessions vs one serial session on the serving layer (armed
+/// at ≥ `GATE_MIN_HW` hardware threads). Six budget-1 session threads on a
+/// ≥4-core machine typically land ≥2×; the committed floor is conservative
+/// because a shared runner's spare cores are not guaranteed.
+const FLOOR_CONCURRENCY: f64 = 1.2;
 /// Minimum hardware threads before the parallel-vs-serial floors arm.
 /// Below this the pool can be oversubscribed (workers > cores) and
 /// sub-parity results are legitimate — e.g. a 2-worker sort on 1 core, or
@@ -126,6 +131,7 @@ fn main() {
             "pipeline",
             "joinorder",
             "sort",
+            "concurrency",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -154,6 +160,7 @@ fn main() {
             "pipeline" => pipeline(scale, &mut gate),
             "joinorder" => joinorder(scale, &mut gate),
             "sort" => sort_bench(scale, &mut gate),
+            "concurrency" => concurrency(scale, &mut gate),
             other => eprintln!("unknown target `{other}` (skipped)"),
         }
     }
@@ -768,6 +775,143 @@ fn sort_bench(scale: usize, gate: &mut Gate) {
     std::fs::write("BENCH_sort.json", &json).expect("write BENCH_sort.json");
     println!(
         "(recorded in BENCH_sort.json; target: parallel ≥{FLOOR_SORT}x serial at --scale 400+)\n"
+    );
+}
+
+/// A relation of `n` rows whose only column is all ones: with it, every
+/// consistent snapshot of the bench table satisfies `SUM(x) == COUNT(*)`,
+/// so the per-query consistency checksum is a single equality.
+fn ones(n: usize) -> rma_relation::Relation {
+    rma_relation::RelationBuilder::new()
+        .column("x", vec![1i64; n])
+        .build()
+        .expect("relation")
+}
+
+/// `(COUNT(*), SUM(x))` of the bench table through one session, asserting
+/// the snapshot-consistency checksum.
+fn serve_count_sum(s: &rma_core::Session) -> (i64, i64) {
+    use rma_relation::AggSpec;
+    let r = s
+        .query(
+            rma_core::Frame::table("t")
+                .aggregate(&[], vec![AggSpec::count_star("n"), AggSpec::sum("x", "s")]),
+        )
+        .expect("aggregate");
+    let n = match r.column("n").expect("n").get(0) {
+        rma_storage::Value::Int(v) => v,
+        other => panic!("unexpected count {other:?}"),
+    };
+    let sum = match r.column("s").expect("s").get(0) {
+        rma_storage::Value::Int(v) => v,
+        rma_storage::Value::Null => 0,
+        other => panic!("unexpected sum {other:?}"),
+    };
+    assert_eq!(
+        n, sum,
+        "torn read: aggregate matches no committed generation"
+    );
+    (n, sum)
+}
+
+/// Concurrent serving (PR 6): N writer + M reader sessions on one server
+/// vs the identical workload issued sequentially through a single session.
+/// Sessions run with a budget of one seat, so the speedup isolates what
+/// the serving layer adds — snapshot reads that never block on writers and
+/// fair scheduling across sessions — rather than intra-query parallelism.
+/// Every reader query asserts the consistency checksum (`SUM == COUNT`
+/// over an all-ones column) and the final row count is the cross-run
+/// checksum. Emits BENCH_concurrency.json.
+fn concurrency(scale: usize, gate: &mut Gate) {
+    use rma_core::serve::Server;
+
+    const READERS: usize = 4;
+    const WRITERS: usize = 2;
+    const QUERIES_PER_READER: usize = 60;
+    const BATCHES_PER_WRITER: usize = 30;
+    const BATCH_ROWS: usize = 128;
+
+    let rows = (8_000_000 / scale.max(1)).max(400_000);
+    let inserted = WRITERS * BATCHES_PER_WRITER * BATCH_ROWS;
+    let queries = READERS * QUERIES_PER_READER;
+    let hw = hardware_threads();
+    println!("## Serving — concurrent sessions vs one serial session");
+    println!(
+        "### {rows} base rows; {WRITERS} writers × {BATCHES_PER_WRITER} batches × {BATCH_ROWS} rows; {READERS} readers × {QUERIES_PER_READER} aggregate queries"
+    );
+
+    let serial_run = |rows: usize| -> (Duration, i64) {
+        let server = Server::default();
+        let s = server.session_with_budget(1);
+        s.create_table("t", ones(rows)).expect("create");
+        let t = Instant::now();
+        for _ in 0..WRITERS * BATCHES_PER_WRITER {
+            s.insert("t", &ones(BATCH_ROWS)).expect("insert");
+        }
+        for _ in 0..queries {
+            serve_count_sum(&s);
+        }
+        let elapsed = t.elapsed();
+        (elapsed, serve_count_sum(&s).0)
+    };
+
+    let concurrent_run = |rows: usize| -> (Duration, i64) {
+        let server = Server::default();
+        let admin = server.session_with_budget(1);
+        admin.create_table("t", ones(rows)).expect("create");
+        let t = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..WRITERS {
+                let s = server.session_with_budget(1);
+                scope.spawn(move || {
+                    for _ in 0..BATCHES_PER_WRITER {
+                        s.insert("t", &ones(BATCH_ROWS)).expect("insert");
+                    }
+                });
+            }
+            for _ in 0..READERS {
+                let s = server.session_with_budget(1);
+                scope.spawn(move || {
+                    for _ in 0..QUERIES_PER_READER {
+                        serve_count_sum(&s);
+                    }
+                });
+            }
+        });
+        let elapsed = t.elapsed();
+        (elapsed, serve_count_sum(&admin).0)
+    };
+
+    // warm-up (pages the allocator, spins up a pool), then best-of-3
+    let _ = concurrent_run(rows);
+    let (serial_t, serial_check) = best_of(3, &|| serial_run(rows));
+    let (conc_t, conc_check) = best_of(3, &|| concurrent_run(rows));
+    assert_eq!(
+        serial_check, conc_check,
+        "serial and concurrent runs committed different tables"
+    );
+    assert_eq!(serial_check, (rows + inserted) as i64, "rows went missing");
+    let speedup = serial_t.as_secs_f64() / conc_t.as_secs_f64();
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "sessions", "serial(s)", "concurrent(s)", "speedup"
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {speedup:>8.2}",
+        READERS + WRITERS,
+        secs(serial_t),
+        secs(conc_t)
+    );
+    gate.record("concurrency", speedup, FLOOR_CONCURRENCY, true);
+    let json = format!(
+        "[\n  {{\"rows\": {rows}, \"readers\": {READERS}, \"writers\": {WRITERS}, \"queries\": {queries}, \"inserted_rows\": {inserted}, \"hardware_threads\": {hw}, \"serial_s\": {:.6}, \"concurrent_s\": {:.6}, \"speedup\": {:.3}, \"checksum_match\": true}}\n]\n",
+        serial_t.as_secs_f64(),
+        conc_t.as_secs_f64(),
+        speedup
+    );
+    std::fs::write("BENCH_concurrency.json", &json).expect("write BENCH_concurrency.json");
+    println!(
+        "(recorded in BENCH_concurrency.json; target: ≥2x on a multi-core runner, committed floor {FLOOR_CONCURRENCY}x)\n"
     );
 }
 

@@ -303,6 +303,16 @@ impl RmaContext {
         }
     }
 
+    /// A context with the same options, **sharing this context's worker
+    /// pool**, but with fresh zeroed statistics. This is how the serving
+    /// layer gives each session (and, via another fork, each query) its own
+    /// [`ExecStats`] attribution: concurrent queries record into their own
+    /// forked context instead of polluting a context-global counter set,
+    /// while still executing on the one shared pool.
+    pub fn fork(&self) -> RmaContext {
+        self.with_options_shared_pool(self.options.clone())
+    }
+
     /// Context forcing a specific backend, other options default.
     pub fn with_backend(backend: Backend) -> Self {
         RmaContext::new(RmaOptions {

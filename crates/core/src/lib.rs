@@ -33,6 +33,7 @@ pub mod error;
 pub mod kernels;
 pub mod ops;
 pub mod plan;
+pub mod serve;
 pub mod shape;
 pub mod split;
 
@@ -41,6 +42,7 @@ pub use context::{
 };
 pub use error::RmaError;
 pub use plan::{Frame, LogicalPlan, PartitionedTableProvider, PlanError, TableProvider};
+pub use serve::{CatalogSnapshot, ServeError, Server, Session, VersionedCatalog};
 pub use shape::{Dim, RmaOp, ShapeType, ALL_OPS};
 
 // Free-function API re-exports.

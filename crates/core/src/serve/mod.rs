@@ -1,0 +1,90 @@
+//! The concurrent serving layer: versioned catalog, snapshot reads, and
+//! budgeted sessions on the shared worker pool.
+//!
+//! One process serves many concurrent sessions against one set of named
+//! tables. Three pieces make that safe without reader-side locking:
+//!
+//! - **Table generations** ([`TableGeneration`]): a named table is an
+//!   immutable `Arc`'d [`Relation`](rma_relation::Relation) plus the
+//!   catalog version that installed it. Writers never mutate a generation
+//!   — they prepare a *new* one (e.g. with
+//!   [`Relation::appended`](rma_relation::Relation::appended)) and install
+//!   it.
+//! - **The versioned catalog** ([`VersionedCatalog`]): an immutable root
+//!   (version → table map) behind a mutex that is held only long enough to
+//!   clone or swap an `Arc`. Readers [pin](VersionedCatalog::snapshot) the
+//!   root once per query and then execute entirely lock-free against it;
+//!   writers install a new root with a first-committer-wins compare-and-
+//!   swap ([`VersionedCatalog::commit`]) — the MVCC-lite protocol.
+//! - **Sessions** ([`Session`] via [`Server::session`]): each session
+//!   forks the server's execution context (private statistics, shared
+//!   worker pool) and carries a
+//!   [`SessionTicket`](rma_relation::SessionTicket) whose seat budget and
+//!   fair-scheduling pass govern how the session's morsel jobs are
+//!   admitted onto the pool — one heavy query cannot starve the rest.
+//!
+//! ```
+//! use rma_core::serve::Server;
+//! use rma_core::Frame;
+//! use rma_relation::RelationBuilder;
+//!
+//! let server = Server::default();
+//! let session = server.session();
+//! let t = RelationBuilder::new()
+//!     .column("x", vec![1i64, 2, 3])
+//!     .build()
+//!     .unwrap();
+//! session.create_table("t", t).unwrap();
+//! let sum = session
+//!     .query(Frame::table("t").aggregate(&[], vec![rma_relation::AggSpec::sum("x", "s")]))
+//!     .unwrap();
+//! assert_eq!(sum.column("s").unwrap().get(0), rma_storage::Value::Int(6));
+//! ```
+
+mod catalog;
+mod session;
+
+pub use catalog::{CatalogSnapshot, TableGeneration, VersionedCatalog};
+pub use session::{Server, Session};
+
+/// Errors of the serving layer's write path. Read-path errors surface as
+/// plan errors from the query itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// `CREATE TABLE` of a name that already exists (use
+    /// [`VersionedCatalog::create_or_replace`] to overwrite).
+    TableExists(String),
+    /// A write referenced a table the catalog does not hold.
+    NoSuchTable(String),
+    /// First-committer-wins: the table's generation moved between the
+    /// writer's snapshot and its commit. The writer should re-pin, re-apply
+    /// its delta, and retry (see [`Session::insert`]).
+    WriteConflict {
+        /// The table the commit targeted.
+        table: String,
+        /// The generation the writer prepared against.
+        expected: u64,
+        /// The generation actually installed in the catalog.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::TableExists(t) => write!(f, "table '{t}' already exists"),
+            ServeError::NoSuchTable(t) => write!(f, "no such table '{t}'"),
+            ServeError::WriteConflict {
+                table,
+                expected,
+                found,
+            } => write!(
+                f,
+                "write conflict on '{table}': prepared against generation \
+                 {expected}, catalog now holds {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

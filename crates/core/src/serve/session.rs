@@ -1,0 +1,293 @@
+//! Servers and sessions: concurrent query front ends over the versioned
+//! catalog and the shared worker pool.
+
+use super::catalog::{CatalogSnapshot, VersionedCatalog};
+use super::ServeError;
+use crate::context::{ExecStats, RmaContext};
+use crate::plan::{Frame, PlanError};
+use rma_relation::{Relation, SessionTicket};
+use std::sync::Arc;
+
+/// The default per-session seat budget: half the pool (at least two seats
+/// when the pool has more than one thread), so two heavy sessions saturate
+/// the machine but a single one always leaves room for others.
+fn default_budget(pool_threads: usize) -> usize {
+    if pool_threads <= 1 {
+        1
+    } else {
+        (pool_threads / 2).max(2)
+    }
+}
+
+/// A serving endpoint: one versioned catalog plus one base execution
+/// context (and with it one worker pool) shared by every session. Cheap to
+/// clone — clones serve the same catalog. `Sync`: hand `Arc<Server>` or a
+/// clone to each connection thread and open a [`Session`] per connection.
+#[derive(Debug, Clone, Default)]
+pub struct Server {
+    catalog: Arc<VersionedCatalog>,
+    ctx: Arc<RmaContext>,
+}
+
+impl Server {
+    /// A server with an empty catalog executing on `ctx`'s worker pool.
+    pub fn new(ctx: RmaContext) -> Self {
+        Server {
+            catalog: Arc::new(VersionedCatalog::new()),
+            ctx: Arc::new(ctx),
+        }
+    }
+
+    /// The shared versioned catalog.
+    pub fn catalog(&self) -> &Arc<VersionedCatalog> {
+        &self.catalog
+    }
+
+    /// The server's base execution context (sessions fork it).
+    pub fn context(&self) -> &RmaContext {
+        &self.ctx
+    }
+
+    /// The seat budget [`Server::session`] assigns: half the pool, at
+    /// least two seats on a multi-threaded pool. Frontends building their
+    /// own session objects (e.g. the SQL engine) use this to match.
+    pub fn default_budget(&self) -> usize {
+        default_budget(self.ctx.pool().threads())
+    }
+
+    /// Open a session with the default seat budget (half the pool).
+    pub fn session(&self) -> Session {
+        self.session_with_budget(self.default_budget())
+    }
+
+    /// Open a session whose morsel jobs may occupy at most `seats` pool
+    /// workers at once (`0` = no limit). Every session gets a fresh
+    /// [`SessionTicket`] — the fair scheduler interleaves jobs across
+    /// tickets by stride, so sessions share the pool proportionally
+    /// regardless of submission order.
+    pub fn session_with_budget(&self, seats: usize) -> Session {
+        Session {
+            catalog: Arc::clone(&self.catalog),
+            ctx: self.ctx.fork(),
+            ticket: SessionTicket::new(seats),
+        }
+    }
+}
+
+/// `ctx.into()`: promote an execution context to a serving endpoint with
+/// an empty catalog — the serve-layer spelling of "start sessions here".
+impl From<RmaContext> for Server {
+    fn from(ctx: RmaContext) -> Self {
+        Server::new(ctx)
+    }
+}
+
+/// One client's handle onto a [`Server`]: issues queries against pinned
+/// catalog snapshots and writes through the first-committer-wins protocol.
+///
+/// A session is `Sync` (queries may be issued from several threads of one
+/// client), but the intended concurrency unit is one session per
+/// connection: the session's [`SessionTicket`] is what the fair scheduler
+/// budgets, and its forked context is what its [`ExecStats`] attribute to.
+#[derive(Debug)]
+pub struct Session {
+    catalog: Arc<VersionedCatalog>,
+    ctx: RmaContext,
+    ticket: SessionTicket,
+}
+
+impl Session {
+    /// Run a [`Frame`] query against a snapshot pinned at call time: the
+    /// query sees every table as of one catalog version, unaffected by
+    /// concurrent commits, and resolves named scans
+    /// ([`Frame::table`]) through the pin. The session's ticket is active
+    /// for the duration, so all morsel jobs the plan submits are seat-
+    /// budgeted and fairly scheduled.
+    pub fn query(&self, frame: Frame) -> Result<Relation, PlanError> {
+        self.query_at(&self.pin(), frame)
+    }
+
+    /// Run a query against an explicitly pinned snapshot (several queries
+    /// against one pin see the identical database state).
+    pub fn query_at(&self, snap: &CatalogSnapshot, frame: Frame) -> Result<Relation, PlanError> {
+        let _seat = self.ticket.activate();
+        frame.collect_with(&self.ctx, snap)
+    }
+
+    /// Pin the current catalog state (O(1), lock-free thereafter).
+    pub fn pin(&self) -> CatalogSnapshot {
+        self.catalog.snapshot()
+    }
+
+    /// Append `rows` to a table through the optimistic commit loop:
+    /// pin → prepare the successor generation
+    /// ([`Relation::appended`]) → first-committer-wins commit; on a
+    /// [`ServeError::WriteConflict`] the loop re-pins and re-prepares, so
+    /// concurrent appenders all land (in some serial order) without ever
+    /// blocking readers. Returns the catalog version that installed the
+    /// rows.
+    pub fn insert(&self, table: &str, rows: &Relation) -> Result<u64, ServeError> {
+        loop {
+            let snap = self.pin();
+            let Some(generation) = snap.get(table) else {
+                return Err(ServeError::NoSuchTable(table.to_string()));
+            };
+            let next = generation
+                .relation()
+                .appended(rows)
+                .map_err(|_| ServeError::NoSuchTable(table.to_string()))?;
+            match self.catalog.commit(table, generation.generation(), next) {
+                Ok(version) => return Ok(version),
+                Err(ServeError::WriteConflict { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Create a table (errors if the name exists).
+    pub fn create_table(&self, name: &str, rel: Relation) -> Result<u64, ServeError> {
+        self.catalog.create(name, rel)
+    }
+
+    /// Create or overwrite a table unconditionally.
+    pub fn create_or_replace(&self, name: &str, rel: Relation) -> u64 {
+        self.catalog.create_or_replace(name, rel)
+    }
+
+    /// Drop a table (errors if absent). Pinned readers keep their view.
+    pub fn drop_table(&self, name: &str) -> Result<u64, ServeError> {
+        self.catalog.drop_table(name)
+    }
+
+    /// The session's scheduling ticket.
+    pub fn ticket(&self) -> &SessionTicket {
+        &self.ticket
+    }
+
+    /// The session's private execution context (shared pool, own stats).
+    pub fn context(&self) -> &RmaContext {
+        &self.ctx
+    }
+
+    /// Execution statistics of **this session only** — concurrent sessions
+    /// on one server do not pollute each other's counters.
+    pub fn stats(&self) -> ExecStats {
+        self.ctx.stats()
+    }
+
+    /// Zero this session's statistics.
+    pub fn reset_stats(&self) {
+        self.ctx.reset_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rma_relation::{AggSpec, RelationBuilder};
+    use rma_storage::Value;
+
+    fn rel(xs: Vec<i64>) -> Relation {
+        RelationBuilder::new().column("x", xs).build().unwrap()
+    }
+
+    fn sum_of(s: &Session, table: &str) -> i64 {
+        let r = s
+            .query(Frame::table(table).aggregate(&[], vec![AggSpec::sum("x", "s")]))
+            .unwrap();
+        match r.column("s").unwrap().get(0) {
+            Value::Int(v) => v,
+            other => panic!("unexpected sum {other:?}"),
+        }
+    }
+
+    #[test]
+    fn session_queries_pinned_snapshots() {
+        let server = Server::default();
+        let writer = server.session();
+        let reader = server.session();
+        writer.create_table("t", rel(vec![1, 2, 3])).unwrap();
+        assert_eq!(sum_of(&reader, "t"), 6);
+        // a pinned snapshot shields a multi-query read from a concurrent
+        // insert; a fresh query sees it
+        let pin = reader.pin();
+        writer.insert("t", &rel(vec![10])).unwrap();
+        let before = reader
+            .query_at(
+                &pin,
+                Frame::table("t").aggregate(&[], vec![AggSpec::sum("x", "s")]),
+            )
+            .unwrap();
+        assert_eq!(before.column("s").unwrap().get(0), Value::Int(6));
+        assert_eq!(sum_of(&reader, "t"), 16);
+    }
+
+    #[test]
+    fn insert_retries_past_conflicts() {
+        let server = Server::default();
+        let s = server.session();
+        s.create_table("t", rel(vec![0])).unwrap();
+        std::thread::scope(|scope| {
+            for k in 0..4 {
+                let session = server.session();
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        session.insert("t", &rel(vec![k * 100 + i])).unwrap();
+                    }
+                });
+            }
+        });
+        let r = s
+            .query(Frame::table("t").aggregate(&[], vec![AggSpec::count_star("n")]))
+            .unwrap();
+        assert_eq!(r.column("n").unwrap().get(0), Value::Int(41));
+    }
+
+    #[test]
+    fn per_session_stats_do_not_mix() {
+        let server = Server::default();
+        let busy = server.session();
+        let idle = server.session();
+        busy.create_table("m", {
+            RelationBuilder::new()
+                .column("k", vec!["a", "b"])
+                .column("v1", vec![2.0f64, 0.0])
+                .column("v2", vec![0.0f64, 2.0])
+                .build()
+                .unwrap()
+        })
+        .unwrap();
+        // an RMA operation records ops_run on the issuing session only
+        let inverted = busy
+            .query(Frame::table("m").rma_unary(crate::shape::RmaOp::Inv, &["k"]))
+            .unwrap();
+        assert_eq!(inverted.len(), 2);
+        assert!(busy.stats().ops_run >= 1);
+        assert_eq!(idle.stats().ops_run, 0);
+        assert_eq!(server.context().stats().ops_run, 0);
+    }
+
+    #[test]
+    fn budgets_and_tickets_are_per_session() {
+        let server = Server::default();
+        let a = server.session_with_budget(2);
+        let b = server.session_with_budget(0);
+        assert_eq!(a.ticket().seats(), 2);
+        assert_eq!(b.ticket().seats(), 0);
+        assert_eq!(default_budget(1), 1);
+        assert_eq!(default_budget(2), 2);
+        assert_eq!(default_budget(8), 4);
+    }
+
+    #[test]
+    fn dropped_table_stays_readable_through_pin() {
+        let server = Server::default();
+        let s = server.session();
+        s.create_table("t", rel(vec![5])).unwrap();
+        let pin = s.pin();
+        s.drop_table("t").unwrap();
+        assert!(s.query(Frame::table("t")).is_err(), "fresh query: gone");
+        let r = s.query_at(&pin, Frame::table("t")).unwrap();
+        assert_eq!(r.len(), 1, "pinned query still sees the table");
+    }
+}

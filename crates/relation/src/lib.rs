@@ -21,7 +21,9 @@ pub use algebra::{
 };
 pub use error::RelationError;
 pub use expr::{BinOp, Expr, ScalarFunc};
-pub use par::{morsel_count, partition_ranges, threads_spawned, WorkerPool};
+pub use par::{
+    morsel_count, partition_ranges, threads_spawned, ActiveTicket, SessionTicket, WorkerPool,
+};
 pub use relation::{Relation, RelationBuilder};
 pub use schema::{Attribute, Schema};
 pub use stats::Statistics;

@@ -1,5 +1,5 @@
 //! Morsel-driven parallelism primitives: the row-range partitioner and a
-//! session-lifetime [`WorkerPool`].
+//! session-lifetime [`WorkerPool`] with a fair multi-query scheduler.
 //!
 //! A *morsel* is a contiguous row range of a relation. Parallel operators
 //! split their input into morsels and let a fixed set of worker threads
@@ -14,33 +14,67 @@
 //! Before the pool, every parallel operator spawned (and joined) its own
 //! `std::thread::scope` worker set, so a multi-operator plan paid thread
 //! startup per pipeline stage. A [`WorkerPool`] spawns its workers once and
-//! parks them on a condvar between jobs; a *job* is one closure every
-//! worker runs concurrently (the closure does its own morsel claiming from
-//! an atomic counter — see [`WorkerPool::for_each`]). The submitting thread
+//! parks them on a condvar between jobs; a *job* is one closure workers run
+//! concurrently (the closure does its own morsel claiming from an atomic
+//! counter — see [`WorkerPool::for_each`]). The submitting thread always
 //! participates as worker `0`, so a pool of `n` threads spawns `n - 1` OS
 //! threads and `threads = 1` degenerates to inline serial execution with no
 //! spawned workers at all.
 //!
+//! ## The scheduler: concurrent jobs, seats, and fair passes
+//!
+//! The pool runs **many jobs at once** (PR 6 — the concurrent serving
+//! layer): each job is an entry in a shared queue, and idle workers pick
+//! the runnable entry with the lowest *(pass, sequence)* pair. Two job
+//! modes exist:
+//!
+//! - **Full jobs** (plain [`WorkerPool::broadcast`] with no active
+//!   ticket): every worker must run the closure exactly once before the
+//!   submitter returns — the historical contract, still required by
+//!   callers that hand worker `w` a fixed share of the work.
+//! - **Scheduled jobs** (submitted while a [`SessionTicket`] is
+//!   [activated](SessionTicket::activate) on the submitting thread): any
+//!   *subset* of workers may serve the job, capped by the ticket's **seat
+//!   budget** (total concurrent runners, submitter included). The closure
+//!   must therefore distribute work by claiming (which every operator in
+//!   this workspace already does); a seat budget of 1 runs inline on the
+//!   submitter. A scheduled job *closes* as soon as any runner returns —
+//!   at that point the shared claim counter is exhausted and late joiners
+//!   would find nothing.
+//!
+//! Fairness is stride scheduling: every ticket carries a virtual-time
+//! `pass` that advances by its stride on each submission (clamped up to
+//! the pool's completed-pass floor, so an idle session cannot hoard
+//! credit), and workers serve the lowest pass first. Active sessions
+//! therefore interleave their morsel jobs round-robin instead of queueing
+//! behind whoever submitted first, and a session's seat budget bounds how
+//! many workers a single heavy query can occupy — the rest keep serving
+//! other sessions concurrently.
+//!
 //! **Job contract** (what an operator must guarantee to enlist):
 //!
-//! - the job closure is `Fn(usize) + Sync`: it is called once per worker,
-//!   concurrently, with the worker index in `0..threads()`;
+//! - the job closure is `Fn(usize) + Sync`: it is called concurrently
+//!   with distinct worker indices in `0..threads()`;
+//! - a scheduled job may be run by any subset of workers (including the
+//!   submitter alone), so work distribution must be claim-based — never
+//!   "worker `w` owns share `w`" (full jobs may still assume every index
+//!   runs);
 //! - all sharing goes through `&`-captured state (atomics, `Mutex`, or
 //!   disjoint writes); the pool adds no synchronisation of its own beyond
 //!   the completion barrier;
-//! - [`WorkerPool::broadcast`] does not return until every worker has
+//! - [`WorkerPool::broadcast`] does not return until every runner has
 //!   finished the job, so the closure may freely borrow from the caller's
 //!   stack (this is also what makes the internal lifetime erasure sound);
 //! - jobs should run leaf computations (plan recursion happens between
 //!   jobs, on the submitting thread); if code inside a job does submit
 //!   another job — to any pool — the nested job is detected and runs
-//!   inline on the current thread instead of deadlocking on the
-//!   submission lock.
+//!   inline on the current thread instead of deadlocking.
 //!
 //! Panics inside a job are caught at the worker, the barrier still
 //! completes, and the submitting call re-panics — the pool itself stays
 //! usable.
 
+use std::cell::RefCell;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -95,34 +129,199 @@ pub fn threads_spawned() -> usize {
     THREADS_SPAWNED.load(Ordering::SeqCst)
 }
 
-/// The current job, type-erased. The pointee lives on the submitting
-/// thread's stack; [`WorkerPool::broadcast`] blocks until every worker is
-/// done with it, which is what makes sending the raw pointer sound.
+/// Stride unit of the fair scheduler: a ticket of weight `w` advances its
+/// pass by `STRIDE_UNIT / w` per job, so heavier-weighted sessions get
+/// proportionally more turns.
+const STRIDE_UNIT: u64 = 1 << 16;
+
+/// A session's admission-control handle onto a [`WorkerPool`]: a **seat
+/// budget** (how many workers, submitter included, may serve one of the
+/// session's jobs concurrently; `0` = no limit) plus the stride-scheduling
+/// virtual-time state that makes job pickup fair across sessions.
+///
+/// Tickets are pool-agnostic and cheap to clone (shared state behind an
+/// `Arc`). [`SessionTicket::activate`] marks the current thread so that
+/// every job the thread submits — through `broadcast`, `for_each`, or any
+/// operator built on them — is scheduled under this ticket:
+///
+/// ```
+/// use rma_relation::{SessionTicket, WorkerPool};
+///
+/// let pool = WorkerPool::new(4);
+/// let ticket = SessionTicket::new(2); // at most 2 workers per job
+/// let _guard = ticket.activate();
+/// let items: Vec<usize> = (0..100).collect();
+/// let out = pool.for_each(&items, |_, &x| x * 2); // scheduled + budgeted
+/// assert_eq!(out[99], 198);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SessionTicket(Arc<TicketInner>);
+
+#[derive(Debug)]
+struct TicketInner {
+    /// Max concurrent runners per job (incl. the submitter); 0 = no limit.
+    seats: usize,
+    /// Pass increment per submitted job (inverse of the session's weight).
+    stride: u64,
+    /// The session's stride-scheduling virtual time.
+    pass: AtomicU64,
+}
+
+impl SessionTicket {
+    /// A ticket with the given seat budget and weight 1. `seats == 0`
+    /// means no limit; `seats == 1` runs every job inline on the
+    /// submitting thread (a pure-serial session that still gets fair
+    /// accounting).
+    pub fn new(seats: usize) -> Self {
+        SessionTicket::with_weight(seats, 1)
+    }
+
+    /// A ticket with an explicit scheduling weight: a weight-2 session's
+    /// jobs advance its pass half as fast, so workers serve it twice as
+    /// often as a weight-1 session under contention.
+    pub fn with_weight(seats: usize, weight: u32) -> Self {
+        SessionTicket(Arc::new(TicketInner {
+            seats,
+            stride: (STRIDE_UNIT / u64::from(weight.max(1))).max(1),
+            pass: AtomicU64::new(0),
+        }))
+    }
+
+    /// The ticket's seat budget (0 = no limit).
+    pub fn seats(&self) -> usize {
+        self.0.seats
+    }
+
+    /// The session's current stride-scheduling pass (monotone; advances by
+    /// the stride per submitted job). Exposed for tests and introspection.
+    pub fn pass(&self) -> u64 {
+        self.0.pass.load(Ordering::Relaxed)
+    }
+
+    /// Mark the current thread as submitting on behalf of this session
+    /// until the returned guard drops. Nested activations stack (the
+    /// innermost wins); the guard restores the previous ticket on drop.
+    pub fn activate(&self) -> ActiveTicket {
+        let prev = ACTIVE_TICKET.with(|c| c.replace(Some(self.clone())));
+        ActiveTicket { prev }
+    }
+}
+
+thread_local! {
+    /// The ticket jobs submitted from this thread are scheduled under.
+    static ACTIVE_TICKET: RefCell<Option<SessionTicket>> = const { RefCell::new(None) };
+}
+
+/// Guard of [`SessionTicket::activate`]: restores the previously active
+/// ticket (if any) when dropped.
+#[must_use = "the ticket is only active while the guard lives"]
+pub struct ActiveTicket {
+    prev: Option<SessionTicket>,
+}
+
+impl Drop for ActiveTicket {
+    fn drop(&mut self) {
+        ACTIVE_TICKET.with(|c| c.replace(self.prev.take()));
+    }
+}
+
+/// The ticket active on the current thread, if any.
+fn current_ticket() -> Option<SessionTicket> {
+    ACTIVE_TICKET.with(|c| c.borrow().clone())
+}
+
+/// A queued job's closure, type-erased. The pointee lives on the
+/// submitting thread's stack; the submitting call blocks until its queue
+/// entry is removable (no runner left, none can join), which is what makes
+/// sending the raw pointer sound.
 struct JobSlot(*const (dyn Fn(usize) + Sync));
 
-// SAFETY: the pointer is only dereferenced while `broadcast` — which owns
-// the pointee — is blocked on the completion barrier.
+// SAFETY: the pointer is only dereferenced by workers that registered as
+// runners (under the queue lock) of a live entry; the submitting call —
+// which owns the pointee — removes the entry only after every runner has
+// finished and no new runner can join.
 unsafe impl Send for JobSlot {}
+
+/// How a queued job admits workers.
+enum JobMode {
+    /// Every worker must run the closure exactly once (legacy broadcast).
+    Full {
+        /// Per-worker "has run" flags, index 0 = the submitter.
+        joined: Vec<bool>,
+    },
+    /// Claim-based job: any subset of workers may serve it, up to the seat
+    /// budget; closes when the first runner returns.
+    Scheduled {
+        /// Seats left for pool workers (the submitter's seat is implicit).
+        seats: usize,
+        /// Set when a runner returned: the claim counter is exhausted, no
+        /// new worker should join.
+        closed: bool,
+    },
+}
+
+/// One entry of the job queue.
+struct JobEntry {
+    id: u64,
+    raw: JobSlot,
+    /// Stride-scheduling priority: workers serve the lowest (pass, seq).
+    pass: u64,
+    seq: u64,
+    /// Workers (incl. the submitter) currently inside the closure.
+    running: usize,
+    /// A runner caught a panic in this job.
+    panicked: bool,
+    mode: JobMode,
+}
+
+impl JobEntry {
+    /// May `worker` start running this entry now?
+    fn admits(&self, worker: usize) -> bool {
+        match &self.mode {
+            JobMode::Full { joined } => !joined[worker],
+            JobMode::Scheduled { seats, closed } => !closed && *seats > 0,
+        }
+    }
+
+    /// Register `worker` as a runner (caller checked [`JobEntry::admits`]).
+    fn join(&mut self, worker: usize) {
+        match &mut self.mode {
+            JobMode::Full { joined } => joined[worker] = true,
+            JobMode::Scheduled { seats, .. } => *seats -= 1,
+        }
+        self.running += 1;
+    }
+
+    /// Is the entry complete (submitter may remove it)? The submitter has
+    /// already returned from its own run when it evaluates this.
+    fn complete(&self) -> bool {
+        self.running == 0
+            && match &self.mode {
+                JobMode::Full { joined } => joined.iter().all(|&j| j),
+                JobMode::Scheduled { .. } => true,
+            }
+    }
+}
 
 /// Shared state between the pool handle and its workers.
 struct PoolState {
-    /// Valid exactly while `epoch` is ahead of a worker's last-seen epoch.
-    job: Option<JobSlot>,
-    /// Bumped once per job; how parked workers detect new work.
-    epoch: u64,
-    /// Workers still running the current job.
-    active: usize,
-    /// A worker caught a panic in the current job.
-    panicked: bool,
-    /// Set by `Drop`: workers exit instead of waiting for the next epoch.
+    /// The job queue. Small (one entry per in-flight submission), so
+    /// linear scans beat a priority queue.
+    jobs: Vec<JobEntry>,
+    next_id: u64,
+    next_seq: u64,
+    /// Highest pass of any completed job: new/idle tickets clamp up to it
+    /// so they compete from "now" instead of hoarding old virtual time.
+    pass_floor: u64,
+    /// Set by `Drop`: workers exit instead of waiting for more work.
     shutdown: bool,
 }
 
 struct PoolShared {
     state: Mutex<PoolState>,
-    /// Workers park here between jobs.
+    /// Workers park here while no entry admits them.
     work: Condvar,
-    /// The submitter parks here until `active` returns to zero.
+    /// Submitters park here until their entry completes.
     done: Condvar,
 }
 
@@ -135,8 +334,8 @@ fn lock(shared: &PoolShared) -> MutexGuard<'_, PoolState> {
 
 thread_local! {
     /// Is the current thread inside a pool job? Guards against nested
-    /// submission deadlocking on the (non-reentrant) submission lock —
-    /// nested jobs degrade to inline execution instead.
+    /// submission deadlocking (a nested barrier could wait on workers that
+    /// are waiting on us) — nested jobs degrade to inline execution.
     static IN_POOL_JOB: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
@@ -154,17 +353,18 @@ fn run_marked_in_job<R>(f: impl FnOnce() -> R) -> R {
 }
 
 /// A fixed set of worker threads parked between jobs — the one execution
-/// substrate every parallel operator runs on.
+/// substrate every parallel operator runs on — with a fair multi-job
+/// scheduler (see the module docs).
 ///
-/// Create one per session (`rma-core`'s `RmaContext` owns one, sized from
-/// `RmaOptions::threads` / the `RMA_THREADS` env knob) and submit jobs with
-/// [`WorkerPool::broadcast`] or the morsel-claiming
-/// [`WorkerPool::for_each`]. Dropping the pool wakes and joins the workers.
+/// Create one per process or server (`rma-core`'s `RmaContext` owns one,
+/// sized from `RmaOptions::threads` / the `RMA_THREADS` env knob) and
+/// submit jobs with [`WorkerPool::broadcast`] or the morsel-claiming
+/// [`WorkerPool::for_each`]; activate a [`SessionTicket`] to submit under
+/// a session's fair-scheduling pass and seat budget. Dropping the pool
+/// wakes and joins the workers.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     handles: Vec<std::thread::JoinHandle<()>>,
-    /// Serialises job submission: one job runs at a time.
-    submit: Mutex<()>,
     /// Jobs completed (tests use this to prove an operator enlisted).
     jobs_run: AtomicU64,
 }
@@ -186,10 +386,10 @@ impl WorkerPool {
         let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
-                job: None,
-                epoch: 0,
-                active: 0,
-                panicked: false,
+                jobs: Vec::new(),
+                next_id: 0,
+                next_seq: 0,
+                pass_floor: 0,
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -208,7 +408,6 @@ impl WorkerPool {
         WorkerPool {
             shared,
             handles,
-            submit: Mutex::new(()),
             jobs_run: AtomicU64::new(0),
         }
     }
@@ -223,70 +422,117 @@ impl WorkerPool {
         self.jobs_run.load(Ordering::SeqCst)
     }
 
-    /// Run `f(worker)` once per worker, concurrently, and return when every
-    /// worker is done. See the module docs for the job contract. With no
-    /// spawned workers the job runs inline as worker `0`.
+    /// Run `f(worker)` concurrently on the pool and return when the job is
+    /// done. With no ticket active on the calling thread this is a **full**
+    /// job: every worker runs `f` exactly once (the legacy contract; see
+    /// the module docs). With an active [`SessionTicket`] the job is
+    /// **scheduled**: served by up to `seats` workers picked fairly across
+    /// sessions, so the closure must be claim-based.
     ///
     /// Nested submission — `broadcast` called from inside a running job
     /// (e.g. a kernel that parallelises through a pool reached from an
-    /// operator already on one) — would deadlock on the submission lock, so
-    /// it is detected and degraded to inline execution: the nested job runs
-    /// serially as worker `0` on the current thread, which is correct for
-    /// claim-loop jobs (one worker claims everything).
+    /// operator already on one) — is detected and degraded to inline
+    /// execution: the nested job runs serially as worker `0` on the
+    /// current thread, which is correct for claim-loop jobs (one worker
+    /// claims everything).
     pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
-        if self.handles.is_empty() || IN_POOL_JOB.get() {
+        let ticket = current_ticket();
+        let seat_limit = ticket.as_ref().map_or(0, |t| t.seats());
+        if self.handles.is_empty() || IN_POOL_JOB.get() || seat_limit == 1 {
             f(0);
             self.jobs_run.fetch_add(1, Ordering::SeqCst);
             return;
         }
-        // the guard only serialises submission; a propagated job panic
-        // poisons it without leaving any state behind — recover and go on
-        let _submit = self
-            .submit
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let id;
         {
             let mut st = lock(&self.shared);
-            // SAFETY (lifetime erasure): we block below until `active == 0`,
-            // i.e. until no worker can touch the pointer again, and clear the
-            // slot before returning — the pointee outlives every dereference.
-            let raw = unsafe {
-                std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
-                    f as *const (dyn Fn(usize) + Sync),
-                )
+            // SAFETY (lifetime erasure): this call blocks below until the
+            // entry is complete (no runner left, none can join) and removes
+            // it before returning — the pointee outlives every dereference.
+            let raw = JobSlot(unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize) + Sync + '_),
+                    *const (dyn Fn(usize) + Sync + 'static),
+                >(f)
+            });
+            id = st.next_id;
+            st.next_id += 1;
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            let (pass, mode) = match &ticket {
+                None => {
+                    // full job: schedule at the floor (FIFO among peers)
+                    let mut joined = vec![false; self.threads()];
+                    joined[0] = true; // the submitter is worker 0
+                    (st.pass_floor, JobMode::Full { joined })
+                }
+                Some(t) => {
+                    let pass = t.0.pass.load(Ordering::Relaxed).max(st.pass_floor);
+                    t.0.pass.store(pass + t.0.stride, Ordering::Relaxed);
+                    let seats = if t.seats() == 0 {
+                        self.handles.len()
+                    } else {
+                        (t.seats() - 1).min(self.handles.len())
+                    };
+                    (
+                        pass,
+                        JobMode::Scheduled {
+                            seats,
+                            closed: false,
+                        },
+                    )
+                }
             };
-            st.job = Some(JobSlot(raw));
-            st.epoch += 1;
-            st.active = self.handles.len();
-            st.panicked = false;
+            st.jobs.push(JobEntry {
+                id,
+                raw,
+                pass,
+                seq,
+                running: 1, // the submitter, below
+                panicked: false,
+                mode,
+            });
             self.shared.work.notify_all();
         }
-        // the submitter is worker 0; catch a panic so the barrier below
-        // still runs and the job pointer stays valid until workers finish
+        // the submitter is worker 0; catch a panic so the completion wait
+        // below still runs and the job pointer stays valid until every
+        // runner has finished
         let caller = catch_unwind(AssertUnwindSafe(|| run_marked_in_job(|| f(0))));
         let mut st = lock(&self.shared);
-        while st.active > 0 {
+        let idx = st
+            .jobs
+            .iter()
+            .position(|e| e.id == id)
+            .expect("submitted job entry vanished");
+        st.jobs[idx].running -= 1;
+        if let JobMode::Scheduled { closed, .. } = &mut st.jobs[idx].mode {
+            *closed = true;
+        }
+        while !st.jobs.iter().find(|e| e.id == id).expect("job").complete() {
             st = self
                 .shared
                 .done
                 .wait(st)
                 .expect("worker pool state poisoned");
         }
-        st.job = None;
-        let worker_panicked = st.panicked;
+        let idx = st.jobs.iter().position(|e| e.id == id).expect("job");
+        let entry = st.jobs.swap_remove(idx);
+        st.pass_floor = st.pass_floor.max(entry.pass);
         drop(st);
         self.jobs_run.fetch_add(1, Ordering::SeqCst);
         match caller {
             Err(payload) => resume_unwind(payload),
-            Ok(()) if worker_panicked => panic!("worker pool job panicked on a worker thread"),
+            Ok(()) if entry.panicked => panic!("worker pool job panicked on a worker thread"),
             Ok(()) => {}
         }
     }
 
     /// Run `f` over every item, workers claiming items from a shared
     /// counter (morsel-driven dispatch), and return the results in item
-    /// order. With one worker or at most one item the work runs inline on
-    /// the caller's thread.
+    /// order. Inherits the calling thread's active [`SessionTicket`], if
+    /// any — the job is then seat-budgeted and fairly interleaved with
+    /// other sessions' jobs. With one worker or at most one item the work
+    /// runs inline on the caller's thread.
     pub fn for_each<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -333,32 +579,53 @@ impl Drop for WorkerPool {
     }
 }
 
+/// Pick the queue entry worker `id` should serve next: the admitting entry
+/// with the lowest (pass, seq). Returns the closure pointer and entry id
+/// after registering the worker as a runner.
+fn pick_job(st: &mut PoolState, id: usize) -> Option<(*const (dyn Fn(usize) + Sync), u64)> {
+    let best = st
+        .jobs
+        .iter_mut()
+        .filter(|e| e.admits(id))
+        .min_by_key(|e| (e.pass, e.seq))?;
+    best.join(id);
+    Some((best.raw.0, best.id))
+}
+
 fn worker_loop(shared: &PoolShared, id: usize) {
-    let mut seen = 0u64;
     loop {
-        let raw = {
+        let (raw, job_id) = {
             let mut st = lock(shared);
             loop {
                 if st.shutdown {
                     return;
                 }
-                if st.epoch != seen {
-                    seen = st.epoch;
-                    break st.job.as_ref().expect("job set with epoch").0;
+                if let Some(picked) = pick_job(&mut st, id) {
+                    break picked;
                 }
                 st = shared.work.wait(st).expect("worker pool state poisoned");
             }
         };
-        // SAFETY: `broadcast` keeps the pointee alive until `active == 0`,
-        // and we only decrement `active` after the last use of `raw`.
+        // SAFETY: this worker registered as a runner of a live entry under
+        // the lock; the submitter keeps the pointee alive (and the entry
+        // queued) until `running` returns to zero, which happens only after
+        // the last use of `raw` below.
         let f = unsafe { &*raw };
         let ok = catch_unwind(AssertUnwindSafe(|| run_marked_in_job(|| f(id)))).is_ok();
         let mut st = lock(shared);
+        let entry = st
+            .jobs
+            .iter_mut()
+            .find(|e| e.id == job_id)
+            .expect("running job entry vanished");
         if !ok {
-            st.panicked = true;
+            entry.panicked = true;
         }
-        st.active -= 1;
-        if st.active == 0 {
+        entry.running -= 1;
+        if let JobMode::Scheduled { closed, .. } = &mut entry.mode {
+            *closed = true;
+        }
+        if entry.running == 0 {
             shared.done.notify_all();
         }
     }
@@ -367,6 +634,7 @@ fn worker_loop(shared: &PoolShared, id: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
 
     #[test]
     fn partitioner_empty_table() {
@@ -460,6 +728,7 @@ mod tests {
 
     #[test]
     fn pool_broadcast_runs_every_worker() {
+        // no active ticket → full job: every worker runs exactly once
         let pool = WorkerPool::new(4);
         let hits = Mutex::new(vec![0usize; pool.threads()]);
         pool.broadcast(&|w| {
@@ -492,7 +761,7 @@ mod tests {
         let items: Vec<usize> = (0..16).collect();
         let out = pool.for_each(&items, |_, &x| {
             // a nested job from inside a worker: must complete (inline,
-            // single worker), not deadlock on the submission lock
+            // single worker), not deadlock
             let inner: Vec<usize> = (0..8).collect();
             let nested = pool.for_each(&inner, |_, &y| y * 10);
             assert_eq!(nested, (0..8).map(|y| y * 10).collect::<Vec<_>>());
@@ -513,5 +782,198 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn ticketed_jobs_run_concurrently() {
+        // Two sessions' jobs must be in flight at once: session A's job
+        // blocks until session B's job releases it — impossible on the old
+        // one-job-at-a-time pool, routine under the scheduler.
+        let pool = WorkerPool::new(4);
+        let a = SessionTicket::new(2);
+        let b = SessionTicket::new(2);
+        let a_started = AtomicBool::new(false);
+        let release = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _g = a.activate();
+                pool.broadcast(&|_w| {
+                    a_started.store(true, Ordering::SeqCst);
+                    while !release.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                });
+            });
+            scope.spawn(|| {
+                // wait until A's job is genuinely in flight
+                while !a_started.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                let _g = b.activate();
+                pool.broadcast(&|_w| {
+                    release.store(true, Ordering::SeqCst);
+                });
+            });
+        });
+        assert!(release.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn seat_budget_bounds_worker_participation() {
+        let pool = WorkerPool::new(8);
+        let ticket = SessionTicket::new(2);
+        let _g = ticket.activate();
+        let threads_seen: Mutex<std::collections::HashSet<std::thread::ThreadId>> =
+            Mutex::new(std::collections::HashSet::new());
+        // many items so that, were the budget ignored, more workers would
+        // almost surely claim some
+        let items: Vec<usize> = (0..4096).collect();
+        let out = pool.for_each(&items, |_, &x| {
+            threads_seen
+                .lock()
+                .unwrap()
+                .insert(std::thread::current().id());
+            // tiny spin so claims spread across the admitted workers
+            std::hint::black_box((0..50).sum::<usize>());
+            x
+        });
+        assert_eq!(out.len(), 4096);
+        let distinct = threads_seen.lock().unwrap().len();
+        assert!(
+            distinct <= 2,
+            "seat budget 2 but {distinct} distinct threads ran the job"
+        );
+    }
+
+    #[test]
+    fn budget_one_runs_inline() {
+        let pool = WorkerPool::new(4);
+        let ticket = SessionTicket::new(1);
+        let _g = ticket.activate();
+        let submitter = std::thread::current().id();
+        let items: Vec<usize> = (0..256).collect();
+        let out = pool.for_each(&items, |_, &x| {
+            assert_eq!(std::thread::current().id(), submitter);
+            x + 1
+        });
+        assert_eq!(out.len(), 256);
+    }
+
+    #[test]
+    fn ticket_pass_advances_per_job() {
+        let pool = WorkerPool::new(2);
+        let t = SessionTicket::new(0);
+        let start = t.pass();
+        let _g = t.activate();
+        for _ in 0..3 {
+            let items: Vec<usize> = (0..64).collect();
+            pool.for_each(&items, |_, &x| x);
+        }
+        assert!(
+            t.pass() >= start + 3 * (STRIDE_UNIT / 2),
+            "pass did not advance: {} -> {}",
+            start,
+            t.pass()
+        );
+    }
+
+    #[test]
+    fn fair_scheduler_serves_lowest_pass_first() {
+        // One spawned worker (pool of 2). Occupy it with a blocker job,
+        // queue one job from a high-pass session (B) and one from a
+        // fresh low-pass session (C); when the blocker releases, the
+        // worker must serve C before B.
+        let pool = WorkerPool::new(2);
+        let blocker = SessionTicket::new(2);
+        let b = SessionTicket::new(2);
+        // advance B's pass well beyond the floor
+        {
+            let _g = b.activate();
+            for _ in 0..3 {
+                let items: Vec<usize> = (0..8).collect();
+                pool.for_each(&items, |_, &x| x);
+            }
+        }
+        let c = SessionTicket::new(2);
+        let release = AtomicBool::new(false);
+        let blocker_running = AtomicBool::new(false);
+        let queued = AtomicUsize::new(0);
+        let join_order: Mutex<Vec<char>> = Mutex::new(Vec::new());
+        let b_joined = AtomicBool::new(false);
+        let c_joined = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _g = blocker.activate();
+                pool.broadcast(&|w| {
+                    if w == 0 {
+                        // hold the job open (a scheduled job closes when
+                        // its first runner returns) until the worker joins
+                        while !blocker_running.load(Ordering::SeqCst) {
+                            std::thread::yield_now();
+                        }
+                    } else {
+                        blocker_running.store(true, Ordering::SeqCst);
+                        while !release.load(Ordering::SeqCst) {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            });
+            while !blocker_running.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+            scope.spawn(|| {
+                let _g = b.activate();
+                pool.broadcast(&|w| {
+                    if w == 0 {
+                        queued.fetch_add(1, Ordering::SeqCst);
+                        // hold the job open until the worker joins it
+                        while !b_joined.load(Ordering::SeqCst) {
+                            std::thread::yield_now();
+                        }
+                    } else {
+                        join_order.lock().unwrap().push('b');
+                        b_joined.store(true, Ordering::SeqCst);
+                    }
+                });
+            });
+            scope.spawn(|| {
+                let _g = c.activate();
+                pool.broadcast(&|w| {
+                    if w == 0 {
+                        queued.fetch_add(1, Ordering::SeqCst);
+                        while !c_joined.load(Ordering::SeqCst) {
+                            std::thread::yield_now();
+                        }
+                    } else {
+                        join_order.lock().unwrap().push('c');
+                        c_joined.store(true, Ordering::SeqCst);
+                    }
+                });
+            });
+            // both jobs queued and held open → free the worker
+            while queued.load(Ordering::SeqCst) < 2 {
+                std::thread::yield_now();
+            }
+            release.store(true, Ordering::SeqCst);
+        });
+        assert_eq!(
+            *join_order.lock().unwrap(),
+            vec!['c', 'b'],
+            "worker served the higher-pass session first"
+        );
+    }
+
+    #[test]
+    fn activate_guard_restores_previous_ticket() {
+        let outer = SessionTicket::new(4);
+        let inner = SessionTicket::new(2);
+        let _a = outer.activate();
+        assert_eq!(current_ticket().unwrap().seats(), 4);
+        {
+            let _b = inner.activate();
+            assert_eq!(current_ticket().unwrap().seats(), 2);
+        }
+        assert_eq!(current_ticket().unwrap().seats(), 4);
     }
 }

@@ -455,6 +455,51 @@ impl Relation {
         })
     }
 
+    /// A new compact relation holding this relation's rows followed by
+    /// `other`'s — the **next table generation** an INSERT prepares in the
+    /// serving layer. The receiver is untouched (readers pinned to it keep
+    /// their snapshot); the appended copy is built column-at-a-time via
+    /// copy-on-write, and views on either side are gathered in the same
+    /// pass. Schemas must match exactly.
+    pub fn appended(&self, other: &Relation) -> Result<Relation, RelationError> {
+        if other.schema != self.schema {
+            return Err(RelationError::NotUnionCompatible);
+        }
+        let mut columns = Vec::with_capacity(self.schema.len());
+        for j in 0..self.schema.len() {
+            // zero-copy Arc share for a compact base, gather for a view
+            let mut col = match &self.sel {
+                None => self.columns[j].clone(),
+                Some(sel) => self.columns[j].gather(sel),
+            };
+            col.append_gather(&other.columns[j], other.sel.as_ref())?;
+            columns.push(col);
+        }
+        let compacted = fresh_cache(columns.len());
+        Ok(Relation {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns,
+            sel: None,
+            compacted,
+            compacted_all: OnceLock::new(),
+            stats: OnceLock::new(),
+        })
+    }
+
+    /// Do both relations share all base-column storage (`Arc` identity,
+    /// pairwise)? True for clones and pinned snapshots of one generation;
+    /// the serving-layer tests use this to prove snapshot pinning never
+    /// copies data. Trivially true for zero-column relations.
+    pub fn shares_columns_with(&self, other: &Relation) -> bool {
+        self.columns.len() == other.columns.len()
+            && self
+                .columns
+                .iter()
+                .zip(&other.columns)
+                .all(|(a, b)| a.shares_data_with(b))
+    }
+
     /// The sort permutation of this relation under the given attributes
     /// (ascending, nulls first), i.e. the OID order of `r^{U,k}`.
     pub fn sort_permutation_by(&self, attrs: &[&str]) -> Result<Vec<usize>, RelationError> {
@@ -816,6 +861,43 @@ mod tests {
             vec![Value::from("5am"), Value::from("7am"), Value::from("6am")]
         );
         assert_eq!(c.name(), Some("r"));
+    }
+
+    #[test]
+    fn appended_builds_next_generation_without_mutating_base() {
+        let base = weather();
+        let delta = RelationBuilder::new()
+            .column("T", vec!["9am"])
+            .column("H", vec![2.0f64])
+            .column("W", vec![9.0f64])
+            .build()
+            .unwrap();
+        let next = base.appended(&delta).unwrap();
+        assert_eq!(base.len(), 4, "the base generation is untouched");
+        assert_eq!(next.len(), 5);
+        assert_eq!(next.name(), base.name());
+        assert_eq!(next.column("T").unwrap().get(4), Value::from("9am"));
+        // a view on either side is gathered in the same pass
+        let view = base.filter(&[true, false, false, true]);
+        let from_view = view.appended(&delta).unwrap();
+        assert_eq!(from_view.len(), 3);
+        assert!(!from_view.is_view());
+        // schema mismatch is rejected
+        let wrong = RelationBuilder::new()
+            .column("T", vec!["9am"])
+            .build()
+            .unwrap();
+        assert!(base.appended(&wrong).is_err());
+    }
+
+    #[test]
+    fn clones_share_column_storage() {
+        let r = weather();
+        let snap = r.clone();
+        assert!(r.shares_columns_with(&snap), "pinning must be zero-copy");
+        let copied = r.appended(&weather().slice(0..0)).unwrap();
+        // appending even zero rows copies-on-write the touched columns
+        assert_eq!(copied.len(), 4);
     }
 
     #[test]

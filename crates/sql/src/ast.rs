@@ -19,16 +19,30 @@ pub enum Statement {
     Select(SelectStmt),
     /// `EXPLAIN SELECT ...`: render the optimized logical plan.
     Explain(SelectStmt),
+    /// `CREATE [OR REPLACE] TABLE name (col type, ...)`.
     CreateTable {
         name: String,
         columns: Vec<(String, DataType)>,
+        /// `OR REPLACE`: overwrite an existing table (a generation bump in
+        /// the versioned catalog) instead of erroring.
+        or_replace: bool,
+    },
+    /// `CREATE [OR REPLACE] TABLE name AS SELECT ...`.
+    CreateTableAs {
+        name: String,
+        query: SelectStmt,
+        /// `OR REPLACE`: overwrite instead of erroring.
+        or_replace: bool,
     },
     Insert {
         table: String,
         rows: Vec<Vec<Value>>,
     },
+    /// `DROP TABLE [IF EXISTS] name`.
     DropTable {
         name: String,
+        /// `IF EXISTS`: dropping a missing table succeeds silently.
+        if_exists: bool,
     },
 }
 

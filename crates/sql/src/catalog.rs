@@ -1,59 +1,110 @@
-//! Named-relation catalog.
+//! Named-relation catalog, rebased onto the serving layer's versioned
+//! store.
+//!
+//! The SQL layer's `Catalog` is now a *pinned view* of a shared
+//! [`VersionedCatalog`]: reads resolve against the pin (an immutable
+//! snapshot, so a running statement is never affected by concurrent
+//! commits), writes go through the versioned store (every `CREATE`/`PUT`/
+//! `DROP` is a generation bump, never in-place mutation) and re-pin. A
+//! private engine owns its own store; engines attached to one
+//! [`Server`](rma_core::Server) share the server's, which is how many SQL
+//! sessions serve one database concurrently.
 
 use crate::error::SqlError;
 use rma_core::plan::{PartitionedTableProvider, TableProvider};
+use rma_core::serve::{CatalogSnapshot, VersionedCatalog};
 use rma_relation::Relation;
-use std::collections::HashMap;
+use std::sync::Arc;
 
-/// A case-insensitive map from table names to relations.
-#[derive(Debug, Default)]
+/// A case-insensitive map from table names to relations: a pinned snapshot
+/// of a (possibly shared) versioned table store.
+#[derive(Debug)]
 pub struct Catalog {
-    tables: HashMap<String, Relation>,
+    shared: Arc<VersionedCatalog>,
+    pin: CatalogSnapshot,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::attached(Arc::new(VersionedCatalog::new()))
+    }
 }
 
 impl Catalog {
+    /// A catalog over a fresh private store.
     pub fn new() -> Self {
         Catalog::default()
     }
 
+    /// A catalog view onto an existing shared store, pinned at its current
+    /// version.
+    pub fn attached(shared: Arc<VersionedCatalog>) -> Self {
+        let pin = shared.snapshot();
+        Catalog { shared, pin }
+    }
+
+    /// The underlying versioned store (shared with every attached view).
+    pub fn shared(&self) -> &Arc<VersionedCatalog> {
+        &self.shared
+    }
+
+    /// Re-pin at the store's current version, making commits from other
+    /// sessions visible. The engine calls this at each statement boundary —
+    /// within a statement the pin (and thus the visible database state) is
+    /// frozen.
+    pub fn refresh(&mut self) {
+        self.pin = self.shared.snapshot();
+    }
+
+    /// The current pin (cheap clone; keeps its tables alive independently).
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        self.pin.clone()
+    }
+
     /// Register a relation under a name (the relation is renamed to match,
-    /// so (1,1)-shaped RMA results carry the right row origin).
+    /// so (1,1)-shaped RMA results carry the right row origin). Errors if
+    /// the name is taken — `put` replaces instead.
     pub fn register(&mut self, name: &str, relation: Relation) -> Result<(), SqlError> {
-        let key = name.to_ascii_lowercase();
-        if self.tables.contains_key(&key) {
-            return Err(SqlError::TableExists(name.to_string()));
-        }
-        self.tables.insert(key, relation.with_name(name));
+        self.shared.create(name, relation)?;
+        self.refresh();
         Ok(())
     }
 
-    /// Replace or insert a relation.
+    /// Replace or insert a relation (a generation bump either way).
     pub fn put(&mut self, name: &str, relation: Relation) {
-        self.tables
-            .insert(name.to_ascii_lowercase(), relation.with_name(name));
+        self.shared.create_or_replace(name, relation);
+        self.refresh();
     }
 
+    /// Resolve a table against the pin.
     pub fn get(&self, name: &str) -> Option<&Relation> {
-        self.tables.get(&name.to_ascii_lowercase())
+        self.pin.table(name)
     }
 
+    /// Drop a table from the store, returning the pinned relation it held
+    /// (readers pinned elsewhere keep their view — a drop is a catalog
+    /// generation bump, not destruction of data).
     pub fn remove(&mut self, name: &str) -> Option<Relation> {
-        self.tables.remove(&name.to_ascii_lowercase())
+        let old = self.shared.snapshot().table_arc(name)?;
+        self.shared
+            .drop_table(name)
+            .expect("table pinned above cannot vanish: drops are serialized through the store");
+        self.refresh();
+        Some((*old).clone())
     }
 
     pub fn contains(&self, name: &str) -> bool {
-        self.tables.contains_key(&name.to_ascii_lowercase())
+        self.pin.contains(name)
     }
 
     /// Iterate table names (sorted, for deterministic output).
     pub fn table_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
-        names.sort_unstable();
-        names
+        self.pin.table_names()
     }
 }
 
 /// The catalog is the SQL layer's table source for shared logical plans.
+/// Resolution goes through the pin: one statement, one snapshot.
 impl TableProvider for Catalog {
     fn table(&self, name: &str) -> Option<&Relation> {
         self.get(name)
@@ -107,5 +158,22 @@ mod tests {
         assert_eq!(c.table_names(), vec!["a", "b"]);
         assert!(c.remove("B").is_some());
         assert!(c.get("b").is_none());
+        assert!(c.remove("b").is_none());
+    }
+
+    #[test]
+    fn attached_views_share_the_store_via_refresh() {
+        let mut a = Catalog::new();
+        let mut b = Catalog::attached(Arc::clone(a.shared()));
+        a.register("t", rel()).unwrap();
+        // b's pin predates the write; a refresh makes it visible
+        assert!(!b.contains("t"));
+        b.refresh();
+        assert!(b.contains("t"));
+        // the pin outlives a drop performed through the other view
+        a.remove("t").unwrap();
+        assert!(b.get("t").is_some(), "b's pin still holds the table");
+        b.refresh();
+        assert!(b.get("t").is_none());
     }
 }

@@ -7,9 +7,10 @@ use crate::executor::execute;
 use crate::optimizer::optimize;
 use crate::parser::{parse, parse_script};
 use crate::plan::{explain_with_stats, plan_select, Plan};
-use rma_core::{RmaContext, RmaOptions};
-use rma_relation::{Relation, Schema};
-use rma_storage::Column;
+use rma_core::serve::Server;
+use rma_core::{RmaContext, RmaOptions, ServeError};
+use rma_relation::{Relation, Schema, SessionTicket};
+use std::sync::Arc;
 
 /// Result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,21 +34,33 @@ impl QueryResult {
 }
 
 /// An embedded SQL engine over the RMA-extended dialect.
-#[derive(Debug, Default)]
+///
+/// A private engine ([`Engine::new`]) owns its catalog; a *session* engine
+/// ([`Engine::session`]) attaches to a [`Server`]'s shared versioned
+/// catalog, executes on the server's worker pool under its own fair-
+/// scheduling ticket, and records statistics into its own forked context —
+/// many session engines on different threads serve one database
+/// concurrently.
+#[derive(Debug)]
 pub struct Engine {
     pub catalog: Catalog,
     rma: RmaContext,
+    /// The fair-scheduling ticket this engine's queries run under (seat
+    /// budget + stride pass; unlimited for private engines).
+    ticket: SessionTicket,
     /// Disable the optimizer to measure its effect (ablation benches).
     pub optimize: bool,
 }
 
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
 impl Engine {
     pub fn new() -> Self {
-        Engine {
-            catalog: Catalog::new(),
-            rma: RmaContext::default(),
-            optimize: true,
-        }
+        Engine::with_options(RmaOptions::default())
     }
 
     /// Engine with explicit RMA options (backend, sort policy, threads, …).
@@ -55,6 +68,27 @@ impl Engine {
         Engine {
             catalog: Catalog::new(),
             rma: RmaContext::new(options),
+            ticket: SessionTicket::new(0),
+            optimize: true,
+        }
+    }
+
+    /// A session engine on a [`Server`]: shares the server's versioned
+    /// catalog (statements see other sessions' commits at statement
+    /// boundaries; each statement runs against one pinned snapshot),
+    /// executes on the server's pool under the default per-session seat
+    /// budget, and keeps private [`ExecStats`](rma_core::ExecStats).
+    pub fn session(server: &Server) -> Self {
+        Engine::session_with_budget(server, server.default_budget())
+    }
+
+    /// A session engine with an explicit seat budget (`0` = no limit; `1`
+    /// runs every morsel job inline on the issuing thread).
+    pub fn session_with_budget(server: &Server, seats: usize) -> Self {
+        Engine {
+            catalog: Catalog::attached(Arc::clone(server.catalog())),
+            rma: server.context().fork(),
+            ticket: SessionTicket::new(seats),
             optimize: true,
         }
     }
@@ -124,9 +158,18 @@ impl Engine {
     }
 
     fn run_statement(&mut self, stmt: Statement) -> Result<QueryResult, SqlError> {
+        // statement boundary: re-pin the catalog so this statement sees the
+        // latest committed state (its own prior writes and, for session
+        // engines, other sessions' commits); within the statement the pin
+        // is frozen — one statement, one snapshot
+        self.catalog.refresh();
         match stmt {
             Statement::Select(sel) => {
                 let plan = self.build_plan(&sel)?;
+                // the session ticket is active for the whole execution, so
+                // every morsel job the plan submits is seat-budgeted and
+                // fairly interleaved with other sessions' jobs
+                let _seat = self.ticket.activate();
                 // the query result is a pipeline sink: compact any
                 // selection-vector view before handing it to the caller
                 let rel = execute(&plan, &self.catalog, &self.rma)?.materialize();
@@ -144,7 +187,11 @@ impl Engine {
                     .map_err(SqlError::Relation)?;
                 Ok(QueryResult::Relation(rel))
             }
-            Statement::CreateTable { name, columns } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                or_replace,
+            } => {
                 let schema = Schema::new(
                     columns
                         .iter()
@@ -152,29 +199,59 @@ impl Engine {
                         .collect(),
                 )
                 .map_err(SqlError::Relation)?;
-                self.catalog.register(&name, Relation::empty(schema))?;
+                let empty = Relation::empty(schema);
+                if or_replace {
+                    self.catalog.put(&name, empty);
+                } else {
+                    self.catalog.register(&name, empty)?;
+                }
                 Ok(QueryResult::Done { rows_affected: 0 })
             }
-            Statement::Insert { table, rows } => {
-                let existing = self
-                    .catalog
-                    .get(&table)
-                    .ok_or_else(|| SqlError::UnknownTable(table.clone()))?
-                    .clone();
-                let incoming = Relation::from_rows(existing.schema().clone(), &rows)
-                    .map_err(SqlError::Relation)?;
-                let mut columns: Vec<Column> = existing.columns().to_vec();
-                for (c, new) in columns.iter_mut().zip(incoming.columns()) {
-                    c.append(new).map_err(rma_relation::RelationError::from)?;
+            Statement::CreateTableAs {
+                name,
+                query,
+                or_replace,
+            } => {
+                let plan = self.build_plan(&query)?;
+                let rel = {
+                    let _seat = self.ticket.activate();
+                    execute(&plan, &self.catalog, &self.rma)?.materialize()
+                };
+                let n = rel.len();
+                if or_replace {
+                    self.catalog.put(&name, rel);
+                } else {
+                    self.catalog.register(&name, rel)?;
                 }
-                let combined = Relation::new(existing.schema().clone(), columns)
-                    .map_err(SqlError::Relation)?;
-                let n = rows.len();
-                self.catalog.put(&table, combined);
                 Ok(QueryResult::Done { rows_affected: n })
             }
-            Statement::DropTable { name } => {
-                if self.catalog.remove(&name).is_none() {
+            Statement::Insert { table, rows } => {
+                // MVCC-lite append: prepare the successor generation from a
+                // pinned snapshot and install it first-committer-wins; on
+                // conflict re-pin and re-prepare. Readers are never blocked
+                // — they keep executing against their own pins.
+                let shared = Arc::clone(self.catalog.shared());
+                let n = rows.len();
+                loop {
+                    let snap = shared.snapshot();
+                    let Some(generation) = snap.get(&table) else {
+                        return Err(SqlError::UnknownTable(table));
+                    };
+                    let base = generation.relation();
+                    let incoming = Relation::from_rows(base.schema().clone(), &rows)
+                        .map_err(SqlError::Relation)?;
+                    let next = base.appended(&incoming).map_err(SqlError::Relation)?;
+                    match shared.commit(&table, generation.generation(), next) {
+                        Ok(_) => break,
+                        Err(ServeError::WriteConflict { .. }) => continue,
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                self.catalog.refresh();
+                Ok(QueryResult::Done { rows_affected: n })
+            }
+            Statement::DropTable { name, if_exists } => {
+                if self.catalog.remove(&name).is_none() && !if_exists {
                     return Err(SqlError::UnknownTable(name));
                 }
                 Ok(QueryResult::Done { rows_affected: 0 })
@@ -265,6 +342,84 @@ mod tests {
             Err(SqlError::UnknownTable(_))
         ));
         assert!(e.execute("DROP TABLE rating").is_err());
+    }
+
+    #[test]
+    fn create_or_replace_swaps_the_table() {
+        let mut e = engine_with_rating();
+        assert!(matches!(
+            e.execute("CREATE TABLE rating (x INT)"),
+            Err(SqlError::TableExists(_))
+        ));
+        e.execute("CREATE OR REPLACE TABLE rating (x INT)").unwrap();
+        assert_eq!(e.query("SELECT * FROM rating").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn create_table_as_select() {
+        let mut e = engine_with_rating();
+        let res = e
+            .execute("CREATE TABLE hot AS SELECT u, Heat FROM rating WHERE Heat > 1")
+            .unwrap();
+        assert_eq!(res, QueryResult::Done { rows_affected: 2 });
+        let r = e.query("SELECT * FROM hot ORDER BY u").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.cell(0, "u").unwrap(), Value::from("Ann"));
+        // duplicate CTAS errors; OR REPLACE overwrites
+        assert!(e
+            .execute("CREATE TABLE hot AS SELECT * FROM rating")
+            .is_err());
+        e.execute("CREATE OR REPLACE TABLE hot AS SELECT u FROM rating")
+            .unwrap();
+        let names: Vec<_> = e
+            .query("SELECT * FROM hot")
+            .unwrap()
+            .schema()
+            .names()
+            .map(str::to_string)
+            .collect();
+        assert_eq!(names, vec!["u"]);
+    }
+
+    #[test]
+    fn drop_if_exists_is_idempotent() {
+        let mut e = Engine::new();
+        e.execute("DROP TABLE IF EXISTS ghost").unwrap();
+        assert!(e.execute("DROP TABLE ghost").is_err());
+    }
+
+    #[test]
+    fn session_engines_share_a_server_catalog() {
+        let server = Server::new(rma_core::RmaContext::default());
+        let mut a = Engine::session(&server);
+        let mut b = Engine::session(&server);
+        a.execute("CREATE TABLE t (x INT)").unwrap();
+        a.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        // b re-pins at its next statement boundary and sees a's commit
+        assert_eq!(b.query("SELECT * FROM t").unwrap().len(), 2);
+        // concurrent session engines append through the optimistic commit
+        // loop: every row lands despite conflicting writers
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let server = &server;
+                scope.spawn(move || {
+                    let mut e = Engine::session(server);
+                    for i in 0..25 {
+                        e.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+                    }
+                });
+            }
+        });
+        let n = b.query("SELECT COUNT(*) AS n FROM t").unwrap();
+        assert_eq!(n.cell(0, "n").unwrap(), Value::Int(102));
+        // per-session stats: a's matrix ops are not attributed to b
+        a.execute("CREATE TABLE m (k VARCHAR, v1 DOUBLE, v2 DOUBLE)")
+            .unwrap();
+        a.execute("INSERT INTO m VALUES ('a', 2.0, 0.0), ('b', 0.0, 2.0)")
+            .unwrap();
+        a.query("SELECT * FROM INV(m BY k)").unwrap();
+        assert!(a.rma_context().stats().ops_run >= 1);
+        assert_eq!(b.rma_context().stats().ops_run, 0);
     }
 
     #[test]

@@ -58,3 +58,17 @@ impl From<RmaError> for SqlError {
         SqlError::Rma(e)
     }
 }
+
+impl From<rma_core::ServeError> for SqlError {
+    fn from(e: rma_core::ServeError) -> Self {
+        use rma_core::ServeError;
+        match e {
+            ServeError::TableExists(t) => SqlError::TableExists(t),
+            ServeError::NoSuchTable(t) => SqlError::UnknownTable(t),
+            // an unresolved write conflict surfaces as a plan-level error;
+            // the engine's INSERT loop retries conflicts internally, so
+            // this only escapes on logic errors
+            e @ ServeError::WriteConflict { .. } => SqlError::Plan(e.to_string()),
+        }
+    }
+}

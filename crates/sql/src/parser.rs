@@ -135,15 +135,27 @@ impl Parser {
             }
             Ok(Statement::Explain(self.select()?))
         } else if self.eat_kw("CREATE") {
+            let or_replace = if self.eat_kw("OR") {
+                self.expect_kw("REPLACE")?;
+                true
+            } else {
+                false
+            };
             self.expect_kw("TABLE")?;
-            self.create_table()
+            self.create_table(or_replace)
         } else if self.eat_kw("INSERT") {
             self.expect_kw("INTO")?;
             self.insert()
         } else if self.eat_kw("DROP") {
             self.expect_kw("TABLE")?;
+            let if_exists = if self.eat_kw("IF") {
+                self.expect_kw("EXISTS")?;
+                true
+            } else {
+                false
+            };
             let name = self.ident()?;
-            Ok(Statement::DropTable { name })
+            Ok(Statement::DropTable { name, if_exists })
         } else {
             Err(SqlError::Parse(format!(
                 "expected statement, found `{}`",
@@ -152,8 +164,23 @@ impl Parser {
         }
     }
 
-    fn create_table(&mut self) -> Result<Statement, SqlError> {
+    fn create_table(&mut self, or_replace: bool) -> Result<Statement, SqlError> {
         let name = self.ident()?;
+        // CREATE TABLE name AS SELECT ... materialises a query result
+        if self.eat_kw("AS") {
+            if !self.peek_kw("SELECT") {
+                return Err(SqlError::Parse(format!(
+                    "CREATE TABLE ... AS requires a SELECT, found `{}`",
+                    self.peek_display()
+                )));
+            }
+            let query = self.select()?;
+            return Ok(Statement::CreateTableAs {
+                name,
+                query,
+                or_replace,
+            });
+        }
         self.expect(&Token::LParen)?;
         let mut columns = Vec::new();
         loop {
@@ -180,7 +207,11 @@ impl Parser {
             }
         }
         self.expect(&Token::RParen)?;
-        Ok(Statement::CreateTable { name, columns })
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            or_replace,
+        })
     }
 
     fn insert(&mut self) -> Result<Statement, SqlError> {
@@ -780,12 +811,18 @@ mod tests {
     #[test]
     fn parse_create_insert_drop() {
         let c = parse("CREATE TABLE t (a INT, b DOUBLE, c VARCHAR(20))").unwrap();
-        let Statement::CreateTable { name, columns } = c else {
+        let Statement::CreateTable {
+            name,
+            columns,
+            or_replace,
+        } = c
+        else {
             panic!()
         };
         assert_eq!(name, "t");
         assert_eq!(columns.len(), 3);
         assert_eq!(columns[1].1, DataType::Float);
+        assert!(!or_replace);
         let i = parse("INSERT INTO t VALUES (1, 2.5, 'x'), (2, NULL, 'y')").unwrap();
         let Statement::Insert { rows, .. } = i else {
             panic!()
@@ -794,8 +831,45 @@ mod tests {
         assert_eq!(rows[1][1], Value::Null);
         assert!(matches!(
             parse("DROP TABLE t").unwrap(),
-            Statement::DropTable { .. }
+            Statement::DropTable {
+                if_exists: false,
+                ..
+            }
         ));
+    }
+
+    #[test]
+    fn parse_or_replace_ctas_and_if_exists() {
+        assert!(matches!(
+            parse("CREATE OR REPLACE TABLE t (a INT)").unwrap(),
+            Statement::CreateTable {
+                or_replace: true,
+                ..
+            }
+        ));
+        let ctas = parse("CREATE OR REPLACE TABLE s AS SELECT a FROM t WHERE a > 1").unwrap();
+        let Statement::CreateTableAs {
+            name,
+            query,
+            or_replace,
+        } = ctas
+        else {
+            panic!()
+        };
+        assert_eq!(name, "s");
+        assert!(or_replace);
+        assert!(query.where_clause.is_some());
+        assert!(matches!(
+            parse("DROP TABLE IF EXISTS t").unwrap(),
+            Statement::DropTable {
+                if_exists: true,
+                ..
+            }
+        ));
+        // malformed variants
+        assert!(parse("CREATE OR TABLE t (a INT)").is_err());
+        assert!(parse("CREATE TABLE t AS DROP TABLE u").is_err());
+        assert!(parse("DROP TABLE IF t").is_err());
     }
 
     #[test]

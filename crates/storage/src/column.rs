@@ -424,6 +424,14 @@ impl Column {
     pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
         (0..self.len()).map(move |i| self.get(i))
     }
+
+    /// Do both columns share the same backing storage (`Arc` identity)?
+    /// The serving layer's snapshot tests use this to prove that pinning a
+    /// catalog snapshot is zero-copy: every reader's view of an unchanged
+    /// table is the same `Arc`'d storage the catalog holds, not a copy.
+    pub fn shares_data_with(&self, other: &Column) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
 }
 
 fn extend_gather<T: Clone>(a: &mut Vec<T>, b: &[T], sel: Option<&SelVec>) {

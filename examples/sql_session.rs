@@ -1,50 +1,106 @@
-//! A scripted SQL session demonstrating the extended dialect: RMA table
-//! expressions, nesting, joins, aggregates, and EXPLAIN with predicate
-//! pushdown.
+//! Multi-session SQL serving: several engines attached to one server,
+//! writing and reading concurrently with snapshot isolation.
+//!
+//! One appender streams batches into `rating` while three reader
+//! sessions aggregate it — every reader observes some committed
+//! generation (`SUM(w) == COUNT(*)` over an all-ones column is the
+//! checksum), never a torn state. DDL goes through the same versioned
+//! catalog: `CREATE TABLE AS SELECT`, `CREATE OR REPLACE`, and `DROP`
+//! are generation bumps, so a reader pinned before a drop keeps its
+//! data.
 //!
 //! Run with: `cargo run --example sql_session`
 
 use rma::sql::Engine;
+use rma::{Server, Value};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut e = Engine::new();
-
-    e.execute_script(
-        "CREATE TABLE r (T VARCHAR, H DOUBLE, W DOUBLE);
-         INSERT INTO r VALUES ('5am', 1.0, 3.0), ('8am', 8.0, 5.0),
-                              ('7am', 6.0, 7.0), ('6am', 1.0, 4.0);",
+    let server = Server::default();
+    let mut admin = Engine::session(&server);
+    admin.execute_script(
+        "CREATE TABLE rating (T VARCHAR, H DOUBLE, w INT);
+         INSERT INTO rating VALUES ('5am', 1.0, 1), ('8am', 8.0, 1),
+                                   ('7am', 6.0, 1), ('6am', 1.0, 1);",
     )?;
 
-    for query in [
-        // Figure 3: inversion of a selected sub-relation
-        "SELECT * FROM INV((SELECT * FROM r WHERE T > '6am') q BY T)",
-        // Figure 4: QR decomposition and transpose
-        "SELECT * FROM QQR(r BY T)",
-        "SELECT * FROM TRA(r BY T)",
-        // Figure 10: nested transposes round-trip
-        "SELECT * FROM TRA(TRA(r BY T) BY C) WHERE C >= '7am'",
-        // singular values, determinant needs a square application part
-        "SELECT * FROM VSV(r BY T)",
-        "SELECT * FROM DET((SELECT * FROM r WHERE T > '6am') q BY T)",
-        // plain SQL still works, including aggregates and ordering
-        "SELECT COUNT(*) AS n, AVG(H) AS avg_h FROM r WHERE W > 3",
-        "SELECT T, H + W AS s FROM r ORDER BY s DESC LIMIT 2",
-    ] {
-        println!("> {query}");
-        println!("{}", e.query(query)?);
-    }
+    // --- one appender + three readers, each its own session ------------
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let writer = {
+            let server = &server;
+            scope.spawn(move || {
+                let mut e = Engine::session(server);
+                for i in 0..200 {
+                    e.execute(&format!("INSERT INTO rating VALUES ('t{i}', {i}.0, 1)"))
+                        .expect("insert");
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|r| {
+                let server = &server;
+                let done = &done;
+                scope.spawn(move || {
+                    let mut e = Engine::session(server);
+                    let (mut reads, mut last) = (0u32, 0i64);
+                    while !done.load(Ordering::Relaxed) {
+                        let row = e
+                            .query("SELECT COUNT(*) AS n, SUM(w) AS s FROM rating")
+                            .expect("aggregate");
+                        let (n, s) = (row.cell(0, "n").unwrap(), row.cell(0, "s").unwrap());
+                        // the snapshot-consistency checksum: an all-ones
+                        // column sums to the row count in every committed
+                        // generation — a torn read would break it
+                        assert_eq!(n, s, "reader saw an uncommitted state");
+                        if let Value::Int(v) = n {
+                            assert!(v >= last, "snapshots went backwards");
+                            last = v;
+                        }
+                        reads += 1;
+                    }
+                    (r, reads, last)
+                })
+            })
+            .collect();
+        writer.join().expect("writer");
+        done.store(true, Ordering::Relaxed);
+        for h in readers {
+            let (r, reads, last) = h.join().expect("reader");
+            println!("reader {r}: {reads} consistent reads, final count {last}");
+        }
+    });
+    let total = admin.query("SELECT COUNT(*) AS n FROM rating")?;
+    println!("committed rows: {}", total.cell(0, "n").unwrap());
 
-    // EXPLAIN shows the optimizer pushing filters below joins; it is a
-    // statement of the dialect, so it composes with the scripted session
-    e.execute("CREATE TABLE meta (T2 VARCHAR, label VARCHAR)")?;
-    e.execute("INSERT INTO meta VALUES ('7am', 'rush'), ('8am', 'rush')")?;
-    let plan =
-        e.query("EXPLAIN SELECT * FROM r JOIN meta ON T = T2 WHERE label = 'rush' AND H > 2")?;
-    println!("EXPLAIN with pushdown:\n{plan}");
+    // --- DDL across sessions is just more generations ------------------
+    let mut analyst = Engine::session(&server);
+    analyst.execute("CREATE TABLE hot AS SELECT T, H FROM rating WHERE H > 5.0")?;
+    // visible to the admin session at its next statement boundary
+    let n = admin.query("SELECT COUNT(*) AS n FROM hot")?;
+    println!("hot rows (admin's view): {}", n.cell(0, "n").unwrap());
+    analyst.execute("CREATE OR REPLACE TABLE hot AS SELECT T, H FROM rating WHERE H > 100.0")?;
+    let n = admin.query("SELECT COUNT(*) AS n FROM hot")?;
+    println!("hot rows after replace: {}", n.cell(0, "n").unwrap());
+    analyst.execute("DROP TABLE IF EXISTS hot")?;
+    assert!(admin.query("SELECT * FROM hot").is_err());
 
-    // ... and exposes the cross-operator rewrite: consecutive matrix
-    // operations over the same order schema sort once
-    let plan = e.query("EXPLAIN SELECT * FROM INV(INV(r BY T) BY T)")?;
-    println!("EXPLAIN with shared sort:\n{plan}");
+    // --- a pin outlives a drop: readers keep their generation ----------
+    let session = server.session();
+    let pin = session.pin();
+    session.drop_table("rating")?;
+    let held = session.query_at(&pin, rma::Frame::table("rating"))?;
+    println!(
+        "dropped `rating`; pinned reader still sees {} rows",
+        held.len()
+    );
+
+    // the RMA dialect works unchanged through a session engine
+    let mut rma_user = Engine::session(&server);
+    rma_user.execute_script(
+        "CREATE TABLE r (T VARCHAR, H DOUBLE, W DOUBLE);
+         INSERT INTO r VALUES ('5am', 1.0, 3.0), ('6am', 1.0, 4.0);",
+    )?;
+    println!("{}", rma_user.query("SELECT * FROM INV(r BY T)")?);
     Ok(())
 }

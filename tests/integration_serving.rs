@@ -1,0 +1,100 @@
+//! End-to-end serving-layer stress: several SQL session engines attached
+//! to one [`Server`], one appender and three readers running concurrently.
+//!
+//! The consistency oracle: the single appender inserts `1..=ROWS` in
+//! order, so the committed generations are exactly the prefixes of that
+//! sequence and every reader aggregate must satisfy
+//! `SUM(x) = n * (n + 1) / 2` for its observed `COUNT(*) = n`. A torn or
+//! non-snapshot read breaks the identity.
+
+use rma::sql::Engine;
+use rma::{Server, Value};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+const ROWS: i64 = 250;
+const MIN_READER_QUERIES: usize = 350;
+
+#[test]
+fn four_sql_sessions_serve_consistent_snapshots() {
+    let server = Server::default();
+    let mut admin = Engine::session(&server);
+    admin.execute("CREATE TABLE t (x INT)").unwrap();
+
+    let done = AtomicBool::new(false);
+    let queries = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let writer = {
+            let server = &server;
+            scope.spawn(move || {
+                let mut e = Engine::session(server);
+                for i in 1..=ROWS {
+                    e.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+                }
+            })
+        };
+        for _ in 0..3 {
+            let server = &server;
+            let done = &done;
+            let queries = &queries;
+            scope.spawn(move || {
+                let mut e = Engine::session(server);
+                let mut issued = 0usize;
+                while !done.load(Ordering::Relaxed) || issued < MIN_READER_QUERIES {
+                    let r = e.query("SELECT COUNT(*) AS n, SUM(x) AS s FROM t").unwrap();
+                    let n = match r.cell(0, "n").unwrap() {
+                        Value::Int(v) => v,
+                        other => panic!("unexpected count {other:?}"),
+                    };
+                    let s = match r.cell(0, "s").unwrap() {
+                        Value::Int(v) => v,
+                        Value::Null => 0,
+                        other => panic!("unexpected sum {other:?}"),
+                    };
+                    assert!((0..=ROWS).contains(&n), "impossible row count {n}");
+                    assert_eq!(
+                        s,
+                        n * (n + 1) / 2,
+                        "aggregate ({n}, {s}) matches no committed generation"
+                    );
+                    issued += 1;
+                }
+                queries.fetch_add(issued, Ordering::Relaxed);
+            });
+        }
+        writer.join().unwrap();
+        done.store(true, Ordering::Relaxed);
+    });
+
+    assert!(
+        queries.load(Ordering::Relaxed) >= 3 * MIN_READER_QUERIES,
+        "stress run issued fewer than {} reader queries",
+        3 * MIN_READER_QUERIES
+    );
+    let r = admin.query("SELECT COUNT(*) AS n FROM t").unwrap();
+    assert_eq!(r.cell(0, "n").unwrap(), Value::Int(ROWS));
+}
+
+#[test]
+fn ddl_round_trips_across_sessions() {
+    let server = Server::default();
+    let mut a = Engine::session(&server);
+    let mut b = Engine::session(&server);
+    a.execute("CREATE TABLE src (x INT)").unwrap();
+    a.execute("INSERT INTO src VALUES (1), (2), (3)").unwrap();
+
+    // CTAS in one session is visible to the other at its next statement
+    b.execute("CREATE TABLE derived AS SELECT x FROM src WHERE x > 1")
+        .unwrap();
+    let r = a.query("SELECT COUNT(*) AS n FROM derived").unwrap();
+    assert_eq!(r.cell(0, "n").unwrap(), Value::Int(2));
+
+    // OR REPLACE bumps the generation rather than mutating in place
+    b.execute("CREATE OR REPLACE TABLE derived AS SELECT x FROM src")
+        .unwrap();
+    let r = a.query("SELECT COUNT(*) AS n FROM derived").unwrap();
+    assert_eq!(r.cell(0, "n").unwrap(), Value::Int(3));
+
+    a.execute("DROP TABLE IF EXISTS ghost").unwrap();
+    a.execute("DROP TABLE derived").unwrap();
+    assert!(b.query("SELECT * FROM derived").is_err());
+}
