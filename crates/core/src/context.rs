@@ -6,7 +6,7 @@
 //! [`ExecStats`] measures the data-transformation share reported in Fig. 14.
 
 use crate::shape::RmaOp;
-use rma_relation::WorkerPool;
+use rma_relation::{PoolStats, WorkerPool};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -290,6 +290,16 @@ impl RmaContext {
     /// reuse them (see `rma_relation::par` for the job contract).
     pub fn pool(&self) -> &WorkerPool {
         &self.pool
+    }
+
+    /// Snapshot the session pool's counters and gauges — total threads,
+    /// process-wide threads spawned, jobs completed, current queue depth,
+    /// cumulative queue-wait and busy time
+    /// ([`rma_relation::PoolStats`]). The public observation point for
+    /// pool behaviour (thread reuse, scheduler pressure, utilization);
+    /// forked contexts share the pool and therefore the same stats.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// A context with different options *sharing this context's pool* —

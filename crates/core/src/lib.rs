@@ -36,14 +36,20 @@ pub mod plan;
 pub mod serve;
 pub mod shape;
 pub mod split;
+pub mod trace;
 
 pub use context::{
     default_threads, Backend, ExecStats, KernelUsed, RmaContext, RmaOptions, SortPolicy,
 };
 pub use error::RmaError;
 pub use plan::{Frame, LogicalPlan, PartitionedTableProvider, PlanError, TableProvider};
-pub use serve::{CatalogSnapshot, ServeError, Server, Session, VersionedCatalog};
+pub use rma_relation::PoolStats;
+pub use serve::{
+    CatalogSnapshot, MetricsRegistry, MetricsSnapshot, ServeError, Server, Session,
+    SessionCounters, VersionedCatalog,
+};
 pub use shape::{Dim, RmaOp, ShapeType, ALL_OPS};
+pub use trace::{chrome_trace_json, Span, TraceSession};
 
 // Free-function API re-exports.
 pub use ops::{

@@ -13,10 +13,23 @@
 //! per-operator thread spawns. Every other operator — and everything at
 //! `threads == 1` — takes the serial interpreter below, which is the
 //! fallback rule for operators without a parallel implementation.
+//!
+//! Profiling: [`execute_analyzed`] runs the same interpreter with a
+//! per-node actuals recorder — output rows, inclusive wall time, and the
+//! morsel count the operator dispatched — in the exact pre-order the
+//! EXPLAIN tree prints nodes, which is what `EXPLAIN ANALYZE` joins back
+//! onto the cost-annotated rendering. Analyzed runs disable pipeline
+//! fusion so every plan node is individually attributable (and the tree is
+//! identical at any thread count); span recording
+//! ([`rma_relation::trace`]) is active in both modes whenever a collector
+//! is installed.
 
 use super::{par, LogicalPlan, PartitionedTableProvider, PlanError};
 use crate::context::{RmaContext, RmaOptions};
-use rma_relation::{self as rel, Relation};
+use rma_relation::trace;
+use rma_relation::{self as rel, morsel_count, par::MIN_PARALLEL_ROWS, Relation};
+use std::cell::RefCell;
+use std::time::Instant;
 
 /// Execute a logical plan against a table provider.
 pub fn execute(
@@ -24,13 +37,103 @@ pub fn execute(
     ctx: &RmaContext,
     provider: &dyn PartitionedTableProvider,
 ) -> Result<Relation, PlanError> {
+    execute_inner(plan, ctx, provider, None)
+}
+
+/// What one plan node actually did during an analyzed execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeActual {
+    /// Rows the node produced.
+    pub rows: u64,
+    /// Inclusive wall time (the node and its subtree), in nanoseconds.
+    pub nanos: u64,
+    /// Morsels the operator dispatched (1 for serial operators and inputs
+    /// below the parallel threshold).
+    pub morsels: u64,
+}
+
+/// Execute a plan while recording per-node actuals, returned **in the
+/// pre-order [`super::explain`] prints the tree** (node before children;
+/// join children left then right; RMA arguments in declaration order).
+/// Pipeline fusion is disabled so every node is timed individually — the
+/// result relation is still exactly [`execute`]'s.
+pub fn execute_analyzed(
+    plan: &LogicalPlan,
+    ctx: &RmaContext,
+    provider: &dyn PartitionedTableProvider,
+) -> Result<(Relation, Vec<NodeActual>), PlanError> {
+    let actuals = RefCell::new(Vec::new());
+    let out = execute_inner(plan, ctx, provider, Some(&actuals))?;
+    Ok((out, actuals.into_inner()))
+}
+
+/// The morsel count a claim-based parallel operator dispatches over `len`
+/// input rows — 1 whenever the operator would take the serial path.
+fn par_morsels(threads: usize, len: usize) -> u64 {
+    if threads > 1 && len >= MIN_PARALLEL_ROWS {
+        morsel_count(threads, len) as u64
+    } else {
+        1
+    }
+}
+
+/// The run ("range-per-worker") count the parallel sort/top-k dispatches.
+fn sort_morsels(threads: usize, len: usize) -> u64 {
+    if threads > 1 && len >= MIN_PARALLEL_ROWS {
+        threads as u64
+    } else {
+        1
+    }
+}
+
+/// Static span label for a plan node (trace spans carry `&'static str`).
+fn node_label(plan: &LogicalPlan) -> &'static str {
+    match plan {
+        LogicalPlan::Values { .. } => "exec.values",
+        LogicalPlan::Scan { .. } => "exec.scan",
+        LogicalPlan::Select { .. } => "exec.select",
+        LogicalPlan::Project { .. } => "exec.project",
+        LogicalPlan::Aggregate { .. } => "exec.aggregate",
+        LogicalPlan::NaturalJoin { .. } => "exec.natural_join",
+        LogicalPlan::JoinOn { .. } => "exec.join_on",
+        LogicalPlan::Cross { .. } => "exec.cross",
+        LogicalPlan::UnionAll { .. } => "exec.union_all",
+        LogicalPlan::Distinct { .. } => "exec.distinct",
+        LogicalPlan::OrderBy { .. } => "exec.order_by",
+        LogicalPlan::Limit { .. } => "exec.limit",
+        LogicalPlan::TopK { .. } => "exec.top_k",
+        LogicalPlan::Rma { .. } => "exec.rma",
+        LogicalPlan::AssertKey { .. } => "exec.assert_key",
+    }
+}
+
+/// The interpreter proper. `analyze` carries the per-node actuals sink of
+/// an [`execute_analyzed`] run; plan recursion happens on the submitting
+/// thread only (pool jobs run leaf computations), so a `RefCell` suffices.
+fn execute_inner(
+    plan: &LogicalPlan,
+    ctx: &RmaContext,
+    provider: &dyn PartitionedTableProvider,
+    analyze: Option<&RefCell<Vec<NodeActual>>>,
+) -> Result<Relation, PlanError> {
     let pool = ctx.pool();
-    if pool.threads() > 1 {
+    // fusion collapses Scan→Select→Project chains into one job, which is
+    // faster but unattributable per node — analyzed runs keep nodes apart
+    if analyze.is_none() && pool.threads() > 1 {
         if let Some(result) = par::try_pipeline(plan, ctx, provider) {
             return result;
         }
     }
-    match plan {
+    let my_id = analyze.map(|a| {
+        let mut v = a.borrow_mut();
+        v.push(NodeActual::default());
+        v.len() - 1
+    });
+    let started = analyze.map(|_| Instant::now());
+    let span = trace::clock();
+    let threads = pool.threads();
+    let mut morsels: u64 = 1;
+    let result = match plan {
         LogicalPlan::Values { rel, projection } => {
             scan_projected(rel.as_ref(), projection.as_deref())
         }
@@ -41,13 +144,14 @@ pub fn execute(
             scan_projected(r, projection.as_deref())
         }
         LogicalPlan::Select { input, predicate } => {
-            let r = execute(input, ctx, provider)?;
+            let r = execute_inner(input, ctx, provider, analyze)?;
+            morsels = par_morsels(threads, r.len());
             // select_parallel (like the other *_parallel operators) runs
             // the serial operator itself on a single-worker pool
             Ok(rel::select_parallel(&r, predicate, pool)?)
         }
         LogicalPlan::Project { input, items } => {
-            let r = execute(input, ctx, provider)?;
+            let r = execute_inner(input, ctx, provider, analyze)?;
             let refs: Vec<(rel::Expr, &str)> =
                 items.iter().map(|(e, n)| (e.clone(), n.as_str())).collect();
             Ok(rel::project_exprs(&r, &refs)?)
@@ -57,49 +161,54 @@ pub fn execute(
             group_by,
             aggs,
         } => {
-            let r = execute(input, ctx, provider)?;
+            let r = execute_inner(input, ctx, provider, analyze)?;
+            morsels = par_morsels(threads, r.len());
             let gb: Vec<&str> = group_by.iter().map(String::as_str).collect();
             Ok(rel::aggregate_parallel(&r, &gb, aggs, pool)?)
         }
         LogicalPlan::NaturalJoin { left, right } => {
-            let l = execute(left, ctx, provider)?;
-            let r = execute(right, ctx, provider)?;
+            let l = execute_inner(left, ctx, provider, analyze)?;
+            let r = execute_inner(right, ctx, provider, analyze)?;
+            morsels = par_morsels(threads, l.len().max(r.len()));
             Ok(rel::natural_join_parallel(&l, &r, pool)?)
         }
         LogicalPlan::JoinOn { left, right, on } => {
-            let l = execute(left, ctx, provider)?;
-            let r = execute(right, ctx, provider)?;
+            let l = execute_inner(left, ctx, provider, analyze)?;
+            let r = execute_inner(right, ctx, provider, analyze)?;
+            morsels = par_morsels(threads, l.len().max(r.len()));
             let pairs: Vec<(&str, &str)> =
                 on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
             Ok(rel::join_on_parallel(&l, &r, &pairs, pool)?)
         }
         LogicalPlan::Cross { left, right } => {
-            let l = execute(left, ctx, provider)?;
-            let r = execute(right, ctx, provider)?;
+            let l = execute_inner(left, ctx, provider, analyze)?;
+            let r = execute_inner(right, ctx, provider, analyze)?;
             Ok(rel::cross_product(&l, &r)?)
         }
         LogicalPlan::UnionAll { left, right } => {
-            let l = execute(left, ctx, provider)?;
-            let r = execute(right, ctx, provider)?;
+            let l = execute_inner(left, ctx, provider, analyze)?;
+            let r = execute_inner(right, ctx, provider, analyze)?;
             Ok(rel::union_all(&l, &r)?)
         }
         LogicalPlan::Distinct { input } => {
-            let r = execute(input, ctx, provider)?;
+            let r = execute_inner(input, ctx, provider, analyze)?;
             Ok(rel::distinct(&r)?)
         }
         LogicalPlan::OrderBy { input, keys } => {
-            let r = execute(input, ctx, provider)?;
+            let r = execute_inner(input, ctx, provider, analyze)?;
+            morsels = sort_morsels(threads, r.len());
             let attrs: Vec<&str> = keys.iter().map(|(k, _)| k.as_str()).collect();
             let dirs: Vec<bool> = keys.iter().map(|(_, asc)| *asc).collect();
             // per-worker local sorts + k-way merge; the result is a view
             Ok(rel::order_by_parallel(&r, &attrs, &dirs, pool)?)
         }
         LogicalPlan::Limit { input, n } => {
-            let r = execute(input, ctx, provider)?;
+            let r = execute_inner(input, ctx, provider, analyze)?;
             Ok(rel::limit(&r, *n, 0))
         }
         LogicalPlan::TopK { input, keys, n } => {
-            let r = execute(input, ctx, provider)?;
+            let r = execute_inner(input, ctx, provider, analyze)?;
+            morsels = sort_morsels(threads, r.len());
             let attrs: Vec<&str> = keys.iter().map(|(k, _)| k.as_str()).collect();
             let dirs: Vec<bool> = keys.iter().map(|(_, asc)| *asc).collect();
             // per-worker bounded heaps merged at the barrier
@@ -118,7 +227,7 @@ pub fn execute(
             // node's kernel dispatch honours the plan-level backend choice
             let inputs: Vec<Relation> = args
                 .iter()
-                .map(|a| execute(&a.input, ctx, provider))
+                .map(|a| execute_inner(&a.input, ctx, provider, analyze))
                 .collect::<Result<_, _>>()?;
             match backend {
                 Some(b) if *b != ctx.options.backend => {
@@ -134,12 +243,29 @@ pub fn execute(
             }
         }
         LogicalPlan::AssertKey { input, attrs } => {
-            let r = execute(input, ctx, provider)?;
+            let r = execute_inner(input, ctx, provider, analyze)?;
             let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
             r.require_key(&refs)?;
             Ok(r)
         }
+    }?;
+    trace::record(
+        node_label(plan),
+        "exec",
+        0,
+        span,
+        0,
+        result.len() as u64,
+        morsels,
+    );
+    if let (Some(id), Some(t0), Some(sink)) = (my_id, started, analyze) {
+        sink.borrow_mut()[id] = NodeActual {
+            rows: result.len() as u64,
+            nanos: t0.elapsed().as_nanos() as u64,
+            morsels,
+        };
     }
+    Ok(result)
 }
 
 fn dispatch_rma(

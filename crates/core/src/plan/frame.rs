@@ -28,8 +28,8 @@
 //! ```
 
 use super::{
-    execute, explain_with_stats, optimize, LogicalPlan, NoTables, PartitionedTableProvider,
-    PlanError, RmaArg,
+    execute, execute_analyzed, explain_analyze, explain_with_stats, optimize, LogicalPlan,
+    NoTables, PartitionedTableProvider, PlanError, RmaArg,
 };
 use crate::context::RmaContext;
 use crate::shape::RmaOp;
@@ -258,6 +258,29 @@ impl Frame {
         provider: &dyn PartitionedTableProvider,
     ) -> String {
         explain_with_stats(&optimize(self.plan.clone(), ctx, provider), provider)
+    }
+
+    /// `EXPLAIN ANALYZE`: optimize the plan, **execute it** with per-node
+    /// profiling, and render the cost-annotated tree with measured
+    /// actuals — output rows, inclusive wall time, morsel count, and the
+    /// estimate-vs-actual q-error — appended to every line
+    /// ([`super::explain_analyze`]). Analyzed runs execute
+    /// operator-at-a-time (pipeline fusion off), so the printed tree and
+    /// its actual row counts are identical at any thread count.
+    pub fn explain_analyze(&self, ctx: &RmaContext) -> Result<String, PlanError> {
+        self.explain_analyze_with(ctx, &NoTables)
+    }
+
+    /// [`Frame::explain_analyze`] with named tables resolved through a
+    /// provider.
+    pub fn explain_analyze_with(
+        &self,
+        ctx: &RmaContext,
+        provider: &dyn PartitionedTableProvider,
+    ) -> Result<String, PlanError> {
+        let plan = optimize(self.plan.clone(), ctx, provider);
+        let (_, actuals) = execute_analyzed(&plan, ctx, provider)?;
+        Ok(explain_analyze(&plan, provider, &actuals))
     }
 
     fn wrap(self, f: impl FnOnce(Box<LogicalPlan>) -> LogicalPlan) -> Frame {

@@ -26,7 +26,7 @@ pub mod optimize;
 mod par;
 pub mod stats;
 
-pub use exec::execute;
+pub use exec::{execute, execute_analyzed, NodeActual};
 pub use frame::Frame;
 pub use optimize::{optimize, output_columns};
 
@@ -370,7 +370,7 @@ impl From<RmaError> for PlanError {
 /// variant that also prints per-node cardinality and cost estimates.
 pub fn explain(plan: &LogicalPlan) -> String {
     let mut out = String::new();
-    walk_explain(plan, 0, &mut out, None, &mut Default::default());
+    walk_explain(plan, 0, &mut out, None, &mut Default::default(), &mut None);
     out
 }
 
@@ -384,8 +384,46 @@ pub fn explain_with_stats(plan: &LogicalPlan, provider: &dyn TableProvider) -> S
     // one shared memo: the whole tree is estimated once, and each node's
     // annotation reads its cached subtree estimate
     let mut memo = std::collections::HashMap::new();
-    walk_explain(plan, 0, &mut out, Some(provider), &mut memo);
+    walk_explain(plan, 0, &mut out, Some(provider), &mut memo, &mut None);
     out
+}
+
+/// Pretty-print a plan tree with *both* the optimizer's estimates and the
+/// measured actuals of an [`execute_analyzed`] run: every line carries
+/// `rows≈`/`cost≈` plus `actual=N time=T morsels=M q_err=Q`, where the
+/// q-error is `max(est/actual, actual/est)` (clamped to ≥ 1-row sides) —
+/// the standard one-glance measure of estimator drift. `actuals` must come
+/// from an analyzed execution of **this** plan (same pre-order).
+pub fn explain_analyze(
+    plan: &LogicalPlan,
+    provider: &dyn TableProvider,
+    actuals: &[NodeActual],
+) -> String {
+    let mut out = String::new();
+    let mut memo = std::collections::HashMap::new();
+    let mut cursor = Some((actuals, 0usize));
+    walk_explain(plan, 0, &mut out, Some(provider), &mut memo, &mut cursor);
+    out
+}
+
+/// The q-error of a cardinality estimate: how far off it was,
+/// direction-free, ≥ 1.0 (1.0 = exact). Zero-row sides clamp to one row so
+/// empty results stay finite.
+fn q_error(est: f64, actual: f64) -> f64 {
+    let est = est.max(1.0);
+    let actual = actual.max(1.0);
+    (est / actual).max(actual / est)
+}
+
+/// Render an analyzed node's wall time: sub-millisecond spans keep
+/// microsecond resolution, everything else prints as milliseconds.
+fn fmt_nanos(nanos: u64) -> String {
+    let ms = nanos as f64 / 1e6;
+    if ms < 1.0 {
+        format!("{:.1}us", nanos as f64 / 1e3)
+    } else {
+        format!("{ms:.2}ms")
+    }
 }
 
 /// Render an estimate figure: integers below a million, engineering-style
@@ -405,6 +443,9 @@ fn walk_explain(
     out: &mut String,
     annotate: Option<&dyn TableProvider>,
     memo: &mut std::collections::HashMap<usize, stats::PlanEst>,
+    // (actuals, next pre-order index): consumed in print order, which is
+    // exactly the order `execute_analyzed` assigned ids in
+    actuals: &mut Option<(&[NodeActual], usize)>,
 ) {
     use std::fmt::Write;
     let pad = "  ".repeat(depth);
@@ -514,9 +555,21 @@ fn walk_explain(
             fmt_est(est.rows),
             fmt_est(est.cost)
         );
+        if let Some((acts, cursor)) = actuals {
+            let act = acts.get(*cursor).copied().unwrap_or_default();
+            *cursor += 1;
+            let _ = write!(
+                out,
+                " actual={} time={} morsels={} q_err={:.2}",
+                act.rows,
+                fmt_nanos(act.nanos),
+                act.morsels,
+                q_error(est.rows, act.rows as f64)
+            );
+        }
     }
     out.push('\n');
     for child in children {
-        walk_explain(child, depth + 1, out, annotate, memo);
+        walk_explain(child, depth + 1, out, annotate, memo, actuals);
     }
 }

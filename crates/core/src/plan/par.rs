@@ -104,8 +104,21 @@ pub(super) fn try_pipeline(
         ))));
     }
 
-    let results = pool.for_each(&ranges, |_, range| {
-        run_stages(base, projection, range.clone(), &stages)
+    let pipe_span = rel::trace::clock();
+    let results = pool.for_each(&ranges, |lane, range| {
+        let span = rel::trace::clock();
+        let out = run_stages(base, projection, range.clone(), &stages);
+        let rows_out = out.as_ref().map_or(0, |r| r.len() as u64);
+        rel::trace::record(
+            "pipeline.morsel",
+            "exec",
+            lane,
+            span,
+            (range.end - range.start) as u64,
+            rows_out,
+            1,
+        );
+        out
     });
     let mut parts = Vec::with_capacity(results.len());
     for p in results {
@@ -114,7 +127,17 @@ pub(super) fn try_pipeline(
             Err(e) => return Some(Err(e)),
         }
     }
-    Some(Relation::concat(&parts).map_err(PlanError::from))
+    let out = Relation::concat(&parts).map_err(PlanError::from);
+    rel::trace::record(
+        "pipeline.fused",
+        "exec",
+        0,
+        pipe_span,
+        base.len() as u64,
+        out.as_ref().map_or(0, |r| r.len() as u64),
+        ranges.len() as u64,
+    );
+    Some(out)
 }
 
 /// Execute the fused stages over one morsel of the base table.

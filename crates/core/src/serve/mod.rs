@@ -42,9 +42,11 @@
 //! ```
 
 mod catalog;
+mod metrics;
 mod session;
 
 pub use catalog::{CatalogSnapshot, TableGeneration, VersionedCatalog};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, SessionCounters, SessionMetrics};
 pub use session::{Server, Session};
 
 /// Errors of the serving layer's write path. Read-path errors surface as

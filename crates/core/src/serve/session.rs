@@ -2,6 +2,7 @@
 //! catalog and the shared worker pool.
 
 use super::catalog::{CatalogSnapshot, VersionedCatalog};
+use super::metrics::{MetricsRegistry, MetricsSnapshot, SessionCounters};
 use super::ServeError;
 use crate::context::{ExecStats, RmaContext};
 use crate::plan::{Frame, PlanError};
@@ -27,6 +28,7 @@ fn default_budget(pool_threads: usize) -> usize {
 pub struct Server {
     catalog: Arc<VersionedCatalog>,
     ctx: Arc<RmaContext>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Server {
@@ -35,6 +37,7 @@ impl Server {
         Server {
             catalog: Arc::new(VersionedCatalog::new()),
             ctx: Arc::new(ctx),
+            metrics: Arc::new(MetricsRegistry::default()),
         }
     }
 
@@ -46,6 +49,22 @@ impl Server {
     /// The server's base execution context (sessions fork it).
     pub fn context(&self) -> &RmaContext {
         &self.ctx
+    }
+
+    /// The server's metrics registry. Frontends that build their own
+    /// session objects (e.g. the SQL engine) register their counter cell
+    /// here; everything opened through [`Server::session`] registers
+    /// automatically.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Snapshot the server's engine metrics: per-session counters, their
+    /// totals, and the worker pool's gauges (queue depth, queue-wait and
+    /// busy time, utilization). JSON via
+    /// [`MetricsSnapshot::to_json`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.ctx.pool().stats())
     }
 
     /// The seat budget [`Server::session`] assigns: half the pool, at
@@ -70,6 +89,7 @@ impl Server {
             catalog: Arc::clone(&self.catalog),
             ctx: self.ctx.fork(),
             ticket: SessionTicket::new(seats),
+            counters: self.metrics.register_session(),
         }
     }
 }
@@ -94,6 +114,7 @@ pub struct Session {
     catalog: Arc<VersionedCatalog>,
     ctx: RmaContext,
     ticket: SessionTicket,
+    counters: Arc<SessionCounters>,
 }
 
 impl Session {
@@ -111,7 +132,10 @@ impl Session {
     /// against one pin see the identical database state).
     pub fn query_at(&self, snap: &CatalogSnapshot, frame: Frame) -> Result<Relation, PlanError> {
         let _seat = self.ticket.activate();
-        frame.collect_with(&self.ctx, snap)
+        self.counters.record_query();
+        let out = frame.collect_with(&self.ctx, snap)?;
+        self.counters.record_rows(out.len() as u64);
+        Ok(out)
     }
 
     /// Pin the current catalog state (O(1), lock-free thereafter).
@@ -138,7 +162,10 @@ impl Session {
                 .map_err(|_| ServeError::NoSuchTable(table.to_string()))?;
             match self.catalog.commit(table, generation.generation(), next) {
                 Ok(version) => return Ok(version),
-                Err(ServeError::WriteConflict { .. }) => continue,
+                Err(ServeError::WriteConflict { .. }) => {
+                    self.counters.record_conflict();
+                    continue;
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -162,6 +189,13 @@ impl Session {
     /// The session's scheduling ticket.
     pub fn ticket(&self) -> &SessionTicket {
         &self.ticket
+    }
+
+    /// The session's metrics counter cell (queries, rows, conflicts,
+    /// retries) — the same cell the server's
+    /// [`MetricsRegistry`](super::MetricsRegistry) snapshots.
+    pub fn counters(&self) -> &Arc<SessionCounters> {
+        &self.counters
     }
 
     /// The session's private execution context (shared pool, own stats).

@@ -1,0 +1,128 @@
+//! Observability integration tests (PR 7): per-session [`ExecStats`]
+//! attribution under concurrent sessions, and `EXPLAIN ANALYZE` output
+//! stability across worker-thread counts.
+
+use rma_core::plan::Frame;
+use rma_core::serve::Server;
+use rma_core::{RmaContext, RmaOptions};
+use rma_relation::{Expr, Relation, RelationBuilder};
+
+fn matrix_table() -> Relation {
+    RelationBuilder::new()
+        .column("k", vec!["a", "b"])
+        .column("v1", vec![2.0f64, 0.0])
+        .column("v2", vec![0.0f64, 2.0])
+        .build()
+        .unwrap()
+}
+
+/// Each concurrent session's `ExecStats` count exactly the matrix
+/// operations that session issued — no bleed between sessions sharing one
+/// server (and one worker pool), and none into the server's base context.
+#[test]
+fn exec_stats_attribute_to_the_issuing_session_under_concurrency() {
+    let server = Server::default();
+    let admin = server.session();
+    admin.create_table("m", matrix_table()).unwrap();
+
+    let sessions: Vec<_> = (0..4).map(|_| server.session()).collect();
+    std::thread::scope(|scope| {
+        for (k, session) in sessions.iter().enumerate() {
+            scope.spawn(move || {
+                for _ in 0..=k {
+                    session
+                        .query(Frame::table("m").rma_unary(rma_core::RmaOp::Inv, &["k"]))
+                        .unwrap();
+                }
+            });
+        }
+    });
+    for (k, session) in sessions.iter().enumerate() {
+        assert_eq!(
+            session.stats().ops_run,
+            (k + 1) as u32,
+            "session {k} miscounted its matrix ops"
+        );
+    }
+    assert_eq!(admin.stats().ops_run, 0);
+    assert_eq!(server.context().stats().ops_run, 0);
+
+    // the registry saw every query too (4 sessions: 1+2+3+4 queries)
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.queries, 10);
+}
+
+fn three_way_join_frame(n: i64) -> (Relation, Relation, Relation) {
+    let build = |key: &str, val: &str| {
+        RelationBuilder::new()
+            .column(key, (0..n).collect::<Vec<_>>())
+            .column(val, (0..n).map(|i| i % 9).collect::<Vec<_>>())
+            .build()
+            .unwrap()
+    };
+    (build("k", "x"), build("k2", "y"), build("k3", "z"))
+}
+
+fn analyzed(threads: usize) -> String {
+    let ctx = RmaContext::new(RmaOptions {
+        threads,
+        ..RmaOptions::default()
+    });
+    let (a, b, c) = three_way_join_frame(3000);
+    Frame::scan(a)
+        .select(Expr::col("x").lt(Expr::lit(5i64)))
+        .join(Frame::scan(b), &[("k", "k2")])
+        .join(Frame::scan(c), &[("k2", "k3")])
+        .order_by(&["k"], &[true])
+        .explain_analyze(&ctx)
+        .unwrap()
+}
+
+/// Strip the run-dependent fields — wall time always varies, and morsel
+/// counts legitimately differ with the worker-thread count — leaving the
+/// tree shape, estimates, actual row counts, and q-errors.
+fn normalize(text: &str) -> String {
+    text.lines()
+        .map(|line| {
+            line.split(' ')
+                .map(|tok| {
+                    if tok.starts_with("time=") {
+                        "time=*"
+                    } else if tok.starts_with("morsels=") {
+                        "morsels=*"
+                    } else {
+                        tok
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// EXPLAIN ANALYZE renders the identical tree — same nodes, same actual
+/// rows, same q-errors — at 1 and 4 worker threads: analyzed runs execute
+/// operator-at-a-time (pipeline fusion off) precisely so profiles are
+/// comparable across configurations.
+#[test]
+fn explain_analyze_is_stable_across_thread_counts() {
+    let serial = analyzed(1);
+    let parallel = analyzed(4);
+    assert_eq!(
+        normalize(&serial),
+        normalize(&parallel),
+        "EXPLAIN ANALYZE diverged between 1 and 4 threads:\n--- 1 thread\n{serial}\n--- 4 threads\n{parallel}"
+    );
+    // every node line carries the analyze columns
+    for line in serial.lines() {
+        assert!(line.contains("actual="), "missing actuals: {line}");
+        assert!(line.contains("time="), "missing time: {line}");
+        assert!(line.contains("morsels="), "missing morsels: {line}");
+        assert!(line.contains("q_err="), "missing q-error: {line}");
+    }
+    // the 3-way join tree is all there
+    assert_eq!(serial.matches("JoinOn").count(), 2, "{serial}");
+    // the scan of `a` feeds 3000 rows into the filter, which keeps x<5
+    assert!(serial.contains("actual=3000"), "{serial}");
+}

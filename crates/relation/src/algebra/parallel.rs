@@ -22,6 +22,7 @@ use crate::error::RelationError;
 use crate::expr::Expr;
 use crate::par::{morsel_count, partition_ranges, WorkerPool, MIN_PARALLEL_ROWS};
 use crate::relation::Relation;
+use crate::trace;
 use std::collections::HashMap;
 
 /// Parallel σ: evaluate the predicate over row-range morsels on worker
@@ -163,8 +164,21 @@ fn parallel_join_indices(
     // ascending ranges, so each bucket's merged match list is exactly the
     // serial one.
     let build_ranges = partition_ranges(b.len(), morsel_count(threads, b.len()));
-    let tables = pool.for_each(&build_ranges, |_, range| {
-        build_side_range(&build, range.clone())
+    let n_build = build_ranges.len() as u64;
+    let build_span = trace::clock();
+    let tables = pool.for_each(&build_ranges, |lane, range| {
+        let span = trace::clock();
+        let t = build_side_range(&build, range.clone());
+        trace::record(
+            "join.build",
+            "join",
+            lane,
+            span,
+            (range.end - range.start) as u64,
+            t.len() as u64,
+            1,
+        );
+        t
     });
     let mut table: HashMap<u64, Vec<usize>> = HashMap::with_capacity(b.len());
     for part in tables {
@@ -172,11 +186,31 @@ fn parallel_join_indices(
             table.entry(key).or_default().append(&mut rows);
         }
     }
+    trace::record(
+        "join.build_merge",
+        "join",
+        0,
+        build_span,
+        b.len() as u64,
+        table.len() as u64,
+        n_build,
+    );
 
     // probe: morsels of the left side, results concatenated in morsel order
     let probe_ranges = partition_ranges(a.len(), morsel_count(threads, a.len()));
-    let pairs = pool.for_each(&probe_ranges, |_, range| {
-        probe_range(&table, &build, &probe, range.clone())
+    let pairs = pool.for_each(&probe_ranges, |lane, range| {
+        let span = trace::clock();
+        let out = probe_range(&table, &build, &probe, range.clone());
+        trace::record(
+            "join.probe",
+            "join",
+            lane,
+            span,
+            (range.end - range.start) as u64,
+            out.0.len() as u64,
+            1,
+        );
+        out
     });
     let mut left_idx = Vec::new();
     let mut right_idx = Vec::new();

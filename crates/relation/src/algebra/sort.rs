@@ -26,6 +26,7 @@ use super::setops::{order_by, top_k};
 use crate::error::RelationError;
 use crate::par::{partition_ranges, WorkerPool, MIN_PARALLEL_ROWS};
 use crate::relation::Relation;
+use crate::trace;
 use rma_storage::Column;
 use std::cmp::Ordering;
 use std::ops::Range;
@@ -94,14 +95,34 @@ pub fn order_by_parallel(
     if ranges.len() <= 1 {
         return order_by(r, attrs, ascending);
     }
-    let runs: Vec<Vec<usize>> = pool.for_each(&ranges, |_, range| {
+    let runs: Vec<Vec<usize>> = pool.for_each(&ranges, |lane, range| {
+        let span = trace::clock();
         let mut idx: Vec<usize> = (range.start..range.end).collect();
         // unstable sort under a strict total order (index tie-break) equals
         // the serial stable sort's output
         idx.sort_unstable_by(|&x, &y| keys.cmp(x, y));
+        trace::record(
+            "sort.run",
+            "sort",
+            lane,
+            span,
+            idx.len() as u64,
+            idx.len() as u64,
+            1,
+        );
         idx
     });
+    let span = trace::clock();
     let perm = merge_runs(&runs, &keys);
+    trace::record(
+        "sort.merge",
+        "sort",
+        0,
+        span,
+        perm.len() as u64,
+        perm.len() as u64,
+        runs.len() as u64,
+    );
     Ok(r.take(&perm))
 }
 
@@ -126,11 +147,34 @@ pub fn top_k_parallel(
     if ranges.len() <= 1 {
         return top_k(r, attrs, ascending, n);
     }
-    let locals: Vec<Vec<usize>> =
-        pool.for_each(&ranges, |_, range| bounded_top_k(range.clone(), n, &keys));
+    let locals: Vec<Vec<usize>> = pool.for_each(&ranges, |lane, range| {
+        let span = trace::clock();
+        let heap = bounded_top_k(range.clone(), n, &keys);
+        trace::record(
+            "topk.heap",
+            "sort",
+            lane,
+            span,
+            (range.end - range.start) as u64,
+            heap.len() as u64,
+            1,
+        );
+        heap
+    });
+    let span = trace::clock();
     let mut cand: Vec<usize> = locals.concat();
+    let merged_in = cand.len() as u64;
     cand.sort_unstable_by(|&x, &y| keys.cmp(x, y));
     cand.truncate(n);
+    trace::record(
+        "topk.merge",
+        "sort",
+        0,
+        span,
+        merged_in,
+        cand.len() as u64,
+        locals.len() as u64,
+    );
     Ok(r.take(&cand))
 }
 

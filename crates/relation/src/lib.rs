@@ -12,6 +12,7 @@ pub mod par;
 pub mod relation;
 pub mod schema;
 pub mod stats;
+pub mod trace;
 
 pub use algebra::{
     aggregate, aggregate_parallel, cross_product, distinct, join_on, join_on_parallel, limit,
@@ -22,7 +23,8 @@ pub use algebra::{
 pub use error::RelationError;
 pub use expr::{BinOp, Expr, ScalarFunc};
 pub use par::{
-    morsel_count, partition_ranges, threads_spawned, ActiveTicket, SessionTicket, WorkerPool,
+    morsel_count, partition_ranges, threads_spawned, ActiveTicket, PoolStats, SessionTicket,
+    WorkerPool,
 };
 pub use relation::{Relation, RelationBuilder};
 pub use schema::{Attribute, Schema};

@@ -74,11 +74,13 @@
 //! completes, and the submitting call re-panics — the pool itself stays
 //! usable.
 
+use crate::trace;
 use std::cell::RefCell;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Morsels per worker thread: enough slack that an uneven morsel (e.g. a
 /// selective filter hitting one range) rebalances onto idle workers.
@@ -165,6 +167,11 @@ struct TicketInner {
     stride: u64,
     /// The session's stride-scheduling virtual time.
     pass: AtomicU64,
+    /// Total time this session's queued jobs waited for a worker pickup
+    /// (summed over runners; the submitter runs immediately and adds 0).
+    queue_wait_ns: AtomicU64,
+    /// Total worker time spent inside this session's job closures.
+    run_ns: AtomicU64,
 }
 
 impl SessionTicket {
@@ -184,12 +191,27 @@ impl SessionTicket {
             seats,
             stride: (STRIDE_UNIT / u64::from(weight.max(1))).max(1),
             pass: AtomicU64::new(0),
+            queue_wait_ns: AtomicU64::new(0),
+            run_ns: AtomicU64::new(0),
         }))
     }
 
     /// The ticket's seat budget (0 = no limit).
     pub fn seats(&self) -> usize {
         self.0.seats
+    }
+
+    /// Cumulative time this session's jobs sat queued before a worker
+    /// picked them up (summed over worker pickups — a gauge of scheduler
+    /// pressure on the session, not wall-clock latency).
+    pub fn queue_wait(&self) -> Duration {
+        Duration::from_nanos(self.0.queue_wait_ns.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative worker time spent running this session's job closures
+    /// (summed over runners, so it can exceed wall-clock time).
+    pub fn busy(&self) -> Duration {
+        Duration::from_nanos(self.0.run_ns.load(Ordering::Relaxed))
     }
 
     /// The session's current stride-scheduling pass (monotone; advances by
@@ -272,6 +294,12 @@ struct JobEntry {
     /// A runner caught a panic in this job.
     panicked: bool,
     mode: JobMode,
+    /// When the entry was queued — worker pickups subtract this to charge
+    /// queue-wait time to the submitting ticket and the pool.
+    submitted_at: Instant,
+    /// The submitting session's ticket (None for full jobs), so runners
+    /// can attribute wait and run time to the right session.
+    ticket: Option<SessionTicket>,
 }
 
 impl JobEntry {
@@ -323,6 +351,10 @@ struct PoolShared {
     work: Condvar,
     /// Submitters park here until their entry completes.
     done: Condvar,
+    /// Total queue-wait time across all jobs (see [`PoolStats`]).
+    queue_wait_ns: AtomicU64,
+    /// Total time workers (submitters included) spent inside job closures.
+    busy_ns: AtomicU64,
 }
 
 /// Mutex helper: pool state is only ever mutated under the lock by pool
@@ -350,6 +382,30 @@ fn run_marked_in_job<R>(f: impl FnOnce() -> R) -> R {
     }
     let _reset = Reset(IN_POOL_JOB.replace(true));
     f()
+}
+
+/// A point-in-time snapshot of a [`WorkerPool`]'s counters, the public
+/// face of the pool's internals for metrics and tests
+/// ([`WorkerPool::stats`]; `rma-core` re-surfaces it as
+/// `RmaContext::pool_stats`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total workers, including the submitting thread (always ≥ 1).
+    pub threads: usize,
+    /// Worker threads spawned **process-wide** (see [`threads_spawned`]);
+    /// stable across queries on a reused pool.
+    pub threads_spawned: usize,
+    /// Jobs this pool has completed since construction.
+    pub jobs_run: u64,
+    /// Queue entries in flight at snapshot time (a gauge: jobs submitted
+    /// but not yet retired).
+    pub queue_depth: usize,
+    /// Cumulative time jobs sat queued before worker pickups (summed over
+    /// pickups across all sessions).
+    pub queue_wait: Duration,
+    /// Cumulative time workers (submitters included) spent inside job
+    /// closures — divide by `threads ×` wall time for pool utilization.
+    pub busy: Duration,
 }
 
 /// A fixed set of worker threads parked between jobs — the one execution
@@ -394,6 +450,8 @@ impl WorkerPool {
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            queue_wait_ns: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
         });
         let handles = (1..threads)
             .map(|id| {
@@ -422,6 +480,24 @@ impl WorkerPool {
         self.jobs_run.load(Ordering::SeqCst)
     }
 
+    /// Jobs currently in the queue (submitted, not yet retired).
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.shared).jobs.len()
+    }
+
+    /// Snapshot the pool's counters (cheap: one short lock for the queue
+    /// depth, relaxed loads for the rest).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.threads(),
+            threads_spawned: threads_spawned(),
+            jobs_run: self.jobs_run(),
+            queue_depth: self.queue_depth(),
+            queue_wait: Duration::from_nanos(self.shared.queue_wait_ns.load(Ordering::Relaxed)),
+            busy: Duration::from_nanos(self.shared.busy_ns.load(Ordering::Relaxed)),
+        }
+    }
+
     /// Run `f(worker)` concurrently on the pool and return when the job is
     /// done. With no ticket active on the calling thread this is a **full**
     /// job: every worker runs `f` exactly once (the legacy contract; see
@@ -439,7 +515,11 @@ impl WorkerPool {
         let ticket = current_ticket();
         let seat_limit = ticket.as_ref().map_or(0, |t| t.seats());
         if self.handles.is_empty() || IN_POOL_JOB.get() || seat_limit == 1 {
+            let t0 = Instant::now();
+            let span = trace::clock();
             f(0);
+            trace::record("pool.job", "pool", 0, span, 0, 0, 0);
+            charge_run(&self.shared, ticket.as_ref(), t0.elapsed());
             self.jobs_run.fetch_add(1, Ordering::SeqCst);
             return;
         }
@@ -491,13 +571,19 @@ impl WorkerPool {
                 running: 1, // the submitter, below
                 panicked: false,
                 mode,
+                submitted_at: Instant::now(),
+                ticket: ticket.clone(),
             });
             self.shared.work.notify_all();
         }
         // the submitter is worker 0; catch a panic so the completion wait
         // below still runs and the job pointer stays valid until every
         // runner has finished
+        let t0 = Instant::now();
+        let span = trace::clock();
         let caller = catch_unwind(AssertUnwindSafe(|| run_marked_in_job(|| f(0))));
+        trace::record("pool.job", "pool", 0, span, 0, 0, 0);
+        charge_run(&self.shared, ticket.as_ref(), t0.elapsed());
         let mut st = lock(&self.shared);
         let idx = st
             .jobs
@@ -579,22 +665,42 @@ impl Drop for WorkerPool {
     }
 }
 
+/// Charge `ran` closure time to the pool's busy counter and — when the
+/// job ran under a session ticket — to that session.
+fn charge_run(shared: &PoolShared, ticket: Option<&SessionTicket>, ran: Duration) {
+    let ns = ran.as_nanos() as u64;
+    shared.busy_ns.fetch_add(ns, Ordering::Relaxed);
+    if let Some(t) = ticket {
+        t.0.run_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
 /// Pick the queue entry worker `id` should serve next: the admitting entry
-/// with the lowest (pass, seq). Returns the closure pointer and entry id
-/// after registering the worker as a runner.
-fn pick_job(st: &mut PoolState, id: usize) -> Option<(*const (dyn Fn(usize) + Sync), u64)> {
+/// with the lowest (pass, seq). Returns the closure pointer, entry id,
+/// submission time, and submitting ticket after registering the worker as
+/// a runner.
+#[allow(clippy::type_complexity)]
+fn pick_job(
+    st: &mut PoolState,
+    id: usize,
+) -> Option<(
+    *const (dyn Fn(usize) + Sync),
+    u64,
+    Instant,
+    Option<SessionTicket>,
+)> {
     let best = st
         .jobs
         .iter_mut()
         .filter(|e| e.admits(id))
         .min_by_key(|e| (e.pass, e.seq))?;
     best.join(id);
-    Some((best.raw.0, best.id))
+    Some((best.raw.0, best.id, best.submitted_at, best.ticket.clone()))
 }
 
 fn worker_loop(shared: &PoolShared, id: usize) {
     loop {
-        let (raw, job_id) = {
+        let (raw, job_id, submitted_at, ticket) = {
             let mut st = lock(shared);
             loop {
                 if st.shutdown {
@@ -606,12 +712,22 @@ fn worker_loop(shared: &PoolShared, id: usize) {
                 st = shared.work.wait(st).expect("worker pool state poisoned");
             }
         };
+        // queue wait: submission → this pickup, charged to pool + session
+        let waited_ns = submitted_at.elapsed().as_nanos() as u64;
+        shared.queue_wait_ns.fetch_add(waited_ns, Ordering::Relaxed);
+        if let Some(t) = &ticket {
+            t.0.queue_wait_ns.fetch_add(waited_ns, Ordering::Relaxed);
+        }
         // SAFETY: this worker registered as a runner of a live entry under
         // the lock; the submitter keeps the pointee alive (and the entry
         // queued) until `running` returns to zero, which happens only after
         // the last use of `raw` below.
         let f = unsafe { &*raw };
+        let t0 = Instant::now();
+        let span = trace::clock();
         let ok = catch_unwind(AssertUnwindSafe(|| run_marked_in_job(|| f(id)))).is_ok();
+        trace::record("pool.job", "pool", id, span, 0, 0, 0);
+        charge_run(shared, ticket.as_ref(), t0.elapsed());
         let mut st = lock(shared);
         let entry = st
             .jobs

@@ -19,6 +19,10 @@ pub enum Statement {
     Select(SelectStmt),
     /// `EXPLAIN SELECT ...`: render the optimized logical plan.
     Explain(SelectStmt),
+    /// `EXPLAIN ANALYZE SELECT ...`: execute the query and render the plan
+    /// annotated with actual rows, wall time, morsel counts, and the
+    /// estimator's q-error per node.
+    ExplainAnalyze(SelectStmt),
     /// `CREATE [OR REPLACE] TABLE name (col type, ...)`.
     CreateTable {
         name: String,

@@ -3,11 +3,12 @@
 use crate::ast::Statement;
 use crate::catalog::Catalog;
 use crate::error::SqlError;
-use crate::executor::execute;
+use crate::executor::{execute, execute_analyzed};
 use crate::optimizer::optimize;
 use crate::parser::{parse, parse_script};
 use crate::plan::{explain_with_stats, plan_select, Plan};
-use rma_core::serve::Server;
+use rma_core::plan::explain_analyze;
+use rma_core::serve::{Server, SessionCounters};
 use rma_core::{RmaContext, RmaOptions, ServeError};
 use rma_relation::{Relation, Schema, SessionTicket};
 use std::sync::Arc;
@@ -48,6 +49,10 @@ pub struct Engine {
     /// The fair-scheduling ticket this engine's queries run under (seat
     /// budget + stride pass; unlimited for private engines).
     ticket: SessionTicket,
+    /// Session-engine metrics cell, registered with the server's
+    /// [`MetricsRegistry`](rma_core::MetricsRegistry); `None` for private
+    /// engines.
+    counters: Option<Arc<SessionCounters>>,
     /// Disable the optimizer to measure its effect (ablation benches).
     pub optimize: bool,
 }
@@ -69,6 +74,7 @@ impl Engine {
             catalog: Catalog::new(),
             rma: RmaContext::new(options),
             ticket: SessionTicket::new(0),
+            counters: None,
             optimize: true,
         }
     }
@@ -89,7 +95,27 @@ impl Engine {
             catalog: Catalog::attached(Arc::clone(server.catalog())),
             rma: server.context().fork(),
             ticket: SessionTicket::new(seats),
+            counters: Some(server.metrics().register_session()),
             optimize: true,
+        }
+    }
+
+    /// The engine's metrics counter cell — `Some` for session engines
+    /// (registered with the server's metrics registry), `None` for private
+    /// engines.
+    pub fn counters(&self) -> Option<&Arc<SessionCounters>> {
+        self.counters.as_ref()
+    }
+
+    fn count_query(&self) {
+        if let Some(c) = &self.counters {
+            c.record_query();
+        }
+    }
+
+    fn count_rows(&self, n: usize) {
+        if let Some(c) = &self.counters {
+            c.record_rows(n as u64);
         }
     }
 
@@ -148,6 +174,31 @@ impl Engine {
         Ok(explain_with_stats(&plan, &self.catalog))
     }
 
+    /// EXPLAIN ANALYZE: **execute** a SELECT with per-node profiling and
+    /// return the plan text annotated with actual output rows, inclusive
+    /// wall time, morsel counts, and the estimator's q-error
+    /// (`max(est/actual, actual/est)`) per node. Also reachable as the SQL
+    /// statement `EXPLAIN ANALYZE SELECT ...`.
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<String, SqlError> {
+        let stmt = parse(sql)?;
+        let sel = match stmt {
+            Statement::Select(sel) | Statement::Explain(sel) | Statement::ExplainAnalyze(sel) => {
+                sel
+            }
+            _ => {
+                return Err(SqlError::Plan(
+                    "EXPLAIN ANALYZE requires a SELECT".to_string(),
+                ))
+            }
+        };
+        self.catalog.refresh();
+        let plan = self.build_plan(&sel)?;
+        let _seat = self.ticket.activate();
+        self.count_query();
+        let (_, actuals) = execute_analyzed(&plan, &self.catalog, &self.rma)?;
+        Ok(explain_analyze(&plan, &self.catalog, &actuals))
+    }
+
     fn build_plan(&self, sel: &crate::ast::SelectStmt) -> Result<Plan, SqlError> {
         let plan = plan_select(sel)?;
         Ok(if self.optimize {
@@ -170,9 +221,28 @@ impl Engine {
                 // every morsel job the plan submits is seat-budgeted and
                 // fairly interleaved with other sessions' jobs
                 let _seat = self.ticket.activate();
+                self.count_query();
                 // the query result is a pipeline sink: compact any
                 // selection-vector view before handing it to the caller
                 let rel = execute(&plan, &self.catalog, &self.rma)?.materialize();
+                self.count_rows(rel.len());
+                Ok(QueryResult::Relation(rel))
+            }
+            Statement::ExplainAnalyze(sel) => {
+                let plan = self.build_plan(&sel)?;
+                let lines: Vec<String> = {
+                    let _seat = self.ticket.activate();
+                    self.count_query();
+                    let (_, actuals) = execute_analyzed(&plan, &self.catalog, &self.rma)?;
+                    explain_analyze(&plan, &self.catalog, &actuals)
+                        .lines()
+                        .map(str::to_string)
+                        .collect()
+                };
+                let rel = rma_relation::RelationBuilder::new()
+                    .column("plan", lines)
+                    .build()
+                    .map_err(SqlError::Relation)?;
                 Ok(QueryResult::Relation(rel))
             }
             Statement::Explain(sel) => {
@@ -243,7 +313,12 @@ impl Engine {
                     let next = base.appended(&incoming).map_err(SqlError::Relation)?;
                     match shared.commit(&table, generation.generation(), next) {
                         Ok(_) => break,
-                        Err(ServeError::WriteConflict { .. }) => continue,
+                        Err(ServeError::WriteConflict { .. }) => {
+                            if let Some(c) = &self.counters {
+                                c.record_conflict();
+                            }
+                            continue;
+                        }
                         Err(e) => return Err(e.into()),
                     }
                 }
@@ -487,6 +562,70 @@ mod tests {
         assert!(joined.contains("Scan rating"), "unexpected plan:\n{joined}");
         // EXPLAIN of a non-SELECT is a parse error
         assert!(e.execute("EXPLAIN DROP TABLE rating").is_err());
+    }
+
+    #[test]
+    fn explain_analyze_reports_actuals_on_a_three_way_join() {
+        let mut e = Engine::new();
+        e.execute("CREATE TABLE a (k INT, x INT)").unwrap();
+        e.execute("CREATE TABLE b (k2 INT, y INT)").unwrap();
+        e.execute("CREATE TABLE c (k3 INT, z INT)").unwrap();
+        for t in ["a", "b", "c"] {
+            let rows: Vec<String> = (0..200).map(|i| format!("({i}, {})", i % 9)).collect();
+            e.execute(&format!("INSERT INTO {t} VALUES {}", rows.join(", ")))
+                .unwrap();
+        }
+        let text = e
+            .explain_analyze("SELECT * FROM a JOIN b ON k = k2 JOIN c ON k2 = k3 WHERE x < 5")
+            .unwrap();
+        // every node line carries actuals: rows, wall time, morsels, q-error
+        for line in text.lines() {
+            assert!(line.contains("actual="), "missing actuals: {line}");
+            assert!(line.contains("time="), "missing time: {line}");
+            assert!(line.contains("q_err="), "missing q-error: {line}");
+        }
+        assert_eq!(
+            text.matches("JoinOn").count(),
+            2,
+            "expected a 3-way join:\n{text}"
+        );
+        // the join keys match row-for-row, so each join outputs 200 rows
+        // pre-filter; the root reports the filtered count
+        assert!(text.contains("actual="), "no actuals:\n{text}");
+
+        // and the SQL statement form returns the same text as a relation
+        let r = e
+            .query("EXPLAIN ANALYZE SELECT * FROM a JOIN b ON k = k2 JOIN c ON k2 = k3")
+            .unwrap();
+        assert_eq!(r.schema().names().collect::<Vec<_>>(), vec!["plan"]);
+        let joined: Vec<String> = (0..r.len())
+            .map(|i| r.cell(i, "plan").unwrap().to_string())
+            .collect();
+        assert!(joined.iter().all(|l| l.contains("actual=")), "{joined:?}");
+        // EXPLAIN ANALYZE of a non-SELECT is a parse error
+        assert!(e.execute("EXPLAIN ANALYZE DROP TABLE a").is_err());
+    }
+
+    #[test]
+    fn session_engines_report_metrics() {
+        let server = Server::new(rma_core::RmaContext::default());
+        let mut a = Engine::session(&server);
+        let mut b = Engine::session(&server);
+        assert!(a.counters().is_some());
+        assert!(Engine::new().counters().is_none());
+        a.execute("CREATE TABLE t (x INT)").unwrap();
+        a.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+        a.query("SELECT * FROM t").unwrap();
+        a.query("SELECT * FROM t WHERE x > 1").unwrap();
+        b.query("SELECT * FROM t").unwrap();
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.queries, 3);
+        assert_eq!(snap.rows, 3 + 2 + 3);
+        assert_eq!(snap.sessions.len(), 2);
+        assert_eq!(snap.sessions[0].queries, 2);
+        assert_eq!(snap.sessions[1].rows, 3);
+        let json = snap.to_json();
+        assert!(json.contains("\"queries\":3"), "{json}");
     }
 
     #[test]

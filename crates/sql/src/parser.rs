@@ -127,13 +127,20 @@ impl Parser {
         if self.peek_kw("SELECT") {
             Ok(Statement::Select(self.select()?))
         } else if self.eat_kw("EXPLAIN") {
+            let analyze = self.eat_kw("ANALYZE");
             if !self.peek_kw("SELECT") {
                 return Err(SqlError::Parse(format!(
-                    "EXPLAIN requires a SELECT, found `{}`",
+                    "EXPLAIN{} requires a SELECT, found `{}`",
+                    if analyze { " ANALYZE" } else { "" },
                     self.peek_display()
                 )));
             }
-            Ok(Statement::Explain(self.select()?))
+            let sel = self.select()?;
+            Ok(if analyze {
+                Statement::ExplainAnalyze(sel)
+            } else {
+                Statement::Explain(sel)
+            })
         } else if self.eat_kw("CREATE") {
             let or_replace = if self.eat_kw("OR") {
                 self.expect_kw("REPLACE")?;

@@ -37,4 +37,10 @@ fn main() {
     println!("{}", e.explain(q).unwrap());
     let r = e.query(q).unwrap();
     println!("result rows: {}", r.len());
+
+    // EXPLAIN ANALYZE executes the query and appends measured actuals to
+    // every node: output rows, inclusive wall time, morsel count, and the
+    // estimator's q-error (max(est/actual, actual/est))
+    println!("\nEXPLAIN ANALYZE {q}\n");
+    println!("{}", e.explain_analyze(q).unwrap());
 }
