@@ -72,6 +72,21 @@ pub struct RmaOptions {
     /// order the frontend wrote them — the ablation baseline of the
     /// `joinorder` bench target.
     pub join_reorder: bool,
+    /// Per-query memory budget in bytes for the resource governor
+    /// (`0` = unlimited, the default). When set, plan execution mints a
+    /// `QueryGuard` and charges allocation-weight estimates at every
+    /// materialization point (hash-join builds, sort permutations,
+    /// aggregate states, the final `materialize()`); a breach aborts the
+    /// query with `RmaError::ResourceExhausted` within one morsel's work.
+    /// Distinct from [`RmaOptions::dense_memory_budget`], which only
+    /// steers the BAT-vs-dense kernel choice and never fails a query.
+    pub mem_budget: usize,
+    /// Per-query deadline for the resource governor (`None` = no
+    /// deadline). Measured from the start of each plan execution; a query
+    /// that outlives it aborts with `RmaError::DeadlineExceeded` within
+    /// one morsel's work. Serving deployments usually set this per
+    /// session (`serve::Session::set_deadline`) instead.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for RmaOptions {
@@ -83,6 +98,8 @@ impl Default for RmaOptions {
             dense_memory_budget: 8 << 30, // 8 GiB
             threads: default_threads(),
             join_reorder: true,
+            mem_budget: 0,
+            deadline: None,
         }
     }
 }

@@ -1,4 +1,38 @@
-//! Error type for the relational matrix algebra.
+//! Error type for the relational matrix algebra — and the engine's error
+//! taxonomy in one place.
+//!
+//! Errors layer the way the crates do, each level wrapping the one below
+//! via `From` so `?` composes across the stack:
+//!
+//! ```text
+//! StorageError ──► RelationError ──► RmaError ──► PlanError ──► SqlError
+//!                  (schema/algebra)  (matrix ops,  (planning,    (parse,
+//!                                     governor)     execution)    binding)
+//! ```
+//!
+//! Three families of [`RmaError`] variants are worth distinguishing:
+//!
+//! - **Semantic errors** (`OrderSchemaNotKey`, `EmptyApplication`, …):
+//!   the query itself is malformed with respect to the RMA model. These
+//!   are deterministic — the same query fails the same way every time.
+//! - **Governance errors** (`Cancelled`, `DeadlineExceeded`,
+//!   `ResourceExhausted`, `WorkerPanicked`, `WriteContention`): nothing is
+//!   wrong with the query; the *engine* stopped it to protect the process
+//!   or its neighbours. They originate in the per-query
+//!   [`QueryGuard`](rma_relation::QueryGuard) (cancel flag, deadline,
+//!   memory budget — checked at every morsel claim and operator
+//!   boundary), the worker pool's panic recovery, or the optimistic
+//!   commit loop's retry cap. Retrying, raising the budget, or waiting
+//!   out contention can all succeed where the first attempt failed.
+//! - **Wrapped lower-layer errors** (`Relation`, `Linalg`, `Storage`):
+//!   pass-throughs that keep the source chain intact
+//!   (`std::error::Error::source`).
+//!
+//! The governance variants are *typed, not panics* by design: a serving
+//! process must be able to kill one query (deadline, cancel, budget, or
+//! even an operator panic) and keep every other session running. The
+//! fault-injection tests in `rma_relation::par::fault` exist to hold that
+//! property.
 
 use rma_linalg::LinalgError;
 use rma_relation::RelationError;
@@ -50,6 +84,33 @@ pub enum RmaError {
     Linalg(LinalgError),
     /// Underlying storage error.
     Storage(StorageError),
+    /// The query was cancelled (`Session::cancel` or a dropped guard);
+    /// execution stopped within one morsel's work.
+    Cancelled,
+    /// The query ran past its deadline (`Session::set_deadline` /
+    /// `RmaOptions`-minted guard).
+    DeadlineExceeded,
+    /// The query's memory accounting exceeded its budget — either at
+    /// admission (pre-flight cost-model estimate) or mid-flight at a
+    /// materialization point.
+    ResourceExhausted {
+        /// Bytes the query needed (estimated or charged so far).
+        needed: u64,
+        /// The budget it was held to.
+        budget: u64,
+    },
+    /// An operator panicked on a pool worker; the panic was caught at the
+    /// session boundary and the pool, catalog, and metrics all survived.
+    WorkerPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// An optimistic write lost the first-committer-wins race more times
+    /// than the retry cap allows.
+    WriteContention {
+        /// How many commit attempts were made before giving up.
+        retries: u32,
+    },
 }
 
 impl fmt::Display for RmaError {
@@ -88,6 +149,19 @@ impl fmt::Display for RmaError {
             RmaError::Relation(e) => write!(f, "{e}"),
             RmaError::Linalg(e) => write!(f, "{e}"),
             RmaError::Storage(e) => write!(f, "{e}"),
+            RmaError::Cancelled => f.write_str("query cancelled"),
+            RmaError::DeadlineExceeded => f.write_str("query deadline exceeded"),
+            RmaError::ResourceExhausted { needed, budget } => write!(
+                f,
+                "memory budget exhausted: needed {needed} bytes, budget {budget}"
+            ),
+            RmaError::WorkerPanicked { message } => {
+                write!(f, "worker panicked during query execution: {message}")
+            }
+            RmaError::WriteContention { retries } => write!(
+                f,
+                "write contention: gave up after {retries} optimistic commit attempts"
+            ),
         }
     }
 }
@@ -107,7 +181,27 @@ impl From<RelationError> for RmaError {
     fn from(e: RelationError) -> Self {
         match e {
             RelationError::NotAKey(attrs) => RmaError::OrderSchemaNotKey(attrs),
+            // governance trips keep their identity across layers so callers
+            // match one typed place regardless of where the trip happened
+            RelationError::Cancelled => RmaError::Cancelled,
+            RelationError::DeadlineExceeded => RmaError::DeadlineExceeded,
+            RelationError::ResourceExhausted { needed, budget } => {
+                RmaError::ResourceExhausted { needed, budget }
+            }
             other => RmaError::Relation(other),
+        }
+    }
+}
+
+impl From<rma_relation::GuardError> for RmaError {
+    fn from(e: rma_relation::GuardError) -> Self {
+        use rma_relation::GuardError;
+        match e {
+            GuardError::Cancelled => RmaError::Cancelled,
+            GuardError::DeadlineExceeded => RmaError::DeadlineExceeded,
+            GuardError::ResourceExhausted { needed, budget } => {
+                RmaError::ResourceExhausted { needed, budget }
+            }
         }
     }
 }

@@ -43,7 +43,7 @@ pub use context::{
 };
 pub use error::RmaError;
 pub use plan::{Frame, LogicalPlan, PartitionedTableProvider, PlanError, TableProvider};
-pub use rma_relation::PoolStats;
+pub use rma_relation::{GuardError, PoolStats, QueryGuard};
 pub use serve::{
     CatalogSnapshot, MetricsRegistry, MetricsSnapshot, ServeError, Server, Session,
     SessionCounters, VersionedCatalog,

@@ -26,18 +26,71 @@
 
 use super::{par, LogicalPlan, PartitionedTableProvider, PlanError};
 use crate::context::{RmaContext, RmaOptions};
+use crate::error::RmaError;
 use rma_relation::trace;
 use rma_relation::{self as rel, morsel_count, par::MIN_PARALLEL_ROWS, Relation};
 use std::cell::RefCell;
 use std::time::Instant;
 
 /// Execute a logical plan against a table provider.
+///
+/// Runs under the calling thread's active
+/// [`QueryGuard`](rma_relation::QueryGuard) when one is installed (the
+/// serving layer's per-query governor); otherwise, when
+/// [`RmaOptions::mem_budget`] or [`RmaOptions::deadline`] is set (or the
+/// `RMA_FAULT` fault-injection knob is armed), a guard is minted here for
+/// the duration of the plan. Governance trips surface as
+/// `PlanError::Rma(RmaError::Cancelled | DeadlineExceeded |
+/// ResourceExhausted)`.
 pub fn execute(
     plan: &LogicalPlan,
     ctx: &RmaContext,
     provider: &dyn PartitionedTableProvider,
 ) -> Result<Relation, PlanError> {
-    execute_inner(plan, ctx, provider, None)
+    let _scope = governor_scope(ctx);
+    let result = execute_inner(plan, ctx, provider, None)?;
+    charge_result(&result)?;
+    Ok(result)
+}
+
+/// Mint + activate a per-plan [`rel::QueryGuard`] from the context options
+/// when no guard is already governing this thread. Returns the RAII
+/// activation (`None` = already governed, or nothing to govern).
+fn governor_scope(ctx: &RmaContext) -> Option<rel::ActiveGuard> {
+    if rel::current_guard().is_some() {
+        return None; // the serving layer already minted this query's guard
+    }
+    let o = &ctx.options;
+    if o.mem_budget == 0 && o.deadline.is_none() && std::env::var_os("RMA_FAULT").is_none() {
+        return None;
+    }
+    let guard = rel::QueryGuard::with_limits(o.deadline, o.mem_budget as u64);
+    let scope = guard.activate();
+    Some(scope)
+}
+
+/// Charge `bytes` of allocation weight against the thread's active guard
+/// (no-op when ungoverned). Called at every materialization point in the
+/// interpreter; the weights are documented estimates, not measurements —
+/// their job is to stop a hopeless query *before* the allocation, not to
+/// meter it exactly.
+fn charge(bytes: u64) -> Result<(), PlanError> {
+    if let Some(g) = rel::current_guard() {
+        g.try_charge(bytes).map_err(RmaError::from)?;
+    }
+    Ok(())
+}
+
+/// Charge the final result's materialization footprint (the `collect`
+/// sink gathers every column): rows × columns × 8 bytes per cell.
+fn charge_result(result: &Relation) -> Result<(), PlanError> {
+    charge((result.len() as u64) * (result.schema().len() as u64) * 8)
+}
+
+/// Operator-boundary guard check, mapped into the plan error taxonomy.
+fn checkpoint() -> Result<(), PlanError> {
+    rel::guard_checkpoint().map_err(RmaError::from)?;
+    Ok(())
 }
 
 /// What one plan node actually did during an analyzed execution.
@@ -62,8 +115,10 @@ pub fn execute_analyzed(
     ctx: &RmaContext,
     provider: &dyn PartitionedTableProvider,
 ) -> Result<(Relation, Vec<NodeActual>), PlanError> {
+    let _scope = governor_scope(ctx);
     let actuals = RefCell::new(Vec::new());
     let out = execute_inner(plan, ctx, provider, Some(&actuals))?;
+    charge_result(&out)?;
     Ok((out, actuals.into_inner()))
 }
 
@@ -117,6 +172,9 @@ fn execute_inner(
     analyze: Option<&RefCell<Vec<NodeActual>>>,
 ) -> Result<Relation, PlanError> {
     let pool = ctx.pool();
+    // operator-boundary governance: a cancelled/expired/over-budget query
+    // stops before the next node even when every operator ran serially
+    checkpoint()?;
     // fusion collapses Scan→Select→Project chains into one job, which is
     // faster but unattributable per node — analyzed runs keep nodes apart
     if analyze.is_none() && pool.threads() > 1 {
@@ -163,6 +221,9 @@ fn execute_inner(
         } => {
             let r = execute_inner(input, ctx, provider, analyze)?;
             morsels = par_morsels(threads, r.len());
+            // aggregate states: worst case every row is its own group
+            // (key + accumulator slots), ~32 bytes each
+            charge(32 * r.len() as u64)?;
             let gb: Vec<&str> = group_by.iter().map(String::as_str).collect();
             Ok(rel::aggregate_parallel(&r, &gb, aggs, pool)?)
         }
@@ -170,12 +231,16 @@ fn execute_inner(
             let l = execute_inner(left, ctx, provider, analyze)?;
             let r = execute_inner(right, ctx, provider, analyze)?;
             morsels = par_morsels(threads, l.len().max(r.len()));
+            // hash build over the right side: bucket + match-list entry
+            // per row, ~48 bytes each
+            charge(48 * r.len() as u64)?;
             Ok(rel::natural_join_parallel(&l, &r, pool)?)
         }
         LogicalPlan::JoinOn { left, right, on } => {
             let l = execute_inner(left, ctx, provider, analyze)?;
             let r = execute_inner(right, ctx, provider, analyze)?;
             morsels = par_morsels(threads, l.len().max(r.len()));
+            charge(48 * r.len() as u64)?;
             let pairs: Vec<(&str, &str)> =
                 on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
             Ok(rel::join_on_parallel(&l, &r, &pairs, pool)?)
@@ -197,6 +262,8 @@ fn execute_inner(
         LogicalPlan::OrderBy { input, keys } => {
             let r = execute_inner(input, ctx, provider, analyze)?;
             morsels = sort_morsels(threads, r.len());
+            // sort runs + merged permutation: one index per row, 8 bytes
+            charge(8 * r.len() as u64)?;
             let attrs: Vec<&str> = keys.iter().map(|(k, _)| k.as_str()).collect();
             let dirs: Vec<bool> = keys.iter().map(|(_, asc)| *asc).collect();
             // per-worker local sorts + k-way merge; the result is a view
@@ -209,6 +276,8 @@ fn execute_inner(
         LogicalPlan::TopK { input, keys, n } => {
             let r = execute_inner(input, ctx, provider, analyze)?;
             morsels = sort_morsels(threads, r.len());
+            // bounded heaps: n candidates per worker, 8-byte indices
+            charge(8 * (*n as u64) * threads as u64)?;
             let attrs: Vec<&str> = keys.iter().map(|(k, _)| k.as_str()).collect();
             let dirs: Vec<bool> = keys.iter().map(|(_, asc)| *asc).collect();
             // per-worker bounded heaps merged at the barrier

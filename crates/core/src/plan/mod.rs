@@ -354,7 +354,14 @@ impl std::error::Error for PlanError {
 
 impl From<RelationError> for PlanError {
     fn from(e: RelationError) -> Self {
-        PlanError::Relation(e)
+        match e {
+            // governance trips surface as RmaError variants so every caller
+            // (Frame, SQL, serve) matches them in one typed place
+            RelationError::Cancelled
+            | RelationError::DeadlineExceeded
+            | RelationError::ResourceExhausted { .. } => PlanError::Rma(RmaError::from(e)),
+            other => PlanError::Relation(other),
+        }
     }
 }
 

@@ -120,6 +120,11 @@ pub(super) fn try_pipeline(
         );
         out
     });
+    // a tripped guard stops morsel claiming mid-pipeline and leaves
+    // `results` short — turn that into the typed error before reassembly
+    if let Err(e) = rel::guard_checkpoint() {
+        return Some(Err(PlanError::Rma(crate::error::RmaError::from(e))));
+    }
     let mut parts = Vec::with_capacity(results.len());
     for p in results {
         match p {

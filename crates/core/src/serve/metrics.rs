@@ -24,6 +24,10 @@ pub struct SessionCounters {
     rows: AtomicU64,
     conflicts: AtomicU64,
     retries: AtomicU64,
+    queries_cancelled: AtomicU64,
+    deadline_kills: AtomicU64,
+    mem_rejections: AtomicU64,
+    worker_panics: AtomicU64,
 }
 
 impl SessionCounters {
@@ -34,6 +38,10 @@ impl SessionCounters {
             rows: AtomicU64::new(0),
             conflicts: AtomicU64::new(0),
             retries: AtomicU64::new(0),
+            queries_cancelled: AtomicU64::new(0),
+            deadline_kills: AtomicU64::new(0),
+            mem_rejections: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
         }
     }
 
@@ -59,13 +67,40 @@ impl SessionCounters {
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> SessionMetrics {
+    /// Count one query killed by [`Session::cancel`](super::Session::cancel)
+    /// (governor action, not an engine fault).
+    pub fn record_cancelled(&self) {
+        self.queries_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one query killed by its deadline.
+    pub fn record_deadline_kill(&self) {
+        self.deadline_kills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one query rejected or aborted on its memory budget (at
+    /// admission or mid-flight).
+    pub fn record_mem_rejection(&self) {
+        self.mem_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one operator panic caught and converted to a typed error at
+    /// the session boundary.
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> SessionMetrics {
         SessionMetrics {
             id: self.id,
             queries: self.queries.load(Ordering::Relaxed),
             rows: self.rows.load(Ordering::Relaxed),
             conflicts: self.conflicts.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
+            queries_cancelled: self.queries_cancelled.load(Ordering::Relaxed),
+            deadline_kills: self.deadline_kills.load(Ordering::Relaxed),
+            mem_rejections: self.mem_rejections.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -83,6 +118,14 @@ pub struct SessionMetrics {
     pub conflicts: u64,
     /// Optimistic-commit retries the conflicts forced.
     pub retries: u64,
+    /// Queries killed by `Session::cancel`.
+    pub queries_cancelled: u64,
+    /// Queries killed by their deadline.
+    pub deadline_kills: u64,
+    /// Queries rejected or aborted on their memory budget.
+    pub mem_rejections: u64,
+    /// Operator panics caught and typed at the session boundary.
+    pub worker_panics: u64,
 }
 
 /// Server-wide engine metrics: what every session did, what the pool is
@@ -99,6 +142,14 @@ pub struct MetricsSnapshot {
     pub conflicts: u64,
     /// Total optimistic-commit retries across sessions.
     pub retries: u64,
+    /// Total queries killed by cancellation across sessions.
+    pub queries_cancelled: u64,
+    /// Total queries killed by their deadline across sessions.
+    pub deadline_kills: u64,
+    /// Total memory-budget rejections across sessions.
+    pub mem_rejections: u64,
+    /// Total worker panics caught and typed across sessions.
+    pub worker_panics: u64,
     /// The worker pool's counters and gauges (queue depth, wait, busy).
     pub pool: PoolStats,
     /// Time since the registry (= the server) was created.
@@ -116,20 +167,28 @@ impl MetricsSnapshot {
         let mut out = String::with_capacity(256 + self.sessions.len() * 96);
         let _ = write!(
             out,
-            "{{\"uptime_ms\":{},\"queries\":{},\"rows\":{},\"conflicts\":{},\"retries\":{},",
+            "{{\"uptime_ms\":{},\"queries\":{},\"rows\":{},\"conflicts\":{},\"retries\":{},\
+             \"queries_cancelled\":{},\"deadline_kills\":{},\"mem_rejections\":{},\
+             \"worker_panics\":{},",
             self.uptime.as_millis(),
             self.queries,
             self.rows,
             self.conflicts,
-            self.retries
+            self.retries,
+            self.queries_cancelled,
+            self.deadline_kills,
+            self.mem_rejections,
+            self.worker_panics
         );
         let _ = write!(
             out,
             "\"pool\":{{\"threads\":{},\"threads_spawned\":{},\"jobs_run\":{},\
-             \"queue_depth\":{},\"queue_wait_us\":{},\"busy_us\":{},\"utilization\":{:.4}}},",
+             \"jobs_panicked\":{},\"queue_depth\":{},\"queue_wait_us\":{},\"busy_us\":{},\
+             \"utilization\":{:.4}}},",
             self.pool.threads,
             self.pool.threads_spawned,
             self.pool.jobs_run,
+            self.pool.jobs_panicked,
             self.pool.queue_depth,
             self.pool.queue_wait.as_micros(),
             self.pool.busy.as_micros(),
@@ -142,8 +201,18 @@ impl MetricsSnapshot {
             }
             let _ = write!(
                 out,
-                "{{\"id\":{},\"queries\":{},\"rows\":{},\"conflicts\":{},\"retries\":{}}}",
-                s.id, s.queries, s.rows, s.conflicts, s.retries
+                "{{\"id\":{},\"queries\":{},\"rows\":{},\"conflicts\":{},\"retries\":{},\
+                 \"queries_cancelled\":{},\"deadline_kills\":{},\"mem_rejections\":{},\
+                 \"worker_panics\":{}}}",
+                s.id,
+                s.queries,
+                s.rows,
+                s.conflicts,
+                s.retries,
+                s.queries_cancelled,
+                s.deadline_kills,
+                s.mem_rejections,
+                s.worker_panics
             );
         }
         out.push_str("]}");
@@ -204,6 +273,10 @@ impl MetricsRegistry {
             rows: sessions.iter().map(|s| s.rows).sum(),
             conflicts: sessions.iter().map(|s| s.conflicts).sum(),
             retries: sessions.iter().map(|s| s.retries).sum(),
+            queries_cancelled: sessions.iter().map(|s| s.queries_cancelled).sum(),
+            deadline_kills: sessions.iter().map(|s| s.deadline_kills).sum(),
+            mem_rejections: sessions.iter().map(|s| s.mem_rejections).sum(),
+            worker_panics: sessions.iter().map(|s| s.worker_panics).sum(),
             sessions,
             pool,
             uptime,
@@ -262,6 +335,34 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn governor_counters_roll_up() {
+        let reg = MetricsRegistry::default();
+        let a = reg.register_session();
+        let b = reg.register_session();
+        a.record_cancelled();
+        a.record_deadline_kill();
+        a.record_deadline_kill();
+        b.record_mem_rejection();
+        b.record_worker_panic();
+        let snap = reg.snapshot(PoolStats {
+            jobs_panicked: 3,
+            ..PoolStats::default()
+        });
+        assert_eq!(snap.queries_cancelled, 1);
+        assert_eq!(snap.deadline_kills, 2);
+        assert_eq!(snap.mem_rejections, 1);
+        assert_eq!(snap.worker_panics, 1);
+        assert_eq!(snap.sessions[0].deadline_kills, 2);
+        assert_eq!(snap.sessions[1].worker_panics, 1);
+        let json = snap.to_json();
+        assert!(json.contains("\"queries_cancelled\":1"));
+        assert!(json.contains("\"deadline_kills\":2"));
+        assert!(json.contains("\"mem_rejections\":1"));
+        assert!(json.contains("\"worker_panics\":1"));
+        assert!(json.contains("\"jobs_panicked\":3"));
     }
 
     #[test]

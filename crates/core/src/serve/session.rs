@@ -3,11 +3,15 @@
 
 use super::catalog::{CatalogSnapshot, VersionedCatalog};
 use super::metrics::{MetricsRegistry, MetricsSnapshot, SessionCounters};
-use super::ServeError;
+use super::{Backoff, ServeError};
 use crate::context::{ExecStats, RmaContext};
-use crate::plan::{Frame, PlanError};
-use rma_relation::{Relation, SessionTicket};
-use std::sync::Arc;
+use crate::error::RmaError;
+use crate::plan::{stats, Frame, PlanError};
+use rma_relation::{par::fault::FaultPlan, QueryGuard, Relation, SessionTicket};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// The default per-session seat budget: half the pool (at least two seats
 /// when the pool has more than one thread), so two heavy sessions saturate
@@ -90,6 +94,11 @@ impl Server {
             ctx: self.ctx.fork(),
             ticket: SessionTicket::new(seats),
             counters: self.metrics.register_session(),
+            deadline_ns: AtomicU64::new(0),
+            mem_budget: AtomicU64::new(0),
+            write_retry_limit: AtomicU32::new(DEFAULT_WRITE_RETRIES),
+            active: Mutex::new(None),
+            fault: Mutex::new(None),
         }
     }
 }
@@ -101,6 +110,10 @@ impl From<RmaContext> for Server {
         Server::new(ctx)
     }
 }
+
+/// Default cap on optimistic-commit attempts before
+/// [`ServeError::Contention`] (see [`Session::set_write_retry_limit`]).
+pub(crate) const DEFAULT_WRITE_RETRIES: u32 = 16;
 
 /// One client's handle onto a [`Server`]: issues queries against pinned
 /// catalog snapshots and writes through the first-committer-wins protocol.
@@ -115,6 +128,19 @@ pub struct Session {
     ctx: RmaContext,
     ticket: SessionTicket,
     counters: Arc<SessionCounters>,
+    /// Per-query deadline in nanoseconds (0 = none).
+    deadline_ns: AtomicU64,
+    /// Per-query memory budget in bytes (0 = inherit the context option,
+    /// which itself defaults to unlimited).
+    mem_budget: AtomicU64,
+    /// Optimistic-commit attempts before [`ServeError::Contention`].
+    write_retry_limit: AtomicU32,
+    /// The guard of the query currently executing on this session, so
+    /// [`Session::cancel`] can reach it from another thread.
+    active: Mutex<Option<QueryGuard>>,
+    /// One-shot fault plan armed for the next query
+    /// ([`Session::inject_fault`], tests only).
+    fault: Mutex<Option<FaultPlan>>,
 }
 
 impl Session {
@@ -130,12 +156,137 @@ impl Session {
 
     /// Run a query against an explicitly pinned snapshot (several queries
     /// against one pin see the identical database state).
+    ///
+    /// The whole governor pipeline runs here:
+    ///
+    /// 1. **Admission**: with a memory budget set, the PR 4 cost model
+    ///    pre-estimates the result footprint and rejects hopeless queries
+    ///    before they touch the pool
+    ///    (`RmaError::ResourceExhausted`).
+    /// 2. **Execution under a guard**: a fresh [`QueryGuard`] (deadline +
+    ///    budget, plus any armed fault plan) governs every morsel claim
+    ///    and operator boundary; [`Session::cancel`] reaches it from any
+    ///    thread.
+    /// 3. **Panic containment**: an operator panic is caught *here* —
+    ///    never inside the pool, whose own state stays clean — and
+    ///    returned as `RmaError::WorkerPanicked`.
+    /// 4. **Accounting**: every governor action increments its
+    ///    [`SessionCounters`] counter.
     pub fn query_at(&self, snap: &CatalogSnapshot, frame: Frame) -> Result<Relation, PlanError> {
-        let _seat = self.ticket.activate();
         self.counters.record_query();
-        let out = frame.collect_with(&self.ctx, snap)?;
+        let budget = self.effective_mem_budget();
+        if budget > 0 {
+            let est = stats::estimate(frame.logical_plan(), snap);
+            // result footprint ≈ rows × columns × 8-byte cells; columns
+            // default to 1 when the estimator lost track of the schema
+            let est_bytes = (est.rows.max(0.0) as u64)
+                .saturating_mul(est.cols.len().max(1) as u64)
+                .saturating_mul(8);
+            if est_bytes > budget {
+                self.counters.record_mem_rejection();
+                return Err(PlanError::Rma(RmaError::ResourceExhausted {
+                    needed: est_bytes,
+                    budget,
+                }));
+            }
+        }
+        let deadline_ns = self.deadline_ns.load(Ordering::Relaxed);
+        let deadline = (deadline_ns > 0).then(|| Duration::from_nanos(deadline_ns));
+        let guard = match self
+            .fault
+            .lock()
+            .expect("session fault slot poisoned")
+            .take()
+        {
+            Some(plan) => QueryGuard::with_fault(deadline, budget, plan),
+            None => QueryGuard::with_limits(deadline, budget),
+        };
+        *self.active.lock().expect("session guard slot poisoned") = Some(guard.clone());
+        let result = {
+            let _seat = self.ticket.activate();
+            let _gov = guard.activate();
+            // AssertUnwindSafe: on Err every captured structure is either
+            // dropped (frame, guard) or internally synchronized and
+            // poison-free (catalog snapshot, pool, atomics), so nothing
+            // torn is ever observed afterwards
+            catch_unwind(AssertUnwindSafe(|| frame.collect_with(&self.ctx, snap)))
+        };
+        *self.active.lock().expect("session guard slot poisoned") = None;
+        let out = match result {
+            Ok(r) => r,
+            Err(payload) => {
+                self.counters.record_worker_panic();
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                return Err(PlanError::Rma(RmaError::WorkerPanicked { message }));
+            }
+        };
+        match &out {
+            Err(PlanError::Rma(RmaError::Cancelled)) => self.counters.record_cancelled(),
+            Err(PlanError::Rma(RmaError::DeadlineExceeded)) => self.counters.record_deadline_kill(),
+            Err(PlanError::Rma(RmaError::ResourceExhausted { .. })) => {
+                self.counters.record_mem_rejection()
+            }
+            _ => {}
+        }
+        let out = out?;
         self.counters.record_rows(out.len() as u64);
         Ok(out)
+    }
+
+    /// Cancel the query currently executing on this session, if any:
+    /// its workers stop claiming morsels within one morsel's work and the
+    /// query returns `RmaError::Cancelled`. Callable from any thread;
+    /// returns whether a running query was actually signalled. A session
+    /// with no query in flight is untouched (cancellation does not latch).
+    pub fn cancel(&self) -> bool {
+        match &*self.active.lock().expect("session guard slot poisoned") {
+            Some(g) => {
+                g.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Set (or clear) the per-query deadline applied to subsequent
+    /// queries. Measured from each query's start.
+    pub fn set_deadline(&self, deadline: Option<Duration>) {
+        self.deadline_ns.store(
+            deadline.map_or(0, |d| (d.as_nanos() as u64).max(1)),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Set the per-query memory budget in bytes (`0` = inherit
+    /// `RmaOptions::mem_budget`, itself 0-as-unlimited by default).
+    pub fn set_mem_budget(&self, bytes: u64) {
+        self.mem_budget.store(bytes, Ordering::Relaxed);
+    }
+
+    /// The budget queries of this session are held to: the session
+    /// override when set, else the context option.
+    fn effective_mem_budget(&self) -> u64 {
+        match self.mem_budget.load(Ordering::Relaxed) {
+            0 => self.ctx.options.mem_budget as u64,
+            b => b,
+        }
+    }
+
+    /// Cap the optimistic-commit attempts of [`Session::insert`] (default
+    /// 16). `0` behaves as 1: always at least one attempt, never infinite.
+    pub fn set_write_retry_limit(&self, attempts: u32) {
+        self.write_retry_limit.store(attempts, Ordering::Relaxed);
+    }
+
+    /// Arm a one-shot fault plan for the next query on this session
+    /// (deterministic robustness testing; see
+    /// [`rma_relation::par::fault`]).
+    pub fn inject_fault(&self, plan: FaultPlan) {
+        *self.fault.lock().expect("session fault slot poisoned") = Some(plan);
     }
 
     /// Pin the current catalog state (O(1), lock-free thereafter).
@@ -146,12 +297,18 @@ impl Session {
     /// Append `rows` to a table through the optimistic commit loop:
     /// pin → prepare the successor generation
     /// ([`Relation::appended`]) → first-committer-wins commit; on a
-    /// [`ServeError::WriteConflict`] the loop re-pins and re-prepares, so
-    /// concurrent appenders all land (in some serial order) without ever
-    /// blocking readers. Returns the catalog version that installed the
-    /// rows.
+    /// [`ServeError::WriteConflict`] the loop re-pins and re-prepares
+    /// after a decorrelated-jitter [`Backoff`] sleep, so concurrent
+    /// appenders all land (in some serial order) without ever blocking
+    /// readers. Attempts are capped by
+    /// [`Session::set_write_retry_limit`] (default 16); exhausting the
+    /// cap returns [`ServeError::Contention`] rather than looping
+    /// unboundedly under pathological write pressure. Returns the
+    /// catalog version that installed the rows.
     pub fn insert(&self, table: &str, rows: &Relation) -> Result<u64, ServeError> {
-        loop {
+        let limit = self.write_retry_limit.load(Ordering::Relaxed).max(1);
+        let mut backoff = Backoff::default();
+        for attempt in 1..=limit {
             let snap = self.pin();
             let Some(generation) = snap.get(table) else {
                 return Err(ServeError::NoSuchTable(table.to_string()));
@@ -164,11 +321,17 @@ impl Session {
                 Ok(version) => return Ok(version),
                 Err(ServeError::WriteConflict { .. }) => {
                     self.counters.record_conflict();
-                    continue;
+                    if attempt < limit {
+                        backoff.sleep();
+                    }
                 }
                 Err(e) => return Err(e),
             }
         }
+        Err(ServeError::Contention {
+            table: table.to_string(),
+            retries: limit,
+        })
     }
 
     /// Create a table (errors if the name exists).
@@ -311,6 +474,128 @@ mod tests {
         assert_eq!(default_budget(1), 1);
         assert_eq!(default_budget(2), 2);
         assert_eq!(default_budget(8), 4);
+    }
+
+    #[test]
+    fn deadline_kill_returns_typed_error_and_counts() {
+        let server = Server::default();
+        let s = server.session();
+        let n = 4096;
+        s.create_table("t", rel((0..n).collect())).unwrap();
+        s.set_deadline(Some(Duration::from_nanos(1)));
+        let err = s
+            .query(Frame::table("t").aggregate(&[], vec![AggSpec::sum("x", "s")]))
+            .unwrap_err();
+        assert!(
+            matches!(err, PlanError::Rma(RmaError::DeadlineExceeded)),
+            "got {err:?}"
+        );
+        assert_eq!(s.counters().snapshot().deadline_kills, 1);
+        // the session is not poisoned: clearing the deadline works
+        s.set_deadline(None);
+        assert_eq!(sum_of(&s, "t"), (0..n).sum::<i64>());
+    }
+
+    #[test]
+    fn admission_rejects_over_budget_queries() {
+        let server = Server::default();
+        let s = server.session();
+        s.create_table("t", rel((0..1000).collect())).unwrap();
+        s.set_mem_budget(64); // far below 1000 rows × 8 bytes
+        let err = s.query(Frame::table("t")).unwrap_err();
+        match err {
+            PlanError::Rma(RmaError::ResourceExhausted { needed, budget }) => {
+                assert_eq!(budget, 64);
+                assert!(needed > 64, "estimate {needed} should exceed the budget");
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        assert_eq!(s.counters().snapshot().mem_rejections, 1);
+        // budget 0 = unlimited restores service
+        s.set_mem_budget(0);
+        assert_eq!(s.query(Frame::table("t")).unwrap().len(), 1000);
+    }
+
+    #[test]
+    fn injected_panic_becomes_typed_error_and_session_survives() {
+        use rma_relation::par::fault::{FaultKind, FaultPlan};
+        // a multi-threaded pool so morsel claim loops (and their fault
+        // polls) actually run, whatever machine hosts the test
+        let ctx = RmaContext::new(crate::RmaOptions {
+            threads: 2,
+            ..Default::default()
+        });
+        let server = Server::new(ctx);
+        let s = server.session();
+        let n = 100_000; // large enough for parallel morsel claims
+        s.create_table("t", rel((0..n).collect())).unwrap();
+        s.inject_fault(FaultPlan::new(FaultKind::Panic, 0));
+        let err = s
+            .query(Frame::table("t").aggregate(&[], vec![AggSpec::sum("x", "s")]))
+            .unwrap_err();
+        // the panic fires on whichever thread claims the chosen morsel:
+        // on the submitter the payload carries the injection message, on a
+        // pool worker it surfaces via the pool's re-panic — both must
+        // arrive as the typed variant
+        assert!(
+            matches!(&err, PlanError::Rma(RmaError::WorkerPanicked { .. })),
+            "got {err:?}"
+        );
+        assert_eq!(s.counters().snapshot().worker_panics, 1);
+        // the fault plan was one-shot and nothing is poisoned
+        assert_eq!(sum_of(&s, "t"), (0..n).sum::<i64>());
+    }
+
+    #[test]
+    fn cancel_without_running_query_is_a_noop() {
+        let server = Server::default();
+        let s = server.session();
+        s.create_table("t", rel(vec![1, 2])).unwrap();
+        assert!(!s.cancel(), "no query in flight to signal");
+        assert_eq!(sum_of(&s, "t"), 3, "cancellation must not latch");
+        assert_eq!(s.counters().snapshot().queries_cancelled, 0);
+    }
+
+    #[test]
+    fn insert_gives_up_under_synthetic_contention() {
+        let server = Server::default();
+        let s = server.session();
+        s.create_table("t", rel(vec![0])).unwrap();
+        s.set_write_retry_limit(3);
+        // make every commit lose the race: move the generation between the
+        // session's pin and its commit by racing a tight writer loop
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let err = std::thread::scope(|scope| {
+            let racer = server.session();
+            let stop_ref = &stop;
+            scope.spawn(move || {
+                while !stop_ref.load(Ordering::Relaxed) {
+                    let _ = racer.insert("t", &rel(vec![7]));
+                }
+            });
+            // with a 3-attempt cap and a saturating racer, some insert
+            // eventually exhausts its budget
+            let mut last = None;
+            for _ in 0..200 {
+                if let Err(e) = s.insert("t", &rel(vec![1])) {
+                    last = Some(e);
+                    break;
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+            last
+        });
+        if let Some(e) = err {
+            assert_eq!(
+                e,
+                ServeError::Contention {
+                    table: "t".to_string(),
+                    retries: 3
+                }
+            );
+        }
+        // contention or not, the session keeps serving
+        assert!(s.query(Frame::table("t")).is_ok());
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Fault-injection property test of the resource governor (run in its own
+//! process so the process-global `threads_spawned` counter is race-free,
+//! like `pool_reuse.rs`).
+//!
+//! Random faults — a panic, a delay, or a spurious budget breach at a
+//! random morsel poll — are injected into sessions across worker-thread
+//! counts {1, 2, 4} and all three kernel backends. Whatever fires, the
+//! contract is the same:
+//!
+//! - the query ends in a **typed** error or the **correct** result, never
+//!   an unwinding panic escaping the session boundary;
+//! - the pool never respawns a thread (worker panics are contained, not
+//!   fatal to the worker loop);
+//! - a follow-up query on the same session succeeds with the correct
+//!   result — no poisoned pool, catalog, or metrics state.
+
+use proptest::prelude::*;
+use rma_core::serve::Server;
+use rma_core::{Backend, Frame, PlanError, RmaContext, RmaError, RmaOptions};
+use rma_relation::par::fault::{FaultKind, FaultPlan};
+use rma_relation::{threads_spawned, AggSpec, RelationBuilder};
+use rma_storage::Value;
+use std::time::Duration;
+
+const ROWS: i64 = 20_000;
+
+fn sum_query() -> Frame {
+    Frame::table("t").aggregate(&[], vec![AggSpec::sum("x", "s")])
+}
+
+fn expected_sum() -> i64 {
+    (0..ROWS).sum()
+}
+
+fn check_sum(r: &rma_relation::Relation) {
+    assert_eq!(r.column("s").unwrap().get(0), Value::Int(expected_sum()));
+}
+
+/// A typed governor outcome — anything else is a contract violation.
+fn is_typed_governor_error(e: &PlanError) -> bool {
+    matches!(
+        e,
+        PlanError::Rma(
+            RmaError::Cancelled
+                | RmaError::DeadlineExceeded
+                | RmaError::ResourceExhausted { .. }
+                | RmaError::WorkerPanicked { .. }
+        )
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_faults_end_typed_and_leave_the_session_serviceable(
+        threads_idx in 0..3usize,
+        backend_idx in 0..3usize,
+        kind_idx in 0..3usize,
+        at in 0..8u64,
+    ) {
+        let threads = [1usize, 2, 4][threads_idx];
+        let backend = [Backend::Auto, Backend::Bat, Backend::Dense][backend_idx];
+        let kind = match kind_idx {
+            0 => FaultKind::Panic,
+            1 => FaultKind::Delay(Duration::from_millis(2)),
+            _ => FaultKind::BudgetBreach,
+        };
+
+        let ctx = RmaContext::new(RmaOptions {
+            threads,
+            backend,
+            ..Default::default()
+        });
+        let server = Server::new(ctx);
+        let session = server.session();
+        session
+            .create_table(
+                "t",
+                RelationBuilder::new()
+                    .column("x", (0..ROWS).collect::<Vec<i64>>())
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+
+        // settle the pool with one clean query, then freeze the global
+        // spawn counter: nothing below may create or respawn a thread
+        check_sum(&session.query(sum_query()).unwrap());
+        let spawned_before = threads_spawned();
+
+        session.inject_fault(FaultPlan::new(kind, at));
+        match session.query(sum_query()) {
+            Ok(r) => check_sum(&r), // fault never fired (serial path) or was a delay
+            Err(e) => prop_assert!(
+                is_typed_governor_error(&e),
+                "fault {kind_idx}@{at} on {threads} threads leaked an untyped error: {e:?}"
+            ),
+        }
+
+        // the same session keeps serving, with the correct answer
+        check_sum(&session.query(sum_query()).unwrap());
+        prop_assert_eq!(
+            threads_spawned(),
+            spawned_before,
+            "a worker thread was respawned after the injected fault"
+        );
+    }
+}

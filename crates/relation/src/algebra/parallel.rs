@@ -51,6 +51,9 @@ pub fn select_parallel(
     let keeps = pool.for_each(&ranges, |_, range| {
         predicate.eval_filter(&pred_view.slice(range.clone()))
     });
+    // governed queries stop claiming morsels when their guard trips; the
+    // checkpoint turns that truncation into the typed error
+    crate::par::guard_checkpoint()?;
     let mut keep = Vec::with_capacity(r.len());
     for k in keeps {
         keep.extend(k?);
@@ -78,6 +81,7 @@ pub fn aggregate_parallel(
     let partials = pool.for_each(&ranges, |_, range| {
         accumulate(&group_cols, &agg_cols, aggs, range.clone(), false)
     });
+    crate::par::guard_checkpoint()?;
 
     // merge at the barrier, in morsel order
     let mut merged = Partial::default();
@@ -180,6 +184,7 @@ fn parallel_join_indices(
         );
         t
     });
+    crate::par::guard_checkpoint()?;
     let mut table: HashMap<u64, Vec<usize>> = HashMap::with_capacity(b.len());
     for part in tables {
         for (key, mut rows) in part {
@@ -212,6 +217,7 @@ fn parallel_join_indices(
         );
         out
     });
+    crate::par::guard_checkpoint()?;
     let mut left_idx = Vec::new();
     let mut right_idx = Vec::new();
     for (mut l, mut r) in pairs {

@@ -112,6 +112,8 @@ pub fn order_by_parallel(
         );
         idx
     });
+    // a tripped guard truncates the run set; surface it as a typed error
+    crate::par::guard_checkpoint()?;
     let span = trace::clock();
     let perm = merge_runs(&runs, &keys);
     trace::record(
@@ -161,6 +163,7 @@ pub fn top_k_parallel(
         );
         heap
     });
+    crate::par::guard_checkpoint()?;
     let span = trace::clock();
     let mut cand: Vec<usize> = locals.concat();
     let merged_in = cand.len() as u64;

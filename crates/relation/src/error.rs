@@ -24,6 +24,18 @@ pub enum RelationError {
     NotUnionCompatible,
     /// Underlying storage error.
     Storage(StorageError),
+    /// The governing query was cancelled mid-operator
+    /// (see [`crate::par::QueryGuard`]).
+    Cancelled,
+    /// The governing query ran past its deadline.
+    DeadlineExceeded,
+    /// The governing query's memory budget was exhausted.
+    ResourceExhausted {
+        /// Bytes the query had charged when the breach was detected.
+        needed: u64,
+        /// The budget the charges were debited against.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for RelationError {
@@ -44,6 +56,12 @@ impl fmt::Display for RelationError {
             }
             RelationError::NotUnionCompatible => f.write_str("relations are not union compatible"),
             RelationError::Storage(e) => write!(f, "storage error: {e}"),
+            RelationError::Cancelled => f.write_str("query cancelled"),
+            RelationError::DeadlineExceeded => f.write_str("query deadline exceeded"),
+            RelationError::ResourceExhausted { needed, budget } => write!(
+                f,
+                "memory budget exhausted: needed {needed} bytes, budget {budget}"
+            ),
         }
     }
 }
@@ -60,5 +78,18 @@ impl std::error::Error for RelationError {
 impl From<StorageError> for RelationError {
     fn from(e: StorageError) -> Self {
         RelationError::Storage(e)
+    }
+}
+
+impl From<crate::par::GuardError> for RelationError {
+    fn from(e: crate::par::GuardError) -> Self {
+        use crate::par::GuardError;
+        match e {
+            GuardError::Cancelled => RelationError::Cancelled,
+            GuardError::DeadlineExceeded => RelationError::DeadlineExceeded,
+            GuardError::ResourceExhausted { needed, budget } => {
+                RelationError::ResourceExhausted { needed, budget }
+            }
+        }
     }
 }

@@ -23,8 +23,8 @@ pub use algebra::{
 pub use error::RelationError;
 pub use expr::{BinOp, Expr, ScalarFunc};
 pub use par::{
-    morsel_count, partition_ranges, threads_spawned, ActiveTicket, PoolStats, SessionTicket,
-    WorkerPool,
+    current_guard, guard_checkpoint, morsel_count, partition_ranges, threads_spawned, ActiveGuard,
+    ActiveTicket, GuardError, PoolStats, QueryGuard, SessionTicket, WorkerPool,
 };
 pub use relation::{Relation, RelationBuilder};
 pub use schema::{Attribute, Schema};

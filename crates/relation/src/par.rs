@@ -73,12 +73,28 @@
 //! Panics inside a job are caught at the worker, the barrier still
 //! completes, and the submitting call re-panics — the pool itself stays
 //! usable.
+//!
+//! ## Resource governance
+//!
+//! A [`QueryGuard`] is a per-query bundle of a cancel flag, an optional
+//! deadline, and a memory budget — all atomics, shared by `Arc`. Like a
+//! [`SessionTicket`] it is installed thread-locally
+//! ([`QueryGuard::activate`]) on the submitting thread, and the pool
+//! re-installs it on every worker that runs one of the query's jobs, so
+//! [`current_guard`] works anywhere inside a job closure. The morsel-claim
+//! loop of [`WorkerPool::for_each`] polls the active guard before each
+//! claim: once the guard trips (cancelled, past deadline, or budget
+//! breached) workers stop claiming within one morsel's work, and the
+//! operator surfaces the trip as a typed error through
+//! [`guard_checkpoint`]. The [`fault`] module piggybacks on the same
+//! per-morsel poll to deterministically inject panics, delays, and
+//! spurious budget breaches for robustness tests.
 
 use crate::trace;
 use std::cell::RefCell;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -252,6 +268,342 @@ fn current_ticket() -> Option<SessionTicket> {
     ACTIVE_TICKET.with(|c| c.borrow().clone())
 }
 
+/// Why a [`QueryGuard`] refused to let execution continue.
+///
+/// The relation layer maps these onto `RelationError` (and `rma-core` maps
+/// them further onto its `RmaError` taxonomy), so a tripped guard always
+/// surfaces as a typed error, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardError {
+    /// The query was cancelled ([`QueryGuard::cancel`]).
+    Cancelled,
+    /// The query ran past its deadline.
+    DeadlineExceeded,
+    /// A memory charge pushed the query past its budget.
+    ResourceExhausted {
+        /// Bytes the query had charged when the breach was detected.
+        needed: u64,
+        /// The budget it was charged against.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for GuardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuardError::Cancelled => f.write_str("query cancelled"),
+            GuardError::DeadlineExceeded => f.write_str("query deadline exceeded"),
+            GuardError::ResourceExhausted { needed, budget } => write!(
+                f,
+                "memory budget exhausted: needed {needed} bytes, budget {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GuardError {}
+
+#[derive(Debug)]
+struct GuardInner {
+    /// Set by [`QueryGuard::cancel`]; checked at every morsel claim.
+    cancelled: AtomicBool,
+    /// When the guard was minted (deadlines are relative to this).
+    started: Instant,
+    /// Deadline in nanoseconds after `started`; 0 = no deadline.
+    deadline_ns: AtomicU64,
+    /// Memory budget in bytes; 0 = unlimited.
+    mem_budget: AtomicU64,
+    /// Bytes charged so far ([`QueryGuard::try_charge`]).
+    mem_used: AtomicU64,
+    /// Sticky breach record: the `needed` of the first failed charge
+    /// (0 = none). Keeps the guard tripped after a breach so workers that
+    /// stopped claiming mid-job always surface the typed error.
+    breach_needed: AtomicU64,
+    /// Optional deterministic fault plan ([`fault`]).
+    fault: Option<fault::FaultPlan>,
+}
+
+/// A per-query resource governor: cancel flag + optional deadline + memory
+/// budget, all atomics behind an `Arc` (cheap to clone, `Sync`).
+///
+/// A guard is minted per query (by `rma-core`'s session layer, or from
+/// `RmaOptions` at plan execution) and [activated](QueryGuard::activate)
+/// on the submitting thread; the pool re-installs it on every worker
+/// running one of the query's jobs. Cooperative check points:
+///
+/// - the [`WorkerPool::for_each`] claim loop polls the guard before every
+///   morsel claim, so a trip stops a running query within one morsel's
+///   work;
+/// - operators call [`guard_checkpoint`] at their boundaries to turn the
+///   (sticky) trip state into a typed error.
+///
+/// ```
+/// use rma_relation::{QueryGuard, WorkerPool};
+///
+/// let pool = WorkerPool::new(4);
+/// let guard = QueryGuard::new();
+/// guard.cancel();
+/// let _g = guard.activate();
+/// let items: Vec<usize> = (0..10_000).collect();
+/// pool.for_each(&items, |_, &x| x); // stops claiming immediately
+/// assert!(rma_relation::guard_checkpoint().is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct QueryGuard(Arc<GuardInner>);
+
+impl Default for QueryGuard {
+    fn default() -> Self {
+        QueryGuard::new()
+    }
+}
+
+impl QueryGuard {
+    /// An unlimited guard: no deadline, no budget, cancellable.
+    pub fn new() -> Self {
+        QueryGuard::with_limits(None, 0)
+    }
+
+    /// A guard with an optional deadline (measured from now) and a memory
+    /// budget in bytes (`0` = unlimited). Picks up a fault plan from the
+    /// `RMA_FAULT` environment knob when one is set ([`fault::from_env`]).
+    pub fn with_limits(deadline: Option<Duration>, mem_budget: u64) -> Self {
+        QueryGuard(Arc::new(GuardInner {
+            cancelled: AtomicBool::new(false),
+            started: Instant::now(),
+            deadline_ns: AtomicU64::new(deadline.map_or(0, |d| (d.as_nanos() as u64).max(1))),
+            mem_budget: AtomicU64::new(mem_budget),
+            mem_used: AtomicU64::new(0),
+            breach_needed: AtomicU64::new(0),
+            fault: fault::from_env(),
+        }))
+    }
+
+    /// A guard with an explicit fault-injection plan (tests; see [`fault`]).
+    pub fn with_fault(deadline: Option<Duration>, mem_budget: u64, plan: fault::FaultPlan) -> Self {
+        QueryGuard(Arc::new(GuardInner {
+            cancelled: AtomicBool::new(false),
+            started: Instant::now(),
+            deadline_ns: AtomicU64::new(deadline.map_or(0, |d| (d.as_nanos() as u64).max(1))),
+            mem_budget: AtomicU64::new(mem_budget),
+            mem_used: AtomicU64::new(0),
+            breach_needed: AtomicU64::new(0),
+            fault: Some(plan),
+        }))
+    }
+
+    /// Request cancellation: the next morsel claim (or operator boundary)
+    /// of any thread executing under this guard returns
+    /// [`GuardError::Cancelled`]. Idempotent, callable from any thread.
+    pub fn cancel(&self) {
+        self.0.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Has [`QueryGuard::cancel`] been called?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// The guard's memory budget in bytes (0 = unlimited).
+    pub fn mem_budget(&self) -> u64 {
+        self.0.mem_budget.load(Ordering::Relaxed)
+    }
+
+    /// Bytes charged against the budget so far.
+    pub fn mem_used(&self) -> u64 {
+        self.0.mem_used.load(Ordering::Relaxed)
+    }
+
+    /// Check the guard: `Err` if cancelled, past deadline, or past a
+    /// (sticky) budget breach. Cheap — two relaxed loads on the happy
+    /// path plus one `Instant::now()` when a deadline is set.
+    pub fn check(&self) -> Result<(), GuardError> {
+        if self.is_cancelled() {
+            return Err(GuardError::Cancelled);
+        }
+        let needed = self.0.breach_needed.load(Ordering::Relaxed);
+        if needed != 0 {
+            return Err(GuardError::ResourceExhausted {
+                needed,
+                budget: self.mem_budget(),
+            });
+        }
+        let deadline = self.0.deadline_ns.load(Ordering::Relaxed);
+        if deadline != 0 && self.0.started.elapsed().as_nanos() as u64 >= deadline {
+            return Err(GuardError::DeadlineExceeded);
+        }
+        Ok(())
+    }
+
+    /// Is the guard in a tripped state ([`QueryGuard::check`] would fail)?
+    pub fn tripped(&self) -> bool {
+        self.check().is_err()
+    }
+
+    /// Charge `bytes` of allocation weight against the budget. On breach
+    /// the guard trips stickily and returns
+    /// [`GuardError::ResourceExhausted`]; with budget 0 every charge
+    /// succeeds (the usage counter still accumulates, for observability).
+    pub fn try_charge(&self, bytes: u64) -> Result<(), GuardError> {
+        let used = self.0.mem_used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        let budget = self.mem_budget();
+        if budget != 0 && used > budget {
+            self.0.breach_needed.store(used.max(1), Ordering::Relaxed);
+            return Err(GuardError::ResourceExhausted {
+                needed: used,
+                budget,
+            });
+        }
+        Ok(())
+    }
+
+    /// The per-morsel poll: run the fault plan (may panic, sleep, or force
+    /// a spurious breach), then [`QueryGuard::check`]. Called by the
+    /// [`WorkerPool::for_each`] claim loop before every claim.
+    pub fn poll_morsel(&self) -> Result<(), GuardError> {
+        if let Some(plan) = &self.0.fault {
+            plan.poll(self);
+        }
+        self.check()
+    }
+
+    /// Force a (spurious) budget breach — the fault injector's hook.
+    fn force_breach(&self) {
+        self.0
+            .breach_needed
+            .store(self.mem_used().max(1), Ordering::Relaxed);
+    }
+
+    /// Mark the current thread as executing under this guard until the
+    /// returned RAII guard drops. Nested activations stack (innermost
+    /// wins), mirroring [`SessionTicket::activate`].
+    pub fn activate(&self) -> ActiveGuard {
+        let prev = ACTIVE_GUARD.with(|c| c.replace(Some(self.clone())));
+        ActiveGuard { prev }
+    }
+}
+
+thread_local! {
+    /// The query guard governing work submitted from this thread.
+    static ACTIVE_GUARD: RefCell<Option<QueryGuard>> = const { RefCell::new(None) };
+}
+
+/// RAII guard of [`QueryGuard::activate`]: restores the previously active
+/// query guard (if any) when dropped.
+#[must_use = "the query guard is only active while this value lives"]
+pub struct ActiveGuard {
+    prev: Option<QueryGuard>,
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        ACTIVE_GUARD.with(|c| c.replace(self.prev.take()));
+    }
+}
+
+/// The [`QueryGuard`] active on the current thread, if any.
+pub fn current_guard() -> Option<QueryGuard> {
+    ACTIVE_GUARD.with(|c| c.borrow().clone())
+}
+
+/// Operator-boundary check point: `Err` when the thread's active guard has
+/// tripped, `Ok` when there is no guard or it is clean. Operators call
+/// this after every pool job (and the plan interpreter before every node)
+/// so a trip that stopped morsel claiming mid-job surfaces as a typed
+/// error instead of a silently truncated result.
+pub fn guard_checkpoint() -> Result<(), GuardError> {
+    match current_guard() {
+        Some(g) => g.check(),
+        None => Ok(()),
+    }
+}
+
+/// Deterministic fault injection for robustness tests.
+///
+/// A [`FaultPlan`](fault::FaultPlan) attaches to one [`QueryGuard`] and
+/// fires exactly once,
+/// at a chosen morsel poll: every guard poll ([`QueryGuard::poll_morsel`],
+/// i.e. every morsel claim of every job the query runs) increments the
+/// plan's counter, and the poll whose index matches the plan's trigger
+/// injects the fault — a panic, a delay, or a spurious budget breach.
+/// Attaching the plan to the guard (not to global state) keeps injections
+/// scoped to one query, so concurrent tests never contaminate each other
+/// and the injection point is deterministic for a fixed plan and thread
+/// count (the counter is a shared atomic: exactly one poll matches).
+///
+/// The `RMA_FAULT` environment knob arms every guard minted while it is
+/// set — `RMA_FAULT=panic@5`, `RMA_FAULT=delay_ms:20@3`, or
+/// `RMA_FAULT=breach@0` — for ad-hoc experiments outside tests.
+pub mod fault {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    /// What to inject when the plan fires.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum FaultKind {
+        /// Panic on the matching poll (exercises worker-panic recovery).
+        Panic,
+        /// Sleep on the matching poll (exercises deadlines and latency).
+        Delay(Duration),
+        /// Force a spurious budget breach on the guard.
+        BudgetBreach,
+    }
+
+    /// A one-shot fault armed at a specific morsel poll of one query.
+    #[derive(Debug)]
+    pub struct FaultPlan {
+        kind: FaultKind,
+        at: u64,
+        polls: AtomicU64,
+    }
+
+    impl FaultPlan {
+        /// Inject `kind` at the `at`-th guard poll (0-based).
+        pub fn new(kind: FaultKind, at: u64) -> Self {
+            FaultPlan {
+                kind,
+                at,
+                polls: AtomicU64::new(0),
+            }
+        }
+
+        /// Count one poll; inject if this is the chosen one.
+        pub(super) fn poll(&self, guard: &super::QueryGuard) {
+            let n = self.polls.fetch_add(1, Ordering::Relaxed);
+            if n != self.at {
+                return;
+            }
+            match self.kind {
+                FaultKind::Panic => panic!("injected fault: panic at morsel poll {n}"),
+                FaultKind::Delay(d) => std::thread::sleep(d),
+                FaultKind::BudgetBreach => guard.force_breach(),
+            }
+        }
+    }
+
+    /// Parse the `RMA_FAULT` environment knob into a plan, if set
+    /// (see [`parse`] for the grammar).
+    pub fn from_env() -> Option<FaultPlan> {
+        parse(&std::env::var("RMA_FAULT").ok()?)
+    }
+
+    /// Parse a fault spec: `panic@N`, `delay_ms:M@N`, or `breach@N`
+    /// (N = 0-based poll index). Malformed specs yield `None` rather
+    /// than panicking — a typo in the knob must not take a server down.
+    pub fn parse(spec: &str) -> Option<FaultPlan> {
+        let (kind, at) = spec.split_once('@')?;
+        let at: u64 = at.trim().parse().ok()?;
+        let kind = match kind.trim() {
+            "panic" => FaultKind::Panic,
+            "breach" => FaultKind::BudgetBreach,
+            other => {
+                let ms: u64 = other.strip_prefix("delay_ms:")?.parse().ok()?;
+                FaultKind::Delay(Duration::from_millis(ms))
+            }
+        };
+        Some(FaultPlan::new(kind, at))
+    }
+}
+
 /// A queued job's closure, type-erased. The pointee lives on the
 /// submitting thread's stack; the submitting call blocks until its queue
 /// entry is removable (no runner left, none can join), which is what makes
@@ -300,6 +652,10 @@ struct JobEntry {
     /// The submitting session's ticket (None for full jobs), so runners
     /// can attribute wait and run time to the right session.
     ticket: Option<SessionTicket>,
+    /// The query guard active on the submitting thread, re-installed on
+    /// every worker running this job so `current_guard()` (and therefore
+    /// [`guard_checkpoint`] and memory charges) work inside job closures.
+    guard: Option<QueryGuard>,
 }
 
 impl JobEntry {
@@ -397,6 +753,9 @@ pub struct PoolStats {
     pub threads_spawned: usize,
     /// Jobs this pool has completed since construction.
     pub jobs_run: u64,
+    /// Jobs in which at least one runner panicked (injected or organic).
+    /// The pool survives these — the count proves recovery, not damage.
+    pub jobs_panicked: u64,
     /// Queue entries in flight at snapshot time (a gauge: jobs submitted
     /// but not yet retired).
     pub queue_depth: usize,
@@ -423,6 +782,8 @@ pub struct WorkerPool {
     handles: Vec<std::thread::JoinHandle<()>>,
     /// Jobs completed (tests use this to prove an operator enlisted).
     jobs_run: AtomicU64,
+    /// Jobs that saw at least one runner panic (and were survived).
+    jobs_panicked: AtomicU64,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -467,6 +828,7 @@ impl WorkerPool {
             shared,
             handles,
             jobs_run: AtomicU64::new(0),
+            jobs_panicked: AtomicU64::new(0),
         }
     }
 
@@ -478,6 +840,14 @@ impl WorkerPool {
     /// Jobs this pool has completed since construction.
     pub fn jobs_run(&self) -> u64 {
         self.jobs_run.load(Ordering::SeqCst)
+    }
+
+    /// Jobs in which at least one runner panicked. The pool recovered
+    /// from every one of them (workers are never respawned, state is
+    /// never poisoned); the counter exists so metrics and the
+    /// fault-injection tests can see the recovery happen.
+    pub fn jobs_panicked(&self) -> u64 {
+        self.jobs_panicked.load(Ordering::SeqCst)
     }
 
     /// Jobs currently in the queue (submitted, not yet retired).
@@ -492,6 +862,7 @@ impl WorkerPool {
             threads: self.threads(),
             threads_spawned: threads_spawned(),
             jobs_run: self.jobs_run(),
+            jobs_panicked: self.jobs_panicked(),
             queue_depth: self.queue_depth(),
             queue_wait: Duration::from_nanos(self.shared.queue_wait_ns.load(Ordering::Relaxed)),
             busy: Duration::from_nanos(self.shared.busy_ns.load(Ordering::Relaxed)),
@@ -513,14 +884,19 @@ impl WorkerPool {
     /// claims everything).
     pub fn broadcast(&self, f: &(dyn Fn(usize) + Sync)) {
         let ticket = current_ticket();
+        let guard = current_guard();
         let seat_limit = ticket.as_ref().map_or(0, |t| t.seats());
         if self.handles.is_empty() || IN_POOL_JOB.get() || seat_limit == 1 {
             let t0 = Instant::now();
             let span = trace::clock();
-            f(0);
+            let caller = catch_unwind(AssertUnwindSafe(|| f(0)));
             trace::record("pool.job", "pool", 0, span, 0, 0, 0);
             charge_run(&self.shared, ticket.as_ref(), t0.elapsed());
             self.jobs_run.fetch_add(1, Ordering::SeqCst);
+            if let Err(payload) = caller {
+                self.jobs_panicked.fetch_add(1, Ordering::SeqCst);
+                resume_unwind(payload);
+            }
             return;
         }
         let id;
@@ -573,6 +949,7 @@ impl WorkerPool {
                 mode,
                 submitted_at: Instant::now(),
                 ticket: ticket.clone(),
+                guard,
             });
             self.shared.work.notify_all();
         }
@@ -606,6 +983,9 @@ impl WorkerPool {
         st.pass_floor = st.pass_floor.max(entry.pass);
         drop(st);
         self.jobs_run.fetch_add(1, Ordering::SeqCst);
+        if caller.is_err() || entry.panicked {
+            self.jobs_panicked.fetch_add(1, Ordering::SeqCst);
+        }
         match caller {
             Err(payload) => resume_unwind(payload),
             Ok(()) if entry.panicked => panic!("worker pool job panicked on a worker thread"),
@@ -619,20 +999,39 @@ impl WorkerPool {
     /// any — the job is then seat-budgeted and fairly interleaved with
     /// other sessions' jobs. With one worker or at most one item the work
     /// runs inline on the caller's thread.
+    /// When a [`QueryGuard`] is active on the submitting thread, the
+    /// claim loop polls it before every claim ([`QueryGuard::poll_morsel`])
+    /// and stops claiming on a trip — a cancelled or over-budget query
+    /// therefore stops within one item's work. A tripped guard can leave
+    /// the returned vector **short**; callers running governed must call
+    /// [`guard_checkpoint`] afterwards to turn the truncation into a typed
+    /// error (operators in this crate all do).
     pub fn for_each<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        let guard = current_guard();
+        let tripped = |g: &Option<QueryGuard>| g.as_ref().is_some_and(|g| g.poll_morsel().is_err());
         if self.handles.is_empty() || items.len() <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let mut out = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                if tripped(&guard) {
+                    break;
+                }
+                out.push(f(i, item));
+            }
+            return out;
         }
         let next = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
         self.broadcast(&|_worker| {
             let mut local = Vec::new();
             loop {
+                if tripped(&guard) {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
                 local.push((i, f(i, item)));
@@ -688,6 +1087,7 @@ fn pick_job(
     u64,
     Instant,
     Option<SessionTicket>,
+    Option<QueryGuard>,
 )> {
     let best = st
         .jobs
@@ -695,12 +1095,18 @@ fn pick_job(
         .filter(|e| e.admits(id))
         .min_by_key(|e| (e.pass, e.seq))?;
     best.join(id);
-    Some((best.raw.0, best.id, best.submitted_at, best.ticket.clone()))
+    Some((
+        best.raw.0,
+        best.id,
+        best.submitted_at,
+        best.ticket.clone(),
+        best.guard.clone(),
+    ))
 }
 
 fn worker_loop(shared: &PoolShared, id: usize) {
     loop {
-        let (raw, job_id, submitted_at, ticket) = {
+        let (raw, job_id, submitted_at, ticket, guard) = {
             let mut st = lock(shared);
             loop {
                 if st.shutdown {
@@ -725,7 +1131,13 @@ fn worker_loop(shared: &PoolShared, id: usize) {
         let f = unsafe { &*raw };
         let t0 = Instant::now();
         let span = trace::clock();
-        let ok = catch_unwind(AssertUnwindSafe(|| run_marked_in_job(|| f(id)))).is_ok();
+        // install the submitting query's guard for the closure's duration
+        // (the RAII guard drops — restoring the TLS slot — even on unwind)
+        let ok = catch_unwind(AssertUnwindSafe(|| {
+            let _active = guard.as_ref().map(QueryGuard::activate);
+            run_marked_in_job(|| f(id))
+        }))
+        .is_ok();
         trace::record("pool.job", "pool", id, span, 0, 0, 0);
         charge_run(shared, ticket.as_ref(), t0.elapsed());
         let mut st = lock(shared);
@@ -1091,5 +1503,157 @@ mod tests {
             assert_eq!(current_ticket().unwrap().seats(), 2);
         }
         assert_eq!(current_ticket().unwrap().seats(), 4);
+    }
+
+    #[test]
+    fn guard_cancel_stops_for_each_and_checkpoint_reports() {
+        let pool = WorkerPool::new(4);
+        let guard = QueryGuard::new();
+        guard.cancel();
+        let _g = guard.activate();
+        let items: Vec<usize> = (0..100_000).collect();
+        let out = pool.for_each(&items, |_, &x| x * 2);
+        assert!(
+            out.len() < items.len(),
+            "a pre-cancelled guard must stop morsel claiming early"
+        );
+        assert_eq!(guard_checkpoint(), Err(GuardError::Cancelled));
+    }
+
+    #[test]
+    fn guard_deadline_trips_and_is_sticky() {
+        let guard = QueryGuard::with_limits(Some(Duration::from_nanos(1)), 0);
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(guard.check(), Err(GuardError::DeadlineExceeded));
+        // sticky: stays tripped on re-check
+        assert!(guard.tripped());
+    }
+
+    #[test]
+    fn guard_memory_budget_breach_is_sticky() {
+        let guard = QueryGuard::with_limits(None, 1000);
+        assert!(guard.try_charge(600).is_ok());
+        assert!(matches!(
+            guard.try_charge(600),
+            Err(GuardError::ResourceExhausted {
+                needed: 1200,
+                budget: 1000
+            })
+        ));
+        // later checks keep failing even without further charges
+        assert!(matches!(
+            guard.check(),
+            Err(GuardError::ResourceExhausted { .. })
+        ));
+        assert_eq!(guard.mem_used(), 1200);
+    }
+
+    #[test]
+    fn guard_zero_budget_means_unlimited() {
+        let guard = QueryGuard::with_limits(None, 0);
+        assert!(guard.try_charge(u64::MAX / 4).is_ok());
+        assert!(guard.try_charge(u64::MAX / 4).is_ok());
+        assert!(guard.check().is_ok());
+    }
+
+    #[test]
+    fn guard_propagates_to_pool_workers() {
+        let pool = WorkerPool::new(4);
+        let guard = QueryGuard::new();
+        let _g = guard.activate();
+        let seen = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..50_000).collect();
+        pool.for_each(&items, |_, &x| {
+            // every claim runs with the guard installed, wherever it runs
+            if current_guard().is_some() {
+                seen.fetch_add(1, Ordering::Relaxed);
+            }
+            x
+        });
+        assert_eq!(
+            seen.load(Ordering::Relaxed),
+            items.len(),
+            "current_guard() must resolve inside job closures on all workers"
+        );
+    }
+
+    #[test]
+    fn guard_activate_restores_previous_guard() {
+        let outer = QueryGuard::with_limits(None, 111);
+        let inner = QueryGuard::with_limits(None, 222);
+        let _a = outer.activate();
+        assert_eq!(current_guard().unwrap().mem_budget(), 111);
+        {
+            let _b = inner.activate();
+            assert_eq!(current_guard().unwrap().mem_budget(), 222);
+        }
+        assert_eq!(current_guard().unwrap().mem_budget(), 111);
+        drop(_a);
+        assert!(current_guard().is_none());
+    }
+
+    #[test]
+    fn fault_panic_injection_fires_once_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let guard =
+            QueryGuard::with_fault(None, 0, fault::FaultPlan::new(fault::FaultKind::Panic, 3));
+        let items: Vec<usize> = (0..10_000).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _g = guard.activate();
+            pool.for_each(&items, |_, &x| x)
+        }));
+        assert!(caught.is_err(), "the injected panic must propagate");
+        // no respawn: the pool's worker set is fixed at construction (the
+        // process-wide threads_spawned counter is asserted in the isolated
+        // pool_reuse integration test; sibling unit tests racing pool
+        // creation make it unusable here)
+        assert_eq!(pool.stats().threads, 2);
+        assert!(pool.jobs_panicked() >= 1);
+        // the pool is still fully usable afterwards
+        let ok: Vec<usize> = pool.for_each(&items, |_, &x| x + 1);
+        assert_eq!(ok.len(), items.len());
+        assert_eq!(ok[10], 11);
+    }
+
+    #[test]
+    fn fault_breach_injection_trips_the_guard() {
+        let pool = WorkerPool::new(2);
+        let guard = QueryGuard::with_fault(
+            None,
+            0,
+            fault::FaultPlan::new(fault::FaultKind::BudgetBreach, 0),
+        );
+        let _g = guard.activate();
+        let items: Vec<usize> = (0..10_000).collect();
+        let _ = pool.for_each(&items, |_, &x| x);
+        assert!(matches!(
+            guard_checkpoint(),
+            Err(GuardError::ResourceExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_spec_parser() {
+        assert!(matches!(
+            fault::parse("panic@5"),
+            Some(p) if format!("{p:?}").contains("Panic")
+        ));
+        assert!(fault::parse("breach@0").is_some());
+        assert!(fault::parse("delay_ms:20@3").is_some());
+        assert!(fault::parse("panic").is_none(), "missing @N");
+        assert!(fault::parse("delay_ms:x@3").is_none(), "bad millis");
+        assert!(fault::parse("frobnicate@1").is_none(), "unknown kind");
+        assert!(fault::parse("panic@banana").is_none(), "bad index");
+    }
+
+    #[test]
+    fn ungoverned_for_each_is_unchanged() {
+        let pool = WorkerPool::new(4);
+        assert!(current_guard().is_none());
+        let items: Vec<usize> = (0..10_000).collect();
+        let out = pool.for_each(&items, |_, &x| x * 3);
+        assert_eq!(out.len(), items.len());
+        assert_eq!(out[7], 21);
+        assert!(guard_checkpoint().is_ok());
     }
 }

@@ -8,9 +8,10 @@ use crate::optimizer::optimize;
 use crate::parser::{parse, parse_script};
 use crate::plan::{explain_with_stats, plan_select, Plan};
 use rma_core::plan::explain_analyze;
-use rma_core::serve::{Server, SessionCounters};
-use rma_core::{RmaContext, RmaOptions, ServeError};
+use rma_core::serve::{Backoff, Server, SessionCounters};
+use rma_core::{RmaContext, RmaError, RmaOptions, ServeError};
 use rma_relation::{Relation, Schema, SessionTicket};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// Result of executing one statement.
@@ -55,7 +56,15 @@ pub struct Engine {
     counters: Option<Arc<SessionCounters>>,
     /// Disable the optimizer to measure its effect (ablation benches).
     pub optimize: bool,
+    /// Cap on optimistic-commit attempts per `INSERT` before the engine
+    /// gives up with [`RmaError::WriteContention`] (default 16; `0`
+    /// behaves as 1 — at least one attempt, never infinite).
+    pub write_retry_limit: u32,
 }
+
+/// Default `INSERT` commit-attempt cap (matches the serve layer's
+/// `Session` default).
+const DEFAULT_WRITE_RETRIES: u32 = 16;
 
 impl Default for Engine {
     fn default() -> Self {
@@ -76,6 +85,7 @@ impl Engine {
             ticket: SessionTicket::new(0),
             counters: None,
             optimize: true,
+            write_retry_limit: DEFAULT_WRITE_RETRIES,
         }
     }
 
@@ -97,6 +107,7 @@ impl Engine {
             ticket: SessionTicket::new(seats),
             counters: Some(server.metrics().register_session()),
             optimize: true,
+            write_retry_limit: DEFAULT_WRITE_RETRIES,
         }
     }
 
@@ -117,6 +128,41 @@ impl Engine {
         if let Some(c) = &self.counters {
             c.record_rows(n as u64);
         }
+    }
+
+    /// Run one plan execution with the resource-governor contract: an
+    /// operator panic is caught *here* — the worker pool and shared
+    /// catalog stay clean — and surfaces as the typed
+    /// [`RmaError::WorkerPanicked`]; governance errors (cancellation,
+    /// deadline kills, budget breaches) are classified into the session's
+    /// metrics cell on the way out.
+    fn contain<T>(&self, body: impl FnOnce() -> Result<T, SqlError>) -> Result<T, SqlError> {
+        // AssertUnwindSafe: on unwind the body's borrows (catalog, context,
+        // ticket) are all internally synchronized or append-only; nothing
+        // half-mutated survives the catch
+        let out = match catch_unwind(AssertUnwindSafe(body)) {
+            Ok(r) => r,
+            Err(payload) => {
+                if let Some(c) = &self.counters {
+                    c.record_worker_panic();
+                }
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                return Err(SqlError::Rma(RmaError::WorkerPanicked { message }));
+            }
+        };
+        if let (Some(c), Err(SqlError::Rma(e))) = (&self.counters, &out) {
+            match e {
+                RmaError::Cancelled => c.record_cancelled(),
+                RmaError::DeadlineExceeded => c.record_deadline_kill(),
+                RmaError::ResourceExhausted { .. } => c.record_mem_rejection(),
+                _ => {}
+            }
+        }
+        out
     }
 
     /// Engine with an explicit worker-thread count for plan execution
@@ -193,9 +239,12 @@ impl Engine {
         };
         self.catalog.refresh();
         let plan = self.build_plan(&sel)?;
-        let _seat = self.ticket.activate();
-        self.count_query();
-        let (_, actuals) = execute_analyzed(&plan, &self.catalog, &self.rma)?;
+        let actuals = self.contain(|| {
+            let _seat = self.ticket.activate();
+            self.count_query();
+            let (_, actuals) = execute_analyzed(&plan, &self.catalog, &self.rma)?;
+            Ok(actuals)
+        })?;
         Ok(explain_analyze(&plan, &self.catalog, &actuals))
     }
 
@@ -217,28 +266,30 @@ impl Engine {
         match stmt {
             Statement::Select(sel) => {
                 let plan = self.build_plan(&sel)?;
-                // the session ticket is active for the whole execution, so
-                // every morsel job the plan submits is seat-budgeted and
-                // fairly interleaved with other sessions' jobs
-                let _seat = self.ticket.activate();
-                self.count_query();
-                // the query result is a pipeline sink: compact any
-                // selection-vector view before handing it to the caller
-                let rel = execute(&plan, &self.catalog, &self.rma)?.materialize();
+                let rel = self.contain(|| {
+                    // the session ticket is active for the whole execution,
+                    // so every morsel job the plan submits is seat-budgeted
+                    // and fairly interleaved with other sessions' jobs
+                    let _seat = self.ticket.activate();
+                    self.count_query();
+                    // the query result is a pipeline sink: compact any
+                    // selection-vector view before handing it to the caller
+                    Ok(execute(&plan, &self.catalog, &self.rma)?.materialize())
+                })?;
                 self.count_rows(rel.len());
                 Ok(QueryResult::Relation(rel))
             }
             Statement::ExplainAnalyze(sel) => {
                 let plan = self.build_plan(&sel)?;
-                let lines: Vec<String> = {
+                let lines: Vec<String> = self.contain(|| {
                     let _seat = self.ticket.activate();
                     self.count_query();
                     let (_, actuals) = execute_analyzed(&plan, &self.catalog, &self.rma)?;
-                    explain_analyze(&plan, &self.catalog, &actuals)
+                    Ok(explain_analyze(&plan, &self.catalog, &actuals)
                         .lines()
                         .map(str::to_string)
-                        .collect()
-                };
+                        .collect())
+                })?;
                 let rel = rma_relation::RelationBuilder::new()
                     .column("plan", lines)
                     .build()
@@ -283,10 +334,10 @@ impl Engine {
                 or_replace,
             } => {
                 let plan = self.build_plan(&query)?;
-                let rel = {
+                let rel = self.contain(|| {
                     let _seat = self.ticket.activate();
-                    execute(&plan, &self.catalog, &self.rma)?.materialize()
-                };
+                    Ok(execute(&plan, &self.catalog, &self.rma)?.materialize())
+                })?;
                 let n = rel.len();
                 if or_replace {
                     self.catalog.put(&name, rel);
@@ -298,11 +349,18 @@ impl Engine {
             Statement::Insert { table, rows } => {
                 // MVCC-lite append: prepare the successor generation from a
                 // pinned snapshot and install it first-committer-wins; on
-                // conflict re-pin and re-prepare. Readers are never blocked
-                // — they keep executing against their own pins.
+                // conflict re-pin and re-prepare after a decorrelated-
+                // jitter backoff. Readers are never blocked — they keep
+                // executing against their own pins. Attempts are bounded
+                // (write_retry_limit, default 16): a pathologically
+                // contended table surfaces `RmaError::WriteContention`
+                // instead of looping forever.
                 let shared = Arc::clone(self.catalog.shared());
                 let n = rows.len();
-                loop {
+                let limit = self.write_retry_limit.max(1);
+                let mut backoff = Backoff::default();
+                let mut committed = false;
+                for attempt in 1..=limit {
                     let snap = shared.snapshot();
                     let Some(generation) = snap.get(&table) else {
                         return Err(SqlError::UnknownTable(table));
@@ -312,15 +370,27 @@ impl Engine {
                         .map_err(SqlError::Relation)?;
                     let next = base.appended(&incoming).map_err(SqlError::Relation)?;
                     match shared.commit(&table, generation.generation(), next) {
-                        Ok(_) => break,
+                        Ok(_) => {
+                            committed = true;
+                            break;
+                        }
                         Err(ServeError::WriteConflict { .. }) => {
                             if let Some(c) = &self.counters {
                                 c.record_conflict();
                             }
-                            continue;
+                            if attempt < limit {
+                                backoff.sleep();
+                            }
                         }
                         Err(e) => return Err(e.into()),
                     }
+                }
+                if !committed {
+                    return Err(ServeError::Contention {
+                        table,
+                        retries: limit,
+                    }
+                    .into());
                 }
                 self.catalog.refresh();
                 Ok(QueryResult::Done { rows_affected: n })
@@ -526,6 +596,19 @@ mod tests {
             .relation()
             .unwrap();
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn contention_maps_to_the_typed_write_contention_error() {
+        let e: SqlError = ServeError::Contention {
+            table: "t".to_string(),
+            retries: 16,
+        }
+        .into();
+        assert!(
+            matches!(e, SqlError::Rma(RmaError::WriteContention { retries: 16 })),
+            "got {e:?}"
+        );
     }
 
     #[test]

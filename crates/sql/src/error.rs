@@ -69,6 +69,12 @@ impl From<rma_core::ServeError> for SqlError {
             // the engine's INSERT loop retries conflicts internally, so
             // this only escapes on logic errors
             e @ ServeError::WriteConflict { .. } => SqlError::Plan(e.to_string()),
+            // the bounded retry loop gave up — surface the typed
+            // governance error so callers can back off and retry the
+            // statement themselves
+            ServeError::Contention { retries, .. } => {
+                SqlError::Rma(RmaError::WriteContention { retries })
+            }
         }
     }
 }

@@ -1,9 +1,12 @@
 //! Robustness: degenerate and adversarial inputs must produce typed errors
-//! or well-defined results — never panics.
+//! or well-defined results — never panics. The second half exercises the
+//! resource governor end to end: cancellation, deadlines, memory budgets,
+//! and contention all surface as members of the typed error matrix.
 
-use rma::core::{RmaContext, RmaError};
+use rma::core::{QueryGuard, RmaContext, RmaError, RmaOptions};
 use rma::relation::RelationBuilder;
-use rma::Value;
+use rma::{Frame, PlanError, Relation, Server, Value};
+use std::time::Duration;
 
 #[test]
 fn empty_relation_inputs() {
@@ -127,6 +130,118 @@ fn mismatched_binary_shapes_error_cleanly() {
         ctx.mmu(&a, &["k"], &b, &["j"]),
         Err(RmaError::Linalg(_))
     ));
+}
+
+fn ints(n: i64) -> Relation {
+    RelationBuilder::new()
+        .column("x", (0..n).collect::<Vec<i64>>())
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn governance_errors_are_typed_and_display_their_payload() {
+    // every governor outcome is a first-class member of the error matrix:
+    // it formats cleanly and keeps its payload for programmatic handling
+    let errs = [
+        RmaError::Cancelled,
+        RmaError::DeadlineExceeded,
+        RmaError::ResourceExhausted {
+            needed: 1024,
+            budget: 512,
+        },
+        RmaError::WorkerPanicked {
+            message: "boom".to_string(),
+        },
+        RmaError::WriteContention { retries: 16 },
+    ];
+    for e in &errs {
+        assert!(!e.to_string().is_empty(), "{e:?} has no message");
+    }
+    let exhausted = &errs[2];
+    assert!(exhausted.to_string().contains("1024"), "{exhausted}");
+    assert!(exhausted.to_string().contains("512"), "{exhausted}");
+    assert!(errs[4].to_string().contains("16"), "{}", errs[4]);
+}
+
+#[test]
+fn cancelled_guard_kills_a_plan_with_a_typed_error() {
+    let ctx = RmaContext::default();
+    let guard = QueryGuard::new();
+    guard.cancel();
+    let _scope = guard.activate();
+    let err = Frame::scan(ints(1000)).collect(&ctx).unwrap_err();
+    assert!(
+        matches!(err, PlanError::Rma(RmaError::Cancelled)),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn context_mem_budget_zero_is_unlimited() {
+    // mem_budget = 0 (the default) must never reject anything
+    let ctx = RmaContext::new(RmaOptions {
+        mem_budget: 0,
+        ..Default::default()
+    });
+    let out = Frame::scan(ints(10_000)).collect(&ctx).unwrap();
+    assert_eq!(out.len(), 10_000);
+}
+
+#[test]
+fn tiny_context_mem_budget_trips_with_the_typed_error() {
+    let ctx = RmaContext::new(RmaOptions {
+        mem_budget: 64, // far below 10k rows × 8 bytes
+        ..Default::default()
+    });
+    let err = Frame::scan(ints(10_000)).collect(&ctx).unwrap_err();
+    match err {
+        PlanError::Rma(RmaError::ResourceExhausted { needed, budget }) => {
+            assert_eq!(budget, 64);
+            assert!(needed > 64, "needed {needed} must exceed the budget");
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn context_deadline_kills_a_query_and_clears() {
+    let ctx = RmaContext::new(RmaOptions {
+        deadline: Some(Duration::from_nanos(1)),
+        ..Default::default()
+    });
+    let err = Frame::scan(ints(4096))
+        .aggregate(&[], vec![rma::relation::AggSpec::sum("x", "s")])
+        .collect(&ctx)
+        .unwrap_err();
+    assert!(
+        matches!(err, PlanError::Rma(RmaError::DeadlineExceeded)),
+        "got {err:?}"
+    );
+    // the trip is per-query: an undeadlined context is unaffected
+    let ok = RmaContext::default();
+    assert_eq!(Frame::scan(ints(64)).collect(&ok).unwrap().len(), 64);
+}
+
+#[test]
+fn zero_seat_sessions_run_governed_queries() {
+    // seats = 0 means "no seat cap" — the degenerate session must still
+    // execute, be governable, and recover after a governor kill
+    let server = Server::default();
+    let session = server.session_with_budget(0);
+    session.create_table("t", ints(1000)).unwrap();
+    assert_eq!(session.query(Frame::table("t")).unwrap().len(), 1000);
+    session.set_mem_budget(16);
+    let err = session.query(Frame::table("t")).unwrap_err();
+    assert!(
+        matches!(err, PlanError::Rma(RmaError::ResourceExhausted { .. })),
+        "got {err:?}"
+    );
+    session.set_mem_budget(0);
+    assert_eq!(session.query(Frame::table("t")).unwrap().len(), 1000);
+    // a single-seat session (every morsel job inline) behaves the same
+    let inline = server.session_with_budget(1);
+    assert_eq!(inline.query(Frame::table("t")).unwrap().len(), 1000);
 }
 
 #[test]
