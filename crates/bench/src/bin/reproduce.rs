@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper's evaluation (§8).
 //!
 //! ```text
-//! reproduce [--scale N] [--check] [fig13|...|fig18|scaling|pipeline|joinorder|sort|concurrency|profile|robustness|all]
+//! reproduce [--scale N] [--check] [fig13|...|fig18|scaling|pipeline|joinorder|sort|concurrency|profile|robustness|spill|all]
 //! ```
 //!
 //! `--scale N` divides the paper's cardinalities by `N` (default 100) so a
@@ -70,6 +70,14 @@ const FLOOR_PROFILE: f64 = 0.95;
 /// atomic load per morsel and the charges are a handful of `fetch_add`s
 /// per operator, so typical measured values sit at parity.
 const FLOOR_ROBUSTNESS: f64 = 0.95;
+
+/// Out-of-core throughput: a join/sort forced through the spill path by a
+/// tiny budget vs the identical unbudgeted in-memory run, expressed as a
+/// ratio (in-memory time / spilled time, so smaller = slower spill). Disk
+/// runs are legitimately slower — partitioning writes every input row out
+/// and reads it back — so this floor only catches a collapse of the spill
+/// path, not a slowdown. Checksum parity is asserted unconditionally.
+const FLOOR_SPILL: f64 = 0.05;
 
 /// The `--check` regression gate: collects floor violations across bench
 /// targets and fails the process at the end of the run.
@@ -159,6 +167,7 @@ fn main() {
             "concurrency",
             "profile",
             "robustness",
+            "spill",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -190,6 +199,7 @@ fn main() {
             "concurrency" => concurrency(scale, &mut gate),
             "profile" => profile(scale, &mut gate),
             "robustness" => robustness(scale, &mut gate),
+            "spill" => spill_bench(scale, &mut gate),
             other => eprintln!("unknown target `{other}` (skipped)"),
         }
     }
@@ -1165,6 +1175,152 @@ fn robustness(scale: usize, gate: &mut Gate) {
     std::fs::write("BENCH_robustness.json", &json).expect("write BENCH_robustness.json");
     println!(
         "(recorded in BENCH_robustness.json; committed floor: governed ≥ {FLOOR_ROBUSTNESS}x ungoverned)\n"
+    );
+}
+
+/// Out-of-core execution (PR 9): a join and a sort forced through the
+/// spill path by a tiny memory budget against the identical unbudgeted
+/// in-memory runs. Checksum parity is always asserted (the spilled result
+/// must be the in-memory result); the throughput ratios gate at
+/// `FLOOR_SPILL` — disk is slower, the floor catches a collapse, not a
+/// slowdown. Emits BENCH_spill.json.
+fn spill_bench(scale: usize, gate: &mut Gate) {
+    use rma_core::serve::Server;
+
+    println!("## Spill — budgeted (out-of-core) vs unbudgeted (in-memory) queries");
+    let rows = (2_000_000 / scale.max(1)).max(200_000);
+    let custs = 997usize;
+    let hw = hardware_threads();
+    // 16 KiB: under the 48 B × 997 join build and far under the
+    // 8 B × rows sort permutation, so both operators must go to disk
+    let budget = 16u64 * 1024;
+    println!("### {rows} orders × {custs} customers, budget {budget} B, best of 3 interleaved");
+
+    let orders = rma_relation::RelationBuilder::new()
+        .name("o")
+        .column(
+            "cust",
+            (0..rows as i64)
+                .map(|i| i % custs as i64)
+                .collect::<Vec<i64>>(),
+        )
+        .column(
+            "amount",
+            (0..rows as i64)
+                .map(|i| (i % 8191) as f64)
+                .collect::<Vec<f64>>(),
+        )
+        .column("oid", (0..rows as i64).collect::<Vec<i64>>())
+        .build()
+        .expect("orders");
+    let customers = rma_relation::RelationBuilder::new()
+        .name("c")
+        .column("cid", (0..custs as i64).collect::<Vec<i64>>())
+        .build()
+        .expect("customers");
+    let server = Server::default();
+    let mem = server.session();
+    mem.create_table("o", orders).expect("create o");
+    mem.create_table("c", customers).expect("create c");
+    let spilled = server.session();
+    spilled.set_mem_budget(budget);
+
+    // order-free checksum for the join (partition-wise execution permutes
+    // rows), order-sensitive for the sort (the order IS the result)
+    let sum_oids = |r: &rma_relation::Relation| -> i64 {
+        let col = r.column("oid").expect("oid");
+        (0..r.len()).fold(0i64, |acc, i| match col.get(i) {
+            rma_storage::Value::Int(v) => acc.wrapping_add(v),
+            other => panic!("unexpected oid {other:?}"),
+        })
+    };
+    let fnv_oids = |r: &rma_relation::Relation| -> i64 {
+        let col = r.column("oid").expect("oid");
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for i in 0..r.len() {
+            match col.get(i) {
+                rma_storage::Value::Int(v) => h = (h ^ v as u64).wrapping_mul(0x100_0000_01b3),
+                other => panic!("unexpected oid {other:?}"),
+            }
+        }
+        h as i64
+    };
+    type Checksum<'a> = &'a dyn Fn(&rma_relation::Relation) -> i64;
+    let cases: [(&str, rma_core::Frame, Checksum); 2] = [
+        (
+            "join",
+            rma_core::Frame::table("o").join(rma_core::Frame::table("c"), &[("cust", "cid")]),
+            &sum_oids,
+        ),
+        (
+            "sort",
+            rma_core::Frame::table("o").order_by(&["amount", "oid"], &[true, true]),
+            &fnv_oids,
+        ),
+    ];
+
+    println!(
+        "{:>6} {:>14} {:>12} {:>8}",
+        "query", "in-memory(s)", "spilled(s)", "ratio"
+    );
+    let mut records = Vec::new();
+    for (name, frame, checksum) in &cases {
+        let run = |s: &rma_core::Session| -> (Duration, i64) {
+            let t = Instant::now();
+            let r = s.query(frame.clone()).expect("query");
+            (t.elapsed(), checksum(&r))
+        };
+        // warm both paths (page-in, statistics cache), then interleave so
+        // clock drift hits both modes equally
+        let _ = run(&mem);
+        let _ = run(&spilled);
+        let (mut mem_t, mut spill_t) = (Duration::MAX, Duration::MAX);
+        let (mut check_m, mut check_s) = (0i64, 0i64);
+        for _ in 0..3 {
+            let (tm, cm) = run(&mem);
+            let (ts, cs) = run(&spilled);
+            mem_t = mem_t.min(tm);
+            spill_t = spill_t.min(ts);
+            (check_m, check_s) = (cm, cs);
+        }
+        assert_eq!(
+            check_m, check_s,
+            "spilled {name} diverged from the in-memory result"
+        );
+        let ratio = mem_t.as_secs_f64() / spill_t.as_secs_f64();
+        println!(
+            "{name:>6} {:>14} {:>12} {ratio:>8.2}",
+            secs(mem_t),
+            secs(spill_t)
+        );
+        let status = gate.record(&format!("spill.{name}"), ratio, FLOOR_SPILL, true);
+        records.push(format!(
+            "  {{\"bench\": \"spill_{name}\", \"rows\": {rows}, \"hardware_threads\": {hw}, \
+             \"budget_bytes\": {budget}, \"in_memory_s\": {:.6}, \"spilled_s\": {:.6}, \
+             \"ratio\": {ratio:.3}, \"checksum_match\": true, \"gate\": \"{status}\"}}",
+            mem_t.as_secs_f64(),
+            spill_t.as_secs_f64(),
+        ));
+    }
+
+    let snap = server.metrics_snapshot();
+    assert!(
+        snap.spill_bytes > 0 && snap.spill_partitions > 0,
+        "the budgeted session never spilled — the bench measured nothing"
+    );
+    assert_eq!(
+        rma_relation::live_spill_files(),
+        0,
+        "spill temp files leaked after the bench"
+    );
+    println!(
+        "spilled {} bytes across {} partitions; no temp files left behind",
+        snap.spill_bytes, snap.spill_partitions
+    );
+    let json = format!("[\n{}\n]\n", records.join(",\n"));
+    std::fs::write("BENCH_spill.json", &json).expect("write BENCH_spill.json");
+    println!(
+        "(recorded in BENCH_spill.json; committed floor: spilled ≥ {FLOOR_SPILL}x in-memory)\n"
     );
 }
 

@@ -147,6 +147,11 @@ pub struct ExecStats {
     pub sorts: u32,
     /// The kernel family of the most recent operation, if any ran.
     pub last_kernel: Option<KernelUsed>,
+    /// Bytes the out-of-core operators wrote to spill files (disk
+    /// footprint, never charged against the memory budget).
+    pub spill_bytes: u64,
+    /// Spill partitions/runs the out-of-core operators created.
+    pub spill_partitions: u64,
 }
 
 impl ExecStats {
@@ -175,6 +180,8 @@ struct AtomicStats {
     sorts: AtomicU32,
     /// 0 = none, 1 = Bat, 2 = Dense, 3 = DenseFallback.
     last_kernel: AtomicU8,
+    spill_bytes: AtomicU64,
+    spill_partitions: AtomicU64,
 }
 
 impl AtomicStats {
@@ -188,6 +195,9 @@ impl AtomicStats {
         add_ns(&self.sort_ns, s.sort);
         self.ops_run.fetch_add(s.ops_run, Ordering::Relaxed);
         self.sorts.fetch_add(s.sorts, Ordering::Relaxed);
+        self.spill_bytes.fetch_add(s.spill_bytes, Ordering::Relaxed);
+        self.spill_partitions
+            .fetch_add(s.spill_partitions, Ordering::Relaxed);
         if let Some(k) = s.last_kernel {
             let code = match k {
                 KernelUsed::Bat => 1,
@@ -207,6 +217,8 @@ impl AtomicStats {
             sort: ns(&self.sort_ns),
             ops_run: self.ops_run.load(Ordering::Relaxed),
             sorts: self.sorts.load(Ordering::Relaxed),
+            spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
+            spill_partitions: self.spill_partitions.load(Ordering::Relaxed),
             last_kernel: match self.last_kernel.load(Ordering::Relaxed) {
                 1 => Some(KernelUsed::Bat),
                 2 => Some(KernelUsed::Dense),
@@ -224,6 +236,8 @@ impl AtomicStats {
         self.ops_run.store(0, Ordering::Relaxed);
         self.sorts.store(0, Ordering::Relaxed);
         self.last_kernel.store(0, Ordering::Relaxed);
+        self.spill_bytes.store(0, Ordering::Relaxed);
+        self.spill_partitions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -477,6 +491,7 @@ mod tests {
             ops_run: 1,
             sorts: 1,
             last_kernel: Some(KernelUsed::Dense),
+            ..ExecStats::default()
         };
         ctx.record(&s);
         ctx.record(&s);

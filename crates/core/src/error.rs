@@ -111,6 +111,10 @@ pub enum RmaError {
         /// How many commit attempts were made before giving up.
         retries: u32,
     },
+    /// An out-of-core operator failed to read or write a spill file. The
+    /// query dies with this typed error; the session, its temp files
+    /// (removed on drop), and every other query survive.
+    SpillIo(String),
 }
 
 impl fmt::Display for RmaError {
@@ -162,6 +166,7 @@ impl fmt::Display for RmaError {
                 f,
                 "write contention: gave up after {retries} optimistic commit attempts"
             ),
+            RmaError::SpillIo(msg) => write!(f, "spill I/O error: {msg}"),
         }
     }
 }
@@ -188,6 +193,7 @@ impl From<RelationError> for RmaError {
             RelationError::ResourceExhausted { needed, budget } => {
                 RmaError::ResourceExhausted { needed, budget }
             }
+            RelationError::SpillIo(msg) => RmaError::SpillIo(msg),
             other => RmaError::Relation(other),
         }
     }

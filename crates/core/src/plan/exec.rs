@@ -23,6 +23,19 @@
 //! identical at any thread count); span recording
 //! ([`rma_relation::trace`]) is active in both modes whenever a collector
 //! is installed.
+//!
+//! Out-of-core: when a memory budget is set and an operator's estimated
+//! working set does not fit the guard's remaining headroom, the
+//! interpreter routes joins to the spilling grace hash join, sorts to the
+//! external merge sort, and keyed aggregations to the partition-wise
+//! spilling aggregate (`rma_relation::algebra`'s `grace_*` /
+//! `*_external` operators) instead of failing the query. In-memory
+//! operators charge their working set as a *scope* — charged on entry,
+//! released when the operator completes — so the budget governs peak
+//! operator memory, not the lifetime sum of every materialization the
+//! plan ever performed. Spilled bytes are accounted separately
+//! ([`rma_relation::QueryGuard::spill_bytes`]) and surface in
+//! [`crate::context::ExecStats`] and per-node in [`NodeActual`].
 
 use super::{par, LogicalPlan, PartitionedTableProvider, PlanError};
 use crate::context::{RmaContext, RmaOptions};
@@ -48,9 +61,34 @@ pub fn execute(
     provider: &dyn PartitionedTableProvider,
 ) -> Result<Relation, PlanError> {
     let _scope = governor_scope(ctx);
+    let spill0 = spill_snapshot();
     let result = execute_inner(plan, ctx, provider, None)?;
-    charge_result(&result)?;
+    record_spill_delta(ctx, spill0);
     Ok(result)
+}
+
+/// The active guard's spill counters right now (`None` = ungoverned, so
+/// nothing can spill).
+fn spill_snapshot() -> Option<(u64, u64)> {
+    rel::current_guard().map(|g| (g.spill_bytes(), g.spill_partitions()))
+}
+
+/// Record how much the plan spilled since `before` into the context's
+/// [`crate::context::ExecStats`] — the counters the serving layer's
+/// per-session stats and metrics read.
+fn record_spill_delta(ctx: &RmaContext, before: Option<(u64, u64)>) {
+    let (Some(g), Some((b0, p0))) = (rel::current_guard(), before) else {
+        return;
+    };
+    let bytes = g.spill_bytes().saturating_sub(b0);
+    let partitions = g.spill_partitions().saturating_sub(p0);
+    if bytes > 0 || partitions > 0 {
+        ctx.record(&crate::context::ExecStats {
+            spill_bytes: bytes,
+            spill_partitions: partitions,
+            ..Default::default()
+        });
+    }
 }
 
 /// Mint + activate a per-plan [`rel::QueryGuard`] from the context options
@@ -69,22 +107,51 @@ fn governor_scope(ctx: &RmaContext) -> Option<rel::ActiveGuard> {
     Some(scope)
 }
 
-/// Charge `bytes` of allocation weight against the thread's active guard
-/// (no-op when ungoverned). Called at every materialization point in the
-/// interpreter; the weights are documented estimates, not measurements —
-/// their job is to stop a hopeless query *before* the allocation, not to
-/// meter it exactly.
-fn charge(bytes: u64) -> Result<(), PlanError> {
-    if let Some(g) = rel::current_guard() {
-        g.try_charge(bytes).map_err(RmaError::from)?;
+/// An operator's working memory, charged against the thread's active
+/// guard for exactly the operator's lifetime: charged on construction,
+/// released on drop (success *and* error paths). The weights are
+/// documented estimates, not measurements — their job is to stop (or
+/// spill) a hopeless operator *before* the allocation, not to meter it
+/// exactly. Scoping is what makes the budget govern *peak* operator
+/// memory: a pipeline of modest operators runs under a modest budget,
+/// where the old cumulative accounting double-charged every nested
+/// materialization point (a hash build deep in the plan stayed charged
+/// long after the join freed it).
+struct ChargeScope(u64);
+
+impl ChargeScope {
+    /// Charge `bytes` (no-op scope when ungoverned); fails with the
+    /// guard's typed trip when the charge breaches the budget.
+    fn new(bytes: u64) -> Result<ChargeScope, PlanError> {
+        match rel::current_guard() {
+            Some(g) => {
+                g.try_charge(bytes).map_err(RmaError::from)?;
+                Ok(ChargeScope(bytes))
+            }
+            None => Ok(ChargeScope(0)),
+        }
     }
-    Ok(())
 }
 
-/// Charge the final result's materialization footprint (the `collect`
-/// sink gathers every column): rows × columns × 8 bytes per cell.
-fn charge_result(result: &Relation) -> Result<(), PlanError> {
-    charge((result.len() as u64) * (result.schema().len() as u64) * 8)
+impl Drop for ChargeScope {
+    fn drop(&mut self) {
+        if self.0 > 0 {
+            if let Some(g) = rel::current_guard() {
+                g.release(self.0);
+            }
+        }
+    }
+}
+
+/// Should an operator with an estimated working set of `est_bytes` take
+/// its spilling implementation? True only when a guard with a finite
+/// budget is active and the estimate does not fit the remaining headroom
+/// — a pure probe, it never trips the guard itself.
+fn should_spill(est_bytes: u64) -> bool {
+    match rel::current_guard() {
+        Some(g) => !g.fits(est_bytes),
+        None => false,
+    }
 }
 
 /// Operator-boundary guard check, mapped into the plan error taxonomy.
@@ -103,6 +170,11 @@ pub struct NodeActual {
     /// Morsels the operator dispatched (1 for serial operators and inputs
     /// below the parallel threshold).
     pub morsels: u64,
+    /// Bytes this node's subtree wrote to spill files (inclusive, like
+    /// `nanos`); 0 for fully in-memory execution.
+    pub spill_bytes: u64,
+    /// Spill partitions/runs this node's subtree created (inclusive).
+    pub spill_partitions: u64,
 }
 
 /// Execute a plan while recording per-node actuals, returned **in the
@@ -116,9 +188,10 @@ pub fn execute_analyzed(
     provider: &dyn PartitionedTableProvider,
 ) -> Result<(Relation, Vec<NodeActual>), PlanError> {
     let _scope = governor_scope(ctx);
+    let spill0 = spill_snapshot();
     let actuals = RefCell::new(Vec::new());
     let out = execute_inner(plan, ctx, provider, Some(&actuals))?;
-    charge_result(&out)?;
+    record_spill_delta(ctx, spill0);
     Ok((out, actuals.into_inner()))
 }
 
@@ -188,6 +261,7 @@ fn execute_inner(
         v.len() - 1
     });
     let started = analyze.map(|_| Instant::now());
+    let spill0 = analyze.and_then(|_| spill_snapshot());
     let span = trace::clock();
     let threads = pool.threads();
     let mut morsels: u64 = 1;
@@ -221,11 +295,24 @@ fn execute_inner(
         } => {
             let r = execute_inner(input, ctx, provider, analyze)?;
             morsels = par_morsels(threads, r.len());
-            // aggregate states: worst case every row is its own group
-            // (key + accumulator slots), ~32 bytes each
-            charge(32 * r.len() as u64)?;
             let gb: Vec<&str> = group_by.iter().map(String::as_str).collect();
-            Ok(rel::aggregate_parallel(&r, &gb, aggs, pool)?)
+            if gb.is_empty() {
+                // ungrouped: a handful of accumulators, not a table —
+                // charging 32 bytes per input row here rejected queries
+                // whose working set is actually constant
+                let _working = ChargeScope::new(256)?;
+                Ok(rel::aggregate_parallel(&r, &gb, aggs, pool)?)
+            } else {
+                // aggregate states: worst case every row is its own
+                // group (key + accumulator slots), ~32 bytes each
+                let est = 32 * r.len() as u64;
+                if should_spill(est) {
+                    Ok(rel::aggregate_external(&r, &gb, aggs, pool)?)
+                } else {
+                    let _working = ChargeScope::new(est)?;
+                    Ok(rel::aggregate_parallel(&r, &gb, aggs, pool)?)
+                }
+            }
         }
         LogicalPlan::NaturalJoin { left, right } => {
             let l = execute_inner(left, ctx, provider, analyze)?;
@@ -233,17 +320,27 @@ fn execute_inner(
             morsels = par_morsels(threads, l.len().max(r.len()));
             // hash build over the right side: bucket + match-list entry
             // per row, ~48 bytes each
-            charge(48 * r.len() as u64)?;
-            Ok(rel::natural_join_parallel(&l, &r, pool)?)
+            let est = 48 * r.len() as u64;
+            if should_spill(est) {
+                Ok(rel::grace_natural_join(&l, &r, pool)?)
+            } else {
+                let _build = ChargeScope::new(est)?;
+                Ok(rel::natural_join_parallel(&l, &r, pool)?)
+            }
         }
         LogicalPlan::JoinOn { left, right, on } => {
             let l = execute_inner(left, ctx, provider, analyze)?;
             let r = execute_inner(right, ctx, provider, analyze)?;
             morsels = par_morsels(threads, l.len().max(r.len()));
-            charge(48 * r.len() as u64)?;
+            let est = 48 * r.len() as u64;
             let pairs: Vec<(&str, &str)> =
                 on.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
-            Ok(rel::join_on_parallel(&l, &r, &pairs, pool)?)
+            if should_spill(est) {
+                Ok(rel::grace_join_on(&l, &r, &pairs, pool)?)
+            } else {
+                let _build = ChargeScope::new(est)?;
+                Ok(rel::join_on_parallel(&l, &r, &pairs, pool)?)
+            }
         }
         LogicalPlan::Cross { left, right } => {
             let l = execute_inner(left, ctx, provider, analyze)?;
@@ -263,11 +360,16 @@ fn execute_inner(
             let r = execute_inner(input, ctx, provider, analyze)?;
             morsels = sort_morsels(threads, r.len());
             // sort runs + merged permutation: one index per row, 8 bytes
-            charge(8 * r.len() as u64)?;
+            let est = 8 * r.len() as u64;
             let attrs: Vec<&str> = keys.iter().map(|(k, _)| k.as_str()).collect();
             let dirs: Vec<bool> = keys.iter().map(|(_, asc)| *asc).collect();
-            // per-worker local sorts + k-way merge; the result is a view
-            Ok(rel::order_by_parallel(&r, &attrs, &dirs, pool)?)
+            if should_spill(est) {
+                Ok(rel::order_by_external(&r, &attrs, &dirs, pool)?)
+            } else {
+                let _working = ChargeScope::new(est)?;
+                // per-worker local sorts + k-way merge; result is a view
+                Ok(rel::order_by_parallel(&r, &attrs, &dirs, pool)?)
+            }
         }
         LogicalPlan::Limit { input, n } => {
             let r = execute_inner(input, ctx, provider, analyze)?;
@@ -276,8 +378,9 @@ fn execute_inner(
         LogicalPlan::TopK { input, keys, n } => {
             let r = execute_inner(input, ctx, provider, analyze)?;
             morsels = sort_morsels(threads, r.len());
-            // bounded heaps: n candidates per worker, 8-byte indices
-            charge(8 * (*n as u64) * threads as u64)?;
+            // bounded heaps: n candidates per worker, 8-byte indices —
+            // already sublinear in the input, so top-k never spills
+            let _working = ChargeScope::new(8 * (*n as u64) * threads as u64)?;
             let attrs: Vec<&str> = keys.iter().map(|(k, _)| k.as_str()).collect();
             let dirs: Vec<bool> = keys.iter().map(|(_, asc)| *asc).collect();
             // per-worker bounded heaps merged at the barrier
@@ -328,10 +431,16 @@ fn execute_inner(
         morsels,
     );
     if let (Some(id), Some(t0), Some(sink)) = (my_id, started, analyze) {
+        let (spill_bytes, spill_partitions) = match (spill0, spill_snapshot()) {
+            (Some((b0, p0)), Some((b1, p1))) => (b1.saturating_sub(b0), p1.saturating_sub(p0)),
+            _ => (0, 0),
+        };
         sink.borrow_mut()[id] = NodeActual {
             rows: result.len() as u64,
             nanos: t0.elapsed().as_nanos() as u64,
             morsels,
+            spill_bytes,
+            spill_partitions,
         };
     }
     Ok(result)

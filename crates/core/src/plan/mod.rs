@@ -318,6 +318,33 @@ impl LogicalPlan {
     }
 }
 
+/// Does the plan contain at least one operator with an out-of-core
+/// implementation — a join, a sort, or a keyed aggregation? The serving
+/// layer's admission control uses this: a query whose estimated working
+/// set exceeds the memory budget is still admitted when it can spill,
+/// because the grace join / external sort / spilling aggregate bound the
+/// resident footprint regardless of the estimate. A plan of scans and
+/// projections alone has no spill path, so for it the estimate stays
+/// binding and admission still rejects.
+pub fn spillable(plan: &LogicalPlan) -> bool {
+    use LogicalPlan::*;
+    match plan {
+        NaturalJoin { .. } | JoinOn { .. } | OrderBy { .. } => true,
+        Aggregate {
+            input, group_by, ..
+        } => !group_by.is_empty() || spillable(input),
+        Select { input, .. }
+        | Project { input, .. }
+        | Distinct { input }
+        | Limit { input, .. }
+        | TopK { input, .. }
+        | AssertKey { input, .. } => spillable(input),
+        Cross { left, right } | UnionAll { left, right } => spillable(left) || spillable(right),
+        Rma { args, .. } => args.iter().any(|a| spillable(&a.input)),
+        Values { .. } | Scan { .. } => false,
+    }
+}
+
 /// Errors from building, optimizing, or executing a logical plan.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanError {
@@ -355,11 +382,13 @@ impl std::error::Error for PlanError {
 impl From<RelationError> for PlanError {
     fn from(e: RelationError) -> Self {
         match e {
-            // governance trips surface as RmaError variants so every caller
-            // (Frame, SQL, serve) matches them in one typed place
+            // governance trips (and spill-I/O faults) surface as RmaError
+            // variants so every caller (Frame, SQL, serve) matches them in
+            // one typed place
             RelationError::Cancelled
             | RelationError::DeadlineExceeded
-            | RelationError::ResourceExhausted { .. } => PlanError::Rma(RmaError::from(e)),
+            | RelationError::ResourceExhausted { .. }
+            | RelationError::SpillIo(_) => PlanError::Rma(RmaError::from(e)),
             other => PlanError::Relation(other),
         }
     }
@@ -573,6 +602,13 @@ fn walk_explain(
                 act.morsels,
                 q_error(est.rows, act.rows as f64)
             );
+            if act.spill_bytes > 0 || act.spill_partitions > 0 {
+                let _ = write!(
+                    out,
+                    " spilled={}B parts={}",
+                    act.spill_bytes, act.spill_partitions
+                );
+            }
         }
     }
     out.push('\n');

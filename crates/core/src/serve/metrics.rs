@@ -28,6 +28,8 @@ pub struct SessionCounters {
     deadline_kills: AtomicU64,
     mem_rejections: AtomicU64,
     worker_panics: AtomicU64,
+    spill_bytes: AtomicU64,
+    spill_partitions: AtomicU64,
 }
 
 impl SessionCounters {
@@ -42,6 +44,8 @@ impl SessionCounters {
             deadline_kills: AtomicU64::new(0),
             mem_rejections: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
+            spill_bytes: AtomicU64::new(0),
+            spill_partitions: AtomicU64::new(0),
         }
     }
 
@@ -90,6 +94,14 @@ impl SessionCounters {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Account one query's out-of-core activity: bytes written to spill
+    /// files and spill partitions/runs created.
+    pub fn record_spill(&self, bytes: u64, partitions: u64) {
+        self.spill_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.spill_partitions
+            .fetch_add(partitions, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> SessionMetrics {
         SessionMetrics {
             id: self.id,
@@ -101,6 +113,8 @@ impl SessionCounters {
             deadline_kills: self.deadline_kills.load(Ordering::Relaxed),
             mem_rejections: self.mem_rejections.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
+            spill_partitions: self.spill_partitions.load(Ordering::Relaxed),
         }
     }
 }
@@ -126,6 +140,10 @@ pub struct SessionMetrics {
     pub mem_rejections: u64,
     /// Operator panics caught and typed at the session boundary.
     pub worker_panics: u64,
+    /// Bytes the session's queries wrote to spill files.
+    pub spill_bytes: u64,
+    /// Spill partitions/runs the session's queries created.
+    pub spill_partitions: u64,
 }
 
 /// Server-wide engine metrics: what every session did, what the pool is
@@ -150,6 +168,10 @@ pub struct MetricsSnapshot {
     pub mem_rejections: u64,
     /// Total worker panics caught and typed across sessions.
     pub worker_panics: u64,
+    /// Total bytes written to spill files across sessions.
+    pub spill_bytes: u64,
+    /// Total spill partitions/runs created across sessions.
+    pub spill_partitions: u64,
     /// The worker pool's counters and gauges (queue depth, wait, busy).
     pub pool: PoolStats,
     /// Time since the registry (= the server) was created.
@@ -169,7 +191,7 @@ impl MetricsSnapshot {
             out,
             "{{\"uptime_ms\":{},\"queries\":{},\"rows\":{},\"conflicts\":{},\"retries\":{},\
              \"queries_cancelled\":{},\"deadline_kills\":{},\"mem_rejections\":{},\
-             \"worker_panics\":{},",
+             \"worker_panics\":{},\"spill_bytes\":{},\"spill_partitions\":{},",
             self.uptime.as_millis(),
             self.queries,
             self.rows,
@@ -178,7 +200,9 @@ impl MetricsSnapshot {
             self.queries_cancelled,
             self.deadline_kills,
             self.mem_rejections,
-            self.worker_panics
+            self.worker_panics,
+            self.spill_bytes,
+            self.spill_partitions
         );
         let _ = write!(
             out,
@@ -203,7 +227,7 @@ impl MetricsSnapshot {
                 out,
                 "{{\"id\":{},\"queries\":{},\"rows\":{},\"conflicts\":{},\"retries\":{},\
                  \"queries_cancelled\":{},\"deadline_kills\":{},\"mem_rejections\":{},\
-                 \"worker_panics\":{}}}",
+                 \"worker_panics\":{},\"spill_bytes\":{},\"spill_partitions\":{}}}",
                 s.id,
                 s.queries,
                 s.rows,
@@ -212,7 +236,9 @@ impl MetricsSnapshot {
                 s.queries_cancelled,
                 s.deadline_kills,
                 s.mem_rejections,
-                s.worker_panics
+                s.worker_panics,
+                s.spill_bytes,
+                s.spill_partitions
             );
         }
         out.push_str("]}");
@@ -277,6 +303,8 @@ impl MetricsRegistry {
             deadline_kills: sessions.iter().map(|s| s.deadline_kills).sum(),
             mem_rejections: sessions.iter().map(|s| s.mem_rejections).sum(),
             worker_panics: sessions.iter().map(|s| s.worker_panics).sum(),
+            spill_bytes: sessions.iter().map(|s| s.spill_bytes).sum(),
+            spill_partitions: sessions.iter().map(|s| s.spill_partitions).sum(),
             sessions,
             pool,
             uptime,
@@ -347,6 +375,8 @@ mod tests {
         a.record_deadline_kill();
         b.record_mem_rejection();
         b.record_worker_panic();
+        b.record_spill(4096, 8);
+        b.record_spill(1024, 2);
         let snap = reg.snapshot(PoolStats {
             jobs_panicked: 3,
             ..PoolStats::default()
@@ -357,12 +387,17 @@ mod tests {
         assert_eq!(snap.worker_panics, 1);
         assert_eq!(snap.sessions[0].deadline_kills, 2);
         assert_eq!(snap.sessions[1].worker_panics, 1);
+        assert_eq!(snap.spill_bytes, 5120);
+        assert_eq!(snap.spill_partitions, 10);
+        assert_eq!(snap.sessions[1].spill_bytes, 5120);
         let json = snap.to_json();
         assert!(json.contains("\"queries_cancelled\":1"));
         assert!(json.contains("\"deadline_kills\":2"));
         assert!(json.contains("\"mem_rejections\":1"));
         assert!(json.contains("\"worker_panics\":1"));
         assert!(json.contains("\"jobs_panicked\":3"));
+        assert!(json.contains("\"spill_bytes\":5120"));
+        assert!(json.contains("\"spill_partitions\":10"));
     }
 
     #[test]

@@ -161,8 +161,10 @@ impl Session {
     ///
     /// 1. **Admission**: with a memory budget set, the PR 4 cost model
     ///    pre-estimates the result footprint and rejects hopeless queries
-    ///    before they touch the pool
-    ///    (`RmaError::ResourceExhausted`).
+    ///    before they touch the pool (`RmaError::ResourceExhausted`) —
+    ///    unless the plan contains a spillable operator
+    ///    ([`crate::plan::spillable`]), in which case it is admitted and
+    ///    runs out-of-core under the budget.
     /// 2. **Execution under a guard**: a fresh [`QueryGuard`] (deadline +
     ///    budget, plus any armed fault plan) governs every morsel claim
     ///    and operator boundary; [`Session::cancel`] reaches it from any
@@ -182,7 +184,11 @@ impl Session {
             let est_bytes = (est.rows.max(0.0) as u64)
                 .saturating_mul(est.cols.len().max(1) as u64)
                 .saturating_mul(8);
-            if est_bytes > budget {
+            // a plan with a spillable operator (join / sort / keyed
+            // aggregation) is admitted even over the estimate: the
+            // out-of-core operators bound its resident working set, so
+            // "too big for memory" now means "runs spilled", not "rejected"
+            if est_bytes > budget && !crate::plan::spillable(frame.logical_plan()) {
                 self.counters.record_mem_rejection();
                 return Err(PlanError::Rma(RmaError::ResourceExhausted {
                     needed: est_bytes,
@@ -212,6 +218,10 @@ impl Session {
             catch_unwind(AssertUnwindSafe(|| frame.collect_with(&self.ctx, snap)))
         };
         *self.active.lock().expect("session guard slot poisoned") = None;
+        let (spill_bytes, spill_parts) = (guard.spill_bytes(), guard.spill_partitions());
+        if spill_bytes > 0 || spill_parts > 0 {
+            self.counters.record_spill(spill_bytes, spill_parts);
+        }
         let out = match result {
             Ok(r) => r,
             Err(payload) => {

@@ -36,6 +36,10 @@ pub enum RelationError {
         /// The budget the charges were debited against.
         budget: u64,
     },
+    /// An out-of-core operator failed to read or write a spill file
+    /// (the message carries the underlying I/O error; `std::io::Error`
+    /// itself is neither `Clone` nor `PartialEq`).
+    SpillIo(String),
 }
 
 impl fmt::Display for RelationError {
@@ -62,6 +66,7 @@ impl fmt::Display for RelationError {
                 f,
                 "memory budget exhausted: needed {needed} bytes, budget {budget}"
             ),
+            RelationError::SpillIo(msg) => write!(f, "spill I/O error: {msg}"),
         }
     }
 }

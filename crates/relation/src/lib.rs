@@ -11,14 +11,15 @@ pub mod expr;
 pub mod par;
 pub mod relation;
 pub mod schema;
+pub mod spill;
 pub mod stats;
 pub mod trace;
 
 pub use algebra::{
-    aggregate, aggregate_parallel, cross_product, distinct, join_on, join_on_parallel, limit,
-    natural_join, natural_join_parallel, order_by, order_by_parallel, project, project_exprs,
-    rename, select, select_parallel, theta_join, top_k, top_k_parallel, union_all, AggFunc,
-    AggSpec,
+    aggregate, aggregate_external, aggregate_parallel, cross_product, distinct, grace_join_on,
+    grace_natural_join, join_on, join_on_parallel, limit, natural_join, natural_join_parallel,
+    order_by, order_by_external, order_by_parallel, project, project_exprs, rename, select,
+    select_parallel, theta_join, top_k, top_k_parallel, union_all, AggFunc, AggSpec,
 };
 pub use error::RelationError;
 pub use expr::{BinOp, Expr, ScalarFunc};
@@ -28,4 +29,5 @@ pub use par::{
 };
 pub use relation::{Relation, RelationBuilder};
 pub use schema::{Attribute, Schema};
+pub use spill::{live_spill_files, SpillFile, SpillReader};
 pub use stats::Statistics;

@@ -319,6 +319,10 @@ struct GuardInner {
     /// (0 = none). Keeps the guard tripped after a breach so workers that
     /// stopped claiming mid-job always surface the typed error.
     breach_needed: AtomicU64,
+    /// Bytes written to spill files by out-of-core operators.
+    spill_bytes: AtomicU64,
+    /// Spill partitions / sorted runs written by out-of-core operators.
+    spill_partitions: AtomicU64,
     /// Optional deterministic fault plan ([`fault`]).
     fault: Option<fault::FaultPlan>,
 }
@@ -374,6 +378,8 @@ impl QueryGuard {
             mem_budget: AtomicU64::new(mem_budget),
             mem_used: AtomicU64::new(0),
             breach_needed: AtomicU64::new(0),
+            spill_bytes: AtomicU64::new(0),
+            spill_partitions: AtomicU64::new(0),
             fault: fault::from_env(),
         }))
     }
@@ -387,6 +393,8 @@ impl QueryGuard {
             mem_budget: AtomicU64::new(mem_budget),
             mem_used: AtomicU64::new(0),
             breach_needed: AtomicU64::new(0),
+            spill_bytes: AtomicU64::new(0),
+            spill_partitions: AtomicU64::new(0),
             fault: Some(plan),
         }))
     }
@@ -456,6 +464,50 @@ impl QueryGuard {
         Ok(())
     }
 
+    /// Release `bytes` previously charged with [`QueryGuard::try_charge`]:
+    /// an operator's working memory (hash tables, permutation buffers) is
+    /// freed when the operator completes, so its charge must not keep
+    /// counting against later operators of the same query. Saturates at 0.
+    /// Does **not** clear a sticky breach — a query that tripped stays
+    /// tripped.
+    pub fn release(&self, bytes: u64) {
+        let _ = self
+            .0
+            .mem_used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |u| {
+                Some(u.saturating_sub(bytes))
+            });
+    }
+
+    /// Would charging `bytes` more fit the budget? Always `true` with
+    /// budget 0 (unlimited). This is the *headroom probe* out-of-core
+    /// operators use to decide between the in-memory and spill paths — it
+    /// never trips the guard, unlike [`QueryGuard::try_charge`].
+    pub fn fits(&self, bytes: u64) -> bool {
+        let budget = self.mem_budget();
+        budget == 0 || self.mem_used().saturating_add(bytes) <= budget
+    }
+
+    /// Bytes written to spill files so far ([`QueryGuard::record_spill`]).
+    pub fn spill_bytes(&self) -> u64 {
+        self.0.spill_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Spill partitions / sorted runs written so far.
+    pub fn spill_partitions(&self) -> u64 {
+        self.0.spill_partitions.load(Ordering::Relaxed)
+    }
+
+    /// Account `bytes` written to disk across `partitions` new spill
+    /// partitions (or sorted runs). Spilled bytes are *disk* footprint and
+    /// are never charged against the memory budget.
+    pub fn record_spill(&self, bytes: u64, partitions: u64) {
+        self.0.spill_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.0
+            .spill_partitions
+            .fetch_add(partitions, Ordering::Relaxed);
+    }
+
     /// The per-morsel poll: run the fault plan (may panic, sleep, or force
     /// a spurious breach), then [`QueryGuard::check`]. Called by the
     /// [`WorkerPool::for_each`] claim loop before every claim.
@@ -464,6 +516,18 @@ impl QueryGuard {
             plan.poll(self);
         }
         self.check()
+    }
+
+    /// The per-spill-write poll: `true` when an armed spill-I/O fault
+    /// ([`fault::FaultKind::SpillIo`], `RMA_FAULT=io@N`) fires at this
+    /// write. Spill writes keep their own counter, separate from morsel
+    /// polls, so `io@N` deterministically targets the `N`-th spill write
+    /// regardless of how many morsels ran first.
+    pub fn fault_spill_write(&self) -> bool {
+        match &self.0.fault {
+            Some(plan) => plan.poll_spill(),
+            None => false,
+        }
     }
 
     /// Force a (spurious) budget breach — the fault injector's hook.
@@ -531,8 +595,11 @@ pub fn guard_checkpoint() -> Result<(), GuardError> {
 /// count (the counter is a shared atomic: exactly one poll matches).
 ///
 /// The `RMA_FAULT` environment knob arms every guard minted while it is
-/// set — `RMA_FAULT=panic@5`, `RMA_FAULT=delay_ms:20@3`, or
-/// `RMA_FAULT=breach@0` — for ad-hoc experiments outside tests.
+/// set — `RMA_FAULT=panic@5`, `RMA_FAULT=delay_ms:20@3`,
+/// `RMA_FAULT=breach@0`, or `RMA_FAULT=io@2` — for ad-hoc experiments
+/// outside tests. The `io` kind counts **spill writes** instead of morsel
+/// polls: it fails the `N`-th write the spill manager attempts, which
+/// exercises the out-of-core error path.
 pub mod fault {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::time::Duration;
@@ -546,6 +613,11 @@ pub mod fault {
         Delay(Duration),
         /// Force a spurious budget breach on the guard.
         BudgetBreach,
+        /// Fail the matching **spill write** (not morsel poll): the spill
+        /// manager surfaces it as a typed spill-I/O error. Spill writes
+        /// count on their own counter, so morsel polls never consume the
+        /// trigger.
+        SpillIo,
     }
 
     /// A one-shot fault armed at a specific morsel poll of one query.
@@ -554,6 +626,7 @@ pub mod fault {
         kind: FaultKind,
         at: u64,
         polls: AtomicU64,
+        spill_polls: AtomicU64,
     }
 
     impl FaultPlan {
@@ -563,11 +636,15 @@ pub mod fault {
                 kind,
                 at,
                 polls: AtomicU64::new(0),
+                spill_polls: AtomicU64::new(0),
             }
         }
 
         /// Count one poll; inject if this is the chosen one.
         pub(super) fn poll(&self, guard: &super::QueryGuard) {
+            if self.kind == FaultKind::SpillIo {
+                return; // spill faults fire from `poll_spill`, not here
+            }
             let n = self.polls.fetch_add(1, Ordering::Relaxed);
             if n != self.at {
                 return;
@@ -576,7 +653,17 @@ pub mod fault {
                 FaultKind::Panic => panic!("injected fault: panic at morsel poll {n}"),
                 FaultKind::Delay(d) => std::thread::sleep(d),
                 FaultKind::BudgetBreach => guard.force_breach(),
+                FaultKind::SpillIo => unreachable!(),
             }
+        }
+
+        /// Count one spill write; `true` when a [`FaultKind::SpillIo`]
+        /// plan fires at this write.
+        pub(super) fn poll_spill(&self) -> bool {
+            if self.kind != FaultKind::SpillIo {
+                return false;
+            }
+            self.spill_polls.fetch_add(1, Ordering::Relaxed) == self.at
         }
     }
 
@@ -586,15 +673,17 @@ pub mod fault {
         parse(&std::env::var("RMA_FAULT").ok()?)
     }
 
-    /// Parse a fault spec: `panic@N`, `delay_ms:M@N`, or `breach@N`
-    /// (N = 0-based poll index). Malformed specs yield `None` rather
-    /// than panicking — a typo in the knob must not take a server down.
+    /// Parse a fault spec: `panic@N`, `delay_ms:M@N`, `breach@N`, or
+    /// `io@N` (N = 0-based poll index; for `io` the index counts spill
+    /// writes). Malformed specs yield `None` rather than panicking — a
+    /// typo in the knob must not take a server down.
     pub fn parse(spec: &str) -> Option<FaultPlan> {
         let (kind, at) = spec.split_once('@')?;
         let at: u64 = at.trim().parse().ok()?;
         let kind = match kind.trim() {
             "panic" => FaultKind::Panic,
             "breach" => FaultKind::BudgetBreach,
+            "io" => FaultKind::SpillIo,
             other => {
                 let ms: u64 = other.strip_prefix("delay_ms:")?.parse().ok()?;
                 FaultKind::Delay(Duration::from_millis(ms))

@@ -190,11 +190,18 @@ fn context_mem_budget_zero_is_unlimited() {
 
 #[test]
 fn tiny_context_mem_budget_trips_with_the_typed_error() {
+    // the budget governs operator *working* memory; a top-k's bounded
+    // heaps are its working set, and top-k has no out-of-core fallback,
+    // so a heap bigger than the budget must trip the typed error
     let ctx = RmaContext::new(RmaOptions {
-        mem_budget: 64, // far below 10k rows × 8 bytes
+        mem_budget: 64, // far below 8 bytes × 5000 heap slots
         ..Default::default()
     });
-    let err = Frame::scan(ints(10_000)).collect(&ctx).unwrap_err();
+    let err = Frame::scan(ints(10_000))
+        .order_by(&["x"], &[true])
+        .limit(5000)
+        .collect(&ctx)
+        .unwrap_err();
     match err {
         PlanError::Rma(RmaError::ResourceExhausted { needed, budget }) => {
             assert_eq!(budget, 64);
@@ -202,6 +209,13 @@ fn tiny_context_mem_budget_trips_with_the_typed_error() {
         }
         other => panic!("expected ResourceExhausted, got {other:?}"),
     }
+    // a bare scan charges no working memory and passes under the same
+    // budget — result materialization is the client's footprint, not the
+    // operator's (admission control, not the guard, polices result size)
+    assert_eq!(
+        Frame::scan(ints(10_000)).collect(&ctx).unwrap().len(),
+        10_000
+    );
 }
 
 #[test]
