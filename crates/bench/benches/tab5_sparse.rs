@@ -1,7 +1,8 @@
-//! Table 5 — add over sparse relations: dense vs zero-run compressed.
+//! Table 5 — add over sparse relations: dense vs run-length compressed.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rma_storage::CompressedFloats;
+use rma_storage::encoding::rle_add_f64;
+use rma_storage::Rle;
 
 fn bench(c: &mut Criterion) {
     let rows = 200_000;
@@ -12,24 +13,16 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("rma_add", pct), &pct, |bch, _| {
             bch.iter(|| rma_core::add(&a, &["lk"], &b, &["rk"]).unwrap())
         });
-        let ca: Vec<CompressedFloats> = (0..4)
-            .map(|i| {
-                CompressedFloats::compress(
-                    &a.column(&format!("l{i}")).unwrap().to_f64_vec().unwrap(),
-                )
-            })
+        let ca: Vec<Rle<f64>> = (0..4)
+            .map(|i| Rle::encode(&a.column(&format!("l{i}")).unwrap().to_f64_vec().unwrap()))
             .collect();
-        let cb: Vec<CompressedFloats> = (0..4)
-            .map(|i| {
-                CompressedFloats::compress(
-                    &b.column(&format!("r{i}")).unwrap().to_f64_vec().unwrap(),
-                )
-            })
+        let cb: Vec<Rle<f64>> = (0..4)
+            .map(|i| Rle::encode(&b.column(&format!("r{i}")).unwrap().to_f64_vec().unwrap()))
             .collect();
         g.bench_with_input(BenchmarkId::new("compressed_add", pct), &pct, |bch, _| {
             bch.iter(|| {
                 for (x, y) in ca.iter().zip(&cb) {
-                    std::hint::black_box(x.add(y));
+                    std::hint::black_box(rle_add_f64(x, y));
                 }
             })
         });

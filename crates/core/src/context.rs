@@ -152,6 +152,9 @@ pub struct ExecStats {
     pub spill_bytes: u64,
     /// Spill partitions/runs the out-of-core operators created.
     pub spill_partitions: u64,
+    /// Forced `decode()` sink events: encoded columns a kernel could not
+    /// process in encoded form and had to materialize to plain storage.
+    pub decode_sinks: u64,
 }
 
 impl ExecStats {
@@ -182,6 +185,7 @@ struct AtomicStats {
     last_kernel: AtomicU8,
     spill_bytes: AtomicU64,
     spill_partitions: AtomicU64,
+    decode_sinks: AtomicU64,
 }
 
 impl AtomicStats {
@@ -198,6 +202,8 @@ impl AtomicStats {
         self.spill_bytes.fetch_add(s.spill_bytes, Ordering::Relaxed);
         self.spill_partitions
             .fetch_add(s.spill_partitions, Ordering::Relaxed);
+        self.decode_sinks
+            .fetch_add(s.decode_sinks, Ordering::Relaxed);
         if let Some(k) = s.last_kernel {
             let code = match k {
                 KernelUsed::Bat => 1,
@@ -219,6 +225,7 @@ impl AtomicStats {
             sorts: self.sorts.load(Ordering::Relaxed),
             spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
             spill_partitions: self.spill_partitions.load(Ordering::Relaxed),
+            decode_sinks: self.decode_sinks.load(Ordering::Relaxed),
             last_kernel: match self.last_kernel.load(Ordering::Relaxed) {
                 1 => Some(KernelUsed::Bat),
                 2 => Some(KernelUsed::Dense),
@@ -238,6 +245,7 @@ impl AtomicStats {
         self.last_kernel.store(0, Ordering::Relaxed);
         self.spill_bytes.store(0, Ordering::Relaxed);
         self.spill_partitions.store(0, Ordering::Relaxed);
+        self.decode_sinks.store(0, Ordering::Relaxed);
     }
 }
 

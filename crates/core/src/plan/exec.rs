@@ -62,8 +62,10 @@ pub fn execute(
 ) -> Result<Relation, PlanError> {
     let _scope = governor_scope(ctx);
     let spill0 = spill_snapshot();
+    let sinks0 = rma_storage::decode_sink_events();
     let result = execute_inner(plan, ctx, provider, None)?;
     record_spill_delta(ctx, spill0);
+    record_sink_delta(ctx, sinks0);
     Ok(result)
 }
 
@@ -86,6 +88,21 @@ fn record_spill_delta(ctx: &RmaContext, before: Option<(u64, u64)>) {
         ctx.record(&crate::context::ExecStats {
             spill_bytes: bytes,
             spill_partitions: partitions,
+            ..Default::default()
+        });
+    }
+}
+
+/// Record how many forced `decode()` sinks fired since `before` into the
+/// context's [`crate::context::ExecStats`]. The underlying counter is
+/// process-global and monotonic, so concurrent plans may attribute each
+/// other's sinks — fine for the "is this workload staying compressed?"
+/// signal the serving metrics expose.
+fn record_sink_delta(ctx: &RmaContext, before: u64) {
+    let sinks = rma_storage::decode_sink_events().saturating_sub(before);
+    if sinks > 0 {
+        ctx.record(&crate::context::ExecStats {
+            decode_sinks: sinks,
             ..Default::default()
         });
     }
@@ -175,6 +192,10 @@ pub struct NodeActual {
     pub spill_bytes: u64,
     /// Spill partitions/runs this node's subtree created (inclusive).
     pub spill_partitions: u64,
+    /// Forced `decode()` sink events this node's subtree triggered
+    /// (inclusive): encoded columns a kernel could not process in encoded
+    /// form and had to materialize. 0 = fully compressed execution.
+    pub decode_sinks: u64,
 }
 
 /// Execute a plan while recording per-node actuals, returned **in the
@@ -189,9 +210,11 @@ pub fn execute_analyzed(
 ) -> Result<(Relation, Vec<NodeActual>), PlanError> {
     let _scope = governor_scope(ctx);
     let spill0 = spill_snapshot();
+    let sinks0 = rma_storage::decode_sink_events();
     let actuals = RefCell::new(Vec::new());
     let out = execute_inner(plan, ctx, provider, Some(&actuals))?;
     record_spill_delta(ctx, spill0);
+    record_sink_delta(ctx, sinks0);
     Ok((out, actuals.into_inner()))
 }
 
@@ -262,6 +285,7 @@ fn execute_inner(
     });
     let started = analyze.map(|_| Instant::now());
     let spill0 = analyze.and_then(|_| spill_snapshot());
+    let sinks0 = analyze.map(|_| rma_storage::decode_sink_events());
     let span = trace::clock();
     let threads = pool.threads();
     let mut morsels: u64 = 1;
@@ -435,12 +459,16 @@ fn execute_inner(
             (Some((b0, p0)), Some((b1, p1))) => (b1.saturating_sub(b0), p1.saturating_sub(p0)),
             _ => (0, 0),
         };
+        let decode_sinks = sinks0
+            .map(|s0| rma_storage::decode_sink_events().saturating_sub(s0))
+            .unwrap_or(0);
         sink.borrow_mut()[id] = NodeActual {
             rows: result.len() as u64,
             nanos: t0.elapsed().as_nanos() as u64,
             morsels,
             spill_bytes,
             spill_partitions,
+            decode_sinks,
         };
     }
     Ok(result)

@@ -500,6 +500,27 @@ fn walk_explain(
             if let Some(cols) = projection {
                 let _ = write!(out, " project=[{}]", cols.join(", "));
             }
+            // per-column physical encodings of the base table, with the
+            // encoded/plain byte footprint (the live compression ratio)
+            if let Some(r) = annotate.and_then(|p| p.table(table)) {
+                let encoded: Vec<String> = r
+                    .schema()
+                    .names()
+                    .zip(r.columns().iter())
+                    .filter(|(_, c)| c.is_encoded())
+                    .map(|(n, c)| {
+                        format!(
+                            "{n}:{}({}B/{}B)",
+                            c.encoding().name(),
+                            c.encoded_bytes(),
+                            c.plain_bytes()
+                        )
+                    })
+                    .collect();
+                if !encoded.is_empty() {
+                    let _ = write!(out, " enc=[{}]", encoded.join(", "));
+                }
+            }
         }
         LogicalPlan::Select { input, predicate } => {
             let _ = write!(out, "Select {predicate}");
@@ -608,6 +629,9 @@ fn walk_explain(
                     " spilled={}B parts={}",
                     act.spill_bytes, act.spill_partitions
                 );
+            }
+            if act.decode_sinks > 0 {
+                let _ = write!(out, " sinks={}", act.decode_sinks);
             }
         }
     }

@@ -107,7 +107,7 @@ impl VersionedCatalog {
     /// is taken. Returns the new catalog version.
     pub fn create(&self, name: &str, rel: Relation) -> Result<u64, ServeError> {
         let key = name.to_ascii_lowercase();
-        let named = rel.with_name(name);
+        let named = rel.encoded().with_name(name);
         self.install(|_, tables, version| {
             if tables.contains_key(&key) {
                 return Err(ServeError::TableExists(name.to_string()));
@@ -129,7 +129,7 @@ impl VersionedCatalog {
     /// untouched. Returns the new catalog version.
     pub fn create_or_replace(&self, name: &str, rel: Relation) -> u64 {
         let key = name.to_ascii_lowercase();
-        let named = rel.with_name(name);
+        let named = rel.encoded().with_name(name);
         self.install(|_, tables, version| {
             tables.insert(
                 key,
@@ -166,7 +166,7 @@ impl VersionedCatalog {
     /// writer must re-prepare against a fresh snapshot.
     pub fn commit(&self, name: &str, expected: u64, rel: Relation) -> Result<u64, ServeError> {
         let key = name.to_ascii_lowercase();
-        let named = rel.with_name(name);
+        let named = rel.encoded().with_name(name);
         self.install(|_, tables, version| {
             let current = tables
                 .get(&key)

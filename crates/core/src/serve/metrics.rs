@@ -30,6 +30,7 @@ pub struct SessionCounters {
     worker_panics: AtomicU64,
     spill_bytes: AtomicU64,
     spill_partitions: AtomicU64,
+    decode_sinks: AtomicU64,
 }
 
 impl SessionCounters {
@@ -46,6 +47,7 @@ impl SessionCounters {
             worker_panics: AtomicU64::new(0),
             spill_bytes: AtomicU64::new(0),
             spill_partitions: AtomicU64::new(0),
+            decode_sinks: AtomicU64::new(0),
         }
     }
 
@@ -102,6 +104,12 @@ impl SessionCounters {
             .fetch_add(partitions, Ordering::Relaxed);
     }
 
+    /// Account forced `decode()` sinks a query triggered: encoded columns
+    /// a kernel could not process in encoded form and materialized.
+    pub fn record_decode_sinks(&self, n: u64) {
+        self.decode_sinks.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> SessionMetrics {
         SessionMetrics {
             id: self.id,
@@ -115,6 +123,7 @@ impl SessionCounters {
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
             spill_partitions: self.spill_partitions.load(Ordering::Relaxed),
+            decode_sinks: self.decode_sinks.load(Ordering::Relaxed),
         }
     }
 }
@@ -144,6 +153,8 @@ pub struct SessionMetrics {
     pub spill_bytes: u64,
     /// Spill partitions/runs the session's queries created.
     pub spill_partitions: u64,
+    /// Forced `decode()` sinks the session's queries triggered.
+    pub decode_sinks: u64,
 }
 
 /// Server-wide engine metrics: what every session did, what the pool is
@@ -172,6 +183,15 @@ pub struct MetricsSnapshot {
     pub spill_bytes: u64,
     /// Total spill partitions/runs created across sessions.
     pub spill_partitions: u64,
+    /// Total forced `decode()` sinks across sessions (0 = every query ran
+    /// fully on encoded storage).
+    pub decode_sinks: u64,
+    /// Catalog storage footprint as physically held (encoded forms
+    /// included), in bytes, at snapshot time.
+    pub storage_encoded_bytes: u64,
+    /// What the same catalog would occupy fully decoded, in bytes — the
+    /// denominator of the live compression ratio.
+    pub storage_plain_bytes: u64,
     /// The worker pool's counters and gauges (queue depth, wait, busy).
     pub pool: PoolStats,
     /// Time since the registry (= the server) was created.
@@ -191,7 +211,8 @@ impl MetricsSnapshot {
             out,
             "{{\"uptime_ms\":{},\"queries\":{},\"rows\":{},\"conflicts\":{},\"retries\":{},\
              \"queries_cancelled\":{},\"deadline_kills\":{},\"mem_rejections\":{},\
-             \"worker_panics\":{},\"spill_bytes\":{},\"spill_partitions\":{},",
+             \"worker_panics\":{},\"spill_bytes\":{},\"spill_partitions\":{},\
+             \"decode_sinks\":{},\"storage_encoded_bytes\":{},\"storage_plain_bytes\":{},",
             self.uptime.as_millis(),
             self.queries,
             self.rows,
@@ -202,7 +223,10 @@ impl MetricsSnapshot {
             self.mem_rejections,
             self.worker_panics,
             self.spill_bytes,
-            self.spill_partitions
+            self.spill_partitions,
+            self.decode_sinks,
+            self.storage_encoded_bytes,
+            self.storage_plain_bytes
         );
         let _ = write!(
             out,
@@ -227,7 +251,8 @@ impl MetricsSnapshot {
                 out,
                 "{{\"id\":{},\"queries\":{},\"rows\":{},\"conflicts\":{},\"retries\":{},\
                  \"queries_cancelled\":{},\"deadline_kills\":{},\"mem_rejections\":{},\
-                 \"worker_panics\":{},\"spill_bytes\":{},\"spill_partitions\":{}}}",
+                 \"worker_panics\":{},\"spill_bytes\":{},\"spill_partitions\":{},\
+                 \"decode_sinks\":{}}}",
                 s.id,
                 s.queries,
                 s.rows,
@@ -238,7 +263,8 @@ impl MetricsSnapshot {
                 s.mem_rejections,
                 s.worker_panics,
                 s.spill_bytes,
-                s.spill_partitions
+                s.spill_partitions,
+                s.decode_sinks
             );
         }
         out.push_str("]}");
@@ -305,6 +331,11 @@ impl MetricsRegistry {
             worker_panics: sessions.iter().map(|s| s.worker_panics).sum(),
             spill_bytes: sessions.iter().map(|s| s.spill_bytes).sum(),
             spill_partitions: sessions.iter().map(|s| s.spill_partitions).sum(),
+            decode_sinks: sessions.iter().map(|s| s.decode_sinks).sum(),
+            // storage footprint is a catalog property, filled in by
+            // `Server::metrics_snapshot` (the registry has no catalog)
+            storage_encoded_bytes: 0,
+            storage_plain_bytes: 0,
             sessions,
             pool,
             uptime,

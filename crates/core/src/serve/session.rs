@@ -64,11 +64,23 @@ impl Server {
     }
 
     /// Snapshot the server's engine metrics: per-session counters, their
-    /// totals, and the worker pool's gauges (queue depth, queue-wait and
-    /// busy time, utilization). JSON via
-    /// [`MetricsSnapshot::to_json`].
+    /// totals, the worker pool's gauges (queue depth, queue-wait and
+    /// busy time, utilization), and the catalog's storage footprint as
+    /// physically held vs fully decoded (the live compression ratio).
+    /// JSON via [`MetricsSnapshot::to_json`].
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.ctx.pool().stats())
+        let mut snap = self.metrics.snapshot(self.ctx.pool().stats());
+        let catalog = self.catalog.snapshot();
+        for name in catalog.table_names() {
+            let Some(tab) = catalog.get(name) else {
+                continue;
+            };
+            for c in tab.relation().columns() {
+                snap.storage_encoded_bytes += c.encoded_bytes() as u64;
+                snap.storage_plain_bytes += c.plain_bytes() as u64;
+            }
+        }
+        snap
     }
 
     /// The seat budget [`Server::session`] assigns: half the pool, at
@@ -208,6 +220,7 @@ impl Session {
             None => QueryGuard::with_limits(deadline, budget),
         };
         *self.active.lock().expect("session guard slot poisoned") = Some(guard.clone());
+        let sinks0 = rma_storage::decode_sink_events();
         let result = {
             let _seat = self.ticket.activate();
             let _gov = guard.activate();
@@ -221,6 +234,12 @@ impl Session {
         let (spill_bytes, spill_parts) = (guard.spill_bytes(), guard.spill_partitions());
         if spill_bytes > 0 || spill_parts > 0 {
             self.counters.record_spill(spill_bytes, spill_parts);
+        }
+        // process-global monotonic counter: concurrent sessions may
+        // attribute each other's sinks, fine for the aggregate signal
+        let sinks = rma_storage::decode_sink_events().saturating_sub(sinks0);
+        if sinks > 0 {
+            self.counters.record_decode_sinks(sinks);
         }
         let out = match result {
             Ok(r) => r,

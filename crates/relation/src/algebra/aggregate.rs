@@ -4,7 +4,8 @@ use super::{row_key, KeyPart};
 use crate::error::RelationError;
 use crate::relation::Relation;
 use crate::schema::{Attribute, Schema};
-use rma_storage::{Column, ColumnData, DataType, Value};
+use rma_storage::encoding::RleValue;
+use rma_storage::{Column, ColumnAccessor, DataType, Rle, Seg, Value};
 use std::collections::HashMap;
 
 /// Aggregate functions.
@@ -136,6 +137,26 @@ pub(super) fn accumulate(
         out.rep.push(0);
         out.accs.push(vec![Acc::default(); aggs.len()]);
     }
+    // Global (ungrouped) aggregation is column-at-a-time: each aggregate
+    // folds its own input column, and an RLE input folds run-at-a-time —
+    // one multiply per run for SUM, one comparison per run for MIN/MAX —
+    // without decoding.
+    if group_cols.is_empty() {
+        if !seed_global {
+            // parallel partial: materialise the single group only if this
+            // worker saw any rows, mirroring the per-row path exactly
+            if range.is_empty() {
+                return out;
+            }
+            out.keys.push(Vec::new());
+            out.rep.push(range.start);
+            out.accs.push(vec![Acc::default(); aggs.len()]);
+        }
+        for (k, spec) in aggs.iter().enumerate() {
+            accumulate_global(&mut out.accs[0][k], spec, agg_cols[k], range.clone());
+        }
+        return out;
+    }
     for i in range {
         let key = row_key(group_cols, i);
         let gid = match group_ids.get(&key) {
@@ -249,10 +270,109 @@ pub fn aggregate(
 }
 
 fn value_f64(col: &Column, i: usize) -> f64 {
-    match col.data() {
-        ColumnData::Int(v) => v[i] as f64,
-        ColumnData::Float(v) => v[i],
+    match col.accessor() {
+        ColumnAccessor::Int(v) => v.get(i) as f64,
+        ColumnAccessor::Float(v) => v.get(i),
         _ => unreachable!("checked numeric"),
+    }
+}
+
+/// Visit the values of `r` restricted to `range` with their multiplicity:
+/// a run overlapping the range is reported once with its overlap length.
+fn for_runs_in<T: RleValue>(
+    r: &Rle<T>,
+    range: std::ops::Range<usize>,
+    mut f: impl FnMut(T, usize),
+) {
+    let mut pos = 0usize;
+    for seg in r.segs() {
+        let seg_len = match seg {
+            Seg::Run { len, .. } => *len,
+            Seg::Dense(v) => v.len(),
+        };
+        let (s, e) = (pos.max(range.start), (pos + seg_len).min(range.end));
+        if e > s {
+            match seg {
+                Seg::Run { value, .. } => f(*value, e - s),
+                Seg::Dense(v) => {
+                    for i in s..e {
+                        f(v[i - pos], 1);
+                    }
+                }
+            }
+        }
+        pos += seg_len;
+        if pos >= range.end {
+            break;
+        }
+    }
+}
+
+/// Fold one aggregate over `range` of its input column for the single
+/// global group. Null-free RLE inputs fold run-at-a-time; everything else
+/// reads through the accessors row-at-a-time.
+fn accumulate_global(
+    acc: &mut Acc,
+    spec: &AggSpec,
+    col: Option<&Column>,
+    range: std::ops::Range<usize>,
+) {
+    acc.count += range.len() as u64;
+    let Some(col) = col else { return };
+    let needs_minmax = matches!(spec.func, AggFunc::Min | AggFunc::Max);
+    let needs_sum = matches!(spec.func, AggFunc::Sum | AggFunc::Avg);
+    if !col.has_nulls() {
+        match col.accessor() {
+            ColumnAccessor::Int(v) if v.rle().is_some() => {
+                let r = v.rle().expect("probed");
+                acc.count_nonnull += range.len() as u64;
+                for_runs_in(r, range, |x, mult| {
+                    if needs_sum {
+                        acc.sum += x as f64 * mult as f64;
+                    }
+                    if needs_minmax {
+                        observe_minmax(acc, Value::Int(x));
+                    }
+                });
+                return;
+            }
+            ColumnAccessor::Float(v) if v.rle().is_some() => {
+                let r = v.rle().expect("probed");
+                acc.count_nonnull += range.len() as u64;
+                for_runs_in(r, range, |x, mult| {
+                    if needs_sum {
+                        acc.sum += x * mult as f64;
+                    }
+                    if needs_minmax {
+                        observe_minmax(acc, Value::Float(x));
+                    }
+                });
+                return;
+            }
+            _ => {}
+        }
+    }
+    for i in range {
+        if col.is_null(i) {
+            continue;
+        }
+        acc.count_nonnull += 1;
+        if needs_sum {
+            acc.sum += value_f64(col, i);
+        }
+        if needs_minmax {
+            observe_minmax(acc, col.get(i));
+        }
+    }
+}
+
+/// Fold one observed value into the accumulator's min/max slots.
+fn observe_minmax(acc: &mut Acc, v: Value) {
+    if acc.min.as_ref().is_none_or(|m| v.total_cmp(m).is_lt()) {
+        acc.min = Some(v.clone());
+    }
+    if acc.max.as_ref().is_none_or(|m| v.total_cmp(m).is_gt()) {
+        acc.max = Some(v);
     }
 }
 

@@ -8,12 +8,13 @@
 //! [`assemble_join`], which composes the match indices with each side's
 //! selection vector and materialises only the surviving rows.
 
-use super::{hash_row, rows_eq};
+use super::{float_key_bits, rows_eq};
 use crate::error::RelationError;
 use crate::expr::Expr;
 use crate::relation::Relation;
-use rma_storage::SelVec;
+use rma_storage::{ColumnAccessor, Dict, SelVec};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// Inner equi-join `a ⋈_{a.x = b.y} b` via a hash table on the smaller
 /// side's key columns. The output schema is the concatenation of both full
@@ -79,16 +80,32 @@ pub fn cross_product(a: &Relation, b: &Relation) -> Result<Relation, RelationErr
 pub(super) struct JoinSide<'a> {
     cols: Vec<&'a rma_storage::Column>,
     sel: Option<&'a SelVec>,
+    /// Per key column: when dictionary encoded, the dictionary plus a
+    /// code → value-hash LUT computed once per join (one string hash per
+    /// *distinct* value); per-row hashing becomes a code lookup.
+    dict_luts: Vec<Option<(&'a Dict, Vec<u64>)>>,
 }
 
 impl<'a> JoinSide<'a> {
     pub(super) fn new(r: &'a Relation, keys: &[&str]) -> Result<Self, RelationError> {
+        let cols: Vec<&rma_storage::Column> = keys
+            .iter()
+            .map(|n| r.base_column(n))
+            .collect::<Result<_, _>>()?;
+        let dict_luts = cols
+            .iter()
+            .map(|c| match c.accessor() {
+                ColumnAccessor::Str(s) => s.dict().map(|d| {
+                    let lut = d.values().iter().map(|v| str_value_hash(v)).collect();
+                    (d, lut)
+                }),
+                _ => None,
+            })
+            .collect();
         Ok(JoinSide {
-            cols: keys
-                .iter()
-                .map(|n| r.base_column(n))
-                .collect::<Result<_, _>>()?,
+            cols,
             sel: r.sel(),
+            dict_luts,
         })
     }
 
@@ -105,6 +122,61 @@ impl<'a> JoinSide<'a> {
     fn key_has_null(&self, base: usize) -> bool {
         self.cols.iter().any(|c| c.is_null(base))
     }
+
+    /// Composite key hash of base row `base`: per-column value hashes
+    /// (dictionary columns via the code LUT) folded into one digest. Both
+    /// sides of a join hash through this, so a dict-encoded build side and
+    /// a plain probe side still land in the same bucket.
+    #[inline]
+    fn hash_key(&self, base: usize) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (c, lut) in self.cols.iter().zip(&self.dict_luts) {
+            let col_hash = match lut {
+                Some((d, lut)) => lut[d.code(base) as usize],
+                None => column_value_hash(c, base),
+            };
+            col_hash.hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// Hash one string the way [`column_value_hash`] hashes a string cell, so
+/// dictionary LUT entries and plain-column hashes agree.
+fn str_value_hash(s: &str) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    2u8.hash(&mut h);
+    s.hash(&mut h);
+    h.finish()
+}
+
+/// Hash of one non-null cell, with the same type-discriminant discipline as
+/// [`super::hash_row`]; reads through the encoding-aware accessors.
+fn column_value_hash(c: &rma_storage::Column, i: usize) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    match c.accessor() {
+        ColumnAccessor::Int(v) => {
+            0u8.hash(&mut h);
+            v.get(i).hash(&mut h);
+        }
+        ColumnAccessor::Float(v) => {
+            1u8.hash(&mut h);
+            float_key_bits(v.get(i)).hash(&mut h);
+        }
+        ColumnAccessor::Str(v) => {
+            2u8.hash(&mut h);
+            v.get(i).hash(&mut h);
+        }
+        ColumnAccessor::Bool(v) => {
+            3u8.hash(&mut h);
+            v[i].hash(&mut h);
+        }
+        ColumnAccessor::Date(v) => {
+            4u8.hash(&mut h);
+            v[i].hash(&mut h);
+        }
+    }
+    h.finish()
 }
 
 /// Build-side hash table over visible positions `range` (positions within a
@@ -122,10 +194,7 @@ pub(super) fn build_side_range(
         if side.key_has_null(base) {
             continue; // NULL keys never match
         }
-        table
-            .entry(hash_row(&side.cols, base))
-            .or_default()
-            .push(pos);
+        table.entry(side.hash_key(base)).or_default().push(pos);
     }
     table
 }
@@ -145,7 +214,7 @@ pub(super) fn probe_range(
         if probe.key_has_null(pb) {
             continue;
         }
-        if let Some(bucket) = table.get(&hash_row(&probe.cols, pb)) {
+        if let Some(bucket) = table.get(&probe.hash_key(pb)) {
             for &j in bucket {
                 if rows_eq(&probe.cols, pb, &build.cols, build.base(j)) {
                     left_idx.push(pos);

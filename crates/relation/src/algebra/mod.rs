@@ -24,7 +24,7 @@ pub use select::select;
 pub use setops::{distinct, limit, order_by, top_k, union_all};
 pub use sort::{order_by_parallel, top_k_parallel};
 
-use rma_storage::{Column, ColumnData};
+use rma_storage::{Column, ColumnAccessor};
 use std::hash::{Hash, Hasher};
 
 /// A hashable, equatable key extracted from one row of a set of columns.
@@ -53,19 +53,21 @@ pub(crate) fn float_key_bits(x: f64) -> u64 {
     }
 }
 
-/// Extract the grouping/join key of row `i` over `cols`.
+/// Extract the grouping/join key of row `i` over `cols`. Reads through
+/// the encoding-aware accessors — a dictionary or RLE key column is keyed
+/// without decoding it.
 pub(crate) fn row_key(cols: &[&Column], i: usize) -> Vec<KeyPart> {
     cols.iter()
         .map(|c| {
             if c.is_null(i) {
                 return KeyPart::Null;
             }
-            match c.data() {
-                ColumnData::Int(v) => KeyPart::Int(v[i]),
-                ColumnData::Float(v) => KeyPart::Float(float_key_bits(v[i])),
-                ColumnData::Str(v) => KeyPart::Str(v[i].clone()),
-                ColumnData::Bool(v) => KeyPart::Bool(v[i]),
-                ColumnData::Date(v) => KeyPart::Date(v[i]),
+            match c.accessor() {
+                ColumnAccessor::Int(v) => KeyPart::Int(v.get(i)),
+                ColumnAccessor::Float(v) => KeyPart::Float(float_key_bits(v.get(i))),
+                ColumnAccessor::Str(v) => KeyPart::Str(v.get(i).to_owned()),
+                ColumnAccessor::Bool(v) => KeyPart::Bool(v[i]),
+                ColumnAccessor::Date(v) => KeyPart::Date(v[i]),
             }
         })
         .collect()
@@ -81,24 +83,27 @@ pub(crate) fn row_key(cols: &[&Column], i: usize) -> Vec<KeyPart> {
 pub(crate) fn hash_row(cols: &[&Column], i: usize) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     for c in cols {
-        match c.data() {
-            ColumnData::Int(v) => {
+        match c.accessor() {
+            ColumnAccessor::Int(v) => {
                 0u8.hash(&mut h);
-                v[i].hash(&mut h);
+                v.get(i).hash(&mut h);
             }
-            ColumnData::Float(v) => {
+            ColumnAccessor::Float(v) => {
                 1u8.hash(&mut h);
-                float_key_bits(v[i]).hash(&mut h);
+                float_key_bits(v.get(i)).hash(&mut h);
             }
-            ColumnData::Str(v) => {
+            // dictionary strings hash their *value* (not the code), so a
+            // dict-encoded build side and a plain probe side still meet in
+            // the same bucket
+            ColumnAccessor::Str(v) => {
                 2u8.hash(&mut h);
-                v[i].hash(&mut h);
+                v.get(i).hash(&mut h);
             }
-            ColumnData::Bool(v) => {
+            ColumnAccessor::Bool(v) => {
                 3u8.hash(&mut h);
                 v[i].hash(&mut h);
             }
-            ColumnData::Date(v) => {
+            ColumnAccessor::Date(v) => {
                 4u8.hash(&mut h);
                 v[i].hash(&mut h);
             }
@@ -116,14 +121,22 @@ pub(crate) fn rows_eq(a: &[&Column], i: usize, b: &[&Column], j: usize) -> bool 
     debug_assert_eq!(a.len(), b.len());
     a.iter()
         .zip(b)
-        .all(|(ca, cb)| match (ca.data(), cb.data()) {
-            (ColumnData::Int(x), ColumnData::Int(y)) => x[i] == y[j],
-            (ColumnData::Float(x), ColumnData::Float(y)) => {
-                float_key_bits(x[i]) == float_key_bits(y[j])
+        .all(|(ca, cb)| match (ca.accessor(), cb.accessor()) {
+            (ColumnAccessor::Int(x), ColumnAccessor::Int(y)) => x.get(i) == y.get(j),
+            (ColumnAccessor::Float(x), ColumnAccessor::Float(y)) => {
+                float_key_bits(x.get(i)) == float_key_bits(y.get(j))
             }
-            (ColumnData::Str(x), ColumnData::Str(y)) => x[i] == y[j],
-            (ColumnData::Bool(x), ColumnData::Bool(y)) => x[i] == y[j],
-            (ColumnData::Date(x), ColumnData::Date(y)) => x[i] == y[j],
+            (ColumnAccessor::Str(x), ColumnAccessor::Str(y)) => {
+                // same shared dictionary ⇒ compare codes, not bytes
+                if let (Some(dx), Some(dy)) = (x.dict(), y.dict()) {
+                    if dx.shares_table(dy) {
+                        return dx.code(i) == dy.code(j);
+                    }
+                }
+                x.get(i) == y.get(j)
+            }
+            (ColumnAccessor::Bool(x), ColumnAccessor::Bool(y)) => x[i] == y[j],
+            (ColumnAccessor::Date(x), ColumnAccessor::Date(y)) => x[i] == y[j],
             _ => false,
         })
 }
@@ -139,14 +152,20 @@ pub fn is_key_hash(cols: &[&rma_storage::Column]) -> bool {
     }
     // single-column fast paths avoid per-row key-vector allocation
     if cols.len() == 1 && !cols[0].has_nulls() {
-        match cols[0].data() {
-            ColumnData::Int(v) => {
+        match cols[0].accessor() {
+            ColumnAccessor::Int(v) => {
                 let mut seen = std::collections::HashSet::with_capacity(v.len());
-                return v.iter().all(|x| seen.insert(*x));
+                return (0..v.len()).all(|i| seen.insert(v.get(i)));
             }
-            ColumnData::Str(v) => {
+            ColumnAccessor::Str(v) => {
+                // a dictionary column is a key iff its codes are — value
+                // tables are deduplicated, so codes biject onto values
+                if let Some(d) = v.dict() {
+                    let mut seen = std::collections::HashSet::with_capacity(d.len());
+                    return d.codes().iter().all(|c| seen.insert(*c));
+                }
                 let mut seen = std::collections::HashSet::with_capacity(v.len());
-                return v.iter().all(|x| seen.insert(x.as_str()));
+                return (0..v.len()).all(|i| seen.insert(v.get(i)));
             }
             _ => {}
         }

@@ -12,7 +12,7 @@
 
 use crate::error::RelationError;
 use crate::relation::Relation;
-use rma_storage::{Bitmap, Column, ColumnData, DataType, Value};
+use rma_storage::{Bitmap, Column, ColumnAccessor, ColumnData, DataType, Value};
 use std::fmt;
 
 /// Binary operators.
@@ -469,6 +469,59 @@ fn comparison_scalar(
         }
     };
     let apply = ord_to_bool(op);
+    // Encoded fast paths run the predicate on the compressed form — no
+    // decode sink. A dictionary column evaluates the predicate once per
+    // *distinct value* (the code LUT), then maps codes through it; an RLE
+    // column evaluates once per run; a packed column extracts in place.
+    match (c.accessor(), v) {
+        (ColumnAccessor::Str(s), Value::Str(q)) => {
+            if let Some(d) = s.dict() {
+                let lut: Vec<bool> = d
+                    .values()
+                    .iter()
+                    .map(|p| apply(p.as_str().cmp(q.as_str())))
+                    .collect();
+                let out: Vec<bool> = d.codes().iter().map(|&code| lut[code as usize]).collect();
+                return rebuild(ColumnData::Bool(out), c.nulls());
+            }
+        }
+        (ColumnAccessor::Int(ints), Value::Int(q)) => {
+            if let Some(r) = ints.rle() {
+                return rebuild(
+                    ColumnData::Bool(rle_compare(r, |x| apply(x.cmp(q)))),
+                    c.nulls(),
+                );
+            }
+            if ints.as_slice().is_none() {
+                let out: Vec<bool> = (0..ints.len()).map(|i| apply(ints.get(i).cmp(q))).collect();
+                return rebuild(ColumnData::Bool(out), c.nulls());
+            }
+        }
+        (ColumnAccessor::Float(fs), Value::Float(q)) => {
+            if let Some(r) = fs.rle() {
+                return rebuild(
+                    ColumnData::Bool(rle_compare(r, |x| apply(x.total_cmp(q)))),
+                    c.nulls(),
+                );
+            }
+        }
+        (ColumnAccessor::Float(fs), Value::Int(q)) => {
+            if let Some(r) = fs.rle() {
+                let q = *q as f64;
+                return rebuild(
+                    ColumnData::Bool(rle_compare(r, |x| apply(x.total_cmp(&q)))),
+                    c.nulls(),
+                );
+            }
+        }
+        (ColumnAccessor::Int(ints), Value::Float(q)) if ints.as_slice().is_none() => {
+            let out: Vec<bool> = (0..ints.len())
+                .map(|i| apply((ints.get(i) as f64).total_cmp(q)))
+                .collect();
+            return rebuild(ColumnData::Bool(out), c.nulls());
+        }
+        _ => {}
+    }
     let out: Vec<bool> = match (c.data(), v) {
         (ColumnData::Int(x), Value::Int(q)) => x.iter().map(|p| apply(p.cmp(q))).collect(),
         (ColumnData::Int(x), Value::Float(q)) => {
@@ -668,6 +721,24 @@ fn rebuild_opt(data: ColumnData, nulls: Option<Bitmap>) -> Result<Column, Relati
         Some(b) => Ok(Column::with_nulls(data, b)?),
         None => Ok(Column::new(data)),
     }
+}
+
+/// Evaluate a per-value predicate over an RLE column run-at-a-time: one
+/// evaluation per run, replicated across the run's length.
+fn rle_compare<T: rma_storage::encoding::RleValue>(
+    r: &rma_storage::Rle<T>,
+    pred: impl Fn(&T) -> bool,
+) -> Vec<bool> {
+    let mut out = Vec::with_capacity(r.len());
+    for seg in r.segs() {
+        match seg {
+            rma_storage::Seg::Run { value, len } => {
+                out.extend(std::iter::repeat_n(pred(value), *len))
+            }
+            rma_storage::Seg::Dense(v) => out.extend(v.iter().map(&pred)),
+        }
+    }
+    out
 }
 
 /// The comparison operators' `Ordering → bool` table, shared by the

@@ -417,11 +417,52 @@ impl Relation {
         }
     }
 
-    /// Concatenate partition results back into one compact relation. All
-    /// parts must share the first part's schema exactly; the first part's
+    /// Re-encode every column for storage: each column picks its best
+    /// encoding (RLE / dictionary / bit-packing) from its statistics and
+    /// keeps plain storage where compression does not pay
+    /// ([`Column::encoded`]). Views are compacted first. This is the
+    /// ingest-side encoding point — the serving catalog runs it when
+    /// installing a table generation, so scans downstream read the
+    /// compressed form.
+    pub fn encoded(&self) -> Relation {
+        let m = self.materialize();
+        let stats = m.statistics();
+        let columns: Vec<Column> = m
+            .schema
+            .names()
+            .zip(m.columns.iter())
+            .map(|(n, c)| c.encoded(stats.column(n)))
+            .collect();
+        let compacted = fresh_cache(columns.len());
+        // encoding preserves content, so the statistics just computed stay
+        // valid — carrying them over also spares the optimizer a recompute
+        // over the encoded forms
+        let stats_cell = OnceLock::new();
+        let _ = stats_cell.set(stats.clone());
+        Relation {
+            name: m.name.clone(),
+            schema: m.schema.clone(),
+            columns,
+            sel: None,
+            compacted,
+            compacted_all: OnceLock::new(),
+            stats: stats_cell,
+        }
+    }
+
+    /// Concatenate partition results back into one relation. All parts
+    /// must share the first part's schema exactly; the first part's
     /// name is kept (parallel operators split a named relation and
-    /// reassemble it). Views are gathered directly into the output — the
-    /// gather and the concatenation are one pass.
+    /// reassemble it).
+    ///
+    /// When every part is a view over the **same** `Arc`-shared base
+    /// columns — the shape morsel-parallel filters produce — the
+    /// concatenation is pure selection-vector surgery: the result is one
+    /// view over the shared base, late materialization survives the
+    /// reassembly, and encoded base columns stay encoded instead of
+    /// being force-decoded into plain vectors. Parts over distinct bases
+    /// are gathered directly into a compact output — the gather and the
+    /// concatenation are one pass.
     pub fn concat(parts: &[Relation]) -> Result<Relation, RelationError> {
         let Some((first, rest)) = parts.split_first() else {
             return Err(RelationError::Expression(
@@ -434,6 +475,16 @@ impl Relation {
             }
         }
         let total: usize = parts.iter().map(Relation::len).sum();
+        if !first.columns.is_empty() && rest.iter().all(|p| p.shares_columns_with(first)) {
+            let mut idx = Vec::with_capacity(total);
+            for part in parts {
+                match &part.sel {
+                    None => idx.extend(0..part.len()),
+                    Some(s) => idx.extend(s.iter()),
+                }
+            }
+            return Ok(first.view(SelVec::from_indices(idx)));
+        }
         let mut columns: Vec<Column> = Vec::with_capacity(first.schema.len());
         for j in 0..first.schema.len() {
             let dt = first.schema.attributes()[j].dtype();
@@ -848,10 +899,27 @@ mod tests {
     }
 
     #[test]
-    fn concat_gathers_views_directly() {
+    fn concat_of_same_base_views_is_selvec_surgery() {
         let r = weather();
         let a = r.filter(&[true, false, true, false]);
         let b = r.slice(3..4);
+        let c = Relation::concat(&[a, b]).unwrap();
+        // morsel reassembly: one view over the shared base, no gather
+        assert!(c.is_view());
+        assert!(c.shares_columns_with(&r));
+        assert_eq!(c.len(), 3);
+        let ts: Vec<Value> = c.column("T").unwrap().iter_values().collect();
+        assert_eq!(
+            ts,
+            vec![Value::from("5am"), Value::from("7am"), Value::from("6am")]
+        );
+        assert_eq!(c.name(), Some("r"));
+    }
+
+    #[test]
+    fn concat_of_distinct_bases_gathers_compact() {
+        let a = weather().filter(&[true, false, true, false]);
+        let b = weather().slice(3..4);
         let c = Relation::concat(&[a, b]).unwrap();
         assert!(!c.is_view());
         assert_eq!(c.len(), 3);
@@ -860,7 +928,6 @@ mod tests {
             ts,
             vec![Value::from("5am"), Value::from("7am"), Value::from("6am")]
         );
-        assert_eq!(c.name(), Some("r"));
     }
 
     #[test]

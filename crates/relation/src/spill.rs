@@ -38,7 +38,7 @@ use crate::error::RelationError;
 use crate::par::current_guard;
 use crate::relation::Relation;
 use crate::schema::Schema;
-use rma_storage::{Bitmap, Column, ColumnData};
+use rma_storage::{Bitmap, Column, ColumnData, Dict, Packed, Rle, Seg};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
@@ -228,6 +228,11 @@ const TAG_FLOAT: u8 = 1;
 const TAG_STR: u8 = 2;
 const TAG_BOOL: u8 = 3;
 const TAG_DATE: u8 = 4;
+// encoded forms spill as-is: compressed on disk, compressed when read back
+const TAG_RLE_INT: u8 = 5;
+const TAG_RLE_FLOAT: u8 = 6;
+const TAG_DICT_STR: u8 = 7;
+const TAG_PACKED_INT: u8 = 8;
 
 fn encode_chunk(r: &Relation) -> Vec<u8> {
     let rows = r.len();
@@ -242,45 +247,115 @@ fn encode_chunk(r: &Relation) -> Vec<u8> {
     buf
 }
 
+fn push_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn encode_rle<T: Copy>(buf: &mut Vec<u8>, segs: &[Seg<T>], cell: impl Fn(&mut Vec<u8>, T)) {
+    buf.extend_from_slice(&(segs.len() as u64).to_le_bytes());
+    for s in segs {
+        match s {
+            Seg::Run { value, len } => {
+                buf.push(0);
+                cell(buf, *value);
+                buf.extend_from_slice(&(*len as u64).to_le_bytes());
+            }
+            Seg::Dense(v) => {
+                buf.push(1);
+                buf.extend_from_slice(&(v.len() as u64).to_le_bytes());
+                for &x in v {
+                    cell(buf, x);
+                }
+            }
+        }
+    }
+}
+
 fn encode_column(buf: &mut Vec<u8>, c: &Column, rows: usize) {
-    let (tag, has_nulls) = (
-        match c.data() {
-            ColumnData::Int(_) => TAG_INT,
-            ColumnData::Float(_) => TAG_FLOAT,
-            ColumnData::Str(_) => TAG_STR,
-            ColumnData::Bool(_) => TAG_BOOL,
-            ColumnData::Date(_) => TAG_DATE,
-        },
-        c.has_nulls(),
-    );
-    buf.push(tag);
-    buf.push(u8::from(has_nulls));
-    match c.data() {
+    let has_nulls = c.has_nulls();
+    match c.raw() {
+        // encoded columns spill in their physical form — no decode sink,
+        // and the compression carries through to disk
+        ColumnData::RleInt(r) => {
+            buf.push(TAG_RLE_INT);
+            buf.push(u8::from(has_nulls));
+            encode_rle(buf, r.segs(), |b, x: i64| {
+                b.extend_from_slice(&x.to_le_bytes())
+            });
+        }
+        ColumnData::RleFloat(r) => {
+            buf.push(TAG_RLE_FLOAT);
+            buf.push(u8::from(has_nulls));
+            encode_rle(buf, r.segs(), |b, x: f64| {
+                b.extend_from_slice(&x.to_le_bytes())
+            });
+        }
+        ColumnData::DictStr(d) => {
+            buf.push(TAG_DICT_STR);
+            buf.push(u8::from(has_nulls));
+            buf.extend_from_slice(&(d.values().len() as u64).to_le_bytes());
+            for s in d.values().iter() {
+                push_str(buf, s);
+            }
+            for &code in d.codes() {
+                buf.extend_from_slice(&code.to_le_bytes());
+            }
+        }
+        ColumnData::PackedInt(p) => {
+            buf.push(TAG_PACKED_INT);
+            buf.push(u8::from(has_nulls));
+            buf.extend_from_slice(&p.min().to_le_bytes());
+            buf.extend_from_slice(&p.width().to_le_bytes());
+            buf.extend_from_slice(&(p.words().len() as u64).to_le_bytes());
+            for w in p.words() {
+                buf.extend_from_slice(&w.to_le_bytes());
+            }
+        }
         ColumnData::Int(v) => {
+            buf.push(TAG_INT);
+            buf.push(u8::from(has_nulls));
             for x in v {
                 buf.extend_from_slice(&x.to_le_bytes());
             }
         }
         ColumnData::Float(v) => {
+            buf.push(TAG_FLOAT);
+            buf.push(u8::from(has_nulls));
             for x in v {
                 buf.extend_from_slice(&x.to_le_bytes());
             }
         }
         ColumnData::Str(v) => {
+            buf.push(TAG_STR);
+            buf.push(u8::from(has_nulls));
             for s in v {
-                buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
-                buf.extend_from_slice(s.as_bytes());
+                push_str(buf, s);
             }
         }
         ColumnData::Bool(v) => {
+            buf.push(TAG_BOOL);
+            buf.push(u8::from(has_nulls));
             for &x in v {
                 buf.push(u8::from(x));
             }
         }
         ColumnData::Date(v) => {
+            buf.push(TAG_DATE);
+            buf.push(u8::from(has_nulls));
             for x in v {
                 buf.extend_from_slice(&x.to_le_bytes());
             }
+        }
+        // an encoding this writer doesn't know: fall back to the decoded
+        // plain form (an explicit sink) rather than corrupt the file
+        _ => {
+            let plain = match c.nulls() {
+                Some(b) => Column::with_nulls(c.data().clone(), b.clone())
+                    .expect("decoded data matches bitmap length"),
+                None => Column::new(c.data().clone()),
+            };
+            return encode_column(buf, &plain, rows);
         }
     }
     if has_nulls {
@@ -313,6 +388,59 @@ fn read_exact(r: &mut impl Read, n: usize) -> Result<Vec<u8>, RelationError> {
 fn read_u64(r: &mut impl Read) -> Result<u64, RelationError> {
     let b = read_exact(r, 8)?;
     Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+fn read_str(r: &mut impl Read) -> Result<String, RelationError> {
+    let len = u32::from_le_bytes(read_exact(r, 4)?.try_into().expect("4 bytes")) as usize;
+    let bytes = read_exact(r, len)?;
+    String::from_utf8(bytes)
+        .map_err(|e| RelationError::SpillIo(format!("corrupt spill string: {e}")))
+}
+
+fn decode_rle<T: rma_storage::encoding::RleValue>(
+    r: &mut impl Read,
+    rows: usize,
+    cell: impl Fn(Vec<u8>) -> T,
+) -> Result<Rle<T>, RelationError> {
+    let nsegs = read_u64(r)? as usize;
+    let mut segs = Vec::with_capacity(nsegs);
+    let mut total = 0usize;
+    for _ in 0..nsegs {
+        let kind = read_exact(r, 1)?[0];
+        match kind {
+            0 => {
+                let value = cell(read_exact(r, 8)?);
+                let len = read_u64(r)? as usize;
+                total += len;
+                segs.push(Seg::Run { value, len });
+            }
+            1 => {
+                let n = read_u64(r)? as usize;
+                if n > rows {
+                    return Err(RelationError::SpillIo(
+                        "corrupt spill chunk: RLE dense segment too long".to_string(),
+                    ));
+                }
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(cell(read_exact(r, 8)?));
+                }
+                total += n;
+                segs.push(Seg::Dense(v));
+            }
+            other => {
+                return Err(RelationError::SpillIo(format!(
+                    "corrupt spill chunk: unknown RLE segment kind {other}"
+                )))
+            }
+        }
+    }
+    if total != rows {
+        return Err(RelationError::SpillIo(format!(
+            "corrupt spill chunk: RLE rows {total}, chunk has {rows}"
+        )));
+    }
+    Ok(Rle::from_segs(segs, rows))
 }
 
 fn decode_chunk(r: &mut impl Read, schema: &Schema) -> Result<Relation, RelationError> {
@@ -375,6 +503,46 @@ fn decode_column(r: &mut impl Read, rows: usize) -> Result<Column, RelationError
                         .map(|b| i32::from_le_bytes(b.try_into().expect("4 bytes")))
                         .collect(),
                 )
+            }
+            TAG_RLE_INT => ColumnData::RleInt(decode_rle(r, rows, |b| {
+                i64::from_le_bytes(b.try_into().expect("8 bytes"))
+            })?),
+            TAG_RLE_FLOAT => ColumnData::RleFloat(decode_rle(r, rows, |b| {
+                f64::from_le_bytes(b.try_into().expect("8 bytes"))
+            })?),
+            TAG_DICT_STR => {
+                let ntable = read_u64(r)? as usize;
+                let mut table = Vec::with_capacity(ntable);
+                for _ in 0..ntable {
+                    table.push(read_str(r)?);
+                }
+                let raw = read_exact(r, rows * 4)?;
+                let codes: Vec<u32> = raw
+                    .chunks_exact(4)
+                    .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+                    .collect();
+                if codes.iter().any(|&c| (c as usize) >= ntable.max(1)) {
+                    return Err(RelationError::SpillIo(
+                        "corrupt spill chunk: dictionary code out of range".to_string(),
+                    ));
+                }
+                ColumnData::DictStr(Dict::from_parts(std::sync::Arc::new(table), codes))
+            }
+            TAG_PACKED_INT => {
+                let min = i64::from_le_bytes(read_exact(r, 8)?.try_into().expect("8 bytes"));
+                let width = u32::from_le_bytes(read_exact(r, 4)?.try_into().expect("4 bytes"));
+                let nwords = read_u64(r)? as usize;
+                if width >= 64 || (nwords as u64) * 64 < rows as u64 * u64::from(width) {
+                    return Err(RelationError::SpillIo(
+                        "corrupt spill chunk: bad packed geometry".to_string(),
+                    ));
+                }
+                let raw = read_exact(r, nwords * 8)?;
+                let words: Vec<u64> = raw
+                    .chunks_exact(8)
+                    .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                    .collect();
+                ColumnData::PackedInt(Packed::from_parts(min, width, rows, words))
             }
             other => {
                 return Err(RelationError::SpillIo(format!(
@@ -457,6 +625,61 @@ mod tests {
         f.append(&view).unwrap();
         let back = f.read_all(view.schema()).unwrap();
         assert_eq!(back, view.materialize());
+    }
+
+    /// Encoded columns spill in their physical form and come back encoded:
+    /// no decode sink on the write side, and the reader reconstructs the
+    /// same runs/codes/packing rather than plain vectors.
+    #[test]
+    fn roundtrip_preserves_encodings_without_sinking() {
+        use rma_storage::Encoding;
+        let n = 4096usize;
+        let r = RelationBuilder::new()
+            .column(
+                "region",
+                (0..n)
+                    .map(|i| ["aa", "bb", "cc"][(i / 512) % 3])
+                    .collect::<Vec<&str>>(),
+            )
+            .column(
+                "status",
+                (0..n as i64).map(|i| i / 256).collect::<Vec<i64>>(),
+            )
+            .column("qty", (0..n as i64).map(|i| i % 100).collect::<Vec<i64>>())
+            .column(
+                "amount",
+                (0..n).map(|i| ((i / 128) % 7) as f64).collect::<Vec<f64>>(),
+            )
+            .build()
+            .unwrap()
+            .encoded();
+        let expect: Vec<Encoding> = r.columns().iter().map(|c| c.encoding()).collect();
+        assert!(
+            expect.iter().any(|e| *e != Encoding::Plain),
+            "workload failed to encode: {expect:?}"
+        );
+        let sinks0 = rma_storage::decode_sink_events();
+        let mut f = SpillFile::create().unwrap();
+        // a compact chunk spills every physical form as-is; a sliced view
+        // exercises the run/code slicing path on the way in
+        f.append(&r).unwrap();
+        f.append(&r.slice(0..300)).unwrap();
+        f.finish().unwrap();
+        let mut rd = f.reader(r.schema()).unwrap();
+        let mut chunks = Vec::new();
+        while let Some(c) = rd.next_chunk().unwrap() {
+            chunks.push(c);
+        }
+        assert_eq!(
+            rma_storage::decode_sink_events(),
+            sinks0,
+            "spilling encoded chunks must not force a decode"
+        );
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0], r);
+        assert_eq!(chunks[1], r.slice(0..300));
+        let got: Vec<Encoding> = chunks[0].columns().iter().map(|c| c.encoding()).collect();
+        assert_eq!(got, expect, "encodings must survive the disk round-trip");
     }
 
     #[test]

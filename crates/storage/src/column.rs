@@ -12,20 +12,42 @@
 //! [`SelVec`].
 
 use crate::bitmap::Bitmap;
+use crate::encoding::{Dict, Encoding, Packed, Rle};
 use crate::error::StorageError;
 use crate::selvec::SelVec;
+use crate::stats::ColumnStats;
 use crate::value::{DataType, Value};
 use std::cmp::Ordering;
 use std::sync::Arc;
 
 /// Typed storage for the rows of one attribute.
+///
+/// The first five variants are plain contiguous vectors — the public
+/// construction surface. The remaining variants are compressed physical
+/// forms (`#[doc(hidden)]`; see `rma_storage::encoding`): kernels must not
+/// match them directly but go through [`Column::accessor`], so future
+/// encodings are additive. The enum is `#[non_exhaustive]` for exactly
+/// that reason — out-of-crate matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ColumnData {
     Int(Vec<i64>),
     Float(Vec<f64>),
     Str(Vec<String>),
     Bool(Vec<bool>),
     Date(Vec<i32>),
+    /// Run-length-encoded integers (physical form; match via accessors).
+    #[doc(hidden)]
+    RleInt(Rle<i64>),
+    /// Run-length-encoded floats (physical form; match via accessors).
+    #[doc(hidden)]
+    RleFloat(Rle<f64>),
+    /// Dictionary-encoded strings (physical form; match via accessors).
+    #[doc(hidden)]
+    DictStr(Dict),
+    /// Bit-packed integers (physical form; match via accessors).
+    #[doc(hidden)]
+    PackedInt(Packed),
 }
 
 impl ColumnData {
@@ -36,6 +58,10 @@ impl ColumnData {
             ColumnData::Str(v) => v.len(),
             ColumnData::Bool(v) => v.len(),
             ColumnData::Date(v) => v.len(),
+            ColumnData::RleInt(r) => r.len(),
+            ColumnData::RleFloat(r) => r.len(),
+            ColumnData::DictStr(d) => d.len(),
+            ColumnData::PackedInt(p) => p.len(),
         }
     }
 
@@ -45,11 +71,60 @@ impl ColumnData {
 
     pub fn data_type(&self) -> DataType {
         match self {
-            ColumnData::Int(_) => DataType::Int,
-            ColumnData::Float(_) => DataType::Float,
-            ColumnData::Str(_) => DataType::Str,
+            ColumnData::Int(_) | ColumnData::RleInt(_) | ColumnData::PackedInt(_) => DataType::Int,
+            ColumnData::Float(_) | ColumnData::RleFloat(_) => DataType::Float,
+            ColumnData::Str(_) | ColumnData::DictStr(_) => DataType::Str,
             ColumnData::Bool(_) => DataType::Bool,
             ColumnData::Date(_) => DataType::Date,
+        }
+    }
+
+    /// The physical encoding of this storage.
+    pub fn encoding(&self) -> Encoding {
+        match self {
+            ColumnData::RleInt(_) | ColumnData::RleFloat(_) => Encoding::Rle,
+            ColumnData::DictStr(_) => Encoding::Dict,
+            ColumnData::PackedInt(_) => Encoding::Packed,
+            _ => Encoding::Plain,
+        }
+    }
+
+    /// Approximate heap bytes of this storage as physically held.
+    pub fn encoded_bytes(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len() * 8,
+            ColumnData::Float(v) => v.len() * 8,
+            ColumnData::Str(v) => v
+                .iter()
+                .map(|s| s.len() + std::mem::size_of::<String>())
+                .sum(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Date(v) => v.len() * 4,
+            ColumnData::RleInt(r) => r.encoded_bytes(),
+            ColumnData::RleFloat(r) => r.encoded_bytes(),
+            ColumnData::DictStr(d) => d.encoded_bytes(),
+            ColumnData::PackedInt(p) => p.encoded_bytes(),
+        }
+    }
+
+    /// Approximate heap bytes the *plain* form of this storage would take
+    /// (the denominator of a compression ratio).
+    pub fn plain_bytes(&self) -> usize {
+        match self {
+            ColumnData::DictStr(d) => {
+                let per_value: usize = d
+                    .values()
+                    .iter()
+                    .map(|s| s.len() + std::mem::size_of::<String>())
+                    .sum::<usize>()
+                    .checked_div(d.values().len())
+                    .unwrap_or(0);
+                d.len() * per_value.max(std::mem::size_of::<String>())
+            }
+            ColumnData::RleInt(r) => r.len() * 8,
+            ColumnData::RleFloat(r) => r.len() * 8,
+            ColumnData::PackedInt(p) => p.len() * 8,
+            plain => plain.encoded_bytes(),
         }
     }
 
@@ -81,10 +156,32 @@ impl ColumnData {
 /// `nulls == None` means "no nulls anywhere" — the hot path. When a bitmap is
 /// present, the underlying slot of a null row holds an arbitrary placeholder
 /// (zero / empty string) that must never be observed through the public API.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality is *logical*: two columns are equal when they hold the same
+/// typed values and validity, regardless of physical encoding — an RLE
+/// column equals its plain twin.
+#[derive(Debug, Clone)]
 pub struct Column {
     data: Arc<ColumnData>,
     nulls: Option<Arc<Bitmap>>,
+}
+
+impl PartialEq for Column {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len() != other.len() || self.data_type() != other.data_type() {
+            return false;
+        }
+        // identical physical representation (incl. both-plain) — cheap
+        if self.data == other.data {
+            return self.nulls == other.nulls;
+        }
+        if !(self.is_encoded() || other.is_encoded()) {
+            return false; // both plain and the vectors differ
+        }
+        // cross-encoding (or differently-segmented) comparison: row scan
+        // through point access, nulls included
+        (0..self.len()).all(|i| self.get(i) == other.get(i))
+    }
 }
 
 impl Column {
@@ -211,8 +308,132 @@ impl Column {
         self.data.data_type()
     }
 
+    /// The column's values as **plain** typed storage — the explicit
+    /// decode escape hatch of the accessor contract. For a plain column
+    /// this is a free borrow; for an encoded column the first call
+    /// decompresses into a cache shared by all clones of the payload and
+    /// counts one decode *sink* (see
+    /// [`decode_sink_events`](crate::encoding::decode_sink_events)).
+    /// Kernels that can stay encoded should use [`Column::accessor`]
+    /// instead.
     pub fn data(&self) -> &ColumnData {
+        match &*self.data {
+            ColumnData::RleInt(r) => r.decoded(),
+            ColumnData::RleFloat(r) => r.decoded(),
+            ColumnData::DictStr(d) => d.decoded(),
+            ColumnData::PackedInt(p) => p.decoded(),
+            plain => plain,
+        }
+    }
+
+    /// The physical storage as held, encoded variants included. Exposed
+    /// for the spill writer and encoding-aware tests; kernels use
+    /// [`Column::accessor`].
+    #[doc(hidden)]
+    pub fn raw(&self) -> &ColumnData {
         &self.data
+    }
+
+    /// The physical encoding of this column's storage.
+    pub fn encoding(&self) -> Encoding {
+        self.data.encoding()
+    }
+
+    /// Is the storage in a compressed physical form?
+    pub fn is_encoded(&self) -> bool {
+        self.encoding() != Encoding::Plain
+    }
+
+    /// Approximate heap bytes of the storage as physically held.
+    pub fn encoded_bytes(&self) -> usize {
+        self.data.encoded_bytes()
+    }
+
+    /// Approximate heap bytes the plain form would take.
+    pub fn plain_bytes(&self) -> usize {
+        self.data.plain_bytes()
+    }
+
+    /// Re-encode into the requested physical form, sharing the null
+    /// bitmap. Returns `None` when the encoding does not apply to this
+    /// column's type (or, for [`Encoding::Packed`], when the value range
+    /// needs full width). Encoding reads the plain form; on an
+    /// already-encoded column that is a sink.
+    pub fn encode_as(&self, enc: Encoding) -> Option<Column> {
+        let data = match (enc, self.data()) {
+            (Encoding::Plain, plain) => plain.clone(),
+            (Encoding::Rle, ColumnData::Int(v)) => ColumnData::RleInt(Rle::encode(v)),
+            (Encoding::Rle, ColumnData::Float(v)) => ColumnData::RleFloat(Rle::encode(v)),
+            (Encoding::Dict, ColumnData::Str(v)) => ColumnData::DictStr(Dict::encode(v)),
+            (Encoding::Packed, ColumnData::Int(v)) => ColumnData::PackedInt(Packed::encode(v)?),
+            _ => return None,
+        };
+        Some(Column::from_parts(Arc::new(data), self.nulls.clone()))
+    }
+
+    /// Stats-driven encoding choice: pick the physical form this column's
+    /// value distribution rewards, or return a clone if none compresses
+    /// to at most half the plain bytes. `stats` (the PR 4 per-column
+    /// statistics) gates obviously futile attempts — pass `None` to
+    /// measure each candidate directly. Already-encoded columns are
+    /// returned as-is.
+    pub fn encoded(&self, stats: Option<&ColumnStats>) -> Column {
+        if self.is_encoded() {
+            return self.clone();
+        }
+        let rows = self.len();
+        if rows < crate::encoding::MIN_RUN {
+            return self.clone();
+        }
+        let wins = |c: &Column| c.encoded_bytes() * 2 <= c.plain_bytes();
+        match &*self.data {
+            ColumnData::Str(_) => {
+                // dictionary: only when the distinct count is small both
+                // absolutely (u32 codes, per-code predicate tables) and
+                // relative to the row count
+                let ndv_ok = stats.is_none_or(|s| {
+                    s.distinct <= (u32::MAX as usize) / 2 && s.distinct * 2 <= rows.max(1)
+                });
+                if ndv_ok {
+                    if let Some(c) = self.encode_as(Encoding::Dict) {
+                        if wins(&c) {
+                            return c;
+                        }
+                    }
+                }
+            }
+            ColumnData::Int(_) => {
+                // prefer RLE (keeps run structure for the kernels); fall
+                // back to bit-packing for narrow-range but run-free data
+                if let Some(c) = self.encode_as(Encoding::Rle) {
+                    if wins(&c) {
+                        return c;
+                    }
+                }
+                let range_ok = stats.is_none_or(|s| match (&s.min, &s.max) {
+                    (Some(Value::Int(lo)), Some(Value::Int(hi))) => hi
+                        .checked_sub(*lo)
+                        .is_some_and(|r| 64 - (r as u64).leading_zeros() <= 32),
+                    _ => true,
+                });
+                if range_ok {
+                    if let Some(c) = self.encode_as(Encoding::Packed) {
+                        if wins(&c) {
+                            return c;
+                        }
+                    }
+                }
+            }
+            ColumnData::Float(_) => {
+                if let Some(c) = self.encode_as(Encoding::Rle) {
+                    if wins(&c) {
+                        return c;
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.clone()
     }
 
     /// The null bitmap, if any row is null.
@@ -232,17 +453,22 @@ impl Column {
         self.nulls.as_ref().is_some_and(|b| b.get(i))
     }
 
-    /// Read a single cell as a boxed scalar.
+    /// Read a single cell as a boxed scalar (point access — never
+    /// decodes an encoded column).
     pub fn get(&self, i: usize) -> Value {
         if self.is_null(i) {
             return Value::Null;
         }
-        match self.data() {
+        match &*self.data {
             ColumnData::Int(v) => Value::Int(v[i]),
             ColumnData::Float(v) => Value::Float(v[i]),
             ColumnData::Str(v) => Value::Str(v[i].clone()),
             ColumnData::Bool(v) => Value::Bool(v[i]),
             ColumnData::Date(v) => Value::Date(v[i]),
+            ColumnData::RleInt(r) => Value::Int(r.get(i)),
+            ColumnData::RleFloat(r) => Value::Float(r.get(i)),
+            ColumnData::DictStr(d) => Value::Str(d.get(i).to_string()),
+            ColumnData::PackedInt(p) => Value::Int(p.get(i)),
         }
     }
 
@@ -252,12 +478,17 @@ impl Column {
             (true, true) => Ordering::Equal,
             (true, false) => Ordering::Less,
             (false, true) => Ordering::Greater,
-            (false, false) => match self.data() {
+            (false, false) => match &*self.data {
                 ColumnData::Int(v) => v[i].cmp(&v[j]),
                 ColumnData::Float(v) => v[i].total_cmp(&v[j]),
                 ColumnData::Str(v) => v[i].cmp(&v[j]),
                 ColumnData::Bool(v) => v[i].cmp(&v[j]),
                 ColumnData::Date(v) => v[i].cmp(&v[j]),
+                ColumnData::RleInt(r) => r.get(i).cmp(&r.get(j)),
+                ColumnData::RleFloat(r) => r.get(i).total_cmp(&r.get(j)),
+                // the dictionary is sorted, so code order is value order
+                ColumnData::DictStr(d) => d.codes()[i].cmp(&d.codes()[j]),
+                ColumnData::PackedInt(p) => p.get(i).cmp(&p.get(j)),
             },
         }
     }
@@ -269,13 +500,20 @@ impl Column {
     }
 
     /// Gather rows: `out[k] = self[idx[k]]` (MonetDB `leftfetchjoin`).
+    /// Dictionary columns gather their codes and keep the shared value
+    /// table; other encodings materialise the selected rows plain via
+    /// point access (no whole-column decode, no sink).
     pub fn take(&self, idx: &[usize]) -> Column {
-        let data = match self.data() {
+        let data = match &*self.data {
             ColumnData::Int(v) => ColumnData::Int(idx.iter().map(|&i| v[i]).collect()),
             ColumnData::Float(v) => ColumnData::Float(idx.iter().map(|&i| v[i]).collect()),
             ColumnData::Str(v) => ColumnData::Str(idx.iter().map(|&i| v[i].clone()).collect()),
             ColumnData::Bool(v) => ColumnData::Bool(idx.iter().map(|&i| v[i]).collect()),
             ColumnData::Date(v) => ColumnData::Date(idx.iter().map(|&i| v[i]).collect()),
+            ColumnData::DictStr(d) => ColumnData::DictStr(d.take(idx)),
+            ColumnData::RleInt(r) => ColumnData::Int(idx.iter().map(|&i| r.get(i)).collect()),
+            ColumnData::RleFloat(r) => ColumnData::Float(idx.iter().map(|&i| r.get(i)).collect()),
+            ColumnData::PackedInt(p) => ColumnData::Int(idx.iter().map(|&i| p.get(i)).collect()),
         };
         let nulls = self.nulls.as_ref().map(|b| b.take(idx));
         let nulls = nulls.filter(|b| !b.all_clear()).map(Arc::new);
@@ -291,12 +529,17 @@ impl Column {
         if start == 0 && end == self.len() {
             return self.clone(); // Arc share, no copy
         }
-        let data = match self.data() {
+        let data = match &*self.data {
             ColumnData::Int(v) => ColumnData::Int(v[start..end].to_vec()),
             ColumnData::Float(v) => ColumnData::Float(v[start..end].to_vec()),
             ColumnData::Str(v) => ColumnData::Str(v[start..end].to_vec()),
             ColumnData::Bool(v) => ColumnData::Bool(v[start..end].to_vec()),
             ColumnData::Date(v) => ColumnData::Date(v[start..end].to_vec()),
+            // runs and codes slice without decoding
+            ColumnData::RleInt(r) => ColumnData::RleInt(r.slice(start, end)),
+            ColumnData::RleFloat(r) => ColumnData::RleFloat(r.slice(start, end)),
+            ColumnData::DictStr(d) => ColumnData::DictStr(d.slice(start, end)),
+            ColumnData::PackedInt(p) => ColumnData::Int((start..end).map(|i| p.get(i)).collect()),
         };
         let nulls = self.nulls.as_ref().map(|b| b.slice(start, end));
         let nulls = nulls.filter(|b| !b.all_clear()).map(Arc::new);
@@ -347,6 +590,9 @@ impl Column {
         }
         let old_len = self.len();
         let added = sel.map_or(other.len(), SelVec::len);
+        // appends mutate plain vectors; an encoded destination sinks first
+        // (append is a write path — the result is a fresh, growing column)
+        self.make_plain();
         {
             let data = Arc::make_mut(&mut self.data);
             match (data, other.data()) {
@@ -410,13 +656,29 @@ impl Column {
     }
 
     /// Borrow the float data directly if this is a null-free float column.
+    /// An RLE float column serves the borrow from its decode cache — a
+    /// sink on first call, free afterwards (the linalg bridges that call
+    /// this need the contiguous form by definition).
     pub fn as_f64_slice(&self) -> Option<&[f64]> {
         if self.has_nulls() {
             return None;
         }
-        match self.data() {
+        match &*self.data {
             ColumnData::Float(v) => Some(v),
+            ColumnData::RleFloat(r) => match r.decoded() {
+                ColumnData::Float(v) => Some(v),
+                _ => unreachable!("RLE floats decode to floats"),
+            },
             _ => None,
+        }
+    }
+
+    /// Replace encoded storage with its decoded plain form in place (a
+    /// sink when the column was encoded; a no-op otherwise).
+    fn make_plain(&mut self) {
+        if self.is_encoded() {
+            let plain = self.data().clone();
+            self.data = Arc::new(plain);
         }
     }
 
@@ -449,6 +711,7 @@ fn push_placeholder(data: &mut ColumnData) {
         ColumnData::Str(d) => d.push(String::new()),
         ColumnData::Bool(d) => d.push(false),
         ColumnData::Date(d) => d.push(0),
+        _ => unreachable!("placeholders are only pushed into plain builders"),
     }
 }
 

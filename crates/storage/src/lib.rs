@@ -2,8 +2,9 @@
 //!
 //! The storage kernel of the RMA reproduction: typed columns with optional
 //! null bitmaps, named BATs with virtual OID heads, sort permutations,
-//! gather (`leftfetchjoin`), vectorised float kernels, and zero-run
-//! compression.
+//! gather (`leftfetchjoin`), vectorised float kernels, and per-column
+//! compressed encodings (RLE / dictionary / bit-packing) with a typed,
+//! encoding-aware accessor surface so kernels run on the encoded form.
 //!
 //! This crate plays the role MonetDB's kernel plays in the paper: everything
 //! above it (relational algebra, relational matrix algebra, SQL) is compiled
@@ -12,22 +13,24 @@
 #![warn(missing_docs)]
 #![allow(missing_docs)] // enforced at item granularity below where practical
 
+pub mod access;
 pub mod bat;
 pub mod bitmap;
 pub mod column;
-pub mod compress;
+pub mod encoding;
 pub mod error;
 pub mod selvec;
 pub mod stats;
 pub mod value;
 
+pub use access::{ColumnAccessor, FloatsRef, IntsRef, StrsRef};
 pub use bat::{
     cmp_rows, invert_permutation, is_identity_permutation, is_key, is_sorted_by, sort_permutation,
     Bat,
 };
 pub use bitmap::Bitmap;
 pub use column::{Column, ColumnData};
-pub use compress::CompressedFloats;
+pub use encoding::{decode_sink_events, Dict, Encoding, Packed, Rle, Seg};
 pub use error::StorageError;
 pub use selvec::SelVec;
 pub use stats::ColumnStats;

@@ -10,6 +10,7 @@
 //! column.
 
 use crate::column::{Column, ColumnData};
+use crate::encoding::Seg;
 use crate::value::Value;
 use std::collections::HashSet;
 use std::hash::Hash;
@@ -55,6 +56,14 @@ impl ColumnStats {
                 max: None,
             };
         }
+        // encoded, null-free columns are summarised from their encoded
+        // form (dictionary tables and run segments carry the answer
+        // almost directly) — no decode, no sink
+        if null_count == 0 {
+            if let Some(stats) = compute_encoded(col, row_count) {
+                return stats;
+            }
+        }
         let is_null = |i: usize| col.is_null(i);
         let (distinct, min_i, max_i) = match col.data() {
             ColumnData::Int(v) => scan(v, non_null, &is_null, |x| *x),
@@ -62,6 +71,7 @@ impl ColumnStats {
             ColumnData::Str(v) => scan(v, non_null, &is_null, |x| x.clone()),
             ColumnData::Bool(v) => scan(v, non_null, &is_null, |x| *x),
             ColumnData::Date(v) => scan(v, non_null, &is_null, |x| *x),
+            _ => unreachable!("Column::data() returns plain storage"),
         };
         ColumnStats {
             row_count,
@@ -79,6 +89,103 @@ impl ColumnStats {
         }
         self.null_count as f64 / self.row_count as f64
     }
+}
+
+/// Statistics straight off an encoded, null-free column — dictionaries
+/// and run segments summarise without decoding. Returns `None` for plain
+/// (or unhandled) storage, which takes the full scan below.
+fn compute_encoded(col: &Column, row_count: usize) -> Option<ColumnStats> {
+    let (distinct, min, max) = match col.raw() {
+        ColumnData::DictStr(d) => {
+            // the table is sorted, so the smallest/largest *used* codes
+            // give exact bounds; counting used codes gives exact ndv
+            // (gathers can leave table entries unused)
+            let mut used = vec![false; d.values().len()];
+            for &c in d.codes() {
+                used[c as usize] = true;
+            }
+            let mut first = None;
+            let mut last = None;
+            let mut count = 0usize;
+            for (c, &u) in used.iter().enumerate() {
+                if u {
+                    count += 1;
+                    first.get_or_insert(c);
+                    last = Some(c);
+                }
+            }
+            (
+                count,
+                first.map(|c| Value::Str(d.values()[c].clone())),
+                last.map(|c| Value::Str(d.values()[c].clone())),
+            )
+        }
+        ColumnData::RleInt(r) => {
+            let mut seen: HashSet<i64> = HashSet::new();
+            let mut lo: Option<i64> = None;
+            let mut hi: Option<i64> = None;
+            for s in r.segs() {
+                let mut visit = |x: i64| {
+                    seen.insert(x);
+                    lo = Some(lo.map_or(x, |l| l.min(x)));
+                    hi = Some(hi.map_or(x, |h| h.max(x)));
+                };
+                match s {
+                    Seg::Run { value, .. } => visit(*value),
+                    Seg::Dense(v) => v.iter().for_each(|&x| visit(x)),
+                }
+            }
+            (seen.len(), lo.map(Value::Int), hi.map(Value::Int))
+        }
+        ColumnData::RleFloat(r) => {
+            let mut seen: HashSet<u64> = HashSet::new();
+            let mut lo: Option<f64> = None;
+            let mut hi: Option<f64> = None;
+            for s in r.segs() {
+                let mut visit = |x: f64| {
+                    seen.insert(x.to_bits());
+                    if !x.is_nan() {
+                        lo = Some(lo.map_or(x, |l| l.min(x)));
+                        hi = Some(hi.map_or(x, |h| h.max(x)));
+                    }
+                };
+                match s {
+                    Seg::Run { value, .. } => visit(*value),
+                    Seg::Dense(v) => v.iter().for_each(|&x| visit(x)),
+                }
+            }
+            (seen.len(), lo.map(Value::Float), hi.map(Value::Float))
+        }
+        ColumnData::PackedInt(p) => {
+            // point access is O(1): mirror the plain exact/sampled split
+            let n = p.len();
+            let mut lo = p.get(0);
+            let mut hi = lo;
+            for i in 1..n {
+                let x = p.get(i);
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            let distinct = if n <= EXACT_LIMIT {
+                let seen: HashSet<i64> = (0..n).map(|i| p.get(i)).collect();
+                seen.len()
+            } else {
+                let stride = n / SAMPLE_SIZE;
+                let seen: HashSet<i64> = (0..n).step_by(stride).map(|i| p.get(i)).collect();
+                let sampled = n.div_ceil(stride);
+                estimate_distinct(seen.len(), sampled, n)
+            };
+            (distinct, Some(Value::Int(lo)), Some(Value::Int(hi)))
+        }
+        _ => return None,
+    };
+    Some(ColumnStats {
+        row_count,
+        null_count: 0,
+        distinct,
+        min,
+        max,
+    })
 }
 
 /// One pass over the typed values: min/max row indices (by [`Value`] total

@@ -1,10 +1,10 @@
 //! Property tests of the storage kernel: sort permutations, gather,
-//! compression round-trips, and the float BAT kernels.
+//! encoding round-trips, and the float BAT kernels.
 
 use proptest::prelude::*;
 use rma_storage::{
-    bat::float_ops, cmp_rows, invert_permutation, is_key, sort_permutation, Column,
-    CompressedFloats,
+    bat::float_ops, cmp_rows, encoding::rle_add_f64, invert_permutation, is_key, sort_permutation,
+    Column, Dict, Encoding, Packed, Rle,
 };
 
 proptest! {
@@ -62,9 +62,9 @@ proptest! {
         prop_assert_eq!(is_key(&[&c]), dedup.len() == vals.len());
     }
 
-    // compression round-trips arbitrary data with interleaved zero runs
+    // RLE round-trips arbitrary data with interleaved runs
     #[test]
-    fn compression_roundtrip(
+    fn rle_roundtrip(
         segments in proptest::collection::vec((0usize..30, -5.0f64..5.0), 0..12)
     ) {
         let mut vals = Vec::new();
@@ -72,24 +72,53 @@ proptest! {
             vals.extend(std::iter::repeat_n(0.0, zeros));
             vals.push(v);
         }
-        let c = CompressedFloats::compress(&vals);
-        prop_assert_eq!(c.decompress(), vals.clone());
-        prop_assert!(c.stored_values() <= vals.len());
+        let c = Rle::encode(&vals);
+        prop_assert_eq!(c.to_vec(), vals.clone());
+        prop_assert!(c.stored_values() <= vals.len().max(1));
+        // point access and slices agree with the decoded form
+        for (i, &v) in vals.iter().enumerate() {
+            prop_assert_eq!(c.get(i), v);
+        }
+        let mid = vals.len() / 2;
+        prop_assert_eq!(c.slice(0, mid).to_vec(), vals[..mid].to_vec());
     }
 
-    // compressed add equals dense add
+    // run-aware RLE add equals dense add
     #[test]
-    fn compressed_add_correct(
+    fn rle_add_correct(
         a in proptest::collection::vec(prop_oneof![Just(0.0f64), -10.0..10.0], 0..128),
         b_seed in proptest::collection::vec(prop_oneof![Just(0.0f64), -10.0..10.0], 0..128),
     ) {
         let n = a.len().min(b_seed.len());
         let (a, b) = (&a[..n], &b_seed[..n]);
-        let ca = CompressedFloats::compress(a);
-        let cb = CompressedFloats::compress(b);
-        let got = ca.add(&cb).decompress();
+        let got = rle_add_f64(&Rle::encode(a), &Rle::encode(b)).to_vec();
         let expect: Vec<f64> = a.iter().zip(b).map(|(x, y)| x + y).collect();
         prop_assert_eq!(got, expect);
+    }
+
+    // dictionary encoding round-trips and preserves logical column equality
+    #[test]
+    fn dict_roundtrip(keys in proptest::collection::vec(0usize..6, 0..48)) {
+        let vals: Vec<String> = keys.iter().map(|&k| format!("v{k}")).collect();
+        let d = Dict::encode(&vals);
+        prop_assert_eq!(d.to_vec(), vals.clone());
+        let plain = Column::from(vals.clone());
+        if let Some(enc) = plain.encode_as(Encoding::Dict) {
+            prop_assert_eq!(&enc, &plain);
+            // gathers through either form agree
+            let idx: Vec<usize> = (0..vals.len()).rev().collect();
+            prop_assert_eq!(enc.take(&idx), plain.take(&idx));
+        }
+    }
+
+    // bit-packing round-trips any narrow-range data
+    #[test]
+    fn packed_roundtrip(vals in proptest::collection::vec(-5000i64..5000, 1..256)) {
+        let p = Packed::encode(&vals).unwrap();
+        prop_assert_eq!(p.to_vec(), vals.clone());
+        let plain = Column::from(vals);
+        let enc = plain.encode_as(Encoding::Packed).unwrap();
+        prop_assert_eq!(&enc, &plain);
     }
 
     // float kernels agree with scalar math
